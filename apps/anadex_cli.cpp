@@ -1,0 +1,209 @@
+// anadex — command-line front-end to the design-space exploration library.
+//
+// Subcommands:
+//   anadex specs
+//       List the 20 graded circuit specifications.
+//   anadex explore [--algo tpg|localonly|sacga|mesacga|island|wsum|spea2]
+//                  [--spec 1..20|chosen] [--generations N] [--population N]
+//                  [--partitions M] [--seed S] [--csv FILE] [--history]
+//       Run one design-space exploration and print the Pareto surface.
+//   anadex evaluate --genes g1,...,g15 [--spec ...]
+//       Datasheet of a single design vector (SI units).
+//   anadex simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]
+//       Behavioral sigma-delta simulation with ideal integrators.
+//   anadex compare [--spec ...] [--generations N] [--seed S]
+//       All algorithms head-to-head on one specification.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/args.hpp"
+#include "common/check.hpp"
+#include "expt/figures.hpp"
+#include "expt/runner.hpp"
+#include "problems/integrator_problem.hpp"
+#include "problems/spec_suite.hpp"
+#include "sysdes/modulator_sim.hpp"
+
+namespace {
+
+using namespace anadex;
+
+int usage() {
+  std::cout <<
+      "usage: anadex <specs|explore|evaluate|simulate|compare> [options]\n"
+      "  specs                          list the 20 graded specifications\n"
+      "  explore  --algo A --spec S --generations N [--population N]\n"
+      "           [--partitions M] [--seed S] [--csv FILE] [--history]\n"
+      "  evaluate --genes g1,...,g15 [--spec S]\n"
+      "  simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]\n"
+      "  compare  [--spec S] [--generations N] [--seed S]\n";
+  return 2;
+}
+
+scint::Spec spec_from_arg(const ArgParser& args) {
+  const std::string which = args.get("spec", "chosen");
+  if (which == "chosen") return problems::chosen_spec();
+  const auto suite = problems::spec_suite();
+  const auto index = static_cast<std::size_t>(std::strtoul(which.c_str(), nullptr, 10));
+  ANADEX_REQUIRE(index >= 1 && index <= suite.size(),
+                 "--spec must be 'chosen' or 1.." + std::to_string(suite.size()));
+  return suite[index - 1];
+}
+
+expt::Algo algo_from_arg(const ArgParser& args) {
+  const std::string name = args.get("algo", "mesacga");
+  if (name == "tpg" || name == "nsga2") return expt::Algo::TPG;
+  if (name == "localonly") return expt::Algo::LocalOnly;
+  if (name == "sacga") return expt::Algo::SACGA;
+  if (name == "mesacga") return expt::Algo::MESACGA;
+  if (name == "island") return expt::Algo::Island;
+  if (name == "wsum") return expt::Algo::WeightedSum;
+  if (name == "spea2") return expt::Algo::SPEA2;
+  ANADEX_REQUIRE(false, "unknown --algo '" + name + "'");
+  return expt::Algo::TPG;
+}
+
+void warn_unused(const ArgParser& args) {
+  for (const auto& key : args.unused()) {
+    std::cerr << "warning: unrecognized option --" << key << "\n";
+  }
+}
+
+int cmd_specs() {
+  std::cout << "  #  name           DR(dB)   OR(V)   ST(ns)   SE        robustness\n";
+  const auto suite = problems::spec_suite();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& s = suite[i];
+    std::printf("  %-2zu %-14s %6.1f  %5.2f   %6.1f   %.1e   %.2f\n", i + 1,
+                s.name.c_str(), s.dr_min_db, s.or_min, s.st_max * 1e9, s.se_max,
+                s.robustness_min);
+  }
+  return 0;
+}
+
+int cmd_explore(const ArgParser& args) {
+  expt::RunSettings settings;
+  settings.spec = spec_from_arg(args);
+  settings.algo = algo_from_arg(args);
+  settings.generations = static_cast<std::size_t>(args.get_int("generations", 800));
+  settings.population = static_cast<std::size_t>(args.get_int("population", 100));
+  settings.partitions = static_cast<std::size_t>(args.get_int("partitions", 8));
+  settings.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  settings.record_history = args.get_flag("history");
+  const std::string csv_path = args.get("csv", "");
+  warn_unused(args);
+
+  std::cout << "exploring spec '" << settings.spec.name << "' with "
+            << expt::algo_name(settings.algo) << " (" << settings.generations
+            << " generations, population " << settings.population << ")\n";
+  const auto outcome = expt::run(settings);
+
+  expt::print_fronts(std::cout, {{expt::algo_name(settings.algo), outcome.front}});
+  expt::print_outcome_summary(std::cout, expt::algo_name(settings.algo), outcome);
+  if (settings.record_history) {
+    std::cout << "metric trajectory (generation, front_area):\n";
+    for (const auto& point : outcome.history) {
+      std::cout << "  " << point.generation << "  " << point.front_area << "\n";
+    }
+  }
+  if (!csv_path.empty()) {
+    std::ofstream file(csv_path);
+    ANADEX_REQUIRE(file.good(), "cannot open '" + csv_path + "' for writing");
+    expt::front_series("front", outcome.front).write_csv(file);
+    std::cout << "front written to " << csv_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_evaluate(const ArgParser& args) {
+  const std::string genes_arg = args.get("genes", "");
+  ANADEX_REQUIRE(!genes_arg.empty(), "evaluate needs --genes g1,...,g15");
+  std::vector<double> genes;
+  std::stringstream stream(genes_arg);
+  std::string token;
+  while (std::getline(stream, token, ',')) genes.push_back(std::strtod(token.c_str(), nullptr));
+  ANADEX_REQUIRE(genes.size() == problems::kNumGenes,
+                 "need exactly 15 comma-separated gene values (SI units)");
+
+  const problems::IntegratorProblem problem(spec_from_arg(args));
+  warn_unused(args);
+  const auto design = problems::IntegratorProblem::decode(genes);
+  const auto perf = problem.typical_performance(design);
+  const auto eval = problem.evaluated(genes);
+
+  std::printf("power            %.4f mW\n", perf.power * 1e3);
+  std::printf("load capacitance %.3f pF\n", design.cload * 1e12);
+  std::printf("dynamic range    %.1f dB\n", perf.dynamic_range_db);
+  std::printf("output range     %.2f V\n", perf.output_range);
+  std::printf("settling time    %.1f ns\n", perf.settling_time * 1e9);
+  std::printf("settling error   %.2e\n", perf.settling_error);
+  std::printf("phase margin     %.1f deg\n", perf.phase_margin_deg);
+  std::printf("unity gain       %.1f MHz (beta %.2f)\n", perf.unity_gain_hz / 1e6,
+              perf.feedback_factor);
+  std::printf("area             %.4f mm^2\n", perf.area * 1e6);
+  std::printf("robustness       %.2f\n", problem.design_robustness(design));
+  std::printf("feasible         %s (total violation %.3f)\n",
+              eval.feasible() ? "YES" : "no", eval.total_violation());
+  return eval.feasible() ? 0 : 1;
+}
+
+int cmd_simulate(const ArgParser& args) {
+  const int order = static_cast<int>(args.get_int("order", 4));
+  sysdes::SimulationConfig config;
+  config.osr = args.get_double("osr", 128.0);
+  config.input_amplitude = args.get_double("amplitude", 0.5);
+  config.samples = static_cast<std::size_t>(args.get_int("samples", 1 << 14));
+  warn_unused(args);
+
+  const auto result = sysdes::simulate_modulator(sysdes::ideal_stages(order), config);
+  sysdes::ModulatorSpec spec;
+  spec.order = order;
+  spec.osr = config.osr;
+  std::printf("order-%d modulator at OSR %.0f:\n", order, config.osr);
+  std::printf("  simulated SNDR   %.1f dB (%s)\n", result.sndr_db,
+              result.stable ? "stable" : "UNSTABLE");
+  std::printf("  ideal formula    %.1f dB\n", sysdes::ideal_sqnr_db(spec));
+  std::printf("  max state        %.2f x reference\n", result.max_state);
+  return result.stable ? 0 : 1;
+}
+
+int cmd_compare(const ArgParser& args) {
+  expt::RunSettings settings;
+  settings.spec = spec_from_arg(args);
+  settings.generations = static_cast<std::size_t>(args.get_int("generations", 800));
+  settings.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  warn_unused(args);
+
+  const problems::IntegratorProblem problem(settings.spec);
+  std::cout << "spec '" << settings.spec.name << "', " << settings.generations
+            << " generations:\n";
+  for (auto algo : {expt::Algo::TPG, expt::Algo::SPEA2, expt::Algo::LocalOnly,
+                    expt::Algo::SACGA, expt::Algo::MESACGA, expt::Algo::Island,
+                    expt::Algo::WeightedSum}) {
+    settings.algo = algo;
+    const auto outcome = expt::run(problem, settings);
+    expt::print_outcome_summary(std::cout, expt::algo_name(algo), outcome);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    if (args.positionals().empty()) return usage();
+    const std::string command = args.positionals().front();
+    if (command == "specs") return cmd_specs();
+    if (command == "explore") return cmd_explore(args);
+    if (command == "evaluate") return cmd_evaluate(args);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "compare") return cmd_compare(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

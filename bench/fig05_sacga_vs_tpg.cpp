@@ -1,0 +1,41 @@
+// Figure 5 — "Pareto Fronts after 800 iterations of i) Traditional Purely
+// Global competition based and ii) SACGA based evolution".
+//
+// An 8-partition SACGA against NSGA-II at the same 800-generation budget on
+// the paper's chosen specification: SACGA's front must cover (nearly) the
+// whole 0-5 pF load axis where TPG clusters at the top.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace anadex;
+  std::cout.setf(std::ios::unitbuf);
+
+  expt::print_banner(std::cout, "Figure 5",
+                     "TPG vs 8-partition SACGA after 800 iterations");
+
+  const problems::IntegratorProblem problem(problems::chosen_spec());
+  const auto tpg =
+      expt::run(problem, bench::chosen_settings(expt::Algo::TPG, bench::kPaperBudget));
+  const auto sacga =
+      expt::run(problem, bench::chosen_settings(expt::Algo::SACGA, bench::kPaperBudget));
+
+  expt::print_fronts(std::cout,
+                     {{"Only Global (TPG)", tpg.front}, {"SACGA", sacga.front}});
+  expt::print_outcome_summary(std::cout, "TPG", tpg);
+  expt::print_outcome_summary(std::cout, "SACGA m=8", sacga);
+
+  expt::print_paper_vs_measured(
+      std::cout, "coverage of the load axis",
+      "SACGA spreads over ~0-5 pF, TPG clusters at 4-5 pF",
+      "SACGA span " + std::to_string(sacga.load_span_pf) + " pF vs TPG span " +
+          std::to_string(tpg.load_span_pf) + " pF");
+  expt::print_paper_vs_measured(
+      std::cout, "front quality (area metric, lower better)",
+      "SACGA better than TPG",
+      std::to_string(sacga.front_area) + " vs " + std::to_string(tpg.front_area) +
+          (sacga.front_area < tpg.front_area ? "  [ordering holds]"
+                                             : "  [ordering DEVIATES]"));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 8 — "Pareto Fronts obtained after 800 iterations of i) Purely
+// Global competition based, ii) SACGA based, and iii) MESACGA based
+// evolution", plus the paper's §5 quality ordering
+// MESACGA >= SACGA >= TPG (for budgets above ~650 iterations).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace anadex;
+  std::cout.setf(std::ios::unitbuf);
+
+  expt::print_banner(std::cout, "Figure 8",
+                     "TPG vs SACGA vs MESACGA fronts after 800 iterations");
+
+  const problems::IntegratorProblem problem(problems::chosen_spec());
+  const auto tpg =
+      expt::run(problem, bench::chosen_settings(expt::Algo::TPG, bench::kPaperBudget));
+  const auto sacga =
+      expt::run(problem, bench::chosen_settings(expt::Algo::SACGA, bench::kPaperBudget));
+  const auto mesacga =
+      expt::run(problem, bench::chosen_settings(expt::Algo::MESACGA, bench::kPaperBudget));
+
+  expt::print_fronts(std::cout, {{"Only Global (TPG)", tpg.front},
+                                 {"SACGA", sacga.front},
+                                 {"MESACGA", mesacga.front}});
+  expt::print_outcome_summary(std::cout, "TPG", tpg);
+  expt::print_outcome_summary(std::cout, "SACGA m=8", sacga);
+  expt::print_outcome_summary(std::cout, "MESACGA 20..1", mesacga);
+
+  // Average over a few seeds for a stable ordering statement (single-seed
+  // GA comparisons are noisy; the paper reports trends over many runs).
+  double tpg_avg = 0.0;
+  double sacga_avg = 0.0;
+  double mesacga_avg = 0.0;
+  constexpr int kSeeds = 3;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    auto s = bench::chosen_settings(expt::Algo::TPG, bench::kPaperBudget);
+    s.seed = seed;
+    tpg_avg += expt::run(problem, s).front_area;
+    s = bench::chosen_settings(expt::Algo::SACGA, bench::kPaperBudget);
+    s.seed = seed;
+    sacga_avg += expt::run(problem, s).front_area;
+    s = bench::chosen_settings(expt::Algo::MESACGA, bench::kPaperBudget);
+    s.seed = seed;
+    mesacga_avg += expt::run(problem, s).front_area;
+  }
+  tpg_avg /= kSeeds;
+  sacga_avg /= kSeeds;
+  mesacga_avg /= kSeeds;
+
+  std::cout << "\nmean front-area metric over " << kSeeds << " seeds (lower better):\n"
+            << "  MESACGA " << mesacga_avg << "  |  SACGA " << sacga_avg
+            << "  |  TPG " << tpg_avg << "\n";
+
+  const bool ordering = mesacga_avg <= sacga_avg && sacga_avg <= tpg_avg;
+  expt::print_paper_vs_measured(
+      std::cout, "quality ordering at 800 iterations (§5 trend 1)",
+      "MESACGA >= SACGA >= TPG",
+      ordering ? "MESACGA >= SACGA >= TPG  [holds]"
+               : "deviation in at least one pair (seed noise; see values above)");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 9 — "Performance of SACGA for various preset values of total
+// number of iterations": the quality metric of an 8-partition SACGA as the
+// total budget grows. The paper observes diminishing returns: "not much
+// improvement of the Pareto front is obtained for span > 1000".
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/series.hpp"
+
+int main() {
+  using namespace anadex;
+  std::cout.setf(std::ios::unitbuf);
+
+  expt::print_banner(std::cout, "Figure 9",
+                     "8-partition SACGA quality vs total iteration budget");
+
+  const problems::IntegratorProblem problem(problems::chosen_spec());
+  Series series("front-area metric vs total iterations",
+                {"total_iterations", "front_area_0p1mWpF"});
+  PlotSeries plot;
+  plot.label = "SACGA m=8";
+
+  double at_800 = 0.0;
+  double at_1200 = 0.0;
+  for (std::size_t budget : {300u, 450u, 600u, 800u, 1000u, 1200u}) {
+    const auto outcome =
+        expt::run(problem, bench::chosen_settings(expt::Algo::SACGA, budget));
+    series.add_row({static_cast<double>(bench::scaled(budget)), outcome.front_area});
+    plot.x.push_back(static_cast<double>(bench::scaled(budget)));
+    plot.y.push_back(outcome.front_area);
+    if (budget == 800) at_800 = outcome.front_area;
+    if (budget == 1200) at_1200 = outcome.front_area;
+    std::cout << "  budget=" << bench::scaled(budget)
+              << " -> front_area=" << outcome.front_area << "\n";
+  }
+
+  PlotOptions options;
+  options.x_label = "Total number of iterations";
+  options.y_label = "front-area metric (0.1 mW*pF, lower better)";
+  std::cout << render_scatter({plot}, options);
+  series.write_table(std::cout);
+
+  const double late_gain = at_800 > 0.0 ? (at_800 - at_1200) / at_800 : 0.0;
+  expt::print_paper_vs_measured(
+      std::cout, "diminishing returns past ~800-1000 iterations",
+      "metric improves steeply early, then flattens; little gain beyond 1000",
+      "relative improvement from 800 to 1200 iterations: " +
+          std::to_string(late_gain * 100.0) + " %");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 11 — "Comparison of MESACGA performance with best SACGA
+// performance": a 1250-iteration MESACGA (pure-local phase of 200
+// iterations + 7 phases of 150) against the best static-partition SACGA
+// (16 partitions, 1200 iterations). Paper metrics: 21.83 (MESACGA) vs
+// 22.19 (SACGA) — comparable, slight edge to MESACGA, without having had
+// to search for the optimal partition count.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace anadex;
+  std::cout.setf(std::ios::unitbuf);
+
+  expt::print_banner(std::cout, "Figure 11",
+                     "MESACGA (200 + 7x150) vs best SACGA (m=16, 1200 iterations)");
+
+  const problems::IntegratorProblem problem(problems::chosen_spec());
+
+  auto mesacga_settings = bench::chosen_settings(expt::Algo::MESACGA, 0);
+  mesacga_settings.span = bench::scaled(150);
+  mesacga_settings.phase1_cap = bench::scaled(200);
+  const auto mesacga = expt::run(problem, mesacga_settings);
+
+  auto sacga_settings = bench::chosen_settings(expt::Algo::SACGA, 1200);
+  sacga_settings.partitions = 16;
+  const auto sacga = expt::run(problem, sacga_settings);
+
+  // GA runs are noisy; back the comparison with a 3-seed mean.
+  constexpr int kSeeds = 3;
+  double mesacga_mean = 0.0;
+  double sacga_mean = 0.0;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    mesacga_settings.seed = seed;
+    sacga_settings.seed = seed;
+    mesacga_mean += expt::run(problem, mesacga_settings).front_area / kSeeds;
+    sacga_mean += expt::run(problem, sacga_settings).front_area / kSeeds;
+  }
+
+  expt::print_fronts(std::cout, {{"MESACGA", mesacga.front},
+                                 {"SACGA with 16 partitions", sacga.front}});
+  expt::print_outcome_summary(std::cout, "MESACGA", mesacga);
+  expt::print_outcome_summary(std::cout, "SACGA m=16", sacga);
+
+  expt::print_paper_vs_measured(
+      std::cout, "metric comparison (paper units differ; shape matters)",
+      "MESACGA 21.83 vs best SACGA 22.19 (within ~2 %, MESACGA ahead)",
+      "3-seed means: MESACGA " + std::to_string(mesacga_mean) + " vs SACGA " +
+          std::to_string(sacga_mean) +
+          (mesacga_mean <= sacga_mean * 1.05 ? "  [comparable-or-better holds]"
+                                             : "  [DEVIATES]"));
+  expt::print_paper_vs_measured(
+      std::cout, "practical conclusion",
+      "MESACGA matches the best hand-tuned partition count without the sweep",
+      "no per-problem partition search was performed for the MESACGA run");
+  return 0;
+}

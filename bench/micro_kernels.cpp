@@ -1,0 +1,84 @@
+// Micro-benchmarks of the evaluation and ranking kernels: the costs that
+// determine an optimization run's wall-clock. Useful when tuning the
+// circuit model or the non-dominated-sorting implementation.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "moga/hypervolume.hpp"
+#include "moga/nds.hpp"
+#include "moga/operators.hpp"
+#include "problems/integrator_problem.hpp"
+#include "problems/spec_suite.hpp"
+#include "scint/integrator.hpp"
+
+namespace {
+
+using namespace anadex;
+
+void BM_MosfetOperatingPoint(benchmark::State& state) {
+  const auto proc = device::Process::typical();
+  const device::Geometry g{20e-6, 0.5e-6};
+  double vgs = 0.7;
+  for (auto _ : state) {
+    const auto op = device::solve_op(proc.nmos, g, device::Bias{vgs, 1.0, 0.0});
+    benchmark::DoNotOptimize(op.gm);
+    vgs = 0.7 + (vgs - 0.69);  // keep the optimizer honest
+  }
+}
+BENCHMARK(BM_MosfetOperatingPoint);
+
+void BM_IntegratorEvaluateOneCorner(benchmark::State& state) {
+  const auto proc = device::Process::typical();
+  scint::IntegratorDesign d;  // defaults are a mid-box design
+  for (auto _ : state) {
+    const auto perf = scint::evaluate(proc, d, scint::IntegratorContext{});
+    benchmark::DoNotOptimize(perf.settling_time);
+  }
+}
+BENCHMARK(BM_IntegratorEvaluateOneCorner);
+
+void BM_ProblemEvaluateFull(benchmark::State& state) {
+  const problems::IntegratorProblem problem(problems::chosen_spec());
+  Rng rng(1);
+  const auto bounds = problem.bounds();
+  const auto genes = moga::random_genome(bounds, rng);
+  moga::Evaluation eval;
+  for (auto _ : state) {
+    problem.evaluate(genes, eval);
+    benchmark::DoNotOptimize(eval.objectives[0]);
+  }
+}
+BENCHMARK(BM_ProblemEvaluateFull);
+
+void BM_NondominatedSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  moga::Population pop(n);
+  for (auto& ind : pop) {
+    ind.eval.objectives = {rng.uniform(), rng.uniform()};
+  }
+  for (auto _ : state) {
+    auto fronts = moga::fast_nondominated_sort(pop);
+    benchmark::DoNotOptimize(fronts.size());
+  }
+}
+BENCHMARK(BM_NondominatedSort)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_Hypervolume2d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  moga::FrontPoints front;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform();
+    front.push_back({x, 1.0 - x + 0.01 * rng.uniform()});
+  }
+  const std::vector<double> ref{1.2, 1.2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moga::hypervolume(front, ref));
+  }
+}
+BENCHMARK(BM_Hypervolume2d)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+# Benchmark / figure-reproduction binaries: one per data figure of the paper
+# plus the §5 trend table, the runtime-overhead measurement and the
+# reproduction's own ablations. All land in ${CMAKE_BINARY_DIR}/bench.
+
+function(anadex_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    anadex::expt anadex::sysdes anadex::problems anadex::sacga anadex::moga
+    anadex::yield anadex::scint anadex::circuit anadex::device anadex::common
+    anadex_warnings)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+anadex_bench(fig02_nsga2_front)
+anadex_bench(fig04_probability_curves)
+anadex_bench(fig05_sacga_vs_tpg)
+anadex_bench(fig06_partition_sweep)
+anadex_bench(fig08_three_way_fronts)
+anadex_bench(fig09_span_sweep)
+anadex_bench(fig10_phase_progress)
+anadex_bench(fig11_mesacga_vs_best_sacga)
+anadex_bench(trend_twenty_specs)
+anadex_bench(baseline_comparison)
+anadex_bench(modulator_validation)
+anadex_bench(ablation_schedule)
+anadex_bench(ablation_population)
+
+# Wall-clock micro/overhead measurements use google-benchmark.
+anadex_bench(overhead_runtime)
+target_link_libraries(overhead_runtime PRIVATE benchmark::benchmark)
+anadex_bench(micro_kernels)
+target_link_libraries(micro_kernels PRIVATE benchmark::benchmark)

@@ -1,0 +1,67 @@
+// §5 trend table — the paper evaluated all three algorithms on 20 circuit
+// specifications "graded by their level of difficulty" and reports that for
+// every case run past ~650 iterations the quality ordering was
+// MESACGA >= SACGA >= TPG. This bench regenerates that table at a
+// 800-iteration budget (the paper regime for the ordering claim).
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/series.hpp"
+
+int main() {
+  using namespace anadex;
+  std::cout.setf(std::ios::unitbuf);
+
+  expt::print_banner(std::cout, "§5 trends",
+                     "Quality ordering over the 20 graded specifications "
+                     "(800 iterations each)");
+
+  const auto suite = problems::spec_suite();
+  Series series("front-area metric per spec (lower better)",
+                {"spec", "TPG", "SACGA", "MESACGA", "mesacga_le_sacga", "sacga_le_tpg"});
+
+  int mesacga_wins = 0;
+  int sacga_wins = 0;
+  int full_ordering = 0;
+  const std::size_t budget = 800;
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const problems::IntegratorProblem problem(suite[i]);
+    auto settings = bench::chosen_settings(expt::Algo::TPG, budget);
+    settings.spec = suite[i];
+
+    settings.algo = expt::Algo::TPG;
+    const double tpg = expt::run(problem, settings).front_area;
+    settings.algo = expt::Algo::SACGA;
+    const double sacga = expt::run(problem, settings).front_area;
+    settings.algo = expt::Algo::MESACGA;
+    const double mesacga = expt::run(problem, settings).front_area;
+
+    const bool m_le_s = mesacga <= sacga;
+    const bool s_le_t = sacga <= tpg;
+    mesacga_wins += m_le_s ? 1 : 0;
+    sacga_wins += s_le_t ? 1 : 0;
+    full_ordering += (m_le_s && s_le_t) ? 1 : 0;
+    series.add_row({static_cast<double>(i + 1), tpg, sacga, mesacga,
+                    m_le_s ? 1.0 : 0.0, s_le_t ? 1.0 : 0.0});
+    std::cout << "  " << std::setw(12) << suite[i].name << "  TPG=" << std::setw(8)
+              << std::setprecision(4) << tpg << "  SACGA=" << std::setw(8) << sacga
+              << "  MESACGA=" << std::setw(8) << mesacga
+              << (m_le_s && s_le_t ? "  [M>=S>=T]" : "") << "\n";
+  }
+
+  series.write_table(std::cout);
+
+  std::cout << "\nordering statistics over " << suite.size() << " specs:\n"
+            << "  MESACGA <= SACGA : " << mesacga_wins << "/" << suite.size() << "\n"
+            << "  SACGA   <= TPG   : " << sacga_wins << "/" << suite.size() << "\n"
+            << "  full M <= S <= T : " << full_ordering << "/" << suite.size() << "\n";
+
+  expt::print_paper_vs_measured(
+      std::cout, "quality ordering beyond 650 iterations",
+      "MESACGA >= SACGA >= TPG in all 20 cases",
+      std::to_string(full_ordering) + "/20 full orderings (GA runs are single-seed "
+      "here; the pairwise majorities above are the robust signal)");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Device-model characterization: print the transfer / output / gm-ID
+// charts of the synthetic 0.18 um process, including corner spreads — the
+// plots a designer inspects before trusting the optimizer built on top.
+//
+//   $ ./device_iv_curves [W_um] [L_um]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/ascii_plot.hpp"
+#include "device/characterize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace anadex;
+  device::Geometry geom{10e-6, 0.5e-6};
+  if (argc > 1) geom.w = std::strtod(argv[1], nullptr) * 1e-6;
+  if (argc > 2) geom.l = std::strtod(argv[2], nullptr) * 1e-6;
+
+  const auto proc = device::Process::typical();
+  std::cout << "NMOS W/L = " << geom.w * 1e6 << "u/" << geom.l * 1e6 << "u on the "
+            << "synthetic 0.18um process\n\n";
+
+  // Transfer characteristic with corner spread.
+  const auto corners =
+      device::corner_transfer_curves(proc, device::Type::NMOS, geom, 1.0,
+                                     device::Sweep{0.0, 1.8, 37});
+  std::vector<PlotSeries> plots;
+  const char* labels[] = {"TT", "FF", "SS", "FS", "SF"};
+  const char glyphs[] = {'t', 'f', 's', 'x', 'o'};
+  for (int c = 0; c < 5; ++c) {
+    PlotSeries series;
+    series.label = labels[c];
+    series.glyph = glyphs[c];
+    for (std::size_t r = 0; r < corners.num_rows(); ++r) {
+      series.x.push_back(corners.at(r, 0));
+      series.y.push_back(corners.at(r, static_cast<std::size_t>(c) + 1) * 1e3);
+    }
+    plots.push_back(std::move(series));
+  }
+  PlotOptions options;
+  options.title = "ID vs VGS across corners (VDS = 1.0 V)";
+  options.x_label = "VGS (V)";
+  options.y_label = "ID (mA)";
+  std::cout << render_scatter(plots, options) << '\n';
+
+  // gm/ID design chart.
+  const auto profile =
+      device::gm_over_id_profile(proc.nmos, geom, 1.0, device::Sweep{0.5, 1.8, 27});
+  PlotSeries gmid;
+  gmid.label = "gm/ID";
+  for (std::size_t r = 0; r < profile.num_rows(); ++r) {
+    gmid.x.push_back(profile.at(r, 0));
+    gmid.y.push_back(profile.at(r, 1));
+  }
+  PlotOptions gmid_options;
+  gmid_options.title = "gm/ID vs overdrive";
+  gmid_options.x_label = "Vov (V)";
+  gmid_options.y_label = "gm/ID (1/V)";
+  std::cout << render_scatter({gmid}, gmid_options) << '\n';
+
+  device::output_curves(proc.nmos, geom, std::vector<double>{0.7, 0.9, 1.1},
+                        device::Sweep{0.0, 1.8, 10})
+      .write_table(std::cout);
+  return 0;
+}

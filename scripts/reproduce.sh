@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, regenerate every paper figure.
+# Usage: scripts/reproduce.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+
+echo "== tests =="
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt | tail -3
+
+echo "== figure benches =="
+for b in "$BUILD"/bench/*; do
+  echo "########## $b"
+  "$b"
+done 2>&1 | tee bench_output.txt | grep -E "^##########|paper-vs-measured"
+
+echo "== examples =="
+"$BUILD"/examples/quickstart > /dev/null && echo "quickstart: ok"
+"$BUILD"/examples/custom_problem > /dev/null && echo "custom_problem: ok"
+"$BUILD"/examples/device_iv_curves > /dev/null && echo "device_iv_curves: ok"
+"$BUILD"/examples/integrator_exploration 400 > /dev/null && echo "integrator_exploration: ok"
+"$BUILD"/examples/sigma_delta_budget 400 > /dev/null && echo "sigma_delta_budget: ok"
+echo "done — see test_output.txt / bench_output.txt / EXPERIMENTS.md"

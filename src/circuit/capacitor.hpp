@@ -1,0 +1,27 @@
+// Integrated (poly-poly / MiM) capacitor with bottom-plate parasitic, as
+// the paper includes "bottom-plate parasitic capacitances of standard
+// integrated capacitors".
+#pragma once
+
+#include "common/check.hpp"
+#include "device/process.hpp"
+
+namespace anadex::circuit {
+
+/// A linear integrated capacitor of the process.
+struct IntegratedCapacitor {
+  double value = 0.0;  ///< nominal capacitance, F
+
+  /// Layout area implied by the process capacitance density, m^2.
+  double area(const device::Process& process) const {
+    ANADEX_REQUIRE(process.cap_density > 0.0, "capacitance density must be positive");
+    return value / process.cap_density;
+  }
+
+  /// Parasitic from the bottom plate to substrate, F.
+  double bottom_plate(const device::Process& process) const {
+    return value * process.cap_bottom_ratio;
+  }
+};
+
+}  // namespace anadex::circuit

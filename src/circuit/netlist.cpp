@@ -1,0 +1,93 @@
+#include "circuit/netlist.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "circuit/opamp.hpp"
+#include "common/check.hpp"
+
+namespace anadex::circuit {
+
+namespace {
+
+/// Emits one MOSFET card: M<name> drain gate source bulk model W= L=.
+void device_card(std::ostream& os, const std::string& name, const std::string& d,
+                 const std::string& g, const std::string& s, const std::string& b,
+                 const std::string& model, const device::Geometry& geom) {
+  os << 'M' << name << ' ' << d << ' ' << g << ' ' << s << ' ' << b << ' ' << model
+     << " W=" << geom.w << " L=" << geom.l << '\n';
+}
+
+/// Level-1 .model card approximating the eqn-(1) fit around the typical
+/// operating region (KP = mu*Cox; the theta/Esat refinements have no
+/// level-1 equivalent and are noted in a comment).
+void model_card(std::ostream& os, const std::string& name, const char* type,
+                const device::DeviceParams& p, const device::Process& proc) {
+  os << ".model " << name << ' ' << type << " (LEVEL=1 VTO=" << (type[0] == 'P' ? '-' : '+')
+     << p.vt0 << " KP=" << p.mu_cox << " LAMBDA=" << p.lambda_per_m / 0.5e-6
+     << " GAMMA=" << p.gamma << " PHI=" << p.phi2f << " TOX=4e-9"
+     << " CGSO=" << proc.cov_per_w << " CGDO=" << proc.cov_per_w
+     << " CJ=" << proc.cj_area << " CJSW=" << proc.cj_perim << ")\n";
+}
+
+}  // namespace
+
+void write_netlist(std::ostream& os, const device::Process& process,
+                   const scint::IntegratorDesign& design, const NetlistOptions& options) {
+  ANADEX_REQUIRE(options.vicm > 0.0 && options.vicm < process.vdd,
+                 "input common mode must lie inside the rails");
+  const auto& op = design.opamp;
+  os << "* " << options.title << '\n'
+     << "* exported by anadex; device model: paper eqn (1) approximated as\n"
+     << "* LEVEL=1 (theta/Esat refinements have no level-1 equivalent --\n"
+     << "* expect a few percent bias deviation vs the analytical model)\n"
+     << ".param vdd=" << process.vdd << '\n'
+     << "VDD vdd 0 {vdd}\n"
+     << "VICM vicm 0 " << options.vicm << '\n';
+
+  model_card(os, "nch", "NMOS", process.nmos, process);
+  model_card(os, "pch", "PMOS", process.pmos, process);
+
+  // Bias chain: IREF into the diode-connected reference sets nbias.
+  const auto ref = bias_reference_geometry();
+  os << "IREF vdd nbias " << op.ibias << '\n';
+  device_card(os, "REF", "nbias", "nbias", "0", "0", "nch", ref);
+
+  // First stage: differential pair (inp grounded to vicm for the
+  // half-circuit), PMOS mirror, tail.
+  device_card(os, "1", "n1", "vicm", "tail", "0", "nch", op.m1);
+  device_card(os, "2", "vo1", "vinn", "tail", "0", "nch", op.m1);
+  device_card(os, "3", "n1", "n1", "vdd", "vdd", "pch", op.m3);
+  device_card(os, "4", "vo1", "n1", "vdd", "vdd", "pch", op.m3);
+  device_card(os, "5", "tail", "nbias", "0", "0", "nch", op.m5);
+
+  // Second stage + Miller cap.
+  device_card(os, "6", "vout", "vo1", "vdd", "vdd", "pch", op.m6);
+  device_card(os, "7", "vout", "nbias", "0", "0", "nch", op.m7);
+  os << "CC vo1 vout " << op.cc << '\n';
+
+  if (options.include_sc_network) {
+    os << "* SC network, integration-phase configuration (switches ideal/closed)\n"
+       << "CS vinn vin_s " << design.cs << '\n'
+       << "CF vinn vout " << design.cf() << '\n'
+       << "COC vinn 0 " << design.coc << '\n'
+       << "CLOAD vout 0 " << design.cload << '\n'
+       << "VIN vin_s 0 " << options.vicm << '\n';
+  } else {
+    os << "VINN vinn 0 " << options.vicm << '\n';
+  }
+
+  os << ".op\n.end\n";
+}
+
+std::string netlist_string(const device::Process& process,
+                           const scint::IntegratorDesign& design,
+                           const NetlistOptions& options) {
+  std::ostringstream os;
+  os << std::setprecision(8);
+  write_netlist(os, process, design, options);
+  return os.str();
+}
+
+}  // namespace anadex::circuit

@@ -1,0 +1,37 @@
+// SPICE netlist export: turns an optimizer-produced integrator design into
+// a simulator-ready .sp deck (two-stage opamp + SC network as ideal-switch
+// half circuit), so results of the analytical model can be cross-checked
+// in an external simulator — the manual step the paper's flow leaves to
+// the designer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "device/process.hpp"
+#include "scint/integrator.hpp"
+
+namespace anadex::circuit {
+
+/// Options of the exported deck.
+struct NetlistOptions {
+  std::string title = "anadex two-stage opamp + SC integrator";
+  bool include_sc_network = true;  ///< emit Cs/Cf/Coc and the load
+  double vicm = 0.9;               ///< input common mode source, V
+  double vocm = 0.9;               ///< output common mode reference, V
+};
+
+/// Writes a SPICE deck of the design: a level-1-style .model card fitted
+/// from the process (VTO, KP, LAMBDA, GAMMA, PHI, capacitances), the seven
+/// opamp devices + bias reference with the design geometry, the Miller
+/// capacitor, and (optionally) the switched-capacitor network in its
+/// integration-phase configuration with the external load.
+void write_netlist(std::ostream& os, const device::Process& process,
+                   const scint::IntegratorDesign& design, const NetlistOptions& options = {});
+
+/// Convenience: the deck as a string.
+std::string netlist_string(const device::Process& process,
+                           const scint::IntegratorDesign& design,
+                           const NetlistOptions& options = {});
+
+}  // namespace anadex::circuit

@@ -1,0 +1,121 @@
+// Two-stage Miller-compensated operational amplifier — the opamp topology
+// the paper uses inside the CDS switched-capacitor integrator ("standard
+// two-stage opAmp topology").
+//
+// Topology (single-ended half-circuit of the fully-differential amplifier):
+//
+//   M1/M2  NMOS input differential pair           (w1, l1), each at I5/2
+//   M3/M4  PMOS current-mirror load               (w3, l3)
+//   M5     NMOS tail current source               (w5, l5), carries I5
+//   M6     PMOS common-source second stage        (w6, l6)
+//   M7     NMOS second-stage current sink         (w7, l7), carries I7
+//   Mref   diode-connected NMOS bias reference (fixed geometry), carries
+//          Ibias and sets the gate line of M5 / M7
+//   Cc     Miller compensation capacitor
+//
+// All analysis is closed-form over the eqn-(1) device model: bias solution,
+// gains, pole/zero data including the non-dominant mirror pole, slew
+// currents, swing, input-referred thermal noise, power and area. The
+// integrator layer (src/scint) combines these with the switched-capacitor
+// network and the load.
+#pragma once
+
+#include "device/mosfet.hpp"
+#include "device/process.hpp"
+
+namespace anadex::circuit {
+
+/// Geometric + electrical design variables of the amplifier.
+struct OpAmpDesign {
+  device::Geometry m1;  ///< input pair
+  device::Geometry m3;  ///< mirror load
+  device::Geometry m5;  ///< tail source
+  device::Geometry m6;  ///< second-stage driver (PMOS)
+  device::Geometry m7;  ///< second-stage sink
+  double ibias = 10e-6; ///< reference current, A
+  double cc = 1e-12;    ///< Miller capacitor, F
+};
+
+/// Fixed operating context of the amplifier inside the integrator.
+struct OpAmpContext {
+  double vicm = 0.9;  ///< input common mode, V
+  double vocm = 0.9;  ///< output common mode, V
+};
+
+/// Per-device saturation margin: VDS - VDsat - guard (>= 0 means safely
+/// saturated). Used directly as optimization constraints.
+struct SaturationMargins {
+  double m1 = 0.0;
+  double m5 = 0.0;
+  double m6 = 0.0;
+  double m7 = 0.0;
+  double mref = 0.0;  ///< reference must actually conduct Ibias
+
+  double worst() const;
+};
+
+/// Complete small-signal + large-signal characterization.
+struct OpAmpAnalysis {
+  // Bias.
+  double i5 = 0.0;       ///< tail current, A
+  double i7 = 0.0;       ///< second-stage current, A
+  double vgs_ref = 0.0;  ///< bias gate line, V
+
+  // Small-signal.
+  double gm1 = 0.0;
+  double gm3 = 0.0;
+  double gm6 = 0.0;
+  double a1 = 0.0;  ///< first-stage DC gain
+  double a2 = 0.0;  ///< second-stage DC gain
+  double a0 = 0.0;  ///< total DC gain
+
+  // Node capacitances for pole computation (load-independent parts).
+  double cc_eff = 0.0;      ///< Cc + Cgd6 (effective Miller capacitor), F
+  double c_first = 0.0;     ///< first-stage output node self-capacitance, F
+  double c_out_self = 0.0;  ///< output node self-capacitance (no load), F
+  double c_mirror = 0.0;    ///< mirror node capacitance, F
+  double c_in = 0.0;        ///< input capacitance per side, F
+
+  /// Mirror (non-dominant) pole, rad/s — load-independent.
+  double mirror_pole = 0.0;
+
+  // Large-signal.
+  double slew_internal = 0.0;  ///< I5 / Cc_eff, V/s
+  double swing = 0.0;          ///< single-ended output peak-to-peak, V
+
+  /// Input-referred thermal noise PSD, V^2/Hz.
+  double noise_psd = 0.0;
+
+  double power = 0.0;  ///< VDD * (Ibias + I5 + 2*I7) for the differential pair of
+                       ///< second stages, W
+  double area = 0.0;   ///< total active gate area, m^2
+
+  /// Systematic-offset balance: |ID6(VSG3) - I7| / I7. The paper's
+  /// "matching constraint"; must be small at every corner.
+  double mirror_balance_error = 0.0;
+
+  /// Smallest gate overdrive VGS - VT across M1/M3/M5/M6/M7, V. Designs
+  /// must keep every device in strong inversion (the square-law model is
+  /// not valid — and gm/ID is unphysically unbounded — below ~100 mV), so
+  /// this is exposed as an operating-region constraint.
+  double vov_worst = 0.0;
+
+  SaturationMargins margins;
+};
+
+/// Unity-gain (GBW) angular frequency for a given effective Miller cap.
+inline double unity_gain_radians(const OpAmpAnalysis& a) {
+  return a.cc_eff > 0.0 ? a.gm1 / a.cc_eff : 0.0;
+}
+
+/// Analyzes the amplifier on `process` (already shifted to the desired
+/// corner). Never throws on bad designs: unreachable bias points surface as
+/// negative saturation margins / large balance errors so the optimizer
+/// receives smooth constraint-violation guidance.
+OpAmpAnalysis analyze(const device::Process& process, const OpAmpDesign& design,
+                      const OpAmpContext& context);
+
+/// Geometry of the fixed diode-connected bias reference device.
+device::Geometry bias_reference_geometry();
+
+}  // namespace anadex::circuit

@@ -1,0 +1,96 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace anadex {
+
+namespace {
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+
+  bool valid() const { return lo <= hi; }
+
+  /// Pads a degenerate (single-value) range so mapping is well defined.
+  void ensure_nonempty() {
+    if (!valid()) {
+      lo = 0.0;
+      hi = 1.0;
+    } else if (lo == hi) {
+      const double pad = (lo == 0.0) ? 0.5 : std::abs(lo) * 0.05;
+      lo -= pad;
+      hi += pad;
+    }
+  }
+};
+
+std::string format_number(double v) {
+  std::ostringstream os;
+  os << std::setprecision(4) << std::defaultfloat << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_scatter(const std::vector<PlotSeries>& series, const PlotOptions& options) {
+  ANADEX_REQUIRE(options.width >= 8 && options.height >= 4,
+                 "plot area must be at least 8x4");
+
+  Range xr;
+  Range yr;
+  for (const auto& s : series) {
+    ANADEX_REQUIRE(s.x.size() == s.y.size(), "series x/y sizes must match");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (std::isfinite(s.x[i]) && std::isfinite(s.y[i])) {
+        xr.include(s.x[i]);
+        yr.include(s.y[i]);
+      }
+    }
+  }
+  xr.ensure_nonempty();
+  yr.ensure_nonempty();
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      const double fx = (s.x[i] - xr.lo) / (xr.hi - xr.lo);
+      const double fy = (s.y[i] - yr.lo) / (yr.hi - yr.lo);
+      int cx = static_cast<int>(std::lround(fx * (w - 1)));
+      int cy = static_cast<int>(std::lround(fy * (h - 1)));
+      cx = std::clamp(cx, 0, w - 1);
+      cy = std::clamp(cy, 0, h - 1);
+      grid[h - 1 - cy][cx] = s.glyph;  // row 0 is the top of the plot
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  if (!options.y_label.empty()) os << options.y_label << '\n';
+  os << format_number(yr.hi) << '\n';
+  for (const auto& line : grid) os << '|' << line << '\n';
+  os << '+' << std::string(w, '-') << "-> " << options.x_label << '\n';
+  os << format_number(yr.lo) << " (y min); x in [" << format_number(xr.lo) << ", "
+     << format_number(xr.hi) << "]\n";
+  os << "legend:";
+  for (const auto& s : series) os << "  '" << s.glyph << "' = " << s.label;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace anadex

@@ -1,0 +1,32 @@
+// Terminal scatter plots so benchmark binaries can render paper figures
+// directly into their stdout (one glyph per data series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace anadex {
+
+/// One scatter series: points plus the glyph used to draw them.
+struct PlotSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Options controlling the rendered plot.
+struct PlotOptions {
+  int width = 72;    ///< interior columns of the plot area
+  int height = 24;   ///< interior rows of the plot area
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders the series into a multi-line string: a framed scatter plot with
+/// axis ranges and a legend. Series drawn later overwrite earlier glyphs in
+/// shared cells. Points with non-finite coordinates are skipped.
+std::string render_scatter(const std::vector<PlotSeries>& series, const PlotOptions& options);
+
+}  // namespace anadex

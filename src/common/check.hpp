@@ -1,0 +1,47 @@
+// Lightweight precondition / invariant checking.
+//
+// ANADEX_REQUIRE is used for caller-facing preconditions on public API
+// boundaries and throws anadex::PreconditionError so callers can recover.
+// ANADEX_ASSERT is used for internal invariants and also throws (rather than
+// aborting) so that tests can exercise the failure paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace anadex {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (indicates a library bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& message);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& message);
+}  // namespace detail
+
+}  // namespace anadex
+
+#define ANADEX_REQUIRE(expr, message)                                            \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::anadex::detail::throw_precondition(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                            \
+  } while (false)
+
+#define ANADEX_ASSERT(expr, message)                                          \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::anadex::detail::throw_invariant(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                         \
+  } while (false)

@@ -1,0 +1,86 @@
+#include "common/fft.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace anadex {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  ANADEX_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * kPi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> power_spectrum_hann(std::span<const double> signal) {
+  const std::size_t n = signal.size();
+  ANADEX_REQUIRE(is_power_of_two(n) && n >= 8, "spectrum needs a power-of-two record >= 8");
+
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double window =
+        0.5 * (1.0 - std::cos(2.0 * kPi * static_cast<double>(i) / static_cast<double>(n)));
+    data[i] = signal[i] * window;
+  }
+  fft(data);
+
+  std::vector<double> spectrum(n / 2 + 1);
+  for (std::size_t k = 0; k < spectrum.size(); ++k) {
+    spectrum[k] = std::norm(data[k]);
+  }
+  return spectrum;
+}
+
+double sndr_db(std::span<const double> signal, std::size_t signal_bin,
+               std::size_t band_limit_bin, std::size_t leakage_bins) {
+  const auto spectrum = power_spectrum_hann(signal);
+  ANADEX_REQUIRE(signal_bin > leakage_bins,
+                 "signal bin must be clear of the DC leakage skirt");
+  ANADEX_REQUIRE(band_limit_bin < spectrum.size(), "band limit beyond Nyquist");
+  ANADEX_REQUIRE(signal_bin <= band_limit_bin, "signal must lie inside the band");
+
+  double signal_power = 0.0;
+  double noise_power = 0.0;
+  for (std::size_t k = leakage_bins + 1; k <= band_limit_bin; ++k) {
+    const bool in_signal_skirt =
+        k + leakage_bins >= signal_bin && k <= signal_bin + leakage_bins;
+    if (in_signal_skirt) {
+      signal_power += spectrum[k];
+    } else {
+      noise_power += spectrum[k];
+    }
+  }
+  return power_db(signal_power / std::max(noise_power, 1e-300));
+}
+
+}  // namespace anadex

@@ -1,0 +1,32 @@
+// Minimal radix-2 FFT and spectral helpers for the sigma-delta behavioral
+// simulator (SQNR estimation from output bit-streams).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace anadex {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `data.size()` must be a
+/// power of two (>= 1). Forward transform; no normalization.
+void fft(std::vector<std::complex<double>>& data);
+
+/// True when n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// One-sided power spectrum of a real signal after applying a Hann window:
+/// returns n/2 + 1 bins of |X_k|^2 (scaled so a full-scale sine's power is
+/// split into its bin neighbourhood consistently). n must be a power of two.
+std::vector<double> power_spectrum_hann(std::span<const double> signal);
+
+/// Signal-to-noise-and-distortion ratio in dB of `signal` sampled at rate
+/// 1, containing a sine at `signal_bin` cycles per record: signal power is
+/// integrated over signal_bin +- `leakage_bins`, noise over the remaining
+/// bins up to `band_limit_bin` (inclusive). DC and its leakage skirt are
+/// excluded from both.
+double sndr_db(std::span<const double> signal, std::size_t signal_bin,
+               std::size_t band_limit_bin, std::size_t leakage_bins = 3);
+
+}  // namespace anadex

@@ -1,0 +1,37 @@
+// Small numeric helpers shared across subsystems.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace anadex {
+
+inline constexpr double kBoltzmann = 1.380649e-23;  ///< J/K
+inline constexpr double kRoomTempK = 300.0;         ///< default analysis temperature
+
+/// x squared.
+constexpr double sq(double x) { return x * x; }
+
+/// Linear interpolation between a and b at parameter t in [0, 1].
+constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// True when |a - b| <= atol + rtol * max(|a|, |b|).
+inline bool approx_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+/// Decibel conversion of an amplitude ratio (20 log10). Returns -inf for
+/// non-positive ratios.
+inline double amplitude_db(double ratio) {
+  if (ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(ratio);
+}
+
+/// Decibel conversion of a power ratio (10 log10). Returns -inf for
+/// non-positive ratios.
+inline double power_db(double ratio) {
+  if (ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(ratio);
+}
+
+}  // namespace anadex

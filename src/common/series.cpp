@@ -1,0 +1,83 @@
+#include "common/series.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace anadex {
+
+Series::Series(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  ANADEX_REQUIRE(!columns_.empty(), "a Series needs at least one column");
+}
+
+void Series::add_row(const std::vector<double>& row) {
+  ANADEX_REQUIRE(row.size() == columns_.size(),
+                 "row width must match the number of columns");
+  rows_.push_back(row);
+}
+
+double Series::at(std::size_t row, std::size_t col) const {
+  ANADEX_REQUIRE(row < rows_.size(), "row index out of range");
+  ANADEX_REQUIRE(col < columns_.size(), "column index out of range");
+  return rows_[row][col];
+}
+
+const std::vector<double>& Series::row(std::size_t index) const {
+  ANADEX_REQUIRE(index < rows_.size(), "row index out of range");
+  return rows_[index];
+}
+
+std::vector<double> Series::column(std::size_t col) const {
+  ANADEX_REQUIRE(col < columns_.size(), "column index out of range");
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[col]);
+  return out;
+}
+
+std::size_t Series::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  ANADEX_REQUIRE(false, "no column named '" + name + "' in series '" + title_ + "'");
+  return 0;  // unreachable
+}
+
+void Series::sort_by(std::size_t col) {
+  ANADEX_REQUIRE(col < columns_.size(), "column index out of range");
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [col](const auto& a, const auto& b) { return a[col] < b[col]; });
+}
+
+void Series::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << columns_[i] << (i + 1 < columns_.size() ? "," : "\n");
+  }
+  os << std::setprecision(10);
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << r[i] << (i + 1 < r.size() ? "," : "\n");
+    }
+  }
+}
+
+void Series::write_table(std::ostream& os) const {
+  constexpr int kWidth = 16;
+  os << "# " << title_ << " (" << rows_.size() << " rows)\n";
+  for (const auto& name : columns_) os << std::setw(kWidth) << name;
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (double v : r) {
+      std::ostringstream cell;
+      cell << std::setprecision(6) << std::defaultfloat << v;
+      os << std::setw(kWidth) << cell.str();
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace anadex

@@ -1,0 +1,58 @@
+// Tabular data series: the exchange format between experiment runners,
+// benchmark printers and (optionally) files on disk.
+//
+// A Series is a named table of double-valued columns of equal length, e.g.
+// the (load capacitance, power) pairs of a Pareto front or the
+// (iterations, metric) points of a convergence curve. Benches print Series
+// in a gnuplot-friendly format matching the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace anadex {
+
+/// A named table of equally-sized double columns.
+class Series {
+ public:
+  Series() = default;
+
+  /// Creates a series titled `title` with the given column names.
+  Series(std::string title, std::vector<std::string> columns);
+
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& column_names() const { return columns_; }
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Appends one row; `row.size()` must equal `num_columns()`.
+  void add_row(const std::vector<double>& row);
+
+  /// Row access; both indices are bounds-checked.
+  double at(std::size_t row, std::size_t col) const;
+  const std::vector<double>& row(std::size_t index) const;
+
+  /// Full column as a vector (copies).
+  std::vector<double> column(std::size_t col) const;
+
+  /// Index of a named column; throws PreconditionError if absent.
+  std::size_t column_index(const std::string& name) const;
+
+  /// Sorts rows ascending by the given column (stable).
+  void sort_by(std::size_t col);
+
+  /// Writes a CSV representation (header + rows).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes a human-readable aligned table.
+  void write_table(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace anadex

@@ -1,0 +1,87 @@
+#include "device/characterize.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace anadex::device {
+
+namespace {
+
+double sweep_value(const Sweep& sweep, std::size_t index) {
+  if (sweep.points == 1) return sweep.lo;
+  const double t = static_cast<double>(index) / static_cast<double>(sweep.points - 1);
+  return sweep.lo + (sweep.hi - sweep.lo) * t;
+}
+
+void validate(const Sweep& sweep) {
+  ANADEX_REQUIRE(sweep.points >= 1, "sweep needs at least one point");
+  ANADEX_REQUIRE(sweep.lo <= sweep.hi, "sweep bounds must be ordered");
+}
+
+}  // namespace
+
+Series transfer_curve(const DeviceParams& params, const Geometry& geometry, double vds,
+                      const Sweep& vgs_sweep) {
+  validate(vgs_sweep);
+  Series series("ID(VGS) at VDS=" + std::to_string(vds),
+                {"vgs", "id", "gm", "gm_over_id"});
+  for (std::size_t i = 0; i < vgs_sweep.points; ++i) {
+    const double vgs = sweep_value(vgs_sweep, i);
+    const auto op = solve_op(params, geometry, Bias{vgs, vds, 0.0});
+    const double gm_over_id = op.id > 0.0 ? op.gm / op.id : 0.0;
+    series.add_row({vgs, op.id, op.gm, gm_over_id});
+  }
+  return series;
+}
+
+Series output_curves(const DeviceParams& params, const Geometry& geometry,
+                     std::span<const double> vgs_values, const Sweep& vds_sweep) {
+  validate(vds_sweep);
+  ANADEX_REQUIRE(!vgs_values.empty(), "need at least one VGS value");
+  std::vector<std::string> columns{"vds"};
+  for (double vgs : vgs_values) columns.push_back("id@vgs=" + std::to_string(vgs));
+  Series series("ID(VDS) family", std::move(columns));
+  for (std::size_t i = 0; i < vds_sweep.points; ++i) {
+    const double vds = sweep_value(vds_sweep, i);
+    std::vector<double> row{vds};
+    for (double vgs : vgs_values) {
+      row.push_back(drain_current(params, geometry, Bias{vgs, vds, 0.0}));
+    }
+    series.add_row(row);
+  }
+  return series;
+}
+
+Series gm_over_id_profile(const DeviceParams& params, const Geometry& geometry, double vds,
+                          const Sweep& vgs_sweep) {
+  validate(vgs_sweep);
+  Series series("gm/ID profile", {"vov", "gm_over_id", "id_per_wl"});
+  const double wl = geometry.w / geometry.l;
+  for (std::size_t i = 0; i < vgs_sweep.points; ++i) {
+    const double vgs = sweep_value(vgs_sweep, i);
+    const auto op = solve_op(params, geometry, Bias{vgs, vds, 0.0});
+    if (op.id <= 0.0) continue;
+    series.add_row({op.vov, op.gm / op.id, op.id / wl});
+  }
+  return series;
+}
+
+Series corner_transfer_curves(const Process& process, Type type, const Geometry& geometry,
+                              double vds, const Sweep& vgs_sweep) {
+  validate(vgs_sweep);
+  Series series("corner transfer curves",
+                {"vgs", "id@TT", "id@FF", "id@SS", "id@FS", "id@SF"});
+  for (std::size_t i = 0; i < vgs_sweep.points; ++i) {
+    const double vgs = sweep_value(vgs_sweep, i);
+    std::vector<double> row{vgs};
+    for (Corner corner : kAllCorners) {
+      const Process shifted = process.at_corner(corner);
+      row.push_back(drain_current(shifted.params(type), geometry, Bias{vgs, vds, 0.0}));
+    }
+    series.add_row(row);
+  }
+  return series;
+}
+
+}  // namespace anadex::device

@@ -1,0 +1,42 @@
+// Device characterization sweeps: the I-V and gm/ID views an analog
+// designer uses to sanity-check a device model before trusting an
+// optimizer built on it. All results come back as common::Series tables
+// ready for printing or CSV export.
+#pragma once
+
+#include <span>
+
+#include "common/series.hpp"
+#include "device/mosfet.hpp"
+#include "device/process.hpp"
+
+namespace anadex::device {
+
+/// Sweep description: linear grid from lo to hi inclusive.
+struct Sweep {
+  double lo = 0.0;
+  double hi = 1.8;
+  std::size_t points = 37;
+};
+
+/// Transfer characteristic ID(VGS) at fixed VDS, with gm and gm/ID columns.
+/// Columns: vgs, id, gm, gm_over_id.
+Series transfer_curve(const DeviceParams& params, const Geometry& geometry, double vds,
+                      const Sweep& vgs_sweep);
+
+/// Output characteristics ID(VDS) for a list of VGS values.
+/// Columns: vds, id@vgs0, id@vgs1, ...
+Series output_curves(const DeviceParams& params, const Geometry& geometry,
+                     std::span<const double> vgs_values, const Sweep& vds_sweep);
+
+/// gm/ID versus inversion level (swept via VGS) — the canonical sizing
+/// chart. Columns: vov, gm_over_id, id_per_wl (current density A per W/L).
+Series gm_over_id_profile(const DeviceParams& params, const Geometry& geometry, double vds,
+                          const Sweep& vgs_sweep);
+
+/// Corner comparison of the transfer curve: columns vgs, id@TT, id@FF,
+/// id@SS, id@FS, id@SF for the given polarity.
+Series corner_transfer_curves(const Process& process, Type type, const Geometry& geometry,
+                              double vds, const Sweep& vgs_sweep);
+
+}  // namespace anadex::device

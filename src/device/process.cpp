@@ -1,0 +1,79 @@
+#include "device/process.hpp"
+
+#include "common/check.hpp"
+
+namespace anadex::device {
+
+std::string corner_name(Corner corner) {
+  switch (corner) {
+    case Corner::TT: return "TT";
+    case Corner::FF: return "FF";
+    case Corner::SS: return "SS";
+    case Corner::FS: return "FS";
+    case Corner::SF: return "SF";
+  }
+  ANADEX_ASSERT(false, "unknown corner");
+  return {};
+}
+
+Process Process::typical() {
+  Process p;
+
+  p.nmos.mu_cox = 300e-6;
+  p.nmos.vt0 = 0.45;
+  p.nmos.gamma = 0.45;
+  p.nmos.phi2f = 0.85;
+  p.nmos.theta1 = 0.30;
+  p.nmos.theta2 = 0.10;
+  p.nmos.vk = 0.90;
+  p.nmos.n_exp = 1.0;  // paper: n = 1 for NMOS
+  p.nmos.esat = 4.0e6;
+  p.nmos.lambda_per_m = 0.02e-6;  // lambda = 0.11 /V at L = 0.18 µm
+
+  p.pmos.mu_cox = 70e-6;
+  p.pmos.vt0 = 0.45;
+  p.pmos.gamma = 0.40;
+  p.pmos.phi2f = 0.85;
+  p.pmos.theta1 = 0.25;
+  p.pmos.theta2 = 0.08;
+  p.pmos.vk = 0.90;
+  p.pmos.n_exp = 2.0;  // paper: n = 2 for PMOS
+  p.pmos.esat = 1.5e7;
+  p.pmos.lambda_per_m = 0.025e-6;
+
+  return p;
+}
+
+namespace {
+
+/// Applies a "fast" (+1) or "slow" (-1) shift to one polarity.
+void shift_device(DeviceParams& d, int direction) {
+  const double sign = static_cast<double>(direction);
+  d.vt0 -= sign * 0.035;       // fast devices have lower threshold
+  d.mu_cox *= 1.0 + sign * 0.10;
+}
+
+}  // namespace
+
+Process Process::at_corner(Corner corner) const {
+  Process p = *this;
+  int n_dir = 0;
+  int p_dir = 0;
+  switch (corner) {
+    case Corner::TT: return p;
+    case Corner::FF: n_dir = +1; p_dir = +1; break;
+    case Corner::SS: n_dir = -1; p_dir = -1; break;
+    case Corner::FS: n_dir = +1; p_dir = -1; break;  // fast NMOS, slow PMOS
+    case Corner::SF: n_dir = -1; p_dir = +1; break;
+  }
+  shift_device(p.nmos, n_dir);
+  shift_device(p.pmos, p_dir);
+
+  // Oxide / capacitor excursions track the average speed of the corner.
+  const double avg = 0.5 * static_cast<double>(n_dir + p_dir);
+  p.cox *= 1.0 + avg * 0.05;
+  p.cap_density *= 1.0 - avg * 0.08;  // fast corners: thinner dielectric caps
+  return p;
+}
+
+}  // namespace anadex::device

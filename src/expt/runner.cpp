@@ -1,0 +1,244 @@
+#include "expt/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.hpp"
+#include "moga/nsga2.hpp"
+#include "moga/scalarize.hpp"
+#include "moga/spea2.hpp"
+#include "sacga/island.hpp"
+#include "sacga/local_only.hpp"
+#include "sacga/mesacga.hpp"
+#include "sacga/sacga.hpp"
+
+namespace anadex::expt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Reference box for the normalized hypervolume: power up to 1.2 mW,
+/// transformed load axis up to 5.1 pF (slightly beyond the explored box so
+/// extreme points still contribute).
+constexpr double kHvPowerRef = 1.2e-3;
+constexpr double kHvAxisRef = 5.1e-12;
+
+moga::GenerationCallback make_history_recorder(const RunSettings& settings,
+                                               std::vector<HistoryPoint>& history) {
+  if (!settings.record_history) return {};
+  const std::size_t stride = std::max<std::size_t>(settings.history_stride, 1);
+  return [&history, stride](std::size_t gen, const moga::Population& population) {
+    if ((gen + 1) % stride != 0) return;
+    const moga::Population front = moga::extract_global_front(population);
+    HistoryPoint point;
+    point.generation = gen + 1;
+    point.front_size = front.size();
+    point.front_area = front_area_of(to_front_samples(front));
+    history.push_back(point);
+  };
+}
+
+}  // namespace
+
+std::string algo_name(Algo algo) {
+  switch (algo) {
+    case Algo::TPG: return "TPG(NSGA-II)";
+    case Algo::LocalOnly: return "LocalOnly";
+    case Algo::SACGA: return "SACGA";
+    case Algo::MESACGA: return "MESACGA";
+    case Algo::Island: return "IslandGA";
+    case Algo::WeightedSum: return "WeightedSum";
+    case Algo::SPEA2: return "SPEA2";
+  }
+  ANADEX_ASSERT(false, "unknown algorithm");
+  return {};
+}
+
+std::vector<FrontSample> to_front_samples(const moga::Population& front) {
+  std::vector<FrontSample> samples;
+  samples.reserve(front.size());
+  for (const auto& ind : front) {
+    ANADEX_REQUIRE(ind.eval.objectives.size() == 2, "front must be two-objective");
+    FrontSample s;
+    s.power_w = ind.eval.objectives[0];
+    s.cload_f = problems::kLoadMax - ind.eval.objectives[1];
+    samples.push_back(s);
+  }
+  return samples;
+}
+
+double front_area_of(const std::vector<FrontSample>& front) {
+  std::vector<double> cost;
+  std::vector<double> cover;
+  cost.reserve(front.size());
+  cover.reserve(front.size());
+  for (const auto& s : front) {
+    cost.push_back(s.power_w);
+    cover.push_back(s.cload_f);
+  }
+  return moga::front_area_metric(cost, cover, moga::FrontAreaParams{});
+}
+
+double hypervolume_of(const std::vector<FrontSample>& front) {
+  moga::FrontPoints points;
+  points.reserve(front.size());
+  for (const auto& s : front) {
+    points.push_back({s.power_w, problems::kLoadMax - s.cload_f});
+  }
+  const std::vector<double> ref{kHvPowerRef, kHvAxisRef};
+  return moga::hypervolume(points, ref) / (kHvPowerRef * kHvAxisRef);
+}
+
+RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& settings) {
+  RunOutcome outcome;
+  const auto callback = make_history_recorder(settings, outcome.history);
+  const auto start = Clock::now();
+
+  moga::Population front;
+  switch (settings.algo) {
+    case Algo::TPG: {
+      moga::Nsga2Params params;
+      params.population_size = settings.population;
+      params.generations = settings.generations;
+      params.seed = settings.seed;
+      auto result = moga::run_nsga2(problem, params, callback);
+      front = std::move(result.front);
+      outcome.evaluations = result.evaluations;
+      outcome.generations = result.generations_run;
+      break;
+    }
+    case Algo::LocalOnly: {
+      sacga::LocalOnlyParams params;
+      params.population_size = settings.population;
+      params.partitions = settings.partitions;
+      params.axis_objective = 1;
+      params.axis_lo = 0.0;
+      params.axis_hi = problems::kLoadMax;
+      params.generations = settings.generations;
+      params.seed = settings.seed;
+      auto result = sacga::run_local_only(problem, params, callback);
+      front = std::move(result.front);
+      outcome.evaluations = result.evaluations;
+      outcome.generations = result.generations_run;
+      break;
+    }
+    case Algo::SACGA: {
+      sacga::SacgaParams params;
+      params.population_size = settings.population;
+      params.partitions = settings.partitions;
+      params.axis_objective = 1;
+      params.axis_lo = 0.0;
+      params.axis_hi = problems::kLoadMax;
+      // Keep the phase-I cap sensible for small total budgets.
+      params.phase1_max_generations = std::min<std::size_t>(
+          settings.phase1_cap, std::max<std::size_t>(settings.generations / 4, 1));
+      params.span = settings.generations;
+      params.span_is_total_budget = true;
+      params.seed = settings.seed;
+      auto result = sacga::run_sacga(problem, params, callback);
+      front = std::move(result.front);
+      outcome.evaluations = result.evaluations;
+      outcome.generations = result.generations_run;
+      break;
+    }
+    case Algo::MESACGA: {
+      sacga::MesacgaParams params;
+      params.population_size = settings.population;
+      params.partition_schedule = settings.mesacga_schedule;
+      params.axis_objective = 1;
+      params.axis_lo = 0.0;
+      params.axis_hi = problems::kLoadMax;
+      params.phase1_max_generations = settings.phase1_cap;
+      if (settings.span == 0) {
+        params.phase1_max_generations = std::min<std::size_t>(
+            settings.phase1_cap, std::max<std::size_t>(settings.generations / 4, 1));
+      }
+      if (settings.span > 0) {
+        params.span = settings.span;
+      } else {
+        ANADEX_REQUIRE(settings.generations > params.phase1_max_generations,
+                       "MESACGA budget must exceed the phase-I cap");
+        params.total_budget = settings.generations;
+      }
+      params.seed = settings.seed;
+      auto result = sacga::run_mesacga(problem, params, callback);
+      front = std::move(result.front);
+      outcome.evaluations = result.evaluations;
+      outcome.generations = result.generations_run;
+      for (const auto& phase : result.phases) {
+        PhaseMetric metric;
+        metric.phase = phase.phase;
+        metric.partitions = phase.partitions;
+        metric.front_area = front_area_of(to_front_samples(phase.front));
+        outcome.phases.push_back(metric);
+      }
+      break;
+    }
+    case Algo::Island: {
+      sacga::IslandParams params;
+      params.islands = settings.islands;
+      params.island_population =
+          std::max<std::size_t>((settings.population / settings.islands) & ~1ULL, 4);
+      params.generations = settings.generations;
+      params.migration_interval = settings.migration_interval;
+      params.seed = settings.seed;
+      auto result = sacga::run_island_ga(problem, params, callback);
+      front = std::move(result.front);
+      outcome.evaluations = result.evaluations;
+      outcome.generations = result.generations_run;
+      break;
+    }
+    case Algo::WeightedSum: {
+      moga::WeightedSumParams params;
+      params.weight_count = settings.weight_count;
+      params.population_size = std::max<std::size_t>(settings.population / 2, 4) & ~1ULL;
+      // Match the evaluation budget of a population-GA run of the same
+      // settings: weights * pop/2 * gens_per_weight ~= pop * generations.
+      params.generations_per_weight = std::max<std::size_t>(
+          2 * settings.generations / settings.weight_count, 1);
+      params.seed = settings.seed;
+      auto result = moga::run_weighted_sum(problem, params);
+      front = std::move(result.front);
+      outcome.evaluations = result.evaluations;
+      outcome.generations = settings.generations;
+      break;
+    }
+    case Algo::SPEA2: {
+      moga::Spea2Params params;
+      params.population_size = settings.population;
+      params.archive_size = settings.population;
+      params.generations = settings.generations;
+      params.seed = settings.seed;
+      auto result = moga::run_spea2(problem, params, callback);
+      front = std::move(result.front);
+      outcome.evaluations = result.evaluations;
+      outcome.generations = result.generations_run;
+      break;
+    }
+  }
+
+  outcome.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  outcome.front = to_front_samples(front);
+  std::sort(outcome.front.begin(), outcome.front.end(),
+            [](const FrontSample& a, const FrontSample& b) { return a.cload_f < b.cload_f; });
+  outcome.front_area = front_area_of(outcome.front);
+  outcome.hypervolume_norm = hypervolume_of(outcome.front);
+
+  std::vector<double> loads;
+  loads.reserve(outcome.front.size());
+  for (const auto& s : outcome.front) loads.push_back(s.cload_f);
+  outcome.clustering_4to5 = moga::clustering_fraction(loads, 4e-12, 5e-12);
+  if (!loads.empty()) {
+    const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+    outcome.load_span_pf = (*hi - *lo) * 1e12;
+  }
+  return outcome;
+}
+
+RunOutcome run(const RunSettings& settings) {
+  const problems::IntegratorProblem problem(settings.spec);
+  return run(problem, settings);
+}
+
+}  // namespace anadex::expt

@@ -1,0 +1,96 @@
+// Experiment harness: uniform configuration, execution and measurement of
+// the four algorithms (TPG / LocalOnly / SACGA / MESACGA) on the integrator
+// problem, with physical-unit fronts and all the paper's quality metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "moga/metrics.hpp"
+#include "problems/integrator_problem.hpp"
+#include "scint/spec.hpp"
+
+namespace anadex::expt {
+
+/// Which optimizer to run. TPG/SACGA/MESACGA are the paper's three
+/// contestants; LocalOnly is §4.3's intermediate; Island and WeightedSum
+/// are the alternatives the paper cites in §4.1 / §1, included as extra
+/// baselines.
+enum class Algo { TPG, LocalOnly, SACGA, MESACGA, Island, WeightedSum, SPEA2 };
+
+std::string algo_name(Algo algo);
+
+/// Uniform run configuration. Semantics of `generations`:
+///   TPG / LocalOnly: total generations;
+///   SACGA:           total budget = gen_t (<= phase1_cap) + phase-II span;
+///   MESACGA:         phase-I runs up to phase1_cap, then each of the
+///                    partition_schedule phases runs `span` generations; if
+///                    span == 0 it is derived as
+///                    (generations - phase1_cap) / #phases.
+struct RunSettings {
+  Algo algo = Algo::TPG;
+  scint::Spec spec;
+  std::size_t population = 100;
+  std::size_t generations = 800;
+  std::size_t partitions = 8;                 ///< SACGA / LocalOnly
+  std::size_t islands = 4;                    ///< Island GA
+  std::size_t migration_interval = 25;        ///< Island GA
+  std::size_t weight_count = 16;              ///< WeightedSum sweep
+  std::vector<std::size_t> mesacga_schedule{20, 13, 8, 5, 3, 2, 1};
+  std::size_t phase1_cap = 200;
+  std::size_t span = 0;                        ///< MESACGA per-phase span (0 = derive)
+  std::uint64_t seed = 1;
+  bool record_history = false;
+  std::size_t history_stride = 25;             ///< generations between history samples
+};
+
+/// One front design in physical units.
+struct FrontSample {
+  double power_w = 0.0;
+  double cload_f = 0.0;
+};
+
+/// Metric trajectory sample.
+struct HistoryPoint {
+  std::size_t generation = 0;
+  double front_area = 0.0;   ///< paper metric, 0.1 mW·pF units (lower better)
+  std::size_t front_size = 0;
+};
+
+/// Per-MESACGA-phase metric (paper Fig 10).
+struct PhaseMetric {
+  std::size_t phase = 0;
+  std::size_t partitions = 0;
+  double front_area = 0.0;
+};
+
+struct RunOutcome {
+  std::vector<FrontSample> front;  ///< final global Pareto front, physical units
+  double front_area = 0.0;         ///< paper metric (0.1 mW·pF), lower better
+  double hypervolume_norm = 0.0;   ///< standard HV / reference box, higher better
+  double clustering_4to5 = 0.0;    ///< fraction of front with C_load in [4, 5] pF
+  double load_span_pf = 0.0;       ///< covered C_load extent, pF
+  std::size_t evaluations = 0;
+  std::size_t generations = 0;
+  double seconds = 0.0;            ///< wall-clock of the optimization
+  std::vector<HistoryPoint> history;
+  std::vector<PhaseMetric> phases;  ///< MESACGA only
+};
+
+/// Paper metric with the reproduction's standard parameters.
+double front_area_of(const std::vector<FrontSample>& front);
+
+/// Normalized reference-point hypervolume (higher better) of a front.
+double hypervolume_of(const std::vector<FrontSample>& front);
+
+/// Converts a population (internal objectives) to physical front samples.
+std::vector<FrontSample> to_front_samples(const moga::Population& front);
+
+/// Runs one experiment. Deterministic for fixed settings.
+RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& settings);
+
+/// Convenience: builds the problem from settings.spec and runs.
+RunOutcome run(const RunSettings& settings);
+
+}  // namespace anadex::expt

@@ -1,0 +1,98 @@
+#include "expt/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace anadex::expt {
+
+Summary summarize(std::span<const double> values) {
+  ANADEX_REQUIRE(!values.empty(), "cannot summarize an empty sample");
+  Summary s;
+  s.count = values.size();
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() >= 2) {
+    double sq = 0.0;
+    for (double v : values) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+MultiSeedOutcome run_seeds(const problems::IntegratorProblem& problem, RunSettings settings,
+                           std::size_t seeds, std::uint64_t seed0) {
+  ANADEX_REQUIRE(seeds >= 1, "need at least one seed");
+  MultiSeedOutcome outcome;
+  std::vector<double> areas;
+  std::vector<double> hvs;
+  std::vector<double> spans;
+  std::vector<double> clusters;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    settings.seed = seed0 + i;
+    auto run_outcome = run(problem, settings);
+    areas.push_back(run_outcome.front_area);
+    hvs.push_back(run_outcome.hypervolume_norm);
+    spans.push_back(run_outcome.load_span_pf);
+    clusters.push_back(run_outcome.clustering_4to5);
+    outcome.runs.push_back(std::move(run_outcome));
+  }
+  outcome.front_area = summarize(areas);
+  outcome.hypervolume = summarize(hvs);
+  outcome.load_span_pf = summarize(spans);
+  outcome.clustering_4to5 = summarize(clusters);
+  return outcome;
+}
+
+double pairwise_win_rate(const MultiSeedOutcome& a, const MultiSeedOutcome& b) {
+  ANADEX_REQUIRE(a.runs.size() == b.runs.size() && !a.runs.empty(),
+                 "win rate needs equally sized, non-empty run lists");
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    if (a.runs[i].front_area < b.runs[i].front_area) ++wins;
+  }
+  return static_cast<double>(wins) / static_cast<double>(a.runs.size());
+}
+
+double wilcoxon_signed_rank(std::span<const double> a, std::span<const double> b) {
+  ANADEX_REQUIRE(a.size() == b.size() && !a.empty(),
+                 "Wilcoxon needs equal, non-empty samples");
+  struct Diff {
+    double magnitude;
+    bool positive;  // b - a > 0, evidence a is smaller
+  };
+  std::vector<Diff> diffs;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = b[i] - a[i];
+    if (d != 0.0) diffs.push_back({std::abs(d), d > 0.0});
+  }
+  ANADEX_REQUIRE(!diffs.empty(), "all paired differences are zero");
+  std::sort(diffs.begin(), diffs.end(),
+            [](const Diff& x, const Diff& y) { return x.magnitude < y.magnitude; });
+
+  // Average ranks over ties.
+  const std::size_t n = diffs.size();
+  std::vector<double> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && diffs[j + 1].magnitude == diffs[i].magnitude) ++j;
+    const double avg = 0.5 * static_cast<double>(i + j) + 1.0;  // 1-based
+    for (std::size_t k = i; k <= j; ++k) rank[k] = avg;
+    i = j + 1;
+  }
+
+  double w_plus = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += rank[k];
+    if (diffs[k].positive) w_plus += rank[k];
+  }
+  return w_plus / total;
+}
+
+}  // namespace anadex::expt

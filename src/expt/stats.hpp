@@ -1,0 +1,51 @@
+// Multi-seed aggregation: GA outcomes are stochastic, so every trend claim
+// in EXPERIMENTS.md is backed by summary statistics over seeds.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "expt/runner.hpp"
+
+namespace anadex::expt {
+
+/// Summary statistics of one metric across seeds.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1); 0 for n < 2
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes summary statistics; requires a non-empty sample.
+Summary summarize(std::span<const double> values);
+
+/// Aggregated outcome of running the same settings across seeds.
+struct MultiSeedOutcome {
+  Summary front_area;
+  Summary hypervolume;
+  Summary load_span_pf;
+  Summary clustering_4to5;
+  std::vector<RunOutcome> runs;
+};
+
+/// Runs `settings` for seeds seed0 .. seed0+seeds-1 and aggregates.
+MultiSeedOutcome run_seeds(const problems::IntegratorProblem& problem, RunSettings settings,
+                           std::size_t seeds, std::uint64_t seed0 = 1);
+
+/// Fraction of seed-paired comparisons in which `a` achieved a strictly
+/// lower front-area metric than `b` (the robust ordering statistic used for
+/// the paper's §5 trend). Requires equally sized run lists.
+double pairwise_win_rate(const MultiSeedOutcome& a, const MultiSeedOutcome& b);
+
+/// Wilcoxon signed-rank statistic for paired samples: returns W+ (the sum
+/// of ranks of positive differences b - a, i.e. evidence that `a` is
+/// SMALLER) normalized to [0, 1] by the total rank sum. 0.5 = no
+/// difference; > 0.5 = a tends to be smaller than b. Zero differences are
+/// dropped (standard practice); ties share average ranks. Requires equal,
+/// non-empty samples with at least one non-zero difference.
+double wilcoxon_signed_rank(std::span<const double> a, std::span<const double> b);
+
+}  // namespace anadex::expt

@@ -1,0 +1,72 @@
+#include "expt/surface_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace anadex::expt {
+
+SurfaceModel::SurfaceModel(const std::vector<FrontSample>& front) {
+  ANADEX_REQUIRE(!front.empty(), "surface model needs at least one front sample");
+  std::vector<FrontSample> sorted = front;
+  std::sort(sorted.begin(), sorted.end(), [](const FrontSample& a, const FrontSample& b) {
+    if (a.cload_f != b.cload_f) return a.cload_f < b.cload_f;
+    return a.power_w < b.power_w;
+  });
+  // Collapse duplicate loads to their cheapest design (the sort placed the
+  // cheapest first within each load).
+  std::vector<FrontSample> unique_loads;
+  for (const auto& sample : sorted) {
+    if (!unique_loads.empty() && unique_loads.back().cload_f == sample.cload_f) continue;
+    unique_loads.push_back(sample);
+  }
+  // Keep the non-dominated staircase: scanning from the largest load down,
+  // a point survives only if it is cheaper than every point with more
+  // drive capability.
+  double best_power = std::numeric_limits<double>::infinity();
+  std::vector<FrontSample> kept;
+  for (auto it = unique_loads.rbegin(); it != unique_loads.rend(); ++it) {
+    if (it->power_w < best_power) {
+      best_power = it->power_w;
+      kept.push_back(*it);
+    }
+  }
+  points_.assign(kept.rbegin(), kept.rend());
+}
+
+std::optional<double> SurfaceModel::power_at(double cload) const {
+  // Cheapest design with capability >= cload; points_ has power ascending
+  // with load, so the first covering point is the cheapest.
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), cload,
+      [](const FrontSample& s, double value) { return s.cload_f < value; });
+  if (it == points_.end()) return std::nullopt;
+  return it->power_w;
+}
+
+std::optional<double> SurfaceModel::power_interpolated(double cload) const {
+  if (cload > max_load()) return std::nullopt;
+  if (cload <= min_load()) return points_.front().power_w;
+  const auto upper = std::lower_bound(
+      points_.begin(), points_.end(), cload,
+      [](const FrontSample& s, double value) { return s.cload_f < value; });
+  const auto lower = upper - 1;
+  const double span = upper->cload_f - lower->cload_f;
+  if (span <= 0.0) return upper->power_w;
+  const double t = (cload - lower->cload_f) / span;
+  return lower->power_w + t * (upper->power_w - lower->power_w);
+}
+
+std::optional<double> SurfaceModel::marginal_power(double cload) const {
+  if (points_.size() < 2 || cload < min_load() || cload > max_load()) return std::nullopt;
+  const auto upper = std::upper_bound(
+      points_.begin(), points_.end(), cload,
+      [](double value, const FrontSample& s) { return value < s.cload_f; });
+  const auto hi = (upper == points_.end()) ? points_.end() - 1 : upper;
+  const auto lo = hi - 1;
+  const double span = hi->cload_f - lo->cload_f;
+  if (span <= 0.0) return std::nullopt;
+  return (hi->power_w - lo->power_w) / span;
+}
+
+}  // namespace anadex::expt

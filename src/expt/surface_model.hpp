@@ -1,0 +1,48 @@
+// Design-surface model generation — the downstream artifact the paper's
+// methodology feeds (compare WATSON [5]: "design space boundary exploration
+// and model generation"). Builds a queryable power-vs-load trade-off model
+// from a Pareto front so system-level tools can ask "what does driving
+// C cost?" without re-running the optimizer.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "expt/runner.hpp"
+
+namespace anadex::expt {
+
+/// Monotone trade-off model over the load axis, built from a front.
+class SurfaceModel {
+ public:
+  /// Builds the model from front samples (any order, dominated points are
+  /// discarded). Requires at least one sample.
+  explicit SurfaceModel(const std::vector<FrontSample>& front);
+
+  /// Covered load range [min_load, max_load] in farads.
+  double min_load() const { return points_.front().cload_f; }
+  double max_load() const { return points_.back().cload_f; }
+  std::size_t size() const { return points_.size(); }
+
+  /// Minimum power (watts) of a surface design able to drive `cload`.
+  /// Returns nullopt when no design covers the load.
+  std::optional<double> power_at(double cload) const;
+
+  /// Linear interpolation between neighbouring front designs — the smooth
+  /// "model" view used for system-level estimates. Queries below the
+  /// covered range return the cheapest design's power; above it, nullopt.
+  std::optional<double> power_interpolated(double cload) const;
+
+  /// Marginal cost of drive capability around `cload` (watts per farad),
+  /// from the interpolated model. Returns nullopt outside the covered range
+  /// or when the range is degenerate.
+  std::optional<double> marginal_power(double cload) const;
+
+  /// The retained (non-dominated, load-sorted) model points.
+  const std::vector<FrontSample>& points() const { return points_; }
+
+ private:
+  std::vector<FrontSample> points_;  ///< sorted by load ascending, power ascending
+};
+
+}  // namespace anadex::expt

@@ -1,0 +1,47 @@
+#include "moga/archive.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "moga/dominance.hpp"
+#include "moga/nds.hpp"
+
+namespace anadex::moga {
+
+Archive::Archive(std::size_t capacity) : capacity_(capacity) {
+  ANADEX_REQUIRE(capacity >= 1, "archive capacity must be at least 1");
+}
+
+bool Archive::offer(const Individual& candidate) {
+  if (!candidate.feasible()) return false;
+
+  for (const auto& member : members_) {
+    if (dominates(member.eval.objectives, candidate.eval.objectives) ||
+        member.eval.objectives == candidate.eval.objectives) {
+      return false;
+    }
+  }
+  std::erase_if(members_, [&](const Individual& member) {
+    return dominates(candidate.eval.objectives, member.eval.objectives);
+  });
+  members_.push_back(candidate);
+  if (members_.size() > capacity_) evict_most_crowded();
+  return true;
+}
+
+void Archive::offer_all(const Population& population) {
+  for (const auto& ind : population) offer(ind);
+}
+
+void Archive::evict_most_crowded() {
+  std::vector<std::size_t> all(members_.size());
+  std::iota(all.begin(), all.end(), 0);
+  assign_crowding(members_, all);
+  const auto victim = std::min_element(
+      members_.begin(), members_.end(),
+      [](const Individual& a, const Individual& b) { return a.crowding < b.crowding; });
+  members_.erase(victim);
+}
+
+}  // namespace anadex::moga

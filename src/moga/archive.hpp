@@ -1,0 +1,40 @@
+// Bounded non-dominated archive.
+//
+// Maintains a set of mutually non-dominated feasible individuals; when the
+// capacity is exceeded the most crowded member is evicted, preserving
+// spread. Used to accumulate the best front seen across a whole run
+// (optimizers' per-generation populations can lose extreme points).
+#pragma once
+
+#include <cstddef>
+
+#include "moga/individual.hpp"
+
+namespace anadex::moga {
+
+class Archive {
+ public:
+  /// Creates an archive holding at most `capacity` individuals (>= 1).
+  explicit Archive(std::size_t capacity);
+
+  /// Offers an individual. Infeasible candidates are rejected; candidates
+  /// dominated by a member are rejected; members dominated by the candidate
+  /// are removed. Returns true when the candidate was inserted.
+  bool offer(const Individual& candidate);
+
+  /// Offers every member of a population.
+  void offer_all(const Population& population);
+
+  const Population& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return members_.empty(); }
+
+ private:
+  void evict_most_crowded();
+
+  std::size_t capacity_;
+  Population members_;
+};
+
+}  // namespace anadex::moga

@@ -1,0 +1,27 @@
+#include "moga/dominance.hpp"
+
+#include "common/check.hpp"
+
+namespace anadex::moga {
+
+bool dominates(std::span<const double> a, std::span<const double> b) {
+  ANADEX_REQUIRE(a.size() == b.size() && !a.empty(),
+                 "dominance requires equal, non-empty objective vectors");
+  bool strictly_better_somewhere = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+bool constrained_dominates(const Individual& a, const Individual& b) {
+  const double va = a.total_violation();
+  const double vb = b.total_violation();
+  if (va == 0.0 && vb > 0.0) return true;
+  if (va > 0.0 && vb == 0.0) return false;
+  if (va > 0.0 && vb > 0.0) return va < vb;
+  return dominates(a.eval.objectives, b.eval.objectives);
+}
+
+}  // namespace anadex::moga

@@ -1,0 +1,21 @@
+// Pareto dominance and Deb's constraint-domination.
+#pragma once
+
+#include <span>
+
+#include "moga/individual.hpp"
+
+namespace anadex::moga {
+
+/// True when objective vector `a` Pareto-dominates `b` (all <= and at least
+/// one <). Both spans must have equal, non-zero size.
+bool dominates(std::span<const double> a, std::span<const double> b);
+
+/// Deb's constraint-domination between evaluated individuals:
+///   * feasible beats infeasible;
+///   * two infeasibles compare by total violation (smaller wins);
+///   * two feasibles compare by Pareto dominance of the objectives.
+/// Returns true when `a` constraint-dominates `b`.
+bool constrained_dominates(const Individual& a, const Individual& b);
+
+}  // namespace anadex::moga

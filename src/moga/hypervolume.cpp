@@ -1,0 +1,91 @@
+#include "moga/hypervolume.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace anadex::moga {
+
+namespace {
+
+/// Exact 2-D hypervolume by a sweep over points sorted by the first
+/// objective.
+double hv2d(FrontPoints points, std::span<const double> reference) {
+  // Keep only points that strictly dominate the reference region.
+  std::erase_if(points, [&](const std::vector<double>& p) {
+    return p[0] >= reference[0] || p[1] >= reference[1];
+  });
+  if (points.empty()) return 0.0;
+
+  std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {
+    if (a[0] != b[0]) return a[0] < b[0];
+    return a[1] < b[1];
+  });
+
+  double volume = 0.0;
+  double prev_y = reference[1];
+  for (const auto& p : points) {
+    if (p[1] >= prev_y) continue;  // dominated by an earlier (smaller-x) point
+    volume += (reference[0] - p[0]) * (prev_y - p[1]);
+    prev_y = p[1];
+  }
+  return volume;
+}
+
+/// WFG-style recursion: hv(S) = sum over points of exclusive contribution
+/// computed via "limit set" recursion. Exponential worst case but fine for
+/// the small fronts and dimensionalities (<= 4) used in tests.
+double hv_recursive(FrontPoints points, std::vector<double> reference) {
+  const std::size_t dim = reference.size();
+  std::erase_if(points, [&](const std::vector<double>& p) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      if (p[d] >= reference[d]) return true;
+    }
+    return false;
+  });
+  if (points.empty()) return 0.0;
+  if (dim == 2) return hv2d(std::move(points), reference);
+  if (dim == 1) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : points) best = std::min(best, p[0]);
+    return reference[0] - best;
+  }
+
+  // Slice along the last objective. Sorted ascending, the slab between
+  // points[i]'s coordinate and the next one (or the reference) is dominated
+  // exactly by the projections of points[0..i] — points with larger last
+  // coordinates only dominate slabs above their own coordinate.
+  std::sort(points.begin(), points.end(),
+            [dim](const auto& a, const auto& b) { return a[dim - 1] < b[dim - 1]; });
+
+  double volume = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double slice_top =
+        (i + 1 < points.size()) ? points[i + 1][dim - 1] : reference[dim - 1];
+    const double slice_height = slice_top - points[i][dim - 1];
+    if (slice_height <= 0.0) continue;
+
+    FrontPoints projected;
+    projected.reserve(i + 1);
+    for (std::size_t j = 0; j <= i; ++j) {
+      projected.emplace_back(points[j].begin(), points[j].end() - 1);
+    }
+    std::vector<double> sub_ref(reference.begin(), reference.end() - 1);
+    volume += slice_height * hv_recursive(std::move(projected), std::move(sub_ref));
+  }
+  return volume;
+}
+
+}  // namespace
+
+double hypervolume(const FrontPoints& front, std::span<const double> reference) {
+  ANADEX_REQUIRE(!reference.empty(), "hypervolume needs a non-empty reference point");
+  for (const auto& p : front) {
+    ANADEX_REQUIRE(p.size() == reference.size(),
+                   "front point dimensionality must match the reference");
+  }
+  return hv_recursive(front, std::vector<double>(reference.begin(), reference.end()));
+}
+
+}  // namespace anadex::moga

@@ -1,0 +1,30 @@
+// Hypervolume indicators.
+//
+// Two flavours are provided:
+//
+//  * `hypervolume` — the standard dominated-hypervolume with respect to a
+//    reference (nadir) point: the Lebesgue measure of the region dominated
+//    by the front and bounded by the reference point. HIGHER is better.
+//    Exact sweep algorithm in 2-D, WFG-style recursion for >= 3 objectives.
+//
+//  * `front_area_metric` (in metrics.hpp) — the paper's lower-is-better
+//    2-D variant used in Figs. 6, 9 and 10; see metrics.hpp for the
+//    interpretation discussion.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace anadex::moga {
+
+/// A front as a list of objective vectors (all minimized).
+using FrontPoints = std::vector<std::vector<double>>;
+
+/// Dominated hypervolume of `front` with respect to `reference`.
+/// Points not strictly below the reference in every coordinate contribute
+/// nothing. Duplicates and dominated points are handled correctly (they add
+/// no volume). Requires a non-empty reference; all points must have the same
+/// dimensionality as the reference.
+double hypervolume(const FrontPoints& front, std::span<const double> reference);
+
+}  // namespace anadex::moga

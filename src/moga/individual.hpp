@@ -1,0 +1,30 @@
+// A candidate solution as carried through the evolutionary loop.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "moga/problem.hpp"
+
+namespace anadex::moga {
+
+/// One member of a GA population: genome plus cached evaluation and the
+/// bookkeeping fields filled by ranking / crowding procedures.
+struct Individual {
+  std::vector<double> genes;
+  Evaluation eval;
+
+  // Filled by non-dominated sorting / crowding computation.
+  int rank = -1;            ///< 0 = non-dominated front
+  double crowding = 0.0;    ///< larger = more isolated
+
+  bool feasible() const { return eval.feasible(); }
+  double total_violation() const { return eval.total_violation(); }
+
+  /// Marks crowding as "boundary" (infinite preference).
+  static constexpr double kInfiniteCrowding = std::numeric_limits<double>::infinity();
+};
+
+using Population = std::vector<Individual>;
+
+}  // namespace anadex::moga

@@ -1,0 +1,106 @@
+#include "moga/nds.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "moga/dominance.hpp"
+
+namespace anadex::moga {
+
+std::vector<std::vector<std::size_t>> fast_nondominated_sort(
+    Population& population, std::span<const std::size_t> indices) {
+  const std::size_t n = indices.size();
+  std::vector<std::vector<std::size_t>> fronts;
+  if (n == 0) return fronts;
+
+  // local position -> list of local positions it dominates / domination count
+  std::vector<std::vector<std::size_t>> dominated(n);
+  std::vector<std::size_t> domination_count(n, 0);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      const Individual& a = population[indices[p]];
+      const Individual& b = population[indices[q]];
+      if (constrained_dominates(a, b)) {
+        dominated[p].push_back(q);
+        ++domination_count[q];
+      } else if (constrained_dominates(b, a)) {
+        dominated[q].push_back(p);
+        ++domination_count[p];
+      }
+    }
+  }
+
+  std::vector<std::size_t> current;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (domination_count[p] == 0) {
+      population[indices[p]].rank = 0;
+      current.push_back(p);
+    }
+  }
+
+  int rank = 0;
+  std::size_t assigned = 0;
+  while (!current.empty()) {
+    std::vector<std::size_t> global_front;
+    global_front.reserve(current.size());
+    for (std::size_t p : current) global_front.push_back(indices[p]);
+    fronts.push_back(std::move(global_front));
+    assigned += current.size();
+
+    std::vector<std::size_t> next;
+    for (std::size_t p : current) {
+      for (std::size_t q : dominated[p]) {
+        if (--domination_count[q] == 0) {
+          population[indices[q]].rank = rank + 1;
+          next.push_back(q);
+        }
+      }
+    }
+    current = std::move(next);
+    ++rank;
+  }
+  ANADEX_ASSERT(assigned == n, "non-dominated sort must assign every individual");
+  return fronts;
+}
+
+std::vector<std::vector<std::size_t>> fast_nondominated_sort(Population& population) {
+  std::vector<std::size_t> all(population.size());
+  std::iota(all.begin(), all.end(), 0);
+  return fast_nondominated_sort(population, all);
+}
+
+void assign_crowding(Population& population, std::span<const std::size_t> front) {
+  for (std::size_t idx : front) population[idx].crowding = 0.0;
+  if (front.empty()) return;
+  const std::size_t m = population[front.front()].eval.objectives.size();
+  if (front.size() <= 2) {
+    for (std::size_t idx : front) population[idx].crowding = Individual::kInfiniteCrowding;
+    return;
+  }
+
+  std::vector<std::size_t> order(front.begin(), front.end());
+  for (std::size_t obj = 0; obj < m; ++obj) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return population[a].eval.objectives[obj] < population[b].eval.objectives[obj];
+    });
+    const double lo = population[order.front()].eval.objectives[obj];
+    const double hi = population[order.back()].eval.objectives[obj];
+    population[order.front()].crowding = Individual::kInfiniteCrowding;
+    population[order.back()].crowding = Individual::kInfiniteCrowding;
+    if (hi == lo) continue;  // degenerate objective: no interior contribution
+    for (std::size_t i = 1; i + 1 < order.size(); ++i) {
+      const double below = population[order[i - 1]].eval.objectives[obj];
+      const double above = population[order[i + 1]].eval.objectives[obj];
+      population[order[i]].crowding += (above - below) / (hi - lo);
+    }
+  }
+}
+
+bool crowded_less(const Individual& a, const Individual& b) {
+  if (a.rank != b.rank) return a.rank < b.rank;
+  return a.crowding > b.crowding;
+}
+
+}  // namespace anadex::moga

@@ -1,0 +1,32 @@
+// Fast non-dominated sorting and crowding-distance assignment (Deb et al.,
+// NSGA-II) using constraint-domination.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "moga/individual.hpp"
+
+namespace anadex::moga {
+
+/// Sorts the individuals selected by `indices` into non-domination fronts
+/// (front 0 = non-dominated). Writes `rank` into each touched individual
+/// and returns the fronts as lists of indices into `population`.
+///
+/// Runs in O(M N^2) for N = indices.size(), M = objectives.
+std::vector<std::vector<std::size_t>> fast_nondominated_sort(
+    Population& population, std::span<const std::size_t> indices);
+
+/// Convenience overload over the entire population.
+std::vector<std::vector<std::size_t>> fast_nondominated_sort(Population& population);
+
+/// Assigns NSGA-II crowding distance to the members of one front (indices
+/// into `population`); boundary solutions per objective get infinity.
+void assign_crowding(Population& population, std::span<const std::size_t> front);
+
+/// Returns true when individual `a` is preferred over `b` by the crowded
+/// comparison operator: lower rank wins; equal rank -> larger crowding wins.
+bool crowded_less(const Individual& a, const Individual& b);
+
+}  // namespace anadex::moga

@@ -1,0 +1,111 @@
+#include "moga/nsga2.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "moga/dominance.hpp"
+#include "moga/nds.hpp"
+#include "moga/selection.hpp"
+
+namespace anadex::moga {
+
+namespace {
+
+Individual make_individual(const Problem& problem, std::vector<double> genes) {
+  Individual ind;
+  ind.genes = std::move(genes);
+  problem.evaluate(ind.genes, ind.eval);
+  return ind;
+}
+
+}  // namespace
+
+Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
+                      const GenerationCallback& on_generation) {
+  ANADEX_REQUIRE(params.population_size >= 4 && params.population_size % 2 == 0,
+                 "population size must be even and >= 4");
+  const auto bounds = problem.bounds();
+  ANADEX_REQUIRE(bounds.size() == problem.num_variables(),
+                 "problem bounds size must equal num_variables");
+
+  Rng rng(params.seed);
+  Nsga2Result result;
+
+  Population parents;
+  parents.reserve(params.population_size);
+  for (std::size_t i = 0; i < params.population_size; ++i) {
+    parents.push_back(make_individual(problem, random_genome(bounds, rng)));
+  }
+  result.evaluations += params.population_size;
+
+  // Initial ranking so tournament preferences are defined from generation 0.
+  auto fronts = fast_nondominated_sort(parents);
+  for (const auto& front : fronts) assign_crowding(parents, front);
+
+  const Preference prefer = [](const Individual& a, const Individual& b) {
+    return crowded_less(a, b);
+  };
+
+  for (std::size_t gen = 0; gen < params.generations; ++gen) {
+    auto offspring_genes = make_offspring(parents, bounds, params.variation, prefer,
+                                          params.population_size, rng);
+
+    Population combined;
+    combined.reserve(2 * params.population_size);
+    for (auto& p : parents) combined.push_back(std::move(p));
+    for (auto& genes : offspring_genes) {
+      combined.push_back(make_individual(problem, std::move(genes)));
+    }
+    result.evaluations += params.population_size;
+
+    fronts = fast_nondominated_sort(combined);
+    for (const auto& front : fronts) assign_crowding(combined, front);
+
+    Population next;
+    next.reserve(params.population_size);
+    for (const auto& front : fronts) {
+      if (next.size() + front.size() <= params.population_size) {
+        for (std::size_t idx : front) next.push_back(std::move(combined[idx]));
+      } else {
+        std::vector<std::size_t> sorted(front.begin(), front.end());
+        std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+          return combined[a].crowding > combined[b].crowding;
+        });
+        for (std::size_t idx : sorted) {
+          if (next.size() == params.population_size) break;
+          next.push_back(std::move(combined[idx]));
+        }
+      }
+      if (next.size() == params.population_size) break;
+    }
+    ANADEX_ASSERT(next.size() == params.population_size,
+                  "survivor selection must fill the population exactly");
+    parents = std::move(next);
+
+    if (on_generation) on_generation(gen, parents);
+    ++result.generations_run;
+  }
+
+  result.front = extract_global_front(parents);
+  result.population = std::move(parents);
+  return result;
+}
+
+Population extract_global_front(const Population& population) {
+  Population front;
+  for (const auto& candidate : population) {
+    if (!candidate.feasible()) continue;
+    bool is_dominated = false;
+    for (const auto& other : population) {
+      if (&other == &candidate || !other.feasible()) continue;
+      if (dominates(other.eval.objectives, candidate.eval.objectives)) {
+        is_dominated = true;
+        break;
+      }
+    }
+    if (!is_dominated) front.push_back(candidate);
+  }
+  return front;
+}
+
+}  // namespace anadex::moga

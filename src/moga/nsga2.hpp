@@ -1,0 +1,45 @@
+// Elitist non-dominated sorting GA (NSGA-II, Deb et al. 2002) with Deb's
+// constraint-domination. This is the paper's baseline: "Traditional Purely
+// Global competition based GA" (TPG).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "moga/individual.hpp"
+#include "moga/operators.hpp"
+#include "moga/problem.hpp"
+
+namespace anadex::moga {
+
+/// Configuration of one NSGA-II run.
+struct Nsga2Params {
+  std::size_t population_size = 100;  ///< must be even and >= 4
+  std::size_t generations = 800;
+  VariationParams variation;
+  std::uint64_t seed = 1;
+};
+
+/// Per-generation observer; receives the generation index (0-based, after
+/// survivor selection) and the current population.
+using GenerationCallback = std::function<void(std::size_t, const Population&)>;
+
+/// Result of an NSGA-II run.
+struct Nsga2Result {
+  Population population;             ///< final parent population, ranked
+  Population front;                  ///< feasible rank-0 members of the final population
+  std::size_t evaluations = 0;       ///< total problem evaluations performed
+  std::size_t generations_run = 0;
+};
+
+/// Runs NSGA-II on `problem`. Deterministic for a fixed seed.
+Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
+                      const GenerationCallback& on_generation = {});
+
+/// Extracts the feasible, mutually non-dominated members of `population`
+/// (the "global Pareto front" used everywhere in the paper's figures).
+Population extract_global_front(const Population& population);
+
+}  // namespace anadex::moga

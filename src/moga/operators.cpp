@@ -1,0 +1,138 @@
+#include "moga/operators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace anadex::moga {
+
+double VariationParams::effective_mutation_probability(std::size_t num_variables) const {
+  if (mutation_probability >= 0.0) return std::min(mutation_probability, 1.0);
+  ANADEX_REQUIRE(num_variables > 0, "mutation needs at least one variable");
+  return 1.0 / static_cast<double>(num_variables);
+}
+
+std::vector<double> random_genome(std::span<const VariableBound> bounds, Rng& rng) {
+  std::vector<double> genes;
+  genes.reserve(bounds.size());
+  for (const auto& b : bounds) {
+    ANADEX_REQUIRE(b.lower <= b.upper, "variable bound must satisfy lower <= upper");
+    genes.push_back(rng.uniform(b.lower, b.upper));
+  }
+  return genes;
+}
+
+void sbx_crossover(std::span<const VariableBound> bounds, const VariationParams& params,
+                   std::vector<double>& child_a, std::vector<double>& child_b, Rng& rng) {
+  ANADEX_REQUIRE(child_a.size() == bounds.size() && child_b.size() == bounds.size(),
+                 "genome size must match the bounds");
+  if (!rng.bernoulli(params.crossover_probability)) return;
+
+  const double eta = params.crossover_eta;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (!rng.bernoulli(0.5)) continue;  // per-gene exchange probability
+    double x1 = child_a[i];
+    double x2 = child_b[i];
+    if (std::abs(x1 - x2) < 1e-14) continue;
+    if (x1 > x2) std::swap(x1, x2);
+
+    const double lo = bounds[i].lower;
+    const double hi = bounds[i].upper;
+    const double u = rng.uniform();
+
+    // Bounded SBX: the spread factor is truncated so children remain within
+    // [lo, hi] (Deb's bounded formulation).
+    auto child_value = [&](double beta_bound, bool low_child) {
+      const double alpha = 2.0 - std::pow(beta_bound, -(eta + 1.0));
+      double betaq = 0.0;
+      if (u <= 1.0 / alpha) {
+        betaq = std::pow(u * alpha, 1.0 / (eta + 1.0));
+      } else {
+        betaq = std::pow(1.0 / (2.0 - u * alpha), 1.0 / (eta + 1.0));
+      }
+      const double mid = 0.5 * (x1 + x2);
+      const double half = 0.5 * (x2 - x1);
+      return low_child ? mid - betaq * half : mid + betaq * half;
+    };
+
+    const double beta_lo = 1.0 + 2.0 * (x1 - lo) / (x2 - x1);
+    const double beta_hi = 1.0 + 2.0 * (hi - x2) / (x2 - x1);
+    double c1 = child_value(beta_lo, /*low_child=*/true);
+    double c2 = child_value(beta_hi, /*low_child=*/false);
+
+    c1 = std::clamp(c1, lo, hi);
+    c2 = std::clamp(c2, lo, hi);
+    if (rng.bernoulli(0.5)) std::swap(c1, c2);
+    child_a[i] = c1;
+    child_b[i] = c2;
+  }
+}
+
+void polynomial_mutation(std::span<const VariableBound> bounds, const VariationParams& params,
+                         std::vector<double>& genome, Rng& rng) {
+  ANADEX_REQUIRE(genome.size() == bounds.size(), "genome size must match the bounds");
+  const double pm = params.effective_mutation_probability(bounds.size());
+  const double eta = params.mutation_eta;
+
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    if (!rng.bernoulli(pm)) continue;
+    const double lo = bounds[i].lower;
+    const double hi = bounds[i].upper;
+    const double span_i = hi - lo;
+    if (span_i <= 0.0) continue;
+
+    const double x = genome[i];
+    const double d1 = (x - lo) / span_i;
+    const double d2 = (hi - x) / span_i;
+    const double u = rng.uniform();
+    const double mut_pow = 1.0 / (eta + 1.0);
+
+    double deltaq = 0.0;
+    if (u < 0.5) {
+      const double xy = 1.0 - d1;
+      const double val = 2.0 * u + (1.0 - 2.0 * u) * std::pow(xy, eta + 1.0);
+      deltaq = std::pow(val, mut_pow) - 1.0;
+    } else {
+      const double xy = 1.0 - d2;
+      const double val = 2.0 * (1.0 - u) + 2.0 * (u - 0.5) * std::pow(xy, eta + 1.0);
+      deltaq = 1.0 - std::pow(val, mut_pow);
+    }
+    genome[i] = std::clamp(x + deltaq * span_i, lo, hi);
+  }
+}
+
+void blx_alpha_crossover(std::span<const VariableBound> bounds, double alpha,
+                         std::vector<double>& child_a, std::vector<double>& child_b,
+                         Rng& rng) {
+  ANADEX_REQUIRE(child_a.size() == bounds.size() && child_b.size() == bounds.size(),
+                 "genome size must match the bounds");
+  ANADEX_REQUIRE(alpha >= 0.0, "BLX alpha must be non-negative");
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const double lo_parent = std::min(child_a[i], child_b[i]);
+    const double hi_parent = std::max(child_a[i], child_b[i]);
+    const double extent = hi_parent - lo_parent;
+    if (extent <= 0.0) continue;  // identical genes have nothing to blend
+    const double lo = std::max(lo_parent - alpha * extent, bounds[i].lower);
+    const double hi = std::min(hi_parent + alpha * extent, bounds[i].upper);
+    child_a[i] = std::clamp(rng.uniform(lo, hi), bounds[i].lower, bounds[i].upper);
+    child_b[i] = std::clamp(rng.uniform(lo, hi), bounds[i].lower, bounds[i].upper);
+  }
+}
+
+void gaussian_mutation(std::span<const VariableBound> bounds, const VariationParams& params,
+                       double sigma_relative, std::vector<double>& genome, Rng& rng) {
+  ANADEX_REQUIRE(genome.size() == bounds.size(), "genome size must match the bounds");
+  ANADEX_REQUIRE(sigma_relative >= 0.0, "mutation sigma must be non-negative");
+  const double pm = params.effective_mutation_probability(bounds.size());
+  for (std::size_t i = 0; i < genome.size(); ++i) {
+    if (!rng.bernoulli(pm)) continue;
+    const double span_i = bounds[i].upper - bounds[i].lower;
+    if (span_i <= 0.0) continue;
+    genome[i] = std::clamp(genome[i] + rng.normal(0.0, sigma_relative * span_i),
+                           bounds[i].lower, bounds[i].upper);
+  }
+}
+
+}  // namespace anadex::moga

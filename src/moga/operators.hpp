@@ -1,0 +1,48 @@
+// Real-coded variation operators: simulated binary crossover (SBX) and
+// polynomial mutation (Deb & Agrawal), plus uniform initialization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "moga/problem.hpp"
+
+namespace anadex::moga {
+
+/// Parameters of the variation pipeline.
+struct VariationParams {
+  double crossover_probability = 0.9;  ///< per-pair SBX probability
+  double crossover_eta = 15.0;         ///< SBX distribution index
+  double mutation_probability = -1.0;  ///< per-gene; <0 means use 1/num_variables
+  double mutation_eta = 20.0;          ///< polynomial-mutation distribution index
+
+  /// Effective per-gene mutation probability for an n-variable problem.
+  double effective_mutation_probability(std::size_t num_variables) const;
+};
+
+/// Draws a uniform random genome within the bounds.
+std::vector<double> random_genome(std::span<const VariableBound> bounds, Rng& rng);
+
+/// SBX on two parent genomes; children are written in place over copies of
+/// the parents. All genes stay within bounds.
+void sbx_crossover(std::span<const VariableBound> bounds, const VariationParams& params,
+                   std::vector<double>& child_a, std::vector<double>& child_b, Rng& rng);
+
+/// Polynomial mutation in place. All genes stay within bounds.
+void polynomial_mutation(std::span<const VariableBound> bounds, const VariationParams& params,
+                         std::vector<double>& genome, Rng& rng);
+
+/// BLX-alpha (blend) crossover: each child gene is drawn uniformly from the
+/// parents' interval extended by `alpha` on both sides, clamped to bounds.
+/// An alternative to SBX for rugged landscapes.
+void blx_alpha_crossover(std::span<const VariableBound> bounds, double alpha,
+                         std::vector<double>& child_a, std::vector<double>& child_b,
+                         Rng& rng);
+
+/// Gaussian mutation: each gene mutates with params' effective probability
+/// by a normal step of `sigma_relative` * (bound span), clamped to bounds.
+void gaussian_mutation(std::span<const VariableBound> bounds, const VariationParams& params,
+                       double sigma_relative, std::vector<double>& genome, Rng& rng);
+
+}  // namespace anadex::moga

@@ -1,0 +1,71 @@
+// The optimization-problem abstraction consumed by every algorithm in the
+// library (NSGA-II, LocalOnlyGA, SACGA, MESACGA).
+//
+// Conventions:
+//   * every objective is MINIMIZED;
+//   * constraints are reported as violations v_j >= 0, where 0 means
+//     satisfied — algorithms use Deb's constraint-domination on the sum.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace anadex::moga {
+
+/// Inclusive lower/upper bound of one decision variable.
+struct VariableBound {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// Result of evaluating one candidate design.
+struct Evaluation {
+  std::vector<double> objectives;  ///< minimized values, size num_objectives()
+  std::vector<double> violations;  ///< each >= 0; empty if unconstrained
+
+  /// Sum of constraint violations; 0 for a feasible design.
+  double total_violation() const {
+    double sum = 0.0;
+    for (double v : violations) sum += v;
+    return sum;
+  }
+
+  bool feasible() const { return total_violation() == 0.0; }
+};
+
+/// Abstract multi-objective minimization problem over a real box domain.
+class Problem {
+ public:
+  virtual ~Problem() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t num_variables() const = 0;
+  virtual std::size_t num_objectives() const = 0;
+  virtual std::size_t num_constraints() const = 0;
+
+  /// Box bounds; size equals num_variables().
+  virtual std::vector<VariableBound> bounds() const = 0;
+
+  /// Evaluates `genes` (size num_variables()) into `out`. Implementations
+  /// must resize/fill objectives (num_objectives()) and violations
+  /// (num_constraints()). Must be deterministic for a given gene vector.
+  virtual void evaluate(std::span<const double> genes, Evaluation& out) const = 0;
+
+  /// Convenience wrapper returning a fresh Evaluation. (Named differently
+  /// from evaluate() so derived-class overrides do not hide it.)
+  Evaluation evaluated(std::span<const double> genes) const {
+    Evaluation e;
+    evaluate(genes, e);
+    ANADEX_ASSERT(e.objectives.size() == num_objectives(),
+                  "problem produced wrong objective count");
+    ANADEX_ASSERT(e.violations.size() == num_constraints(),
+                  "problem produced wrong constraint count");
+    return e;
+  }
+};
+
+}  // namespace anadex::moga

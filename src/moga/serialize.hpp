@@ -1,0 +1,28 @@
+// Plain-text population serialization: checkpoint long optimizations and
+// exchange fronts with external tools. The format is line-oriented and
+// versioned:
+//
+//   anadex-population v1
+//   individual <n_genes> <n_objectives> <n_violations>
+//   genes g1 g2 ...
+//   objectives f1 f2 ...
+//   violations v1 v2 ...
+//   (repeated per individual)
+#pragma once
+
+#include <iosfwd>
+
+#include "moga/individual.hpp"
+
+namespace anadex::moga {
+
+/// Writes the population (genes + cached evaluation; ranks/crowding are
+/// derived data and not persisted).
+void save_population(std::ostream& os, const Population& population);
+
+/// Reads a population previously written by save_population. Throws
+/// PreconditionError on format violations (bad header, truncated records,
+/// non-numeric fields).
+Population load_population(std::istream& is);
+
+}  // namespace anadex::moga

@@ -1,0 +1,37 @@
+// SPEA2 — Strength Pareto Evolutionary Algorithm 2 (Zitzler, Laumanns,
+// Thiele, 2001) with Deb-style constraint handling. A second standard MOEA
+// baseline beside NSGA-II: fitness = raw strength-based dominance count +
+// k-th-nearest-neighbour density, with an external archive truncated by
+// nearest-neighbour distance.
+#pragma once
+
+#include <cstdint>
+
+#include "moga/nsga2.hpp"
+#include "moga/operators.hpp"
+#include "moga/problem.hpp"
+
+namespace anadex::moga {
+
+struct Spea2Params {
+  std::size_t population_size = 100;  ///< even, >= 4
+  std::size_t archive_size = 100;     ///< >= 2
+  std::size_t generations = 800;
+  VariationParams variation;
+  std::uint64_t seed = 1;
+};
+
+struct Spea2Result {
+  Population archive;  ///< final external archive (the front approximation)
+  Population front;    ///< feasible non-dominated members of the archive
+  std::size_t evaluations = 0;
+  std::size_t generations_run = 0;
+};
+
+/// Runs SPEA2. Infeasible individuals are handled by adding a large
+/// violation-proportional penalty to their fitness so feasible solutions
+/// always rank ahead. Deterministic per seed.
+Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
+                      const GenerationCallback& on_generation = {});
+
+}  // namespace anadex::moga

@@ -1,0 +1,269 @@
+#include "problems/analytic.hpp"
+
+#include <cmath>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace anadex::problems {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Generic closure-backed problem: objectives and constraint violations are
+/// produced by one callable.
+class AnalyticProblem final : public moga::Problem {
+ public:
+  using Evaluator =
+      std::function<void(std::span<const double>, std::vector<double>&, std::vector<double>&)>;
+
+  AnalyticProblem(std::string name, std::vector<moga::VariableBound> bounds,
+                  std::size_t num_objectives, std::size_t num_constraints, Evaluator evaluator)
+      : name_(std::move(name)),
+        bounds_(std::move(bounds)),
+        num_objectives_(num_objectives),
+        num_constraints_(num_constraints),
+        evaluator_(std::move(evaluator)) {}
+
+  std::string name() const override { return name_; }
+  std::size_t num_variables() const override { return bounds_.size(); }
+  std::size_t num_objectives() const override { return num_objectives_; }
+  std::size_t num_constraints() const override { return num_constraints_; }
+  std::vector<moga::VariableBound> bounds() const override { return bounds_; }
+
+  void evaluate(std::span<const double> genes, moga::Evaluation& out) const override {
+    ANADEX_REQUIRE(genes.size() == bounds_.size(), "gene count mismatch");
+    out.objectives.clear();
+    out.violations.clear();
+    evaluator_(genes, out.objectives, out.violations);
+    ANADEX_ASSERT(out.objectives.size() == num_objectives_, "objective count mismatch");
+    ANADEX_ASSERT(out.violations.size() == num_constraints_, "constraint count mismatch");
+  }
+
+ private:
+  std::string name_;
+  std::vector<moga::VariableBound> bounds_;
+  std::size_t num_objectives_;
+  std::size_t num_constraints_;
+  Evaluator evaluator_;
+};
+
+std::vector<moga::VariableBound> uniform_bounds(std::size_t n, double lo, double hi) {
+  return std::vector<moga::VariableBound>(n, {lo, hi});
+}
+
+/// ZDT family scaffold: f1 = head(x1), f2 = g * h(f1, g).
+std::unique_ptr<moga::Problem> make_zdt(std::string name, std::size_t n,
+                                        std::vector<moga::VariableBound> bounds,
+                                        std::function<double(double)> head,
+                                        std::function<double(std::span<const double>)> g_fn,
+                                        std::function<double(double, double)> h_fn) {
+  ANADEX_REQUIRE(n >= 2, "ZDT problems need at least 2 variables");
+  return std::make_unique<AnalyticProblem>(
+      std::move(name), std::move(bounds), 2, 0,
+      [head = std::move(head), g_fn = std::move(g_fn), h_fn = std::move(h_fn)](
+          std::span<const double> x, std::vector<double>& f, std::vector<double>&) {
+        const double f1 = head(x[0]);
+        const double g = g_fn(x);
+        f = {f1, g * h_fn(f1, g)};
+      });
+}
+
+}  // namespace
+
+std::unique_ptr<moga::Problem> make_sch() {
+  return std::make_unique<AnalyticProblem>(
+      "SCH", uniform_bounds(1, -1000.0, 1000.0), 2, 0,
+      [](std::span<const double> x, std::vector<double>& f, std::vector<double>&) {
+        f = {x[0] * x[0], (x[0] - 2.0) * (x[0] - 2.0)};
+      });
+}
+
+std::unique_ptr<moga::Problem> make_fon() {
+  return std::make_unique<AnalyticProblem>(
+      "FON", uniform_bounds(3, -4.0, 4.0), 2, 0,
+      [](std::span<const double> x, std::vector<double>& f, std::vector<double>&) {
+        const double inv = 1.0 / std::sqrt(3.0);
+        double s1 = 0.0;
+        double s2 = 0.0;
+        for (double xi : x) {
+          s1 += (xi - inv) * (xi - inv);
+          s2 += (xi + inv) * (xi + inv);
+        }
+        f = {1.0 - std::exp(-s1), 1.0 - std::exp(-s2)};
+      });
+}
+
+std::unique_ptr<moga::Problem> make_kur() {
+  return std::make_unique<AnalyticProblem>(
+      "KUR", uniform_bounds(3, -5.0, 5.0), 2, 0,
+      [](std::span<const double> x, std::vector<double>& f, std::vector<double>&) {
+        double f1 = 0.0;
+        for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+          f1 += -10.0 * std::exp(-0.2 * std::sqrt(x[i] * x[i] + x[i + 1] * x[i + 1]));
+        }
+        double f2 = 0.0;
+        for (double xi : x) {
+          f2 += std::pow(std::abs(xi), 0.8) + 5.0 * std::sin(xi * xi * xi);
+        }
+        f = {f1, f2};
+      });
+}
+
+std::unique_ptr<moga::Problem> make_pol() {
+  return std::make_unique<AnalyticProblem>(
+      "POL", uniform_bounds(2, -kPi, kPi), 2, 0,
+      [](std::span<const double> x, std::vector<double>& f, std::vector<double>&) {
+        const double a1 = 0.5 * std::sin(1.0) - 2.0 * std::cos(1.0) + std::sin(2.0) -
+                          1.5 * std::cos(2.0);
+        const double a2 = 1.5 * std::sin(1.0) - std::cos(1.0) + 2.0 * std::sin(2.0) -
+                          0.5 * std::cos(2.0);
+        const double b1 = 0.5 * std::sin(x[0]) - 2.0 * std::cos(x[0]) + std::sin(x[1]) -
+                          1.5 * std::cos(x[1]);
+        const double b2 = 1.5 * std::sin(x[0]) - std::cos(x[0]) + 2.0 * std::sin(x[1]) -
+                          0.5 * std::cos(x[1]);
+        f = {1.0 + (a1 - b1) * (a1 - b1) + (a2 - b2) * (a2 - b2),
+             (x[0] + 3.0) * (x[0] + 3.0) + (x[1] + 1.0) * (x[1] + 1.0)};
+      });
+}
+
+std::unique_ptr<moga::Problem> make_zdt1(std::size_t n) {
+  return make_zdt(
+      "ZDT1", n, uniform_bounds(n, 0.0, 1.0), [](double x1) { return x1; },
+      [n](std::span<const double> x) {
+        double sum = 0.0;
+        for (std::size_t i = 1; i < x.size(); ++i) sum += x[i];
+        return 1.0 + 9.0 * sum / static_cast<double>(n - 1);
+      },
+      [](double f1, double g) { return 1.0 - std::sqrt(f1 / g); });
+}
+
+std::unique_ptr<moga::Problem> make_zdt2(std::size_t n) {
+  return make_zdt(
+      "ZDT2", n, uniform_bounds(n, 0.0, 1.0), [](double x1) { return x1; },
+      [n](std::span<const double> x) {
+        double sum = 0.0;
+        for (std::size_t i = 1; i < x.size(); ++i) sum += x[i];
+        return 1.0 + 9.0 * sum / static_cast<double>(n - 1);
+      },
+      [](double f1, double g) { return 1.0 - (f1 / g) * (f1 / g); });
+}
+
+std::unique_ptr<moga::Problem> make_zdt3(std::size_t n) {
+  return make_zdt(
+      "ZDT3", n, uniform_bounds(n, 0.0, 1.0), [](double x1) { return x1; },
+      [n](std::span<const double> x) {
+        double sum = 0.0;
+        for (std::size_t i = 1; i < x.size(); ++i) sum += x[i];
+        return 1.0 + 9.0 * sum / static_cast<double>(n - 1);
+      },
+      [](double f1, double g) {
+        return 1.0 - std::sqrt(f1 / g) - (f1 / g) * std::sin(10.0 * kPi * f1);
+      });
+}
+
+std::unique_ptr<moga::Problem> make_zdt4(std::size_t n) {
+  std::vector<moga::VariableBound> bounds = uniform_bounds(n, -5.0, 5.0);
+  bounds[0] = {0.0, 1.0};
+  return make_zdt(
+      "ZDT4", n, std::move(bounds), [](double x1) { return x1; },
+      [n](std::span<const double> x) {
+        double sum = 0.0;
+        for (std::size_t i = 1; i < x.size(); ++i) {
+          sum += x[i] * x[i] - 10.0 * std::cos(4.0 * kPi * x[i]);
+        }
+        return 1.0 + 10.0 * static_cast<double>(n - 1) + sum;
+      },
+      [](double f1, double g) { return 1.0 - std::sqrt(f1 / g); });
+}
+
+std::unique_ptr<moga::Problem> make_zdt6(std::size_t n) {
+  return make_zdt(
+      "ZDT6", n, uniform_bounds(n, 0.0, 1.0),
+      [](double x1) {
+        return 1.0 - std::exp(-4.0 * x1) * std::pow(std::sin(6.0 * kPi * x1), 6.0);
+      },
+      [n](std::span<const double> x) {
+        double sum = 0.0;
+        for (std::size_t i = 1; i < x.size(); ++i) sum += x[i];
+        return 1.0 + 9.0 * std::pow(sum / static_cast<double>(n - 1), 0.25);
+      },
+      [](double f1, double g) { return 1.0 - (f1 / g) * (f1 / g); });
+}
+
+std::unique_ptr<moga::Problem> make_constr() {
+  return std::make_unique<AnalyticProblem>(
+      "CONSTR", std::vector<moga::VariableBound>{{0.1, 1.0}, {0.0, 5.0}}, 2, 2,
+      [](std::span<const double> x, std::vector<double>& f, std::vector<double>& v) {
+        f = {x[0], (1.0 + x[1]) / x[0]};
+        const double g1 = x[1] + 9.0 * x[0] - 6.0;   // >= 0
+        const double g2 = -x[1] + 9.0 * x[0] - 1.0;  // >= 0
+        v = {std::max(0.0, -g1), std::max(0.0, -g2)};
+      });
+}
+
+std::unique_ptr<moga::Problem> make_srn() {
+  return std::make_unique<AnalyticProblem>(
+      "SRN", uniform_bounds(2, -20.0, 20.0), 2, 2,
+      [](std::span<const double> x, std::vector<double>& f, std::vector<double>& v) {
+        f = {2.0 + (x[0] - 2.0) * (x[0] - 2.0) + (x[1] - 1.0) * (x[1] - 1.0),
+             9.0 * x[0] - (x[1] - 1.0) * (x[1] - 1.0)};
+        const double g1 = 225.0 - (x[0] * x[0] + x[1] * x[1]);  // >= 0
+        const double g2 = -(x[0] - 3.0 * x[1] + 10.0);          // >= 0
+        v = {std::max(0.0, -g1), std::max(0.0, -g2)};
+      });
+}
+
+std::unique_ptr<moga::Problem> make_tnk() {
+  return std::make_unique<AnalyticProblem>(
+      "TNK", uniform_bounds(2, 1e-9, kPi), 2, 2,
+      [](std::span<const double> x, std::vector<double>& f, std::vector<double>& v) {
+        f = {x[0], x[1]};
+        const double atan_term = std::atan2(x[1], x[0]);
+        const double g1 = x[0] * x[0] + x[1] * x[1] - 1.0 -
+                          0.1 * std::cos(16.0 * atan_term);  // >= 0
+        const double g2 = 0.5 - ((x[0] - 0.5) * (x[0] - 0.5) +
+                                 (x[1] - 0.5) * (x[1] - 0.5));  // >= 0
+        v = {std::max(0.0, -g1), std::max(0.0, -g2)};
+      });
+}
+
+std::unique_ptr<moga::Problem> make_bnh() {
+  return std::make_unique<AnalyticProblem>(
+      "BNH", std::vector<moga::VariableBound>{{0.0, 5.0}, {0.0, 3.0}}, 2, 2,
+      [](std::span<const double> x, std::vector<double>& f, std::vector<double>& v) {
+        f = {4.0 * x[0] * x[0] + 4.0 * x[1] * x[1],
+             (x[0] - 5.0) * (x[0] - 5.0) + (x[1] - 5.0) * (x[1] - 5.0)};
+        const double g1 = 25.0 - ((x[0] - 5.0) * (x[0] - 5.0) + x[1] * x[1]);   // >= 0
+        const double g2 = (x[0] - 8.0) * (x[0] - 8.0) + (x[1] + 3.0) * (x[1] + 3.0) - 7.7;
+        v = {std::max(0.0, -g1), std::max(0.0, -g2)};
+      });
+}
+
+std::unique_ptr<moga::Problem> make_osy() {
+  return std::make_unique<AnalyticProblem>(
+      "OSY",
+      std::vector<moga::VariableBound>{{0.0, 10.0}, {0.0, 10.0}, {1.0, 5.0},
+                                       {0.0, 6.0},  {1.0, 5.0},  {0.0, 10.0}},
+      2, 6,
+      [](std::span<const double> x, std::vector<double>& f, std::vector<double>& v) {
+        f = {-(25.0 * (x[0] - 2.0) * (x[0] - 2.0) + (x[1] - 2.0) * (x[1] - 2.0) +
+               (x[2] - 1.0) * (x[2] - 1.0) + (x[3] - 4.0) * (x[3] - 4.0) +
+               (x[4] - 1.0) * (x[4] - 1.0)),
+             x[0] * x[0] + x[1] * x[1] + x[2] * x[2] + x[3] * x[3] + x[4] * x[4] +
+                 x[5] * x[5]};
+        const double g1 = x[0] + x[1] - 2.0;
+        const double g2 = 6.0 - x[0] - x[1];
+        const double g3 = 2.0 - x[1] + x[0];
+        const double g4 = 2.0 - x[0] + 3.0 * x[1];
+        const double g5 = 4.0 - (x[2] - 3.0) * (x[2] - 3.0) - x[3];
+        const double g6 = (x[4] - 3.0) * (x[4] - 3.0) + x[5] - 4.0;
+        v = {std::max(0.0, -g1), std::max(0.0, -g2), std::max(0.0, -g3),
+             std::max(0.0, -g4), std::max(0.0, -g5), std::max(0.0, -g6)};
+      });
+}
+
+}  // namespace anadex::problems

@@ -1,0 +1,41 @@
+// Standard analytic multi-objective test problems (Deb's book / ZDT suite).
+//
+// These validate the MOEA machinery independently of the circuit substrate
+// and power the algorithm-level property tests and ablation benches. All
+// are minimization problems; constrained ones report violations >= 0.
+#pragma once
+
+#include <memory>
+
+#include "moga/problem.hpp"
+
+namespace anadex::problems {
+
+/// Schaffer's single-variable problem: f1 = x^2, f2 = (x-2)^2, x in [-10^3, 10^3].
+std::unique_ptr<moga::Problem> make_sch();
+
+/// Fonseca–Fleming, 3 variables in [-4, 4].
+std::unique_ptr<moga::Problem> make_fon();
+
+/// Kursawe, 3 variables in [-5, 5]; disconnected front.
+std::unique_ptr<moga::Problem> make_kur();
+
+/// Poloni's two-variable problem (maximization converted to minimization).
+std::unique_ptr<moga::Problem> make_pol();
+
+/// ZDT suite (n variables, first in [0,1]); convex / concave / disconnected /
+/// multimodal / biased fronts respectively.
+std::unique_ptr<moga::Problem> make_zdt1(std::size_t n = 30);
+std::unique_ptr<moga::Problem> make_zdt2(std::size_t n = 30);
+std::unique_ptr<moga::Problem> make_zdt3(std::size_t n = 30);
+std::unique_ptr<moga::Problem> make_zdt4(std::size_t n = 10);
+std::unique_ptr<moga::Problem> make_zdt6(std::size_t n = 10);
+
+/// Constrained problems (Deb's book): CONSTR, SRN, TNK, BNH, OSY.
+std::unique_ptr<moga::Problem> make_constr();
+std::unique_ptr<moga::Problem> make_srn();
+std::unique_ptr<moga::Problem> make_tnk();
+std::unique_ptr<moga::Problem> make_bnh();
+std::unique_ptr<moga::Problem> make_osy();
+
+}  // namespace anadex::problems

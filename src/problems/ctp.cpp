@@ -1,0 +1,125 @@
+#include "problems/ctp.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace anadex::problems {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Rastrigin-style distance function keeps the tail variables interesting.
+double g_of(std::span<const double> x) {
+  double g = 1.0;
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    g += x[i] * x[i] - std::cos(4.0 * kPi * x[i]);
+    g += 1.0;  // offset keeps g >= 1 at the optimum x_i = 0
+  }
+  return g;
+}
+
+class Ctp1 final : public moga::Problem {
+ public:
+  explicit Ctp1(std::size_t n) : n_(n) { ANADEX_REQUIRE(n >= 2, "CTP1 needs >= 2 vars"); }
+
+  std::string name() const override { return "CTP1"; }
+  std::size_t num_variables() const override { return n_; }
+  std::size_t num_objectives() const override { return 2; }
+  std::size_t num_constraints() const override { return 2; }
+  std::vector<moga::VariableBound> bounds() const override {
+    std::vector<moga::VariableBound> b(n_, {-1.0, 1.0});
+    b[0] = {0.0, 1.0};
+    return b;
+  }
+
+  void evaluate(std::span<const double> x, moga::Evaluation& out) const override {
+    ANADEX_REQUIRE(x.size() == n_, "gene count mismatch");
+    const double g = g_of(x);
+    const double f1 = x[0];
+    const double f2 = g * std::exp(-f1 / g);
+    out.objectives = {f1, f2};
+    // Canonical CTP1 constraints (j = 1, 2 with standard a_j, b_j).
+    const double c1 = f2 - 0.858 * std::exp(-0.541 * f1);  // >= 0
+    const double c2 = f2 - 0.728 * std::exp(-0.295 * f1);  // >= 0
+    out.violations = {std::max(0.0, -c1), std::max(0.0, -c2)};
+  }
+
+ private:
+  std::size_t n_;
+};
+
+/// CTP2-family: constraint
+///   cos(θ)(f2 − e) − sin(θ) f1 >=
+///     a · |sin(b π (sin(θ)(f2 − e) + cos(θ) f1)^c)|^d
+struct CtpParams {
+  double theta;
+  double a;
+  double b;
+  double c;
+  double d;
+  double e;
+};
+
+class CtpFamily final : public moga::Problem {
+ public:
+  CtpFamily(int kind, CtpParams params, std::size_t n)
+      : kind_(kind), p_(params), n_(n) {
+    ANADEX_REQUIRE(n >= 2, "CTP needs >= 2 vars");
+  }
+
+  std::string name() const override { return "CTP" + std::to_string(kind_); }
+  std::size_t num_variables() const override { return n_; }
+  std::size_t num_objectives() const override { return 2; }
+  std::size_t num_constraints() const override { return 1; }
+  std::vector<moga::VariableBound> bounds() const override {
+    std::vector<moga::VariableBound> b(n_, {-1.0, 1.0});
+    b[0] = {0.0, 1.0};
+    return b;
+  }
+
+  void evaluate(std::span<const double> x, moga::Evaluation& out) const override {
+    ANADEX_REQUIRE(x.size() == n_, "gene count mismatch");
+    const double g = g_of(x);
+    const double f1 = x[0];
+    const double f2 = g * (1.0 - std::sqrt(f1 / g));
+    out.objectives = {f1, f2};
+    const double rot1 = std::cos(p_.theta) * (f2 - p_.e) - std::sin(p_.theta) * f1;
+    const double rot2 = std::sin(p_.theta) * (f2 - p_.e) + std::cos(p_.theta) * f1;
+    const double rhs =
+        p_.a * std::pow(std::abs(std::sin(p_.b * kPi * std::pow(rot2, p_.c))), p_.d);
+    out.violations = {std::max(0.0, rhs - rot1)};
+  }
+
+ private:
+  int kind_;
+  CtpParams p_;
+  std::size_t n_;
+};
+
+}  // namespace
+
+std::unique_ptr<moga::Problem> make_ctp1(std::size_t n) {
+  return std::make_unique<Ctp1>(n);
+}
+
+std::unique_ptr<moga::Problem> make_ctp(int kind, std::size_t n) {
+  // Canonical parameter sets from the CTP paper.
+  switch (kind) {
+    case 2:
+      return std::make_unique<CtpFamily>(
+          2, CtpParams{-0.2 * kPi, 0.2, 10.0, 1.0, 6.0, 1.0}, n);
+    case 3:
+      return std::make_unique<CtpFamily>(
+          3, CtpParams{-0.2 * kPi, 0.1, 10.0, 1.0, 0.5, 1.0}, n);
+    case 4:
+      return std::make_unique<CtpFamily>(
+          4, CtpParams{-0.2 * kPi, 0.75, 10.0, 1.0, 0.5, 1.0}, n);
+    default:
+      ANADEX_REQUIRE(false, "supported CTP kinds: 2, 3, 4 (and make_ctp1)");
+      return nullptr;
+  }
+}
+
+}  // namespace anadex::problems

@@ -1,0 +1,23 @@
+// CTP constrained test problems (Deb, Pratap, Meyarivan 2001): fronts whose
+// feasible region is carved by the constraint itself, stressing
+// constraint-domination much harder than CONSTR/SRN/TNK. CTP2..CTP5 differ
+// only in the (theta, a, b, c, d, e) parameter set producing disconnected
+// or narrow feasible front segments.
+#pragma once
+
+#include <memory>
+
+#include "moga/problem.hpp"
+
+namespace anadex::problems {
+
+/// CTP1: two nested exponential constraints shaping the front.
+std::unique_ptr<moga::Problem> make_ctp1(std::size_t n = 5);
+
+/// CTP2 family member selected by canonical parameter sets:
+///   kind = 2: disconnected front patches
+///   kind = 3: front reduced to isolated points near the patch edges
+///   kind = 4: larger infeasible gaps (harder)
+std::unique_ptr<moga::Problem> make_ctp(int kind, std::size_t n = 5);
+
+}  // namespace anadex::problems

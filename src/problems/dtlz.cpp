@@ -1,0 +1,83 @@
+#include "problems/dtlz.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace anadex::problems {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+class DtlzProblem final : public moga::Problem {
+ public:
+  enum class Kind { Dtlz1, Dtlz2 };
+
+  DtlzProblem(Kind kind, std::size_t objectives, std::size_t k)
+      : kind_(kind), m_(objectives), k_(k) {
+    ANADEX_REQUIRE(objectives >= 2, "DTLZ needs at least two objectives");
+    ANADEX_REQUIRE(k >= 1, "DTLZ needs at least one distance variable");
+  }
+
+  std::string name() const override {
+    return (kind_ == Kind::Dtlz1 ? "DTLZ1-" : "DTLZ2-") + std::to_string(m_);
+  }
+  std::size_t num_variables() const override { return m_ - 1 + k_; }
+  std::size_t num_objectives() const override { return m_; }
+  std::size_t num_constraints() const override { return 0; }
+  std::vector<moga::VariableBound> bounds() const override {
+    return std::vector<moga::VariableBound>(num_variables(), {0.0, 1.0});
+  }
+
+  void evaluate(std::span<const double> x, moga::Evaluation& out) const override {
+    ANADEX_REQUIRE(x.size() == num_variables(), "gene count mismatch");
+    out.violations.clear();
+    out.objectives.assign(m_, 0.0);
+
+    double g = 0.0;
+    if (kind_ == Kind::Dtlz1) {
+      for (std::size_t i = m_ - 1; i < x.size(); ++i) {
+        const double xi = x[i] - 0.5;
+        g += xi * xi - std::cos(20.0 * kPi * xi);
+      }
+      g = 100.0 * (static_cast<double>(k_) + g);
+      for (std::size_t obj = 0; obj < m_; ++obj) {
+        double f = 0.5 * (1.0 + g);
+        for (std::size_t j = 0; j + obj + 1 < m_; ++j) f *= x[j];
+        if (obj > 0) f *= 1.0 - x[m_ - 1 - obj];
+        out.objectives[obj] = f;
+      }
+    } else {
+      for (std::size_t i = m_ - 1; i < x.size(); ++i) {
+        const double xi = x[i] - 0.5;
+        g += xi * xi;
+      }
+      for (std::size_t obj = 0; obj < m_; ++obj) {
+        double f = 1.0 + g;
+        for (std::size_t j = 0; j + obj + 1 < m_; ++j) {
+          f *= std::cos(0.5 * kPi * x[j]);
+        }
+        if (obj > 0) f *= std::sin(0.5 * kPi * x[m_ - 1 - obj]);
+        out.objectives[obj] = f;
+      }
+    }
+  }
+
+ private:
+  Kind kind_;
+  std::size_t m_;
+  std::size_t k_;
+};
+
+}  // namespace
+
+std::unique_ptr<moga::Problem> make_dtlz1(std::size_t objectives, std::size_t k) {
+  return std::make_unique<DtlzProblem>(DtlzProblem::Kind::Dtlz1, objectives, k);
+}
+
+std::unique_ptr<moga::Problem> make_dtlz2(std::size_t objectives, std::size_t k) {
+  return std::make_unique<DtlzProblem>(DtlzProblem::Kind::Dtlz2, objectives, k);
+}
+
+}  // namespace anadex::problems

@@ -1,0 +1,22 @@
+// DTLZ scalable many-objective test problems (Deb, Thiele, Laumanns,
+// Zitzler). Included with M = 3 objectives by default: they exercise the
+// N-dimensional hypervolume and show the MOEA machinery is not hard-wired
+// to two objectives.
+#pragma once
+
+#include <memory>
+
+#include "moga/problem.hpp"
+
+namespace anadex::problems {
+
+/// DTLZ1: linear front sum(f) = 0.5, multimodal g. k = n - M + 1 distance
+/// variables (canonical k = 5).
+std::unique_ptr<moga::Problem> make_dtlz1(std::size_t objectives = 3,
+                                          std::size_t k = 5);
+
+/// DTLZ2: spherical front sum(f^2) = 1, unimodal g (canonical k = 10).
+std::unique_ptr<moga::Problem> make_dtlz2(std::size_t objectives = 3,
+                                          std::size_t k = 10);
+
+}  // namespace anadex::problems

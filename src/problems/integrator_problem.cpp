@@ -1,0 +1,156 @@
+#include "problems/integrator_problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace anadex::problems {
+
+namespace {
+
+/// Clamp applied to each normalized violation so one wildly broken
+/// constraint cannot swamp the sum Deb's rule compares.
+constexpr double kViolationCap = 10.0;
+
+double violation(double amount) {
+  return std::clamp(amount, 0.0, kViolationCap);
+}
+
+}  // namespace
+
+IntegratorProblem::IntegratorProblem(scint::Spec spec, scint::IntegratorContext context,
+                                     yield::MonteCarloParams mc)
+    : spec_(std::move(spec)),
+      context_(context),
+      corners_{device::Process::typical().at_corner(device::Corner::TT),
+               device::Process::typical().at_corner(device::Corner::FF),
+               device::Process::typical().at_corner(device::Corner::SS),
+               device::Process::typical().at_corner(device::Corner::FS),
+               device::Process::typical().at_corner(device::Corner::SF)},
+      perturbations_(yield::draw_perturbations(mc)) {}
+
+std::string IntegratorProblem::name() const { return "SCIntegrator[" + spec_.name + "]"; }
+
+std::vector<moga::VariableBound> IntegratorProblem::bounds() const {
+  std::vector<moga::VariableBound> b(kNumGenes);
+  const double um = 1e-6;
+  const double pf = 1e-12;
+  b[kW1] = {1.0 * um, 200.0 * um};
+  b[kL1] = {0.18 * um, 2.0 * um};
+  b[kW3] = {1.0 * um, 200.0 * um};
+  b[kL3] = {0.18 * um, 2.0 * um};
+  b[kW5] = {1.0 * um, 200.0 * um};
+  b[kL5] = {0.18 * um, 2.0 * um};
+  b[kW6] = {1.0 * um, 400.0 * um};
+  b[kL6] = {0.18 * um, 1.0 * um};
+  b[kW7] = {1.0 * um, 200.0 * um};
+  b[kL7] = {0.18 * um, 1.0 * um};
+  b[kIbias] = {1e-6, 50e-6};
+  b[kCc] = {0.1 * pf, 5.0 * pf};
+  b[kCs] = {0.5 * pf, 8.0 * pf};
+  b[kCoc] = {0.1 * pf, 2.0 * pf};
+  b[kCload] = {0.01 * pf, kLoadMax};
+  return b;
+}
+
+scint::IntegratorDesign IntegratorProblem::decode(std::span<const double> genes) {
+  ANADEX_REQUIRE(genes.size() == kNumGenes, "integrator design needs 15 genes");
+  scint::IntegratorDesign d;
+  d.opamp.m1 = {genes[kW1], genes[kL1]};
+  d.opamp.m3 = {genes[kW3], genes[kL3]};
+  d.opamp.m5 = {genes[kW5], genes[kL5]};
+  d.opamp.m6 = {genes[kW6], genes[kL6]};
+  d.opamp.m7 = {genes[kW7], genes[kL7]};
+  d.opamp.ibias = genes[kIbias];
+  d.opamp.cc = genes[kCc];
+  d.cs = genes[kCs];
+  d.coc = genes[kCoc];
+  d.cload = genes[kCload];
+  return d;
+}
+
+std::vector<double> IntegratorProblem::encode(const scint::IntegratorDesign& design) {
+  std::vector<double> genes(kNumGenes);
+  genes[kW1] = design.opamp.m1.w;
+  genes[kL1] = design.opamp.m1.l;
+  genes[kW3] = design.opamp.m3.w;
+  genes[kL3] = design.opamp.m3.l;
+  genes[kW5] = design.opamp.m5.w;
+  genes[kL5] = design.opamp.m5.l;
+  genes[kW6] = design.opamp.m6.w;
+  genes[kL6] = design.opamp.m6.l;
+  genes[kW7] = design.opamp.m7.w;
+  genes[kL7] = design.opamp.m7.l;
+  genes[kIbias] = design.opamp.ibias;
+  genes[kCc] = design.opamp.cc;
+  genes[kCs] = design.cs;
+  genes[kCoc] = design.coc;
+  genes[kCload] = design.cload;
+  return genes;
+}
+
+scint::IntegratorPerformance IntegratorProblem::typical_performance(
+    const scint::IntegratorDesign& design) const {
+  return scint::evaluate(corners_[0], design, context_);
+}
+
+double IntegratorProblem::design_robustness(const scint::IntegratorDesign& design) const {
+  return yield::robustness(corners_[0], design, context_, spec_, perturbations_);
+}
+
+void IntegratorProblem::evaluate(std::span<const double> genes, moga::Evaluation& out) const {
+  const scint::IntegratorDesign design = decode(genes);
+
+  // Worst-case spec figures across the five corners.
+  double dr_worst = std::numeric_limits<double>::infinity();
+  double or_worst = std::numeric_limits<double>::infinity();
+  double st_worst = 0.0;
+  double se_worst = 0.0;
+  double area_worst = 0.0;
+  double sat_worst = std::numeric_limits<double>::infinity();
+  double balance_worst = 0.0;
+  double vov_worst = std::numeric_limits<double>::infinity();
+  double power_tt = 0.0;
+  bool tt_pass = false;
+
+  for (std::size_t c = 0; c < corners_.size(); ++c) {
+    const scint::IntegratorPerformance perf = scint::evaluate(corners_[c], design, context_);
+    dr_worst = std::min(dr_worst, perf.dynamic_range_db);
+    or_worst = std::min(or_worst, perf.output_range);
+    st_worst = std::max(st_worst, perf.settling_time);
+    se_worst = std::max(se_worst, perf.settling_error);
+    area_worst = std::max(area_worst, perf.area);
+    sat_worst = std::min(sat_worst, perf.sat_margin_worst);
+    balance_worst = std::max(balance_worst, perf.mirror_balance_error);
+    vov_worst = std::min(vov_worst, perf.vov_worst);
+    if (c == 0) {
+      power_tt = perf.power;
+      tt_pass = spec_.satisfied_by(perf);
+    }
+  }
+
+  // Monte-Carlo robustness is only worth spending on designs that pass the
+  // deterministic limits at the typical corner; others would score ~0
+  // anyway (the samples are centred on TT).
+  const double rob = tt_pass ? design_robustness(design) : 0.0;
+
+  out.objectives = {power_tt, kLoadMax - design.cload};
+  out.violations = {
+      violation((spec_.dr_min_db - dr_worst) / 10.0),          // per 10 dB
+      violation((spec_.or_min - or_worst) / 0.5),              // per 0.5 V
+      violation((st_worst - spec_.st_max) / spec_.st_max),
+      violation((se_worst - spec_.se_max) / spec_.se_max),
+      violation((area_worst - spec_.area_max) / spec_.area_max),
+      violation(-sat_worst / 0.1),                             // per 100 mV shortfall
+      violation((balance_worst - spec_.balance_max) / spec_.balance_max),
+      violation((spec_.vov_min - vov_worst) / 0.1),                // strong inversion
+      violation((spec_.robustness_min - rob) / spec_.robustness_min),
+  };
+}
+
+std::unique_ptr<IntegratorProblem> make_integrator_problem(const scint::Spec& spec) {
+  return std::make_unique<IntegratorProblem>(spec);
+}
+
+}  // namespace anadex::problems

@@ -1,0 +1,38 @@
+#include "problems/spec_suite.hpp"
+
+#include <string>
+
+#include "common/math.hpp"
+
+namespace anadex::problems {
+
+scint::Spec chosen_spec() {
+  scint::Spec spec;
+  spec.name = "paper-chosen";
+  spec.dr_min_db = 96.0;
+  spec.or_min = 1.4;
+  spec.st_max = 0.24e-6;
+  spec.se_max = 7e-4;
+  spec.robustness_min = 0.85;
+  return spec;
+}
+
+std::vector<scint::Spec> spec_suite() {
+  std::vector<scint::Spec> suite;
+  suite.reserve(20);
+  for (int i = 0; i < 20; ++i) {
+    const double t = static_cast<double>(i) / 19.0;  // 0 = easiest, 1 = hardest
+    scint::Spec spec;
+    spec.name = "spec-" + std::to_string(i + 1);
+    spec.dr_min_db = lerp(90.0, 97.0, t);
+    spec.or_min = lerp(1.30, 1.45, t);
+    spec.st_max = lerp(0.40e-6, 0.20e-6, t);
+    spec.se_max = lerp(2.0e-3, 5.0e-4, t);
+    spec.robustness_min = lerp(0.70, 0.90, t);
+    suite.push_back(spec);
+  }
+  suite[12] = chosen_spec();  // the paper's illustrated case, difficulty ~2/3
+  return suite;
+}
+
+}  // namespace anadex::problems

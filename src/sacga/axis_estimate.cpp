@@ -1,0 +1,34 @@
+#include "sacga/axis_estimate.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "moga/operators.hpp"
+
+namespace anadex::sacga {
+
+AxisEstimate estimate_axis_range(const moga::Problem& problem, std::size_t axis_objective,
+                                 std::size_t samples, Rng& rng, double padding) {
+  ANADEX_REQUIRE(axis_objective < problem.num_objectives(),
+                 "axis objective out of range for this problem");
+  ANADEX_REQUIRE(samples >= 2, "axis estimation needs at least two samples");
+  ANADEX_REQUIRE(padding >= 0.0, "padding must be non-negative");
+
+  const auto bounds = problem.bounds();
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto genes = moga::random_genome(bounds, rng);
+    const auto eval = problem.evaluated(genes);
+    lo = std::min(lo, eval.objectives[axis_objective]);
+    hi = std::max(hi, eval.objectives[axis_objective]);
+  }
+  ANADEX_REQUIRE(hi > lo,
+                 "objective " + std::to_string(axis_objective) +
+                     " never varied over the sample; cannot partition along it");
+  const double pad = (hi - lo) * padding;
+  return {lo - pad, hi + pad};
+}
+
+}  // namespace anadex::sacga

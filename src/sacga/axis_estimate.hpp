@@ -1,0 +1,26 @@
+// Partition-axis range estimation for problems whose objective range is
+// not known a priori (the integrator problem's load axis is exactly
+// [0, 5 pF] by construction, but a generic user problem is not): sample
+// random genomes, measure the chosen objective's span, and pad it.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "moga/problem.hpp"
+
+namespace anadex::sacga {
+
+struct AxisEstimate {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+/// Estimates the range of objective `axis_objective` from `samples` random
+/// evaluations, padded by `padding` (relative to the observed span) on each
+/// side so early evolution does not immediately clamp into the edge bins.
+/// Requires samples >= 2; throws if the objective never varies.
+AxisEstimate estimate_axis_range(const moga::Problem& problem, std::size_t axis_objective,
+                                 std::size_t samples, Rng& rng, double padding = 0.05);
+
+}  // namespace anadex::sacga

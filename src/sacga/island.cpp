@@ -1,0 +1,156 @@
+#include "sacga/island.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "moga/nds.hpp"
+#include "moga/selection.hpp"
+
+namespace anadex::sacga {
+
+namespace {
+
+/// One NSGA-II elitist generation over a single island.
+void evolve_island(const moga::Problem& problem, moga::Population& island,
+                   const std::vector<moga::VariableBound>& bounds,
+                   const moga::VariationParams& variation, Rng& rng,
+                   std::size_t& evaluations) {
+  const moga::Preference prefer = [](const moga::Individual& a, const moga::Individual& b) {
+    return moga::crowded_less(a, b);
+  };
+  const std::size_t n = island.size();
+  auto offspring = moga::make_offspring(island, bounds, variation, prefer, n, rng);
+
+  moga::Population pool;
+  pool.reserve(2 * n);
+  for (auto& p : island) pool.push_back(std::move(p));
+  for (auto& genes : offspring) {
+    moga::Individual child;
+    child.genes = std::move(genes);
+    problem.evaluate(child.genes, child.eval);
+    ++evaluations;
+    pool.push_back(std::move(child));
+  }
+
+  auto fronts = moga::fast_nondominated_sort(pool);
+  for (const auto& front : fronts) moga::assign_crowding(pool, front);
+
+  moga::Population next;
+  next.reserve(n);
+  for (const auto& front : fronts) {
+    if (next.size() + front.size() <= n) {
+      for (std::size_t idx : front) next.push_back(std::move(pool[idx]));
+    } else {
+      std::vector<std::size_t> sorted(front.begin(), front.end());
+      std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+        return pool[a].crowding > pool[b].crowding;
+      });
+      for (std::size_t idx : sorted) {
+        if (next.size() == n) break;
+        next.push_back(std::move(pool[idx]));
+      }
+    }
+    if (next.size() == n) break;
+  }
+  island = std::move(next);
+}
+
+/// Ring migration: the `migrants` best of island i replace the worst of
+/// island (i+1) % count. "Best" = rank 0 with the largest crowding (front
+/// spread carriers); "worst" = highest rank, smallest crowding.
+void migrate(std::vector<moga::Population>& islands, std::size_t migrants) {
+  const std::size_t count = islands.size();
+  std::vector<std::vector<moga::Individual>> outgoing(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& island = islands[i];
+    std::vector<std::size_t> order(island.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return moga::crowded_less(island[a], island[b]);
+    });
+    for (std::size_t m = 0; m < std::min(migrants, island.size()); ++m) {
+      outgoing[i].push_back(island[order[m]]);  // copies travel the ring
+    }
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    auto& destination = islands[(i + 1) % count];
+    std::vector<std::size_t> order(destination.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return moga::crowded_less(destination[a], destination[b]);
+    });
+    // Replace from the back (worst) of the destination.
+    std::size_t victim = order.size();
+    for (auto& migrant : outgoing[i]) {
+      if (victim == 0) break;
+      --victim;
+      destination[order[victim]] = std::move(migrant);
+    }
+  }
+}
+
+}  // namespace
+
+IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& params,
+                           const moga::GenerationCallback& on_generation) {
+  ANADEX_REQUIRE(params.islands >= 2, "island GA needs at least two islands");
+  ANADEX_REQUIRE(params.island_population >= 4 && params.island_population % 2 == 0,
+                 "island population must be even and >= 4");
+  ANADEX_REQUIRE(params.migration_interval >= 1, "migration interval must be >= 1");
+  ANADEX_REQUIRE(params.migrants <= params.island_population,
+                 "cannot migrate more individuals than an island holds");
+
+  const auto bounds = problem.bounds();
+  Rng rng(params.seed);
+  IslandResult result;
+
+  std::vector<moga::Population> islands(params.islands);
+  std::vector<Rng> island_rngs;
+  island_rngs.reserve(params.islands);
+  for (auto& island : islands) {
+    island_rngs.push_back(rng.split());
+    island.reserve(params.island_population);
+    for (std::size_t i = 0; i < params.island_population; ++i) {
+      moga::Individual ind;
+      ind.genes = moga::random_genome(bounds, island_rngs.back());
+      problem.evaluate(ind.genes, ind.eval);
+      ++result.evaluations;
+      island.push_back(std::move(ind));
+    }
+    auto fronts = moga::fast_nondominated_sort(island);
+    for (const auto& front : fronts) moga::assign_crowding(island, front);
+  }
+
+  for (std::size_t gen = 0; gen < params.generations; ++gen) {
+    for (std::size_t i = 0; i < islands.size(); ++i) {
+      evolve_island(problem, islands[i], bounds, params.variation, island_rngs[i],
+                    result.evaluations);
+    }
+    if ((gen + 1) % params.migration_interval == 0) {
+      migrate(islands, params.migrants);
+      ++result.migrations;
+    }
+    ++result.generations_run;
+    if (on_generation) {
+      moga::Population combined;
+      for (const auto& island : islands) {
+        combined.insert(combined.end(), island.begin(), island.end());
+      }
+      on_generation(gen, combined);
+    }
+  }
+
+  for (auto& island : islands) {
+    result.population.insert(result.population.end(),
+                             std::make_move_iterator(island.begin()),
+                             std::make_move_iterator(island.end()));
+  }
+  result.front = moga::extract_global_front(result.population);
+  return result;
+}
+
+}  // namespace anadex::sacga

@@ -1,0 +1,29 @@
+#include "sacga/local_only.hpp"
+
+namespace anadex::sacga {
+
+LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyParams& params,
+                               const moga::GenerationCallback& on_generation) {
+  EvolverParams evolver_params;
+  evolver_params.population_size = params.population_size;
+  evolver_params.variation = params.variation;
+
+  Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
+                          params.partitions);
+  PartitionedEvolver evolver(problem, evolver_params, std::move(partitioner), params.seed);
+
+  const ParticipationProbability never = [](std::size_t) { return 0.0; };
+  for (std::size_t gen = 0; gen < params.generations; ++gen) {
+    evolver.step(never);
+    if (on_generation) on_generation(gen, evolver.population());
+  }
+
+  LocalOnlyResult result;
+  result.front = evolver.global_front();
+  result.population = evolver.population();
+  result.evaluations = evolver.evaluations();
+  result.generations_run = evolver.generation();
+  return result;
+}
+
+}  // namespace anadex::sacga

@@ -1,0 +1,37 @@
+// Pure local-competition GA (paper §4.3): partitioned non-dominated ranking
+// with a global mating pool, but NO global competition until a single final
+// extraction of the global Pareto front. Diverse but slow to converge — the
+// motivation for SACGA's annealed mixing.
+#pragma once
+
+#include <cstdint>
+
+#include "moga/nsga2.hpp"
+#include "moga/problem.hpp"
+#include "sacga/partitioned_evolver.hpp"
+
+namespace anadex::sacga {
+
+struct LocalOnlyParams {
+  std::size_t population_size = 100;
+  std::size_t partitions = 8;
+  std::size_t axis_objective = 1;
+  double axis_lo = 0.0;
+  double axis_hi = 1.0;
+  std::size_t generations = 800;
+  moga::VariationParams variation;
+  std::uint64_t seed = 1;
+};
+
+struct LocalOnlyResult {
+  moga::Population population;  ///< final population
+  moga::Population front;       ///< feasible global Pareto front of the final population
+  std::size_t evaluations = 0;
+  std::size_t generations_run = 0;
+};
+
+/// Runs the pure local-competition GA. Deterministic for a fixed seed.
+LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyParams& params,
+                               const moga::GenerationCallback& on_generation = {});
+
+}  // namespace anadex::sacga

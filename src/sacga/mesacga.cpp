@@ -1,0 +1,87 @@
+#include "sacga/mesacga.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace anadex::sacga {
+
+MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& params,
+                          const moga::GenerationCallback& on_generation) {
+  ANADEX_REQUIRE(!params.partition_schedule.empty(),
+                 "MESACGA needs at least one phase in the partition schedule");
+  for (std::size_t i = 0; i < params.partition_schedule.size(); ++i) {
+    ANADEX_REQUIRE(params.partition_schedule[i] >= 1, "phase partition count must be >= 1");
+    if (i > 0) {
+      ANADEX_REQUIRE(params.partition_schedule[i] <= params.partition_schedule[i - 1],
+                     "MESACGA partition schedule must be non-increasing");
+    }
+  }
+  ANADEX_REQUIRE(params.span >= 1, "MESACGA needs a positive per-phase span");
+
+  EvolverParams evolver_params;
+  evolver_params.population_size = params.population_size;
+  evolver_params.variation = params.variation;
+
+  Partitioner initial(params.axis_objective, params.axis_lo, params.axis_hi,
+                      params.partition_schedule.front());
+  PartitionedEvolver evolver(problem, evolver_params, std::move(initial), params.seed);
+
+  MesacgaResult result;
+  result.phase1_generations =
+      run_phase1(evolver, params.phase1_max_generations, on_generation, 0);
+
+  std::size_t span = params.span;
+  if (params.total_budget > 0) {
+    ANADEX_REQUIRE(params.total_budget > params.phase1_max_generations,
+                   "total budget must exceed the phase-I cap");
+    span = std::max<std::size_t>((params.total_budget - result.phase1_generations) /
+                                     params.partition_schedule.size(),
+                                 1);
+  }
+
+  const std::size_t phase_count = params.partition_schedule.size();
+  // Continuous annealing cools one schedule over the whole multi-phase run;
+  // per-phase annealing restarts a span-long schedule in each phase.
+  const AnnealingSchedule whole_run_schedule = AnnealingSchedule::shaped(
+      params.shape, params.alpha, params.t_init, params.n_desired, span * phase_count);
+  const AnnealingSchedule per_phase_schedule = AnnealingSchedule::shaped(
+      params.shape, params.alpha, params.t_init, params.n_desired, span);
+
+  std::size_t generation = result.phase1_generations;
+  for (std::size_t phase = 0; phase < phase_count; ++phase) {
+    if (phase > 0) {
+      // Expand partitions: fewer, wider bins over the same axis range.
+      evolver.set_partitioner(Partitioner(params.axis_objective, params.axis_lo,
+                                          params.axis_hi, params.partition_schedule[phase]));
+    }
+    const AnnealingSchedule& schedule =
+        params.continuous_annealing ? whole_run_schedule : per_phase_schedule;
+
+    for (std::size_t offset = 0; offset < span; ++offset) {
+      const std::size_t schedule_offset =
+          params.continuous_annealing ? phase * span + offset : offset;
+      const ParticipationProbability prob = [&schedule, schedule_offset](std::size_t i) {
+        return schedule.participation_probability(i, schedule_offset);
+      };
+      evolver.step(prob);
+      if (on_generation) on_generation(generation, evolver.population());
+      ++generation;
+    }
+
+    PhaseSnapshot snap;
+    snap.phase = phase + 1;
+    snap.partitions = params.partition_schedule[phase];
+    snap.generation = generation;
+    snap.front = evolver.global_front();
+    result.phases.push_back(std::move(snap));
+  }
+
+  result.front = evolver.global_front();
+  result.population = evolver.population();
+  result.evaluations = evolver.evaluations();
+  result.generations_run = evolver.generation();
+  return result;
+}
+
+}  // namespace anadex::sacga

@@ -1,0 +1,71 @@
+// MESACGA — Multi-phase Expanding-partitions SACGA (paper §4.5).
+//
+// Runs SACGA's phase-II machinery repeatedly with a shrinking partition
+// count (default 20, 13, 8, 5, 3, 2, 1), each phase `span` generations with
+// its own freshly-started annealing schedule. Local Pareto fronts "grow"
+// and merge until the final single-partition phase is pure global
+// competition. A pure-local phase I (with the first phase's partitions)
+// precedes everything, as in SACGA.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "moga/nsga2.hpp"
+#include "moga/problem.hpp"
+#include "sacga/sacga.hpp"
+
+namespace anadex::sacga {
+
+struct MesacgaParams {
+  std::size_t population_size = 100;
+  /// Partition count per phase; must be non-increasing and end with >= 1.
+  std::vector<std::size_t> partition_schedule{20, 13, 8, 5, 3, 2, 1};
+  std::size_t axis_objective = 1;
+  double axis_lo = 0.0;
+  double axis_hi = 1.0;
+  std::size_t phase1_max_generations = 200;
+  std::size_t span = 100;  ///< generations per phase (paper Fig 10: 50/100/150)
+  /// When non-zero, the TOTAL generation budget: after phase I uses gen_t
+  /// generations, each phase runs (total_budget - gen_t) / #phases
+  /// generations (at least 1) instead of `span`.
+  std::size_t total_budget = 0;
+  /// Annealing-temperature handling across phases. The paper describes
+  /// MESACGA as "a SACGA running in multiple phases where the number of
+  /// partitions is reduced ... at the end of each phase", which we read as
+  /// ONE annealing schedule cooling over the whole multi-phase run while
+  /// the partitioning coarsens (continuous_annealing = true, the default).
+  /// Setting false restarts the temperature at T_init in every phase — the
+  /// alternative reading, kept for the schedule ablation bench.
+  bool continuous_annealing = true;
+  std::size_t n_desired = 5;
+  double alpha = 1.0;
+  double t_init = 100.0;
+  ScheduleShape shape;
+  moga::VariationParams variation;
+  std::uint64_t seed = 1;
+};
+
+/// Snapshot taken at the end of each MESACGA phase (used for paper Fig 10).
+struct PhaseSnapshot {
+  std::size_t phase = 0;       ///< 1-based phase index
+  std::size_t partitions = 0;
+  std::size_t generation = 0;  ///< cumulative generations at snapshot time
+  moga::Population front;      ///< global front of the population at phase end
+};
+
+struct MesacgaResult {
+  moga::Population population;
+  moga::Population front;
+  std::vector<PhaseSnapshot> phases;
+  std::size_t evaluations = 0;
+  std::size_t generations_run = 0;
+  std::size_t phase1_generations = 0;
+};
+
+/// Runs MESACGA. Deterministic for a fixed seed.
+MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& params,
+                          const moga::GenerationCallback& on_generation = {});
+
+}  // namespace anadex::sacga

@@ -1,0 +1,34 @@
+#include "sacga/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anadex::sacga {
+
+Partitioner::Partitioner(std::size_t axis_objective, double axis_lo, double axis_hi,
+                         std::size_t count)
+    : axis_(axis_objective), lo_(axis_lo), hi_(axis_hi), count_(count) {
+  ANADEX_REQUIRE(count >= 1, "partition count must be at least 1");
+  ANADEX_REQUIRE(axis_lo < axis_hi, "partition range must be non-degenerate");
+}
+
+std::size_t Partitioner::index_of_value(double axis_value) const {
+  const double f = (axis_value - lo_) / (hi_ - lo_);
+  const auto raw = static_cast<long long>(std::floor(f * static_cast<double>(count_)));
+  const long long clamped = std::clamp<long long>(raw, 0, static_cast<long long>(count_) - 1);
+  return static_cast<std::size_t>(clamped);
+}
+
+std::size_t Partitioner::index_of(const moga::Individual& individual) const {
+  ANADEX_REQUIRE(axis_ < individual.eval.objectives.size(),
+                 "partition axis objective out of range for this individual");
+  return index_of_value(individual.eval.objectives[axis_]);
+}
+
+Partitioner::Interval Partitioner::interval_of(std::size_t p) const {
+  ANADEX_REQUIRE(p < count_, "partition index out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(count_);
+  return {lo_ + width * static_cast<double>(p), lo_ + width * static_cast<double>(p + 1)};
+}
+
+}  // namespace anadex::sacga

@@ -1,0 +1,48 @@
+// Objective-space partitioning (paper §4.3).
+//
+// The objective-function space is split into m equal partitions induced by
+// dividing the range of ONE chosen objective (for the integrator problem:
+// the load-capacitance axis) into m equal, disjoint intervals. Individuals
+// are assigned to partitions by that objective's value; values outside the
+// configured range clamp to the edge partitions.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "moga/individual.hpp"
+
+namespace anadex::sacga {
+
+class Partitioner {
+ public:
+  /// Splits [axis_lo, axis_hi) of objective `axis_objective` into `count`
+  /// equal partitions. Requires count >= 1 and axis_lo < axis_hi.
+  Partitioner(std::size_t axis_objective, double axis_lo, double axis_hi, std::size_t count);
+
+  std::size_t count() const { return count_; }
+  std::size_t axis_objective() const { return axis_; }
+  double axis_lo() const { return lo_; }
+  double axis_hi() const { return hi_; }
+
+  /// Partition index of an objective-axis value (clamped to edge bins).
+  std::size_t index_of_value(double axis_value) const;
+
+  /// Partition index of an evaluated individual.
+  std::size_t index_of(const moga::Individual& individual) const;
+
+  /// [lower, upper) interval of objective-axis values covered by bin `p`.
+  struct Interval {
+    double lower;
+    double upper;
+  };
+  Interval interval_of(std::size_t p) const;
+
+ private:
+  std::size_t axis_;
+  double lo_;
+  double hi_;
+  std::size_t count_;
+};
+
+}  // namespace anadex::sacga

@@ -1,0 +1,184 @@
+#include "sacga/partitioned_evolver.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "moga/nds.hpp"
+#include "moga/nsga2.hpp"
+#include "moga/selection.hpp"
+
+namespace anadex::sacga {
+
+PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const EvolverParams& params,
+                                       Partitioner partitioner, std::uint64_t seed)
+    : problem_(problem),
+      params_(params),
+      partitioner_(std::move(partitioner)),
+      bounds_(problem.bounds()),
+      rng_(seed),
+      discarded_(partitioner_.count(), false) {
+  ANADEX_REQUIRE(params.population_size >= 4 && params.population_size % 2 == 0,
+                 "population size must be even and >= 4");
+  ANADEX_REQUIRE(partitioner_.axis_objective() < problem.num_objectives(),
+                 "partition axis must be a valid objective index");
+
+  population_.reserve(params.population_size);
+  for (std::size_t i = 0; i < params.population_size; ++i) {
+    moga::Individual ind;
+    ind.genes = moga::random_genome(bounds_, rng_);
+    evaluate_into(ind);
+    population_.push_back(std::move(ind));
+  }
+  // Pure-local initial ranking so tournaments are defined before step().
+  rank_pool(population_, info_, [](std::size_t) { return 0.0; });
+}
+
+void PartitionedEvolver::evaluate_into(moga::Individual& individual) {
+  problem_.evaluate(individual.genes, individual.eval);
+  ++evaluations_;
+}
+
+void PartitionedEvolver::rank_pool(moga::Population& pool, std::vector<MemberInfo>& info,
+                                   const ParticipationProbability& prob) {
+  info.assign(pool.size(), MemberInfo{});
+
+  // 1. Partition assignment.
+  std::vector<std::vector<std::size_t>> members(partitioner_.count());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const std::size_t p = partitioner_.index_of(pool[i]);
+    info[i].partition = p;
+    info[i].discarded_partition = discarded_[p];
+    members[p].push_back(i);
+  }
+
+  // 2. Local competition: per-partition constrained NDS + crowding.
+  std::vector<std::size_t> locally_superior;  // gathered per partition below
+  std::vector<std::size_t> global_candidates;
+  for (std::size_t p = 0; p < members.size(); ++p) {
+    if (members[p].empty()) continue;
+    auto fronts = moga::fast_nondominated_sort(pool, members[p]);
+    for (const auto& front : fronts) moga::assign_crowding(pool, front);
+    for (std::size_t idx : members[p]) info[idx].local_rank = pool[idx].rank;
+
+    if (discarded_[p]) continue;  // discarded partitions never compete globally
+
+    // 3. Probabilistic admission of this partition's locally-superior
+    //    solutions, visited in a freshly randomized order (paper point 2).
+    locally_superior = fronts.front();
+    std::shuffle(locally_superior.begin(), locally_superior.end(), rng_);
+    for (std::size_t i = 0; i < locally_superior.size(); ++i) {
+      const double admit = prob(i + 1);
+      if (rng_.bernoulli(admit)) global_candidates.push_back(locally_superior[i]);
+    }
+  }
+
+  // 4. Global competition among the admitted candidates; their rank is
+  //    revised to the global rank (non-candidates keep their local rank).
+  if (!global_candidates.empty()) {
+    // Note: only the RANK is revised; crowding keeps its partition-local
+    // value so the survivor ordering's density estimate stays comparable
+    // between participants and protected non-participants.
+    std::vector<double> saved_crowding;
+    saved_crowding.reserve(global_candidates.size());
+    for (std::size_t idx : global_candidates) saved_crowding.push_back(pool[idx].crowding);
+    moga::fast_nondominated_sort(pool, global_candidates);
+    for (std::size_t k = 0; k < global_candidates.size(); ++k) {
+      pool[global_candidates[k]].crowding = saved_crowding[k];
+    }
+  }
+}
+
+void PartitionedEvolver::step(const ParticipationProbability& prob) {
+  // Offspring from the GLOBAL mating pool (rank-based tournament over the
+  // entire current population, regardless of partition).
+  const moga::Preference prefer = [](const moga::Individual& a, const moga::Individual& b) {
+    return moga::crowded_less(a, b);
+  };
+  auto offspring_genes = moga::make_offspring(population_, bounds_, params_.variation, prefer,
+                                              params_.population_size, rng_);
+
+  moga::Population pool;
+  pool.reserve(2 * params_.population_size);
+  for (auto& p : population_) pool.push_back(std::move(p));
+  for (auto& genes : offspring_genes) {
+    moga::Individual child;
+    child.genes = std::move(genes);
+    evaluate_into(child);
+    pool.push_back(std::move(child));
+  }
+
+  std::vector<MemberInfo> info;
+  rank_pool(pool, info, prob);
+
+  // Survivor selection: (discarded-last, revised rank, crowding).
+  std::vector<std::size_t> order(pool.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (info[a].discarded_partition != info[b].discarded_partition) {
+      return !info[a].discarded_partition;
+    }
+    if (pool[a].rank != pool[b].rank) return pool[a].rank < pool[b].rank;
+    return pool[a].crowding > pool[b].crowding;
+  });
+
+  moga::Population next;
+  std::vector<MemberInfo> next_info;
+  next.reserve(params_.population_size);
+  next_info.reserve(params_.population_size);
+  for (std::size_t k = 0; k < params_.population_size; ++k) {
+    next.push_back(std::move(pool[order[k]]));
+    next_info.push_back(info[order[k]]);
+  }
+  population_ = std::move(next);
+  info_ = std::move(next_info);
+  ++generation_;
+}
+
+void PartitionedEvolver::set_partitioner(Partitioner partitioner) {
+  ANADEX_REQUIRE(partitioner.axis_objective() < problem_.num_objectives(),
+                 "partition axis must be a valid objective index");
+  partitioner_ = std::move(partitioner);
+  discarded_.assign(partitioner_.count(), false);
+  rank_pool(population_, info_, [](std::size_t) { return 0.0; });
+}
+
+bool PartitionedEvolver::all_active_partitions_feasible() const {
+  std::vector<bool> has_feasible(partitioner_.count(), false);
+  std::vector<bool> populated(partitioner_.count(), false);
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    populated[info_[i].partition] = true;
+    if (population_[i].feasible()) has_feasible[info_[i].partition] = true;
+  }
+  bool any = false;
+  for (std::size_t p = 0; p < partitioner_.count(); ++p) {
+    if (discarded_[p]) continue;
+    if (!has_feasible[p]) return false;  // empty partitions also count as infeasible
+    any = true;
+  }
+  return any;
+}
+
+std::size_t PartitionedEvolver::discard_infeasible_partitions() {
+  std::vector<bool> has_feasible(partitioner_.count(), false);
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    if (population_[i].feasible()) has_feasible[info_[i].partition] = true;
+  }
+  std::size_t count = 0;
+  for (std::size_t p = 0; p < partitioner_.count(); ++p) {
+    if (!discarded_[p] && !has_feasible[p]) {
+      discarded_[p] = true;
+      ++count;
+    }
+  }
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    info_[i].discarded_partition = discarded_[info_[i].partition];
+  }
+  return count;
+}
+
+moga::Population PartitionedEvolver::global_front() const {
+  return moga::extract_global_front(population_);
+}
+
+}  // namespace anadex::sacga

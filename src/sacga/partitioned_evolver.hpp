@@ -1,0 +1,112 @@
+// The evolutionary engine shared by LocalOnlyGA, SACGA and MESACGA.
+//
+// Per generation (paper Fig. 3):
+//   1. A GLOBAL mating pool produces offspring (binary tournament over the
+//      whole population, SBX crossover + polynomial mutation).
+//   2. Parents and offspring are combined and assigned to partitions by the
+//      partition-axis objective.
+//   3. LOCAL competition: constrained non-dominated sorting + crowding
+//      within each partition ("local rank"; local rank 0 = locally
+//      superior).
+//   4. Each partition's locally-superior solutions are visited in a freshly
+//      randomized order; the i-th is admitted to GLOBAL competition with the
+//      caller-supplied probability prob(i). Admitted candidates are globally
+//      non-dominated sorted and their rank is REVISED to the global rank.
+//   5. Survivor selection keeps the best population_size individuals by
+//      (revised rank, crowding). Since every partition's local front shares
+//      rank 0 when nothing is admitted globally, pure local competition
+//      preserves every partition; as admissions rise, globally dominated
+//      solutions sink and convergence pressure grows.
+//
+// Members of discarded partitions (phase-I timeout, paper §4.4) are pushed
+// to the back of the survivor ordering so they are only retained when the
+// active partitions cannot fill the population.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "moga/individual.hpp"
+#include "moga/operators.hpp"
+#include "moga/problem.hpp"
+#include "sacga/partition.hpp"
+
+namespace anadex::sacga {
+
+/// Engine configuration common to the SACGA family.
+struct EvolverParams {
+  std::size_t population_size = 100;  ///< must be even and >= 4
+  moga::VariationParams variation;
+};
+
+/// Probability that the i-th (1-based) locally-superior solution of a
+/// partition joins global competition this generation. Returning 0 for all
+/// i yields pure local competition; 1 for all i yields pure global
+/// competition.
+using ParticipationProbability = std::function<double(std::size_t i)>;
+
+/// Evolutionary engine with partition-local competition and probabilistic
+/// global-rank revision.
+class PartitionedEvolver {
+ public:
+  /// Creates and evaluates a random initial population.
+  PartitionedEvolver(const moga::Problem& problem, const EvolverParams& params,
+                     Partitioner partitioner, std::uint64_t seed);
+
+  /// Runs one generation with the given participation policy.
+  void step(const ParticipationProbability& prob);
+
+  /// Replaces the partitioner (MESACGA phase transition). Re-ranks the
+  /// current population under the new partitions and clears discard flags.
+  void set_partitioner(Partitioner partitioner);
+
+  const Partitioner& partitioner() const { return partitioner_; }
+  const moga::Population& population() const { return population_; }
+  std::size_t evaluations() const { return evaluations_; }
+  std::size_t generation() const { return generation_; }
+
+  /// True when every non-discarded partition currently holds at least one
+  /// feasible individual AND at least one partition is populated.
+  bool all_active_partitions_feasible() const;
+
+  /// Marks partitions with no feasible member as discarded (end of phase I
+  /// on timeout). Returns the number of partitions discarded.
+  std::size_t discard_infeasible_partitions();
+
+  /// Indices of partitions currently discarded.
+  const std::vector<bool>& discarded() const { return discarded_; }
+
+  /// Performs the final global competition on the entire population and
+  /// returns the feasible non-dominated front (paper: "Global Competition
+  /// is performed once on the entire population").
+  moga::Population global_front() const;
+
+ private:
+  struct MemberInfo {
+    std::size_t partition = 0;
+    int local_rank = 0;
+    bool discarded_partition = false;
+  };
+
+  void evaluate_into(moga::Individual& individual);
+  /// Ranks `pool` (partition assignment, local NDS + crowding, global rank
+  /// revision with the given policy); fills `info` parallel to `pool`.
+  void rank_pool(moga::Population& pool, std::vector<MemberInfo>& info,
+                 const ParticipationProbability& prob);
+
+  const moga::Problem& problem_;
+  EvolverParams params_;
+  Partitioner partitioner_;
+  std::vector<moga::VariableBound> bounds_;
+  Rng rng_;
+  moga::Population population_;
+  std::vector<MemberInfo> info_;  ///< parallel to population_
+  std::vector<bool> discarded_;
+  std::size_t evaluations_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace anadex::sacga

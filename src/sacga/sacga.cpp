@@ -1,0 +1,70 @@
+#include "sacga/sacga.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace anadex::sacga {
+
+std::size_t run_phase1(PartitionedEvolver& evolver, std::size_t max_generations,
+                       const moga::GenerationCallback& on_generation,
+                       std::size_t generation_offset) {
+  const ParticipationProbability never = [](std::size_t) { return 0.0; };
+  std::size_t used = 0;
+  while (used < max_generations && !evolver.all_active_partitions_feasible()) {
+    evolver.step(never);
+    if (on_generation) on_generation(generation_offset + used, evolver.population());
+    ++used;
+  }
+  evolver.discard_infeasible_partitions();
+  return used;
+}
+
+SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
+                      const moga::GenerationCallback& on_generation) {
+  ANADEX_REQUIRE(params.partitions >= 1, "SACGA needs at least one partition");
+  ANADEX_REQUIRE(params.span >= 1, "SACGA needs a positive phase-II span");
+
+  EvolverParams evolver_params;
+  evolver_params.population_size = params.population_size;
+  evolver_params.variation = params.variation;
+
+  Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
+                          params.partitions);
+  PartitionedEvolver evolver(problem, evolver_params, std::move(partitioner), params.seed);
+
+  SacgaResult result;
+  result.phase1_generations =
+      run_phase1(evolver, params.phase1_max_generations, on_generation, 0);
+  for (bool d : evolver.discarded()) {
+    if (d) ++result.discarded_partitions;
+  }
+
+  std::size_t span = params.span;
+  if (params.span_is_total_budget) {
+    ANADEX_REQUIRE(params.span > params.phase1_max_generations,
+                   "total budget must exceed the phase-I cap");
+    span = std::max<std::size_t>(params.span - result.phase1_generations, 1);
+  }
+
+  const AnnealingSchedule schedule = AnnealingSchedule::shaped(
+      params.shape, params.alpha, params.t_init, params.n_desired, span);
+
+  for (std::size_t offset = 0; offset < span; ++offset) {
+    const ParticipationProbability prob = [&schedule, offset](std::size_t i) {
+      return schedule.participation_probability(i, offset);
+    };
+    evolver.step(prob);
+    if (on_generation) {
+      on_generation(result.phase1_generations + offset, evolver.population());
+    }
+  }
+
+  result.front = evolver.global_front();
+  result.population = evolver.population();
+  result.evaluations = evolver.evaluations();
+  result.generations_run = evolver.generation();
+  return result;
+}
+
+}  // namespace anadex::sacga

@@ -1,0 +1,65 @@
+// SACGA — Simulated-Annealing-driven Competition GA (paper §4.4).
+//
+// Phase I: pure local competition until every partition holds a
+// constraint-satisfying solution, capped at `phase1_max_generations`; on
+// timeout, partitions still lacking a feasible member are discarded.
+//
+// Phase II: for `span` generations the annealing schedule (eqns 2–4)
+// probabilistically admits locally-superior solutions to global
+// competition, transitioning from pure local to (almost) pure global
+// pressure. A final global competition over the whole population yields the
+// reported Pareto front.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "moga/nsga2.hpp"
+#include "moga/problem.hpp"
+#include "sacga/partitioned_evolver.hpp"
+#include "sacga/schedule.hpp"
+
+namespace anadex::sacga {
+
+struct SacgaParams {
+  std::size_t population_size = 100;
+  std::size_t partitions = 8;
+  std::size_t axis_objective = 1;  ///< objective whose range is partitioned
+  double axis_lo = 0.0;
+  double axis_hi = 1.0;
+  std::size_t phase1_max_generations = 200;  ///< paper: "a couple of hundred"
+  std::size_t span = 600;                    ///< phase-II generations
+  /// When true, `span` is the TOTAL generation budget and phase II runs for
+  /// span - gen_t generations (the paper reports runs by total iteration
+  /// count, e.g. "800 iterations of an 8-partition SACGA").
+  bool span_is_total_budget = false;
+  std::size_t n_desired = 5;                 ///< eqn 2's n
+  double alpha = 1.0;                        ///< eqn 3's alpha
+  double t_init = 100.0;                     ///< eqn 4's T_init
+  ScheduleShape shape;                       ///< shaping targets for k1/k2/k3
+  moga::VariationParams variation;
+  std::uint64_t seed = 1;
+};
+
+struct SacgaResult {
+  moga::Population population;
+  moga::Population front;
+  std::size_t evaluations = 0;
+  std::size_t generations_run = 0;   ///< gen_t + span
+  std::size_t phase1_generations = 0;  ///< the paper's gen_t
+  std::size_t discarded_partitions = 0;
+};
+
+/// Runs SACGA. `on_generation` (if given) sees every generation of both
+/// phases with a single global generation index. Deterministic per seed.
+SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
+                      const moga::GenerationCallback& on_generation = {});
+
+/// Phase I only, exposed for reuse by MESACGA: evolves under pure local
+/// competition until feasible coverage or the cap, then discards infeasible
+/// partitions. Returns the number of generations used (gen_t).
+std::size_t run_phase1(PartitionedEvolver& evolver, std::size_t max_generations,
+                       const moga::GenerationCallback& on_generation,
+                       std::size_t generation_offset);
+
+}  // namespace anadex::sacga

@@ -1,0 +1,83 @@
+#include "sacga/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace anadex::sacga {
+
+AnnealingSchedule::AnnealingSchedule(const ScheduleParams& params) : params_(params) {
+  ANADEX_REQUIRE(params.k1 > 0.0, "k1 must be positive");
+  ANADEX_REQUIRE(params.alpha > 0.0, "alpha must be positive");
+  ANADEX_REQUIRE(params.t_init > 1.0, "T_init must exceed the final temperature of 1");
+  ANADEX_REQUIRE(params.n >= 2, "n (desired solutions per partition) must be >= 2");
+  ANADEX_REQUIRE(params.span >= 1, "span must be >= 1");
+}
+
+AnnealingSchedule AnnealingSchedule::shaped(const ScheduleShape& shape, double alpha,
+                                            double t_init, std::size_t n, std::size_t span) {
+  ANADEX_REQUIRE(shape.p_mid_first > 0.0 && shape.p_mid_first < 1.0 &&
+                     shape.p_mid_last > 0.0 && shape.p_mid_last < 1.0 &&
+                     shape.p_end_last > 0.0 && shape.p_end_last < 1.0,
+                 "shaping probabilities must lie strictly in (0, 1)");
+  ANADEX_REQUIRE(shape.p_mid_first > shape.p_mid_last,
+                 "prob(i=1) must exceed prob(i=n) at mid-span");
+  ANADEX_REQUIRE(shape.p_end_last > shape.p_mid_last,
+                 "prob(i=n) must grow from mid-span to end-span");
+
+  // From eqn (3): alpha / (c_i * T) = -ln(1 - p). Write L = -ln(1 - p).
+  const double l_mid_first = -std::log(1.0 - shape.p_mid_first);
+  const double l_mid_last = -std::log(1.0 - shape.p_mid_last);
+  const double l_end_last = -std::log(1.0 - shape.p_end_last);
+
+  // Mid-span targets differ only through c_i: c_n / c_1 = exp(k2) so
+  // k2 = ln(L_1 / L_n) evaluated at mid-span.
+  const double k2 = std::log(l_mid_first / l_mid_last);
+
+  // prob(i=n) moves from mid- to end-span only through T: T_mid / T_end =
+  // L_end / L_mid. With T_end = T_init^(1 - k3) and T_mid = T_init^(1 - k3/2)
+  // this gives T_mid = (L_end / L_mid) * T_end; choosing T_end = 1 pins
+  // k3 = 1 would over-constrain, so solve k3 from T_mid alone:
+  //   T_mid = L_end / L_mid * T_init^(1 - k3)  and  T_mid = T_init^(1 - k3/2)
+  // =>  T_init^(k3/2) = L_end / L_mid  =>  k3 = 2 ln(L_end/L_mid) / ln(T_init).
+  const double k3 = 2.0 * std::log(l_end_last / l_mid_last) / std::log(t_init);
+
+  // Finally k1 from the end-span target: c_n = alpha / (L_end * T_end).
+  const double t_end = std::pow(t_init, 1.0 - k3);
+  const double c_n = alpha / (l_end_last * t_end);
+  const double k1 = c_n * std::exp(-k2 * static_cast<double>(n) / static_cast<double>(n - 1));
+
+  ScheduleParams params;
+  params.k1 = k1;
+  params.k2 = k2;
+  params.k3 = k3;
+  params.alpha = alpha;
+  params.t_init = t_init;
+  params.n = n;
+  params.span = span;
+  return AnnealingSchedule(params);
+}
+
+double AnnealingSchedule::temperature(std::size_t gen_offset) const {
+  const double g = std::min<double>(static_cast<double>(gen_offset),
+                                    static_cast<double>(params_.span));
+  const double exponent =
+      -params_.k3 * std::log(params_.t_init) / static_cast<double>(params_.span) * g;
+  return params_.t_init * std::exp(exponent);
+}
+
+double AnnealingSchedule::cost(std::size_t i) const {
+  ANADEX_REQUIRE(i >= 1, "solution index i is 1-based");
+  return params_.k1 *
+         std::exp(params_.k2 * static_cast<double>(i) / static_cast<double>(params_.n - 1));
+}
+
+double AnnealingSchedule::participation_probability(std::size_t i,
+                                                    std::size_t gen_offset) const {
+  const double t = temperature(gen_offset);
+  const double p = 1.0 - std::exp(-params_.alpha / (cost(i) * t));
+  return std::clamp(p, 0.0, 1.0);
+}
+
+}  // namespace anadex::sacga

@@ -1,0 +1,71 @@
+// The simulated-annealing participation schedule of SACGA (paper §4.4,
+// equations 2–4).
+//
+// During phase II, the i-th locally-superior solution of a partition
+// (i = 1..m_p in a freshly randomized order each generation) is admitted to
+// global competition with probability
+//
+//     prob(i, gen) = 1 - exp( -alpha / (c_i * T_A(gen)) )          (eqn 3)
+//     c_i          = k1 * exp( k2 * i / (n - 1) )                  (eqn 2)
+//     T_A(gen)     = T_init * exp( -k3 * ln(T_init)/span * (gen - gen_t) )  (eqn 4)
+//
+// so competition is almost purely local early (high temperature, low
+// probability) and almost purely global at the end of the span. Lower i
+// (the solutions considered earlier in the random order) get a higher
+// probability, implementing the paper's partial-retention rule: a partition
+// keeps some representation even when its global candidates are dominated.
+#pragma once
+
+#include <cstddef>
+
+namespace anadex::sacga {
+
+/// Raw parameters of eqns (2)–(4).
+struct ScheduleParams {
+  double k1 = 1.0;       ///< cost scale (eqn 2)
+  double k2 = 1.0;       ///< cost growth with solution index (eqn 2)
+  double k3 = 1.0;       ///< cooling exponent (eqn 4); 1 cools T_init -> 1 over span
+  double alpha = 1.0;    ///< participation aggressiveness (eqn 3)
+  double t_init = 100.0; ///< initial annealing temperature
+  std::size_t n = 5;     ///< desired globally-superior solutions per partition
+  std::size_t span = 600;///< generations in phase II
+};
+
+/// Target probabilities used to shape k1/k2/k3, per the paper's point 3:
+/// desired probabilities at mid-span for i = 1 and i = n, and at end-span
+/// for i = n (end-span probability of smaller i is higher still).
+struct ScheduleShape {
+  double p_mid_first = 0.80;  ///< prob(i=1) at gen = gen_t + span/2
+  double p_mid_last = 0.20;   ///< prob(i=n) at gen = gen_t + span/2
+  double p_end_last = 0.95;   ///< prob(i=n) at gen = gen_t + span
+};
+
+/// Evaluates the annealing schedule.
+class AnnealingSchedule {
+ public:
+  /// Uses the raw parameters as given.
+  explicit AnnealingSchedule(const ScheduleParams& params);
+
+  /// Solves k1, k2, k3 from the shaping targets (closed form), keeping the
+  /// given alpha / t_init / n / span.
+  static AnnealingSchedule shaped(const ScheduleShape& shape, double alpha, double t_init,
+                                  std::size_t n, std::size_t span);
+
+  const ScheduleParams& params() const { return params_; }
+
+  /// Annealing temperature at `gen_offset` = gen - gen_t, clamped to
+  /// [0, span]. T(0) = T_init.
+  double temperature(std::size_t gen_offset) const;
+
+  /// Cost of admitting the i-th locally-superior solution (i is 1-based).
+  double cost(std::size_t i) const;
+
+  /// Participation probability of solution i at `gen_offset` (eqn 3),
+  /// clamped to [0, 1].
+  double participation_probability(std::size_t i, std::size_t gen_offset) const;
+
+ private:
+  ScheduleParams params_;
+};
+
+}  // namespace anadex::sacga

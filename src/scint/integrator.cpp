@@ -1,0 +1,144 @@
+#include "scint/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace anadex::scint {
+
+namespace {
+
+constexpr double kTiny = 1e-18;
+constexpr double kPi = 3.14159265358979323846;
+
+/// Relative envelope of the residual settling error of the closed two-pole
+/// loop at time t: exp-decaying for both the under- and over-damped cases.
+double settling_envelope(double omega_n, double zeta, double t) {
+  if (t <= 0.0) return 1.0;
+  if (zeta < 1.0) {
+    // Under-damped: envelope exp(-zeta*wn*t)/sqrt(1-zeta^2).
+    const double damp = std::max(1.0 - zeta * zeta, 1e-6);
+    return std::exp(-zeta * omega_n * t) / std::sqrt(damp);
+  }
+  // Over-damped: response dominated by the slow real pole.
+  const double root = std::sqrt(zeta * zeta - 1.0);
+  const double p_slow = omega_n * (zeta - root);
+  const double p_fast = omega_n * (zeta + root);
+  const double correction = p_fast / std::max(p_fast - p_slow, kTiny);
+  return correction * std::exp(-p_slow * t);
+}
+
+/// Inverse of settling_envelope: time to reach a relative band.
+double settling_time_to_band(double omega_n, double zeta, double band) {
+  if (band >= 1.0) return 0.0;
+  if (zeta < 1.0) {
+    const double damp = std::max(1.0 - zeta * zeta, 1e-6);
+    const double arg = band * std::sqrt(damp);
+    return -std::log(std::max(arg, 1e-300)) / std::max(zeta * omega_n, kTiny);
+  }
+  const double root = std::sqrt(zeta * zeta - 1.0);
+  const double p_slow = omega_n * (zeta - root);
+  const double p_fast = omega_n * (zeta + root);
+  const double correction = p_fast / std::max(p_fast - p_slow, kTiny);
+  return std::log(std::max(correction / band, 1.0)) / std::max(p_slow, kTiny);
+}
+
+}  // namespace
+
+IntegratorPerformance evaluate(const device::Process& process, const IntegratorDesign& design,
+                               const IntegratorContext& context) {
+  IntegratorPerformance perf;
+  perf.opamp = circuit::analyze(process, design.opamp, context.opamp);
+  const circuit::OpAmpAnalysis& amp = perf.opamp;
+
+  perf.power = amp.power;
+  perf.area = amp.area;
+  perf.sat_margin_worst = amp.margins.worst();
+  perf.mirror_balance_error = amp.mirror_balance_error;
+  perf.vov_worst = amp.vov_worst;
+  perf.output_range = amp.swing;
+
+  const double cf = design.cf();
+  const circuit::IntegratedCapacitor cap_s{design.cs};
+  const circuit::IntegratedCapacitor cap_f{cf};
+  const circuit::IntegratedCapacitor cap_oc{design.coc};
+  perf.area += cap_s.area(process) + cap_f.area(process) + cap_oc.area(process);
+
+  // ---- Feedback network ---------------------------------------------------
+  // Summing-node capacitance during integration: sampling cap, offset
+  // storage cap, opamp input capacitance (top plates at the virtual ground).
+  const double c_sum = design.cs + design.coc + amp.c_in;
+  perf.feedback_factor = cf / std::max(cf + c_sum, kTiny);
+  const double beta = perf.feedback_factor;
+
+  // Effective output load: external load, device junctions, feedback-cap
+  // bottom plate (driven side) and the series combination of Cf with the
+  // summing-node capacitance.
+  const double c_fb_series = cf * c_sum / std::max(cf + c_sum, kTiny);
+  perf.load_total =
+      design.cload + amp.c_out_self + cap_f.bottom_plate(process) + c_fb_series;
+
+  // ---- Loop dynamics ------------------------------------------------------
+  const double omega_u = circuit::unity_gain_radians(amp);
+  perf.unity_gain_hz = omega_u / (2.0 * kPi);
+  const double omega_t = std::max(beta * omega_u, kTiny);  // loop crossover
+
+  // Non-dominant output pole of the Miller two-stage with this load.
+  const double cc = std::max(amp.cc_eff, kTiny);
+  const double c1 = amp.c_first;
+  const double cl = perf.load_total;
+  // The capacitance-product denominator is of order 1e-24 F^2: floor it at a
+  // far smaller scale so the guard never distorts the pole.
+  const double p2 = amp.gm6 * cc / std::max(c1 * cl + cc * (c1 + cl), 1e-30);
+  const double z_rhp = amp.gm6 / cc;
+  const double p3 = std::max(amp.mirror_pole, kTiny);
+
+  perf.phase_margin_deg = 90.0 - (std::atan(omega_t / std::max(p2, kTiny)) +
+                                  std::atan(omega_t / p3) +
+                                  std::atan(omega_t / std::max(z_rhp, kTiny))) *
+                                     180.0 / kPi;
+
+  // Two-pole closed-loop settling parameters; the mirror pole and RHP zero
+  // are folded into an effective non-dominant pole 1/p_eff = 1/p2 + 1/p3 + 1/z.
+  const double p_eff =
+      1.0 / (1.0 / std::max(p2, kTiny) + 1.0 / p3 + 1.0 / std::max(z_rhp, kTiny));
+  const double omega_n = std::sqrt(omega_t * p_eff);
+  const double zeta = 0.5 * std::sqrt(p_eff / omega_t);
+
+  // ---- Slewing ------------------------------------------------------------
+  const double slew = std::min(amp.slew_internal,
+                               amp.i7 / std::max(perf.load_total, kTiny));
+  // Linear regime is entered when the remaining swing can be handled at the
+  // loop bandwidth: v_lin = SR / omega_t.
+  const double v_lin = slew / omega_t;
+  const double t_slew =
+      std::max(0.0, (context.output_step - v_lin) / std::max(slew, kTiny));
+
+  perf.settling_time =
+      t_slew + settling_time_to_band(omega_n, zeta, context.settle_band);
+
+  // ---- Settling error at the allotted half period --------------------------
+  const double static_error = 1.0 / std::max(amp.a0 * beta, 1e-3);
+  const double t_linear_avail = context.half_period - t_slew;
+  const double dynamic_error = (t_linear_avail <= 0.0)
+                                   ? 1.0
+                                   : settling_envelope(omega_n, zeta, t_linear_avail);
+  perf.settling_error = static_error + dynamic_error;
+
+  // ---- Dynamic range --------------------------------------------------------
+  // Sampled kT/C noise of both phases (CDS doubles the white-noise power)
+  // on the differential pair of branches, plus the opamp thermal noise in
+  // the loop's equivalent noise bandwidth; divided by the oversampling
+  // ratio for the in-band figure.
+  const double kt = kBoltzmann * process.temperature;
+  const double v_ktc = 4.0 * kt / std::max(design.cs, kTiny);
+  const double v_opamp = amp.noise_psd * (omega_t / 4.0);
+  const double v_noise_sq = (v_ktc + v_opamp) / context.oversampling;
+  const double v_signal_sq = sq(perf.output_range) / 8.0;  // sine at full swing
+  perf.dynamic_range_db = power_db(v_signal_sq / std::max(v_noise_sq, kTiny));
+
+  return perf;
+}
+
+}  // namespace anadex::scint

@@ -1,0 +1,37 @@
+// Circuit specification: the constraint limits of the sizing problem.
+#pragma once
+
+#include <string>
+
+#include "scint/integrator.hpp"
+
+namespace anadex::scint {
+
+/// Specification limits (paper §2). The illustrated case is
+/// DR >= 96 dB, OR >= 1.4 V, ST <= 0.24 µs, SE <= 7e-4, Robustness >= 0.85.
+struct Spec {
+  std::string name = "default";
+  double dr_min_db = 96.0;
+  double or_min = 1.4;          ///< V
+  double st_max = 0.24e-6;      ///< s
+  double se_max = 7e-4;
+  double robustness_min = 0.85;
+  double area_max = 80e-9;      ///< m^2 (0.08 mm^2)
+
+  /// Matching (systematic offset) limit applied at every corner.
+  double balance_max = 0.30;
+
+  /// Minimum gate overdrive (strong-inversion operating region), V.
+  double vov_min = 0.10;
+
+  /// True when a single-corner performance satisfies every deterministic
+  /// limit (robustness is evaluated separately via Monte-Carlo).
+  bool satisfied_by(const IntegratorPerformance& perf) const {
+    return perf.dynamic_range_db >= dr_min_db && perf.output_range >= or_min &&
+           perf.settling_time <= st_max && perf.settling_error <= se_max &&
+           perf.area <= area_max && perf.sat_margin_worst >= 0.0 &&
+           perf.mirror_balance_error <= balance_max && perf.vov_worst >= vov_min;
+  }
+};
+
+}  // namespace anadex::scint

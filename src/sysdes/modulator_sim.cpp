@@ -1,0 +1,99 @@
+#include "sysdes/modulator_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/fft.hpp"
+#include "common/rng.hpp"
+
+namespace anadex::sysdes {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+/// Integrator states beyond this bound (in feedback-reference units) mark
+/// the loop as unstable; states are saturated there, as real SC integrators
+/// clip at the opamp swing.
+constexpr double kSaturation = 8.0;
+}  // namespace
+
+StageModel StageModel::from_performance(const scint::IntegratorPerformance& perf,
+                                        double coefficient) {
+  StageModel m;
+  m.coefficient = coefficient;
+  const double loop_gain = std::max(perf.opamp.a0 * perf.feedback_factor, 1.0);
+  m.leakage = 1.0 - 1.0 / loop_gain;
+  m.settling_gain = std::clamp(1.0 - perf.settling_error, 0.0, 1.0);
+  return m;
+}
+
+std::vector<StageModel> ideal_stages(int order) {
+  ANADEX_REQUIRE(order >= 1 && order <= 4, "orders 1..4 are supported");
+  // Coefficients in the SC parametrization c_i = Cs_i / Cf_i (input and
+  // feedback DAC share the sampling network): x_i' = x_i + c_i (u_i - v).
+  // Sets chosen for robust 1-bit stability at ~0.5 full-scale inputs.
+  static const std::vector<std::vector<double>> kCoefficients{
+      {1.0},
+      {0.5, 0.5},
+      {0.25, 0.4, 0.6},
+      {0.15, 0.2, 0.4, 0.6},  // stable for 1-bit inputs up to ~0.6 full scale
+  };
+  std::vector<StageModel> stages;
+  for (double c : kCoefficients[static_cast<std::size_t>(order - 1)]) {
+    StageModel m;
+    m.coefficient = c;
+    stages.push_back(m);
+  }
+  return stages;
+}
+
+SimulationResult simulate_modulator(const std::vector<StageModel>& stages,
+                                    const SimulationConfig& config) {
+  ANADEX_REQUIRE(!stages.empty(), "need at least one stage");
+  ANADEX_REQUIRE(is_power_of_two(config.samples) && config.samples >= 64,
+                 "record length must be a power of two >= 64");
+  ANADEX_REQUIRE(config.osr > 1.0, "OSR must exceed 1");
+
+  // Put the test tone well inside the signal band (band edge = N/(2*OSR)).
+  const auto band_limit =
+      static_cast<std::size_t>(static_cast<double>(config.samples) / (2.0 * config.osr));
+  ANADEX_REQUIRE(band_limit >= 8, "record too short for this OSR");
+  const std::size_t cycles =
+      config.input_cycles > 0 ? config.input_cycles : std::max<std::size_t>(band_limit / 3, 5);
+  ANADEX_REQUIRE(cycles <= band_limit, "input tone must lie inside the band");
+
+  SimulationResult result;
+  result.bitstream.reserve(config.samples);
+
+  Rng rng(config.seed);
+  std::vector<double> x(stages.size(), 0.0);
+  for (auto& state : x) state = rng.uniform(-1e-3, 1e-3);  // break symmetry
+
+  result.stable = true;
+  for (std::size_t n = 0; n < config.samples; ++n) {
+    const double u = config.input_amplitude *
+                     std::sin(2.0 * kPi * static_cast<double>(cycles) *
+                              static_cast<double>(n) / static_cast<double>(config.samples));
+    const double v = x.back() >= 0.0 ? 1.0 : -1.0;
+    result.bitstream.push_back(v);
+
+    // Delaying integrators: update from the back so each stage reads its
+    // predecessor's PREVIOUS state.
+    for (std::size_t i = stages.size(); i-- > 0;) {
+      const double input = (i == 0) ? u : x[i - 1];
+      const StageModel& m = stages[i];
+      double next = m.leakage * x[i] + m.settling_gain * m.coefficient * (input - v);
+      result.max_state = std::max(result.max_state, std::abs(next));
+      if (std::abs(next) > kSaturation) {
+        next = std::copysign(kSaturation, next);
+        result.stable = false;
+      }
+      x[i] = next;
+    }
+  }
+
+  result.sndr_db = sndr_db(result.bitstream, cycles, band_limit);
+  return result;
+}
+
+}  // namespace anadex::sysdes

@@ -1,0 +1,64 @@
+// Behavioral (discrete-time difference-equation) simulator for single-loop
+// sigma-delta modulators built from the library's switched-capacitor
+// integrators.
+//
+// This closes the loop of the paper's motivation: the integrator's circuit
+// non-idealities — finite DC gain (leaky integration) and incomplete
+// settling (gain error) — are taken from an IntegratorPerformance and
+// injected into the loop-filter difference equations, so one can check that
+// a design picked from the Pareto surface actually delivers the modulator-
+// level dynamic range.
+//
+// Loop topology: chain of delaying integrators with distributed feedback
+// (CIFB), 1-bit quantizer:
+//     x_i[n+1] = p_i * x_i[n] + g_i * c_i * (u_i[n] - b_i * v[n])
+// where u_1 = input, u_i = x_{i-1} for i > 1, v = sign(x_last),
+// p_i = leakage from finite gain, g_i = 1 - settling error.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scint/integrator.hpp"
+#include "sysdes/sigma_delta.hpp"
+
+namespace anadex::sysdes {
+
+/// Per-stage non-ideality model.
+struct StageModel {
+  double coefficient = 0.5;      ///< loop-filter coefficient c_i
+  double leakage = 1.0;          ///< integrator pole p_i (1 = ideal)
+  double settling_gain = 1.0;    ///< charge-transfer gain g_i (1 = ideal)
+
+  /// Derives the stage model from a circuit-level performance report: the
+  /// pole is 1 - 1/(A0*beta) (leaky integration from finite gain) and the
+  /// charge-transfer gain is 1 - SE (incomplete settling).
+  static StageModel from_performance(const scint::IntegratorPerformance& perf,
+                                     double coefficient);
+};
+
+struct SimulationConfig {
+  std::size_t samples = 1 << 14;     ///< record length (power of two)
+  double input_amplitude = 0.5;      ///< relative to the feedback reference
+  std::size_t input_cycles = 0;      ///< sine cycles per record (0 = auto from OSR)
+  double osr = 128.0;
+  std::uint64_t seed = 1;            ///< dither / initial-state randomization
+};
+
+struct SimulationResult {
+  double sndr_db = 0.0;              ///< in-band signal-to-noise-and-distortion
+  double max_state = 0.0;            ///< largest |integrator state| seen (stability)
+  bool stable = false;               ///< states stayed within the stability bound
+  std::vector<double> bitstream;     ///< quantizer output (+-1)
+};
+
+/// Simulates an order-N CIFB modulator (N = stages.size()) and measures the
+/// in-band SNDR of the bit-stream. Deterministic per config.
+SimulationResult simulate_modulator(const std::vector<StageModel>& stages,
+                                    const SimulationConfig& config);
+
+/// Ideal stage set for a given order (unity leakage/settling, standard
+/// halving coefficients 0.5, 0.5, ...).
+std::vector<StageModel> ideal_stages(int order);
+
+}  // namespace anadex::sysdes

@@ -1,0 +1,72 @@
+#include "sysdes/sigma_delta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace anadex::sysdes {
+
+double ideal_sqnr_db(const ModulatorSpec& spec) {
+  ANADEX_REQUIRE(spec.order >= 1, "modulator order must be >= 1");
+  ANADEX_REQUIRE(spec.osr > 1.0, "OSR must exceed 1");
+  const double l = static_cast<double>(spec.order);
+  const double b = static_cast<double>(spec.quantizer_bits);
+  const double pi = 3.14159265358979323846;
+  return 6.02 * b + 1.76 + (20.0 * l + 10.0) * std::log10(spec.osr) -
+         10.0 * std::log10(std::pow(pi, 2.0 * l) / (2.0 * l + 1.0));
+}
+
+std::vector<double> stage_dr_requirements(const ModulatorSpec& spec, double margin_db) {
+  ANADEX_REQUIRE(spec.order >= 1, "modulator order must be >= 1");
+  std::vector<double> reqs;
+  reqs.reserve(static_cast<std::size_t>(spec.order));
+  const double first = spec.target_dr_db + margin_db;
+  for (int i = 0; i < spec.order; ++i) {
+    // Stage i's input-referred errors are shaped by the i preceding
+    // integrators: roughly 12 dB relaxation per stage at OSR >= 64.
+    reqs.push_back(std::max(first - 12.0 * static_cast<double>(i), 40.0));
+  }
+  return reqs;
+}
+
+std::vector<double> default_stage_loads(const ModulatorSpec& spec) {
+  ANADEX_REQUIRE(spec.order >= 1, "modulator order must be >= 1");
+  std::vector<double> loads;
+  loads.reserve(static_cast<std::size_t>(spec.order));
+  // Sampling networks shrink down the chain (relaxed kT/C requirements);
+  // the last stage drives the comparator and the feedback DAC wiring.
+  for (int i = 0; i + 1 < spec.order; ++i) {
+    loads.push_back(4.0e-12 / std::pow(2.0, static_cast<double>(i)));
+  }
+  loads.push_back(3.0e-12);
+  return loads;
+}
+
+BudgetResult budget_from_front(const std::vector<FrontPoint>& front,
+                               const std::vector<double>& stage_loads) {
+  BudgetResult result;
+  result.feasible = true;
+  for (std::size_t s = 0; s < stage_loads.size(); ++s) {
+    StageChoice choice;
+    choice.stage = s;
+    choice.required_load = stage_loads[s];
+    double best_power = std::numeric_limits<double>::infinity();
+    for (const auto& point : front) {
+      if (point.cload >= stage_loads[s] && point.power < best_power) {
+        best_power = point.power;
+        choice.pick = point;
+      }
+    }
+    if (choice.pick) {
+      result.total_power += choice.pick->power;
+    } else {
+      result.feasible = false;
+    }
+    result.stages.push_back(choice);
+  }
+  return result;
+}
+
+}  // namespace anadex::sysdes

@@ -1,0 +1,65 @@
+// System-level use of the integrator's optimal design surface: budgeting a
+// fourth-order sigma-delta modulator (the paper's §1/§2 motivation — "we
+// wish to use the optimal design surface of this circuit for the
+// construction of a fourth-order sigma-delta modulator").
+//
+// Given a Pareto front of (power, drivable load) integrator designs, the
+// budgeter selects, for each of the four integrator stages, the
+// lowest-power front design able to drive that stage's load (the sampling
+// network of the next stage, or the quantizer for the last). A front with
+// poor load-axis diversity — the NSGA-II clustering pathology — fails to
+// cover some stage loads; a well-spread front yields a lower total power.
+// This quantifies at the subsystem level why front diversity matters.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace anadex::sysdes {
+
+/// Top-level modulator target.
+struct ModulatorSpec {
+  int order = 4;             ///< loop-filter order (integrator count)
+  double osr = 128.0;        ///< oversampling ratio
+  int quantizer_bits = 1;
+  double target_dr_db = 90.0;  ///< required modulator dynamic range
+};
+
+/// Peak SQNR of an ideal order-L modulator (standard noise-shaping formula):
+/// 6.02 B + 1.76 + (20 L + 10) log10(OSR) - 10 log10(pi^(2L) / (2L + 1)).
+double ideal_sqnr_db(const ModulatorSpec& spec);
+
+/// Per-stage integrator dynamic-range requirements: the first stage must
+/// carry the full target (plus margin); each later stage is relaxed by the
+/// preceding noise-shaping gain (~12 dB per stage at typical OSR).
+std::vector<double> stage_dr_requirements(const ModulatorSpec& spec, double margin_db = 3.0);
+
+/// Capacitive load each integrator stage must drive: the next stage's
+/// sampling network, and the quantizer + wiring for the last stage.
+std::vector<double> default_stage_loads(const ModulatorSpec& spec);
+
+/// One integrator design summarized by its trade-off coordinates.
+struct FrontPoint {
+  double power = 0.0;  ///< W
+  double cload = 0.0;  ///< maximum drivable load, F
+};
+
+/// The budgeter's selection for one stage.
+struct StageChoice {
+  std::size_t stage = 0;          ///< 0-based
+  double required_load = 0.0;     ///< F
+  std::optional<FrontPoint> pick; ///< empty when the front cannot cover the load
+};
+
+struct BudgetResult {
+  std::vector<StageChoice> stages;
+  double total_power = 0.0;  ///< W, sum over covered stages
+  bool feasible = false;     ///< every stage covered
+};
+
+/// Greedy power-optimal selection from one shared integrator front.
+/// For each stage load, picks the minimum-power point with cload >= load.
+BudgetResult budget_from_front(const std::vector<FrontPoint>& front,
+                               const std::vector<double>& stage_loads);
+
+}  // namespace anadex::sysdes

@@ -1,0 +1,72 @@
+#include "yield/robustness.hpp"
+
+#include "common/check.hpp"
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace anadex::yield {
+
+device::Process ProcessPerturbation::applied_to(const device::Process& base) const {
+  device::Process p = base;
+  p.nmos.vt0 += dvt_nmos;
+  p.pmos.vt0 += dvt_pmos;
+  p.nmos.mu_cox *= 1.0 + rel_mu_nmos;
+  p.pmos.mu_cox *= 1.0 + rel_mu_pmos;
+  p.cap_density *= 1.0 + rel_cap;
+  return p;
+}
+
+std::vector<ProcessPerturbation> draw_perturbations(const MonteCarloParams& params) {
+  ANADEX_REQUIRE(params.samples >= 1, "Monte-Carlo needs at least one sample");
+  Rng rng(params.seed);
+  std::vector<ProcessPerturbation> set;
+  set.reserve(params.samples);
+  for (std::size_t i = 0; i < params.samples; ++i) {
+    ProcessPerturbation s;
+    s.dvt_nmos = rng.normal(0.0, params.sigma_vt);
+    s.dvt_pmos = rng.normal(0.0, params.sigma_vt);
+    s.rel_mu_nmos = rng.normal(0.0, params.sigma_mu);
+    s.rel_mu_pmos = rng.normal(0.0, params.sigma_mu);
+    s.rel_cap = rng.normal(0.0, params.sigma_cap);
+    if (params.include_pair_mismatch) {
+      s.z_pair_input = rng.normal();
+      s.z_pair_mirror = rng.normal();
+      s.z_pair_stage2 = rng.normal();
+    }
+    set.push_back(s);
+  }
+  return set;
+}
+
+double ProcessPerturbation::pair_vt_mismatch(const device::Process& process,
+                                             const device::Geometry& geom,
+                                             double z) const {
+  ANADEX_REQUIRE(geom.w > 0.0 && geom.l > 0.0, "pair geometry must be positive");
+  return z * process.avt / std::sqrt(geom.w * geom.l);
+}
+
+double robustness(const device::Process& base, const scint::IntegratorDesign& design,
+                  const scint::IntegratorContext& context, const scint::Spec& spec,
+                  const std::vector<ProcessPerturbation>& perturbations) {
+  ANADEX_REQUIRE(!perturbations.empty(), "robustness needs a non-empty perturbation set");
+  std::size_t pass = 0;
+  for (const auto& sample : perturbations) {
+    device::Process shifted = sample.applied_to(base);
+    // Local (Pelgrom) mismatch, when sampled: fold the input pair's VT
+    // mismatch into the NMOS threshold and the mirror pair's into the PMOS
+    // threshold — a conservative single-ended view of the differential
+    // circuit.
+    if (sample.z_pair_input != 0.0 || sample.z_pair_mirror != 0.0) {
+      shifted.nmos.vt0 +=
+          sample.pair_vt_mismatch(shifted, design.opamp.m1, sample.z_pair_input);
+      shifted.pmos.vt0 +=
+          sample.pair_vt_mismatch(shifted, design.opamp.m3, sample.z_pair_mirror);
+    }
+    const scint::IntegratorPerformance perf = scint::evaluate(shifted, design, context);
+    if (spec.satisfied_by(perf)) ++pass;
+  }
+  return static_cast<double>(pass) / static_cast<double>(perturbations.size());
+}
+
+}  // namespace anadex::yield

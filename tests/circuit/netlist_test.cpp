@@ -1,0 +1,94 @@
+#include "circuit/netlist.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "../support/reference_design.hpp"
+#include "common/check.hpp"
+
+namespace anadex::circuit {
+namespace {
+
+const device::Process kProc = device::Process::typical();
+
+std::string reference_deck(NetlistOptions options = {}) {
+  return netlist_string(kProc, testing_support::reference_design(), options);
+}
+
+TEST(Netlist, ContainsAllSevenDevicesAndReference) {
+  const std::string deck = reference_deck();
+  for (const char* card : {"M1 ", "M2 ", "M3 ", "M4 ", "M5 ", "M6 ", "M7 ", "MREF "}) {
+    EXPECT_NE(deck.find(card), std::string::npos) << card;
+  }
+}
+
+TEST(Netlist, ContainsModelCardsForBothPolarities) {
+  const std::string deck = reference_deck();
+  EXPECT_NE(deck.find(".model nch NMOS"), std::string::npos);
+  EXPECT_NE(deck.find(".model pch PMOS"), std::string::npos);
+  EXPECT_NE(deck.find("LEVEL=1"), std::string::npos);
+}
+
+TEST(Netlist, GeometryValuesMatchTheDesign) {
+  const auto design = testing_support::reference_design();
+  const std::string deck = reference_deck();
+  std::ostringstream w1;
+  w1 << "W=" << std::setprecision(8) << design.opamp.m1.w;
+  EXPECT_NE(deck.find(w1.str()), std::string::npos);
+}
+
+TEST(Netlist, ScNetworkIncludedByDefault) {
+  const std::string deck = reference_deck();
+  EXPECT_NE(deck.find("CS "), std::string::npos);
+  EXPECT_NE(deck.find("CF "), std::string::npos);
+  EXPECT_NE(deck.find("COC "), std::string::npos);
+  EXPECT_NE(deck.find("CLOAD "), std::string::npos);
+}
+
+TEST(Netlist, ScNetworkCanBeOmitted) {
+  NetlistOptions options;
+  options.include_sc_network = false;
+  const std::string deck = reference_deck(options);
+  EXPECT_EQ(deck.find("CLOAD "), std::string::npos);
+  EXPECT_NE(deck.find("VINN "), std::string::npos);  // input still biased
+}
+
+TEST(Netlist, BiasSourceCarriesTheDesignCurrent) {
+  const auto design = testing_support::reference_design();
+  const std::string deck = reference_deck();
+  std::ostringstream iref;
+  iref << "IREF vdd nbias " << std::setprecision(8) << design.opamp.ibias;
+  EXPECT_NE(deck.find(iref.str()), std::string::npos);
+}
+
+TEST(Netlist, DeckIsWellTerminated) {
+  const std::string deck = reference_deck();
+  EXPECT_NE(deck.find(".op"), std::string::npos);
+  EXPECT_NE(deck.rfind(".end\n"), std::string::npos);
+  EXPECT_EQ(deck.rfind(".end\n"), deck.size() - 5);
+}
+
+TEST(Netlist, TitleAppearsAsComment) {
+  NetlistOptions options;
+  options.title = "my custom title";
+  const std::string deck = reference_deck(options);
+  EXPECT_EQ(deck.rfind("* my custom title", 0), 0u);
+}
+
+TEST(Netlist, RejectsCommonModeOutsideRails) {
+  NetlistOptions options;
+  options.vicm = 2.5;
+  std::ostringstream os;
+  EXPECT_THROW(
+      write_netlist(os, kProc, testing_support::reference_design(), options),
+      PreconditionError);
+}
+
+TEST(Netlist, PmosThresholdIsNegatedInModelCard) {
+  const std::string deck = reference_deck();
+  EXPECT_NE(deck.find("VTO=-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anadex::circuit

@@ -1,0 +1,188 @@
+#include "circuit/opamp.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../support/reference_design.hpp"
+#include "common/rng.hpp"
+
+namespace anadex::circuit {
+namespace {
+
+const device::Process kProc = device::Process::typical();
+
+OpAmpDesign reference_opamp() { return testing_support::reference_design().opamp; }
+
+TEST(OpAmp, ReferenceDesignBiasesCorrectly) {
+  const auto a = analyze(kProc, reference_opamp(), OpAmpContext{});
+  EXPECT_GT(a.i5, 1e-6);
+  EXPECT_GT(a.i7, 1e-6);
+  EXPECT_GT(a.vgs_ref, kProc.nmos.vt0);
+  EXPECT_LT(a.vgs_ref, kProc.vdd);
+  EXPECT_GE(a.margins.worst(), 0.0);
+}
+
+TEST(OpAmp, GainIsLargeAndPositive) {
+  const auto a = analyze(kProc, reference_opamp(), OpAmpContext{});
+  EXPECT_GT(a.a1, 5.0);
+  EXPECT_GT(a.a2, 5.0);
+  EXPECT_NEAR(a.a0, a.a1 * a.a2, 1e-6 * a.a0);
+  EXPECT_GT(a.a0, 500.0);
+}
+
+TEST(OpAmp, PowerAccountsForAllBranches) {
+  const OpAmpDesign d = reference_opamp();
+  const auto a = analyze(kProc, d, OpAmpContext{});
+  EXPECT_NEAR(a.power, kProc.vdd * (d.ibias + a.i5 + 2.0 * a.i7), 1e-12);
+}
+
+TEST(OpAmp, TailCurrentMirrorsScaleWithW5) {
+  OpAmpDesign d = reference_opamp();
+  const auto base = analyze(kProc, d, OpAmpContext{});
+  d.m5.w *= 2.0;
+  const auto doubled = analyze(kProc, d, OpAmpContext{});
+  EXPECT_NEAR(doubled.i5 / base.i5, 2.0, 0.15);  // lambda keeps it from exact 2x
+}
+
+TEST(OpAmp, SecondStageCurrentMirrorsScaleWithW7) {
+  OpAmpDesign d = reference_opamp();
+  const auto base = analyze(kProc, d, OpAmpContext{});
+  d.m7.w *= 1.5;
+  const auto scaled = analyze(kProc, d, OpAmpContext{});
+  EXPECT_NEAR(scaled.i7 / base.i7, 1.5, 0.1);
+}
+
+TEST(OpAmp, BiasCurrentRaisesAllCurrents) {
+  OpAmpDesign d = reference_opamp();
+  const auto base = analyze(kProc, d, OpAmpContext{});
+  d.ibias *= 2.0;
+  const auto doubled = analyze(kProc, d, OpAmpContext{});
+  EXPECT_GT(doubled.i5, 1.5 * base.i5);
+  EXPECT_GT(doubled.i7, 1.5 * base.i7);
+  EXPECT_GT(doubled.power, base.power);
+}
+
+TEST(OpAmp, MirrorBalanceRespondsToDriverWidth) {
+  OpAmpDesign d = reference_opamp();
+  const auto base = analyze(kProc, d, OpAmpContext{});
+  d.m6.w *= 3.0;  // triples ID6 while I7 is unchanged -> gross imbalance
+  const auto unbalanced = analyze(kProc, d, OpAmpContext{});
+  EXPECT_GT(unbalanced.mirror_balance_error, base.mirror_balance_error + 0.5);
+}
+
+TEST(OpAmp, SlewRateIsTailOverCc) {
+  const auto a = analyze(kProc, reference_opamp(), OpAmpContext{});
+  EXPECT_NEAR(a.slew_internal, a.i5 / a.cc_eff, 1e-3 * a.slew_internal);
+}
+
+TEST(OpAmp, LargerCcLowersUnityGainFrequency) {
+  OpAmpDesign d = reference_opamp();
+  const auto base = analyze(kProc, d, OpAmpContext{});
+  d.cc *= 2.0;
+  const auto big_cc = analyze(kProc, d, OpAmpContext{});
+  EXPECT_LT(unity_gain_radians(big_cc), unity_gain_radians(base));
+}
+
+TEST(OpAmp, NoiseFallsWithInputTransconductance) {
+  OpAmpDesign d = reference_opamp();
+  const auto base = analyze(kProc, d, OpAmpContext{});
+  d.ibias *= 2.0;  // more tail current -> more gm1
+  const auto hot = analyze(kProc, d, OpAmpContext{});
+  EXPECT_GT(hot.gm1, base.gm1);
+  EXPECT_LT(hot.noise_psd, base.noise_psd);
+}
+
+TEST(OpAmp, SwingShrinksWithSecondStageOverdrive) {
+  // M6's gate drive equals VSG3 (set by the mirror load), so its overdrive
+  // — and with it vdsat6 and the output swing — responds to M3's sizing.
+  OpAmpDesign d = reference_opamp();
+  const auto base = analyze(kProc, d, OpAmpContext{});
+  d.m3.w /= 8.0;  // narrower diode -> larger VSG3 -> larger vdsat6
+  const auto squeezed = analyze(kProc, d, OpAmpContext{});
+  EXPECT_LT(squeezed.swing, base.swing);
+}
+
+TEST(OpAmp, AreaSumsDeviceGateAreas) {
+  const OpAmpDesign d = reference_opamp();
+  const auto a = analyze(kProc, d, OpAmpContext{});
+  const auto ref = bias_reference_geometry();
+  const double expected = 2.0 * d.m1.w * d.m1.l + 2.0 * d.m3.w * d.m3.l +
+                          d.m5.w * d.m5.l + 2.0 * d.m6.w * d.m6.l +
+                          2.0 * d.m7.w * d.m7.l + ref.w * ref.l;
+  EXPECT_NEAR(a.area, expected, 1e-18);
+}
+
+TEST(OpAmp, StarvedBiasReportsNegativeMargins) {
+  OpAmpDesign d = reference_opamp();
+  d.ibias = 50e-6;
+  d.m5 = {1e-6, 2e-6};  // tiny tail device at big reference current
+  const auto a = analyze(kProc, d, OpAmpContext{});
+  // With a huge vgs_ref demand or a cutoff/starved stage somewhere, at least
+  // one diagnostic must flag the design.
+  EXPECT_TRUE(a.margins.worst() < 0.0 || a.mirror_balance_error > 0.3 ||
+              a.vov_worst < 0.1);
+}
+
+TEST(OpAmp, CutoffDesignGetsPenaltyMarginNotNan) {
+  OpAmpDesign d = reference_opamp();
+  d.ibias = 1e-9;  // essentially off
+  const auto a = analyze(kProc, d, OpAmpContext{});
+  EXPECT_TRUE(std::isfinite(a.power));
+  EXPECT_TRUE(std::isfinite(a.margins.worst()));
+  EXPECT_TRUE(std::isfinite(a.a0));
+}
+
+TEST(OpAmp, FasterCornerRunsFaster) {
+  // Mirrored currents are first-order process-insensitive (that is the
+  // point of a current mirror), but the gate line and transconductances
+  // shift with the corner: fast devices need less VGS and give more gm at
+  // the same current.
+  const OpAmpDesign d = reference_opamp();
+  const auto tt = analyze(kProc, d, OpAmpContext{});
+  const auto ff = analyze(kProc.at_corner(device::Corner::FF), d, OpAmpContext{});
+  const auto ss = analyze(kProc.at_corner(device::Corner::SS), d, OpAmpContext{});
+  EXPECT_LT(ff.vgs_ref, tt.vgs_ref);
+  EXPECT_GT(ss.vgs_ref, tt.vgs_ref);
+  EXPECT_GT(ff.gm1, ss.gm1);
+  EXPECT_NEAR(ff.i5 / tt.i5, 1.0, 0.05);  // mirror rejects the corner shift
+}
+
+TEST(OpAmp, VovWorstIsTheMinimumDeviceOverdrive) {
+  const auto a = analyze(kProc, reference_opamp(), OpAmpContext{});
+  EXPECT_GT(a.vov_worst, 0.0);
+  EXPECT_LT(a.vov_worst, 0.6);
+}
+
+/// Robustness of the analyzer itself: any design inside the search box must
+/// produce finite diagnostics (never NaN/inf), since the GA will evaluate
+/// arbitrary corners of the box.
+class AnalyzerTotality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalyzerTotality, RandomDesignsProduceFiniteAnalysis) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    OpAmpDesign d;
+    d.m1 = {rng.uniform(1e-6, 200e-6), rng.uniform(0.18e-6, 2e-6)};
+    d.m3 = {rng.uniform(1e-6, 200e-6), rng.uniform(0.18e-6, 2e-6)};
+    d.m5 = {rng.uniform(1e-6, 200e-6), rng.uniform(0.18e-6, 2e-6)};
+    d.m6 = {rng.uniform(1e-6, 400e-6), rng.uniform(0.18e-6, 1e-6)};
+    d.m7 = {rng.uniform(1e-6, 200e-6), rng.uniform(0.18e-6, 1e-6)};
+    d.ibias = rng.uniform(1e-6, 50e-6);
+    d.cc = rng.uniform(0.1e-12, 5e-12);
+    const auto a = analyze(kProc, d, OpAmpContext{});
+    ASSERT_TRUE(std::isfinite(a.power));
+    ASSERT_TRUE(std::isfinite(a.a0));
+    ASSERT_TRUE(std::isfinite(a.noise_psd));
+    ASSERT_TRUE(std::isfinite(a.mirror_balance_error));
+    ASSERT_TRUE(std::isfinite(a.margins.worst()));
+    ASSERT_TRUE(std::isfinite(a.c_first));
+    ASSERT_TRUE(std::isfinite(a.mirror_pole));
+    ASSERT_GE(a.power, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyzerTotality, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace anadex::circuit

@@ -1,0 +1,54 @@
+#include "common/check.hpp"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace anadex {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(ANADEX_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, RequireThrowsPreconditionError) {
+  EXPECT_THROW(ANADEX_REQUIRE(false, "nope"), PreconditionError);
+}
+
+TEST(Check, AssertThrowsInvariantError) {
+  EXPECT_THROW(ANADEX_ASSERT(false, "bug"), InvariantError);
+}
+
+TEST(Check, PreconditionIsAnInvalidArgument) {
+  // Callers may catch the standard hierarchy.
+  EXPECT_THROW(ANADEX_REQUIRE(false, "x"), std::invalid_argument);
+}
+
+TEST(Check, InvariantIsALogicError) {
+  EXPECT_THROW(ANADEX_ASSERT(false, "x"), std::logic_error);
+}
+
+TEST(Check, MessageContainsExpressionFileAndText) {
+  try {
+    ANADEX_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+TEST(Check, SideEffectsInConditionEvaluatedOnce) {
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return true;
+  };
+  ANADEX_REQUIRE(bump(), "called once");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace anadex

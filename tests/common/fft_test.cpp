@@ -1,0 +1,161 @@
+#include "common/fft.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Fft, PowerOfTwoDetection) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1000));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fft(data), PreconditionError);
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<std::complex<double>> data{{3.0, -1.0}};
+  fft(data);
+  EXPECT_EQ(data[0], std::complex<double>(3.0, -1.0));
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft(data);
+  for (const auto& bin : data) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantGivesDcOnly) {
+  std::vector<std::complex<double>> data(16, {2.0, 0.0});
+  fft(data);
+  EXPECT_NEAR(data[0].real(), 32.0, 1e-9);
+  for (std::size_t k = 1; k < data.size(); ++k) {
+    EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, PureSineLandsInItsBin) {
+  const std::size_t n = 64;
+  const std::size_t cycles = 5;
+  std::vector<std::complex<double>> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = std::sin(2.0 * kPi * cycles * i / static_cast<double>(n));
+  }
+  fft(data);
+  // Peak magnitude n/2 at bins +-cycles; near zero elsewhere.
+  EXPECT_NEAR(std::abs(data[cycles]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[n - cycles]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(data[cycles + 2]), 0.0, 1e-9);
+}
+
+TEST(Fft, LinearityHolds) {
+  const std::size_t n = 32;
+  std::vector<std::complex<double>> a(n);
+  std::vector<std::complex<double>> b(n);
+  std::vector<std::complex<double>> sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = std::cos(2.0 * kPi * 3.0 * i / n);
+    b[i] = std::sin(2.0 * kPi * 7.0 * i / n);
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(sum[k] - (a[k] + 2.0 * b[k])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConserved) {
+  const std::size_t n = 128;
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = std::sin(0.37 * i) + 0.5 * std::cos(1.1 * i);
+    data[i] = v;
+    time_energy += v * v;
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& bin : data) freq_energy += std::norm(bin);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-6 * time_energy);
+}
+
+TEST(PowerSpectrum, SizeAndValidation) {
+  std::vector<double> signal(64, 1.0);
+  EXPECT_EQ(power_spectrum_hann(signal).size(), 33u);
+  std::vector<double> bad(5);
+  EXPECT_THROW(power_spectrum_hann(bad), PreconditionError);
+}
+
+TEST(PowerSpectrum, SinePeaksAtItsBin) {
+  const std::size_t n = 256;
+  std::vector<double> signal(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    signal[i] = std::sin(2.0 * kPi * 17.0 * i / static_cast<double>(n));
+  }
+  const auto spectrum = power_spectrum_hann(signal);
+  std::size_t peak = 0;
+  for (std::size_t k = 1; k < spectrum.size(); ++k) {
+    if (spectrum[k] > spectrum[peak]) peak = k;
+  }
+  EXPECT_EQ(peak, 17u);
+}
+
+TEST(Sndr, CleanSineScoresHigh) {
+  const std::size_t n = 1024;
+  std::vector<double> signal(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    signal[i] = std::sin(2.0 * kPi * 31.0 * i / static_cast<double>(n));
+  }
+  EXPECT_GT(sndr_db(signal, 31, n / 2), 100.0);
+}
+
+TEST(Sndr, AddedNoiseLowersScore) {
+  const std::size_t n = 1024;
+  std::vector<double> clean(n);
+  std::vector<double> noisy(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = std::sin(2.0 * kPi * 31.0 * i / static_cast<double>(n));
+    clean[i] = s;
+    noisy[i] = s + 0.01 * std::sin(2.0 * kPi * 97.0 * i / static_cast<double>(n));
+  }
+  EXPECT_GT(sndr_db(clean, 31, n / 2), sndr_db(noisy, 31, n / 2));
+}
+
+TEST(Sndr, ToneOutsideBandIgnored) {
+  const std::size_t n = 1024;
+  std::vector<double> signal(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    signal[i] = std::sin(2.0 * kPi * 31.0 * i / static_cast<double>(n)) +
+                0.5 * std::sin(2.0 * kPi * 400.0 * i / static_cast<double>(n));
+  }
+  // Band limited to bin 64: the big bin-400 tone must not count as noise.
+  EXPECT_GT(sndr_db(signal, 31, 64), 80.0);
+}
+
+TEST(Sndr, Validation) {
+  std::vector<double> signal(64, 0.0);
+  EXPECT_THROW(sndr_db(signal, 2, 32), PreconditionError);   // inside DC skirt
+  EXPECT_THROW(sndr_db(signal, 10, 64), PreconditionError);  // beyond Nyquist bins
+  EXPECT_THROW(sndr_db(signal, 30, 20), PreconditionError);  // signal outside band
+}
+
+}  // namespace
+}  // namespace anadex

@@ -1,0 +1,52 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anadex {
+namespace {
+
+TEST(MathHelpers, Square) {
+  EXPECT_EQ(sq(3.0), 9.0);
+  EXPECT_EQ(sq(-2.0), 4.0);
+  EXPECT_EQ(sq(0.0), 0.0);
+}
+
+TEST(MathHelpers, Lerp) {
+  EXPECT_EQ(lerp(0.0, 10.0, 0.0), 0.0);
+  EXPECT_EQ(lerp(0.0, 10.0, 1.0), 10.0);
+  EXPECT_EQ(lerp(0.0, 10.0, 0.5), 5.0);
+  EXPECT_EQ(lerp(5.0, 5.0, 0.7), 5.0);
+}
+
+TEST(MathHelpers, ApproxEqualRelative) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1.0, 1.001, 1e-2));
+}
+
+TEST(MathHelpers, ApproxEqualAbsoluteNearZero) {
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_FALSE(approx_equal(0.0, 1e-6));
+  EXPECT_TRUE(approx_equal(0.0, 1e-6, 0.0, 1e-5));
+}
+
+TEST(MathHelpers, AmplitudeDb) {
+  EXPECT_NEAR(amplitude_db(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(amplitude_db(1.0), 0.0, 1e-12);
+  EXPECT_EQ(amplitude_db(0.0), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(amplitude_db(-1.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathHelpers, PowerDb) {
+  EXPECT_NEAR(power_db(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(power_db(2.0), 3.0103, 1e-3);
+  EXPECT_EQ(power_db(0.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(MathHelpers, PhysicalConstants) {
+  EXPECT_NEAR(kBoltzmann, 1.380649e-23, 1e-28);
+  EXPECT_EQ(kRoomTempK, 300.0);
+}
+
+}  // namespace
+}  // namespace anadex

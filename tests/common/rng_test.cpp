@@ -1,0 +1,209 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace anadex {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsUsable) {
+  // splitmix64 seeding must not leave the all-zero state xoshiro can't escape.
+  Rng rng(0);
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 64; ++i) values.insert(rng());
+  EXPECT_GT(values.size(), 60u);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 2.25);
+    ASSERT_GE(u, -3.5);
+    ASSERT_LT(u, 2.25);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), PreconditionError);
+}
+
+TEST(Rng, UniformDegenerateRangeReturnsBound) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(4.0, 4.0), 4.0);
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(13);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.uniform_index(7)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);   // roughly uniform: expectation 1000
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), PreconditionError);
+}
+
+TEST(Rng, UniformIndexOneIsAlwaysZero) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(17);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), PreconditionError);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq_sum += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq_sum / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsScalesAndShifts) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, NormalRejectsNegativeSigma) {
+  Rng rng(1);
+  EXPECT_THROW(rng.normal(0.0, -1.0), PreconditionError);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyTracksProbability) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.split();
+  // The child stream differs from the parent continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(1);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // must compile and run
+  EXPECT_EQ(v.size(), 5u);
+}
+
+/// Property sweep: moments hold across many seeds.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeAndFillsIt) {
+  Rng rng(GetParam());
+  double lo_seen = 1.0;
+  double hi_seen = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo_seen = std::min(lo_seen, u);
+    hi_seen = std::max(hi_seen, u);
+  }
+  EXPECT_LT(lo_seen, 0.05);
+  EXPECT_GT(hi_seen, 0.95);
+}
+
+TEST_P(RngSeedSweep, NormalSpareCacheKeepsMomentsStable) {
+  Rng rng(GetParam());
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.normal();
+  EXPECT_NEAR(sum / 20000.0, 0.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 2ULL, 42ULL, 1234567ULL,
+                                           0xDEADBEEFULL, ~0ULL));
+
+}  // namespace
+}  // namespace anadex

@@ -1,0 +1,106 @@
+#include "common/series.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex {
+namespace {
+
+Series make_sample() {
+  Series s("sample", {"x", "y"});
+  s.add_row({3.0, 30.0});
+  s.add_row({1.0, 10.0});
+  s.add_row({2.0, 20.0});
+  return s;
+}
+
+TEST(Series, ConstructionExposesMetadata) {
+  const Series s = make_sample();
+  EXPECT_EQ(s.title(), "sample");
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.num_rows(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.column_names()[1], "y");
+}
+
+TEST(Series, EmptySeriesReportsEmpty) {
+  const Series s("t", {"a"});
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.num_rows(), 0u);
+}
+
+TEST(Series, RequiresAtLeastOneColumn) {
+  EXPECT_THROW(Series("t", {}), PreconditionError);
+}
+
+TEST(Series, AddRowValidatesWidth) {
+  Series s("t", {"a", "b"});
+  EXPECT_THROW(s.add_row({1.0}), PreconditionError);
+  EXPECT_THROW(s.add_row({1.0, 2.0, 3.0}), PreconditionError);
+}
+
+TEST(Series, AtIsBoundsChecked) {
+  const Series s = make_sample();
+  EXPECT_EQ(s.at(0, 1), 30.0);
+  EXPECT_THROW(s.at(3, 0), PreconditionError);
+  EXPECT_THROW(s.at(0, 2), PreconditionError);
+}
+
+TEST(Series, RowAccess) {
+  const Series s = make_sample();
+  EXPECT_EQ(s.row(1), (std::vector<double>{1.0, 10.0}));
+  EXPECT_THROW(s.row(9), PreconditionError);
+}
+
+TEST(Series, ColumnExtraction) {
+  const Series s = make_sample();
+  EXPECT_EQ(s.column(0), (std::vector<double>{3.0, 1.0, 2.0}));
+  EXPECT_THROW(s.column(5), PreconditionError);
+}
+
+TEST(Series, ColumnIndexByName) {
+  const Series s = make_sample();
+  EXPECT_EQ(s.column_index("x"), 0u);
+  EXPECT_EQ(s.column_index("y"), 1u);
+  EXPECT_THROW(s.column_index("z"), PreconditionError);
+}
+
+TEST(Series, SortByReordersRows) {
+  Series s = make_sample();
+  s.sort_by(0);
+  EXPECT_EQ(s.column(0), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(s.column(1), (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(Series, SortIsStable) {
+  Series s("t", {"k", "v"});
+  s.add_row({1.0, 1.0});
+  s.add_row({1.0, 2.0});
+  s.add_row({0.0, 3.0});
+  s.sort_by(0);
+  EXPECT_EQ(s.column(1), (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(Series, CsvOutputHasHeaderAndRows) {
+  Series s("t", {"a", "b"});
+  s.add_row({1.5, -2.0});
+  std::ostringstream os;
+  s.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1.5,-2\n");
+}
+
+TEST(Series, TableOutputMentionsTitleAndColumns) {
+  const Series s = make_sample();
+  std::ostringstream os;
+  s.write_table(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("sample"), std::string::npos);
+  EXPECT_NE(text.find("x"), std::string::npos);
+  EXPECT_NE(text.find("30"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anadex

@@ -1,0 +1,82 @@
+#include "device/characterize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::device {
+namespace {
+
+const Process kProc = Process::typical();
+const Geometry kGeom{10e-6, 0.5e-6};
+
+TEST(Characterize, SweepValidation) {
+  Sweep bad;
+  bad.points = 0;
+  EXPECT_THROW(transfer_curve(kProc.nmos, kGeom, 1.0, bad), PreconditionError);
+  bad = Sweep{1.0, 0.0, 5};
+  EXPECT_THROW(transfer_curve(kProc.nmos, kGeom, 1.0, bad), PreconditionError);
+}
+
+TEST(Characterize, TransferCurveShape) {
+  const auto series = transfer_curve(kProc.nmos, kGeom, 1.0, Sweep{0.0, 1.8, 19});
+  EXPECT_EQ(series.num_rows(), 19u);
+  EXPECT_EQ(series.num_columns(), 4u);
+  // Monotone non-decreasing current; zero below threshold.
+  double prev = -1.0;
+  for (std::size_t r = 0; r < series.num_rows(); ++r) {
+    EXPECT_GE(series.at(r, 1), prev);
+    prev = series.at(r, 1);
+  }
+  EXPECT_EQ(series.at(0, 1), 0.0);                       // VGS = 0: off
+  EXPECT_GT(series.at(series.num_rows() - 1, 1), 1e-5);  // strongly on at 1.8 V
+}
+
+TEST(Characterize, GmOverIdDecreasesWithOverdrive) {
+  const auto series = gm_over_id_profile(kProc.nmos, kGeom, 1.0, Sweep{0.5, 1.8, 27});
+  ASSERT_GT(series.num_rows(), 5u);
+  double prev = 1e9;
+  for (std::size_t r = 0; r < series.num_rows(); ++r) {
+    EXPECT_LE(series.at(r, 1), prev + 1e-9);
+    prev = series.at(r, 1);
+  }
+  // Square-law ceiling: gm/ID <= 2/Vov.
+  for (std::size_t r = 0; r < series.num_rows(); ++r) {
+    EXPECT_LE(series.at(r, 1), 2.0 / series.at(r, 0) + 1e-9);
+  }
+}
+
+TEST(Characterize, OutputCurvesFamilyOrdered) {
+  const std::vector<double> vgs{0.7, 0.9, 1.1};
+  const auto series = output_curves(kProc.nmos, kGeom, vgs, Sweep{0.0, 1.8, 13});
+  EXPECT_EQ(series.num_columns(), 4u);
+  for (std::size_t r = 1; r < series.num_rows(); ++r) {
+    // More gate drive -> more current, at every VDS.
+    EXPECT_LE(series.at(r, 1), series.at(r, 2));
+    EXPECT_LE(series.at(r, 2), series.at(r, 3));
+  }
+}
+
+TEST(Characterize, OutputCurvesRequireVgsValues) {
+  EXPECT_THROW(output_curves(kProc.nmos, kGeom, {}, Sweep{}), PreconditionError);
+}
+
+TEST(Characterize, CornerCurvesOrderFFAboveSS) {
+  const auto series = corner_transfer_curves(kProc, Type::NMOS, kGeom, 1.0,
+                                             Sweep{0.8, 1.6, 9});
+  const auto names = series.column_names();
+  const std::size_t ff = series.column_index("id@FF");
+  const std::size_t ss = series.column_index("id@SS");
+  for (std::size_t r = 0; r < series.num_rows(); ++r) {
+    EXPECT_GT(series.at(r, ff), series.at(r, ss));
+  }
+}
+
+TEST(Characterize, SinglePointSweep) {
+  const auto series = transfer_curve(kProc.nmos, kGeom, 1.0, Sweep{0.9, 1.8, 1});
+  EXPECT_EQ(series.num_rows(), 1u);
+  EXPECT_EQ(series.at(0, 0), 0.9);
+}
+
+}  // namespace
+}  // namespace anadex::device

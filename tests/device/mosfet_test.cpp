@@ -1,0 +1,228 @@
+#include "device/mosfet.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::device {
+namespace {
+
+const Process kProc = Process::typical();
+
+Bias sat_bias(double vgs, double vds = 1.0) { return Bias{vgs, vds, 0.0}; }
+
+TEST(Threshold, ZeroBodyBiasGivesVt0) {
+  EXPECT_DOUBLE_EQ(threshold(kProc.nmos, 0.0), kProc.nmos.vt0);
+}
+
+TEST(Threshold, BodyEffectRaisesThreshold) {
+  const double vt0 = threshold(kProc.nmos, 0.0);
+  const double vt1 = threshold(kProc.nmos, 0.5);
+  const double vt2 = threshold(kProc.nmos, 1.0);
+  EXPECT_GT(vt1, vt0);
+  EXPECT_GT(vt2, vt1);
+}
+
+TEST(Threshold, NegativeVsbRejected) {
+  EXPECT_THROW(threshold(kProc.nmos, -0.1), PreconditionError);
+}
+
+TEST(DrainCurrent, CutoffCarriesNothing) {
+  const Geometry g{10e-6, 0.5e-6};
+  EXPECT_EQ(drain_current(kProc.nmos, g, sat_bias(0.2)), 0.0);
+  EXPECT_EQ(drain_current(kProc.nmos, g, sat_bias(kProc.nmos.vt0)), 0.0);
+}
+
+TEST(DrainCurrent, PositiveInStrongInversion) {
+  const Geometry g{10e-6, 0.5e-6};
+  EXPECT_GT(drain_current(kProc.nmos, g, sat_bias(0.8)), 0.0);
+}
+
+TEST(DrainCurrent, GeometryMustBePositive) {
+  EXPECT_THROW(drain_current(kProc.nmos, Geometry{0.0, 1e-6}, sat_bias(0.8)),
+               PreconditionError);
+}
+
+TEST(DrainCurrent, MonotoneInVgs) {
+  const Geometry g{10e-6, 0.5e-6};
+  double prev = 0.0;
+  for (double vgs = 0.5; vgs <= 1.8; vgs += 0.05) {
+    const double id = drain_current(kProc.nmos, g, sat_bias(vgs));
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(DrainCurrent, ProportionalToWidth) {
+  const Bias b = sat_bias(0.8);
+  const double i1 = drain_current(kProc.nmos, Geometry{10e-6, 0.5e-6}, b);
+  const double i2 = drain_current(kProc.nmos, Geometry{20e-6, 0.5e-6}, b);
+  EXPECT_NEAR(i2 / i1, 2.0, 1e-9);
+}
+
+TEST(DrainCurrent, VelocitySaturationReducesCurrentVsSquareLaw) {
+  // Short channel carries less than the square-law ratio when overdrive is
+  // comparable to Esat*L.
+  const Bias b = sat_bias(1.2);
+  const double i_long = drain_current(kProc.nmos, Geometry{10e-6, 2.0e-6}, b);
+  const double i_short = drain_current(kProc.nmos, Geometry{10e-6, 0.2e-6}, b);
+  EXPECT_LT(i_short / i_long, 10.0);  // naive square law would give exactly 10
+}
+
+TEST(DrainCurrent, ChannelLengthModulationRaisesCurrentWithVds) {
+  const Geometry g{10e-6, 0.5e-6};
+  const double i1 = drain_current(kProc.nmos, g, Bias{0.8, 0.8, 0.0});
+  const double i2 = drain_current(kProc.nmos, g, Bias{0.8, 1.6, 0.0});
+  EXPECT_GT(i2, i1);
+  EXPECT_LT(i2 / i1, 1.1);  // small-lambda effect
+}
+
+TEST(DrainCurrent, TriodeBelowSaturationCurrent) {
+  const Geometry g{10e-6, 0.5e-6};
+  const OperatingPoint op = solve_op(kProc.nmos, g, sat_bias(0.9));
+  const double i_triode =
+      drain_current(kProc.nmos, g, Bias{0.9, op.vdsat * 0.3, 0.0});
+  const double i_sat = drain_current(kProc.nmos, g, Bias{0.9, 1.0, 0.0});
+  EXPECT_LT(i_triode, i_sat);
+  EXPECT_GT(i_triode, 0.0);
+}
+
+TEST(DrainCurrent, ContinuousAcrossTriodeSaturationBoundary) {
+  const Geometry g{10e-6, 0.5e-6};
+  const OperatingPoint op = solve_op(kProc.nmos, g, sat_bias(0.9));
+  const double just_below =
+      drain_current(kProc.nmos, g, Bias{0.9, op.vdsat * (1.0 - 1e-6), 0.0});
+  const double just_above =
+      drain_current(kProc.nmos, g, Bias{0.9, op.vdsat * (1.0 + 1e-6), 0.0});
+  EXPECT_NEAR(just_below / just_above, 1.0, 1e-3);
+}
+
+TEST(SolveOp, RegionClassification) {
+  const Geometry g{10e-6, 0.5e-6};
+  EXPECT_EQ(solve_op(kProc.nmos, g, sat_bias(0.2)).region, Region::Cutoff);
+  EXPECT_EQ(solve_op(kProc.nmos, g, Bias{0.9, 0.05, 0.0}).region, Region::Triode);
+  EXPECT_EQ(solve_op(kProc.nmos, g, Bias{0.9, 1.2, 0.0}).region, Region::Saturation);
+}
+
+TEST(SolveOp, VdsatBelowOverdrive) {
+  // Velocity saturation: VDsat = EL*Vov/(EL + Vov) < Vov.
+  const Geometry g{10e-6, 0.25e-6};
+  const auto op = solve_op(kProc.nmos, g, sat_bias(1.2));
+  EXPECT_GT(op.vdsat, 0.0);
+  EXPECT_LT(op.vdsat, op.vov);
+}
+
+TEST(SolveOp, CutoffHasZeroedSmallSignal) {
+  const Geometry g{10e-6, 0.5e-6};
+  const auto op = solve_op(kProc.nmos, g, sat_bias(0.1));
+  EXPECT_EQ(op.id, 0.0);
+  EXPECT_EQ(op.gm, 0.0);
+  EXPECT_EQ(op.gds, 0.0);
+}
+
+/// Analytic gm/gds must match numeric differentiation of the DC model —
+/// swept over bias and geometry (the core property of the device layer).
+struct OpCase {
+  double w;
+  double l;
+  double vgs;
+  double vds;
+  Type type;
+};
+
+class AnalyticDerivatives : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(AnalyticDerivatives, GmMatchesNumericDerivative) {
+  const auto c = GetParam();
+  const DeviceParams& params = kProc.params(c.type);
+  const Geometry g{c.w, c.l};
+  const Bias b{c.vgs, c.vds, 0.0};
+  const auto op = solve_op(params, g, b);
+  ASSERT_EQ(op.region, Region::Saturation);
+  const double h = 1e-6;
+  const double up = drain_current(params, g, Bias{c.vgs + h, c.vds, 0.0});
+  const double dn = drain_current(params, g, Bias{c.vgs - h, c.vds, 0.0});
+  const double numeric = (up - dn) / (2.0 * h);
+  EXPECT_NEAR(op.gm, numeric, 2e-4 * std::abs(numeric) + 1e-12);
+}
+
+TEST_P(AnalyticDerivatives, GdsMatchesNumericDerivative) {
+  const auto c = GetParam();
+  const DeviceParams& params = kProc.params(c.type);
+  const Geometry g{c.w, c.l};
+  const auto op = solve_op(params, g, Bias{c.vgs, c.vds, 0.0});
+  ASSERT_EQ(op.region, Region::Saturation);
+  const double h = 1e-6;
+  const double up = drain_current(params, g, Bias{c.vgs, c.vds + h, 0.0});
+  const double dn = drain_current(params, g, Bias{c.vgs, c.vds - h, 0.0});
+  const double numeric = (up - dn) / (2.0 * h);
+  EXPECT_NEAR(op.gds, numeric, 2e-4 * std::abs(numeric) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, AnalyticDerivatives,
+    ::testing::Values(OpCase{10e-6, 0.5e-6, 0.7, 1.0, Type::NMOS},
+                      OpCase{10e-6, 0.5e-6, 1.0, 1.5, Type::NMOS},
+                      OpCase{50e-6, 0.18e-6, 0.8, 1.2, Type::NMOS},
+                      OpCase{2e-6, 2.0e-6, 1.2, 1.0, Type::NMOS},
+                      OpCase{10e-6, 0.5e-6, 0.8, 1.0, Type::PMOS},
+                      OpCase{80e-6, 0.3e-6, 1.1, 1.4, Type::PMOS},
+                      OpCase{5e-6, 1.0e-6, 0.65, 0.9, Type::PMOS}));
+
+TEST(VgsForCurrent, RoundTripsThroughDrainCurrent) {
+  const Geometry g{20e-6, 0.5e-6};
+  for (double target : {1e-6, 10e-6, 100e-6, 500e-6}) {
+    const double vgs = vgs_for_current(kProc.nmos, g, target, 1.0, 0.0);
+    const double id = drain_current(kProc.nmos, g, Bias{vgs, 1.0, 0.0});
+    EXPECT_NEAR(id / target, 1.0, 1e-5);
+  }
+}
+
+TEST(VgsForCurrent, UnreachableCurrentReturnsRail) {
+  const Geometry g{1e-6, 2.0e-6};
+  EXPECT_EQ(vgs_for_current(kProc.nmos, g, 1.0, 1.0, 0.0, 1.8), 1.8);
+}
+
+TEST(VgsForCurrent, RejectsNonPositiveTarget) {
+  const Geometry g{10e-6, 0.5e-6};
+  EXPECT_THROW(vgs_for_current(kProc.nmos, g, 0.0, 1.0, 0.0), PreconditionError);
+}
+
+TEST(VgsForCurrent, RespectsBodyBias) {
+  const Geometry g{20e-6, 0.5e-6};
+  const double v0 = vgs_for_current(kProc.nmos, g, 50e-6, 1.0, 0.0);
+  const double v1 = vgs_for_current(kProc.nmos, g, 50e-6, 1.0, 0.5);
+  EXPECT_GT(v1, v0);  // body effect demands more gate drive
+}
+
+TEST(Capacitances, SaturationSplitsGateCapTwoThirdsToSource) {
+  const Geometry g{10e-6, 1.0e-6};
+  const auto caps = capacitances(kProc, g, Region::Saturation);
+  const double cox_total = g.w * g.l * kProc.cox;
+  const double overlap = kProc.cov_per_w * g.w;
+  EXPECT_NEAR(caps.cgs, (2.0 / 3.0) * cox_total + overlap, 1e-18);
+  EXPECT_NEAR(caps.cgd, overlap, 1e-18);
+}
+
+TEST(Capacitances, TriodeSplitsGateCapEvenly) {
+  const Geometry g{10e-6, 1.0e-6};
+  const auto caps = capacitances(kProc, g, Region::Triode);
+  EXPECT_NEAR(caps.cgs, caps.cgd, 1e-20);
+}
+
+TEST(Capacitances, CutoffKeepsOnlyOverlap) {
+  const Geometry g{10e-6, 1.0e-6};
+  const auto caps = capacitances(kProc, g, Region::Cutoff);
+  EXPECT_NEAR(caps.cgs, kProc.cov_per_w * g.w, 1e-20);
+}
+
+TEST(Capacitances, JunctionCapScalesWithWidth) {
+  const auto narrow = capacitances(kProc, Geometry{5e-6, 0.5e-6}, Region::Saturation);
+  const auto wide = capacitances(kProc, Geometry{50e-6, 0.5e-6}, Region::Saturation);
+  EXPECT_GT(wide.cdb, narrow.cdb * 5.0);
+}
+
+}  // namespace
+}  // namespace anadex::device

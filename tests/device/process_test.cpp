@@ -1,0 +1,91 @@
+#include "device/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anadex::device {
+namespace {
+
+TEST(Process, CornerNames) {
+  EXPECT_EQ(corner_name(Corner::TT), "TT");
+  EXPECT_EQ(corner_name(Corner::FF), "FF");
+  EXPECT_EQ(corner_name(Corner::SS), "SS");
+  EXPECT_EQ(corner_name(Corner::FS), "FS");
+  EXPECT_EQ(corner_name(Corner::SF), "SF");
+}
+
+TEST(Process, TypicalValuesArePlausible018um) {
+  const Process p = Process::typical();
+  EXPECT_NEAR(p.vdd, 1.8, 1e-12);
+  EXPECT_NEAR(p.lmin, 0.18e-6, 1e-12);
+  EXPECT_GT(p.nmos.mu_cox, p.pmos.mu_cox);  // electrons faster than holes
+  EXPECT_GT(p.nmos.vt0, 0.2);
+  EXPECT_LT(p.nmos.vt0, 0.7);
+  EXPECT_EQ(p.nmos.n_exp, 1.0);  // paper: n = 1 for NMOS
+  EXPECT_EQ(p.pmos.n_exp, 2.0);  // paper: n = 2 for PMOS
+  EXPECT_GT(p.pmos.esat, p.nmos.esat);  // holes saturate at higher field
+}
+
+TEST(Process, ParamsAccessorSelectsPolarity) {
+  Process p = Process::typical();
+  EXPECT_EQ(&p.params(Type::NMOS), &p.nmos);
+  EXPECT_EQ(&p.params(Type::PMOS), &p.pmos);
+  const Process& cp = p;
+  EXPECT_EQ(&cp.params(Type::NMOS), &cp.nmos);
+}
+
+TEST(Process, TTCornerIsIdentity) {
+  const Process p = Process::typical();
+  const Process tt = p.at_corner(Corner::TT);
+  EXPECT_EQ(tt.nmos.vt0, p.nmos.vt0);
+  EXPECT_EQ(tt.pmos.mu_cox, p.pmos.mu_cox);
+  EXPECT_EQ(tt.cox, p.cox);
+}
+
+TEST(Process, FastCornerLowersThresholdRaisesMobility) {
+  const Process p = Process::typical();
+  const Process ff = p.at_corner(Corner::FF);
+  EXPECT_LT(ff.nmos.vt0, p.nmos.vt0);
+  EXPECT_LT(ff.pmos.vt0, p.pmos.vt0);
+  EXPECT_GT(ff.nmos.mu_cox, p.nmos.mu_cox);
+  EXPECT_GT(ff.pmos.mu_cox, p.pmos.mu_cox);
+}
+
+TEST(Process, SlowCornerRaisesThresholdLowersMobility) {
+  const Process p = Process::typical();
+  const Process ss = p.at_corner(Corner::SS);
+  EXPECT_GT(ss.nmos.vt0, p.nmos.vt0);
+  EXPECT_LT(ss.nmos.mu_cox, p.nmos.mu_cox);
+}
+
+TEST(Process, CrossCornersMovePolaritiesOppositely) {
+  const Process p = Process::typical();
+  const Process fs = p.at_corner(Corner::FS);
+  EXPECT_LT(fs.nmos.vt0, p.nmos.vt0);  // fast NMOS
+  EXPECT_GT(fs.pmos.vt0, p.pmos.vt0);  // slow PMOS
+  const Process sf = p.at_corner(Corner::SF);
+  EXPECT_GT(sf.nmos.vt0, p.nmos.vt0);
+  EXPECT_LT(sf.pmos.vt0, p.pmos.vt0);
+}
+
+TEST(Process, CrossCornersKeepAverageOxide) {
+  const Process p = Process::typical();
+  const Process fs = p.at_corner(Corner::FS);
+  EXPECT_NEAR(fs.cox, p.cox, 1e-12);
+  EXPECT_NEAR(fs.cap_density, p.cap_density, 1e-12);
+}
+
+TEST(Process, FFandSSMoveCapDensityOppositely) {
+  const Process p = Process::typical();
+  EXPECT_LT(p.at_corner(Corner::FF).cap_density, p.cap_density);
+  EXPECT_GT(p.at_corner(Corner::SS).cap_density, p.cap_density);
+}
+
+TEST(Process, CornerShiftIsSymmetricInThreshold) {
+  const Process p = Process::typical();
+  const double up = p.at_corner(Corner::SS).nmos.vt0 - p.nmos.vt0;
+  const double down = p.nmos.vt0 - p.at_corner(Corner::FF).nmos.vt0;
+  EXPECT_NEAR(up, down, 1e-12);
+}
+
+}  // namespace
+}  // namespace anadex::device

@@ -1,0 +1,148 @@
+#include "expt/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "expt/figures.hpp"
+#include "problems/spec_suite.hpp"
+
+#include <sstream>
+
+namespace anadex::expt {
+namespace {
+
+/// A relaxed spec keeps short smoke runs cheap and feasible.
+scint::Spec easy_spec() { return problems::spec_suite().front(); }
+
+RunSettings smoke_settings(Algo algo) {
+  RunSettings s;
+  s.algo = algo;
+  s.spec = easy_spec();
+  s.population = 32;
+  s.generations = 30;
+  s.partitions = 4;
+  s.mesacga_schedule = {4, 2, 1};
+  s.phase1_cap = 10;
+  s.seed = 9;
+  return s;
+}
+
+TEST(AlgoName, AllNamed) {
+  EXPECT_EQ(algo_name(Algo::TPG), "TPG(NSGA-II)");
+  EXPECT_EQ(algo_name(Algo::LocalOnly), "LocalOnly");
+  EXPECT_EQ(algo_name(Algo::SACGA), "SACGA");
+  EXPECT_EQ(algo_name(Algo::MESACGA), "MESACGA");
+}
+
+TEST(FrontArea, OfSyntheticFront) {
+  // Single design at (0.4 mW, 5 pF): staircase covers everything at 0.4 mW.
+  const std::vector<FrontSample> front{{0.4e-3, 5e-12}};
+  EXPECT_NEAR(front_area_of(front), 20.0, 1e-9);
+}
+
+TEST(Hypervolume, OfSyntheticFront) {
+  // Point (0.2 mW, 5 pF) -> internal (0.2e-3, 0): dominated box
+  // (1.2-0.2)mW x (5.1-0)pF over the 1.2 x 5.1 reference box.
+  const std::vector<FrontSample> front{{0.2e-3, 5e-12}};
+  EXPECT_NEAR(hypervolume_of(front), (1.0 * 5.1) / (1.2 * 5.1), 1e-9);
+}
+
+TEST(ToFrontSamples, MapsObjectivesToPhysicalUnits) {
+  moga::Population pop(1);
+  pop[0].eval.objectives = {0.5e-3, 2e-12};  // power, kLoadMax - cload
+  const auto samples = to_front_samples(pop);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].power_w, 0.5e-3);
+  EXPECT_DOUBLE_EQ(samples[0].cload_f, 3e-12);
+}
+
+TEST(Runner, SmokeRunsAllAlgorithms) {
+  const problems::IntegratorProblem problem(easy_spec());
+  for (Algo algo : {Algo::TPG, Algo::LocalOnly, Algo::SACGA, Algo::MESACGA}) {
+    const auto outcome = run(problem, smoke_settings(algo));
+    EXPECT_GT(outcome.evaluations, 0u) << algo_name(algo);
+    EXPECT_GT(outcome.generations, 0u) << algo_name(algo);
+    EXPECT_GT(outcome.seconds, 0.0) << algo_name(algo);
+    EXPECT_GE(outcome.front_area, 0.0) << algo_name(algo);
+    EXPECT_LE(outcome.front_area, 55.0 + 1e-9) << algo_name(algo);
+    EXPECT_GE(outcome.hypervolume_norm, 0.0) << algo_name(algo);
+    EXPECT_LE(outcome.hypervolume_norm, 1.0) << algo_name(algo);
+  }
+}
+
+TEST(Runner, FrontSortedByLoad) {
+  const problems::IntegratorProblem problem(easy_spec());
+  const auto outcome = run(problem, smoke_settings(Algo::SACGA));
+  for (std::size_t i = 1; i < outcome.front.size(); ++i) {
+    EXPECT_LE(outcome.front[i - 1].cload_f, outcome.front[i].cload_f);
+  }
+}
+
+TEST(Runner, DeterministicOutcome) {
+  const problems::IntegratorProblem problem(easy_spec());
+  const auto a = run(problem, smoke_settings(Algo::SACGA));
+  const auto b = run(problem, smoke_settings(Algo::SACGA));
+  EXPECT_EQ(a.front.size(), b.front.size());
+  EXPECT_EQ(a.front_area, b.front_area);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Runner, HistoryRecordedAtStride) {
+  const problems::IntegratorProblem problem(easy_spec());
+  RunSettings s = smoke_settings(Algo::TPG);
+  s.record_history = true;
+  s.history_stride = 10;
+  const auto outcome = run(problem, s);
+  ASSERT_EQ(outcome.history.size(), 3u);  // generations 10, 20, 30
+  EXPECT_EQ(outcome.history[0].generation, 10u);
+  EXPECT_EQ(outcome.history[2].generation, 30u);
+}
+
+TEST(Runner, MesacgaReportsPhaseMetrics) {
+  const problems::IntegratorProblem problem(easy_spec());
+  const auto outcome = run(problem, smoke_settings(Algo::MESACGA));
+  ASSERT_EQ(outcome.phases.size(), 3u);
+  EXPECT_EQ(outcome.phases.front().partitions, 4u);
+  EXPECT_EQ(outcome.phases.back().partitions, 1u);
+}
+
+TEST(Runner, ClusteringMetricWithinUnitRange) {
+  const problems::IntegratorProblem problem(easy_spec());
+  const auto outcome = run(problem, smoke_settings(Algo::TPG));
+  EXPECT_GE(outcome.clustering_4to5, 0.0);
+  EXPECT_LE(outcome.clustering_4to5, 1.0);
+}
+
+TEST(Figures, FrontSeriesSortedWithPhysicalColumns) {
+  const std::vector<FrontSample> front{{0.5e-3, 4e-12}, {0.2e-3, 1e-12}};
+  const Series series = front_series("t", front);
+  EXPECT_EQ(series.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(series.at(0, 0), 1.0);   // pF
+  EXPECT_DOUBLE_EQ(series.at(0, 1), 0.2);   // mW
+  EXPECT_DOUBLE_EQ(series.at(1, 0), 4.0);
+}
+
+TEST(Figures, PrintersEmitExpectedMarkers) {
+  std::ostringstream os;
+  print_banner(os, "Figure 5", "Pareto fronts");
+  EXPECT_NE(os.str().find("Figure 5"), std::string::npos);
+
+  std::ostringstream os2;
+  print_paper_vs_measured(os2, "ordering", "A>B", "A>B");
+  EXPECT_NE(os2.str().find("[paper-vs-measured]"), std::string::npos);
+
+  std::ostringstream os3;
+  const std::vector<FrontSample> front{{0.5e-3, 4e-12}};
+  print_fronts(os3, {{"demo", front}});
+  EXPECT_NE(os3.str().find("Load Capacitance"), std::string::npos);
+  EXPECT_NE(os3.str().find("demo"), std::string::npos);
+
+  std::ostringstream os4;
+  RunOutcome outcome;
+  outcome.front = front;
+  outcome.front_area = front_area_of(front);
+  print_outcome_summary(os4, "demo", outcome);
+  EXPECT_NE(os4.str().find("front_area"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anadex::expt

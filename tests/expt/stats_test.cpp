@@ -1,0 +1,126 @@
+#include "expt/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "problems/spec_suite.hpp"
+
+namespace anadex::expt {
+namespace {
+
+TEST(Summary, SingleValue) {
+  const std::vector<double> v{3.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.min, 3.0);
+  EXPECT_EQ(s.max, 3.0);
+}
+
+TEST(Summary, KnownSample) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.13809, 1e-4);  // sample stddev
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(Summary, EmptyRejected) {
+  EXPECT_THROW(summarize(std::vector<double>{}), PreconditionError);
+}
+
+TEST(MultiSeed, AggregatesRequestedSeedCount) {
+  const problems::IntegratorProblem problem(problems::spec_suite().front());
+  RunSettings settings;
+  settings.algo = Algo::SACGA;
+  settings.spec = problems::spec_suite().front();
+  settings.population = 32;
+  settings.generations = 25;
+  settings.partitions = 4;
+  settings.phase1_cap = 8;
+  const auto outcome = run_seeds(problem, settings, 3);
+  EXPECT_EQ(outcome.runs.size(), 3u);
+  EXPECT_EQ(outcome.front_area.count, 3u);
+  EXPECT_GE(outcome.front_area.min, 0.0);
+  EXPECT_LE(outcome.front_area.min, outcome.front_area.mean);
+  EXPECT_LE(outcome.front_area.mean, outcome.front_area.max);
+}
+
+TEST(MultiSeed, SeedsActuallyDiffer) {
+  const problems::IntegratorProblem problem(problems::spec_suite().front());
+  RunSettings settings;
+  settings.algo = Algo::TPG;
+  settings.spec = problems::spec_suite().front();
+  settings.population = 32;
+  settings.generations = 25;
+  const auto outcome = run_seeds(problem, settings, 3);
+  // At least two of the three runs should differ in some metric.
+  const bool all_equal = outcome.front_area.min == outcome.front_area.max &&
+                         outcome.load_span_pf.min == outcome.load_span_pf.max;
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(PairwiseWinRate, CountsStrictWins) {
+  MultiSeedOutcome a;
+  MultiSeedOutcome b;
+  for (double area : {1.0, 3.0, 2.0}) {
+    RunOutcome r;
+    r.front_area = area;
+    a.runs.push_back(r);
+  }
+  for (double area : {2.0, 2.0, 2.0}) {
+    RunOutcome r;
+    r.front_area = area;
+    b.runs.push_back(r);
+  }
+  EXPECT_NEAR(pairwise_win_rate(a, b), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pairwise_win_rate(b, a), 1.0 / 3.0, 1e-12);
+}
+
+TEST(PairwiseWinRate, SizeMismatchRejected) {
+  MultiSeedOutcome a;
+  MultiSeedOutcome b;
+  a.runs.emplace_back();
+  EXPECT_THROW(pairwise_win_rate(a, b), PreconditionError);
+}
+
+TEST(Wilcoxon, Validation) {
+  EXPECT_THROW(wilcoxon_signed_rank(std::vector<double>{}, std::vector<double>{}),
+               PreconditionError);
+  EXPECT_THROW(wilcoxon_signed_rank(std::vector{1.0}, std::vector{1.0, 2.0}),
+               PreconditionError);
+  EXPECT_THROW(wilcoxon_signed_rank(std::vector{1.0, 2.0}, std::vector{1.0, 2.0}),
+               PreconditionError);  // all differences zero
+}
+
+TEST(Wilcoxon, ClearlySmallerSampleScoresOne) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{5.0, 6.0, 7.0};
+  EXPECT_DOUBLE_EQ(wilcoxon_signed_rank(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(wilcoxon_signed_rank(b, a), 0.0);
+}
+
+TEST(Wilcoxon, BalancedDifferencesNearHalf) {
+  const std::vector<double> a{1.0, 5.0, 2.0, 6.0};
+  const std::vector<double> b{2.0, 4.0, 3.0, 5.0};  // +1, -1, +1, -1
+  EXPECT_NEAR(wilcoxon_signed_rank(a, b), 0.5, 1e-12);
+}
+
+TEST(Wilcoxon, WinningTheLargeDifferencesWeighsMore) {
+  // a wins the two big comparisons and loses the two tiny ones: the rank
+  // weighting must put W+ above 0.5 (ranks 3+4 vs 1+2 -> 0.7).
+  const std::vector<double> a{0.0, 0.0, 3.0, 3.05};
+  const std::vector<double> b{5.0, 6.0, 2.9, 3.0};
+  EXPECT_NEAR(wilcoxon_signed_rank(a, b), 0.7, 1e-12);
+}
+
+TEST(Wilcoxon, ZeroDifferencesDropped) {
+  const std::vector<double> a{1.0, 3.0, 3.0};
+  const std::vector<double> b{1.0, 4.0, 4.0};  // one tie, two positive
+  EXPECT_DOUBLE_EQ(wilcoxon_signed_rank(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace anadex::expt

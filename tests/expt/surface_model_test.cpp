@@ -1,0 +1,86 @@
+#include "expt/surface_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::expt {
+namespace {
+
+std::vector<FrontSample> staircase() {
+  return {{0.1e-3, 1e-12}, {0.2e-3, 2e-12}, {0.4e-3, 4e-12}};
+}
+
+TEST(SurfaceModel, RequiresNonEmptyFront) {
+  EXPECT_THROW(SurfaceModel({}), PreconditionError);
+}
+
+TEST(SurfaceModel, KeepsSortedNondominatedPoints) {
+  // Shuffled input with one dominated point (0.5 mW @ 3 pF is beaten by
+  // 0.4 mW @ 4 pF).
+  std::vector<FrontSample> front{{0.4e-3, 4e-12}, {0.1e-3, 1e-12},
+                                 {0.5e-3, 3e-12}, {0.2e-3, 2e-12}};
+  const SurfaceModel model(front);
+  EXPECT_EQ(model.size(), 3u);
+  EXPECT_DOUBLE_EQ(model.min_load(), 1e-12);
+  EXPECT_DOUBLE_EQ(model.max_load(), 4e-12);
+  for (std::size_t i = 1; i < model.points().size(); ++i) {
+    EXPECT_GT(model.points()[i].cload_f, model.points()[i - 1].cload_f);
+    EXPECT_GT(model.points()[i].power_w, model.points()[i - 1].power_w);
+  }
+}
+
+TEST(SurfaceModel, PowerAtPicksCheapestCoveringDesign) {
+  const SurfaceModel model(staircase());
+  EXPECT_DOUBLE_EQ(model.power_at(0.5e-12).value(), 0.1e-3);
+  EXPECT_DOUBLE_EQ(model.power_at(1e-12).value(), 0.1e-3);   // exact hit
+  EXPECT_DOUBLE_EQ(model.power_at(1.5e-12).value(), 0.2e-3); // next step up
+  EXPECT_DOUBLE_EQ(model.power_at(4e-12).value(), 0.4e-3);
+}
+
+TEST(SurfaceModel, PowerAtBeyondCoverageIsEmpty) {
+  const SurfaceModel model(staircase());
+  EXPECT_FALSE(model.power_at(4.5e-12).has_value());
+}
+
+TEST(SurfaceModel, InterpolationBetweenPoints) {
+  const SurfaceModel model(staircase());
+  // Midway between (2 pF, 0.2 mW) and (4 pF, 0.4 mW).
+  EXPECT_NEAR(model.power_interpolated(3e-12).value(), 0.3e-3, 1e-12);
+  // Below coverage clamps to the cheapest design.
+  EXPECT_DOUBLE_EQ(model.power_interpolated(0.2e-12).value(), 0.1e-3);
+  EXPECT_FALSE(model.power_interpolated(9e-12).has_value());
+}
+
+TEST(SurfaceModel, MarginalPowerIsTheLocalSlope) {
+  const SurfaceModel model(staircase());
+  // Between 1 and 2 pF: (0.2-0.1)mW / 1pF = 1e8 W/F.
+  EXPECT_NEAR(model.marginal_power(1.5e-12).value(), 1e8, 1.0);
+  // Between 2 and 4 pF: 0.2e-3 / 2e-12 = 1e8 W/F too; use asymmetric data.
+  const SurfaceModel steep({{0.1e-3, 1e-12}, {0.5e-3, 2e-12}});
+  EXPECT_NEAR(steep.marginal_power(1.5e-12).value(), 4e8, 1.0);
+}
+
+TEST(SurfaceModel, MarginalPowerUndefinedOutsideOrDegenerate) {
+  const SurfaceModel model(staircase());
+  EXPECT_FALSE(model.marginal_power(0.5e-12).has_value());
+  EXPECT_FALSE(model.marginal_power(5e-12).has_value());
+  const SurfaceModel single({{0.1e-3, 1e-12}});
+  EXPECT_FALSE(single.marginal_power(1e-12).has_value());
+}
+
+TEST(SurfaceModel, SinglePointModel) {
+  const SurfaceModel model({{0.3e-3, 2e-12}});
+  EXPECT_DOUBLE_EQ(model.power_at(1e-12).value(), 0.3e-3);
+  EXPECT_FALSE(model.power_at(3e-12).has_value());
+  EXPECT_DOUBLE_EQ(model.power_interpolated(2e-12).value(), 0.3e-3);
+}
+
+TEST(SurfaceModel, DuplicateLoadsKeepCheapest) {
+  const SurfaceModel model({{0.3e-3, 2e-12}, {0.2e-3, 2e-12}});
+  EXPECT_EQ(model.size(), 1u);
+  EXPECT_DOUBLE_EQ(model.power_at(2e-12).value(), 0.2e-3);
+}
+
+}  // namespace
+}  // namespace anadex::expt

@@ -1,0 +1,133 @@
+// Integration tests: the full stack from GA through circuit evaluation to
+// system-level budgeting, at reduced budgets so the suite stays fast.
+#include <gtest/gtest.h>
+
+#include "../support/reference_design.hpp"
+#include "common/rng.hpp"
+#include "moga/nsga2.hpp"
+#include "moga/operators.hpp"
+#include "expt/runner.hpp"
+#include "moga/dominance.hpp"
+#include "problems/integrator_problem.hpp"
+#include "problems/spec_suite.hpp"
+#include "sysdes/sigma_delta.hpp"
+
+namespace anadex {
+namespace {
+
+expt::RunSettings medium_settings(expt::Algo algo, std::uint64_t seed = 21) {
+  expt::RunSettings s;
+  s.algo = algo;
+  s.spec = problems::spec_suite()[4];  // moderately easy
+  s.population = 48;
+  s.generations = 120;
+  s.partitions = 6;
+  s.mesacga_schedule = {8, 4, 2, 1};
+  s.phase1_cap = 40;
+  s.seed = seed;
+  return s;
+}
+
+TEST(EndToEnd, AllAlgorithmsProduceFeasibleFronts) {
+  const problems::IntegratorProblem problem(problems::spec_suite()[4]);
+  for (auto algo : {expt::Algo::TPG, expt::Algo::SACGA, expt::Algo::MESACGA}) {
+    const auto outcome = expt::run(problem, medium_settings(algo));
+    ASSERT_FALSE(outcome.front.empty()) << expt::algo_name(algo);
+    for (const auto& s : outcome.front) {
+      EXPECT_GT(s.power_w, 0.0);
+      EXPECT_LE(s.power_w, 2e-3);
+      EXPECT_GE(s.cload_f, 0.0);
+      EXPECT_LE(s.cload_f, problems::kLoadMax + 1e-18);
+    }
+  }
+}
+
+TEST(EndToEnd, FrontDesignsReproduceTheirReportedObjectives) {
+  // Every front sample must decode into a design whose re-evaluated typical
+  // performance matches the reported power (the whole chain is consistent).
+  const problems::IntegratorProblem problem(problems::spec_suite()[4]);
+  moga::Nsga2Params params;
+  params.population_size = 48;
+  params.generations = 80;
+  params.seed = 31;
+  const auto result = moga::run_nsga2(problem, params);
+  ASSERT_FALSE(result.front.empty());
+  for (const auto& ind : result.front) {
+    const auto design = problems::IntegratorProblem::decode(ind.genes);
+    const auto perf = problem.typical_performance(design);
+    EXPECT_NEAR(perf.power, ind.eval.objectives[0], 1e-9);
+  }
+}
+
+TEST(EndToEnd, PartitionProtectionYieldsWiderCoverageThanPureGlobal) {
+  // The paper's central qualitative claim at the mechanism level: at equal
+  // budget, the annealed local/global mix covers a wider load range than
+  // pure global competition (which clusters).
+  const problems::IntegratorProblem problem(problems::chosen_spec());
+  expt::RunSettings tpg = medium_settings(expt::Algo::TPG);
+  tpg.spec = problems::chosen_spec();
+  tpg.generations = 250;
+  expt::RunSettings sacga = medium_settings(expt::Algo::SACGA);
+  sacga.spec = problems::chosen_spec();
+  sacga.generations = 250;
+
+  double tpg_span = 0.0;
+  double sacga_span = 0.0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    tpg.seed = seed;
+    sacga.seed = seed;
+    tpg_span += expt::run(problem, tpg).load_span_pf;
+    sacga_span += expt::run(problem, sacga).load_span_pf;
+  }
+  EXPECT_GT(sacga_span, tpg_span);
+}
+
+TEST(EndToEnd, SigmaDeltaBudgetingFromOptimizedFront) {
+  const problems::IntegratorProblem problem(problems::spec_suite()[4]);
+  const auto outcome = expt::run(problem, medium_settings(expt::Algo::SACGA));
+  ASSERT_FALSE(outcome.front.empty());
+
+  std::vector<sysdes::FrontPoint> points;
+  for (const auto& s : outcome.front) points.push_back({s.power_w, s.cload_f});
+
+  sysdes::ModulatorSpec mod;
+  const auto budget = sysdes::budget_from_front(points, sysdes::default_stage_loads(mod));
+  ASSERT_EQ(budget.stages.size(), 4u);
+  if (budget.feasible) {
+    EXPECT_GT(budget.total_power, 0.0);
+    EXPECT_LT(budget.total_power, 8e-3);
+  }
+}
+
+TEST(EndToEnd, ReferenceDesignSurvivesTheWholePipeline) {
+  const problems::IntegratorProblem problem(problems::chosen_spec());
+  const auto design = testing_support::reference_design();
+  const auto eval = problem.evaluated(problems::IntegratorProblem::encode(design));
+  ASSERT_TRUE(eval.feasible());
+
+  // It must also be a valid budget candidate for a modulator stage.
+  const sysdes::FrontPoint point{eval.objectives[0],
+                                 problems::kLoadMax - eval.objectives[1]};
+  const auto budget = sysdes::budget_from_front({point}, {2e-12});
+  EXPECT_TRUE(budget.feasible);
+}
+
+TEST(EndToEnd, HarderSpecsAreHarderToSolve) {
+  // The graded suite: the hardest spec must not admit more feasible random
+  // samples than the easiest one.
+  const problems::IntegratorProblem easy(problems::spec_suite().front());
+  const problems::IntegratorProblem hard(problems::spec_suite().back());
+  Rng rng(55);
+  const auto bounds = easy.bounds();
+  int easy_feasible = 0;
+  int hard_feasible = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto genes = moga::random_genome(bounds, rng);
+    if (easy.evaluated(genes).feasible()) ++easy_feasible;
+    if (hard.evaluated(genes).feasible()) ++hard_feasible;
+  }
+  EXPECT_GE(easy_feasible, hard_feasible);
+}
+
+}  // namespace
+}  // namespace anadex

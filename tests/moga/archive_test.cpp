@@ -1,0 +1,95 @@
+#include "moga/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::moga {
+namespace {
+
+Individual point(double f1, double f2, double violation = 0.0) {
+  Individual ind;
+  ind.eval.objectives = {f1, f2};
+  if (violation > 0.0) ind.eval.violations = {violation};
+  return ind;
+}
+
+TEST(Archive, CapacityMustBePositive) {
+  EXPECT_THROW(Archive(0), PreconditionError);
+}
+
+TEST(Archive, AcceptsFeasibleNondominated) {
+  Archive archive(4);
+  EXPECT_TRUE(archive.offer(point(1.0, 2.0)));
+  EXPECT_TRUE(archive.offer(point(2.0, 1.0)));
+  EXPECT_EQ(archive.size(), 2u);
+}
+
+TEST(Archive, RejectsInfeasible) {
+  Archive archive(4);
+  EXPECT_FALSE(archive.offer(point(0.0, 0.0, /*violation=*/0.1)));
+  EXPECT_TRUE(archive.empty());
+}
+
+TEST(Archive, RejectsDominatedCandidate) {
+  Archive archive(4);
+  archive.offer(point(1.0, 1.0));
+  EXPECT_FALSE(archive.offer(point(2.0, 2.0)));
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(Archive, RejectsDuplicateObjectives) {
+  Archive archive(4);
+  archive.offer(point(1.0, 1.0));
+  EXPECT_FALSE(archive.offer(point(1.0, 1.0)));
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+TEST(Archive, RemovesNewlyDominatedMembers) {
+  Archive archive(4);
+  archive.offer(point(2.0, 2.0));
+  archive.offer(point(3.0, 1.0));
+  EXPECT_TRUE(archive.offer(point(1.0, 1.0)));  // dominates both
+  EXPECT_EQ(archive.size(), 1u);
+  EXPECT_EQ(archive.members()[0].eval.objectives, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(Archive, EvictsMostCrowdedWhenFull) {
+  Archive archive(3);
+  archive.offer(point(0.0, 10.0));
+  archive.offer(point(10.0, 0.0));
+  archive.offer(point(5.0, 5.0));
+  // The new point (4.9, 5.2) is mutually nondominated and very close to
+  // (5, 5): one of the crowded middle points must go; the extremes stay.
+  EXPECT_TRUE(archive.offer(point(4.9, 5.2)));
+  EXPECT_EQ(archive.size(), 3u);
+  bool has_low_extreme = false;
+  bool has_high_extreme = false;
+  for (const auto& m : archive.members()) {
+    if (m.eval.objectives == std::vector<double>{0.0, 10.0}) has_low_extreme = true;
+    if (m.eval.objectives == std::vector<double>{10.0, 0.0}) has_high_extreme = true;
+  }
+  EXPECT_TRUE(has_low_extreme);
+  EXPECT_TRUE(has_high_extreme);
+}
+
+TEST(Archive, OfferAllFiltersPopulation) {
+  Population pop{point(1.0, 4.0), point(2.0, 3.0), point(5.0, 5.0), point(0.0, 0.0, 1.0)};
+  Archive archive(10);
+  archive.offer_all(pop);
+  EXPECT_EQ(archive.size(), 2u);  // (5,5) dominated, infeasible rejected
+}
+
+TEST(Archive, MembersStayMutuallyNondominated) {
+  Archive archive(16);
+  // Insert a grid; only the anti-diagonal survives.
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      archive.offer(point(static_cast<double>(i), static_cast<double>(j)));
+    }
+  }
+  EXPECT_EQ(archive.size(), 1u);  // (0,0) dominates the whole grid
+}
+
+}  // namespace
+}  // namespace anadex::moga

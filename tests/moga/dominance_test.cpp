@@ -1,0 +1,93 @@
+#include "moga/dominance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::moga {
+namespace {
+
+Individual make_ind(std::vector<double> objs, std::vector<double> violations = {}) {
+  Individual ind;
+  ind.eval.objectives = std::move(objs);
+  ind.eval.violations = std::move(violations);
+  return ind;
+}
+
+TEST(Dominance, StrictlyBetterEverywhereDominates) {
+  EXPECT_TRUE(dominates(std::vector{1.0, 1.0}, std::vector{2.0, 2.0}));
+}
+
+TEST(Dominance, BetterInOneEqualElsewhereDominates) {
+  EXPECT_TRUE(dominates(std::vector{1.0, 2.0}, std::vector{2.0, 2.0}));
+}
+
+TEST(Dominance, EqualVectorsDoNotDominate) {
+  EXPECT_FALSE(dominates(std::vector{1.0, 2.0}, std::vector{1.0, 2.0}));
+}
+
+TEST(Dominance, TradeOffDoesNotDominateEitherWay) {
+  EXPECT_FALSE(dominates(std::vector{1.0, 3.0}, std::vector{2.0, 2.0}));
+  EXPECT_FALSE(dominates(std::vector{2.0, 2.0}, std::vector{1.0, 3.0}));
+}
+
+TEST(Dominance, WorseDoesNotDominate) {
+  EXPECT_FALSE(dominates(std::vector{3.0, 3.0}, std::vector{2.0, 2.0}));
+}
+
+TEST(Dominance, SingleObjective) {
+  EXPECT_TRUE(dominates(std::vector{1.0}, std::vector{2.0}));
+  EXPECT_FALSE(dominates(std::vector{2.0}, std::vector{1.0}));
+}
+
+TEST(Dominance, MismatchedSizesRejected) {
+  EXPECT_THROW(dominates(std::vector{1.0}, std::vector{1.0, 2.0}), PreconditionError);
+}
+
+TEST(Dominance, EmptyVectorsRejected) {
+  EXPECT_THROW(dominates(std::vector<double>{}, std::vector<double>{}), PreconditionError);
+}
+
+TEST(ConstrainedDominance, FeasibleBeatsInfeasible) {
+  const Individual feasible = make_ind({100.0, 100.0}, {0.0});
+  const Individual infeasible = make_ind({0.0, 0.0}, {0.5});
+  EXPECT_TRUE(constrained_dominates(feasible, infeasible));
+  EXPECT_FALSE(constrained_dominates(infeasible, feasible));
+}
+
+TEST(ConstrainedDominance, LessViolationWinsAmongInfeasible) {
+  const Individual a = make_ind({9.0, 9.0}, {0.1});
+  const Individual b = make_ind({0.0, 0.0}, {0.2});
+  EXPECT_TRUE(constrained_dominates(a, b));
+  EXPECT_FALSE(constrained_dominates(b, a));
+}
+
+TEST(ConstrainedDominance, EqualViolationNeitherDominates) {
+  const Individual a = make_ind({1.0, 1.0}, {0.3});
+  const Individual b = make_ind({2.0, 2.0}, {0.3});
+  EXPECT_FALSE(constrained_dominates(a, b));
+  EXPECT_FALSE(constrained_dominates(b, a));
+}
+
+TEST(ConstrainedDominance, FeasiblePairFallsBackToPareto) {
+  const Individual a = make_ind({1.0, 1.0}, {0.0});
+  const Individual b = make_ind({2.0, 2.0}, {0.0});
+  EXPECT_TRUE(constrained_dominates(a, b));
+  EXPECT_FALSE(constrained_dominates(b, a));
+}
+
+TEST(ConstrainedDominance, UnconstrainedProblemsUsePareto) {
+  const Individual a = make_ind({1.0, 3.0});
+  const Individual b = make_ind({2.0, 2.0});
+  EXPECT_FALSE(constrained_dominates(a, b));
+  EXPECT_FALSE(constrained_dominates(b, a));
+}
+
+TEST(ConstrainedDominance, ViolationSumAcrossConstraints) {
+  const Individual a = make_ind({1.0}, {0.1, 0.1});  // total 0.2
+  const Individual b = make_ind({1.0}, {0.25, 0.0}); // total 0.25
+  EXPECT_TRUE(constrained_dominates(a, b));
+}
+
+}  // namespace
+}  // namespace anadex::moga

@@ -1,0 +1,114 @@
+// Property/fuzz tests: the exact hypervolume must agree with a Monte-Carlo
+// estimate of the dominated region, for random fronts in 2-D and 3-D, and
+// must obey its structural laws (monotonicity, union bounds).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "moga/hypervolume.hpp"
+
+namespace anadex::moga {
+namespace {
+
+/// Monte-Carlo estimate of the dominated volume inside the reference box.
+double mc_hypervolume(const FrontPoints& front, const std::vector<double>& reference,
+                      std::size_t samples, Rng& rng) {
+  std::size_t dominated = 0;
+  std::vector<double> point(reference.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t d = 0; d < reference.size(); ++d) {
+      point[d] = rng.uniform(0.0, reference[d]);
+    }
+    for (const auto& p : front) {
+      bool dominates_sample = true;
+      for (std::size_t d = 0; d < reference.size(); ++d) {
+        if (p[d] > point[d]) {
+          dominates_sample = false;
+          break;
+        }
+      }
+      if (dominates_sample) {
+        ++dominated;
+        break;
+      }
+    }
+  }
+  double box = 1.0;
+  for (double r : reference) box *= r;
+  return box * static_cast<double>(dominated) / static_cast<double>(samples);
+}
+
+FrontPoints random_front(std::size_t n, std::size_t dim, Rng& rng) {
+  FrontPoints front;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> p(dim);
+    for (auto& v : p) v = rng.uniform(0.0, 1.0);
+    front.push_back(std::move(p));
+  }
+  return front;
+}
+
+class HypervolumeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HypervolumeFuzz, MatchesMonteCarloIn2d) {
+  Rng rng(GetParam());
+  const std::vector<double> reference{1.0, 1.0};
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto front = random_front(8, 2, rng);
+    const double exact = hypervolume(front, reference);
+    const double estimate = mc_hypervolume(front, reference, 60000, rng);
+    EXPECT_NEAR(exact, estimate, 0.015) << "trial " << trial;
+  }
+}
+
+TEST_P(HypervolumeFuzz, MatchesMonteCarloIn3d) {
+  Rng rng(GetParam() + 1000);
+  const std::vector<double> reference{1.0, 1.0, 1.0};
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto front = random_front(6, 3, rng);
+    const double exact = hypervolume(front, reference);
+    const double estimate = mc_hypervolume(front, reference, 60000, rng);
+    EXPECT_NEAR(exact, estimate, 0.015) << "trial " << trial;
+  }
+}
+
+TEST_P(HypervolumeFuzz, AddingAPointNeverDecreasesVolume) {
+  Rng rng(GetParam() + 2000);
+  const std::vector<double> reference{1.0, 1.0};
+  auto front = random_front(6, 2, rng);
+  const double before = hypervolume(front, reference);
+  front.push_back({rng.uniform(), rng.uniform()});
+  const double after = hypervolume(front, reference);
+  EXPECT_GE(after, before - 1e-12);
+}
+
+TEST_P(HypervolumeFuzz, BoundedByUnionOfBoxesAndReferenceBox) {
+  Rng rng(GetParam() + 3000);
+  const std::vector<double> reference{1.0, 1.0};
+  const auto front = random_front(8, 2, rng);
+  const double hv = hypervolume(front, reference);
+  double largest_single = 0.0;
+  double sum_of_boxes = 0.0;
+  for (const auto& p : front) {
+    const double box = (1.0 - p[0]) * (1.0 - p[1]);
+    largest_single = std::max(largest_single, box);
+    sum_of_boxes += box;
+  }
+  EXPECT_GE(hv, largest_single - 1e-12);  // contains every member box
+  EXPECT_LE(hv, sum_of_boxes + 1e-12);    // union bounded by the sum
+  EXPECT_LE(hv, 1.0 + 1e-12);             // and by the reference box
+}
+
+TEST_P(HypervolumeFuzz, PermutationInvariant) {
+  Rng rng(GetParam() + 4000);
+  const std::vector<double> reference{1.0, 1.0, 1.0};
+  auto front = random_front(7, 3, rng);
+  const double a = hypervolume(front, reference);
+  std::shuffle(front.begin(), front.end(), rng);
+  const double b = hypervolume(front, reference);
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypervolumeFuzz, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace anadex::moga

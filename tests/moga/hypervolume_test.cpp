@@ -1,0 +1,112 @@
+#include "moga/hypervolume.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::moga {
+namespace {
+
+const std::vector<double> kRef2{1.0, 1.0};
+
+TEST(Hypervolume2d, EmptyFrontIsZero) {
+  EXPECT_EQ(hypervolume({}, kRef2), 0.0);
+}
+
+TEST(Hypervolume2d, SinglePointBoxArea) {
+  EXPECT_DOUBLE_EQ(hypervolume({{0.25, 0.5}}, kRef2), 0.75 * 0.5);
+}
+
+TEST(Hypervolume2d, PointOnReferenceContributesNothing) {
+  EXPECT_EQ(hypervolume({{1.0, 0.0}}, kRef2), 0.0);
+  EXPECT_EQ(hypervolume({{0.0, 1.0}}, kRef2), 0.0);
+}
+
+TEST(Hypervolume2d, PointBeyondReferenceIgnored) {
+  EXPECT_EQ(hypervolume({{2.0, 0.1}}, kRef2), 0.0);
+  EXPECT_DOUBLE_EQ(hypervolume({{2.0, 0.1}, {0.5, 0.5}}, kRef2), 0.25);
+}
+
+TEST(Hypervolume2d, TwoTradeOffPointsUnion) {
+  // Boxes: (0.2, 0.6): 0.8*0.4 = 0.32; (0.6, 0.2) adds (1-0.6)*(0.6-0.2) = 0.16.
+  EXPECT_DOUBLE_EQ(hypervolume({{0.2, 0.6}, {0.6, 0.2}}, kRef2), 0.48);
+}
+
+TEST(Hypervolume2d, OrderOfPointsIrrelevant) {
+  const double a = hypervolume({{0.2, 0.6}, {0.6, 0.2}, {0.4, 0.4}}, kRef2);
+  const double b = hypervolume({{0.4, 0.4}, {0.6, 0.2}, {0.2, 0.6}}, kRef2);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Hypervolume2d, DominatedPointAddsNothing) {
+  const double without = hypervolume({{0.2, 0.2}}, kRef2);
+  const double with = hypervolume({{0.2, 0.2}, {0.5, 0.5}}, kRef2);
+  EXPECT_DOUBLE_EQ(without, with);
+}
+
+TEST(Hypervolume2d, DuplicatePointsCountedOnce) {
+  const double once = hypervolume({{0.3, 0.3}}, kRef2);
+  const double twice = hypervolume({{0.3, 0.3}, {0.3, 0.3}}, kRef2);
+  EXPECT_DOUBLE_EQ(once, twice);
+}
+
+TEST(Hypervolume2d, StaircaseExactValue) {
+  // Three-step staircase against ref (4, 4):
+  //   (1,3): (4-1)*(4-3) = 3
+  //   (2,2): (4-2)*(3-2) = 2
+  //   (3,1): (4-3)*(2-1) = 1   => total 6
+  const std::vector<double> ref{4.0, 4.0};
+  EXPECT_DOUBLE_EQ(hypervolume({{1.0, 3.0}, {2.0, 2.0}, {3.0, 1.0}}, ref), 6.0);
+}
+
+TEST(Hypervolume, MismatchedDimensionsRejected) {
+  EXPECT_THROW(hypervolume({{0.1, 0.1, 0.1}}, kRef2), PreconditionError);
+}
+
+TEST(Hypervolume, EmptyReferenceRejected) {
+  EXPECT_THROW(hypervolume({{0.1}}, std::vector<double>{}), PreconditionError);
+}
+
+TEST(Hypervolume1d, DistanceToBestPoint) {
+  const std::vector<double> ref{10.0};
+  EXPECT_DOUBLE_EQ(hypervolume({{4.0}, {7.0}}, ref), 6.0);
+}
+
+TEST(Hypervolume3d, SingleBoxVolume) {
+  const std::vector<double> ref{1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(hypervolume({{0.5, 0.5, 0.5}}, ref), 0.125);
+}
+
+TEST(Hypervolume3d, TwoDisjointishBoxesUnion) {
+  const std::vector<double> ref{1.0, 1.0, 1.0};
+  // Box a: [0,1]^2 x ... a=(0.0,0.0,0.5): volume 1*1*0.5 = 0.5
+  // Box b: (0.5,0.5,0.0): volume 0.5*0.5*1 = 0.25; overlap 0.5*0.5*0.5=0.125
+  const double hv = hypervolume({{0.0, 0.0, 0.5}, {0.5, 0.5, 0.0}}, ref);
+  EXPECT_DOUBLE_EQ(hv, 0.5 + 0.25 - 0.125);
+}
+
+TEST(Hypervolume3d, DominatedPointAddsNothing) {
+  const std::vector<double> ref{1.0, 1.0, 1.0};
+  const double without = hypervolume({{0.2, 0.2, 0.2}}, ref);
+  const double with = hypervolume({{0.2, 0.2, 0.2}, {0.6, 0.6, 0.6}}, ref);
+  EXPECT_DOUBLE_EQ(without, with);
+}
+
+TEST(Hypervolume4d, HypercubeVolume) {
+  const std::vector<double> ref{1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(hypervolume({{0.5, 0.5, 0.5, 0.5}}, ref), 0.0625, 1e-12);
+}
+
+/// 2-D/3-D consistency: a 3-D front whose third coordinate is constant has
+/// hv3 = hv2 * (ref3 - c).
+TEST(Hypervolume, DegenerateThirdAxisMatches2d) {
+  const std::vector<double> ref2{1.0, 1.0};
+  const std::vector<double> ref3{1.0, 1.0, 2.0};
+  const FrontPoints front2{{0.2, 0.6}, {0.6, 0.2}};
+  FrontPoints front3;
+  for (const auto& p : front2) front3.push_back({p[0], p[1], 0.5});
+  EXPECT_NEAR(hypervolume(front3, ref3), hypervolume(front2, ref2) * 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace anadex::moga

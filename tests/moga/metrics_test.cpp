@@ -1,0 +1,189 @@
+#include "moga/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::moga {
+namespace {
+
+/// Params mirroring the paper's reporting convention: coverage axis 0–5 pF,
+/// cost cap 1.1 mW, unit 0.1 mW·pF.
+FrontAreaParams paper_params() { return FrontAreaParams{}; }
+
+TEST(FrontArea, EmptyFrontChargesFullCap) {
+  const double area = front_area_metric({}, {}, paper_params());
+  // cap * range / unit = 1.1e-3 * 5e-12 / 1e-16 = 55.
+  EXPECT_NEAR(area, 55.0, 1e-9);
+}
+
+TEST(FrontArea, SingleFullCoveragePoint) {
+  // One design at (P = 0.4 mW, C = 5 pF) covers everything at 0.4 mW:
+  // 0.4e-3 * 5e-12 / 1e-16 = 20 units.
+  const std::vector<double> cost{0.4e-3};
+  const std::vector<double> cover{5e-12};
+  EXPECT_NEAR(front_area_metric(cost, cover, paper_params()), 20.0, 1e-9);
+}
+
+TEST(FrontArea, UncoveredHighLoadsChargedAtCap) {
+  // One design at (0.2 mW, 2 pF): loads above 2 pF cost the 1.1 mW cap.
+  const std::vector<double> cost{0.2e-3};
+  const std::vector<double> cover{2e-12};
+  const double expected = (0.2e-3 * 2e-12 + 1.1e-3 * 3e-12) / 1e-16;
+  EXPECT_NEAR(front_area_metric(cost, cover, paper_params()), expected, 1e-9);
+}
+
+TEST(FrontArea, TwoStepStaircase) {
+  // (0.2 mW, 2 pF) and (0.6 mW, 5 pF):
+  //   [0,2] pF at 0.2 mW, (2,5] pF at 0.6 mW.
+  const std::vector<double> cost{0.2e-3, 0.6e-3};
+  const std::vector<double> cover{2e-12, 5e-12};
+  const double expected = (0.2e-3 * 2e-12 + 0.6e-3 * 3e-12) / 1e-16;
+  EXPECT_NEAR(front_area_metric(cost, cover, paper_params()), expected, 1e-9);
+}
+
+TEST(FrontArea, InputOrderIrrelevant) {
+  const std::vector<double> cost{0.6e-3, 0.2e-3};
+  const std::vector<double> cover{5e-12, 2e-12};
+  const std::vector<double> cost_r{0.2e-3, 0.6e-3};
+  const std::vector<double> cover_r{2e-12, 5e-12};
+  EXPECT_NEAR(front_area_metric(cost, cover, paper_params()),
+              front_area_metric(cost_r, cover_r, paper_params()), 1e-12);
+}
+
+TEST(FrontArea, DominatedPointDoesNotRaiseMetric) {
+  const std::vector<double> base_cost{0.3e-3};
+  const std::vector<double> base_cover{5e-12};
+  const std::vector<double> with_dom_cost{0.3e-3, 0.9e-3};  // worse design, lower C
+  const std::vector<double> with_dom_cover{5e-12, 2e-12};
+  EXPECT_NEAR(front_area_metric(base_cost, base_cover, paper_params()),
+              front_area_metric(with_dom_cost, with_dom_cover, paper_params()), 1e-12);
+}
+
+TEST(FrontArea, BetterLowLoadDesignLowersMetric) {
+  const std::vector<double> a_cost{0.5e-3};
+  const std::vector<double> a_cover{5e-12};
+  const std::vector<double> b_cost{0.5e-3, 0.2e-3};
+  const std::vector<double> b_cover{5e-12, 2e-12};
+  EXPECT_LT(front_area_metric(b_cost, b_cover, paper_params()),
+            front_area_metric(a_cost, a_cover, paper_params()));
+}
+
+TEST(FrontArea, CostAboveCapIsClamped) {
+  const std::vector<double> cost{5.0e-3};  // way above the 1.1 mW cap
+  const std::vector<double> cover{5e-12};
+  EXPECT_NEAR(front_area_metric(cost, cover, paper_params()), 55.0, 1e-9);
+}
+
+TEST(FrontArea, CoverageBeyondRangeClamped) {
+  const std::vector<double> cost{0.4e-3};
+  const std::vector<double> cover{9e-12};  // beyond the 5 pF reporting range
+  EXPECT_NEAR(front_area_metric(cost, cover, paper_params()), 20.0, 1e-9);
+}
+
+TEST(FrontArea, SizesMustMatch) {
+  EXPECT_THROW(
+      front_area_metric(std::vector<double>{1.0}, std::vector<double>{}, paper_params()),
+      PreconditionError);
+}
+
+TEST(FrontArea, InvalidParamsRejected) {
+  FrontAreaParams p;
+  p.unit = 0.0;
+  EXPECT_THROW(front_area_metric({}, {}, p), PreconditionError);
+}
+
+TEST(Spacing, FewerThanTwoPointsIsZero) {
+  EXPECT_EQ(spacing({}), 0.0);
+  EXPECT_EQ(spacing({{1.0, 1.0}}), 0.0);
+}
+
+TEST(Spacing, UniformFrontHasZeroSpacing) {
+  const FrontPoints front{{0.0, 3.0}, {1.0, 2.0}, {2.0, 1.0}, {3.0, 0.0}};
+  EXPECT_NEAR(spacing(front), 0.0, 1e-12);
+}
+
+TEST(Spacing, IrregularFrontHasPositiveSpacing) {
+  const FrontPoints front{{0.0, 3.0}, {0.1, 2.9}, {3.0, 0.0}};
+  EXPECT_GT(spacing(front), 0.1);
+}
+
+TEST(Coverage, EmptyTargetIsZero) {
+  EXPECT_EQ(coverage({{0.0, 0.0}}, {}), 0.0);
+}
+
+TEST(Coverage, FullDomination) {
+  const FrontPoints a{{0.0, 0.0}};
+  const FrontPoints b{{1.0, 1.0}, {2.0, 0.5}};
+  EXPECT_EQ(coverage(a, b), 1.0);
+}
+
+TEST(Coverage, EqualPointsWeaklyDominate) {
+  const FrontPoints a{{1.0, 1.0}};
+  const FrontPoints b{{1.0, 1.0}};
+  EXPECT_EQ(coverage(a, b), 1.0);
+}
+
+TEST(Coverage, PartialCoverageFraction) {
+  const FrontPoints a{{1.0, 1.0}};
+  const FrontPoints b{{2.0, 2.0}, {0.5, 0.5}};
+  EXPECT_EQ(coverage(a, b), 0.5);
+}
+
+TEST(Coverage, Asymmetric) {
+  const FrontPoints a{{0.0, 0.0}};
+  const FrontPoints b{{1.0, 1.0}};
+  EXPECT_EQ(coverage(a, b), 1.0);
+  EXPECT_EQ(coverage(b, a), 0.0);
+}
+
+TEST(GenerationalDistance, ZeroWhenOnReference) {
+  const FrontPoints front{{1.0, 2.0}};
+  const FrontPoints ref{{1.0, 2.0}, {3.0, 0.0}};
+  EXPECT_EQ(generational_distance(front, ref), 0.0);
+}
+
+TEST(GenerationalDistance, AverageNearestDistance) {
+  const FrontPoints front{{0.0, 0.0}, {4.0, 0.0}};
+  const FrontPoints ref{{0.0, 1.0}, {4.0, 2.0}};
+  EXPECT_DOUBLE_EQ(generational_distance(front, ref), 1.5);
+}
+
+TEST(GenerationalDistance, EmptyFrontIsZero) {
+  EXPECT_EQ(generational_distance({}, {{0.0, 0.0}}), 0.0);
+}
+
+TEST(InvertedGenerationalDistance, PenalizesMissedReferenceRegions) {
+  const FrontPoints full{{0.0, 1.0}, {1.0, 0.0}};
+  const FrontPoints partial{{0.0, 1.0}};
+  const FrontPoints ref{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_LT(inverted_generational_distance(full, ref),
+            inverted_generational_distance(partial, ref));
+}
+
+TEST(ClusteringFraction, CountsInsideBand) {
+  const std::vector<double> values{1.0, 4.2, 4.8, 5.0, 0.5};
+  EXPECT_DOUBLE_EQ(clustering_fraction(values, 4.0, 5.0), 0.6);
+}
+
+TEST(ClusteringFraction, EmptyValuesIsZero) {
+  EXPECT_EQ(clustering_fraction({}, 0.0, 1.0), 0.0);
+}
+
+TEST(ClusteringFraction, InvertedBandRejected) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(clustering_fraction(values, 2.0, 1.0), PreconditionError);
+}
+
+TEST(ObjectivesOf, ExtractsAllRows) {
+  Population pop(3);
+  pop[0].eval.objectives = {1.0, 2.0};
+  pop[1].eval.objectives = {3.0, 4.0};
+  pop[2].eval.objectives = {5.0, 6.0};
+  const auto points = objectives_of(pop);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[1], (std::vector<double>{3.0, 4.0}));
+}
+
+}  // namespace
+}  // namespace anadex::moga

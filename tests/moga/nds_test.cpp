@@ -1,0 +1,149 @@
+#include "moga/nds.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace anadex::moga {
+namespace {
+
+Individual make_ind(std::vector<double> objs, double violation = 0.0) {
+  Individual ind;
+  ind.eval.objectives = std::move(objs);
+  if (violation > 0.0) ind.eval.violations = {violation};
+  return ind;
+}
+
+TEST(Nds, SingleIndividualIsFrontZero) {
+  Population pop{make_ind({1.0, 1.0})};
+  const auto fronts = fast_nondominated_sort(pop);
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(pop[0].rank, 0);
+}
+
+TEST(Nds, EmptySelectionYieldsNoFronts) {
+  Population pop;
+  EXPECT_TRUE(fast_nondominated_sort(pop).empty());
+}
+
+TEST(Nds, ChainOfDominationMakesOneFrontPerIndividual) {
+  Population pop{make_ind({3.0, 3.0}), make_ind({1.0, 1.0}), make_ind({2.0, 2.0})};
+  const auto fronts = fast_nondominated_sort(pop);
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(pop[1].rank, 0);
+  EXPECT_EQ(pop[2].rank, 1);
+  EXPECT_EQ(pop[0].rank, 2);
+}
+
+TEST(Nds, TradeOffSolutionsShareFrontZero) {
+  Population pop{make_ind({1.0, 4.0}), make_ind({2.0, 3.0}), make_ind({4.0, 1.0}),
+                 make_ind({3.0, 3.5})};
+  const auto fronts = fast_nondominated_sort(pop);
+  EXPECT_EQ(fronts[0].size(), 3u);  // the (3, 3.5) point is dominated by (2, 3)
+  EXPECT_EQ(pop[3].rank, 1);
+}
+
+TEST(Nds, InfeasibleAlwaysRanksBehindFeasible) {
+  Population pop{make_ind({0.0, 0.0}, /*violation=*/1.0), make_ind({9.0, 9.0})};
+  fast_nondominated_sort(pop);
+  EXPECT_EQ(pop[1].rank, 0);
+  EXPECT_EQ(pop[0].rank, 1);
+}
+
+TEST(Nds, InfeasibleOrderedByViolation) {
+  Population pop{make_ind({0.0}, 3.0), make_ind({0.0}, 1.0), make_ind({0.0}, 2.0)};
+  fast_nondominated_sort(pop);
+  EXPECT_EQ(pop[1].rank, 0);
+  EXPECT_EQ(pop[2].rank, 1);
+  EXPECT_EQ(pop[0].rank, 2);
+}
+
+TEST(Nds, SubsetSortTouchesOnlySelectedIndices) {
+  Population pop{make_ind({1.0, 1.0}), make_ind({2.0, 2.0}), make_ind({0.5, 0.5})};
+  pop[2].rank = -77;  // sentinel: index 2 not in the subset
+  const std::vector<std::size_t> subset{0, 1};
+  const auto fronts = fast_nondominated_sort(pop, subset);
+  ASSERT_EQ(fronts.size(), 2u);
+  EXPECT_EQ(pop[0].rank, 0);
+  EXPECT_EQ(pop[1].rank, 1);
+  EXPECT_EQ(pop[2].rank, -77);
+}
+
+TEST(Nds, FrontsPartitionTheSelection) {
+  Population pop;
+  for (int i = 0; i < 20; ++i) {
+    pop.push_back(make_ind({static_cast<double>(i % 5), static_cast<double>((7 * i) % 5)}));
+  }
+  const auto fronts = fast_nondominated_sort(pop);
+  std::size_t total = 0;
+  for (const auto& f : fronts) total += f.size();
+  EXPECT_EQ(total, pop.size());
+}
+
+TEST(Crowding, BoundaryPointsGetInfinity) {
+  Population pop{make_ind({1.0, 4.0}), make_ind({2.0, 3.0}), make_ind({3.0, 2.0}),
+                 make_ind({4.0, 1.0})};
+  const std::vector<std::size_t> front{0, 1, 2, 3};
+  assign_crowding(pop, front);
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+  EXPECT_TRUE(std::isinf(pop[3].crowding));
+  EXPECT_FALSE(std::isinf(pop[1].crowding));
+  EXPECT_FALSE(std::isinf(pop[2].crowding));
+}
+
+TEST(Crowding, UpToTwoPointsAllInfinite) {
+  Population pop{make_ind({1.0, 2.0}), make_ind({2.0, 1.0})};
+  const std::vector<std::size_t> front{0, 1};
+  assign_crowding(pop, front);
+  EXPECT_TRUE(std::isinf(pop[0].crowding));
+  EXPECT_TRUE(std::isinf(pop[1].crowding));
+}
+
+TEST(Crowding, IsolatedPointGetsLargerDistance) {
+  // Points on a line; the middle one near its left neighbour.
+  Population pop{make_ind({0.0, 10.0}), make_ind({1.0, 9.0}), make_ind({2.0, 8.0}),
+                 make_ind({8.0, 2.0}), make_ind({10.0, 0.0})};
+  const std::vector<std::size_t> front{0, 1, 2, 3, 4};
+  assign_crowding(pop, front);
+  EXPECT_GT(pop[3].crowding, pop[1].crowding);
+}
+
+TEST(Crowding, DegenerateObjectiveContributesNothing) {
+  Population pop{make_ind({1.0, 5.0}), make_ind({2.0, 5.0}), make_ind({3.0, 5.0})};
+  const std::vector<std::size_t> front{0, 1, 2};
+  assign_crowding(pop, front);
+  // Second objective constant: only the first objective spreads; the middle
+  // point has finite crowding from that axis alone.
+  EXPECT_FALSE(std::isinf(pop[1].crowding));
+  EXPECT_GT(pop[1].crowding, 0.0);
+}
+
+TEST(Crowding, EmptyFrontIsNoop) {
+  Population pop;
+  EXPECT_NO_THROW(assign_crowding(pop, std::vector<std::size_t>{}));
+}
+
+TEST(CrowdedLess, LowerRankWins) {
+  Individual a = make_ind({1.0});
+  Individual b = make_ind({1.0});
+  a.rank = 0;
+  b.rank = 1;
+  a.crowding = 0.0;
+  b.crowding = 100.0;
+  EXPECT_TRUE(crowded_less(a, b));
+  EXPECT_FALSE(crowded_less(b, a));
+}
+
+TEST(CrowdedLess, SameRankLargerCrowdingWins) {
+  Individual a = make_ind({1.0});
+  Individual b = make_ind({1.0});
+  a.rank = 1;
+  b.rank = 1;
+  a.crowding = 2.0;
+  b.crowding = 1.0;
+  EXPECT_TRUE(crowded_less(a, b));
+  EXPECT_FALSE(crowded_less(b, a));
+}
+
+}  // namespace
+}  // namespace anadex::moga

@@ -1,0 +1,134 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "moga/operators.hpp"
+
+namespace anadex::moga {
+namespace {
+
+const std::vector<VariableBound> kBounds{{0.0, 1.0}, {-2.0, 2.0}, {1e-12, 5e-12}};
+
+TEST(BlxAlpha, ValidatesInput) {
+  Rng rng(1);
+  std::vector<double> a{0.5};
+  std::vector<double> b{0.5, 0.5, 0.5};
+  EXPECT_THROW(blx_alpha_crossover(kBounds, 0.5, a, b, rng), PreconditionError);
+  a = {0.5, 0.0, 2e-12};
+  b = {0.5, 0.0, 2e-12};
+  EXPECT_THROW(blx_alpha_crossover(kBounds, -0.1, a, b, rng), PreconditionError);
+}
+
+TEST(BlxAlpha, ChildrenStayWithinBounds) {
+  Rng rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto a = random_genome(kBounds, rng);
+    auto b = random_genome(kBounds, rng);
+    blx_alpha_crossover(kBounds, 0.5, a, b, rng);
+    for (std::size_t i = 0; i < kBounds.size(); ++i) {
+      ASSERT_GE(a[i], kBounds[i].lower);
+      ASSERT_LE(a[i], kBounds[i].upper);
+      ASSERT_GE(b[i], kBounds[i].lower);
+      ASSERT_LE(b[i], kBounds[i].upper);
+    }
+  }
+}
+
+TEST(BlxAlpha, ZeroAlphaSamplesInsideParentInterval) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> a{0.2, -1.0, 2e-12};
+    std::vector<double> b{0.8, 1.0, 4e-12};
+    blx_alpha_crossover(kBounds, 0.0, a, b, rng);
+    EXPECT_GE(a[0], 0.2);
+    EXPECT_LE(a[0], 0.8);
+    EXPECT_GE(b[1], -1.0);
+    EXPECT_LE(b[1], 1.0);
+  }
+}
+
+TEST(BlxAlpha, IdenticalParentsStayPut) {
+  Rng rng(4);
+  std::vector<double> a{0.5, 0.0, 3e-12};
+  std::vector<double> b = a;
+  blx_alpha_crossover(kBounds, 0.5, a, b, rng);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a[0], 0.5);
+}
+
+TEST(BlxAlpha, PositiveAlphaCanExplodeBeyondParents) {
+  Rng rng(5);
+  bool escaped = false;
+  for (int trial = 0; trial < 500 && !escaped; ++trial) {
+    std::vector<double> a{0.45, 0.0, 3e-12};
+    std::vector<double> b{0.55, 0.0, 3e-12};
+    blx_alpha_crossover(kBounds, 0.5, a, b, rng);
+    escaped = a[0] < 0.45 || a[0] > 0.55 || b[0] < 0.45 || b[0] > 0.55;
+  }
+  EXPECT_TRUE(escaped);
+}
+
+TEST(GaussianMutation, ValidatesInput) {
+  Rng rng(6);
+  VariationParams params;
+  std::vector<double> g{0.5};
+  EXPECT_THROW(gaussian_mutation(kBounds, params, 0.1, g, rng), PreconditionError);
+  g = {0.5, 0.0, 3e-12};
+  EXPECT_THROW(gaussian_mutation(kBounds, params, -0.1, g, rng), PreconditionError);
+}
+
+TEST(GaussianMutation, StaysWithinBounds) {
+  Rng rng(7);
+  VariationParams params;
+  params.mutation_probability = 1.0;
+  for (int trial = 0; trial < 500; ++trial) {
+    auto g = random_genome(kBounds, rng);
+    gaussian_mutation(kBounds, params, 0.3, g, rng);
+    for (std::size_t i = 0; i < kBounds.size(); ++i) {
+      ASSERT_GE(g[i], kBounds[i].lower);
+      ASSERT_LE(g[i], kBounds[i].upper);
+    }
+  }
+}
+
+TEST(GaussianMutation, ZeroSigmaIsIdentity) {
+  Rng rng(8);
+  VariationParams params;
+  params.mutation_probability = 1.0;
+  std::vector<double> g{0.5, 0.0, 3e-12};
+  const auto before = g;
+  gaussian_mutation(kBounds, params, 0.0, g, rng);
+  EXPECT_EQ(g, before);
+}
+
+TEST(GaussianMutation, StepScaleTracksSigma) {
+  Rng rng(9);
+  VariationParams params;
+  params.mutation_probability = 1.0;
+  double small_steps = 0.0;
+  double large_steps = 0.0;
+  const int n = 3000;
+  for (int trial = 0; trial < n; ++trial) {
+    std::vector<double> g{0.5, 0.0, 3e-12};
+    gaussian_mutation(kBounds, params, 0.01, g, rng);
+    small_steps += std::abs(g[0] - 0.5);
+    g = {0.5, 0.0, 3e-12};
+    gaussian_mutation(kBounds, params, 0.1, g, rng);
+    large_steps += std::abs(g[0] - 0.5);
+  }
+  EXPECT_GT(large_steps, 5.0 * small_steps);
+}
+
+TEST(GaussianMutation, RespectsMutationProbability) {
+  Rng rng(10);
+  VariationParams params;
+  params.mutation_probability = 0.0;
+  std::vector<double> g{0.5, 0.0, 3e-12};
+  const auto before = g;
+  gaussian_mutation(kBounds, params, 0.5, g, rng);
+  EXPECT_EQ(g, before);
+}
+
+}  // namespace
+}  // namespace anadex::moga

@@ -1,0 +1,196 @@
+#include "moga/operators.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::moga {
+namespace {
+
+std::vector<VariableBound> unit_bounds(std::size_t n) {
+  return std::vector<VariableBound>(n, {0.0, 1.0});
+}
+
+TEST(VariationParams, DefaultMutationIsOneOverN) {
+  VariationParams p;
+  EXPECT_DOUBLE_EQ(p.effective_mutation_probability(10), 0.1);
+  EXPECT_DOUBLE_EQ(p.effective_mutation_probability(4), 0.25);
+}
+
+TEST(VariationParams, ExplicitMutationProbabilityClampedToOne) {
+  VariationParams p;
+  p.mutation_probability = 3.0;
+  EXPECT_DOUBLE_EQ(p.effective_mutation_probability(10), 1.0);
+}
+
+TEST(VariationParams, ZeroVariablesRejected) {
+  VariationParams p;
+  EXPECT_THROW(p.effective_mutation_probability(0), PreconditionError);
+}
+
+TEST(RandomGenome, WithinBounds) {
+  Rng rng(1);
+  const std::vector<VariableBound> bounds{{-1.0, 1.0}, {5.0, 6.0}, {0.0, 0.0}};
+  for (int i = 0; i < 200; ++i) {
+    const auto g = random_genome(bounds, rng);
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_GE(g[0], -1.0);
+    EXPECT_LT(g[0], 1.0);
+    EXPECT_GE(g[1], 5.0);
+    EXPECT_LT(g[1], 6.0);
+    EXPECT_EQ(g[2], 0.0);
+  }
+}
+
+TEST(RandomGenome, InvertedBoundRejected) {
+  Rng rng(1);
+  const std::vector<VariableBound> bounds{{1.0, -1.0}};
+  EXPECT_THROW(random_genome(bounds, rng), PreconditionError);
+}
+
+TEST(Sbx, GenomeSizeMustMatchBounds) {
+  Rng rng(1);
+  VariationParams params;
+  std::vector<double> a{0.5};
+  std::vector<double> b{0.5, 0.5};
+  EXPECT_THROW(sbx_crossover(unit_bounds(2), params, a, b, rng), PreconditionError);
+}
+
+TEST(Sbx, ZeroProbabilityLeavesParentsUnchanged) {
+  Rng rng(2);
+  VariationParams params;
+  params.crossover_probability = 0.0;
+  std::vector<double> a{0.2, 0.8};
+  std::vector<double> b{0.6, 0.4};
+  sbx_crossover(unit_bounds(2), params, a, b, rng);
+  EXPECT_EQ(a, (std::vector<double>{0.2, 0.8}));
+  EXPECT_EQ(b, (std::vector<double>{0.6, 0.4}));
+}
+
+TEST(Sbx, IdenticalParentsStayIdentical) {
+  Rng rng(3);
+  VariationParams params;
+  params.crossover_probability = 1.0;
+  std::vector<double> a{0.5, 0.5};
+  std::vector<double> b{0.5, 0.5};
+  sbx_crossover(unit_bounds(2), params, a, b, rng);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a[0], 0.5);
+}
+
+TEST(Mutation, GenomeSizeMustMatchBounds) {
+  Rng rng(1);
+  VariationParams params;
+  std::vector<double> g{0.5};
+  EXPECT_THROW(polynomial_mutation(unit_bounds(2), params, g, rng), PreconditionError);
+}
+
+TEST(Mutation, ZeroProbabilityIsIdentity) {
+  Rng rng(4);
+  VariationParams params;
+  params.mutation_probability = 0.0;
+  std::vector<double> g{0.3, 0.7};
+  polynomial_mutation(unit_bounds(2), params, g, rng);
+  EXPECT_EQ(g, (std::vector<double>{0.3, 0.7}));
+}
+
+TEST(Mutation, CertainMutationChangesGenes) {
+  Rng rng(5);
+  VariationParams params;
+  params.mutation_probability = 1.0;
+  std::vector<double> g{0.3, 0.7};
+  const auto before = g;
+  polynomial_mutation(unit_bounds(2), params, g, rng);
+  EXPECT_NE(g, before);
+}
+
+TEST(Mutation, DegenerateBoundGeneUntouched) {
+  Rng rng(6);
+  VariationParams params;
+  params.mutation_probability = 1.0;
+  const std::vector<VariableBound> bounds{{2.0, 2.0}};
+  std::vector<double> g{2.0};
+  polynomial_mutation(bounds, params, g, rng);
+  EXPECT_EQ(g[0], 2.0);
+}
+
+/// Property sweep: operators always respect bounds, for many seeds and
+/// distribution indices.
+struct OperatorPropertyCase {
+  std::uint64_t seed;
+  double eta;
+};
+
+class OperatorProperty : public ::testing::TestWithParam<OperatorPropertyCase> {};
+
+TEST_P(OperatorProperty, SbxChildrenStayWithinBounds) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  VariationParams params;
+  params.crossover_probability = 1.0;
+  params.crossover_eta = param.eta;
+  const std::vector<VariableBound> bounds{{-2.0, 3.0}, {0.0, 1e-6}, {1e3, 1e9}};
+  for (int trial = 0; trial < 300; ++trial) {
+    auto a = random_genome(bounds, rng);
+    auto b = random_genome(bounds, rng);
+    sbx_crossover(bounds, params, a, b, rng);
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      ASSERT_GE(a[i], bounds[i].lower);
+      ASSERT_LE(a[i], bounds[i].upper);
+      ASSERT_GE(b[i], bounds[i].lower);
+      ASSERT_LE(b[i], bounds[i].upper);
+      ASSERT_TRUE(std::isfinite(a[i]));
+      ASSERT_TRUE(std::isfinite(b[i]));
+    }
+  }
+}
+
+TEST_P(OperatorProperty, MutationStaysWithinBounds) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  VariationParams params;
+  params.mutation_probability = 1.0;
+  params.mutation_eta = param.eta;
+  const std::vector<VariableBound> bounds{{-5.0, -1.0}, {0.0, 1.0}, {1e-12, 5e-12}};
+  for (int trial = 0; trial < 300; ++trial) {
+    auto g = random_genome(bounds, rng);
+    polynomial_mutation(bounds, params, g, rng);
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      ASSERT_GE(g[i], bounds[i].lower);
+      ASSERT_LE(g[i], bounds[i].upper);
+      ASSERT_TRUE(std::isfinite(g[i]));
+    }
+  }
+}
+
+TEST_P(OperatorProperty, SbxPreservesParentMeanOnAverage) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  VariationParams params;
+  params.crossover_probability = 1.0;
+  params.crossover_eta = param.eta;
+  const std::vector<VariableBound> bounds{{0.0, 1.0}};
+  double child_sum = 0.0;
+  double parent_sum = 0.0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<double> a{0.3};
+    std::vector<double> b{0.7};
+    parent_sum += a[0] + b[0];
+    sbx_crossover(bounds, params, a, b, rng);
+    child_sum += a[0] + b[0];
+  }
+  // SBX is (approximately) mean-preserving; bounded truncation introduces a
+  // small bias only near the box edges.
+  EXPECT_NEAR(child_sum / parent_sum, 1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndEtas, OperatorProperty,
+    ::testing::Values(OperatorPropertyCase{1, 2.0}, OperatorPropertyCase{2, 15.0},
+                      OperatorPropertyCase{3, 30.0}, OperatorPropertyCase{99, 15.0},
+                      OperatorPropertyCase{123, 5.0}, OperatorPropertyCase{7, 50.0}));
+
+}  // namespace
+}  // namespace anadex::moga

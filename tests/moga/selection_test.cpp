@@ -1,0 +1,98 @@
+#include "moga/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "moga/nds.hpp"
+
+namespace anadex::moga {
+namespace {
+
+Individual ranked(int rank, double crowding = 0.0) {
+  Individual ind;
+  ind.eval.objectives = {0.0, 0.0};
+  ind.rank = rank;
+  ind.crowding = crowding;
+  return ind;
+}
+
+const Preference kCrowdedLess = [](const Individual& a, const Individual& b) {
+  return crowded_less(a, b);
+};
+
+TEST(Tournament, EmptyPopulationRejected) {
+  Rng rng(1);
+  Population pop;
+  EXPECT_THROW(binary_tournament(pop, kCrowdedLess, rng), PreconditionError);
+}
+
+TEST(Tournament, SingleMemberAlwaysChosen) {
+  Rng rng(1);
+  Population pop{ranked(3)};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(binary_tournament(pop, kCrowdedLess, rng), 0u);
+  }
+}
+
+TEST(Tournament, StrictlyBetterMemberAlwaysBeatsWorse) {
+  Rng rng(2);
+  Population pop{ranked(0), ranked(5)};
+  int wins = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (binary_tournament(pop, kCrowdedLess, rng) == 0) ++wins;
+  }
+  EXPECT_EQ(wins, 200);  // two contestants, always distinct, better always wins
+}
+
+TEST(Tournament, TieBrokenRandomly) {
+  Rng rng(3);
+  Population pop{ranked(0, 1.0), ranked(0, 1.0)};
+  int zero_wins = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (binary_tournament(pop, kCrowdedLess, rng) == 0) ++zero_wins;
+  }
+  EXPECT_GT(zero_wins, 800);
+  EXPECT_LT(zero_wins, 1200);
+}
+
+TEST(MakeOffspring, ProducesExactlyRequestedCount) {
+  Rng rng(4);
+  const std::vector<VariableBound> bounds{{0.0, 1.0}, {0.0, 1.0}};
+  Population pop;
+  for (int i = 0; i < 6; ++i) {
+    Individual ind = ranked(0, static_cast<double>(i));
+    ind.genes = random_genome(bounds, rng);
+    pop.push_back(std::move(ind));
+  }
+  VariationParams params;
+  for (std::size_t count : {1u, 2u, 7u, 100u}) {
+    const auto children = make_offspring(pop, bounds, params, kCrowdedLess, count, rng);
+    EXPECT_EQ(children.size(), count);
+    for (const auto& child : children) {
+      EXPECT_EQ(child.size(), bounds.size());
+      for (std::size_t g = 0; g < child.size(); ++g) {
+        EXPECT_GE(child[g], bounds[g].lower);
+        EXPECT_LE(child[g], bounds[g].upper);
+      }
+    }
+  }
+}
+
+TEST(MakeOffspring, ChildrenDeriveFromPopulationGenePool) {
+  Rng rng(5);
+  const std::vector<VariableBound> bounds{{0.0, 10.0}};
+  // All parents share the same gene: with no mutation, children must too.
+  Population pop;
+  for (int i = 0; i < 4; ++i) {
+    Individual ind = ranked(0);
+    ind.genes = {4.0};
+    pop.push_back(std::move(ind));
+  }
+  VariationParams params;
+  params.mutation_probability = 0.0;
+  const auto children = make_offspring(pop, bounds, params, kCrowdedLess, 10, rng);
+  for (const auto& child : children) EXPECT_DOUBLE_EQ(child[0], 4.0);
+}
+
+}  // namespace
+}  // namespace anadex::moga

@@ -1,0 +1,104 @@
+#include "moga/serialize.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "moga/nsga2.hpp"
+#include "moga/operators.hpp"
+#include "problems/analytic.hpp"
+
+namespace anadex::moga {
+namespace {
+
+Population sample_population() {
+  Population pop(3);
+  pop[0].genes = {1.0, 2.0};
+  pop[0].eval.objectives = {0.5, 0.25};
+  pop[1].genes = {-3.5, 4.0};
+  pop[1].eval.objectives = {1.0, 9.0};
+  pop[1].eval.violations = {0.1, 0.0};
+  pop[2].genes = {1e-12};
+  pop[2].eval.objectives = {7.0};
+  return pop;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const Population original = sample_population();
+  std::stringstream stream;
+  save_population(stream, original);
+  const Population loaded = load_population(stream);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].genes, original[i].genes);
+    EXPECT_EQ(loaded[i].eval.objectives, original[i].eval.objectives);
+    EXPECT_EQ(loaded[i].eval.violations, original[i].eval.violations);
+  }
+}
+
+TEST(Serialize, EmptyPopulationRoundTrips) {
+  std::stringstream stream;
+  save_population(stream, {});
+  EXPECT_TRUE(load_population(stream).empty());
+}
+
+TEST(Serialize, FullPrecisionSurvives) {
+  Population pop(1);
+  pop[0].genes = {0.1 + 0.2};  // a value with a long binary expansion
+  pop[0].eval.objectives = {1.0 / 3.0};
+  std::stringstream stream;
+  save_population(stream, pop);
+  const Population loaded = load_population(stream);
+  EXPECT_EQ(loaded[0].genes[0], pop[0].genes[0]);
+  EXPECT_EQ(loaded[0].eval.objectives[0], pop[0].eval.objectives[0]);
+}
+
+TEST(Serialize, RejectsMissingHeader) {
+  std::stringstream stream("individual 1 1 0\ngenes 1\nobjectives 1\nviolations\n");
+  EXPECT_THROW(load_population(stream), PreconditionError);
+}
+
+TEST(Serialize, RejectsTruncatedRecord) {
+  std::stringstream stream("anadex-population v1\nindividual 2 1 0\ngenes 1 2\n");
+  EXPECT_THROW(load_population(stream), PreconditionError);
+}
+
+TEST(Serialize, RejectsNonNumericValues) {
+  std::stringstream stream(
+      "anadex-population v1\nindividual 1 1 0\ngenes abc\nobjectives 1\nviolations\n");
+  EXPECT_THROW(load_population(stream), PreconditionError);
+}
+
+TEST(Serialize, RejectsWrongKeyword) {
+  std::stringstream stream(
+      "anadex-population v1\nindividual 1 1 0\nchromosome 1\nobjectives 1\nviolations\n");
+  EXPECT_THROW(load_population(stream), PreconditionError);
+}
+
+TEST(Serialize, OptimizedFrontRoundTripsThroughCheckpoint) {
+  // The practical use: persist an NSGA-II front, reload it, and verify the
+  // reloaded genomes re-evaluate to the stored objectives.
+  const auto problem = problems::make_zdt1(6);
+  Nsga2Params params;
+  params.population_size = 24;
+  params.generations = 30;
+  params.seed = 4;
+  const auto result = run_nsga2(*problem, params);
+
+  std::stringstream stream;
+  save_population(stream, result.front);
+  const Population loaded = load_population(stream);
+  ASSERT_EQ(loaded.size(), result.front.size());
+  for (const auto& ind : loaded) {
+    const auto fresh = problem->evaluated(ind.genes);
+    ASSERT_EQ(fresh.objectives.size(), ind.eval.objectives.size());
+    for (std::size_t k = 0; k < fresh.objectives.size(); ++k) {
+      EXPECT_DOUBLE_EQ(fresh.objectives[k], ind.eval.objectives[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anadex::moga

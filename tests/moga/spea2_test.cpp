@@ -1,0 +1,114 @@
+#include "moga/spea2.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "moga/dominance.hpp"
+#include "moga/metrics.hpp"
+#include "problems/analytic.hpp"
+
+namespace anadex::moga {
+namespace {
+
+Spea2Params quick_params(std::size_t generations = 60, std::uint64_t seed = 3) {
+  Spea2Params p;
+  p.population_size = 40;
+  p.archive_size = 40;
+  p.generations = generations;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Spea2, ValidatesParameters) {
+  const auto problem = problems::make_sch();
+  Spea2Params p = quick_params();
+  p.population_size = 5;
+  EXPECT_THROW(run_spea2(*problem, p), PreconditionError);
+  p = quick_params();
+  p.archive_size = 1;
+  EXPECT_THROW(run_spea2(*problem, p), PreconditionError);
+}
+
+TEST(Spea2, ArchiveSizeRespected) {
+  const auto problem = problems::make_sch();
+  const auto result = run_spea2(*problem, quick_params());
+  EXPECT_LE(result.archive.size(), 40u);
+  EXPECT_GE(result.archive.size(), 2u);
+}
+
+TEST(Spea2, EvaluationAccounting) {
+  const auto problem = problems::make_sch();
+  const auto result = run_spea2(*problem, quick_params(10));
+  EXPECT_EQ(result.evaluations, 40u + 10u * 40u);
+  EXPECT_EQ(result.generations_run, 10u);
+}
+
+TEST(Spea2, FrontIsNondominated) {
+  const auto problem = problems::make_sch();
+  const auto result = run_spea2(*problem, quick_params());
+  ASSERT_GT(result.front.size(), 3u);
+  for (const auto& a : result.front) {
+    for (const auto& b : result.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(dominates(b.eval.objectives, a.eval.objectives));
+    }
+  }
+}
+
+TEST(Spea2, DeterministicPerSeed) {
+  const auto problem = problems::make_sch();
+  const auto a = run_spea2(*problem, quick_params());
+  const auto b = run_spea2(*problem, quick_params());
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].genes, b.front[i].genes);
+  }
+}
+
+TEST(Spea2, SchConvergesToKnownFront) {
+  const auto problem = problems::make_sch();
+  const auto result = run_spea2(*problem, quick_params(120));
+  for (const auto& ind : result.front) {
+    const double f1 = ind.eval.objectives[0];
+    const double f2 = ind.eval.objectives[1];
+    const double expected =
+        (std::sqrt(std::max(f1, 0.0)) - 2.0) * (std::sqrt(std::max(f1, 0.0)) - 2.0);
+    EXPECT_NEAR(f2, expected, 0.25);
+  }
+}
+
+TEST(Spea2, Zdt1GenerationalDistanceSmall) {
+  const auto problem = problems::make_zdt1(10);
+  Spea2Params p = quick_params(200);
+  p.population_size = 60;
+  p.archive_size = 60;
+  const auto result = run_spea2(*problem, p);
+  FrontPoints reference;
+  for (int i = 0; i <= 100; ++i) {
+    const double f1 = i / 100.0;
+    reference.push_back({f1, 1.0 - std::sqrt(f1)});
+  }
+  EXPECT_LT(generational_distance(objectives_of(result.front), reference), 0.1);
+}
+
+TEST(Spea2, ConstrainedProblemStaysFeasible) {
+  const auto problem = problems::make_constr();
+  const auto result = run_spea2(*problem, quick_params(100));
+  ASSERT_GT(result.front.size(), 2u);
+  for (const auto& ind : result.front) EXPECT_TRUE(ind.feasible());
+}
+
+TEST(Spea2, CallbackSeesArchive) {
+  const auto problem = problems::make_sch();
+  std::size_t calls = 0;
+  run_spea2(*problem, quick_params(15), [&](std::size_t, const Population& archive) {
+    ++calls;
+    EXPECT_LE(archive.size(), 40u);
+  });
+  EXPECT_EQ(calls, 15u);
+}
+
+}  // namespace
+}  // namespace anadex::moga

@@ -1,0 +1,151 @@
+#include "problems/analytic.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::problems {
+namespace {
+
+TEST(AnalyticSuite, MetadataConsistency) {
+  const auto check = [](const moga::Problem& p, std::size_t vars, std::size_t objs,
+                        std::size_t cons) {
+    EXPECT_EQ(p.num_variables(), vars) << p.name();
+    EXPECT_EQ(p.num_objectives(), objs) << p.name();
+    EXPECT_EQ(p.num_constraints(), cons) << p.name();
+    EXPECT_EQ(p.bounds().size(), vars) << p.name();
+    EXPECT_FALSE(p.name().empty());
+  };
+  check(*make_sch(), 1, 2, 0);
+  check(*make_fon(), 3, 2, 0);
+  check(*make_kur(), 3, 2, 0);
+  check(*make_pol(), 2, 2, 0);
+  check(*make_zdt1(30), 30, 2, 0);
+  check(*make_zdt2(30), 30, 2, 0);
+  check(*make_zdt3(30), 30, 2, 0);
+  check(*make_zdt4(10), 10, 2, 0);
+  check(*make_zdt6(10), 10, 2, 0);
+  check(*make_constr(), 2, 2, 2);
+  check(*make_srn(), 2, 2, 2);
+  check(*make_tnk(), 2, 2, 2);
+  check(*make_bnh(), 2, 2, 2);
+  check(*make_osy(), 6, 2, 6);
+}
+
+TEST(AnalyticSuite, GeneCountValidated) {
+  const auto sch = make_sch();
+  moga::Evaluation out;
+  EXPECT_THROW(sch->evaluate(std::vector<double>{1.0, 2.0}, out), PreconditionError);
+}
+
+TEST(Sch, KnownValues) {
+  const auto sch = make_sch();
+  auto e = sch->evaluated(std::vector<double>{0.0});
+  EXPECT_EQ(e.objectives, (std::vector<double>{0.0, 4.0}));
+  e = sch->evaluated(std::vector<double>{2.0});
+  EXPECT_EQ(e.objectives, (std::vector<double>{4.0, 0.0}));
+  e = sch->evaluated(std::vector<double>{1.0});
+  EXPECT_EQ(e.objectives, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(Fon, SymmetricOptimaAtDiagonal) {
+  const auto fon = make_fon();
+  const double inv = 1.0 / std::sqrt(3.0);
+  const auto at_plus = fon->evaluated(std::vector<double>{inv, inv, inv});
+  EXPECT_NEAR(at_plus.objectives[0], 0.0, 1e-12);  // first objective optimal
+  const auto at_minus = fon->evaluated(std::vector<double>{-inv, -inv, -inv});
+  EXPECT_NEAR(at_minus.objectives[1], 0.0, 1e-12);
+}
+
+TEST(Zdt1, ParetoSetHasGEqualOne) {
+  const auto zdt = make_zdt1(5);
+  // On the Pareto set all tail variables are 0 -> g = 1 and f2 = 1 - sqrt(f1).
+  const auto e = zdt->evaluated(std::vector<double>{0.25, 0.0, 0.0, 0.0, 0.0});
+  EXPECT_NEAR(e.objectives[0], 0.25, 1e-12);
+  EXPECT_NEAR(e.objectives[1], 1.0 - 0.5, 1e-12);
+}
+
+TEST(Zdt2, ConcaveFrontShape) {
+  const auto zdt = make_zdt2(5);
+  const auto e = zdt->evaluated(std::vector<double>{0.5, 0.0, 0.0, 0.0, 0.0});
+  EXPECT_NEAR(e.objectives[1], 1.0 - 0.25, 1e-12);
+}
+
+TEST(Zdt3, SineTermCreatesDisconnection) {
+  // On the g = 1 slice f2 = 1 - sqrt(f1) - f1 sin(10 pi f1) rises between
+  // f1 = 0.05 and 0.15 and falls again by 0.25: the non-monotonicity that
+  // disconnects the front.
+  const auto zdt = make_zdt3(5);
+  const auto low = zdt->evaluated(std::vector<double>{0.05, 0.0, 0.0, 0.0, 0.0});
+  const auto mid = zdt->evaluated(std::vector<double>{0.15, 0.0, 0.0, 0.0, 0.0});
+  const auto high = zdt->evaluated(std::vector<double>{0.25, 0.0, 0.0, 0.0, 0.0});
+  EXPECT_GT(mid.objectives[1], low.objectives[1]);
+  EXPECT_LT(high.objectives[1], mid.objectives[1]);
+}
+
+TEST(Zdt4, MultimodalGExceedsOneOffOptimum) {
+  const auto zdt = make_zdt4(3);
+  const auto off = zdt->evaluated(std::vector<double>{0.5, 1.3, -2.1});
+  // g >= 1 always; far from the optimum it is much larger.
+  EXPECT_GT(off.objectives[1], 1.0);
+}
+
+TEST(Zdt6, BiasedHeadFunction) {
+  const auto zdt = make_zdt6(3);
+  const auto e = zdt->evaluated(std::vector<double>{0.0, 0.0, 0.0});
+  EXPECT_NEAR(e.objectives[0], 1.0, 1e-12);  // head(0) = 1 - 0 = 1
+}
+
+TEST(Constr, FeasibleAndInfeasiblePoints) {
+  const auto constr = make_constr();
+  const auto feasible = constr->evaluated(std::vector<double>{0.8, 2.0});
+  EXPECT_TRUE(feasible.feasible());
+  const auto infeasible = constr->evaluated(std::vector<double>{0.1, 0.0});
+  EXPECT_FALSE(infeasible.feasible());
+  EXPECT_GT(infeasible.total_violation(), 0.0);
+}
+
+TEST(Srn, KnownFeasiblePoint) {
+  const auto srn = make_srn();
+  const auto e = srn->evaluated(std::vector<double>{-5.0, 5.0});
+  EXPECT_TRUE(e.feasible());  // 25 + 25 <= 225 and -(-5 - 15 + 10) = 10 >= 0
+}
+
+TEST(Tnk, RingConstraintActive) {
+  const auto tnk = make_tnk();
+  const auto inside = tnk->evaluated(std::vector<double>{0.3, 0.3});  // inside ring
+  EXPECT_FALSE(inside.feasible());
+  const auto on_ring = tnk->evaluated(std::vector<double>{1.0, 0.4});
+  EXPECT_TRUE(on_ring.feasible());
+}
+
+TEST(Bnh, OriginIsFeasibleOptimumOfF1) {
+  const auto bnh = make_bnh();
+  const auto e = bnh->evaluated(std::vector<double>{0.0, 0.0});
+  EXPECT_TRUE(e.feasible());
+  EXPECT_EQ(e.objectives[0], 0.0);
+}
+
+TEST(Osy, ConstraintsCountAndSigns) {
+  const auto osy = make_osy();
+  const auto e = osy->evaluated(std::vector<double>{5.0, 1.0, 2.0, 0.0, 5.0, 10.0});
+  EXPECT_EQ(e.violations.size(), 6u);
+  for (double v : e.violations) EXPECT_GE(v, 0.0);
+}
+
+TEST(AnalyticSuite, DeterministicEvaluation) {
+  const auto kur = make_kur();
+  const std::vector<double> x{1.0, -2.0, 3.0};
+  const auto a = kur->evaluated(x);
+  const auto b = kur->evaluated(x);
+  EXPECT_EQ(a.objectives, b.objectives);
+}
+
+TEST(ZdtFamily, RejectsTooFewVariables) {
+  EXPECT_THROW(make_zdt1(1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace anadex::problems

@@ -1,0 +1,129 @@
+// Sensitivity tests: every constraint of the integrator problem must
+// respond to the design knob that physically drives it. This guards the
+// problem formulation against silently-dead constraints (a classic failure
+// mode when refactoring the circuit model).
+#include <gtest/gtest.h>
+
+#include "../support/reference_design.hpp"
+#include "problems/integrator_problem.hpp"
+#include "problems/spec_suite.hpp"
+
+namespace anadex::problems {
+namespace {
+
+enum Constraint : std::size_t {
+  kConDr = 0,
+  kConOr = 1,
+  kConSt = 2,
+  kConSe = 3,
+  kConArea = 4,
+  kConSat = 5,
+  kConBalance = 6,
+  kConVov = 7,
+  kConRobust = 8,
+};
+
+const IntegratorProblem& problem() {
+  static const IntegratorProblem instance(chosen_spec());
+  return instance;
+}
+
+moga::Evaluation evaluate(const scint::IntegratorDesign& design) {
+  return problem().evaluated(IntegratorProblem::encode(design));
+}
+
+TEST(ConstraintSensitivity, ReferenceDesignHasAllZeros) {
+  const auto eval = evaluate(testing_support::reference_design());
+  for (std::size_t i = 0; i < eval.violations.size(); ++i) {
+    EXPECT_EQ(eval.violations[i], 0.0) << "constraint " << i;
+  }
+}
+
+TEST(ConstraintSensitivity, TinySamplingCapBreaksDynamicRange) {
+  auto design = testing_support::reference_design();
+  design.cs = 0.5e-12;  // kT/C noise blows the 96 dB requirement
+  const auto eval = evaluate(design);
+  EXPECT_GT(eval.violations[kConDr], 0.0);
+}
+
+TEST(ConstraintSensitivity, NarrowMirrorBreaksOutputRange) {
+  auto design = testing_support::reference_design();
+  design.opamp.m3.w /= 16.0;  // large VSG3 -> large vdsat6 -> shrunken swing
+  const auto eval = evaluate(design);
+  EXPECT_GT(eval.violations[kConOr] + eval.violations[kConSat] + eval.violations[kConVov],
+            0.0);
+}
+
+TEST(ConstraintSensitivity, StarvedBiasBreaksSettling) {
+  auto design = testing_support::reference_design();
+  design.opamp.ibias /= 5.0;  // all currents collapse
+  const auto eval = evaluate(design);
+  EXPECT_GT(eval.violations[kConSt] + eval.violations[kConSe], 0.0);
+}
+
+TEST(ConstraintSensitivity, HugeCapacitorsBreakArea) {
+  auto design = testing_support::reference_design();
+  design.cs = 8e-12;
+  design.coc = 2e-12;
+  design.opamp.cc = 5e-12;
+  const auto eval = evaluate(design);
+  EXPECT_GT(eval.violations[kConArea] + eval.violations[kConSt], 0.0);
+}
+
+TEST(ConstraintSensitivity, OversizedDriverBreaksBalance) {
+  auto design = testing_support::reference_design();
+  design.opamp.m6.w *= 4.0;  // ID6 != I7 -> systematic offset
+  const auto eval = evaluate(design);
+  EXPECT_GT(eval.violations[kConBalance], 0.0);
+}
+
+TEST(ConstraintSensitivity, HugeInputPairBreaksStrongInversion) {
+  auto design = testing_support::reference_design();
+  design.opamp.m1.w = 200e-6;  // same current, enormous W -> Vov < 100 mV
+  const auto eval = evaluate(design);
+  EXPECT_GT(eval.violations[kConVov], 0.0);
+}
+
+TEST(ConstraintSensitivity, MarginalDesignLosesRobustness) {
+  // Shrink the sampling cap until DR sits exactly at the limit: the
+  // deterministic constraint may pass at TT while Monte-Carlo samples fail.
+  auto design = testing_support::reference_design();
+  double lo = 0.5e-12;
+  double hi = design.cs;
+  for (int iter = 0; iter < 30; ++iter) {
+    design.cs = 0.5 * (lo + hi);
+    const auto perf = problem().typical_performance(design);
+    if (perf.dynamic_range_db > chosen_spec().dr_min_db) {
+      hi = design.cs;
+    } else {
+      lo = design.cs;
+    }
+  }
+  design.cs = hi * 1.001;  // just barely passing at TT
+  const double rob = problem().design_robustness(design);
+  EXPECT_LT(rob, 1.0);  // some Monte-Carlo samples must fail at the margin
+}
+
+TEST(ConstraintSensitivity, ViolationsAreMonotoneInSeverity) {
+  // Worse DR -> at least as large a DR violation.
+  auto design = testing_support::reference_design();
+  design.cs = 0.9e-12;
+  const double v1 = evaluate(design).violations[kConDr];
+  design.cs = 0.6e-12;
+  const double v2 = evaluate(design).violations[kConDr];
+  EXPECT_GE(v2, v1);
+  EXPECT_GT(v1, 0.0);
+}
+
+TEST(ConstraintSensitivity, EasierSpecProducesSmallerViolations) {
+  auto design = testing_support::reference_design();
+  design.cs = 0.8e-12;  // DR-deficient design
+  const IntegratorProblem easy(spec_suite().front());
+  const IntegratorProblem hard(spec_suite().back());
+  const auto genes = IntegratorProblem::encode(design);
+  EXPECT_LE(easy.evaluated(genes).violations[kConDr],
+            hard.evaluated(genes).violations[kConDr]);
+}
+
+}  // namespace
+}  // namespace anadex::problems

@@ -1,0 +1,92 @@
+#include "problems/ctp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "moga/nsga2.hpp"
+
+namespace anadex::problems {
+namespace {
+
+TEST(Ctp, Metadata) {
+  const auto ctp1 = make_ctp1(5);
+  EXPECT_EQ(ctp1->name(), "CTP1");
+  EXPECT_EQ(ctp1->num_variables(), 5u);
+  EXPECT_EQ(ctp1->num_constraints(), 2u);
+  const auto ctp2 = make_ctp(2, 5);
+  EXPECT_EQ(ctp2->name(), "CTP2");
+  EXPECT_EQ(ctp2->num_constraints(), 1u);
+}
+
+TEST(Ctp, Validation) {
+  EXPECT_THROW(make_ctp1(1), PreconditionError);
+  EXPECT_THROW(make_ctp(7, 5), PreconditionError);
+}
+
+TEST(Ctp1, ConstraintsCarveTheFront) {
+  const auto problem = make_ctp1(2);
+  // On the g-optimal slice (x1 = 0): f2 = g exp(-f1/g) with g = 1 at x1=0.
+  // At f1 = 0: f2 = 1 >= 0.858 and >= 0.728 -> feasible.
+  const auto at0 = problem->evaluated(std::vector<double>{0.0, 0.0});
+  EXPECT_TRUE(at0.feasible());
+  // Deep inside the infeasible wedge: scale f2 down via small g? g >= 1 by
+  // construction, so construct infeasibility through large f1 where the
+  // unconstrained front dips below the exponential bound.
+  bool found_infeasible = false;
+  for (double f1 = 0.0; f1 <= 1.0; f1 += 0.05) {
+    const auto e = problem->evaluated(std::vector<double>{f1, 0.0});
+    if (!e.feasible()) found_infeasible = true;
+  }
+  EXPECT_TRUE(found_infeasible);
+}
+
+TEST(CtpFamily, DisconnectedFeasibilityAcrossObjectiveSpace) {
+  // CTP2's constraint cuts periodic infeasible notches through objective
+  // space (the Pareto front lies ON the constraint boundary): scanning f1
+  // at several g levels (set via the tail variable) must cross feasibility
+  // boundaries repeatedly.
+  const auto problem = make_ctp(2, 2);
+  int transitions = 0;
+  for (double x2 : {0.1, 0.2, 0.3}) {
+    bool prev = problem->evaluated(std::vector<double>{0.0, x2}).feasible();
+    for (double f1 = 0.01; f1 <= 1.0; f1 += 0.01) {
+      const bool now = problem->evaluated(std::vector<double>{f1, x2}).feasible();
+      if (now != prev) ++transitions;
+      prev = now;
+    }
+  }
+  EXPECT_GE(transitions, 4);  // several notches across the scans
+}
+
+TEST(CtpFamily, Ctp4HarderThanCtp2) {
+  // CTP4's larger `a` widens the infeasible notches: fewer feasible points
+  // across a grid of the whole decision box.
+  const auto easy = make_ctp(2, 2);
+  const auto hard = make_ctp(4, 2);
+  int feasible_easy = 0;
+  int feasible_hard = 0;
+  for (double f1 = 0.0; f1 <= 1.0; f1 += 0.02) {
+    for (double x2 = -0.9; x2 <= 0.9; x2 += 0.05) {
+      feasible_easy += easy->evaluated(std::vector<double>{f1, x2}).feasible() ? 1 : 0;
+      feasible_hard += hard->evaluated(std::vector<double>{f1, x2}).feasible() ? 1 : 0;
+    }
+  }
+  EXPECT_GT(feasible_easy, feasible_hard);
+}
+
+TEST(CtpFamily, NsgaIiFindsFeasibleFrontOnCtp2) {
+  const auto problem = make_ctp(2, 4);
+  moga::Nsga2Params params;
+  params.population_size = 80;
+  params.generations = 150;
+  params.seed = 13;
+  const auto result = moga::run_nsga2(*problem, params);
+  ASSERT_GT(result.front.size(), 5u);
+  for (const auto& ind : result.front) {
+    EXPECT_TRUE(ind.feasible());
+    EXPECT_LE(ind.eval.objectives[0], 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace anadex::problems

@@ -1,0 +1,94 @@
+#include "problems/dtlz.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "moga/hypervolume.hpp"
+#include "moga/metrics.hpp"
+#include "moga/nsga2.hpp"
+
+namespace anadex::problems {
+namespace {
+
+TEST(Dtlz, Metadata) {
+  const auto d1 = make_dtlz1(3, 5);
+  EXPECT_EQ(d1->num_variables(), 7u);
+  EXPECT_EQ(d1->num_objectives(), 3u);
+  EXPECT_EQ(d1->num_constraints(), 0u);
+  const auto d2 = make_dtlz2(4, 10);
+  EXPECT_EQ(d2->num_variables(), 13u);
+  EXPECT_EQ(d2->num_objectives(), 4u);
+}
+
+TEST(Dtlz, Validation) {
+  EXPECT_THROW(make_dtlz1(1, 5), PreconditionError);
+  EXPECT_THROW(make_dtlz2(3, 0), PreconditionError);
+}
+
+TEST(Dtlz1, ParetoFrontSumsToHalf) {
+  const auto problem = make_dtlz1(3, 5);
+  // On the front the distance variables are 0.5 -> g = 0, sum f_i = 0.5.
+  std::vector<double> x{0.3, 0.8, 0.5, 0.5, 0.5, 0.5, 0.5};
+  const auto e = problem->evaluated(x);
+  double sum = 0.0;
+  for (double f : e.objectives) sum += f;
+  EXPECT_NEAR(sum, 0.5, 1e-9);
+}
+
+TEST(Dtlz1, OffOptimumGIsLarge) {
+  const auto problem = make_dtlz1(3, 5);
+  std::vector<double> x{0.3, 0.8, 0.1, 0.9, 0.2, 0.7, 0.4};
+  const auto e = problem->evaluated(x);
+  double sum = 0.0;
+  for (double f : e.objectives) sum += f;
+  EXPECT_GT(sum, 10.0);  // g is multiplied by 100
+}
+
+TEST(Dtlz2, ParetoFrontOnUnitSphere) {
+  const auto problem = make_dtlz2(3, 10);
+  std::vector<double> x(12, 0.5);
+  x[0] = 0.2;
+  x[1] = 0.7;
+  const auto e = problem->evaluated(x);
+  double sq_sum = 0.0;
+  for (double f : e.objectives) sq_sum += f * f;
+  EXPECT_NEAR(sq_sum, 1.0, 1e-9);
+}
+
+TEST(Dtlz2, CornersReachUnitAxes) {
+  const auto problem = make_dtlz2(3, 10);
+  std::vector<double> x(12, 0.5);
+  x[0] = 0.0;
+  x[1] = 0.0;
+  const auto e = problem->evaluated(x);
+  EXPECT_NEAR(e.objectives[0], 1.0, 1e-9);
+  EXPECT_NEAR(e.objectives[1], 0.0, 1e-9);
+  EXPECT_NEAR(e.objectives[2], 0.0, 1e-9);
+}
+
+TEST(Dtlz2, NsgaIiApproachesTheSphere) {
+  const auto problem = make_dtlz2(3, 6);
+  moga::Nsga2Params params;
+  params.population_size = 92;
+  params.generations = 150;
+  params.seed = 9;
+  const auto result = moga::run_nsga2(*problem, params);
+  ASSERT_GT(result.front.size(), 20u);
+  // All front points close to the unit sphere...
+  for (const auto& ind : result.front) {
+    double sq_sum = 0.0;
+    for (double f : ind.eval.objectives) sq_sum += f * f;
+    EXPECT_LT(std::abs(std::sqrt(sq_sum) - 1.0), 0.15);
+  }
+  // ...and the 3-D hypervolume against (1.2, 1.2, 1.2) approaches the
+  // exact sphere-front maximum 1.2^3 - pi/6 ~ 1.2044 from below.
+  const double hv =
+      moga::hypervolume(moga::objectives_of(result.front), std::vector{1.2, 1.2, 1.2});
+  EXPECT_GT(hv, 0.9);
+  EXPECT_LT(hv, 1.2044 + 1e-6);
+}
+
+}  // namespace
+}  // namespace anadex::problems

@@ -1,0 +1,147 @@
+#include "problems/integrator_problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../support/reference_design.hpp"
+#include "common/check.hpp"
+#include "problems/spec_suite.hpp"
+
+namespace anadex::problems {
+namespace {
+
+const IntegratorProblem& chosen_problem() {
+  static const IntegratorProblem problem(chosen_spec());
+  return problem;
+}
+
+TEST(IntegratorProblem, Metadata) {
+  const auto& p = chosen_problem();
+  EXPECT_EQ(p.num_variables(), 15u);  // the paper's 15 design parameters
+  EXPECT_EQ(p.num_objectives(), 2u);
+  EXPECT_EQ(p.num_constraints(), 9u);
+  EXPECT_EQ(p.bounds().size(), 15u);
+  EXPECT_NE(p.name().find("paper-chosen"), std::string::npos);
+}
+
+TEST(IntegratorProblem, BoundsAreOrderedAndPositive) {
+  for (const auto& b : chosen_problem().bounds()) {
+    EXPECT_LT(b.lower, b.upper);
+    EXPECT_GT(b.lower, 0.0);
+  }
+}
+
+TEST(IntegratorProblem, LoadBoundMatchesReportingAxis) {
+  const auto bounds = chosen_problem().bounds();
+  EXPECT_DOUBLE_EQ(bounds[kCload].upper, kLoadMax);
+}
+
+TEST(IntegratorProblem, DecodeEncodeRoundTrip) {
+  const auto design = testing_support::reference_design();
+  const auto genes = IntegratorProblem::encode(design);
+  ASSERT_EQ(genes.size(), static_cast<std::size_t>(kNumGenes));
+  const auto decoded = IntegratorProblem::decode(genes);
+  EXPECT_EQ(decoded.opamp.m1.w, design.opamp.m1.w);
+  EXPECT_EQ(decoded.opamp.m6.l, design.opamp.m6.l);
+  EXPECT_EQ(decoded.opamp.ibias, design.opamp.ibias);
+  EXPECT_EQ(decoded.cs, design.cs);
+  EXPECT_EQ(decoded.cload, design.cload);
+}
+
+TEST(IntegratorProblem, DecodeValidatesGeneCount) {
+  EXPECT_THROW(IntegratorProblem::decode(std::vector<double>(3)), PreconditionError);
+}
+
+TEST(IntegratorProblem, ReferenceDesignIsFeasible) {
+  const auto genes = IntegratorProblem::encode(testing_support::reference_design());
+  const auto eval = chosen_problem().evaluated(genes);
+  EXPECT_TRUE(eval.feasible()) << "violations sum " << eval.total_violation();
+}
+
+TEST(IntegratorProblem, ObjectivesArePowerAndTransformedLoad) {
+  const auto design = testing_support::reference_design();
+  const auto genes = IntegratorProblem::encode(design);
+  const auto eval = chosen_problem().evaluated(genes);
+  const auto perf = chosen_problem().typical_performance(design);
+  EXPECT_NEAR(eval.objectives[0], perf.power, 1e-12);
+  EXPECT_NEAR(eval.objectives[1], kLoadMax - design.cload, 1e-18);
+}
+
+TEST(IntegratorProblem, EvaluationIsDeterministic) {
+  const auto genes = IntegratorProblem::encode(testing_support::reference_design());
+  const auto a = chosen_problem().evaluated(genes);
+  const auto b = chosen_problem().evaluated(genes);
+  EXPECT_EQ(a.objectives, b.objectives);
+  EXPECT_EQ(a.violations, b.violations);
+}
+
+TEST(IntegratorProblem, StarvedDesignViolatesConstraints) {
+  auto design = testing_support::reference_design();
+  design.opamp.ibias = 1e-6;
+  design.opamp.m5 = {1e-6, 2e-6};  // starved tail: DR/ST collapse
+  const auto eval = chosen_problem().evaluated(IntegratorProblem::encode(design));
+  EXPECT_FALSE(eval.feasible());
+}
+
+TEST(IntegratorProblem, WeakInversionDesignViolatesVovConstraint) {
+  auto design = testing_support::reference_design();
+  design.opamp.m1 = {200e-6, 2e-6};  // huge input pair at the same current
+  const auto eval = chosen_problem().evaluated(IntegratorProblem::encode(design));
+  // Constraint index 7 is the strong-inversion (vov) margin.
+  EXPECT_GT(eval.violations[7], 0.0);
+}
+
+TEST(IntegratorProblem, ViolationsAreCapped) {
+  std::vector<double> genes(kNumGenes);
+  const auto bounds = chosen_problem().bounds();
+  for (std::size_t i = 0; i < genes.size(); ++i) genes[i] = bounds[i].lower;
+  const auto eval = chosen_problem().evaluated(genes);
+  for (double v : eval.violations) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(IntegratorProblem, RobustnessSkippedForBrokenDesignsButScoredForGood) {
+  const auto design = testing_support::reference_design();
+  EXPECT_GT(chosen_problem().design_robustness(design), 0.8);
+}
+
+TEST(SpecSuite, HasTwentyEntries) {
+  EXPECT_EQ(spec_suite().size(), 20u);
+}
+
+TEST(SpecSuite, ChosenSpecIsEntry13) {
+  const auto suite = spec_suite();
+  EXPECT_EQ(suite[12].name, "paper-chosen");
+  EXPECT_EQ(suite[12].dr_min_db, 96.0);
+}
+
+TEST(SpecSuite, DifficultyIsMonotone) {
+  const auto suite = spec_suite();
+  for (std::size_t i = 1; i < suite.size(); ++i) {
+    if (i == 12 || i == 13) continue;  // the pinned paper spec breaks strictness locally
+    EXPECT_GE(suite[i].dr_min_db, suite[i - 1].dr_min_db);
+    EXPECT_GE(suite[i].or_min, suite[i - 1].or_min);
+    EXPECT_LE(suite[i].st_max, suite[i - 1].st_max);
+    EXPECT_LE(suite[i].se_max, suite[i - 1].se_max);
+    EXPECT_GE(suite[i].robustness_min, suite[i - 1].robustness_min);
+  }
+}
+
+TEST(SpecSuite, NamesAreUnique) {
+  const auto suite = spec_suite();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    for (std::size_t j = i + 1; j < suite.size(); ++j) {
+      EXPECT_NE(suite[i].name, suite[j].name);
+    }
+  }
+}
+
+TEST(SpecSuite, EasiestSpecAdmitsReferenceDesign) {
+  const IntegratorProblem easy(spec_suite().front());
+  const auto eval = easy.evaluated(IntegratorProblem::encode(testing_support::reference_design()));
+  EXPECT_TRUE(eval.feasible());
+}
+
+}  // namespace
+}  // namespace anadex::problems

@@ -1,0 +1,71 @@
+#include "sacga/axis_estimate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "problems/analytic.hpp"
+#include "problems/integrator_problem.hpp"
+#include "problems/spec_suite.hpp"
+
+namespace anadex::sacga {
+namespace {
+
+TEST(AxisEstimate, Validation) {
+  const auto problem = problems::make_sch();
+  Rng rng(1);
+  EXPECT_THROW(estimate_axis_range(*problem, 7, 10, rng), PreconditionError);
+  EXPECT_THROW(estimate_axis_range(*problem, 0, 1, rng), PreconditionError);
+  EXPECT_THROW(estimate_axis_range(*problem, 0, 10, rng, -0.1), PreconditionError);
+}
+
+TEST(AxisEstimate, CoversTheObservedRangeWithPadding) {
+  const auto problem = problems::make_sch();  // f1 = x^2, x in [-1000, 1000]
+  Rng rng(2);
+  const auto estimate = estimate_axis_range(*problem, 0, 200, rng, 0.05);
+  EXPECT_LT(estimate.lo, estimate.hi);
+  EXPECT_GE(estimate.hi, 1e4);  // random |x| easily exceeds 100
+  // Padding pushes lo below the smallest observed (non-negative) value.
+  EXPECT_LT(estimate.lo, 0.0 + 1e6);
+}
+
+TEST(AxisEstimate, IntegratorLoadAxisMatchesConstruction) {
+  // For the integrator problem objective 1 = kLoadMax - cload is uniform in
+  // [0, ~5 pF] by construction; the estimate must straddle that range.
+  const problems::IntegratorProblem problem(problems::spec_suite().front());
+  Rng rng(3);
+  const auto estimate = estimate_axis_range(problem, 1, 64, rng, 0.0);
+  EXPECT_GE(estimate.lo, 0.0);
+  EXPECT_LE(estimate.hi, problems::kLoadMax);
+  EXPECT_GT(estimate.hi - estimate.lo, 3e-12);  // most of the axis observed
+}
+
+TEST(AxisEstimate, DeterministicGivenRngState) {
+  const auto problem = problems::make_sch();
+  Rng a(7);
+  Rng b(7);
+  const auto ea = estimate_axis_range(*problem, 0, 50, a);
+  const auto eb = estimate_axis_range(*problem, 0, 50, b);
+  EXPECT_EQ(ea.lo, eb.lo);
+  EXPECT_EQ(ea.hi, eb.hi);
+}
+
+TEST(AxisEstimate, ConstantObjectiveRejected) {
+  class ConstantObjective final : public moga::Problem {
+   public:
+    std::string name() const override { return "const"; }
+    std::size_t num_variables() const override { return 1; }
+    std::size_t num_objectives() const override { return 2; }
+    std::size_t num_constraints() const override { return 0; }
+    std::vector<moga::VariableBound> bounds() const override { return {{0.0, 1.0}}; }
+    void evaluate(std::span<const double> x, moga::Evaluation& out) const override {
+      out.objectives = {x[0], 42.0};
+      out.violations.clear();
+    }
+  };
+  const ConstantObjective problem;
+  Rng rng(5);
+  EXPECT_THROW(estimate_axis_range(problem, 1, 20, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace anadex::sacga

@@ -1,0 +1,148 @@
+#include "sacga/partitioned_evolver.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "moga/dominance.hpp"
+#include "problems/analytic.hpp"
+
+namespace anadex::sacga {
+namespace {
+
+EvolverParams small_params() {
+  EvolverParams p;
+  p.population_size = 40;
+  return p;
+}
+
+Partitioner sch_partitioner(std::size_t count) {
+  // SCH objective 0 = x^2; the interesting front lies in [0, 4].
+  return Partitioner(0, 0.0, 4.0, count);
+}
+
+const ParticipationProbability kNever = [](std::size_t) { return 0.0; };
+const ParticipationProbability kAlways = [](std::size_t) { return 1.0; };
+
+TEST(Evolver, RejectsBadPopulationSize) {
+  const auto problem = problems::make_sch();
+  EvolverParams p;
+  p.population_size = 5;
+  EXPECT_THROW(PartitionedEvolver(*problem, p, sch_partitioner(4), 1), PreconditionError);
+}
+
+TEST(Evolver, RejectsBadAxisObjective) {
+  const auto problem = problems::make_sch();
+  EXPECT_THROW(PartitionedEvolver(*problem, small_params(), Partitioner(7, 0.0, 1.0, 4), 1),
+               PreconditionError);
+}
+
+TEST(Evolver, InitialPopulationEvaluatedAndRanked) {
+  const auto problem = problems::make_sch();
+  PartitionedEvolver evolver(*problem, small_params(), sch_partitioner(4), 1);
+  EXPECT_EQ(evolver.population().size(), 40u);
+  EXPECT_EQ(evolver.evaluations(), 40u);
+  for (const auto& ind : evolver.population()) {
+    EXPECT_EQ(ind.eval.objectives.size(), 2u);
+    EXPECT_GE(ind.rank, 0);
+  }
+}
+
+TEST(Evolver, StepKeepsPopulationSizeAndCountsEvaluations) {
+  const auto problem = problems::make_sch();
+  PartitionedEvolver evolver(*problem, small_params(), sch_partitioner(4), 1);
+  evolver.step(kNever);
+  EXPECT_EQ(evolver.population().size(), 40u);
+  EXPECT_EQ(evolver.evaluations(), 80u);
+  EXPECT_EQ(evolver.generation(), 1u);
+}
+
+TEST(Evolver, DeterministicForFixedSeed) {
+  const auto problem = problems::make_sch();
+  PartitionedEvolver a(*problem, small_params(), sch_partitioner(4), 9);
+  PartitionedEvolver b(*problem, small_params(), sch_partitioner(4), 9);
+  for (int i = 0; i < 5; ++i) {
+    a.step(kNever);
+    b.step(kNever);
+  }
+  for (std::size_t i = 0; i < a.population().size(); ++i) {
+    EXPECT_EQ(a.population()[i].genes, b.population()[i].genes);
+  }
+}
+
+TEST(Evolver, PureLocalCompetitionPreservesPartitionSpread) {
+  // Under pure local competition, every populated partition's local front
+  // shares rank 0, so the population keeps representation across partitions.
+  const auto problem = problems::make_sch();
+  PartitionedEvolver evolver(*problem, small_params(), sch_partitioner(4), 3);
+  for (int i = 0; i < 30; ++i) evolver.step(kNever);
+  std::set<std::size_t> partitions;
+  for (const auto& ind : evolver.population()) {
+    partitions.insert(evolver.partitioner().index_of(ind));
+  }
+  EXPECT_GE(partitions.size(), 3u);
+}
+
+TEST(Evolver, GlobalFrontIsFeasibleAndNondominated) {
+  const auto problem = problems::make_constr();
+  EvolverParams params = small_params();
+  PartitionedEvolver evolver(*problem, params, Partitioner(0, 0.1, 1.0, 4), 5);
+  for (int i = 0; i < 40; ++i) evolver.step(kAlways);
+  const auto front = evolver.global_front();
+  ASSERT_FALSE(front.empty());
+  for (const auto& a : front) {
+    EXPECT_TRUE(a.feasible());
+    for (const auto& b : front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(moga::dominates(b.eval.objectives, a.eval.objectives));
+    }
+  }
+}
+
+TEST(Evolver, AllPartitionsFeasibleDetection) {
+  const auto problem = problems::make_sch();  // unconstrained: all feasible
+  PartitionedEvolver evolver(*problem, small_params(), sch_partitioner(2), 1);
+  // SCH random init over [-1000, 1000]: objective 0 = x^2 is huge, so both
+  // bins of [0, 4] are unlikely to be populated at once initially; after
+  // some pure-local generations they must be.
+  for (int i = 0; i < 50 && !evolver.all_active_partitions_feasible(); ++i) {
+    evolver.step(kNever);
+  }
+  EXPECT_TRUE(evolver.all_active_partitions_feasible());
+}
+
+TEST(Evolver, DiscardInfeasiblePartitionsMarksAndCounts) {
+  const auto problem = problems::make_constr();
+  PartitionedEvolver evolver(*problem, small_params(), Partitioner(0, 0.1, 1.0, 8), 2);
+  const std::size_t discarded = evolver.discard_infeasible_partitions();
+  EXPECT_EQ(discarded,
+            static_cast<std::size_t>(
+                std::count(evolver.discarded().begin(), evolver.discarded().end(), true)));
+}
+
+TEST(Evolver, SetPartitionerResetsDiscards) {
+  const auto problem = problems::make_constr();
+  PartitionedEvolver evolver(*problem, small_params(), Partitioner(0, 0.1, 1.0, 8), 2);
+  evolver.discard_infeasible_partitions();
+  evolver.set_partitioner(Partitioner(0, 0.1, 1.0, 3));
+  EXPECT_EQ(evolver.partitioner().count(), 3u);
+  for (bool d : evolver.discarded()) EXPECT_FALSE(d);
+}
+
+TEST(Evolver, AlwaysParticipateActsGlobally) {
+  // With participation = 1 everywhere, convergence should approach plain
+  // global competition: the SCH front (objectives in [0,4]x[0,4]) is found.
+  const auto problem = problems::make_sch();
+  PartitionedEvolver evolver(*problem, small_params(), sch_partitioner(4), 21);
+  for (int i = 0; i < 60; ++i) evolver.step(kAlways);
+  const auto front = evolver.global_front();
+  ASSERT_GT(front.size(), 5u);
+  for (const auto& ind : front) {
+    EXPECT_LE(ind.eval.objectives[0], 4.5);
+    EXPECT_LE(ind.eval.objectives[1], 4.5);
+  }
+}
+
+}  // namespace
+}  // namespace anadex::sacga

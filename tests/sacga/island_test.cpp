@@ -1,0 +1,106 @@
+#include "sacga/island.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "moga/dominance.hpp"
+#include "problems/analytic.hpp"
+
+namespace anadex::sacga {
+namespace {
+
+IslandParams small_params() {
+  IslandParams p;
+  p.islands = 3;
+  p.island_population = 16;
+  p.generations = 40;
+  p.migration_interval = 10;
+  p.migrants = 2;
+  p.seed = 5;
+  return p;
+}
+
+TEST(IslandGa, ValidatesParameters) {
+  const auto problem = problems::make_sch();
+  IslandParams p = small_params();
+  p.islands = 1;
+  EXPECT_THROW(run_island_ga(*problem, p), PreconditionError);
+  p = small_params();
+  p.island_population = 5;
+  EXPECT_THROW(run_island_ga(*problem, p), PreconditionError);
+  p = small_params();
+  p.migration_interval = 0;
+  EXPECT_THROW(run_island_ga(*problem, p), PreconditionError);
+  p = small_params();
+  p.migrants = 99;
+  EXPECT_THROW(run_island_ga(*problem, p), PreconditionError);
+}
+
+TEST(IslandGa, PopulationIsUnionOfIslands) {
+  const auto problem = problems::make_sch();
+  const auto result = run_island_ga(*problem, small_params());
+  EXPECT_EQ(result.population.size(), 3u * 16u);
+  EXPECT_EQ(result.generations_run, 40u);
+}
+
+TEST(IslandGa, MigrationCountMatchesInterval) {
+  const auto problem = problems::make_sch();
+  const auto result = run_island_ga(*problem, small_params());
+  EXPECT_EQ(result.migrations, 4u);  // generations 10, 20, 30, 40
+}
+
+TEST(IslandGa, EvaluationAccounting) {
+  const auto problem = problems::make_sch();
+  const auto result = run_island_ga(*problem, small_params());
+  // init (3*16) + per generation (3*16).
+  EXPECT_EQ(result.evaluations, 48u + 40u * 48u);
+}
+
+TEST(IslandGa, FrontIsFeasibleNondominated) {
+  const auto problem = problems::make_constr();
+  IslandParams p = small_params();
+  p.generations = 80;
+  const auto result = run_island_ga(*problem, p);
+  ASSERT_GT(result.front.size(), 2u);
+  for (const auto& a : result.front) {
+    EXPECT_TRUE(a.feasible());
+    for (const auto& b : result.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(moga::dominates(b.eval.objectives, a.eval.objectives));
+    }
+  }
+}
+
+TEST(IslandGa, DeterministicPerSeed) {
+  const auto problem = problems::make_sch();
+  const auto a = run_island_ga(*problem, small_params());
+  const auto b = run_island_ga(*problem, small_params());
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].genes, b.front[i].genes);
+  }
+}
+
+TEST(IslandGa, ConvergesOnSch) {
+  const auto problem = problems::make_sch();
+  IslandParams p = small_params();
+  p.generations = 120;
+  const auto result = run_island_ga(*problem, p);
+  for (const auto& ind : result.front) {
+    EXPECT_GE(ind.genes[0], -0.2);
+    EXPECT_LE(ind.genes[0], 2.2);  // SCH Pareto set is [0, 2]
+  }
+}
+
+TEST(IslandGa, CallbackSeesUnionPopulation) {
+  const auto problem = problems::make_sch();
+  std::size_t calls = 0;
+  run_island_ga(*problem, small_params(), [&](std::size_t, const moga::Population& pop) {
+    ++calls;
+    EXPECT_EQ(pop.size(), 48u);
+  });
+  EXPECT_EQ(calls, 40u);
+}
+
+}  // namespace
+}  // namespace anadex::sacga

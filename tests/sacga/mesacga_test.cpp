@@ -1,0 +1,143 @@
+#include "sacga/mesacga.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "moga/dominance.hpp"
+#include "problems/analytic.hpp"
+
+namespace anadex::sacga {
+namespace {
+
+MesacgaParams constr_params() {
+  MesacgaParams p;
+  p.population_size = 40;
+  p.partition_schedule = {8, 4, 2, 1};
+  p.axis_objective = 0;
+  p.axis_lo = 0.1;
+  p.axis_hi = 1.0;
+  p.phase1_max_generations = 20;
+  p.span = 25;
+  p.seed = 4;
+  return p;
+}
+
+TEST(Mesacga, ValidatesSchedule) {
+  const auto problem = problems::make_constr();
+  MesacgaParams p = constr_params();
+  p.partition_schedule = {};
+  EXPECT_THROW(run_mesacga(*problem, p), PreconditionError);
+  p = constr_params();
+  p.partition_schedule = {4, 8};  // increasing: invalid
+  EXPECT_THROW(run_mesacga(*problem, p), PreconditionError);
+  p = constr_params();
+  p.partition_schedule = {4, 0};
+  EXPECT_THROW(run_mesacga(*problem, p), PreconditionError);
+  p = constr_params();
+  p.span = 0;
+  EXPECT_THROW(run_mesacga(*problem, p), PreconditionError);
+}
+
+TEST(Mesacga, RunsAllPhasesAndSnapshotsEach) {
+  const auto problem = problems::make_constr();
+  const auto result = run_mesacga(*problem, constr_params());
+  ASSERT_EQ(result.phases.size(), 4u);
+  for (std::size_t i = 0; i < result.phases.size(); ++i) {
+    EXPECT_EQ(result.phases[i].phase, i + 1);
+  }
+  EXPECT_EQ(result.phases[0].partitions, 8u);
+  EXPECT_EQ(result.phases[3].partitions, 1u);
+  EXPECT_EQ(result.generations_run, result.phase1_generations + 4u * 25u);
+}
+
+TEST(Mesacga, SnapshotGenerationsAreCumulative) {
+  const auto problem = problems::make_constr();
+  const auto result = run_mesacga(*problem, constr_params());
+  std::size_t prev = result.phase1_generations;
+  for (const auto& snap : result.phases) {
+    EXPECT_EQ(snap.generation, prev + 25u);
+    prev = snap.generation;
+  }
+}
+
+TEST(Mesacga, FinalFrontFeasibleAndNondominated) {
+  const auto problem = problems::make_constr();
+  const auto result = run_mesacga(*problem, constr_params());
+  ASSERT_GT(result.front.size(), 3u);
+  for (const auto& a : result.front) {
+    EXPECT_TRUE(a.feasible());
+    for (const auto& b : result.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(moga::dominates(b.eval.objectives, a.eval.objectives));
+    }
+  }
+}
+
+TEST(Mesacga, DeterministicForFixedSeed) {
+  const auto problem = problems::make_constr();
+  const auto a = run_mesacga(*problem, constr_params());
+  const auto b = run_mesacga(*problem, constr_params());
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].genes, b.front[i].genes);
+  }
+}
+
+TEST(Mesacga, TotalBudgetDerivesSpan) {
+  const auto problem = problems::make_constr();
+  MesacgaParams p = constr_params();
+  p.total_budget = 120;
+  const auto result = run_mesacga(*problem, p);
+  // span = (120 - gen_t) / 4 phases; total = gen_t + 4 * span <= 120.
+  EXPECT_LE(result.generations_run, 120u);
+  EXPECT_GT(result.generations_run, 120u - 4u);
+}
+
+TEST(Mesacga, TotalBudgetMustExceedPhase1Cap) {
+  const auto problem = problems::make_constr();
+  MesacgaParams p = constr_params();
+  p.total_budget = 10;  // below the 20-generation cap
+  EXPECT_THROW(run_mesacga(*problem, p), PreconditionError);
+}
+
+TEST(Mesacga, PerPhaseAnnealingVariantRuns) {
+  const auto problem = problems::make_constr();
+  MesacgaParams p = constr_params();
+  p.continuous_annealing = false;
+  const auto result = run_mesacga(*problem, p);
+  EXPECT_EQ(result.phases.size(), 4u);
+  EXPECT_FALSE(result.front.empty());
+}
+
+TEST(Mesacga, ContinuousAndPerPhaseAnnealingDiffer) {
+  const auto problem = problems::make_constr();
+  MesacgaParams p = constr_params();
+  const auto cont = run_mesacga(*problem, p);
+  p.continuous_annealing = false;
+  const auto restart = run_mesacga(*problem, p);
+  bool differ = cont.front.size() != restart.front.size();
+  for (std::size_t i = 0; !differ && i < cont.front.size(); ++i) {
+    differ = cont.front[i].genes != restart.front[i].genes;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Mesacga, CallbackSeesEveryGeneration) {
+  const auto problem = problems::make_constr();
+  std::size_t calls = 0;
+  const auto result = run_mesacga(*problem, constr_params(),
+                                  [&](std::size_t, const auto&) { ++calls; });
+  EXPECT_EQ(calls, result.generations_run);
+}
+
+TEST(Mesacga, SinglePhaseDegeneratesToSacgaLikeRun) {
+  const auto problem = problems::make_constr();
+  MesacgaParams p = constr_params();
+  p.partition_schedule = {4};
+  const auto result = run_mesacga(*problem, p);
+  EXPECT_EQ(result.phases.size(), 1u);
+  EXPECT_FALSE(result.front.empty());
+}
+
+}  // namespace
+}  // namespace anadex::sacga

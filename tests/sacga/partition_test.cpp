@@ -1,0 +1,89 @@
+#include "sacga/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::sacga {
+namespace {
+
+TEST(Partitioner, RejectsZeroPartitions) {
+  EXPECT_THROW(Partitioner(0, 0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(Partitioner, RejectsDegenerateRange) {
+  EXPECT_THROW(Partitioner(0, 1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Partitioner(0, 2.0, 1.0, 4), PreconditionError);
+}
+
+TEST(Partitioner, SinglePartitionCoversEverything) {
+  const Partitioner p(0, 0.0, 1.0, 1);
+  EXPECT_EQ(p.index_of_value(-100.0), 0u);
+  EXPECT_EQ(p.index_of_value(0.5), 0u);
+  EXPECT_EQ(p.index_of_value(100.0), 0u);
+}
+
+TEST(Partitioner, EqualBinsMapCorrectly) {
+  const Partitioner p(0, 0.0, 10.0, 5);
+  EXPECT_EQ(p.index_of_value(0.0), 0u);
+  EXPECT_EQ(p.index_of_value(1.99), 0u);
+  EXPECT_EQ(p.index_of_value(2.0), 1u);
+  EXPECT_EQ(p.index_of_value(5.0), 2u);
+  EXPECT_EQ(p.index_of_value(9.99), 4u);
+}
+
+TEST(Partitioner, ValuesOutsideRangeClampToEdges) {
+  const Partitioner p(0, 0.0, 10.0, 5);
+  EXPECT_EQ(p.index_of_value(-3.0), 0u);
+  EXPECT_EQ(p.index_of_value(10.0), 4u);  // upper edge maps into the last bin
+  EXPECT_EQ(p.index_of_value(42.0), 4u);
+}
+
+TEST(Partitioner, IntervalsTileTheRange) {
+  const Partitioner p(1, -1.0, 1.0, 4);
+  double expected_lower = -1.0;
+  for (std::size_t bin = 0; bin < 4; ++bin) {
+    const auto interval = p.interval_of(bin);
+    EXPECT_NEAR(interval.lower, expected_lower, 1e-12);
+    EXPECT_NEAR(interval.upper - interval.lower, 0.5, 1e-12);
+    expected_lower = interval.upper;
+  }
+  EXPECT_NEAR(expected_lower, 1.0, 1e-12);
+}
+
+TEST(Partitioner, IntervalIndexBoundsChecked) {
+  const Partitioner p(0, 0.0, 1.0, 2);
+  EXPECT_THROW(p.interval_of(2), PreconditionError);
+}
+
+TEST(Partitioner, IndexOfIndividualUsesAxisObjective) {
+  const Partitioner p(1, 0.0, 10.0, 10);
+  moga::Individual ind;
+  ind.eval.objectives = {99.0, 3.5};
+  EXPECT_EQ(p.index_of(ind), 3u);
+}
+
+TEST(Partitioner, IndexOfRejectsMissingObjective) {
+  const Partitioner p(2, 0.0, 1.0, 4);
+  moga::Individual ind;
+  ind.eval.objectives = {0.5, 0.5};
+  EXPECT_THROW(p.index_of(ind), PreconditionError);
+}
+
+TEST(Partitioner, ValueOnBinBoundaryGoesToUpperBin) {
+  const Partitioner p(0, 0.0, 1.0, 10);
+  EXPECT_EQ(p.index_of_value(0.3), 3u);
+  EXPECT_EQ(p.index_of_value(0.7), 7u);
+}
+
+TEST(Partitioner, ManyPartitionsStayConsistentWithIntervals) {
+  const Partitioner p(0, 0.0, 5e-12, 20);  // the integrator's load axis
+  for (std::size_t bin = 0; bin < 20; ++bin) {
+    const auto interval = p.interval_of(bin);
+    const double mid = 0.5 * (interval.lower + interval.upper);
+    EXPECT_EQ(p.index_of_value(mid), bin);
+  }
+}
+
+}  // namespace
+}  // namespace anadex::sacga

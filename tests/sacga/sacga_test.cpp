@@ -1,0 +1,156 @@
+#include "sacga/sacga.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "moga/dominance.hpp"
+#include "problems/analytic.hpp"
+#include "sacga/local_only.hpp"
+
+namespace anadex::sacga {
+namespace {
+
+SacgaParams constr_params(std::size_t span = 60) {
+  SacgaParams p;
+  p.population_size = 40;
+  p.partitions = 4;
+  p.axis_objective = 0;  // CONSTR: f1 = x1 in [0.1, 1]
+  p.axis_lo = 0.1;
+  p.axis_hi = 1.0;
+  p.phase1_max_generations = 30;
+  p.span = span;
+  p.seed = 3;
+  return p;
+}
+
+TEST(Sacga, ValidatesParameters) {
+  const auto problem = problems::make_constr();
+  SacgaParams p = constr_params();
+  p.partitions = 0;
+  EXPECT_THROW(run_sacga(*problem, p), PreconditionError);
+  p = constr_params();
+  p.span = 0;
+  EXPECT_THROW(run_sacga(*problem, p), PreconditionError);
+}
+
+TEST(Sacga, RunsBothPhasesAndReportsCounts) {
+  const auto problem = problems::make_constr();
+  const auto result = run_sacga(*problem, constr_params());
+  EXPECT_LE(result.phase1_generations, 30u);
+  EXPECT_EQ(result.generations_run, result.phase1_generations + 60u);
+  EXPECT_EQ(result.population.size(), 40u);
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(Sacga, FrontIsFeasibleAndNondominated) {
+  const auto problem = problems::make_constr();
+  const auto result = run_sacga(*problem, constr_params(100));
+  ASSERT_GT(result.front.size(), 3u);
+  for (const auto& a : result.front) {
+    EXPECT_TRUE(a.feasible());
+    for (const auto& b : result.front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(moga::dominates(b.eval.objectives, a.eval.objectives));
+    }
+  }
+}
+
+TEST(Sacga, DeterministicForFixedSeed) {
+  const auto problem = problems::make_constr();
+  const auto a = run_sacga(*problem, constr_params());
+  const auto b = run_sacga(*problem, constr_params());
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].genes, b.front[i].genes);
+  }
+}
+
+TEST(Sacga, CallbackCoversBothPhases) {
+  const auto problem = problems::make_constr();
+  std::size_t calls = 0;
+  const auto result = run_sacga(*problem, constr_params(), [&](std::size_t, const auto&) {
+    ++calls;
+  });
+  EXPECT_EQ(calls, result.generations_run);
+}
+
+TEST(Sacga, TotalBudgetSemantics) {
+  const auto problem = problems::make_constr();
+  SacgaParams p = constr_params();
+  p.span = 100;  // total budget
+  p.span_is_total_budget = true;
+  const auto result = run_sacga(*problem, p);
+  EXPECT_EQ(result.generations_run, 100u);
+}
+
+TEST(Sacga, TotalBudgetMustExceedPhaseOneCap) {
+  const auto problem = problems::make_constr();
+  SacgaParams p = constr_params();
+  p.span = 20;  // below the 30-generation phase-I cap
+  p.span_is_total_budget = true;
+  EXPECT_THROW(run_sacga(*problem, p), PreconditionError);
+}
+
+TEST(Sacga, Phase1StopsEarlyWhenAllPartitionsFeasible) {
+  // SCH is unconstrained: every individual is feasible, so phase 1 ends as
+  // soon as every partition is populated.
+  const auto problem = problems::make_sch();
+  SacgaParams p;
+  p.population_size = 40;
+  p.partitions = 2;
+  p.axis_objective = 0;
+  p.axis_lo = 0.0;
+  p.axis_hi = 4.0;
+  p.phase1_max_generations = 50;
+  p.span = 10;
+  p.seed = 1;
+  const auto result = run_sacga(*problem, p);
+  EXPECT_LT(result.phase1_generations, 50u);
+}
+
+TEST(Sacga, ReportsDiscardedPartitions) {
+  // CONSTR feasible f1 range is [0.39, 1]: partitions on [0.1, 1] with bins
+  // below ~0.39 can never become feasible and must be discarded.
+  const auto problem = problems::make_constr();
+  SacgaParams p = constr_params();
+  p.partitions = 8;
+  p.phase1_max_generations = 40;
+  const auto result = run_sacga(*problem, p);
+  EXPECT_GE(result.discarded_partitions, 1u);
+  EXPECT_LT(result.discarded_partitions, 8u);
+}
+
+TEST(LocalOnly, RunsAndExtractsFront) {
+  const auto problem = problems::make_constr();
+  LocalOnlyParams p;
+  p.population_size = 40;
+  p.partitions = 4;
+  p.axis_objective = 0;
+  p.axis_lo = 0.1;
+  p.axis_hi = 1.0;
+  p.generations = 60;
+  p.seed = 2;
+  const auto result = run_local_only(*problem, p);
+  EXPECT_EQ(result.generations_run, 60u);
+  EXPECT_EQ(result.population.size(), 40u);
+  ASSERT_GT(result.front.size(), 2u);
+  for (const auto& ind : result.front) EXPECT_TRUE(ind.feasible());
+}
+
+TEST(LocalOnly, DeterministicForFixedSeed) {
+  const auto problem = problems::make_sch();
+  LocalOnlyParams p;
+  p.population_size = 20;
+  p.partitions = 4;
+  p.axis_objective = 0;
+  p.axis_lo = 0.0;
+  p.axis_hi = 4.0;
+  p.generations = 20;
+  p.seed = 77;
+  const auto a = run_local_only(*problem, p);
+  const auto b = run_local_only(*problem, p);
+  ASSERT_EQ(a.front.size(), b.front.size());
+}
+
+}  // namespace
+}  // namespace anadex::sacga

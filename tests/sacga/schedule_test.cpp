@@ -1,0 +1,207 @@
+#include "sacga/schedule.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::sacga {
+namespace {
+
+ScheduleParams default_params() {
+  ScheduleParams p;
+  p.k1 = 0.05;
+  p.k2 = 2.0;
+  p.k3 = 1.0;
+  p.alpha = 1.0;
+  p.t_init = 100.0;
+  p.n = 5;
+  p.span = 100;
+  return p;
+}
+
+TEST(Schedule, ValidatesParameters) {
+  ScheduleParams p = default_params();
+  p.k1 = 0.0;
+  EXPECT_THROW(AnnealingSchedule{p}, PreconditionError);
+  p = default_params();
+  p.alpha = -1.0;
+  EXPECT_THROW(AnnealingSchedule{p}, PreconditionError);
+  p = default_params();
+  p.t_init = 1.0;
+  EXPECT_THROW(AnnealingSchedule{p}, PreconditionError);
+  p = default_params();
+  p.n = 1;
+  EXPECT_THROW(AnnealingSchedule{p}, PreconditionError);
+  p = default_params();
+  p.span = 0;
+  EXPECT_THROW(AnnealingSchedule{p}, PreconditionError);
+}
+
+TEST(Schedule, TemperatureStartsAtTInit) {
+  const AnnealingSchedule s(default_params());
+  EXPECT_DOUBLE_EQ(s.temperature(0), 100.0);
+}
+
+TEST(Schedule, TemperatureWithUnitK3CoolsToOne) {
+  // Eqn 4 with k3 = 1: T(span) = T_init * exp(-ln T_init) = 1.
+  const AnnealingSchedule s(default_params());
+  EXPECT_NEAR(s.temperature(100), 1.0, 1e-9);
+}
+
+TEST(Schedule, TemperatureMonotonicallyDecreases) {
+  const AnnealingSchedule s(default_params());
+  double prev = s.temperature(0);
+  for (std::size_t g = 1; g <= 100; ++g) {
+    const double t = s.temperature(g);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Schedule, TemperatureClampedBeyondSpan) {
+  const AnnealingSchedule s(default_params());
+  EXPECT_DOUBLE_EQ(s.temperature(100), s.temperature(1000));
+}
+
+TEST(Schedule, CostGrowsWithSolutionIndex) {
+  const AnnealingSchedule s(default_params());
+  double prev = s.cost(1);
+  for (std::size_t i = 2; i <= 10; ++i) {
+    const double c = s.cost(i);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Schedule, CostIndexIsOneBased) {
+  const AnnealingSchedule s(default_params());
+  EXPECT_THROW(s.cost(0), PreconditionError);
+}
+
+TEST(Schedule, CostFollowsEqnTwo) {
+  const AnnealingSchedule s(default_params());
+  // c_i = k1 exp(k2 * i / (n-1)) with k1 = 0.05, k2 = 2, n = 5.
+  EXPECT_NEAR(s.cost(1), 0.05 * std::exp(2.0 * 1.0 / 4.0), 1e-12);
+  EXPECT_NEAR(s.cost(4), 0.05 * std::exp(2.0 * 4.0 / 4.0), 1e-12);
+}
+
+TEST(Schedule, ProbabilityDecreasesWithIndex) {
+  // Paper point 2: solutions considered earlier have a higher probability.
+  const AnnealingSchedule s(default_params());
+  for (std::size_t gen : {0u, 50u, 100u}) {
+    double prev = s.participation_probability(1, gen);
+    for (std::size_t i = 2; i <= 8; ++i) {
+      const double p = s.participation_probability(i, gen);
+      EXPECT_LE(p, prev);
+      prev = p;
+    }
+  }
+}
+
+TEST(Schedule, ProbabilityIncreasesOverGenerations) {
+  // Paper point 1: local competition early, global competition late.
+  const AnnealingSchedule s(default_params());
+  for (std::size_t i : {1u, 3u, 5u}) {
+    double prev = s.participation_probability(i, 0);
+    for (std::size_t gen = 10; gen <= 100; gen += 10) {
+      const double p = s.participation_probability(i, gen);
+      EXPECT_GE(p, prev);
+      prev = p;
+    }
+  }
+}
+
+TEST(Schedule, ProbabilityIsAValidProbability) {
+  const AnnealingSchedule s(default_params());
+  for (std::size_t i = 1; i <= 20; ++i) {
+    for (std::size_t gen = 0; gen <= 120; gen += 5) {
+      const double p = s.participation_probability(i, gen);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(ShapedSchedule, HitsMidAndEndTargets) {
+  ScheduleShape shape;
+  shape.p_mid_first = 0.8;
+  shape.p_mid_last = 0.2;
+  shape.p_end_last = 0.95;
+  const auto s = AnnealingSchedule::shaped(shape, 1.0, 100.0, 5, 100);
+  EXPECT_NEAR(s.participation_probability(1, 50), 0.8, 1e-6);
+  EXPECT_NEAR(s.participation_probability(5, 50), 0.2, 1e-6);
+  EXPECT_NEAR(s.participation_probability(5, 100), 0.95, 1e-6);
+}
+
+TEST(ShapedSchedule, FirstSolutionNearCertainAtSpanEnd) {
+  const auto s = AnnealingSchedule::shaped(ScheduleShape{}, 1.0, 100.0, 5, 100);
+  EXPECT_GT(s.participation_probability(1, 100), 0.99);
+}
+
+TEST(ShapedSchedule, StartsMostlyLocal) {
+  const auto s = AnnealingSchedule::shaped(ScheduleShape{}, 1.0, 100.0, 5, 100);
+  EXPECT_LT(s.participation_probability(1, 0), 0.3);
+  EXPECT_LT(s.participation_probability(5, 0), 0.1);
+}
+
+TEST(ShapedSchedule, RejectsInconsistentTargets) {
+  ScheduleShape shape;
+  shape.p_mid_first = 0.2;
+  shape.p_mid_last = 0.8;  // must be below p_mid_first
+  shape.p_end_last = 0.9;
+  EXPECT_THROW(AnnealingSchedule::shaped(shape, 1.0, 100.0, 5, 100), PreconditionError);
+
+  shape = ScheduleShape{};
+  shape.p_end_last = shape.p_mid_last / 2.0;  // must grow over the span
+  EXPECT_THROW(AnnealingSchedule::shaped(shape, 1.0, 100.0, 5, 100), PreconditionError);
+}
+
+TEST(ShapedSchedule, RejectsDegenerateProbabilities) {
+  ScheduleShape shape;
+  shape.p_mid_first = 1.0;
+  EXPECT_THROW(AnnealingSchedule::shaped(shape, 1.0, 100.0, 5, 100), PreconditionError);
+  shape = ScheduleShape{};
+  shape.p_mid_last = 0.0;
+  EXPECT_THROW(AnnealingSchedule::shaped(shape, 1.0, 100.0, 5, 100), PreconditionError);
+}
+
+/// Fig-4 style property sweep: shaped schedules keep the curve family's
+/// ordering for every n and span.
+struct ShapeCase {
+  std::size_t n;
+  std::size_t span;
+};
+
+class ShapedScheduleSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(ShapedScheduleSweep, CurveFamilyOrderedByIndex) {
+  const auto param = GetParam();
+  const auto s = AnnealingSchedule::shaped(ScheduleShape{}, 1.0, 100.0, param.n, param.span);
+  for (std::size_t gen = 0; gen <= param.span; gen += param.span / 10) {
+    for (std::size_t i = 1; i < param.n; ++i) {
+      EXPECT_GE(s.participation_probability(i, gen),
+                s.participation_probability(i + 1, gen));
+    }
+  }
+}
+
+TEST_P(ShapedScheduleSweep, AllCurvesRiseToward1AtEnd) {
+  const auto param = GetParam();
+  const auto s = AnnealingSchedule::shaped(ScheduleShape{}, 1.0, 100.0, param.n, param.span);
+  for (std::size_t i = 1; i <= param.n; ++i) {
+    EXPECT_GE(s.participation_probability(i, param.span),
+              s.participation_probability(i, param.span / 2));
+    EXPECT_GE(s.participation_probability(i, param.span / 2),
+              s.participation_probability(i, 0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapedScheduleSweep,
+                         ::testing::Values(ShapeCase{5, 100}, ShapeCase{5, 600},
+                                           ShapeCase{3, 50}, ShapeCase{8, 150},
+                                           ShapeCase{10, 1000}));
+
+}  // namespace
+}  // namespace anadex::sacga

@@ -1,0 +1,218 @@
+#include "scint/integrator.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../support/reference_design.hpp"
+#include "common/rng.hpp"
+#include "scint/spec.hpp"
+
+namespace anadex::scint {
+namespace {
+
+const device::Process kProc = device::Process::typical();
+
+IntegratorDesign ref() { return testing_support::reference_design(); }
+
+TEST(Integrator, SlavedFeedbackCapFollowsGainCoefficient) {
+  IntegratorDesign d;
+  d.cs = 3e-12;
+  EXPECT_DOUBLE_EQ(d.cf(), 3e-12 / kIntegratorGain);
+}
+
+TEST(Integrator, ReferenceDesignMeetsChosenSpecAtTypical) {
+  Spec spec;  // defaults are the paper's chosen spec
+  const auto perf = evaluate(kProc, ref(), IntegratorContext{});
+  EXPECT_TRUE(spec.satisfied_by(perf));
+}
+
+TEST(Integrator, FeedbackFactorBetweenZeroAndOne) {
+  const auto perf = evaluate(kProc, ref(), IntegratorContext{});
+  EXPECT_GT(perf.feedback_factor, 0.0);
+  EXPECT_LT(perf.feedback_factor, 1.0);
+}
+
+TEST(Integrator, LoadTotalExceedsExternalLoad) {
+  const auto perf = evaluate(kProc, ref(), IntegratorContext{});
+  EXPECT_GT(perf.load_total, ref().cload);  // junctions + feedback network add
+}
+
+TEST(Integrator, HeavyLoadSettlesSlowerThanLightLoad) {
+  // Settling time is not strictly monotone in load: pushing a strongly
+  // over-damped amplifier toward critical damping can genuinely settle
+  // faster. The endpoints must still order, and the under-damped tail must
+  // grow monotonically.
+  IntegratorDesign d = ref();
+  d.cload = 0.1e-12;
+  const auto light = evaluate(kProc, d, IntegratorContext{});
+  d.cload = 5e-12;
+  const auto heavy = evaluate(kProc, d, IntegratorContext{});
+  EXPECT_GT(heavy.settling_time, light.settling_time);
+
+  double prev = 0.0;
+  for (double cl = 2e-12; cl <= 5e-12; cl += 0.5e-12) {
+    d.cload = cl;
+    const auto perf = evaluate(kProc, d, IntegratorContext{});
+    EXPECT_GT(perf.settling_time, prev);
+    prev = perf.settling_time;
+  }
+}
+
+TEST(Integrator, SettlingErrorGrowsWithLoad) {
+  IntegratorDesign d = ref();
+  d.cload = 0.1e-12;
+  const auto light = evaluate(kProc, d, IntegratorContext{});
+  d.cload = 5e-12;
+  const auto heavy = evaluate(kProc, d, IntegratorContext{});
+  EXPECT_GE(heavy.settling_error, light.settling_error);
+}
+
+TEST(Integrator, DynamicRangeImprovesWithSamplingCap) {
+  IntegratorDesign d = ref();
+  d.cs = 0.8e-12;
+  const auto small_cs = evaluate(kProc, d, IntegratorContext{});
+  d.cs = 4e-12;
+  const auto big_cs = evaluate(kProc, d, IntegratorContext{});
+  EXPECT_GT(big_cs.dynamic_range_db, small_cs.dynamic_range_db);
+}
+
+TEST(Integrator, DynamicRangeImprovesWithOversampling) {
+  const IntegratorDesign d = ref();
+  IntegratorContext ctx;
+  ctx.oversampling = 32.0;
+  const auto low_osr = evaluate(kProc, d, ctx);
+  ctx.oversampling = 512.0;
+  const auto high_osr = evaluate(kProc, d, ctx);
+  EXPECT_GT(high_osr.dynamic_range_db, low_osr.dynamic_range_db);
+  // 16x OSR = 12 dB for white in-band noise.
+  EXPECT_NEAR(high_osr.dynamic_range_db - low_osr.dynamic_range_db, 12.0, 0.5);
+}
+
+TEST(Integrator, SettlingErrorContainsStaticGainError) {
+  const auto perf = evaluate(kProc, ref(), IntegratorContext{});
+  const double static_error =
+      1.0 / (perf.opamp.a0 * perf.feedback_factor);
+  EXPECT_GE(perf.settling_error, static_error);
+}
+
+TEST(Integrator, ShorterHalfPeriodRaisesSettlingError) {
+  const IntegratorDesign d = ref();
+  IntegratorContext ctx;
+  ctx.half_period = 250e-9;
+  const auto slow_clock = evaluate(kProc, d, ctx);
+  ctx.half_period = 60e-9;
+  const auto fast_clock = evaluate(kProc, d, ctx);
+  EXPECT_GT(fast_clock.settling_error, slow_clock.settling_error);
+}
+
+TEST(Integrator, AreaIncludesCapacitors) {
+  IntegratorDesign d = ref();
+  const auto base = evaluate(kProc, d, IntegratorContext{});
+  d.cs *= 4.0;  // quadruple sampling cap (and the slaved Cf)
+  const auto big = evaluate(kProc, d, IntegratorContext{});
+  EXPECT_GT(big.area, base.area);
+}
+
+TEST(Integrator, PowerIndependentOfLoad) {
+  // Static class-A power: the load changes dynamics, not bias power.
+  IntegratorDesign d = ref();
+  d.cload = 0.1e-12;
+  const auto light = evaluate(kProc, d, IntegratorContext{});
+  d.cload = 5e-12;
+  const auto heavy = evaluate(kProc, d, IntegratorContext{});
+  EXPECT_DOUBLE_EQ(light.power, heavy.power);
+}
+
+TEST(Integrator, PhaseMarginDropsWithLoad) {
+  IntegratorDesign d = ref();
+  d.cload = 0.2e-12;
+  const auto light = evaluate(kProc, d, IntegratorContext{});
+  d.cload = 5e-12;
+  const auto heavy = evaluate(kProc, d, IntegratorContext{});
+  EXPECT_LT(heavy.phase_margin_deg, light.phase_margin_deg);
+}
+
+TEST(Integrator, SlowCornerSettlesSlower) {
+  const IntegratorDesign d = ref();
+  const auto tt = evaluate(kProc, d, IntegratorContext{});
+  const auto ss = evaluate(kProc.at_corner(device::Corner::SS), d, IntegratorContext{});
+  EXPECT_GT(ss.settling_time, tt.settling_time);
+}
+
+TEST(Integrator, EvaluationIsDeterministic) {
+  const IntegratorDesign d = ref();
+  const auto a = evaluate(kProc, d, IntegratorContext{});
+  const auto b = evaluate(kProc, d, IntegratorContext{});
+  EXPECT_EQ(a.settling_time, b.settling_time);
+  EXPECT_EQ(a.dynamic_range_db, b.dynamic_range_db);
+  EXPECT_EQ(a.power, b.power);
+}
+
+TEST(Spec, DefaultIsThePaperChosenCase) {
+  const Spec spec;
+  EXPECT_EQ(spec.dr_min_db, 96.0);
+  EXPECT_EQ(spec.or_min, 1.4);
+  EXPECT_EQ(spec.st_max, 0.24e-6);
+  EXPECT_EQ(spec.se_max, 7e-4);
+  EXPECT_EQ(spec.robustness_min, 0.85);
+}
+
+TEST(Spec, ViolatingAnyLimitFailsSatisfiedBy) {
+  const auto perf = evaluate(kProc, ref(), IntegratorContext{});
+  Spec spec;
+  ASSERT_TRUE(spec.satisfied_by(perf));
+  spec.dr_min_db = perf.dynamic_range_db + 1.0;
+  EXPECT_FALSE(spec.satisfied_by(perf));
+  spec = Spec{};
+  spec.st_max = perf.settling_time * 0.5;
+  EXPECT_FALSE(spec.satisfied_by(perf));
+  spec = Spec{};
+  spec.se_max = perf.settling_error * 0.5;
+  EXPECT_FALSE(spec.satisfied_by(perf));
+  spec = Spec{};
+  spec.or_min = perf.output_range + 0.1;
+  EXPECT_FALSE(spec.satisfied_by(perf));
+  spec = Spec{};
+  spec.area_max = perf.area * 0.5;
+  EXPECT_FALSE(spec.satisfied_by(perf));
+  spec = Spec{};
+  spec.vov_min = perf.vov_worst + 0.05;
+  EXPECT_FALSE(spec.satisfied_by(perf));
+}
+
+/// Totality sweep: every random design inside the box must evaluate to
+/// finite performance numbers.
+class EvaluateTotality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvaluateTotality, RandomDesignsAreFinite) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    IntegratorDesign d;
+    d.opamp.m1 = {rng.uniform(1e-6, 200e-6), rng.uniform(0.18e-6, 2e-6)};
+    d.opamp.m3 = {rng.uniform(1e-6, 200e-6), rng.uniform(0.18e-6, 2e-6)};
+    d.opamp.m5 = {rng.uniform(1e-6, 200e-6), rng.uniform(0.18e-6, 2e-6)};
+    d.opamp.m6 = {rng.uniform(1e-6, 400e-6), rng.uniform(0.18e-6, 1e-6)};
+    d.opamp.m7 = {rng.uniform(1e-6, 200e-6), rng.uniform(0.18e-6, 1e-6)};
+    d.opamp.ibias = rng.uniform(1e-6, 50e-6);
+    d.opamp.cc = rng.uniform(0.1e-12, 5e-12);
+    d.cs = rng.uniform(0.5e-12, 8e-12);
+    d.coc = rng.uniform(0.1e-12, 2e-12);
+    d.cload = rng.uniform(0.01e-12, 5e-12);
+    const auto perf = evaluate(kProc, d, IntegratorContext{});
+    ASSERT_TRUE(std::isfinite(perf.settling_time));
+    ASSERT_TRUE(std::isfinite(perf.settling_error));
+    ASSERT_TRUE(std::isfinite(perf.dynamic_range_db) ||
+                perf.dynamic_range_db == -std::numeric_limits<double>::infinity());
+    ASSERT_TRUE(std::isfinite(perf.power));
+    ASSERT_TRUE(std::isfinite(perf.area));
+    ASSERT_TRUE(std::isfinite(perf.phase_margin_deg));
+    ASSERT_GE(perf.settling_time, 0.0);
+    ASSERT_GE(perf.power, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluateTotality, ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace anadex::scint

@@ -1,0 +1,123 @@
+#include "sysdes/sigma_delta.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace anadex::sysdes {
+namespace {
+
+TEST(SigmaDelta, IdealSqnrKnownValue) {
+  // 2nd order, OSR 64, 1-bit: 6.02 + 1.76 + 50*log10(64) - 10*log10(pi^4/5)
+  ModulatorSpec spec;
+  spec.order = 2;
+  spec.osr = 64.0;
+  spec.quantizer_bits = 1;
+  const double expected = 6.02 + 1.76 + 50.0 * std::log10(64.0) -
+                          10.0 * std::log10(std::pow(3.14159265358979, 4.0) / 5.0);
+  EXPECT_NEAR(ideal_sqnr_db(spec), expected, 0.01);
+}
+
+TEST(SigmaDelta, SqnrGrowsWithOrderAndOsr) {
+  ModulatorSpec spec;
+  const double base = ideal_sqnr_db(spec);
+  ModulatorSpec higher_order = spec;
+  higher_order.order = 5;
+  EXPECT_GT(ideal_sqnr_db(higher_order), base);
+  ModulatorSpec higher_osr = spec;
+  higher_osr.osr = 256.0;
+  EXPECT_GT(ideal_sqnr_db(higher_osr), base);
+}
+
+TEST(SigmaDelta, SqnrValidation) {
+  ModulatorSpec spec;
+  spec.order = 0;
+  EXPECT_THROW(ideal_sqnr_db(spec), PreconditionError);
+  spec = ModulatorSpec{};
+  spec.osr = 1.0;
+  EXPECT_THROW(ideal_sqnr_db(spec), PreconditionError);
+}
+
+TEST(SigmaDelta, StageRequirementsRelaxDownTheChain) {
+  ModulatorSpec spec;  // 4th order, target 90 dB
+  const auto reqs = stage_dr_requirements(spec);
+  ASSERT_EQ(reqs.size(), 4u);
+  EXPECT_NEAR(reqs[0], 93.0, 1e-9);  // target + 3 dB margin
+  for (std::size_t i = 1; i < reqs.size(); ++i) {
+    EXPECT_LT(reqs[i], reqs[i - 1]);
+  }
+}
+
+TEST(SigmaDelta, StageRequirementsFlooredAt40db) {
+  ModulatorSpec spec;
+  spec.order = 10;
+  const auto reqs = stage_dr_requirements(spec);
+  EXPECT_EQ(reqs.back(), 40.0);
+}
+
+TEST(SigmaDelta, DefaultStageLoadsShrinkesThenQuantizer) {
+  ModulatorSpec spec;
+  const auto loads = default_stage_loads(spec);
+  ASSERT_EQ(loads.size(), 4u);
+  EXPECT_GT(loads[0], loads[1]);
+  EXPECT_GT(loads[1], loads[2]);
+  EXPECT_GT(loads[3], loads[2]);  // last stage drives the quantizer
+  for (double l : loads) {
+    EXPECT_GT(l, 0.0);
+    EXPECT_LE(l, 5e-12);  // within the explored design surface
+  }
+}
+
+TEST(Budget, DiverseFrontCoversAllStages) {
+  std::vector<FrontPoint> front;
+  for (int i = 1; i <= 10; ++i) {
+    front.push_back({0.1e-3 * i, 0.5e-12 * i});  // power rises with load
+  }
+  const std::vector<double> loads{4e-12, 2e-12, 1e-12, 3e-12};
+  const auto result = budget_from_front(front, loads);
+  EXPECT_TRUE(result.feasible);
+  ASSERT_EQ(result.stages.size(), 4u);
+  // Power-optimal picks: smallest covering point for each load.
+  EXPECT_NEAR(result.stages[0].pick->cload, 4e-12, 1e-15);
+  EXPECT_NEAR(result.stages[2].pick->cload, 1e-12, 1e-15);
+  EXPECT_NEAR(result.total_power, (0.8 + 0.4 + 0.2 + 0.6) * 1e-3, 1e-9);
+}
+
+TEST(Budget, ClusteredFrontFailsLowCoverageStage) {
+  // The NSGA-II pathology: all designs at 4.5-5 pF with high power.
+  std::vector<FrontPoint> clustered{{0.9e-3, 4.6e-12}, {0.95e-3, 4.9e-12}};
+  const std::vector<double> loads{4e-12, 2e-12, 1e-12, 3e-12};
+  const auto result = budget_from_front(clustered, loads);
+  EXPECT_TRUE(result.feasible);  // oversized designs still cover...
+  // ...but the total power is far above the diverse front's optimum.
+  EXPECT_GT(result.total_power, 3.5e-3);
+}
+
+TEST(Budget, UncoverableLoadReportsInfeasible) {
+  std::vector<FrontPoint> front{{0.2e-3, 1e-12}};
+  const std::vector<double> loads{2e-12};
+  const auto result = budget_from_front(front, loads);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_FALSE(result.stages[0].pick.has_value());
+  EXPECT_EQ(result.total_power, 0.0);
+}
+
+TEST(Budget, EmptyFrontAllInfeasible) {
+  const auto result = budget_from_front({}, {1e-12, 2e-12});
+  EXPECT_FALSE(result.feasible);
+  for (const auto& stage : result.stages) {
+    EXPECT_FALSE(stage.pick.has_value());
+  }
+}
+
+TEST(Budget, PicksCheapestCoveringDesign) {
+  std::vector<FrontPoint> front{{0.5e-3, 3e-12}, {0.3e-3, 2.5e-12}, {0.9e-3, 5e-12}};
+  const auto result = budget_from_front(front, {2e-12});
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NEAR(result.stages[0].pick->power, 0.3e-3, 1e-12);
+}
+
+}  // namespace
+}  // namespace anadex::sysdes
