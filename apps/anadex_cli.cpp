@@ -6,7 +6,10 @@
 //   anadex explore [--algo tpg|localonly|sacga|mesacga|island|wsum|spea2]
 //                  [--spec 1..20|chosen] [--generations N] [--population N]
 //                  [--partitions M] [--seed S] [--csv FILE] [--history]
+//                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
 //       Run one design-space exploration and print the Pareto surface.
+//       With --checkpoint, the run state is snapshotted every N generations
+//       so an interrupted exploration can continue with --resume.
 //   anadex evaluate --genes g1,...,g15 [--spec ...]
 //       Datasheet of a single design vector (SI units).
 //   anadex simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]
@@ -35,6 +38,7 @@ int usage() {
       "  specs                          list the 20 graded specifications\n"
       "  explore  --algo A --spec S --generations N [--population N]\n"
       "           [--partitions M] [--seed S] [--csv FILE] [--history]\n"
+      "           [--checkpoint FILE] [--checkpoint-every N] [--resume]\n"
       "  evaluate --genes g1,...,g15 [--spec S]\n"
       "  simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]\n"
       "  compare  [--spec S] [--generations N] [--seed S]\n";
@@ -91,16 +95,28 @@ int cmd_explore(const ArgParser& args) {
   settings.partitions = static_cast<std::size_t>(args.get_int("partitions", 8));
   settings.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   settings.record_history = args.get_flag("history");
+  settings.checkpoint_path = args.get("checkpoint", "");
+  settings.checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 50));
+  settings.resume = args.get_flag("resume");
   const std::string csv_path = args.get("csv", "");
   warn_unused(args);
+  expt::validate_run_settings(settings);
 
   std::cout << "exploring spec '" << settings.spec.name << "' with "
             << expt::algo_name(settings.algo) << " (" << settings.generations
             << " generations, population " << settings.population << ")\n";
   const auto outcome = expt::run(settings);
 
+  if (outcome.resumed_from_generation > 0) {
+    std::cout << "resumed from checkpoint at generation "
+              << outcome.resumed_from_generation << "\n";
+  }
   expt::print_fronts(std::cout, {{expt::algo_name(settings.algo), outcome.front}});
   expt::print_outcome_summary(std::cout, expt::algo_name(settings.algo), outcome);
+  if (outcome.faults.any()) {
+    std::cout << "evaluation faults: " << outcome.faults.summary() << "\n";
+  }
   if (settings.record_history) {
     std::cout << "metric trajectory (generation, front_area):\n";
     for (const auto& point : outcome.history) {

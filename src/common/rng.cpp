@@ -93,4 +93,21 @@ bool Rng::bernoulli(double p) {
 
 Rng Rng::split() { return Rng((*this)()); }
 
+RngState Rng::state() const {
+  RngState s;
+  s.words = state_;
+  s.spare_normal = spare_normal_;
+  s.has_spare_normal = has_spare_normal_;
+  return s;
+}
+
+void Rng::set_state(const RngState& state) {
+  bool any = false;
+  for (std::uint64_t w : state.words) any = any || w != 0;
+  ANADEX_REQUIRE(any, "Rng state must not be all-zero (xoshiro fixed point)");
+  state_ = state.words;
+  spare_normal_ = state.spare_normal;
+  has_spare_normal_ = state.has_spare_normal;
+}
+
 }  // namespace anadex

@@ -13,6 +13,17 @@
 
 namespace anadex {
 
+/// Complete serializable state of an Rng. Restoring it reproduces the
+/// generator's stream bit-for-bit, including the cached spare normal —
+/// the foundation of checkpoint/resume for long optimization runs.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  double spare_normal = 0.0;
+  bool has_spare_normal = false;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// xoshiro256++ pseudo-random generator with convenience distributions.
 ///
 /// Satisfies the C++ UniformRandomBitGenerator requirements, so it can also
@@ -56,6 +67,13 @@ class Rng {
   /// Derives an independent child generator; useful for giving each
   /// subcomponent (e.g. each optimization run in a sweep) its own stream.
   Rng split();
+
+  /// Captures the full generator state for checkpointing.
+  RngState state() const;
+
+  /// Restores a state captured by state(); the subsequent stream is
+  /// identical to the original generator's.
+  void set_state(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> state_{};

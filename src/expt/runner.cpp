@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <sstream>
+#include <utility>
 
 #include "common/check.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/scalarize.hpp"
 #include "moga/spea2.hpp"
+#include "robust/checkpoint.hpp"
 #include "sacga/island.hpp"
 #include "sacga/local_only.hpp"
 #include "sacga/mesacga.hpp"
@@ -39,7 +43,62 @@ moga::GenerationCallback make_history_recorder(const RunSettings& settings,
   };
 }
 
+/// One-line digest of every knob not covered by CheckpointMeta's explicit
+/// fields. Compared verbatim on resume, so a checkpoint cannot silently
+/// continue under a different configuration.
+std::string config_digest(const RunSettings& s) {
+  std::ostringstream os;
+  os << "partitions=" << s.partitions << " islands=" << s.islands << " migration="
+     << s.migration_interval << " weights=" << s.weight_count << " schedule=";
+  for (std::size_t i = 0; i < s.mesacga_schedule.size(); ++i) {
+    if (i > 0) os << ',';
+    os << s.mesacga_schedule[i];
+  }
+  os << " phase1_cap=" << s.phase1_cap << " span=" << s.span << " stride="
+     << s.history_stride << " history=" << (s.record_history ? 1 : 0);
+  return os.str();
+}
+
 }  // namespace
+
+void validate_run_settings(const RunSettings& s) {
+  ANADEX_REQUIRE(s.population >= 4 && s.population % 2 == 0,
+                 "run settings: population must be even and >= 4");
+  ANADEX_REQUIRE(s.generations >= 1, "run settings: generations must be >= 1");
+  ANADEX_REQUIRE(s.history_stride > 0, "run settings: history_stride must be > 0");
+  if (s.algo == Algo::LocalOnly || s.algo == Algo::SACGA) {
+    ANADEX_REQUIRE(s.partitions >= 1, "run settings: partitions must be >= 1");
+  }
+  if (s.algo == Algo::MESACGA) {
+    const auto& sched = s.mesacga_schedule;
+    ANADEX_REQUIRE(!sched.empty(), "run settings: MESACGA schedule must be non-empty");
+    ANADEX_REQUIRE(sched.back() == 1,
+                   "run settings: MESACGA schedule must end with a single partition");
+    for (std::size_t i = 0; i + 1 < sched.size(); ++i) {
+      ANADEX_REQUIRE(sched[i] > sched[i + 1],
+                     "run settings: MESACGA schedule must be strictly decreasing");
+    }
+  }
+  if (s.algo == Algo::Island) {
+    ANADEX_REQUIRE(s.islands >= 2, "run settings: island GA needs >= 2 islands");
+    ANADEX_REQUIRE(s.population / s.islands >= 4,
+                   "run settings: each island needs >= 4 members");
+    ANADEX_REQUIRE(s.migration_interval >= 1,
+                   "run settings: migration_interval must be >= 1");
+  }
+  if (s.algo == Algo::WeightedSum) {
+    ANADEX_REQUIRE(s.weight_count >= 1, "run settings: weight_count must be >= 1");
+  }
+  if (!s.checkpoint_path.empty()) {
+    ANADEX_REQUIRE(s.checkpoint_every > 0, "run settings: checkpoint_every must be > 0");
+    ANADEX_REQUIRE(s.algo != Algo::WeightedSum && s.algo != Algo::SPEA2,
+                   "run settings: checkpointing is not supported for WeightedSum/SPEA2");
+  }
+  if (s.resume) {
+    ANADEX_REQUIRE(!s.checkpoint_path.empty(),
+                   "run settings: resume requires a checkpoint path");
+  }
+}
 
 std::string algo_name(Algo algo) {
   switch (algo) {
@@ -91,8 +150,50 @@ double hypervolume_of(const std::vector<FrontSample>& front) {
 }
 
 RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& settings) {
+  validate_run_settings(settings);
+
+  // Every evaluation flows through the fault guard (non-owning alias; the
+  // caller's problem outlives the run). Clean evaluators pass through
+  // untouched, so guarded runs are bit-identical to unguarded ones.
+  robust::GuardedProblem guarded(
+      std::shared_ptr<const moga::Problem>(std::shared_ptr<void>(), &problem), settings.guard);
+
   RunOutcome outcome;
   const auto callback = make_history_recorder(settings, outcome.history);
+
+  const bool checkpointing = !settings.checkpoint_path.empty();
+  robust::CheckpointMeta meta;
+  meta.algo = algo_name(settings.algo);
+  meta.seed = settings.seed;
+  meta.population = settings.population;
+  meta.generations = settings.generations;
+  meta.config = config_digest(settings);
+
+  // Holds the restored algorithm state alive for the whole run (the algo
+  // params keep only a non-owning pointer into it).
+  robust::Checkpoint resume_cp;
+  if (settings.resume) {
+    resume_cp = robust::read_checkpoint_file(settings.checkpoint_path);
+    ANADEX_REQUIRE(resume_cp.meta == meta,
+                   "checkpoint '" + settings.checkpoint_path +
+                       "' was written by a different run configuration");
+    guarded.set_report(resume_cp.faults);
+    for (const auto& s : resume_cp.history) {
+      outcome.history.push_back({s.generation, s.front_area, s.front_size});
+    }
+  }
+
+  // Shared epilogue for every algorithm's on_snapshot hook: attach the run
+  // identity, cumulative faults and history, then write atomically.
+  const auto write_cp = [&](robust::Checkpoint cp) {
+    cp.meta = meta;
+    cp.faults = guarded.report();
+    for (const auto& h : outcome.history) {
+      cp.history.push_back({h.generation, h.front_area, h.front_size});
+    }
+    robust::write_checkpoint_file(settings.checkpoint_path, cp);
+  };
+
   const auto start = Clock::now();
 
   moga::Population front;
@@ -102,7 +203,21 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       params.population_size = settings.population;
       params.generations = settings.generations;
       params.seed = settings.seed;
-      auto result = moga::run_nsga2(problem, params, callback);
+      if (checkpointing) {
+        params.snapshot_every = settings.checkpoint_every;
+        params.on_snapshot = [&](const moga::Nsga2State& state) {
+          robust::Checkpoint cp;
+          cp.nsga2 = state;
+          write_cp(std::move(cp));
+        };
+      }
+      if (settings.resume) {
+        ANADEX_REQUIRE(resume_cp.nsga2.has_value(),
+                       "checkpoint state does not match the requested algorithm");
+        params.resume = &*resume_cp.nsga2;
+        outcome.resumed_from_generation = resume_cp.nsga2->next_generation;
+      }
+      auto result = moga::run_nsga2(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
       outcome.generations = result.generations_run;
@@ -117,7 +232,21 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       params.axis_hi = problems::kLoadMax;
       params.generations = settings.generations;
       params.seed = settings.seed;
-      auto result = sacga::run_local_only(problem, params, callback);
+      if (checkpointing) {
+        params.snapshot_every = settings.checkpoint_every;
+        params.on_snapshot = [&](const sacga::LocalOnlyState& state) {
+          robust::Checkpoint cp;
+          cp.local_only = state;
+          write_cp(std::move(cp));
+        };
+      }
+      if (settings.resume) {
+        ANADEX_REQUIRE(resume_cp.local_only.has_value(),
+                       "checkpoint state does not match the requested algorithm");
+        params.resume = &*resume_cp.local_only;
+        outcome.resumed_from_generation = resume_cp.local_only->evolver.generation;
+      }
+      auto result = sacga::run_local_only(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
       outcome.generations = result.generations_run;
@@ -136,7 +265,21 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       params.span = settings.generations;
       params.span_is_total_budget = true;
       params.seed = settings.seed;
-      auto result = sacga::run_sacga(problem, params, callback);
+      if (checkpointing) {
+        params.snapshot_every = settings.checkpoint_every;
+        params.on_snapshot = [&](const sacga::SacgaState& state) {
+          robust::Checkpoint cp;
+          cp.sacga = state;
+          write_cp(std::move(cp));
+        };
+      }
+      if (settings.resume) {
+        ANADEX_REQUIRE(resume_cp.sacga.has_value(),
+                       "checkpoint state does not match the requested algorithm");
+        params.resume = &*resume_cp.sacga;
+        outcome.resumed_from_generation = resume_cp.sacga->evolver.generation;
+      }
+      auto result = sacga::run_sacga(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
       outcome.generations = result.generations_run;
@@ -162,7 +305,21 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
         params.total_budget = settings.generations;
       }
       params.seed = settings.seed;
-      auto result = sacga::run_mesacga(problem, params, callback);
+      if (checkpointing) {
+        params.snapshot_every = settings.checkpoint_every;
+        params.on_snapshot = [&](const sacga::MesacgaState& state) {
+          robust::Checkpoint cp;
+          cp.mesacga = state;
+          write_cp(std::move(cp));
+        };
+      }
+      if (settings.resume) {
+        ANADEX_REQUIRE(resume_cp.mesacga.has_value(),
+                       "checkpoint state does not match the requested algorithm");
+        params.resume = &*resume_cp.mesacga;
+        outcome.resumed_from_generation = resume_cp.mesacga->evolver.generation;
+      }
+      auto result = sacga::run_mesacga(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
       outcome.generations = result.generations_run;
@@ -183,7 +340,21 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       params.generations = settings.generations;
       params.migration_interval = settings.migration_interval;
       params.seed = settings.seed;
-      auto result = sacga::run_island_ga(problem, params, callback);
+      if (checkpointing) {
+        params.snapshot_every = settings.checkpoint_every;
+        params.on_snapshot = [&](const sacga::IslandState& state) {
+          robust::Checkpoint cp;
+          cp.island = state;
+          write_cp(std::move(cp));
+        };
+      }
+      if (settings.resume) {
+        ANADEX_REQUIRE(resume_cp.island.has_value(),
+                       "checkpoint state does not match the requested algorithm");
+        params.resume = &*resume_cp.island;
+        outcome.resumed_from_generation = resume_cp.island->next_generation;
+      }
+      auto result = sacga::run_island_ga(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
       outcome.generations = result.generations_run;
@@ -198,7 +369,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       params.generations_per_weight = std::max<std::size_t>(
           2 * settings.generations / settings.weight_count, 1);
       params.seed = settings.seed;
-      auto result = moga::run_weighted_sum(problem, params);
+      auto result = moga::run_weighted_sum(guarded, params);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
       outcome.generations = settings.generations;
@@ -210,7 +381,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       params.archive_size = settings.population;
       params.generations = settings.generations;
       params.seed = settings.seed;
-      auto result = moga::run_spea2(problem, params, callback);
+      auto result = moga::run_spea2(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
       outcome.generations = result.generations_run;
@@ -219,6 +390,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
   }
 
   outcome.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  outcome.faults = guarded.report();
   outcome.front = to_front_samples(front);
   std::sort(outcome.front.begin(), outcome.front.end(),
             [](const FrontSample& a, const FrontSample& b) { return a.cload_f < b.cload_f; });

@@ -9,6 +9,7 @@
 
 #include "moga/metrics.hpp"
 #include "problems/integrator_problem.hpp"
+#include "robust/guarded_problem.hpp"
 #include "scint/spec.hpp"
 
 namespace anadex::expt {
@@ -43,7 +44,23 @@ struct RunSettings {
   std::uint64_t seed = 1;
   bool record_history = false;
   std::size_t history_stride = 25;             ///< generations between history samples
+
+  /// Fault-tolerance policy applied to every evaluation (see
+  /// robust::GuardedProblem); the defaults retry twice then penalize.
+  robust::GuardPolicy guard;
+
+  // Checkpoint/resume (docs/robustness.md). Supported for TPG, LocalOnly,
+  // SACGA, MESACGA and Island; WeightedSum/SPEA2 reject a checkpoint path.
+  std::string checkpoint_path;         ///< empty = no checkpointing
+  std::size_t checkpoint_every = 50;   ///< generations between snapshots
+  bool resume = false;                 ///< continue from checkpoint_path
 };
+
+/// Validates `settings` with ANADEX_REQUIRE (population even and >= 4,
+/// partition/island counts sane, MESACGA schedule non-empty + strictly
+/// decreasing + ending in 1, history stride positive, checkpoint flags
+/// consistent). run() calls this first; exposed so CLIs can fail fast.
+void validate_run_settings(const RunSettings& settings);
 
 /// One front design in physical units.
 struct FrontSample {
@@ -76,6 +93,8 @@ struct RunOutcome {
   double seconds = 0.0;            ///< wall-clock of the optimization
   std::vector<HistoryPoint> history;
   std::vector<PhaseMetric> phases;  ///< MESACGA only
+  robust::FaultReport faults;      ///< evaluation faults absorbed by the guard
+  std::size_t resumed_from_generation = 0;  ///< 0 unless resumed mid-run
 };
 
 /// Paper metric with the reproduction's standard parameters.

@@ -1,6 +1,7 @@
 #include "moga/hypervolume.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.hpp"
@@ -85,7 +86,17 @@ double hypervolume(const FrontPoints& front, std::span<const double> reference) 
     ANADEX_REQUIRE(p.size() == reference.size(),
                    "front point dimensionality must match the reference");
   }
-  return hv_recursive(front, std::vector<double>(reference.begin(), reference.end()));
+  // Points with non-finite coordinates contribute nothing instead of
+  // poisoning the sweep (NaN compares false against the reference filter
+  // and would otherwise survive into the volume accumulation).
+  FrontPoints finite;
+  finite.reserve(front.size());
+  for (const auto& p : front) {
+    bool ok = true;
+    for (double v : p) ok = ok && std::isfinite(v);
+    if (ok) finite.push_back(p);
+  }
+  return hv_recursive(std::move(finite), std::vector<double>(reference.begin(), reference.end()));
 }
 
 }  // namespace anadex::moga

@@ -21,7 +21,16 @@ double euclidean(std::span<const double> a, std::span<const double> b) {
   return std::sqrt(sum);
 }
 
-double mean_min_distance(const FrontPoints& from, const FrontPoints& to) {
+bool finite_point(const std::vector<double>& point) {
+  for (double v : point) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+double mean_min_distance(FrontPoints from, FrontPoints to) {
+  drop_non_finite_points(from);
+  drop_non_finite_points(to);
   if (from.empty()) return 0.0;
   ANADEX_REQUIRE(!to.empty(), "distance target front must be non-empty");
   double total = 0.0;
@@ -35,8 +44,14 @@ double mean_min_distance(const FrontPoints& from, const FrontPoints& to) {
 
 }  // namespace
 
+std::size_t drop_non_finite_points(FrontPoints& points) {
+  const std::size_t before = points.size();
+  std::erase_if(points, [](const std::vector<double>& p) { return !finite_point(p); });
+  return before - points.size();
+}
+
 double front_area_metric(std::span<const double> cost, std::span<const double> coverage,
-                         const FrontAreaParams& params) {
+                         const FrontAreaParams& params, std::size_t* skipped_non_finite) {
   ANADEX_REQUIRE(cost.size() == coverage.size(), "cost/coverage sizes must match");
   ANADEX_REQUIRE(params.coverage_max > 0.0 && params.unit > 0.0 && params.cost_cap > 0.0,
                  "front-area metric parameters must be positive");
@@ -44,8 +59,17 @@ double front_area_metric(std::span<const double> cost, std::span<const double> c
   // Sort points by coverage descending; sweep from coverage_max down to 0,
   // maintaining the cheapest cost among designs able to cover the current
   // load. The staircase integral accumulates cost * d(coverage).
-  std::vector<std::size_t> order(cost.size());
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::size_t> order;
+  order.reserve(cost.size());
+  std::size_t skipped = 0;
+  for (std::size_t i = 0; i < cost.size(); ++i) {
+    if (std::isfinite(cost[i]) && std::isfinite(coverage[i])) {
+      order.push_back(i);
+    } else {
+      ++skipped;
+    }
+  }
+  if (skipped_non_finite != nullptr) *skipped_non_finite = skipped;
   std::sort(order.begin(), order.end(),
             [&](std::size_t a, std::size_t b) { return coverage[a] > coverage[b]; });
 
@@ -73,7 +97,9 @@ double front_area_metric(std::span<const double> cost, std::span<const double> c
   return area / params.unit;
 }
 
-double spacing(const FrontPoints& front) {
+double spacing(const FrontPoints& front_in) {
+  FrontPoints front = front_in;
+  drop_non_finite_points(front);
   if (front.size() < 2) return 0.0;
   std::vector<double> nearest(front.size(), std::numeric_limits<double>::infinity());
   for (std::size_t i = 0; i < front.size(); ++i) {
@@ -89,7 +115,11 @@ double spacing(const FrontPoints& front) {
   return std::sqrt(var / static_cast<double>(nearest.size()));
 }
 
-double coverage(const FrontPoints& a, const FrontPoints& b) {
+double coverage(const FrontPoints& a_in, const FrontPoints& b_in) {
+  FrontPoints a = a_in;
+  FrontPoints b = b_in;
+  drop_non_finite_points(a);
+  drop_non_finite_points(b);
   if (b.empty()) return 0.0;
   std::size_t covered = 0;
   for (const auto& q : b) {
@@ -115,12 +145,15 @@ double inverted_generational_distance(const FrontPoints& front,
 
 double clustering_fraction(std::span<const double> values, double lo, double hi) {
   ANADEX_REQUIRE(lo <= hi, "clustering_fraction requires lo <= hi");
-  if (values.empty()) return 0.0;
   std::size_t inside = 0;
+  std::size_t finite = 0;
   for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    ++finite;
     if (v >= lo && v <= hi) ++inside;
   }
-  return static_cast<double>(inside) / static_cast<double>(values.size());
+  if (finite == 0) return 0.0;
+  return static_cast<double>(inside) / static_cast<double>(finite);
 }
 
 FrontPoints objectives_of(const Population& population) {

@@ -34,8 +34,14 @@ struct FrontAreaParams {
 /// min{ cost_i : coverage_i >= c } (cost_cap where the set is empty),
 /// expressed in `unit`s. `cost` and `coverage` are parallel arrays of the
 /// front's physical values (watts / farads). Lower is better.
+///
+/// Points with a non-finite cost or coverage are skipped rather than
+/// allowed to poison the integral (a single NaN from a faulted evaluator
+/// would otherwise corrupt the whole run's reported quality); the skip
+/// count is reported through `skipped_non_finite` when non-null.
 double front_area_metric(std::span<const double> cost, std::span<const double> coverage,
-                         const FrontAreaParams& params);
+                         const FrontAreaParams& params,
+                         std::size_t* skipped_non_finite = nullptr);
 
 /// Schott's spacing metric: standard deviation of nearest-neighbour
 /// distances in objective space (0 = perfectly uniform). Returns 0 for
@@ -58,7 +64,13 @@ double inverted_generational_distance(const FrontPoints& front,
 
 /// Fraction of `values` lying inside [lo, hi]; the paper's observed
 /// NSGA-II pathology is a clustering index near 1 for the 4–5 pF band.
+/// Non-finite values are excluded from both numerator and denominator.
 double clustering_fraction(std::span<const double> values, double lo, double hi);
+
+/// Removes points containing non-finite coordinates; returns the number
+/// removed. All front metrics apply this filter internally so one faulted
+/// evaluation cannot poison an aggregate.
+std::size_t drop_non_finite_points(FrontPoints& points);
 
 /// Extracts the objective vectors of a population as FrontPoints.
 FrontPoints objectives_of(const Population& population);

@@ -32,21 +32,36 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
   Nsga2Result result;
 
   Population parents;
-  parents.reserve(params.population_size);
-  for (std::size_t i = 0; i < params.population_size; ++i) {
-    parents.push_back(make_individual(problem, random_genome(bounds, rng)));
-  }
-  result.evaluations += params.population_size;
+  std::vector<std::vector<std::size_t>> fronts;
+  std::size_t start_generation = 0;
+  if (params.resume != nullptr) {
+    const Nsga2State& state = *params.resume;
+    ANADEX_REQUIRE(state.parents.size() == params.population_size,
+                   "resume state population size does not match params");
+    ANADEX_REQUIRE(state.next_generation <= params.generations,
+                   "resume state is beyond the configured generation count");
+    parents = state.parents;
+    rng.set_state(state.rng);
+    result.evaluations = state.evaluations;
+    result.generations_run = state.next_generation;
+    start_generation = state.next_generation;
+  } else {
+    parents.reserve(params.population_size);
+    for (std::size_t i = 0; i < params.population_size; ++i) {
+      parents.push_back(make_individual(problem, random_genome(bounds, rng)));
+    }
+    result.evaluations += params.population_size;
 
-  // Initial ranking so tournament preferences are defined from generation 0.
-  auto fronts = fast_nondominated_sort(parents);
-  for (const auto& front : fronts) assign_crowding(parents, front);
+    // Initial ranking so tournament preferences are defined from generation 0.
+    fronts = fast_nondominated_sort(parents);
+    for (const auto& front : fronts) assign_crowding(parents, front);
+  }
 
   const Preference prefer = [](const Individual& a, const Individual& b) {
     return crowded_less(a, b);
   };
 
-  for (std::size_t gen = 0; gen < params.generations; ++gen) {
+  for (std::size_t gen = start_generation; gen < params.generations; ++gen) {
     auto offspring_genes = make_offspring(parents, bounds, params.variation, prefer,
                                           params.population_size, rng);
 
@@ -84,6 +99,16 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
 
     if (on_generation) on_generation(gen, parents);
     ++result.generations_run;
+
+    if (params.snapshot_every > 0 && params.on_snapshot &&
+        (gen + 1) % params.snapshot_every == 0) {
+      Nsga2State state;
+      state.parents = parents;
+      state.rng = rng.state();
+      state.next_generation = gen + 1;
+      state.evaluations = result.evaluations;
+      params.on_snapshot(state);
+    }
   }
 
   result.front = extract_global_front(parents);

@@ -1,5 +1,6 @@
 #include "moga/serialize.hpp"
 
+#include <cstdlib>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -7,11 +8,13 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/textio.hpp"
 
 namespace anadex::moga {
 
 namespace {
 constexpr const char* kHeader = "anadex-population v1";
+constexpr const char* kHeaderV2 = "anadex-population v2";
 
 std::vector<double> read_values(std::istream& is, const char* keyword, std::size_t count) {
   std::string line;
@@ -65,6 +68,61 @@ Population load_population(std::istream& is) {
     ind.genes = read_values(is, "genes", n_genes);
     ind.eval.objectives = read_values(is, "objectives", n_objs);
     ind.eval.violations = read_values(is, "violations", n_viol);
+    population.push_back(std::move(ind));
+  }
+  return population;
+}
+
+namespace {
+
+std::vector<double> read_exact_values(textio::LineReader& reader, const char* keyword,
+                                      std::size_t count) {
+  const auto parts = reader.record(keyword, count);
+  ANADEX_REQUIRE(parts.size() == count + 1,
+                 "'" + std::string(keyword) + "' holds the wrong number of values");
+  std::vector<double> values(count);
+  for (std::size_t i = 0; i < count; ++i) values[i] = textio::parse_double(parts[i + 1]);
+  return values;
+}
+
+}  // namespace
+
+void save_population_exact(std::ostream& os, const Population& population) {
+  os << kHeaderV2 << ' ' << population.size() << '\n';
+  for (const auto& ind : population) {
+    os << "individual " << ind.genes.size() << ' ' << ind.eval.objectives.size() << ' '
+       << ind.eval.violations.size() << ' ' << ind.rank << ' ' << textio::exact(ind.crowding)
+       << '\n';
+    os << "genes";
+    for (double g : ind.genes) os << ' ' << textio::exact(g);
+    os << "\nobjectives";
+    for (double f : ind.eval.objectives) os << ' ' << textio::exact(f);
+    os << "\nviolations";
+    for (double v : ind.eval.violations) os << ' ' << textio::exact(v);
+    os << '\n';
+  }
+}
+
+Population load_population_exact(std::istream& is) {
+  textio::LineReader reader(is);
+  const auto header = reader.tokens("population v2 header");
+  ANADEX_REQUIRE(header.size() == 3 && header[0] + " " + header[1] == kHeaderV2,
+                 "missing or wrong anadex-population v2 header");
+  const std::size_t count = textio::parse_u64(header[2]);
+
+  Population population;
+  population.reserve(count);
+  for (std::size_t n = 0; n < count; ++n) {
+    const auto head = reader.record("individual", 5);
+    Individual ind;
+    const std::size_t n_genes = textio::parse_u64(head[1]);
+    const std::size_t n_objs = textio::parse_u64(head[2]);
+    const std::size_t n_viol = textio::parse_u64(head[3]);
+    ind.rank = static_cast<int>(std::strtol(head[4].c_str(), nullptr, 10));
+    ind.crowding = textio::parse_double(head[5]);
+    ind.genes = read_exact_values(reader, "genes", n_genes);
+    ind.eval.objectives = read_exact_values(reader, "objectives", n_objs);
+    ind.eval.violations = read_exact_values(reader, "violations", n_viol);
     population.push_back(std::move(ind));
   }
   return population;

@@ -25,4 +25,16 @@ void save_population(std::ostream& os, const Population& population);
 /// non-numeric fields).
 Population load_population(std::istream& is);
 
+/// Checkpoint-grade v2 encoding: hex-float (bit-exact) genes, objectives
+/// and violations PLUS the rank and crowding bookkeeping, so a restored
+/// population reproduces tournament decisions bit-for-bit. The header line
+/// is count-prefixed ("anadex-population v2 <count>") so the block can be
+/// embedded inside larger files (see robust/checkpoint.hpp).
+void save_population_exact(std::ostream& os, const Population& population);
+
+/// Reads a block written by save_population_exact; stops after exactly the
+/// count announced in the header, leaving the stream positioned for any
+/// surrounding format. Throws PreconditionError on format violations.
+Population load_population_exact(std::istream& is);
+
 }  // namespace anadex::moga

@@ -1,0 +1,97 @@
+// Versioned checkpoint files for long explorations.
+//
+// A checkpoint captures everything needed to resume a run bit-identically:
+// the meta description of the run (algorithm, seed, sizes, a config digest
+// that must match on resume), the cumulative fault report, the history
+// samples recorded so far, and exactly one algorithm state (population(s),
+// rank/crowding bookkeeping, full RNG state, phase/annealing position).
+//
+// File format (line-oriented text, doubles as bit-exact hex-floats):
+//
+//   anadex-checkpoint v1
+//   meta <algo> <seed> <population> <generations>
+//   config <opaque one-line digest, compared for equality on resume>
+//   faults <exceptions> <non_finite> <wrong_arity> <retries> <recovered> <penalized>
+//   fault-genes <n> [g1 g2 ...]
+//   fault-message [text...]
+//   history <count>
+//   sample <generation> <front_area> <front_size>     (x count)
+//   state <nsga2|local-only|sacga|mesacga|island>
+//   <state-specific records; populations as embedded "anadex-population v2">
+//   end
+//
+// Writes are atomic (temp file + rename), so an interrupt mid-write leaves
+// the previous checkpoint intact. See docs/robustness.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "moga/nsga2.hpp"
+#include "robust/fault.hpp"
+#include "sacga/island.hpp"
+#include "sacga/local_only.hpp"
+#include "sacga/mesacga.hpp"
+#include "sacga/sacga.hpp"
+
+namespace anadex::robust {
+
+/// Identity of the run a checkpoint belongs to. On resume, every field must
+/// match the resuming run's settings; `config` is an opaque digest of the
+/// remaining knobs (built by the caller, e.g. expt::run) compared verbatim.
+struct CheckpointMeta {
+  std::string algo;
+  std::uint64_t seed = 0;
+  std::size_t population = 0;
+  std::size_t generations = 0;
+  std::string config;  ///< one-line digest; no newlines
+
+  bool operator==(const CheckpointMeta&) const = default;
+};
+
+/// One recorded history point (mirrors expt's per-stride metric sampling;
+/// lives here so expt can persist history without a dependency cycle).
+struct HistorySample {
+  std::size_t generation = 0;
+  double front_area = 0.0;
+  std::size_t front_size = 0;
+
+  bool operator==(const HistorySample&) const = default;
+};
+
+/// A complete checkpoint: meta + faults + history + exactly one state.
+struct Checkpoint {
+  CheckpointMeta meta;
+  FaultReport faults;
+  std::vector<HistorySample> history;
+
+  std::optional<moga::Nsga2State> nsga2;
+  std::optional<sacga::LocalOnlyState> local_only;
+  std::optional<sacga::SacgaState> sacga;
+  std::optional<sacga::MesacgaState> mesacga;
+  std::optional<sacga::IslandState> island;
+
+  /// Name of the state actually present ("nsga2", "local-only", ...).
+  std::string state_kind() const;
+};
+
+/// Serializes `checkpoint` (which must hold exactly one state).
+void save_checkpoint(std::ostream& os, const Checkpoint& checkpoint);
+
+/// Parses a checkpoint stream. Throws PreconditionError on version/format
+/// violations.
+Checkpoint load_checkpoint(std::istream& is);
+
+/// Atomically writes `checkpoint` to `path` (temp file in the same
+/// directory + rename), so a crash mid-write cannot corrupt an existing
+/// checkpoint. Throws PreconditionError on IO failure.
+void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint);
+
+/// Reads a checkpoint from `path`. Throws PreconditionError if the file is
+/// missing or malformed.
+Checkpoint read_checkpoint_file(const std::string& path);
+
+}  // namespace anadex::robust

@@ -1,0 +1,58 @@
+#include "robust/fault.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace anadex::robust {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::EvaluatorException: return "evaluator-exception";
+    case FaultKind::NonFiniteValue: return "non-finite-value";
+    case FaultKind::WrongArity: return "wrong-arity";
+  }
+  ANADEX_ASSERT(false, "unknown fault kind");
+  return "";
+}
+
+void FaultReport::count(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::EvaluatorException: ++exceptions; break;
+    case FaultKind::NonFiniteValue: ++non_finite; break;
+    case FaultKind::WrongArity: ++wrong_arity; break;
+  }
+}
+
+void FaultReport::note_failure(std::span<const double> genes, const std::string& message) {
+  if (!first_failure_message.empty() || !first_failure_genes.empty()) return;
+  first_failure_genes.assign(genes.begin(), genes.end());
+  first_failure_message = message.empty() ? "(no message)" : message;
+}
+
+std::string FaultReport::summary() const {
+  std::ostringstream os;
+  os << total_faults() << " fault(s): " << exceptions << " exception(s), " << non_finite
+     << " non-finite, " << wrong_arity << " wrong-arity; " << retries << " retry(ies), "
+     << recovered << " recovered, " << penalized << " penalized";
+  if (!first_failure_message.empty()) {
+    os << "; first: " << first_failure_message;
+  }
+  return os.str();
+}
+
+std::uint64_t hash_genes(std::span<const double> genes, std::uint64_t seed) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL ^ seed;
+  for (double gene : genes) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &gene, sizeof bits);
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (bits >> shift) & 0xffULL;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+}  // namespace anadex::robust

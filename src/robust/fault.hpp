@@ -1,0 +1,62 @@
+// Fault taxonomy and accounting for the evaluation pipeline.
+//
+// Device/op-amp evaluation prefers "penalizing numbers rather than NaN"
+// (scint/integrator.hpp), but nothing below this layer enforces that
+// contract: a custom Problem can throw, return the wrong arity, or leak a
+// non-finite value, and a single such evaluation used to be able to poison
+// an entire multi-hour exploration. robust::GuardedProblem catches these
+// faults at the optimizer boundary and accumulates them in a FaultReport;
+// robust::FaultInjectingProblem manufactures them deterministically so the
+// guard and every evolver can be tested under fire. See docs/robustness.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace anadex::robust {
+
+/// What went wrong in one evaluation attempt.
+enum class FaultKind {
+  EvaluatorException,  ///< evaluate() threw
+  NonFiniteValue,      ///< an objective or violation was NaN/inf
+  WrongArity,          ///< objective/violation counts disagree with the problem
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// Per-run fault accounting, accumulated by GuardedProblem and surfaced in
+/// expt::RunOutcome (and persisted across checkpoint/resume).
+struct FaultReport {
+  std::size_t exceptions = 0;   ///< FaultKind::EvaluatorException observations
+  std::size_t non_finite = 0;   ///< FaultKind::NonFiniteValue observations
+  std::size_t wrong_arity = 0;  ///< FaultKind::WrongArity observations
+  std::size_t retries = 0;      ///< perturbed re-evaluations attempted
+  std::size_t recovered = 0;    ///< faults healed by a retry
+  std::size_t penalized = 0;    ///< evaluations replaced by penalty values
+
+  /// Genome and message of the first observed fault, for postmortems.
+  std::vector<double> first_failure_genes;
+  std::string first_failure_message;
+
+  std::size_t total_faults() const { return exceptions + non_finite + wrong_arity; }
+  bool any() const { return total_faults() > 0; }
+
+  void count(FaultKind kind);
+
+  /// Records the first failure's genome and message (later calls no-op).
+  void note_failure(std::span<const double> genes, const std::string& message);
+
+  /// One-line human-readable summary of the counters.
+  std::string summary() const;
+};
+
+/// FNV-1a over the gene bit patterns mixed with `seed`. Both the guard's
+/// retry perturbation and the fault injector derive their randomness from
+/// this, making them pure functions of the genome — the Problem contract's
+/// determinism requirement — and therefore safe across checkpoint/resume.
+std::uint64_t hash_genes(std::span<const double> genes, std::uint64_t seed);
+
+}  // namespace anadex::robust

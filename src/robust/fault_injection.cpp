@@ -1,0 +1,55 @@
+#include "robust/fault_injection.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "robust/fault.hpp"
+
+namespace anadex::robust {
+
+FaultInjectingProblem::FaultInjectingProblem(std::shared_ptr<const moga::Problem> inner,
+                                             FaultInjectionConfig config)
+    : inner_(std::move(inner)), config_(config) {
+  ANADEX_REQUIRE(inner_ != nullptr, "FaultInjectingProblem needs an inner problem");
+  for (double rate : {config_.exception_rate, config_.nan_rate, config_.slow_rate}) {
+    ANADEX_REQUIRE(rate >= 0.0 && rate <= 1.0, "fault injection rates must lie in [0, 1]");
+  }
+}
+
+std::string FaultInjectingProblem::name() const { return inner_->name() + "+faults"; }
+std::size_t FaultInjectingProblem::num_variables() const { return inner_->num_variables(); }
+std::size_t FaultInjectingProblem::num_objectives() const { return inner_->num_objectives(); }
+std::size_t FaultInjectingProblem::num_constraints() const { return inner_->num_constraints(); }
+std::vector<moga::VariableBound> FaultInjectingProblem::bounds() const { return inner_->bounds(); }
+
+void FaultInjectingProblem::evaluate(std::span<const double> genes, moga::Evaluation& out) const {
+  ++counters_.evaluations;
+  Rng rng(hash_genes(genes, config_.seed));
+
+  if (rng.bernoulli(config_.exception_rate)) {
+    ++counters_.exceptions;
+    throw InjectedFault("injected evaluator failure");
+  }
+
+  if (rng.bernoulli(config_.slow_rate)) {
+    ++counters_.slow;
+    // Busy-spin standing in for a simulator that converges slowly. volatile
+    // keeps the loop from being optimized away.
+    volatile double sink = 0.0;
+    for (std::size_t i = 0; i < config_.slow_spin_iterations; ++i) {
+      sink = sink + 1e-9;
+    }
+  }
+
+  inner_->evaluate(genes, out);
+
+  if (!out.objectives.empty() && rng.bernoulli(config_.nan_rate)) {
+    ++counters_.nans;
+    const std::size_t slot = rng.uniform_index(out.objectives.size());
+    out.objectives[slot] = std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
+}  // namespace anadex::robust

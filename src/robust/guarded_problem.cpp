@@ -1,0 +1,105 @@
+#include "robust/guarded_problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace anadex::robust {
+
+GuardedProblem::GuardedProblem(std::shared_ptr<const moga::Problem> inner, GuardPolicy policy)
+    : inner_(std::move(inner)), policy_(policy) {
+  ANADEX_REQUIRE(inner_ != nullptr, "GuardedProblem needs an inner problem");
+  ANADEX_REQUIRE(policy_.perturbation >= 0.0, "guard perturbation must be >= 0");
+  ANADEX_REQUIRE(std::isfinite(policy_.penalty_objective) && std::isfinite(policy_.penalty_violation),
+                 "guard penalty values must be finite");
+  bounds_ = inner_->bounds();
+  ANADEX_REQUIRE(bounds_.size() == inner_->num_variables(),
+                 "inner problem bounds()/num_variables() disagree");
+}
+
+std::string GuardedProblem::name() const { return inner_->name() + "+guard"; }
+std::size_t GuardedProblem::num_variables() const { return inner_->num_variables(); }
+std::size_t GuardedProblem::num_objectives() const { return inner_->num_objectives(); }
+std::size_t GuardedProblem::num_constraints() const { return inner_->num_constraints(); }
+std::vector<moga::VariableBound> GuardedProblem::bounds() const { return bounds_; }
+
+bool GuardedProblem::try_evaluate(std::span<const double> genes, moga::Evaluation& out) const {
+  out.objectives.clear();
+  out.violations.clear();
+  try {
+    inner_->evaluate(genes, out);
+  } catch (const std::exception& e) {
+    report_.count(FaultKind::EvaluatorException);
+    report_.note_failure(genes, std::string("exception: ") + e.what());
+    return false;
+  } catch (...) {
+    report_.count(FaultKind::EvaluatorException);
+    report_.note_failure(genes, "exception: (non-standard exception)");
+    return false;
+  }
+
+  if (out.objectives.size() != inner_->num_objectives() ||
+      out.violations.size() != inner_->num_constraints()) {
+    report_.count(FaultKind::WrongArity);
+    report_.note_failure(genes, "wrong arity: got " + std::to_string(out.objectives.size()) +
+                                    " objectives / " + std::to_string(out.violations.size()) +
+                                    " violations");
+    return false;
+  }
+
+  for (double v : out.objectives) {
+    if (!std::isfinite(v)) {
+      report_.count(FaultKind::NonFiniteValue);
+      report_.note_failure(genes, "non-finite objective");
+      return false;
+    }
+  }
+  for (double v : out.violations) {
+    if (!std::isfinite(v)) {
+      report_.count(FaultKind::NonFiniteValue);
+      report_.note_failure(genes, "non-finite violation");
+      return false;
+    }
+  }
+  return true;
+}
+
+void GuardedProblem::evaluate(std::span<const double> genes, moga::Evaluation& out) const {
+  if (try_evaluate(genes, out)) return;
+
+  // Retry at slightly perturbed genomes. The perturbation stream is a pure
+  // function of (genes, attempt), so repeated evaluation of the same genome
+  // — including after a checkpoint/resume — replays identically.
+  std::vector<double> nudged(genes.begin(), genes.end());
+  for (std::size_t attempt = 1; attempt <= policy_.max_retries; ++attempt) {
+    ++report_.retries;
+    Rng rng(hash_genes(genes, policy_.seed + attempt));
+    for (std::size_t i = 0; i < nudged.size(); ++i) {
+      const auto& b = bounds_[i];
+      const double range = b.upper - b.lower;
+      const double delta = policy_.perturbation * range * (2.0 * rng.uniform() - 1.0);
+      nudged[i] = std::clamp(genes[i] + delta, b.lower, b.upper);
+    }
+    if (try_evaluate(nudged, out)) {
+      ++report_.recovered;
+      return;
+    }
+  }
+
+  // Give up: substitute a finite penalty evaluation that is marked
+  // infeasible, so constraint-domination ranks it below every genuinely
+  // evaluated design and selection drives it out of the population.
+  ++report_.penalized;
+  out.objectives.assign(inner_->num_objectives(), policy_.penalty_objective);
+  // Constrained problems additionally get maximal violations, so Deb's
+  // constraint-domination ranks the design below every genuinely evaluated
+  // one. Unconstrained problems must keep violations empty (arity contract);
+  // there the penalty objectives alone carry the signal.
+  out.violations.assign(inner_->num_constraints(), policy_.penalty_violation);
+}
+
+}  // namespace anadex::robust

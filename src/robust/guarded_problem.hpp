@@ -1,0 +1,70 @@
+// GuardedProblem: a fault-tolerant decorator around any moga::Problem.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "moga/problem.hpp"
+#include "robust/fault.hpp"
+
+namespace anadex::robust {
+
+/// How GuardedProblem reacts to a faulted evaluation.
+///
+/// Recovery is attempted first: up to `max_retries` re-evaluations at a
+/// slightly perturbed genome (some simulator failures are knife-edge —
+/// a nudge of the operating point converges where the original did not).
+/// If every attempt faults, the evaluation is substituted with
+/// `penalty_objective` for every objective and `penalty_violation` for
+/// every constraint slot, which (for constrained problems) marks the design
+/// infeasible so constraint-domination sinks it without crashing the
+/// evolver; unconstrained problems rely on the penalty objectives alone.
+struct GuardPolicy {
+  std::size_t max_retries = 2;     ///< perturbed re-evaluations after a fault
+  double perturbation = 1e-6;      ///< retry nudge, relative to each bound range
+  double penalty_objective = 1e9;  ///< objective value substituted on give-up
+  double penalty_violation = 1e9;  ///< violation value substituted on give-up
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;  ///< mixes into retry perturbation
+};
+
+/// Wraps an inner Problem, converting exceptions, non-finite values and
+/// wrong-arity results into retries and then penalty evaluations while
+/// accumulating a FaultReport. Retry perturbations are derived purely from
+/// the genome (hash_genes), so the wrapper remains deterministic — the same
+/// genes always yield the same evaluation — preserving the Problem contract
+/// and checkpoint/resume bit-reproducibility.
+class GuardedProblem final : public moga::Problem {
+ public:
+  GuardedProblem(std::shared_ptr<const moga::Problem> inner, GuardPolicy policy);
+
+  std::string name() const override;
+  std::size_t num_variables() const override;
+  std::size_t num_objectives() const override;
+  std::size_t num_constraints() const override;
+  std::vector<moga::VariableBound> bounds() const override;
+  void evaluate(std::span<const double> genes, moga::Evaluation& out) const override;
+
+  const moga::Problem& inner() const { return *inner_; }
+  const GuardPolicy& policy() const { return policy_; }
+
+  /// Faults observed so far. Mutable across const evaluate() calls.
+  const FaultReport& report() const { return report_; }
+
+  /// Replaces the accumulated report (used when resuming from a checkpoint
+  /// so fault totals stay cumulative across the whole logical run).
+  void set_report(FaultReport report) { report_ = std::move(report); }
+
+ private:
+  /// One evaluation attempt; returns true on a clean result, false after
+  /// recording the fault in `report_`.
+  bool try_evaluate(std::span<const double> genes, moga::Evaluation& out) const;
+
+  std::shared_ptr<const moga::Problem> inner_;
+  GuardPolicy policy_;
+  std::vector<moga::VariableBound> bounds_;
+  mutable FaultReport report_;
+};
+
+}  // namespace anadex::robust

@@ -111,21 +111,40 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
   std::vector<moga::Population> islands(params.islands);
   std::vector<Rng> island_rngs;
   island_rngs.reserve(params.islands);
-  for (auto& island : islands) {
-    island_rngs.push_back(rng.split());
-    island.reserve(params.island_population);
-    for (std::size_t i = 0; i < params.island_population; ++i) {
-      moga::Individual ind;
-      ind.genes = moga::random_genome(bounds, island_rngs.back());
-      problem.evaluate(ind.genes, ind.eval);
-      ++result.evaluations;
-      island.push_back(std::move(ind));
+  std::size_t start_generation = 0;
+  if (params.resume != nullptr) {
+    const IslandState& state = *params.resume;
+    ANADEX_REQUIRE(state.islands.size() == params.islands &&
+                       state.rngs.size() == params.islands,
+                   "resume state island count does not match params");
+    ANADEX_REQUIRE(state.next_generation <= params.generations,
+                   "resume state is beyond the configured generation count");
+    islands = state.islands;
+    for (const auto& rng_state : state.rngs) {
+      island_rngs.emplace_back(1);
+      island_rngs.back().set_state(rng_state);
     }
-    auto fronts = moga::fast_nondominated_sort(island);
-    for (const auto& front : fronts) moga::assign_crowding(island, front);
+    start_generation = state.next_generation;
+    result.generations_run = state.next_generation;
+    result.evaluations = state.evaluations;
+    result.migrations = state.migrations;
+  } else {
+    for (auto& island : islands) {
+      island_rngs.push_back(rng.split());
+      island.reserve(params.island_population);
+      for (std::size_t i = 0; i < params.island_population; ++i) {
+        moga::Individual ind;
+        ind.genes = moga::random_genome(bounds, island_rngs.back());
+        problem.evaluate(ind.genes, ind.eval);
+        ++result.evaluations;
+        island.push_back(std::move(ind));
+      }
+      auto fronts = moga::fast_nondominated_sort(island);
+      for (const auto& front : fronts) moga::assign_crowding(island, front);
+    }
   }
 
-  for (std::size_t gen = 0; gen < params.generations; ++gen) {
+  for (std::size_t gen = start_generation; gen < params.generations; ++gen) {
     for (std::size_t i = 0; i < islands.size(); ++i) {
       evolve_island(problem, islands[i], bounds, params.variation, island_rngs[i],
                     result.evaluations);
@@ -141,6 +160,18 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
         combined.insert(combined.end(), island.begin(), island.end());
       }
       on_generation(gen, combined);
+    }
+
+    if (params.snapshot_every > 0 && params.on_snapshot &&
+        (gen + 1) % params.snapshot_every == 0) {
+      IslandState state;
+      state.islands = islands;
+      state.rngs.reserve(island_rngs.size());
+      for (const auto& island_rng : island_rngs) state.rngs.push_back(island_rng.state());
+      state.next_generation = gen + 1;
+      state.evaluations = result.evaluations;
+      state.migrations = result.migrations;
+      params.on_snapshot(state);
     }
   }
 

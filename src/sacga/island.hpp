@@ -9,12 +9,26 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/operators.hpp"
 #include "moga/problem.hpp"
 
 namespace anadex::sacga {
+
+/// Resumable state of an island-GA run: every island's ranked population
+/// and private RNG stream, plus the cumulative counters. (The master RNG is
+/// only used to seed the islands at initialization, so it is not stored.)
+struct IslandState {
+  std::vector<moga::Population> islands;
+  std::vector<RngState> rngs;  ///< parallel to `islands`
+  std::size_t next_generation = 0;
+  std::size_t evaluations = 0;
+  std::size_t migrations = 0;
+};
 
 struct IslandParams {
   std::size_t islands = 4;             ///< sub-population count (>= 2)
@@ -24,6 +38,11 @@ struct IslandParams {
   std::size_t migrants = 2;            ///< individuals sent to the next island
   moga::VariationParams variation;
   std::uint64_t seed = 1;
+
+  // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
+  std::size_t snapshot_every = 0;  ///< 0 disables snapshots
+  std::function<void(const IslandState&)> on_snapshot;
+  const IslandState* resume = nullptr;  ///< caller keeps it alive for the run
 };
 
 struct IslandResult {

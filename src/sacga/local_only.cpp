@@ -1,5 +1,9 @@
 #include "sacga/local_only.hpp"
 
+#include <optional>
+
+#include "common/check.hpp"
+
 namespace anadex::sacga {
 
 LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyParams& params,
@@ -10,12 +14,24 @@ LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyPara
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);
-  PartitionedEvolver evolver(problem, evolver_params, std::move(partitioner), params.seed);
+  std::optional<PartitionedEvolver> engine;
+  if (params.resume != nullptr) {
+    ANADEX_REQUIRE(params.resume->evolver.generation <= params.generations,
+                   "resume state is beyond the configured generation count");
+    engine.emplace(problem, evolver_params, std::move(partitioner), params.resume->evolver);
+  } else {
+    engine.emplace(problem, evolver_params, std::move(partitioner), params.seed);
+  }
+  PartitionedEvolver& evolver = *engine;
 
   const ParticipationProbability never = [](std::size_t) { return 0.0; };
-  for (std::size_t gen = 0; gen < params.generations; ++gen) {
+  for (std::size_t gen = evolver.generation(); gen < params.generations; ++gen) {
     evolver.step(never);
     if (on_generation) on_generation(gen, evolver.population());
+    if (params.snapshot_every > 0 && params.on_snapshot &&
+        evolver.generation() % params.snapshot_every == 0) {
+      params.on_snapshot(LocalOnlyState{evolver.snapshot()});
+    }
   }
 
   LocalOnlyResult result;

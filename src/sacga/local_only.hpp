@@ -5,12 +5,19 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "moga/nsga2.hpp"
 #include "moga/problem.hpp"
 #include "sacga/partitioned_evolver.hpp"
 
 namespace anadex::sacga {
+
+/// Resumable state of a LocalOnly run: the engine snapshot is everything
+/// (the loop itself is stateless beyond the generation counter).
+struct LocalOnlyState {
+  EvolverSnapshot evolver;
+};
 
 struct LocalOnlyParams {
   std::size_t population_size = 100;
@@ -21,6 +28,11 @@ struct LocalOnlyParams {
   std::size_t generations = 800;
   moga::VariationParams variation;
   std::uint64_t seed = 1;
+
+  // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
+  std::size_t snapshot_every = 0;  ///< 0 disables snapshots
+  std::function<void(const LocalOnlyState&)> on_snapshot;
+  const LocalOnlyState* resume = nullptr;  ///< caller keeps it alive for the run
 };
 
 struct LocalOnlyResult {

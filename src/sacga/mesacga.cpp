@@ -1,6 +1,7 @@
 #include "sacga/mesacga.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/check.hpp"
 
@@ -23,13 +24,44 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
 
-  Partitioner initial(params.axis_objective, params.axis_lo, params.axis_hi,
-                      params.partition_schedule.front());
-  PartitionedEvolver evolver(problem, evolver_params, std::move(initial), params.seed);
-
+  std::optional<PartitionedEvolver> engine;
   MesacgaResult result;
-  result.phase1_generations =
-      run_phase1(evolver, params.phase1_max_generations, on_generation, 0);
+  bool phase1_done = false;
+  std::size_t gen_t = 0;
+  if (params.resume != nullptr) {
+    const MesacgaState& state = *params.resume;
+    engine.emplace(problem, evolver_params,
+                   Partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
+                               state.evolver.partitions),
+                   state.evolver);
+    phase1_done = state.phase1_done;
+    gen_t = state.phase1_generations;
+    result.phases = state.phases;
+  } else {
+    engine.emplace(problem, evolver_params,
+                   Partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
+                               params.partition_schedule.front()),
+                   params.seed);
+  }
+  PartitionedEvolver& evolver = *engine;
+
+  const auto maybe_snapshot = [&params, &evolver, &result](bool done, std::size_t gen_t_now) {
+    if (params.snapshot_every == 0 || !params.on_snapshot) return;
+    if (evolver.generation() == 0 || evolver.generation() % params.snapshot_every != 0) return;
+    MesacgaState state;
+    state.evolver = evolver.snapshot();
+    state.phase1_done = done;
+    state.phase1_generations = gen_t_now;
+    state.phases = result.phases;
+    params.on_snapshot(state);
+  };
+
+  if (!phase1_done) {
+    gen_t = run_phase1(
+        evolver, params.phase1_max_generations, on_generation, 0, evolver.generation(),
+        [&maybe_snapshot](const PartitionedEvolver&, std::size_t) { maybe_snapshot(false, 0); });
+  }
+  result.phase1_generations = gen_t;
 
   std::size_t span = params.span;
   if (params.total_budget > 0) {
@@ -48,9 +80,18 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   const AnnealingSchedule per_phase_schedule = AnnealingSchedule::shaped(
       params.shape, params.alpha, params.t_init, params.n_desired, span);
 
-  std::size_t generation = result.phase1_generations;
-  for (std::size_t phase = 0; phase < phase_count; ++phase) {
-    if (phase > 0) {
+  // A restored evolver may be partway through some phase; its position
+  // follows from the generation counter and gen_t.
+  const std::size_t completed = evolver.generation() - gen_t;
+  const std::size_t start_phase = completed / span;
+  const std::size_t start_offset = completed % span;
+
+  std::size_t generation = evolver.generation();
+  for (std::size_t phase = start_phase; phase < phase_count; ++phase) {
+    // A mid-phase resume re-enters with the phase's partitioner already
+    // restored; re-partitioning here would desynchronize the RNG stream.
+    const bool entering_fresh = phase != start_phase || start_offset == 0;
+    if (phase > 0 && entering_fresh) {
       // Expand partitions: fewer, wider bins over the same axis range.
       evolver.set_partitioner(Partitioner(params.axis_objective, params.axis_lo,
                                           params.axis_hi, params.partition_schedule[phase]));
@@ -58,7 +99,8 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
     const AnnealingSchedule& schedule =
         params.continuous_annealing ? whole_run_schedule : per_phase_schedule;
 
-    for (std::size_t offset = 0; offset < span; ++offset) {
+    for (std::size_t offset = phase == start_phase ? start_offset : 0; offset < span;
+         ++offset) {
       const std::size_t schedule_offset =
           params.continuous_annealing ? phase * span + offset : offset;
       const ParticipationProbability prob = [&schedule, schedule_offset](std::size_t i) {
@@ -67,14 +109,17 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
       evolver.step(prob);
       if (on_generation) on_generation(generation, evolver.population());
       ++generation;
-    }
 
-    PhaseSnapshot snap;
-    snap.phase = phase + 1;
-    snap.partitions = params.partition_schedule[phase];
-    snap.generation = generation;
-    snap.front = evolver.global_front();
-    result.phases.push_back(std::move(snap));
+      if (offset + 1 == span) {
+        PhaseSnapshot snap;
+        snap.phase = phase + 1;
+        snap.partitions = params.partition_schedule[phase];
+        snap.generation = generation;
+        snap.front = evolver.global_front();
+        result.phases.push_back(std::move(snap));
+      }
+      maybe_snapshot(true, gen_t);
+    }
   }
 
   result.front = evolver.global_front();

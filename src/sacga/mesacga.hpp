@@ -18,6 +18,21 @@
 
 namespace anadex::sacga {
 
+struct PhaseSnapshot;
+
+/// Resumable state of a MESACGA run. The engine snapshot pins the active
+/// phase's partitioner (EvolverSnapshot::partitions); the current phase and
+/// the offset within it are derived from the generation counter, gen_t and
+/// the (deterministic) per-phase span, so they are not stored. Completed
+/// phase snapshots ride along so the final result still reports every
+/// phase.
+struct MesacgaState {
+  EvolverSnapshot evolver;
+  bool phase1_done = false;
+  std::size_t phase1_generations = 0;
+  std::vector<PhaseSnapshot> phases;
+};
+
 struct MesacgaParams {
   std::size_t population_size = 100;
   /// Partition count per phase; must be non-increasing and end with >= 1.
@@ -45,6 +60,11 @@ struct MesacgaParams {
   ScheduleShape shape;
   moga::VariationParams variation;
   std::uint64_t seed = 1;
+
+  // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
+  std::size_t snapshot_every = 0;  ///< 0 disables snapshots
+  std::function<void(const MesacgaState&)> on_snapshot;
+  const MesacgaState* resume = nullptr;  ///< caller keeps it alive for the run
 };
 
 /// Snapshot taken at the end of each MESACGA phase (used for paper Fig 10).

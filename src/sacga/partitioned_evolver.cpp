@@ -34,6 +34,46 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
   rank_pool(population_, info_, [](std::size_t) { return 0.0; });
 }
 
+PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const EvolverParams& params,
+                                       Partitioner partitioner, const EvolverSnapshot& snapshot)
+    : problem_(problem),
+      params_(params),
+      partitioner_(std::move(partitioner)),
+      bounds_(problem.bounds()),
+      rng_(1),
+      population_(snapshot.population),
+      discarded_(snapshot.discarded),
+      evaluations_(snapshot.evaluations),
+      generation_(snapshot.generation) {
+  ANADEX_REQUIRE(snapshot.population.size() == params.population_size,
+                 "snapshot population size does not match params");
+  ANADEX_REQUIRE(snapshot.partitions == partitioner_.count(),
+                 "snapshot partition count does not match the partitioner");
+  ANADEX_REQUIRE(snapshot.discarded.size() == partitioner_.count(),
+                 "snapshot discard flags do not match the partition count");
+  rng_.set_state(snapshot.rng);
+  // Partition membership is a pure function of the objectives, so it can be
+  // rebuilt without touching the RNG (rank_pool would shuffle).
+  info_.assign(population_.size(), MemberInfo{});
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    const std::size_t p = partitioner_.index_of(population_[i]);
+    info_[i].partition = p;
+    info_[i].local_rank = population_[i].rank;
+    info_[i].discarded_partition = discarded_[p];
+  }
+}
+
+EvolverSnapshot PartitionedEvolver::snapshot() const {
+  EvolverSnapshot s;
+  s.population = population_;
+  s.discarded = discarded_;
+  s.partitions = partitioner_.count();
+  s.rng = rng_.state();
+  s.evaluations = evaluations_;
+  s.generation = generation_;
+  return s;
+}
+
 void PartitionedEvolver::evaluate_into(moga::Individual& individual) {
   problem_.evaluate(individual.genes, individual.eval);
   ++evaluations_;

@@ -48,6 +48,20 @@ struct EvolverParams {
 /// competition.
 using ParticipationProbability = std::function<double(std::size_t i)>;
 
+/// Complete mid-run state of a PartitionedEvolver. Restoring it (see the
+/// restore constructor) reproduces the remaining generations bit-for-bit:
+/// the population carries the rank/crowding that drive the next tournament,
+/// `rng` is the full generator state, and `partitions` pins the partitioner
+/// geometry active at snapshot time (MESACGA varies it per phase).
+struct EvolverSnapshot {
+  moga::Population population;
+  std::vector<bool> discarded;
+  std::size_t partitions = 0;
+  RngState rng;
+  std::size_t evaluations = 0;
+  std::size_t generation = 0;
+};
+
 /// Evolutionary engine with partition-local competition and probabilistic
 /// global-rank revision.
 class PartitionedEvolver {
@@ -55,6 +69,16 @@ class PartitionedEvolver {
   /// Creates and evaluates a random initial population.
   PartitionedEvolver(const moga::Problem& problem, const EvolverParams& params,
                      Partitioner partitioner, std::uint64_t seed);
+
+  /// Restores an evolver mid-run from a snapshot. Performs no evaluations
+  /// and draws nothing from the RNG, so the continuation is identical to
+  /// the run the snapshot was taken from. `partitioner` must have the
+  /// snapshot's partition count.
+  PartitionedEvolver(const moga::Problem& problem, const EvolverParams& params,
+                     Partitioner partitioner, const EvolverSnapshot& snapshot);
+
+  /// Captures the full engine state for checkpointing.
+  EvolverSnapshot snapshot() const;
 
   /// Runs one generation with the given participation policy.
   void step(const ParticipationProbability& prob);

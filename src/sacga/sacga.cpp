@@ -1,6 +1,7 @@
 #include "sacga/sacga.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/check.hpp"
 
@@ -8,13 +9,15 @@ namespace anadex::sacga {
 
 std::size_t run_phase1(PartitionedEvolver& evolver, std::size_t max_generations,
                        const moga::GenerationCallback& on_generation,
-                       std::size_t generation_offset) {
+                       std::size_t generation_offset, std::size_t already_used,
+                       const Phase1StepHook& on_step) {
   const ParticipationProbability never = [](std::size_t) { return 0.0; };
-  std::size_t used = 0;
+  std::size_t used = already_used;
   while (used < max_generations && !evolver.all_active_partitions_feasible()) {
     evolver.step(never);
     if (on_generation) on_generation(generation_offset + used, evolver.population());
     ++used;
+    if (on_step) on_step(evolver, used);
   }
   evolver.discard_infeasible_partitions();
   return used;
@@ -31,11 +34,35 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);
-  PartitionedEvolver evolver(problem, evolver_params, std::move(partitioner), params.seed);
+  std::optional<PartitionedEvolver> engine;
+  bool phase1_done = false;
+  std::size_t gen_t = 0;
+  if (params.resume != nullptr) {
+    engine.emplace(problem, evolver_params, std::move(partitioner), params.resume->evolver);
+    phase1_done = params.resume->phase1_done;
+    gen_t = params.resume->phase1_generations;
+  } else {
+    engine.emplace(problem, evolver_params, std::move(partitioner), params.seed);
+  }
+  PartitionedEvolver& evolver = *engine;
+
+  const auto maybe_snapshot = [&params, &evolver](bool done, std::size_t gen_t_now) {
+    if (params.snapshot_every == 0 || !params.on_snapshot) return;
+    if (evolver.generation() == 0 || evolver.generation() % params.snapshot_every != 0) return;
+    SacgaState state;
+    state.evolver = evolver.snapshot();
+    state.phase1_done = done;
+    state.phase1_generations = gen_t_now;
+    params.on_snapshot(state);
+  };
 
   SacgaResult result;
-  result.phase1_generations =
-      run_phase1(evolver, params.phase1_max_generations, on_generation, 0);
+  if (!phase1_done) {
+    gen_t = run_phase1(
+        evolver, params.phase1_max_generations, on_generation, 0, evolver.generation(),
+        [&maybe_snapshot](const PartitionedEvolver&, std::size_t) { maybe_snapshot(false, 0); });
+  }
+  result.phase1_generations = gen_t;
   for (bool d : evolver.discarded()) {
     if (d) ++result.discarded_partitions;
   }
@@ -50,7 +77,10 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
   const AnnealingSchedule schedule = AnnealingSchedule::shaped(
       params.shape, params.alpha, params.t_init, params.n_desired, span);
 
-  for (std::size_t offset = 0; offset < span; ++offset) {
+  // A restored evolver may already be partway through phase II.
+  const std::size_t start_offset =
+      evolver.generation() > gen_t ? evolver.generation() - gen_t : 0;
+  for (std::size_t offset = start_offset; offset < span; ++offset) {
     const ParticipationProbability prob = [&schedule, offset](std::size_t i) {
       return schedule.participation_probability(i, offset);
     };
@@ -58,6 +88,7 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
     if (on_generation) {
       on_generation(result.phase1_generations + offset, evolver.population());
     }
+    maybe_snapshot(true, gen_t);
   }
 
   result.front = evolver.global_front();

@@ -21,6 +21,16 @@
 
 namespace anadex::sacga {
 
+/// Resumable state of a SACGA run: the engine snapshot plus where the
+/// two-phase schedule stands. While phase I is still running,
+/// `phase1_generations` is meaningless; once `phase1_done` is set it holds
+/// the paper's gen_t, which fixes the phase-II span and annealing schedule.
+struct SacgaState {
+  EvolverSnapshot evolver;
+  bool phase1_done = false;
+  std::size_t phase1_generations = 0;
+};
+
 struct SacgaParams {
   std::size_t population_size = 100;
   std::size_t partitions = 8;
@@ -39,6 +49,11 @@ struct SacgaParams {
   ScheduleShape shape;                       ///< shaping targets for k1/k2/k3
   moga::VariationParams variation;
   std::uint64_t seed = 1;
+
+  // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
+  std::size_t snapshot_every = 0;  ///< 0 disables snapshots
+  std::function<void(const SacgaState&)> on_snapshot;
+  const SacgaState* resume = nullptr;  ///< caller keeps it alive for the run
 };
 
 struct SacgaResult {
@@ -55,11 +70,18 @@ struct SacgaResult {
 SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
                       const moga::GenerationCallback& on_generation = {});
 
+/// Observer invoked after every phase-I generation with the evolver and the
+/// cumulative number of phase-I generations used, for checkpointing.
+using Phase1StepHook = std::function<void(const PartitionedEvolver&, std::size_t used)>;
+
 /// Phase I only, exposed for reuse by MESACGA: evolves under pure local
 /// competition until feasible coverage or the cap, then discards infeasible
-/// partitions. Returns the number of generations used (gen_t).
+/// partitions. Returns the number of generations used (gen_t). When
+/// resuming a checkpointed run, `already_used` carries the phase-I
+/// generations already spent (the restored evolver's generation count).
 std::size_t run_phase1(PartitionedEvolver& evolver, std::size_t max_generations,
                        const moga::GenerationCallback& on_generation,
-                       std::size_t generation_offset);
+                       std::size_t generation_offset, std::size_t already_used = 0,
+                       const Phase1StepHook& on_step = {});
 
 }  // namespace anadex::sacga

@@ -40,6 +40,42 @@ TEST(Check, MessageContainsExpressionFileAndText) {
   }
 }
 
+TEST(Check, InvariantMessageContainsExpressionFileAndText) {
+  try {
+    ANADEX_ASSERT(0 == 1, "zero is not one");
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("0 == 1"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("zero is not one"), std::string::npos);
+  }
+}
+
+TEST(Check, RequireAcceptsComposedStringMessages) {
+  const std::string name = "gamma";
+  try {
+    ANADEX_REQUIRE(false, "bad knob '" + name + "'");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad knob 'gamma'"), std::string::npos);
+  }
+}
+
+TEST(Check, FailurePathLeavesProgramRecoverable) {
+  // The guard/checkpoint layers rely on REQUIRE failures being ordinary
+  // exceptions: catch, inspect, continue.
+  int recovered = 0;
+  for (int i = 0; i < 3; ++i) {
+    try {
+      ANADEX_REQUIRE(i == 99, "never true");
+    } catch (const PreconditionError&) {
+      ++recovered;
+    }
+  }
+  EXPECT_EQ(recovered, 3);
+}
+
 TEST(Check, SideEffectsInConditionEvaluatedOnce) {
   int calls = 0;
   auto bump = [&calls]() {

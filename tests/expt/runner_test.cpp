@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.hpp"
 #include "expt/figures.hpp"
 #include "problems/spec_suite.hpp"
 
+#include <cstdio>
 #include <sstream>
+#include <string>
 
 namespace anadex::expt {
 namespace {
@@ -110,6 +113,155 @@ TEST(Runner, ClusteringMetricWithinUnitRange) {
   const auto outcome = run(problem, smoke_settings(Algo::TPG));
   EXPECT_GE(outcome.clustering_4to5, 0.0);
   EXPECT_LE(outcome.clustering_4to5, 1.0);
+}
+
+TEST(Runner, ValidatesSettingsUpFront) {
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.population = 7;  // odd
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.population = 2;  // too small
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::SACGA);
+    s.partitions = 0;
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.generations = 0;
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.history_stride = 0;
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::MESACGA);
+    s.mesacga_schedule = {};
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::MESACGA);
+    s.mesacga_schedule = {4, 4, 1};  // not strictly decreasing
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::MESACGA);
+    s.mesacga_schedule = {4, 2};  // does not end in 1
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::Island);
+    s.islands = 1;
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.checkpoint_path = "cp.txt";
+    s.checkpoint_every = 0;
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::WeightedSum);
+    s.checkpoint_path = "cp.txt";  // unsupported algorithm
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.resume = true;  // no checkpoint path
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  EXPECT_NO_THROW(validate_run_settings(smoke_settings(Algo::MESACGA)));
+}
+
+TEST(Runner, CheckpointResumeReproducesUninterruptedRun) {
+  const problems::IntegratorProblem problem(easy_spec());
+  for (Algo algo : {Algo::TPG, Algo::SACGA, Algo::MESACGA}) {
+    const auto full = run(problem, smoke_settings(algo));
+
+    // 30 generations with a 16-generation cadence: the run finishes with
+    // the checkpoint still parked at generation 16, simulating a kill
+    // between snapshot and completion.
+    RunSettings interrupted = smoke_settings(algo);
+    interrupted.checkpoint_path =
+        testing::TempDir() + "anadex_runner_" + algo_name(algo) + ".cp";
+    interrupted.checkpoint_every = 16;
+    (void)run(problem, interrupted);
+
+    RunSettings resuming = interrupted;
+    resuming.resume = true;
+    const auto resumed = run(problem, resuming);
+
+    EXPECT_EQ(resumed.resumed_from_generation, 16u) << algo_name(algo);
+    EXPECT_EQ(resumed.evaluations, full.evaluations) << algo_name(algo);
+    EXPECT_EQ(resumed.generations, full.generations) << algo_name(algo);
+    ASSERT_EQ(resumed.front.size(), full.front.size()) << algo_name(algo);
+    for (std::size_t i = 0; i < full.front.size(); ++i) {
+      EXPECT_EQ(resumed.front[i].power_w, full.front[i].power_w) << algo_name(algo);
+      EXPECT_EQ(resumed.front[i].cload_f, full.front[i].cload_f) << algo_name(algo);
+    }
+    EXPECT_EQ(resumed.front_area, full.front_area) << algo_name(algo);
+    std::remove(interrupted.checkpoint_path.c_str());
+  }
+}
+
+TEST(Runner, HistorySurvivesCheckpointResume) {
+  const problems::IntegratorProblem problem(easy_spec());
+  RunSettings base = smoke_settings(Algo::TPG);
+  base.record_history = true;
+  base.history_stride = 10;
+  const auto full = run(problem, base);
+  ASSERT_EQ(full.history.size(), 3u);
+
+  RunSettings interrupted = base;
+  interrupted.checkpoint_path = testing::TempDir() + "anadex_runner_history.cp";
+  interrupted.checkpoint_every = 16;  // checkpoint carries the gen-10 sample
+  (void)run(problem, interrupted);
+
+  RunSettings resuming = interrupted;
+  resuming.resume = true;
+  const auto resumed = run(problem, resuming);
+
+  ASSERT_EQ(resumed.history.size(), full.history.size());
+  for (std::size_t i = 0; i < full.history.size(); ++i) {
+    EXPECT_EQ(resumed.history[i].generation, full.history[i].generation);
+    EXPECT_EQ(resumed.history[i].front_area, full.history[i].front_area);
+    EXPECT_EQ(resumed.history[i].front_size, full.history[i].front_size);
+  }
+  std::remove(interrupted.checkpoint_path.c_str());
+}
+
+TEST(Runner, ResumeRejectsMismatchedConfiguration) {
+  const problems::IntegratorProblem problem(easy_spec());
+  RunSettings s = smoke_settings(Algo::TPG);
+  s.checkpoint_path = testing::TempDir() + "anadex_runner_mismatch.cp";
+  s.checkpoint_every = 16;
+  (void)run(problem, s);
+
+  RunSettings other = s;
+  other.resume = true;
+  other.seed = s.seed + 1;  // different run identity
+  EXPECT_THROW(run(problem, other), PreconditionError);
+
+  RunSettings wrong_algo = s;
+  wrong_algo.resume = true;
+  wrong_algo.algo = Algo::SACGA;  // meta.algo differs
+  EXPECT_THROW(run(problem, wrong_algo), PreconditionError);
+
+  std::remove(s.checkpoint_path.c_str());
+}
+
+TEST(Runner, FaultReportEmptyOnCleanProblem) {
+  const problems::IntegratorProblem problem(easy_spec());
+  const auto outcome = run(problem, smoke_settings(Algo::TPG));
+  EXPECT_EQ(outcome.faults.total_faults(), 0u);
+  EXPECT_EQ(outcome.resumed_from_generation, 0u);
 }
 
 TEST(Figures, FrontSeriesSortedWithPhysicalColumns) {

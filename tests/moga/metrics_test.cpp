@@ -1,5 +1,8 @@
 #include "moga/metrics.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
@@ -173,6 +176,74 @@ TEST(ClusteringFraction, EmptyValuesIsZero) {
 TEST(ClusteringFraction, InvertedBandRejected) {
   const std::vector<double> values{1.0};
   EXPECT_THROW(clustering_fraction(values, 2.0, 1.0), PreconditionError);
+}
+
+// Regression tests: a single non-finite value from a faulted evaluation
+// used to poison aggregate metrics (NaN compares false everywhere, so it
+// slipped through filters and surfaced as a NaN metric). All metrics now
+// skip-and-count non-finite points.
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FrontArea, NonFinitePointsAreSkippedAndCounted) {
+  // Clean front: one design at (0.4 mW, 5 pF) -> area 20 units.
+  const std::vector<double> cost{0.4e-3, kNan, 0.2e-3};
+  const std::vector<double> cover{5e-12, 3e-12, kInf};
+  std::size_t skipped = 0;
+  const double area = front_area_metric(cost, cover, paper_params(), &skipped);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_TRUE(std::isfinite(area));
+  EXPECT_NEAR(area, 20.0, 1e-9);
+}
+
+TEST(FrontArea, AllNonFiniteEqualsEmptyFront) {
+  const std::vector<double> cost{kNan, kInf};
+  const std::vector<double> cover{1e-12, kNan};
+  std::size_t skipped = 0;
+  const double area = front_area_metric(cost, cover, paper_params(), &skipped);
+  EXPECT_EQ(skipped, 2u);
+  EXPECT_NEAR(area, front_area_metric({}, {}, paper_params()), 1e-12);
+}
+
+TEST(DropNonFinitePoints, RemovesAndCounts) {
+  FrontPoints points{{1.0, 2.0}, {kNan, 2.0}, {1.0, kInf}, {3.0, 4.0}};
+  EXPECT_EQ(drop_non_finite_points(points), 2u);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0], (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(points[1], (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(Spacing, IgnoresNonFinitePoints) {
+  // Uniform front plus a NaN point: spacing must stay 0, not go NaN.
+  const FrontPoints front{{0.0, 2.0}, {1.0, 1.0}, {2.0, 0.0}, {kNan, 1.0}};
+  EXPECT_EQ(spacing(front), 0.0);
+}
+
+TEST(Coverage, IgnoresNonFinitePoints) {
+  const FrontPoints a{{0.0, 0.0}, {kNan, kNan}};
+  const FrontPoints b{{1.0, 1.0}, {kNan, 2.0}};
+  // The finite a-point dominates the only finite b-point.
+  EXPECT_DOUBLE_EQ(coverage(a, b), 1.0);
+}
+
+TEST(GenerationalDistance, IgnoresNonFinitePoints) {
+  const FrontPoints front{{1.0, 1.0}, {kNan, 0.0}};
+  const FrontPoints reference{{1.0, 1.0}, {kInf, kInf}};
+  EXPECT_DOUBLE_EQ(generational_distance(front, reference), 0.0);
+  EXPECT_DOUBLE_EQ(inverted_generational_distance(front, reference), 0.0);
+}
+
+TEST(ClusteringFraction, ExcludesNonFiniteFromBothSides) {
+  const std::vector<double> values{4.5, 4.2, 0.5, kNan, kInf};
+  // 2 of the 3 finite values are in-band; non-finite counts toward neither.
+  EXPECT_DOUBLE_EQ(clustering_fraction(values, 4.0, 5.0), 2.0 / 3.0);
+}
+
+TEST(Hypervolume, NonFinitePointsContributeNothing) {
+  const FrontPoints front{{0.5, 0.5}, {kNan, 0.1}, {0.1, kInf}};
+  const std::vector<double> ref{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(hypervolume(front, ref), 0.25);
 }
 
 TEST(ObjectivesOf, ExtractsAllRows) {

@@ -1,0 +1,285 @@
+#include "robust/checkpoint.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace anadex::robust {
+namespace {
+
+moga::Individual make_individual(double x, int rank, double crowding) {
+  moga::Individual ind;
+  ind.genes = {x, 1.0 - x};
+  ind.eval.objectives = {x * x, (x - 2.0) * (x - 2.0)};
+  ind.eval.violations = {0.0};
+  ind.rank = rank;
+  ind.crowding = crowding;
+  return ind;
+}
+
+moga::Population make_population() {
+  moga::Population pop;
+  pop.push_back(make_individual(0.125, 0, moga::Individual::kInfiniteCrowding));
+  pop.push_back(make_individual(0.3, 0, 0.75));
+  pop.push_back(make_individual(0.9, 1, 1.0 / 3.0));  // not exactly representable in decimal
+  pop.push_back(make_individual(0.7, 2, 0.0));
+  return pop;
+}
+
+RngState make_rng_state(std::uint64_t seed, int warmup_normals) {
+  Rng rng(seed);
+  for (int i = 0; i < warmup_normals; ++i) (void)rng.normal();
+  return rng.state();
+}
+
+void expect_population_eq(const moga::Population& a, const moga::Population& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].genes, b[i].genes);
+    EXPECT_EQ(a[i].eval.objectives, b[i].eval.objectives);
+    EXPECT_EQ(a[i].eval.violations, b[i].eval.violations);
+    EXPECT_EQ(a[i].rank, b[i].rank);
+    EXPECT_EQ(a[i].crowding, b[i].crowding);  // inf == inf holds
+  }
+}
+
+Checkpoint base_checkpoint() {
+  Checkpoint cp;
+  cp.meta.algo = "SACGA";
+  cp.meta.seed = 42;
+  cp.meta.population = 4;
+  cp.meta.generations = 100;
+  cp.meta.config = "partitions=8 span=0 stride=25";
+  cp.faults.exceptions = 3;
+  cp.faults.non_finite = 1;
+  cp.faults.retries = 4;
+  cp.faults.recovered = 2;
+  cp.faults.penalized = 2;
+  cp.faults.first_failure_genes = {0.25, 0.75};
+  cp.faults.first_failure_message = "exception: simulated divergence";
+  cp.history.push_back({25, 38.5, 7});
+  cp.history.push_back({50, 30.25, 9});
+  return cp;
+}
+
+void expect_common_eq(const Checkpoint& a, const Checkpoint& b) {
+  EXPECT_EQ(a.meta, b.meta);
+  EXPECT_EQ(a.faults.exceptions, b.faults.exceptions);
+  EXPECT_EQ(a.faults.non_finite, b.faults.non_finite);
+  EXPECT_EQ(a.faults.wrong_arity, b.faults.wrong_arity);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.recovered, b.faults.recovered);
+  EXPECT_EQ(a.faults.penalized, b.faults.penalized);
+  EXPECT_EQ(a.faults.first_failure_genes, b.faults.first_failure_genes);
+  EXPECT_EQ(a.faults.first_failure_message, b.faults.first_failure_message);
+  EXPECT_EQ(a.history, b.history);
+}
+
+Checkpoint round_trip(const Checkpoint& cp) {
+  std::stringstream stream;
+  save_checkpoint(stream, cp);
+  return load_checkpoint(stream);
+}
+
+TEST(Checkpoint, RoundTripsNsga2State) {
+  Checkpoint cp = base_checkpoint();
+  moga::Nsga2State state;
+  state.parents = make_population();
+  state.rng = make_rng_state(9, 1);  // odd warmup leaves a cached spare normal
+  state.next_generation = 57;
+  state.evaluations = 5800;
+  cp.nsga2 = state;
+
+  const Checkpoint loaded = round_trip(cp);
+  expect_common_eq(cp, loaded);
+  ASSERT_TRUE(loaded.nsga2.has_value());
+  EXPECT_EQ(loaded.state_kind(), "nsga2");
+  EXPECT_EQ(loaded.nsga2->rng, state.rng);
+  EXPECT_TRUE(loaded.nsga2->rng.has_spare_normal);
+  EXPECT_EQ(loaded.nsga2->next_generation, 57u);
+  EXPECT_EQ(loaded.nsga2->evaluations, 5800u);
+  expect_population_eq(loaded.nsga2->parents, state.parents);
+}
+
+TEST(Checkpoint, RestoredRngContinuesTheSameStream) {
+  Checkpoint cp = base_checkpoint();
+  Rng original(123);
+  for (int i = 0; i < 7; ++i) (void)original.normal();
+  moga::Nsga2State state;
+  state.parents = make_population();
+  state.rng = original.state();
+  cp.nsga2 = state;
+
+  const Checkpoint loaded = round_trip(cp);
+  Rng restored(1);
+  restored.set_state(loaded.nsga2->rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(restored(), original());
+    EXPECT_EQ(restored.normal(), original.normal());
+  }
+}
+
+TEST(Checkpoint, RoundTripsSacgaStateWithDiscardedPartitions) {
+  Checkpoint cp = base_checkpoint();
+  sacga::SacgaState state;
+  state.evolver.population = make_population();
+  state.evolver.discarded = {false, true, false, true, true};
+  state.evolver.partitions = 5;
+  state.evolver.rng = make_rng_state(17, 0);
+  state.evolver.evaluations = 4321;
+  state.evolver.generation = 87;
+  state.phase1_done = true;
+  state.phase1_generations = 12;
+  cp.sacga = state;
+
+  const Checkpoint loaded = round_trip(cp);
+  expect_common_eq(cp, loaded);
+  ASSERT_TRUE(loaded.sacga.has_value());
+  EXPECT_EQ(loaded.sacga->evolver.discarded, state.evolver.discarded);
+  EXPECT_EQ(loaded.sacga->evolver.partitions, 5u);
+  EXPECT_EQ(loaded.sacga->evolver.rng, state.evolver.rng);
+  EXPECT_EQ(loaded.sacga->evolver.generation, 87u);
+  EXPECT_TRUE(loaded.sacga->phase1_done);
+  EXPECT_EQ(loaded.sacga->phase1_generations, 12u);
+  expect_population_eq(loaded.sacga->evolver.population, state.evolver.population);
+}
+
+TEST(Checkpoint, RoundTripsMesacgaStateWithPhaseHistory) {
+  Checkpoint cp = base_checkpoint();
+  sacga::MesacgaState state;
+  state.evolver.population = make_population();
+  state.evolver.discarded = {false, false};
+  state.evolver.partitions = 2;
+  state.evolver.rng = make_rng_state(5, 2);
+  state.evolver.generation = 140;
+  state.phase1_done = true;
+  state.phase1_generations = 20;
+  sacga::PhaseSnapshot phase;
+  phase.phase = 1;
+  phase.partitions = 4;
+  phase.generation = 80;
+  phase.front = make_population();
+  state.phases.push_back(phase);
+  cp.mesacga = state;
+
+  const Checkpoint loaded = round_trip(cp);
+  ASSERT_TRUE(loaded.mesacga.has_value());
+  ASSERT_EQ(loaded.mesacga->phases.size(), 1u);
+  EXPECT_EQ(loaded.mesacga->phases[0].phase, 1u);
+  EXPECT_EQ(loaded.mesacga->phases[0].partitions, 4u);
+  EXPECT_EQ(loaded.mesacga->phases[0].generation, 80u);
+  expect_population_eq(loaded.mesacga->phases[0].front, phase.front);
+}
+
+TEST(Checkpoint, RoundTripsLocalOnlyAndIslandStates) {
+  {
+    Checkpoint cp = base_checkpoint();
+    sacga::LocalOnlyState state;
+    state.evolver.population = make_population();
+    state.evolver.discarded = {false, false, false};
+    state.evolver.partitions = 3;
+    state.evolver.rng = make_rng_state(2, 0);
+    state.evolver.generation = 10;
+    cp.local_only = state;
+    const Checkpoint loaded = round_trip(cp);
+    ASSERT_TRUE(loaded.local_only.has_value());
+    EXPECT_EQ(loaded.local_only->evolver.generation, 10u);
+  }
+  {
+    Checkpoint cp = base_checkpoint();
+    sacga::IslandState state;
+    state.islands = {make_population(), make_population()};
+    state.rngs = {make_rng_state(3, 1), make_rng_state(4, 0)};
+    state.next_generation = 64;
+    state.evaluations = 9000;
+    state.migrations = 2;
+    cp.island = state;
+    const Checkpoint loaded = round_trip(cp);
+    ASSERT_TRUE(loaded.island.has_value());
+    ASSERT_EQ(loaded.island->islands.size(), 2u);
+    EXPECT_EQ(loaded.island->rngs, state.rngs);
+    EXPECT_EQ(loaded.island->migrations, 2u);
+    expect_population_eq(loaded.island->islands[1], state.islands[1]);
+  }
+}
+
+TEST(Checkpoint, NonFiniteValuesSurviveTheRoundTrip) {
+  Checkpoint cp = base_checkpoint();
+  moga::Nsga2State state;
+  moga::Individual poisoned = make_individual(0.5, 0, moga::Individual::kInfiniteCrowding);
+  poisoned.eval.objectives[1] = std::numeric_limits<double>::quiet_NaN();
+  state.parents.push_back(poisoned);
+  cp.nsga2 = state;
+
+  const Checkpoint loaded = round_trip(cp);
+  const auto& ind = loaded.nsga2->parents.at(0);
+  EXPECT_TRUE(std::isnan(ind.eval.objectives[1]));
+  EXPECT_TRUE(std::isinf(ind.crowding));
+}
+
+TEST(Checkpoint, RequiresExactlyOneState) {
+  Checkpoint cp = base_checkpoint();
+  std::stringstream stream;
+  EXPECT_THROW(save_checkpoint(stream, cp), PreconditionError);  // zero states
+  cp.nsga2 = moga::Nsga2State{};
+  cp.island = sacga::IslandState{};
+  EXPECT_THROW(save_checkpoint(stream, cp), PreconditionError);  // two states
+}
+
+TEST(Checkpoint, RejectsMalformedInput) {
+  {
+    std::stringstream stream("anadex-checkpoint v99\n");
+    EXPECT_THROW(load_checkpoint(stream), PreconditionError);
+  }
+  {
+    std::stringstream stream("anadex-checkpoint v1\nmeta SACGA 1 4\n");
+    EXPECT_THROW(load_checkpoint(stream), PreconditionError);  // short meta
+  }
+  {
+    Checkpoint cp = base_checkpoint();
+    cp.nsga2 = moga::Nsga2State{};
+    std::stringstream stream;
+    save_checkpoint(stream, cp);
+    std::string text = stream.str();
+    text = text.substr(0, text.size() / 2);  // truncate mid-file
+    std::stringstream half(text);
+    EXPECT_THROW(load_checkpoint(half), PreconditionError);
+  }
+  {
+    std::stringstream stream(
+        "anadex-checkpoint v1\nmeta X 1 4 10\nconfig c\nfaults 0 0 0 0 0 0\n"
+        "fault-genes 0\nfault-message \nhistory 0\nstate martian\n");
+    EXPECT_THROW(load_checkpoint(stream), PreconditionError);
+  }
+}
+
+TEST(Checkpoint, FileRoundTripIsAtomic) {
+  const std::string path = testing::TempDir() + "anadex_checkpoint_test.txt";
+  Checkpoint cp = base_checkpoint();
+  moga::Nsga2State state;
+  state.parents = make_population();
+  state.rng = make_rng_state(1, 0);
+  cp.nsga2 = state;
+
+  write_checkpoint_file(path, cp);
+  // The temp staging file must not linger after the rename.
+  std::ifstream staging(path + ".tmp");
+  EXPECT_FALSE(staging.good());
+
+  const Checkpoint loaded = read_checkpoint_file(path);
+  expect_common_eq(cp, loaded);
+  expect_population_eq(loaded.nsga2->parents, state.parents);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(read_checkpoint_file(path), PreconditionError);  // now missing
+}
+
+}  // namespace
+}  // namespace anadex::robust

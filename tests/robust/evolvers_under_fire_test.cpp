@@ -1,0 +1,138 @@
+// Acceptance test for the fault-tolerant evaluation pipeline: every evolver
+// must complete a 200-generation run on a problem that throws on 5% of
+// evaluations and returns NaN on another 5%, without crashing, and the
+// guard's FaultReport must agree exactly with what the injector actually
+// did (nothing double-counted, nothing leaked past the guard).
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "moga/nsga2.hpp"
+#include "problems/analytic.hpp"
+#include "robust/fault_injection.hpp"
+#include "robust/guarded_problem.hpp"
+#include "sacga/island.hpp"
+#include "sacga/local_only.hpp"
+#include "sacga/mesacga.hpp"
+#include "sacga/sacga.hpp"
+
+namespace anadex::robust {
+namespace {
+
+constexpr std::size_t kGenerations = 200;
+constexpr std::size_t kPopulation = 24;
+
+struct Pipeline {
+  std::shared_ptr<FaultInjectingProblem> injector;
+  std::unique_ptr<GuardedProblem> guard;
+};
+
+Pipeline make_pipeline() {
+  FaultInjectionConfig config;
+  config.exception_rate = 0.05;
+  config.nan_rate = 0.05;
+  config.seed = 99;
+  Pipeline p;
+  p.injector = std::make_shared<FaultInjectingProblem>(
+      std::shared_ptr<const moga::Problem>(problems::make_zdt1(8)), config);
+  p.guard = std::make_unique<GuardedProblem>(p.injector, GuardPolicy{});
+  return p;
+}
+
+void expect_report_matches_injector(const Pipeline& p) {
+  // Every evaluation flowed injector -> guard, so the guard must have seen
+  // exactly the faults the injector manufactured.
+  EXPECT_GT(p.injector->counters().evaluations, 0u);
+  EXPECT_GT(p.guard->report().total_faults(), 0u);
+  EXPECT_EQ(p.guard->report().exceptions, p.injector->counters().exceptions);
+  EXPECT_EQ(p.guard->report().non_finite, p.injector->counters().nans);
+  EXPECT_EQ(p.guard->report().wrong_arity, 0u);
+}
+
+void expect_finite_front(const moga::Population& front) {
+  EXPECT_FALSE(front.empty());
+  for (const auto& ind : front) {
+    for (double v : ind.eval.objectives) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(EvolversUnderFire, Nsga2CompletesWithFaultsAccounted) {
+  Pipeline p = make_pipeline();
+  moga::Nsga2Params params;
+  params.population_size = kPopulation;
+  params.generations = kGenerations;
+  params.seed = 1;
+  const auto result = moga::run_nsga2(*p.guard, params);
+  EXPECT_EQ(result.generations_run, kGenerations);
+  expect_finite_front(result.front);
+  expect_report_matches_injector(p);
+}
+
+TEST(EvolversUnderFire, LocalOnlyCompletesWithFaultsAccounted) {
+  Pipeline p = make_pipeline();
+  sacga::LocalOnlyParams params;
+  params.population_size = kPopulation;
+  params.partitions = 4;
+  params.axis_objective = 1;
+  params.axis_lo = 0.0;
+  params.axis_hi = 10.0;
+  params.generations = kGenerations;
+  params.seed = 2;
+  const auto result = sacga::run_local_only(*p.guard, params);
+  EXPECT_EQ(result.generations_run, kGenerations);
+  expect_finite_front(result.front);
+  expect_report_matches_injector(p);
+}
+
+TEST(EvolversUnderFire, SacgaCompletesWithFaultsAccounted) {
+  Pipeline p = make_pipeline();
+  sacga::SacgaParams params;
+  params.population_size = kPopulation;
+  params.partitions = 4;
+  params.axis_objective = 1;
+  params.axis_lo = 0.0;
+  params.axis_hi = 10.0;
+  params.phase1_max_generations = 20;
+  params.span = kGenerations;
+  params.span_is_total_budget = true;
+  params.seed = 3;
+  const auto result = sacga::run_sacga(*p.guard, params);
+  EXPECT_EQ(result.generations_run, kGenerations);
+  expect_finite_front(result.front);
+  expect_report_matches_injector(p);
+}
+
+TEST(EvolversUnderFire, MesacgaCompletesWithFaultsAccounted) {
+  Pipeline p = make_pipeline();
+  sacga::MesacgaParams params;
+  params.population_size = kPopulation;
+  params.partition_schedule = {4, 2, 1};
+  params.axis_objective = 1;
+  params.axis_lo = 0.0;
+  params.axis_hi = 10.0;
+  params.phase1_max_generations = 20;
+  params.total_budget = kGenerations;
+  params.seed = 4;
+  const auto result = sacga::run_mesacga(*p.guard, params);
+  EXPECT_GE(result.generations_run, kGenerations - params.partition_schedule.size());
+  expect_finite_front(result.front);
+  expect_report_matches_injector(p);
+}
+
+TEST(EvolversUnderFire, IslandGaCompletesWithFaultsAccounted) {
+  Pipeline p = make_pipeline();
+  sacga::IslandParams params;
+  params.islands = 2;
+  params.island_population = 12;
+  params.generations = kGenerations;
+  params.migration_interval = 25;
+  params.seed = 5;
+  const auto result = sacga::run_island_ga(*p.guard, params);
+  EXPECT_EQ(result.generations_run, kGenerations);
+  expect_finite_front(result.front);
+  expect_report_matches_injector(p);
+}
+
+}  // namespace
+}  // namespace anadex::robust
