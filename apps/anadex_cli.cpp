@@ -5,11 +5,15 @@
 //       List the 20 graded circuit specifications.
 //   anadex explore [--algo tpg|localonly|sacga|mesacga|island|wsum|spea2]
 //                  [--spec 1..20|chosen] [--generations N] [--population N]
-//                  [--partitions M] [--seed S] [--csv FILE] [--history]
-//                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
+//                  [--partitions M] [--seed S] [--threads T] [--csv FILE]
+//                  [--history] [--checkpoint FILE] [--checkpoint-every N]
+//                  [--resume]
 //       Run one design-space exploration and print the Pareto surface.
-//       With --checkpoint, the run state is snapshotted every N generations
-//       so an interrupted exploration can continue with --resume.
+//       --threads T evaluates each generation's offspring on T worker
+//       threads (0 = one per hardware thread); results are bit-identical
+//       for every thread count. With --checkpoint, the run state is
+//       snapshotted every N generations so an interrupted exploration can
+//       continue with --resume (also across different --threads values).
 //   anadex evaluate --genes g1,...,g15 [--spec ...]
 //       Datasheet of a single design vector (SI units).
 //   anadex simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]
@@ -22,6 +26,7 @@
 
 #include "common/args.hpp"
 #include "common/check.hpp"
+#include "engine/eval_engine.hpp"
 #include "expt/figures.hpp"
 #include "expt/runner.hpp"
 #include "problems/integrator_problem.hpp"
@@ -37,11 +42,14 @@ int usage() {
       "usage: anadex <specs|explore|evaluate|simulate|compare> [options]\n"
       "  specs                          list the 20 graded specifications\n"
       "  explore  --algo A --spec S --generations N [--population N]\n"
-      "           [--partitions M] [--seed S] [--csv FILE] [--history]\n"
-      "           [--checkpoint FILE] [--checkpoint-every N] [--resume]\n"
+      "           [--partitions M] [--seed S] [--threads T] [--csv FILE]\n"
+      "           [--history] [--checkpoint FILE] [--checkpoint-every N]\n"
+      "           [--resume]\n"
+      "           (--threads: evaluation workers; 0 = hardware count;\n"
+      "            results are identical for every thread count)\n"
       "  evaluate --genes g1,...,g15 [--spec S]\n"
       "  simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]\n"
-      "  compare  [--spec S] [--generations N] [--seed S]\n";
+      "  compare  [--spec S] [--generations N] [--seed S] [--threads T]\n";
   return 2;
 }
 
@@ -94,6 +102,7 @@ int cmd_explore(const ArgParser& args) {
   settings.population = static_cast<std::size_t>(args.get_int("population", 100));
   settings.partitions = static_cast<std::size_t>(args.get_int("partitions", 8));
   settings.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  settings.threads = static_cast<std::size_t>(args.get_int("threads", 1));
   settings.record_history = args.get_flag("history");
   settings.checkpoint_path = args.get("checkpoint", "");
   settings.checkpoint_every =
@@ -146,7 +155,10 @@ int cmd_evaluate(const ArgParser& args) {
   warn_unused(args);
   const auto design = problems::IntegratorProblem::decode(genes);
   const auto perf = problem.typical_performance(design);
-  const auto eval = problem.evaluated(genes);
+  // One-off evaluations go through the engine's single-item path too, so
+  // the engine is the library's only evaluation entry point.
+  const engine::EvalEngine eval_engine(problem);
+  const auto eval = eval_engine.evaluate(genes);
 
   std::printf("power            %.4f mW\n", perf.power * 1e3);
   std::printf("load capacitance %.3f pF\n", design.cload * 1e12);
@@ -189,6 +201,7 @@ int cmd_compare(const ArgParser& args) {
   settings.spec = spec_from_arg(args);
   settings.generations = static_cast<std::size_t>(args.get_int("generations", 800));
   settings.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  settings.threads = static_cast<std::size_t>(args.get_int("threads", 1));
   warn_unused(args);
 
   const problems::IntegratorProblem problem(settings.spec);

@@ -1,0 +1,127 @@
+// EvalEngine throughput: evaluations/second of IntegratorProblem batches
+// versus worker-thread count, plus a bit-identity cross-check of every
+// parallel run against the serial reference. Emits
+// BENCH_eval_throughput.json next to the working directory for the CI
+// artifact collector.
+//
+// Expect near-linear speedup up to the machine's core count; on a
+// single-core runner every row collapses to ~1x, which the JSON records
+// honestly via "hardware_threads".
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/eval_engine.hpp"
+#include "problems/integrator_problem.hpp"
+#include "problems/spec_suite.hpp"
+
+namespace {
+
+using namespace anadex;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kBatchSize = 256;  // one large generation's offspring
+constexpr std::size_t kRepeats = 8;      // timed batches per thread count
+
+std::vector<engine::Genome> make_genomes(const moga::Problem& problem) {
+  const auto bounds = problem.bounds();
+  Rng rng(42);
+  std::vector<engine::Genome> genomes(kBatchSize);
+  for (auto& genes : genomes) {
+    genes.resize(bounds.size());
+    for (std::size_t k = 0; k < bounds.size(); ++k) {
+      genes[k] = rng.uniform(bounds[k].lower, bounds[k].upper);
+    }
+  }
+  return genomes;
+}
+
+bool identical(const std::vector<moga::Evaluation>& a,
+               const std::vector<moga::Evaluation>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].objectives != b[i].objectives) return false;
+    if (a[i].violations != b[i].violations) return false;
+  }
+  return true;
+}
+
+struct Row {
+  std::size_t requested = 0;
+  std::size_t effective = 0;
+  double evals_per_sec = 0.0;
+  double speedup = 1.0;
+  bool bit_identical = true;
+};
+
+}  // namespace
+
+int main() {
+  const problems::IntegratorProblem problem(problems::chosen_spec());
+  const auto genomes = make_genomes(problem);
+
+  std::vector<moga::Evaluation> reference(kBatchSize);
+  std::vector<moga::Evaluation> out(kBatchSize);
+
+  std::printf("EvalEngine throughput, %zu-genome batches of '%s' (%zu repeats)\n\n",
+              kBatchSize, problem.name().c_str(), kRepeats);
+  std::printf("  threads  effective  evals/sec     speedup  bit-identical\n");
+
+  std::vector<Row> rows;
+  for (const std::size_t requested : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                      std::size_t{8}, std::size_t{0}}) {
+    const engine::EvalEngine eval(problem, requested);
+    eval.evaluate_batch(genomes, out);  // warm-up (first touch, page-in)
+
+    const auto start = Clock::now();
+    for (std::size_t r = 0; r < kRepeats; ++r) {
+      eval.evaluate_batch(genomes, out);
+    }
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+
+    Row row;
+    row.requested = requested;
+    row.effective = eval.threads();
+    row.evals_per_sec = static_cast<double>(kBatchSize * kRepeats) / elapsed.count();
+    if (requested == 1) {
+      reference = out;
+      rows.push_back(row);
+    } else {
+      row.speedup = row.evals_per_sec / rows.front().evals_per_sec;
+      row.bit_identical = identical(out, reference);
+      rows.push_back(row);
+    }
+    std::printf("  %7zu  %9zu  %11.0f  %6.2fx  %s\n", row.requested, row.effective,
+                row.evals_per_sec, row.speedup, row.bit_identical ? "yes" : "NO");
+  }
+
+  std::ofstream json("BENCH_eval_throughput.json");
+  json << "{\n"
+       << "  \"bench\": \"eval_throughput\",\n"
+       << "  \"problem\": \"" << problem.name() << "\",\n"
+       << "  \"batch_size\": " << kBatchSize << ",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"threads_requested\": " << row.requested
+         << ", \"threads_effective\": " << row.effective
+         << ", \"evals_per_sec\": " << row.evals_per_sec
+         << ", \"speedup_vs_serial\": " << row.speedup
+         << ", \"bit_identical\": " << (row.bit_identical ? "true" : "false") << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote BENCH_eval_throughput.json\n");
+
+  bool all_identical = true;
+  for (const Row& row : rows) all_identical = all_identical && row.bit_identical;
+  if (!all_identical) {
+    std::printf("ERROR: a parallel run diverged from the serial reference\n");
+    return 1;
+  }
+  return 0;
+}

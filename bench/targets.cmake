@@ -26,6 +26,11 @@ anadex_bench(modulator_validation)
 anadex_bench(ablation_schedule)
 anadex_bench(ablation_population)
 
+# EvalEngine evaluations/sec vs worker-thread count (plain chrono timing;
+# emits BENCH_eval_throughput.json).
+anadex_bench(eval_throughput)
+target_link_libraries(eval_throughput PRIVATE anadex::engine)
+
 # Wall-clock micro/overhead measurements use google-benchmark.
 anadex_bench(overhead_runtime)
 target_link_libraries(overhead_runtime PRIVATE benchmark::benchmark)

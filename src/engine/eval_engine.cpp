@@ -1,0 +1,145 @@
+#include "engine/eval_engine.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace anadex::engine {
+
+std::size_t EvalEngine::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+EvalEngine::EvalEngine(const moga::Problem& problem, std::size_t threads)
+    : problem_(problem), threads_(resolve_threads(threads)) {
+  if (threads_ <= 1) return;  // serial path: no pool
+  workers_.reserve(threads_);
+  for (std::size_t i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+EvalEngine::~EvalEngine() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void EvalEngine::evaluate_batch(std::span<const Genome> genomes,
+                                std::span<moga::Evaluation> out) const {
+  ANADEX_REQUIRE(genomes.size() == out.size(),
+                 "evaluate_batch: genome and result spans must have equal size");
+  std::vector<Item> items(genomes.size());
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    items[i] = Item{&genomes[i], &out[i]};
+  }
+  run_batch(items);
+}
+
+void EvalEngine::evaluate_members(std::span<moga::Individual> members) const {
+  std::vector<Item> items(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    items[i] = Item{&members[i].genes, &members[i].eval};
+  }
+  run_batch(items);
+}
+
+moga::Evaluation EvalEngine::evaluate(std::span<const double> genes) const {
+  return problem_.evaluated(genes);
+}
+
+void EvalEngine::run_serial(std::span<const Item> items) const {
+  // Same contract as the pooled path: attempt every item, then rethrow the
+  // lowest-index failure, so thread count never changes which items got
+  // their results written.
+  std::exception_ptr first_error;
+  for (const Item& item : items) {
+    try {
+      problem_.evaluate(*item.genes, *item.out);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void EvalEngine::process_item(std::size_t index) const {
+  const Item& item = items_[index];
+  try {
+    problem_.evaluate(*item.genes, *item.out);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_ || index < first_error_index_) {
+      first_error_ = std::current_exception();
+      first_error_index_ = index;
+    }
+  }
+}
+
+void EvalEngine::run_batch(std::span<const Item> items) const {
+  if (items.empty()) return;
+  if (workers_.empty() || items.size() == 1) {
+    run_serial(items);
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  items_ = items.data();
+  item_count_ = items.size();
+  next_item_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  first_error_ = nullptr;
+  first_error_index_ = std::numeric_limits<std::size_t>::max();
+  ++batch_seq_;
+  lock.unlock();
+  work_ready_.notify_all();
+
+  lock.lock();
+  batch_done_.wait(lock, [&] {
+    return active_ == 0 && completed_.load(std::memory_order_acquire) == item_count_;
+  });
+  items_ = nullptr;
+  item_count_ = 0;
+  const std::exception_ptr error = std::exchange(first_error_, nullptr);
+  lock.unlock();
+
+  if (error) std::rethrow_exception(error);
+}
+
+void EvalEngine::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] { return stopping_ || batch_seq_ != seen; });
+      if (stopping_) return;
+      seen = batch_seq_;
+      ++active_;
+    }
+
+    const std::size_t count = item_count_;  // stable while this batch runs
+    for (;;) {
+      const std::size_t index = next_item_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      process_item(index);
+      completed_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (active_ == 0 && completed_.load(std::memory_order_acquire) == count) {
+        batch_done_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace anadex::engine

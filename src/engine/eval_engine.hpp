@@ -1,0 +1,121 @@
+// EvalEngine — the batch evaluation seam between the evolvers and a
+// Problem, with an optional fixed-size worker pool behind it.
+//
+// Every algorithm in the library evaluates offspring through one of these
+// per run: it collects a generation's genomes into a single
+// evaluate_batch() call instead of looping Problem::evaluate(), which is
+// the API future scaling work (sharding, async islands, remote evaluators,
+// surrogate caching) plugs into.
+//
+// Determinism contract: results are written by ITEM INDEX, never by
+// completion order, and a Problem must be deterministic per genome, so a
+// batch produces bit-identical Evaluations for every thread count —
+// threads = 1 (serial, the pre-engine path), threads = N, and threads = 0
+// (one worker per hardware thread) all agree. If items throw, the
+// exception of the lowest-index faulting item is rethrown once the batch
+// has been fully attempted, again independent of scheduling. See
+// docs/engine.md.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "moga/individual.hpp"
+#include "moga/problem.hpp"
+
+namespace anadex::engine {
+
+/// One candidate genome, as submitted for evaluation.
+using Genome = std::vector<double>;
+
+/// Anything that can evaluate a batch of genomes into a parallel span of
+/// results. EvalEngine is the in-process implementation; remote or
+/// surrogate-backed evaluators implement the same interface.
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Fills out[i] with the evaluation of genomes[i]. Spans must be the
+  /// same size. Implementations must be deterministic: the result for a
+  /// genome may not depend on the other batch members or on scheduling.
+  virtual void evaluate_batch(std::span<const Genome> genomes,
+                              std::span<moga::Evaluation> out) const = 0;
+};
+
+/// Batch evaluator over a moga::Problem with an owned fixed-size worker
+/// pool. The problem must be safe to evaluate from several threads
+/// concurrently (the library's problems are stateless; GuardedProblem
+/// synchronizes its fault accounting internally).
+class EvalEngine final : public Evaluator {
+ public:
+  /// `threads`: 1 = serial on the calling thread (no pool is spawned),
+  /// 0 = one worker per hardware thread, N = exactly N workers.
+  explicit EvalEngine(const moga::Problem& problem, std::size_t threads = 1);
+  ~EvalEngine() override;
+
+  EvalEngine(const EvalEngine&) = delete;
+  EvalEngine& operator=(const EvalEngine&) = delete;
+
+  const moga::Problem& problem() const { return problem_; }
+
+  /// Effective worker count (after resolving 0 to the hardware).
+  std::size_t threads() const { return threads_; }
+
+  void evaluate_batch(std::span<const Genome> genomes,
+                      std::span<moga::Evaluation> out) const override;
+
+  /// Batch-evaluates `members[i].genes` into `members[i].eval` — the shape
+  /// every evolver's generation loop needs.
+  void evaluate_members(std::span<moga::Individual> members) const;
+
+  /// The single-item path: a checked evaluation of one genome, identical
+  /// to Problem::evaluated(). One-off call sites (CLIs, archives, tests)
+  /// route through here so the engine is the only evaluation entry point.
+  moga::Evaluation evaluate(std::span<const double> genes) const;
+
+  /// Maps the user-facing `threads` knob to a worker count:
+  /// 0 -> hardware_concurrency (at least 1), otherwise unchanged.
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  /// One unit of batch work: a genome to evaluate and where the result goes.
+  struct Item {
+    const Genome* genes = nullptr;
+    moga::Evaluation* out = nullptr;
+  };
+
+  void run_batch(std::span<const Item> items) const;
+  void run_serial(std::span<const Item> items) const;
+  /// Evaluates items_[index], recording the lowest-index exception.
+  void process_item(std::size_t index) const;
+  void worker_loop();
+
+  const moga::Problem& problem_;
+  std::size_t threads_ = 1;
+
+  // Batch hand-off state. The caller publishes a batch under `mu_` and
+  // waits on `batch_done_`; workers claim items via the atomic cursor and
+  // write results by index. `item_count_`/`items_` only change while every
+  // worker is idle (active_ == 0), so workers may read them lock-free
+  // during a batch.
+  mutable std::mutex mu_;
+  mutable std::condition_variable work_ready_;
+  mutable std::condition_variable batch_done_;
+  mutable const Item* items_ = nullptr;
+  mutable std::size_t item_count_ = 0;
+  mutable std::atomic<std::size_t> next_item_{0};
+  mutable std::atomic<std::size_t> completed_{0};
+  mutable std::size_t active_ = 0;        ///< workers inside the current batch
+  mutable std::uint64_t batch_seq_ = 0;   ///< bumped per published batch
+  mutable std::exception_ptr first_error_;
+  mutable std::size_t first_error_index_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace anadex::engine

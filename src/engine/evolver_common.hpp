@@ -1,0 +1,39 @@
+// Knobs shared by every evolver's parameter struct.
+//
+// Each algorithm's *Params embeds these by inheritance
+// (`struct Nsga2Params : engine::EvolverCommon<Nsga2State>`), so call sites
+// keep writing `params.seed = ...` while generic code — expt::run's
+// checkpoint wiring, the determinism test matrix — can operate on any
+// algorithm through one `EvolverCommon<State>&`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace anadex::engine {
+
+/// Configuration common to every evolver: the RNG seed, the evaluation
+/// thread count, and the checkpoint/resume hooks. `State` is the
+/// algorithm's resumable-state type (e.g. moga::Nsga2State).
+template <class State>
+struct EvolverCommon {
+  std::uint64_t seed = 1;
+
+  /// Worker threads for batch genome evaluation: 1 = serial on the calling
+  /// thread (the default), 0 = one per hardware thread, N = exactly N
+  /// workers. Results are bit-identical for every value (see
+  /// docs/engine.md).
+  std::size_t threads = 1;
+
+  // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
+  /// Call on_snapshot every this many generations (0 disables).
+  std::size_t snapshot_every = 0;
+  std::function<void(const State&)> on_snapshot;
+  /// When set, skip initialization and continue from this state. The state
+  /// must come from a run with identical params; seed is ignored in favour
+  /// of the stored RNG state. Caller keeps the state alive for the run.
+  const State* resume = nullptr;
+};
+
+}  // namespace anadex::engine

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "engine/evolver_common.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/scalarize.hpp"
 #include "moga/spea2.hpp"
@@ -31,7 +32,7 @@ constexpr double kHvAxisRef = 5.1e-12;
 moga::GenerationCallback make_history_recorder(const RunSettings& settings,
                                                std::vector<HistoryPoint>& history) {
   if (!settings.record_history) return {};
-  const std::size_t stride = std::max<std::size_t>(settings.history_stride, 1);
+  const std::size_t stride = settings.history_stride;  // validated > 0
   return [&history, stride](std::size_t gen, const moga::Population& population) {
     if ((gen + 1) % stride != 0) return;
     const moga::Population front = moga::extract_global_front(population);
@@ -45,7 +46,9 @@ moga::GenerationCallback make_history_recorder(const RunSettings& settings,
 
 /// One-line digest of every knob not covered by CheckpointMeta's explicit
 /// fields. Compared verbatim on resume, so a checkpoint cannot silently
-/// continue under a different configuration.
+/// continue under a different configuration. `threads` is deliberately NOT
+/// part of the digest: results are thread-count invariant, so a run may be
+/// checkpointed with one thread count and resumed with another.
 std::string config_digest(const RunSettings& s) {
   std::ostringstream os;
   os << "partitions=" << s.partitions << " islands=" << s.islands << " migration="
@@ -65,7 +68,13 @@ void validate_run_settings(const RunSettings& s) {
   ANADEX_REQUIRE(s.population >= 4 && s.population % 2 == 0,
                  "run settings: population must be even and >= 4");
   ANADEX_REQUIRE(s.generations >= 1, "run settings: generations must be >= 1");
-  ANADEX_REQUIRE(s.history_stride > 0, "run settings: history_stride must be > 0");
+  // 0 means "one worker per hardware thread"; an explicit count is capped
+  // so a typo (e.g. threads=10000) cannot exhaust the process thread limit.
+  ANADEX_REQUIRE(s.threads <= 256, "run settings: threads must be in [0, 256] (0 = auto)");
+  if (s.record_history) {
+    ANADEX_REQUIRE(s.history_stride > 0,
+                   "run settings: history_stride must be > 0 when record_history is set");
+  }
   if (s.algo == Algo::LocalOnly || s.algo == Algo::SACGA) {
     ANADEX_REQUIRE(s.partitions >= 1, "run settings: partitions must be >= 1");
   }
@@ -91,8 +100,8 @@ void validate_run_settings(const RunSettings& s) {
   }
   if (!s.checkpoint_path.empty()) {
     ANADEX_REQUIRE(s.checkpoint_every > 0, "run settings: checkpoint_every must be > 0");
-    ANADEX_REQUIRE(s.algo != Algo::WeightedSum && s.algo != Algo::SPEA2,
-                   "run settings: checkpointing is not supported for WeightedSum/SPEA2");
+    ANADEX_REQUIRE(s.algo != Algo::WeightedSum,
+                   "run settings: checkpointing is not supported for WeightedSum");
   }
   if (s.resume) {
     ANADEX_REQUIRE(!s.checkpoint_path.empty(),
@@ -194,6 +203,32 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
     robust::write_checkpoint_file(settings.checkpoint_path, cp);
   };
 
+  // Wiring shared by every checkpointable algorithm: seed + thread count,
+  // the snapshot hook writing into the algorithm's Checkpoint slot, and the
+  // resume pointer. EvolverCommon gives all six algorithms one shape, so no
+  // per-algorithm special cases remain below.
+  const auto wire_common = [&]<class State>(engine::EvolverCommon<State>& common,
+                                            std::optional<State> robust::Checkpoint::*slot,
+                                            auto&& resumed_generation) {
+    common.seed = settings.seed;
+    common.threads = settings.threads;
+    if (checkpointing) {
+      common.snapshot_every = settings.checkpoint_every;
+      common.on_snapshot = [&write_cp, slot](const State& state) {
+        robust::Checkpoint cp;
+        cp.*slot = state;
+        write_cp(std::move(cp));
+      };
+    }
+    if (settings.resume) {
+      const std::optional<State>& stored = resume_cp.*slot;
+      ANADEX_REQUIRE(stored.has_value(),
+                     "checkpoint state does not match the requested algorithm");
+      common.resume = &*stored;
+      outcome.resumed_from_generation = resumed_generation(*stored);
+    }
+  };
+
   const auto start = Clock::now();
 
   moga::Population front;
@@ -202,21 +237,8 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       moga::Nsga2Params params;
       params.population_size = settings.population;
       params.generations = settings.generations;
-      params.seed = settings.seed;
-      if (checkpointing) {
-        params.snapshot_every = settings.checkpoint_every;
-        params.on_snapshot = [&](const moga::Nsga2State& state) {
-          robust::Checkpoint cp;
-          cp.nsga2 = state;
-          write_cp(std::move(cp));
-        };
-      }
-      if (settings.resume) {
-        ANADEX_REQUIRE(resume_cp.nsga2.has_value(),
-                       "checkpoint state does not match the requested algorithm");
-        params.resume = &*resume_cp.nsga2;
-        outcome.resumed_from_generation = resume_cp.nsga2->next_generation;
-      }
+      wire_common(params, &robust::Checkpoint::nsga2,
+                  [](const moga::Nsga2State& s) { return s.next_generation; });
       auto result = moga::run_nsga2(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
@@ -231,21 +253,8 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       params.axis_lo = 0.0;
       params.axis_hi = problems::kLoadMax;
       params.generations = settings.generations;
-      params.seed = settings.seed;
-      if (checkpointing) {
-        params.snapshot_every = settings.checkpoint_every;
-        params.on_snapshot = [&](const sacga::LocalOnlyState& state) {
-          robust::Checkpoint cp;
-          cp.local_only = state;
-          write_cp(std::move(cp));
-        };
-      }
-      if (settings.resume) {
-        ANADEX_REQUIRE(resume_cp.local_only.has_value(),
-                       "checkpoint state does not match the requested algorithm");
-        params.resume = &*resume_cp.local_only;
-        outcome.resumed_from_generation = resume_cp.local_only->evolver.generation;
-      }
+      wire_common(params, &robust::Checkpoint::local_only,
+                  [](const sacga::LocalOnlyState& s) { return s.evolver.generation; });
       auto result = sacga::run_local_only(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
@@ -264,21 +273,8 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
           settings.phase1_cap, std::max<std::size_t>(settings.generations / 4, 1));
       params.span = settings.generations;
       params.span_is_total_budget = true;
-      params.seed = settings.seed;
-      if (checkpointing) {
-        params.snapshot_every = settings.checkpoint_every;
-        params.on_snapshot = [&](const sacga::SacgaState& state) {
-          robust::Checkpoint cp;
-          cp.sacga = state;
-          write_cp(std::move(cp));
-        };
-      }
-      if (settings.resume) {
-        ANADEX_REQUIRE(resume_cp.sacga.has_value(),
-                       "checkpoint state does not match the requested algorithm");
-        params.resume = &*resume_cp.sacga;
-        outcome.resumed_from_generation = resume_cp.sacga->evolver.generation;
-      }
+      wire_common(params, &robust::Checkpoint::sacga,
+                  [](const sacga::SacgaState& s) { return s.evolver.generation; });
       auto result = sacga::run_sacga(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
@@ -304,21 +300,8 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
                        "MESACGA budget must exceed the phase-I cap");
         params.total_budget = settings.generations;
       }
-      params.seed = settings.seed;
-      if (checkpointing) {
-        params.snapshot_every = settings.checkpoint_every;
-        params.on_snapshot = [&](const sacga::MesacgaState& state) {
-          robust::Checkpoint cp;
-          cp.mesacga = state;
-          write_cp(std::move(cp));
-        };
-      }
-      if (settings.resume) {
-        ANADEX_REQUIRE(resume_cp.mesacga.has_value(),
-                       "checkpoint state does not match the requested algorithm");
-        params.resume = &*resume_cp.mesacga;
-        outcome.resumed_from_generation = resume_cp.mesacga->evolver.generation;
-      }
+      wire_common(params, &robust::Checkpoint::mesacga,
+                  [](const sacga::MesacgaState& s) { return s.evolver.generation; });
       auto result = sacga::run_mesacga(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
@@ -339,21 +322,8 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
           std::max<std::size_t>((settings.population / settings.islands) & ~1ULL, 4);
       params.generations = settings.generations;
       params.migration_interval = settings.migration_interval;
-      params.seed = settings.seed;
-      if (checkpointing) {
-        params.snapshot_every = settings.checkpoint_every;
-        params.on_snapshot = [&](const sacga::IslandState& state) {
-          robust::Checkpoint cp;
-          cp.island = state;
-          write_cp(std::move(cp));
-        };
-      }
-      if (settings.resume) {
-        ANADEX_REQUIRE(resume_cp.island.has_value(),
-                       "checkpoint state does not match the requested algorithm");
-        params.resume = &*resume_cp.island;
-        outcome.resumed_from_generation = resume_cp.island->next_generation;
-      }
+      wire_common(params, &robust::Checkpoint::island,
+                  [](const sacga::IslandState& s) { return s.next_generation; });
       auto result = sacga::run_island_ga(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
@@ -369,6 +339,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       params.generations_per_weight = std::max<std::size_t>(
           2 * settings.generations / settings.weight_count, 1);
       params.seed = settings.seed;
+      params.threads = settings.threads;
       auto result = moga::run_weighted_sum(guarded, params);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
@@ -380,7 +351,8 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       params.population_size = settings.population;
       params.archive_size = settings.population;
       params.generations = settings.generations;
-      params.seed = settings.seed;
+      wire_common(params, &robust::Checkpoint::spea2,
+                  [](const moga::Spea2State& s) { return s.next_generation; });
       auto result = moga::run_spea2(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;

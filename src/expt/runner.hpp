@@ -42,6 +42,11 @@ struct RunSettings {
   std::size_t phase1_cap = 200;
   std::size_t span = 0;                        ///< MESACGA per-phase span (0 = derive)
   std::uint64_t seed = 1;
+  /// Worker threads for batch genome evaluation: 1 = serial (default),
+  /// 0 = one per hardware thread, N = exactly N. Fronts, evaluation counts
+  /// and checkpoint files are bit-identical for every value, so a run may
+  /// be checkpointed under one thread count and resumed under another.
+  std::size_t threads = 1;
   bool record_history = false;
   std::size_t history_stride = 25;             ///< generations between history samples
 
@@ -49,8 +54,9 @@ struct RunSettings {
   /// robust::GuardedProblem); the defaults retry twice then penalize.
   robust::GuardPolicy guard;
 
-  // Checkpoint/resume (docs/robustness.md). Supported for TPG, LocalOnly,
-  // SACGA, MESACGA and Island; WeightedSum/SPEA2 reject a checkpoint path.
+  // Checkpoint/resume (docs/robustness.md). Supported for TPG, SPEA2,
+  // LocalOnly, SACGA, MESACGA and Island; WeightedSum rejects a checkpoint
+  // path.
   std::string checkpoint_path;         ///< empty = no checkpointing
   std::size_t checkpoint_every = 50;   ///< generations between snapshots
   bool resume = false;                 ///< continue from checkpoint_path
@@ -58,8 +64,9 @@ struct RunSettings {
 
 /// Validates `settings` with ANADEX_REQUIRE (population even and >= 4,
 /// partition/island counts sane, MESACGA schedule non-empty + strictly
-/// decreasing + ending in 1, history stride positive, checkpoint flags
-/// consistent). run() calls this first; exposed so CLIs can fail fast.
+/// decreasing + ending in 1, thread count within [0, 256], history stride
+/// positive when history is recorded, checkpoint flags consistent). run()
+/// calls this first; exposed so CLIs can fail fast.
 void validate_run_settings(const RunSettings& settings);
 
 /// One front design in physical units.

@@ -1,24 +1,15 @@
 #include "moga/nsga2.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/check.hpp"
+#include "engine/eval_engine.hpp"
 #include "moga/dominance.hpp"
 #include "moga/nds.hpp"
 #include "moga/selection.hpp"
 
 namespace anadex::moga {
-
-namespace {
-
-Individual make_individual(const Problem& problem, std::vector<double> genes) {
-  Individual ind;
-  ind.genes = std::move(genes);
-  problem.evaluate(ind.genes, ind.eval);
-  return ind;
-}
-
-}  // namespace
 
 Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
                       const GenerationCallback& on_generation) {
@@ -28,6 +19,7 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
   ANADEX_REQUIRE(bounds.size() == problem.num_variables(),
                  "problem bounds size must equal num_variables");
 
+  const engine::EvalEngine eval(problem, params.threads);
   Rng rng(params.seed);
   Nsga2Result result;
 
@@ -46,10 +38,9 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
     result.generations_run = state.next_generation;
     start_generation = state.next_generation;
   } else {
-    parents.reserve(params.population_size);
-    for (std::size_t i = 0; i < params.population_size; ++i) {
-      parents.push_back(make_individual(problem, random_genome(bounds, rng)));
-    }
+    parents.resize(params.population_size);
+    for (auto& parent : parents) parent.genes = random_genome(bounds, rng);
+    eval.evaluate_members(parents);
     result.evaluations += params.population_size;
 
     // Initial ranking so tournament preferences are defined from generation 0.
@@ -69,8 +60,13 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
     combined.reserve(2 * params.population_size);
     for (auto& p : parents) combined.push_back(std::move(p));
     for (auto& genes : offspring_genes) {
-      combined.push_back(make_individual(problem, std::move(genes)));
+      Individual child;
+      child.genes = std::move(genes);
+      combined.push_back(std::move(child));
     }
+    // One batch per generation: all offspring evaluated together.
+    eval.evaluate_members(
+        std::span<Individual>(combined).subspan(params.population_size));
     result.evaluations += params.population_size;
 
     fronts = fast_nondominated_sort(combined);

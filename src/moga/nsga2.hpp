@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "engine/evolver_common.hpp"
 #include "moga/individual.hpp"
 #include "moga/operators.hpp"
 #include "moga/problem.hpp"
@@ -24,21 +25,12 @@ struct Nsga2State {
   std::size_t evaluations = 0;      ///< cumulative evaluation count
 };
 
-/// Configuration of one NSGA-II run.
-struct Nsga2Params {
+/// Configuration of one NSGA-II run. Seed, evaluation threads and the
+/// checkpoint/resume hooks live in the EvolverCommon base.
+struct Nsga2Params : engine::EvolverCommon<Nsga2State> {
   std::size_t population_size = 100;  ///< must be even and >= 4
   std::size_t generations = 800;
   VariationParams variation;
-  std::uint64_t seed = 1;
-
-  // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
-  /// Call on_snapshot every this many generations (0 disables).
-  std::size_t snapshot_every = 0;
-  std::function<void(const Nsga2State&)> on_snapshot;
-  /// When set, skip initialization and continue from this state. The state
-  /// must come from a run with identical params; seed is ignored in favour
-  /// of the stored RNG state. Caller keeps the state alive for the run.
-  const Nsga2State* resume = nullptr;
 };
 
 /// Per-generation observer; receives the generation index (0-based, after

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <limits>
+#include <span>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "engine/eval_engine.hpp"
 #include "moga/dominance.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/selection.hpp"
@@ -48,6 +50,7 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
                  "population size must be even and >= 4");
 
   const auto bounds = problem.bounds();
+  const engine::EvalEngine eval(problem, params.threads);
   Rng master(params.seed);
   WeightedSumResult result;
 
@@ -69,14 +72,11 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
       }
     };
 
-    for (std::size_t i = 0; i < params.population_size; ++i) {
-      Individual ind;
-      ind.genes = random_genome(bounds, rng);
-      problem.evaluate(ind.genes, ind.eval);
-      ++result.evaluations;
-      track(ind);
-      pop.push_back(std::move(ind));
-    }
+    pop.resize(params.population_size);
+    for (auto& ind : pop) ind.genes = random_genome(bounds, rng);
+    eval.evaluate_members(pop);
+    result.evaluations += pop.size();
+    for (const auto& ind : pop) track(ind);
 
     auto spans = [&] {
       std::array<double, 2> s;
@@ -93,14 +93,18 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
           make_offspring(pop, bounds, params.variation, prefer, params.population_size, rng);
 
       Population pool = pop;
+      const std::size_t first_child = pool.size();
       for (auto& genes : offspring) {
         Individual child;
         child.genes = std::move(genes);
-        problem.evaluate(child.genes, child.eval);
-        ++result.evaluations;
-        track(child);
         pool.push_back(std::move(child));
       }
+      // One batch per generation; min/max range tracking commutes, so
+      // tracking after the batch matches the old per-evaluation order.
+      const auto children = std::span<Individual>(pool).subspan(first_child);
+      eval.evaluate_members(children);
+      result.evaluations += children.size();
+      for (const auto& child : children) track(child);
       const auto span2 = spans();
       std::sort(pool.begin(), pool.end(), [&](const Individual& a, const Individual& b) {
         return score(a, w, lo, span2).better_than(score(b, w, lo, span2));

@@ -22,6 +22,9 @@ struct WeightedSumParams {
   std::size_t generations_per_weight = 50;
   VariationParams variation;
   std::uint64_t seed = 1;
+  /// Worker threads for batch evaluation (same semantics as
+  /// engine::EvolverCommon::threads; results are thread-count invariant).
+  std::size_t threads = 1;
 };
 
 struct WeightedSumResult {

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "engine/eval_engine.hpp"
 #include "moga/dominance.hpp"
 #include "moga/selection.hpp"
 
@@ -109,21 +110,33 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
   ANADEX_REQUIRE(params.archive_size >= 2, "archive size must be >= 2");
 
   const auto bounds = problem.bounds();
+  const engine::EvalEngine eval(problem, params.threads);
   Rng rng(params.seed);
   Spea2Result result;
 
   Population population;
-  population.reserve(params.population_size);
-  for (std::size_t i = 0; i < params.population_size; ++i) {
-    Individual ind;
-    ind.genes = random_genome(bounds, rng);
-    problem.evaluate(ind.genes, ind.eval);
-    ++result.evaluations;
-    population.push_back(std::move(ind));
-  }
   Population archive;
+  std::size_t start_generation = 0;
+  if (params.resume != nullptr) {
+    const Spea2State& state = *params.resume;
+    ANADEX_REQUIRE(state.population.size() == params.population_size,
+                   "resume state population size does not match params");
+    ANADEX_REQUIRE(state.next_generation <= params.generations,
+                   "resume state is beyond the configured generation count");
+    population = state.population;
+    archive = state.archive;
+    rng.set_state(state.rng);
+    result.evaluations = state.evaluations;
+    result.generations_run = state.next_generation;
+    start_generation = state.next_generation;
+  } else {
+    population.resize(params.population_size);
+    for (auto& member : population) member.genes = random_genome(bounds, rng);
+    eval.evaluate_members(population);
+    result.evaluations += params.population_size;
+  }
 
-  for (std::size_t gen = 0; gen < params.generations; ++gen) {
+  for (std::size_t gen = start_generation; gen < params.generations; ++gen) {
     Population pool = archive;
     pool.insert(pool.end(), population.begin(), population.end());
 
@@ -166,13 +179,25 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
     for (auto& genes : offspring) {
       Individual child;
       child.genes = std::move(genes);
-      problem.evaluate(child.genes, child.eval);
-      ++result.evaluations;
       population.push_back(std::move(child));
     }
+    // One batch per generation: the whole offspring population at once.
+    eval.evaluate_members(population);
+    result.evaluations += population.size();
 
     ++result.generations_run;
     if (on_generation) on_generation(gen, archive);
+
+    if (params.snapshot_every > 0 && params.on_snapshot &&
+        (gen + 1) % params.snapshot_every == 0) {
+      Spea2State state;
+      state.population = population;
+      state.archive = archive;
+      state.rng = rng.state();
+      state.next_generation = gen + 1;
+      state.evaluations = result.evaluations;
+      params.on_snapshot(state);
+    }
   }
 
   result.front = extract_global_front(archive);

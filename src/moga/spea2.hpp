@@ -7,18 +7,32 @@
 
 #include <cstdint>
 
+#include "common/rng.hpp"
+#include "engine/evolver_common.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/operators.hpp"
 #include "moga/problem.hpp"
 
 namespace anadex::moga {
 
-struct Spea2Params {
+/// Everything needed to resume a SPEA2 run bit-identically: the current
+/// offspring population, the external archive, the full RNG state, and the
+/// cumulative counters.
+struct Spea2State {
+  Population population;  ///< offspring evaluated at the end of the last generation
+  Population archive;     ///< external archive after environmental selection
+  RngState rng;
+  std::size_t next_generation = 0;  ///< first generation index still to run
+  std::size_t evaluations = 0;      ///< cumulative evaluation count
+};
+
+/// Configuration of one SPEA2 run. Seed, evaluation threads and the
+/// checkpoint/resume hooks live in the EvolverCommon base.
+struct Spea2Params : engine::EvolverCommon<Spea2State> {
   std::size_t population_size = 100;  ///< even, >= 4
   std::size_t archive_size = 100;     ///< >= 2
   std::size_t generations = 800;
   VariationParams variation;
-  std::uint64_t seed = 1;
 };
 
 struct Spea2Result {

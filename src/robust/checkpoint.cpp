@@ -80,10 +80,11 @@ sacga::EvolverSnapshot read_evolver(LineReader& reader, std::istream& is) {
 }  // namespace
 
 std::string Checkpoint::state_kind() const {
-  const int present = (nsga2 ? 1 : 0) + (local_only ? 1 : 0) + (sacga ? 1 : 0) +
-                      (mesacga ? 1 : 0) + (island ? 1 : 0);
+  const int present = (nsga2 ? 1 : 0) + (spea2 ? 1 : 0) + (local_only ? 1 : 0) +
+                      (sacga ? 1 : 0) + (mesacga ? 1 : 0) + (island ? 1 : 0);
   ANADEX_REQUIRE(present == 1, "checkpoint must hold exactly one algorithm state");
   if (nsga2) return "nsga2";
+  if (spea2) return "spea2";
   if (local_only) return "local-only";
   if (sacga) return "sacga";
   if (mesacga) return "mesacga";
@@ -101,10 +102,10 @@ void save_checkpoint(std::ostream& os, const Checkpoint& cp) {
   const FaultReport& f = cp.faults;
   os << "faults " << f.exceptions << ' ' << f.non_finite << ' ' << f.wrong_arity << ' '
      << f.retries << ' ' << f.recovered << ' ' << f.penalized << '\n';
-  os << "fault-genes " << f.first_failure_genes.size();
-  for (double g : f.first_failure_genes) os << ' ' << exact(g);
+  os << "fault-genes " << f.failure_genes.size();
+  for (double g : f.failure_genes) os << ' ' << exact(g);
   os << '\n';
-  os << "fault-message " << one_line(f.first_failure_message) << '\n';
+  os << "fault-message " << one_line(f.failure_message) << '\n';
 
   os << "history " << cp.history.size() << '\n';
   for (const HistorySample& s : cp.history) {
@@ -117,6 +118,12 @@ void save_checkpoint(std::ostream& os, const Checkpoint& cp) {
     os << "nsga2 " << st.next_generation << ' ' << st.evaluations << '\n';
     write_rng(os, st.rng);
     moga::save_population_exact(os, st.parents);
+  } else if (cp.spea2) {
+    const auto& st = *cp.spea2;
+    os << "spea2 " << st.next_generation << ' ' << st.evaluations << '\n';
+    write_rng(os, st.rng);
+    moga::save_population_exact(os, st.population);
+    moga::save_population_exact(os, st.archive);
   } else if (cp.local_only) {
     write_evolver(os, cp.local_only->evolver);
   } else if (cp.sacga) {
@@ -170,11 +177,11 @@ Checkpoint load_checkpoint(std::istream& is) {
   const auto genes = reader.record("fault-genes", 1);
   const std::size_t n_genes = parse_u64(genes[1]);
   ANADEX_REQUIRE(genes.size() >= 2 + n_genes, "checkpoint: truncated fault-genes record");
-  cp.faults.first_failure_genes.resize(n_genes);
+  cp.faults.failure_genes.resize(n_genes);
   for (std::size_t i = 0; i < n_genes; ++i) {
-    cp.faults.first_failure_genes[i] = parse_double(genes[2 + i]);
+    cp.faults.failure_genes[i] = parse_double(genes[2 + i]);
   }
-  cp.faults.first_failure_message = keyword_rest(reader, "fault-message");
+  cp.faults.failure_message = keyword_rest(reader, "fault-message");
 
   const auto history = reader.record("history", 1);
   const std::size_t n_samples = parse_u64(history[1]);
@@ -198,6 +205,15 @@ Checkpoint load_checkpoint(std::istream& is) {
     st.rng = read_rng(reader);
     st.parents = moga::load_population_exact(is);
     cp.nsga2 = std::move(st);
+  } else if (kind == "spea2") {
+    moga::Spea2State st;
+    const auto toks = reader.record("spea2", 2);
+    st.next_generation = parse_u64(toks[1]);
+    st.evaluations = parse_u64(toks[2]);
+    st.rng = read_rng(reader);
+    st.population = moga::load_population_exact(is);
+    st.archive = moga::load_population_exact(is);
+    cp.spea2 = std::move(st);
   } else if (kind == "local-only") {
     sacga::LocalOnlyState st;
     st.evolver = read_evolver(reader, is);

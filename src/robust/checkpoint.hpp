@@ -16,7 +16,7 @@
 //   fault-message [text...]
 //   history <count>
 //   sample <generation> <front_area> <front_size>     (x count)
-//   state <nsga2|local-only|sacga|mesacga|island>
+//   state <nsga2|spea2|local-only|sacga|mesacga|island>
 //   <state-specific records; populations as embedded "anadex-population v2">
 //   end
 //
@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "moga/nsga2.hpp"
+#include "moga/spea2.hpp"
 #include "robust/fault.hpp"
 #include "sacga/island.hpp"
 #include "sacga/local_only.hpp"
@@ -69,12 +70,13 @@ struct Checkpoint {
   std::vector<HistorySample> history;
 
   std::optional<moga::Nsga2State> nsga2;
+  std::optional<moga::Spea2State> spea2;
   std::optional<sacga::LocalOnlyState> local_only;
   std::optional<sacga::SacgaState> sacga;
   std::optional<sacga::MesacgaState> mesacga;
   std::optional<sacga::IslandState> island;
 
-  /// Name of the state actually present ("nsga2", "local-only", ...).
+  /// Name of the state actually present ("nsga2", "spea2", "local-only", ...).
   std::string state_kind() const;
 };
 

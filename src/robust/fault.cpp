@@ -26,9 +26,39 @@ void FaultReport::count(FaultKind kind) {
 }
 
 void FaultReport::note_failure(std::span<const double> genes, const std::string& message) {
-  if (!first_failure_message.empty() || !first_failure_genes.empty()) return;
-  first_failure_genes.assign(genes.begin(), genes.end());
-  first_failure_message = message.empty() ? "(no message)" : message;
+  if (!failure_message.empty() || !failure_genes.empty()) return;
+  failure_genes.assign(genes.begin(), genes.end());
+  failure_message = message.empty() ? "(no message)" : message;
+}
+
+void FaultReport::merge(const FaultReport& other) {
+  exceptions += other.exceptions;
+  non_finite += other.non_finite;
+  wrong_arity += other.wrong_arity;
+  retries += other.retries;
+  recovered += other.recovered;
+  penalized += other.penalized;
+
+  const bool mine = !failure_message.empty() || !failure_genes.empty();
+  const bool theirs = !other.failure_message.empty() || !other.failure_genes.empty();
+  if (!theirs) return;
+  if (!mine) {
+    failure_genes = other.failure_genes;
+    failure_message = other.failure_message;
+    return;
+  }
+  // Both hold a sample: keep the canonical (lowest-hash) one so the merged
+  // report does not depend on merge order.
+  const std::uint64_t a = hash_genes(failure_genes, 0);
+  const std::uint64_t b = hash_genes(other.failure_genes, 0);
+  const bool replace =
+      b < a || (b == a && (other.failure_genes < failure_genes ||
+                           (other.failure_genes == failure_genes &&
+                            other.failure_message < failure_message)));
+  if (replace) {
+    failure_genes = other.failure_genes;
+    failure_message = other.failure_message;
+  }
 }
 
 std::string FaultReport::summary() const {
@@ -36,8 +66,8 @@ std::string FaultReport::summary() const {
   os << total_faults() << " fault(s): " << exceptions << " exception(s), " << non_finite
      << " non-finite, " << wrong_arity << " wrong-arity; " << retries << " retry(ies), "
      << recovered << " recovered, " << penalized << " penalized";
-  if (!first_failure_message.empty()) {
-    os << "; first: " << first_failure_message;
+  if (!failure_message.empty()) {
+    os << "; sample: " << failure_message;
   }
   return os.str();
 }

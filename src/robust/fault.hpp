@@ -37,9 +37,14 @@ struct FaultReport {
   std::size_t recovered = 0;    ///< faults healed by a retry
   std::size_t penalized = 0;    ///< evaluations replaced by penalty values
 
-  /// Genome and message of the first observed fault, for postmortems.
-  std::vector<double> first_failure_genes;
-  std::string first_failure_message;
+  /// Genome and message of the report's sample fault, for postmortems.
+  /// Within one report this is the first observed failure; when reports are
+  /// merge()d (batch evaluation accumulates one tally per call), the sample
+  /// kept is the one with the lowest genome hash, a canonical choice that
+  /// is independent of evaluation order — so fault reports are identical
+  /// for every thread count.
+  std::vector<double> failure_genes;
+  std::string failure_message;
 
   std::size_t total_faults() const { return exceptions + non_finite + wrong_arity; }
   bool any() const { return total_faults() > 0; }
@@ -48,6 +53,12 @@ struct FaultReport {
 
   /// Records the first failure's genome and message (later calls no-op).
   void note_failure(std::span<const double> genes, const std::string& message);
+
+  /// Accumulates `other` into this report: counters add; the retained
+  /// sample failure is the one whose genome hashes lower (ties broken by
+  /// gene values, then message), so merging in any order — and therefore
+  /// evaluating in any order — produces the same report.
+  void merge(const FaultReport& other);
 
   /// One-line human-readable summary of the counters.
   std::string summary() const;

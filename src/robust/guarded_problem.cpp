@@ -27,41 +27,52 @@ std::size_t GuardedProblem::num_objectives() const { return inner_->num_objectiv
 std::size_t GuardedProblem::num_constraints() const { return inner_->num_constraints(); }
 std::vector<moga::VariableBound> GuardedProblem::bounds() const { return bounds_; }
 
-bool GuardedProblem::try_evaluate(std::span<const double> genes, moga::Evaluation& out) const {
+FaultReport GuardedProblem::report() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return report_;
+}
+
+void GuardedProblem::set_report(FaultReport report) {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  report_ = std::move(report);
+}
+
+bool GuardedProblem::try_evaluate(std::span<const double> genes, moga::Evaluation& out,
+                                  FaultReport& tally) const {
   out.objectives.clear();
   out.violations.clear();
   try {
     inner_->evaluate(genes, out);
   } catch (const std::exception& e) {
-    report_.count(FaultKind::EvaluatorException);
-    report_.note_failure(genes, std::string("exception: ") + e.what());
+    tally.count(FaultKind::EvaluatorException);
+    tally.note_failure(genes, std::string("exception: ") + e.what());
     return false;
   } catch (...) {
-    report_.count(FaultKind::EvaluatorException);
-    report_.note_failure(genes, "exception: (non-standard exception)");
+    tally.count(FaultKind::EvaluatorException);
+    tally.note_failure(genes, "exception: (non-standard exception)");
     return false;
   }
 
   if (out.objectives.size() != inner_->num_objectives() ||
       out.violations.size() != inner_->num_constraints()) {
-    report_.count(FaultKind::WrongArity);
-    report_.note_failure(genes, "wrong arity: got " + std::to_string(out.objectives.size()) +
-                                    " objectives / " + std::to_string(out.violations.size()) +
-                                    " violations");
+    tally.count(FaultKind::WrongArity);
+    tally.note_failure(genes, "wrong arity: got " + std::to_string(out.objectives.size()) +
+                                  " objectives / " + std::to_string(out.violations.size()) +
+                                  " violations");
     return false;
   }
 
   for (double v : out.objectives) {
     if (!std::isfinite(v)) {
-      report_.count(FaultKind::NonFiniteValue);
-      report_.note_failure(genes, "non-finite objective");
+      tally.count(FaultKind::NonFiniteValue);
+      tally.note_failure(genes, "non-finite objective");
       return false;
     }
   }
   for (double v : out.violations) {
     if (!std::isfinite(v)) {
-      report_.count(FaultKind::NonFiniteValue);
-      report_.note_failure(genes, "non-finite violation");
+      tally.count(FaultKind::NonFiniteValue);
+      tally.note_failure(genes, "non-finite violation");
       return false;
     }
   }
@@ -69,37 +80,50 @@ bool GuardedProblem::try_evaluate(std::span<const double> genes, moga::Evaluatio
 }
 
 void GuardedProblem::evaluate(std::span<const double> genes, moga::Evaluation& out) const {
-  if (try_evaluate(genes, out)) return;
+  // Per-call fault tally, committed to the shared report in one critical
+  // section at the end. Clean evaluations — the overwhelmingly common case
+  // — return without ever touching the lock, so parallel batch evaluation
+  // does not serialize on the guard.
+  FaultReport tally;
+  const bool ok = [&] {
+    if (try_evaluate(genes, out, tally)) return true;
 
-  // Retry at slightly perturbed genomes. The perturbation stream is a pure
-  // function of (genes, attempt), so repeated evaluation of the same genome
-  // — including after a checkpoint/resume — replays identically.
-  std::vector<double> nudged(genes.begin(), genes.end());
-  for (std::size_t attempt = 1; attempt <= policy_.max_retries; ++attempt) {
-    ++report_.retries;
-    Rng rng(hash_genes(genes, policy_.seed + attempt));
-    for (std::size_t i = 0; i < nudged.size(); ++i) {
-      const auto& b = bounds_[i];
-      const double range = b.upper - b.lower;
-      const double delta = policy_.perturbation * range * (2.0 * rng.uniform() - 1.0);
-      nudged[i] = std::clamp(genes[i] + delta, b.lower, b.upper);
+    // Retry at slightly perturbed genomes. The perturbation stream is a
+    // pure function of (genes, attempt), so repeated evaluation of the same
+    // genome — including after a checkpoint/resume — replays identically.
+    std::vector<double> nudged(genes.begin(), genes.end());
+    for (std::size_t attempt = 1; attempt <= policy_.max_retries; ++attempt) {
+      ++tally.retries;
+      Rng rng(hash_genes(genes, policy_.seed + attempt));
+      for (std::size_t i = 0; i < nudged.size(); ++i) {
+        const auto& b = bounds_[i];
+        const double range = b.upper - b.lower;
+        const double delta = policy_.perturbation * range * (2.0 * rng.uniform() - 1.0);
+        nudged[i] = std::clamp(genes[i] + delta, b.lower, b.upper);
+      }
+      if (try_evaluate(nudged, out, tally)) {
+        ++tally.recovered;
+        return true;
+      }
     }
-    if (try_evaluate(nudged, out)) {
-      ++report_.recovered;
-      return;
-    }
-  }
 
-  // Give up: substitute a finite penalty evaluation that is marked
-  // infeasible, so constraint-domination ranks it below every genuinely
-  // evaluated design and selection drives it out of the population.
-  ++report_.penalized;
-  out.objectives.assign(inner_->num_objectives(), policy_.penalty_objective);
-  // Constrained problems additionally get maximal violations, so Deb's
-  // constraint-domination ranks the design below every genuinely evaluated
-  // one. Unconstrained problems must keep violations empty (arity contract);
-  // there the penalty objectives alone carry the signal.
-  out.violations.assign(inner_->num_constraints(), policy_.penalty_violation);
+    // Give up: substitute a finite penalty evaluation that is marked
+    // infeasible, so constraint-domination ranks it below every genuinely
+    // evaluated design and selection drives it out of the population.
+    ++tally.penalized;
+    out.objectives.assign(inner_->num_objectives(), policy_.penalty_objective);
+    // Constrained problems additionally get maximal violations, so Deb's
+    // constraint-domination ranks the design below every genuinely evaluated
+    // one. Unconstrained problems must keep violations empty (arity
+    // contract); there the penalty objectives alone carry the signal.
+    out.violations.assign(inner_->num_constraints(), policy_.penalty_violation);
+    return false;
+  }();
+  (void)ok;
+
+  if (tally.total_faults() == 0 && tally.retries == 0) return;
+  std::lock_guard<std::mutex> lock(report_mu_);
+  report_.merge(tally);
 }
 
 }  // namespace anadex::robust

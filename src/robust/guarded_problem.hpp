@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,14 @@ struct GuardPolicy {
 /// the genome (hash_genes), so the wrapper remains deterministic — the same
 /// genes always yield the same evaluation — preserving the Problem contract
 /// and checkpoint/resume bit-reproducibility.
+///
+/// Thread-safety: evaluate() may be called concurrently (the
+/// engine::EvalEngine worker pool does). Each call accumulates its faults
+/// in a local tally and commits it to the shared report in one short
+/// critical section; clean evaluations never take the lock. Counter totals
+/// are order-independent sums and the sample failure is canonicalized by
+/// genome hash (FaultReport::merge), so the report — and therefore every
+/// checkpoint file — is bit-identical for any thread count.
 class GuardedProblem final : public moga::Problem {
  public:
   GuardedProblem(std::shared_ptr<const moga::Problem> inner, GuardPolicy policy);
@@ -49,21 +58,23 @@ class GuardedProblem final : public moga::Problem {
   const moga::Problem& inner() const { return *inner_; }
   const GuardPolicy& policy() const { return policy_; }
 
-  /// Faults observed so far. Mutable across const evaluate() calls.
-  const FaultReport& report() const { return report_; }
+  /// Faults observed so far (a snapshot taken under the report lock).
+  FaultReport report() const;
 
   /// Replaces the accumulated report (used when resuming from a checkpoint
   /// so fault totals stay cumulative across the whole logical run).
-  void set_report(FaultReport report) { report_ = std::move(report); }
+  void set_report(FaultReport report);
 
  private:
   /// One evaluation attempt; returns true on a clean result, false after
-  /// recording the fault in `report_`.
-  bool try_evaluate(std::span<const double> genes, moga::Evaluation& out) const;
+  /// recording the fault in `tally`.
+  bool try_evaluate(std::span<const double> genes, moga::Evaluation& out,
+                    FaultReport& tally) const;
 
   std::shared_ptr<const moga::Problem> inner_;
   GuardPolicy policy_;
   std::vector<moga::VariableBound> bounds_;
+  mutable std::mutex report_mu_;
   mutable FaultReport report_;
 };
 

@@ -4,23 +4,32 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "engine/eval_engine.hpp"
 #include "moga/operators.hpp"
 
 namespace anadex::sacga {
 
 AxisEstimate estimate_axis_range(const moga::Problem& problem, std::size_t axis_objective,
-                                 std::size_t samples, Rng& rng, double padding) {
+                                 std::size_t samples, Rng& rng, double padding,
+                                 std::size_t threads) {
   ANADEX_REQUIRE(axis_objective < problem.num_objectives(),
                  "axis objective out of range for this problem");
   ANADEX_REQUIRE(samples >= 2, "axis estimation needs at least two samples");
   ANADEX_REQUIRE(padding >= 0.0, "padding must be non-negative");
 
   const auto bounds = problem.bounds();
+  std::vector<engine::Genome> genomes;
+  genomes.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    genomes.push_back(moga::random_genome(bounds, rng));
+  }
+  std::vector<moga::Evaluation> evals(samples);
+  const engine::EvalEngine eval_engine(problem, threads);
+  eval_engine.evaluate_batch(genomes, evals);
+
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < samples; ++i) {
-    const auto genes = moga::random_genome(bounds, rng);
-    const auto eval = problem.evaluated(genes);
+  for (const auto& eval : evals) {
     lo = std::min(lo, eval.objectives[axis_objective]);
     hi = std::max(hi, eval.objectives[axis_objective]);
   }

@@ -19,8 +19,11 @@ struct AxisEstimate {
 /// Estimates the range of objective `axis_objective` from `samples` random
 /// evaluations, padded by `padding` (relative to the observed span) on each
 /// side so early evolution does not immediately clamp into the edge bins.
-/// Requires samples >= 2; throws if the objective never varies.
+/// The samples are evaluated as one engine batch (`threads` has
+/// engine::EvolverCommon semantics; the estimate is thread-count
+/// invariant). Requires samples >= 2; throws if the objective never varies.
 AxisEstimate estimate_axis_range(const moga::Problem& problem, std::size_t axis_objective,
-                                 std::size_t samples, Rng& rng, double padding = 0.05);
+                                 std::size_t samples, Rng& rng, double padding = 0.05,
+                                 std::size_t threads = 1);
 
 }  // namespace anadex::sacga

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "engine/eval_engine.hpp"
 #include "moga/nds.hpp"
 #include "moga/selection.hpp"
 
@@ -12,28 +14,10 @@ namespace anadex::sacga {
 
 namespace {
 
-/// One NSGA-II elitist generation over a single island.
-void evolve_island(const moga::Problem& problem, moga::Population& island,
-                   const std::vector<moga::VariableBound>& bounds,
-                   const moga::VariationParams& variation, Rng& rng,
-                   std::size_t& evaluations) {
-  const moga::Preference prefer = [](const moga::Individual& a, const moga::Individual& b) {
-    return moga::crowded_less(a, b);
-  };
-  const std::size_t n = island.size();
-  auto offspring = moga::make_offspring(island, bounds, variation, prefer, n, rng);
-
-  moga::Population pool;
-  pool.reserve(2 * n);
-  for (auto& p : island) pool.push_back(std::move(p));
-  for (auto& genes : offspring) {
-    moga::Individual child;
-    child.genes = std::move(genes);
-    problem.evaluate(child.genes, child.eval);
-    ++evaluations;
-    pool.push_back(std::move(child));
-  }
-
+/// NSGA-II elitist survivor selection over one island's parent+offspring
+/// pool (all members already evaluated).
+void select_island_survivors(moga::Population& island, moga::Population&& pool,
+                             std::size_t n) {
   auto fronts = moga::fast_nondominated_sort(pool);
   for (const auto& front : fronts) moga::assign_crowding(pool, front);
 
@@ -105,6 +89,7 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
                  "cannot migrate more individuals than an island holds");
 
   const auto bounds = problem.bounds();
+  const engine::EvalEngine eval(problem, params.threads);
   Rng rng(params.seed);
   IslandResult result;
 
@@ -129,25 +114,55 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
     result.evaluations = state.evaluations;
     result.migrations = state.migrations;
   } else {
+    // Genomes are drawn per island (each from its private RNG, in island
+    // order) first, then evaluated in per-island batches.
     for (auto& island : islands) {
       island_rngs.push_back(rng.split());
-      island.reserve(params.island_population);
-      for (std::size_t i = 0; i < params.island_population; ++i) {
-        moga::Individual ind;
-        ind.genes = moga::random_genome(bounds, island_rngs.back());
-        problem.evaluate(ind.genes, ind.eval);
-        ++result.evaluations;
-        island.push_back(std::move(ind));
+      island.resize(params.island_population);
+      for (auto& member : island) {
+        member.genes = moga::random_genome(bounds, island_rngs.back());
       }
+    }
+    for (auto& island : islands) {
+      eval.evaluate_members(island);
+      result.evaluations += island.size();
+    }
+    for (auto& island : islands) {
       auto fronts = moga::fast_nondominated_sort(island);
       for (const auto& front : fronts) moga::assign_crowding(island, front);
     }
   }
 
+  const moga::Preference prefer = [](const moga::Individual& a, const moga::Individual& b) {
+    return moga::crowded_less(a, b);
+  };
+
   for (std::size_t gen = start_generation; gen < params.generations; ++gen) {
+    // Stage 1: every island breeds offspring from its own RNG stream.
+    const std::size_t n = params.island_population;
+    moga::Population children;
+    children.reserve(islands.size() * n);
     for (std::size_t i = 0; i < islands.size(); ++i) {
-      evolve_island(problem, islands[i], bounds, params.variation, island_rngs[i],
-                    result.evaluations);
+      auto offspring = moga::make_offspring(islands[i], bounds, params.variation, prefer, n,
+                                            island_rngs[i]);
+      for (auto& genes : offspring) {
+        moga::Individual child;
+        child.genes = std::move(genes);
+        children.push_back(std::move(child));
+      }
+    }
+
+    // Stage 2: one evaluation batch spanning ALL islands' offspring.
+    eval.evaluate_members(children);
+    result.evaluations += children.size();
+
+    // Stage 3: per-island elitist survivor selection.
+    for (std::size_t i = 0; i < islands.size(); ++i) {
+      moga::Population pool;
+      pool.reserve(2 * n);
+      for (auto& p : islands[i]) pool.push_back(std::move(p));
+      for (std::size_t k = 0; k < n; ++k) pool.push_back(std::move(children[i * n + k]));
+      select_island_survivors(islands[i], std::move(pool), n);
     }
     if ((gen + 1) % params.migration_interval == 0) {
       migrate(islands, params.migrants);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "engine/evolver_common.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/operators.hpp"
 #include "moga/problem.hpp"
@@ -30,19 +31,17 @@ struct IslandState {
   std::size_t migrations = 0;
 };
 
-struct IslandParams {
+/// Configuration of an island-GA run. Seed, evaluation threads and the
+/// checkpoint/resume hooks live in the EvolverCommon base. Offspring of ALL
+/// islands are evaluated as one batch per generation, so the worker pool
+/// stays busy even with small per-island populations.
+struct IslandParams : engine::EvolverCommon<IslandState> {
   std::size_t islands = 4;             ///< sub-population count (>= 2)
   std::size_t island_population = 25;  ///< members per island (even, >= 4)
   std::size_t generations = 800;
   std::size_t migration_interval = 25; ///< generations between migrations
   std::size_t migrants = 2;            ///< individuals sent to the next island
   moga::VariationParams variation;
-  std::uint64_t seed = 1;
-
-  // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
-  std::size_t snapshot_every = 0;  ///< 0 disables snapshots
-  std::function<void(const IslandState&)> on_snapshot;
-  const IslandState* resume = nullptr;  ///< caller keeps it alive for the run
 };
 
 struct IslandResult {

@@ -11,6 +11,7 @@ LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyPara
   EvolverParams evolver_params;
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
+  evolver_params.threads = params.threads;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "engine/evolver_common.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/problem.hpp"
 #include "sacga/partitioned_evolver.hpp"
@@ -19,7 +20,9 @@ struct LocalOnlyState {
   EvolverSnapshot evolver;
 };
 
-struct LocalOnlyParams {
+/// Configuration of a LocalOnly run. Seed, evaluation threads and the
+/// checkpoint/resume hooks live in the EvolverCommon base.
+struct LocalOnlyParams : engine::EvolverCommon<LocalOnlyState> {
   std::size_t population_size = 100;
   std::size_t partitions = 8;
   std::size_t axis_objective = 1;
@@ -27,12 +30,6 @@ struct LocalOnlyParams {
   double axis_hi = 1.0;
   std::size_t generations = 800;
   moga::VariationParams variation;
-  std::uint64_t seed = 1;
-
-  // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
-  std::size_t snapshot_every = 0;  ///< 0 disables snapshots
-  std::function<void(const LocalOnlyState&)> on_snapshot;
-  const LocalOnlyState* resume = nullptr;  ///< caller keeps it alive for the run
 };
 
 struct LocalOnlyResult {

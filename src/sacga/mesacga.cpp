@@ -23,6 +23,7 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   EvolverParams evolver_params;
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
+  evolver_params.threads = params.threads;
 
   std::optional<PartitionedEvolver> engine;
   MesacgaResult result;

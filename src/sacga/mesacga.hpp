@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "engine/evolver_common.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/problem.hpp"
 #include "sacga/sacga.hpp"
@@ -33,7 +34,9 @@ struct MesacgaState {
   std::vector<PhaseSnapshot> phases;
 };
 
-struct MesacgaParams {
+/// Configuration of a MESACGA run. Seed, evaluation threads and the
+/// checkpoint/resume hooks live in the EvolverCommon base.
+struct MesacgaParams : engine::EvolverCommon<MesacgaState> {
   std::size_t population_size = 100;
   /// Partition count per phase; must be non-increasing and end with >= 1.
   std::vector<std::size_t> partition_schedule{20, 13, 8, 5, 3, 2, 1};
@@ -59,12 +62,6 @@ struct MesacgaParams {
   double t_init = 100.0;
   ScheduleShape shape;
   moga::VariationParams variation;
-  std::uint64_t seed = 1;
-
-  // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
-  std::size_t snapshot_every = 0;  ///< 0 disables snapshots
-  std::function<void(const MesacgaState&)> on_snapshot;
-  const MesacgaState* resume = nullptr;  ///< caller keeps it alive for the run
 };
 
 /// Snapshot taken at the end of each MESACGA phase (used for paper Fig 10).

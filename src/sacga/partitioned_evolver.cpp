@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 
 #include "common/check.hpp"
 #include "moga/nds.hpp"
@@ -14,6 +15,7 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
                                        Partitioner partitioner, std::uint64_t seed)
     : problem_(problem),
       params_(params),
+      engine_(problem, params.threads),
       partitioner_(std::move(partitioner)),
       bounds_(problem.bounds()),
       rng_(seed),
@@ -23,13 +25,10 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
   ANADEX_REQUIRE(partitioner_.axis_objective() < problem.num_objectives(),
                  "partition axis must be a valid objective index");
 
-  population_.reserve(params.population_size);
-  for (std::size_t i = 0; i < params.population_size; ++i) {
-    moga::Individual ind;
-    ind.genes = moga::random_genome(bounds_, rng_);
-    evaluate_into(ind);
-    population_.push_back(std::move(ind));
-  }
+  population_.resize(params.population_size);
+  for (auto& member : population_) member.genes = moga::random_genome(bounds_, rng_);
+  engine_.evaluate_members(population_);
+  evaluations_ += population_.size();
   // Pure-local initial ranking so tournaments are defined before step().
   rank_pool(population_, info_, [](std::size_t) { return 0.0; });
 }
@@ -38,6 +37,7 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
                                        Partitioner partitioner, const EvolverSnapshot& snapshot)
     : problem_(problem),
       params_(params),
+      engine_(problem, params.threads),
       partitioner_(std::move(partitioner)),
       bounds_(problem.bounds()),
       rng_(1),
@@ -72,11 +72,6 @@ EvolverSnapshot PartitionedEvolver::snapshot() const {
   s.evaluations = evaluations_;
   s.generation = generation_;
   return s;
-}
-
-void PartitionedEvolver::evaluate_into(moga::Individual& individual) {
-  problem_.evaluate(individual.genes, individual.eval);
-  ++evaluations_;
 }
 
 void PartitionedEvolver::rank_pool(moga::Population& pool, std::vector<MemberInfo>& info,
@@ -144,9 +139,12 @@ void PartitionedEvolver::step(const ParticipationProbability& prob) {
   for (auto& genes : offspring_genes) {
     moga::Individual child;
     child.genes = std::move(genes);
-    evaluate_into(child);
     pool.push_back(std::move(child));
   }
+  // One batch per generation: all offspring evaluated together.
+  engine_.evaluate_members(
+      std::span<moga::Individual>(pool).subspan(params_.population_size));
+  evaluations_ += params_.population_size;
 
   std::vector<MemberInfo> info;
   rank_pool(pool, info, prob);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "engine/eval_engine.hpp"
 #include "moga/individual.hpp"
 #include "moga/operators.hpp"
 #include "moga/problem.hpp"
@@ -40,6 +41,9 @@ namespace anadex::sacga {
 struct EvolverParams {
   std::size_t population_size = 100;  ///< must be even and >= 4
   moga::VariationParams variation;
+  /// Worker threads for batch evaluation (engine::EvolverCommon semantics:
+  /// 1 = serial, 0 = hardware, N = exactly N; results are invariant).
+  std::size_t threads = 1;
 };
 
 /// Probability that the i-th (1-based) locally-superior solution of a
@@ -115,7 +119,6 @@ class PartitionedEvolver {
     bool discarded_partition = false;
   };
 
-  void evaluate_into(moga::Individual& individual);
   /// Ranks `pool` (partition assignment, local NDS + crowding, global rank
   /// revision with the given policy); fills `info` parallel to `pool`.
   void rank_pool(moga::Population& pool, std::vector<MemberInfo>& info,
@@ -123,6 +126,7 @@ class PartitionedEvolver {
 
   const moga::Problem& problem_;
   EvolverParams params_;
+  engine::EvalEngine engine_;
   Partitioner partitioner_;
   std::vector<moga::VariableBound> bounds_;
   Rng rng_;

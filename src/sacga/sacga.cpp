@@ -31,6 +31,7 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
   EvolverParams evolver_params;
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
+  evolver_params.threads = params.threads;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "engine/evolver_common.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/problem.hpp"
 #include "sacga/partitioned_evolver.hpp"
@@ -31,7 +32,9 @@ struct SacgaState {
   std::size_t phase1_generations = 0;
 };
 
-struct SacgaParams {
+/// Configuration of a SACGA run. Seed, evaluation threads and the
+/// checkpoint/resume hooks live in the EvolverCommon base.
+struct SacgaParams : engine::EvolverCommon<SacgaState> {
   std::size_t population_size = 100;
   std::size_t partitions = 8;
   std::size_t axis_objective = 1;  ///< objective whose range is partitioned
@@ -48,12 +51,6 @@ struct SacgaParams {
   double t_init = 100.0;                     ///< eqn 4's T_init
   ScheduleShape shape;                       ///< shaping targets for k1/k2/k3
   moga::VariationParams variation;
-  std::uint64_t seed = 1;
-
-  // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
-  std::size_t snapshot_every = 0;  ///< 0 disables snapshots
-  std::function<void(const SacgaState&)> on_snapshot;
-  const SacgaState* resume = nullptr;  ///< caller keeps it alive for the run
 };
 
 struct SacgaResult {

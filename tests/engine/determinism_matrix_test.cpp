@@ -1,0 +1,259 @@
+// The determinism matrix (docs/engine.md): every evolver must produce a
+// bit-identical final population, front and evaluation count for every
+// evaluation thread count, and a checkpoint taken under one thread count
+// must resume bit-identically under another — `threads` is an execution
+// knob, never part of the result.
+#include <cstddef>
+#include <sstream>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "moga/nsga2.hpp"
+#include "moga/scalarize.hpp"
+#include "moga/serialize.hpp"
+#include "moga/spea2.hpp"
+#include "problems/analytic.hpp"
+#include "sacga/island.hpp"
+#include "sacga/local_only.hpp"
+#include "sacga/mesacga.hpp"
+#include "sacga/sacga.hpp"
+
+namespace anadex::engine {
+namespace {
+
+const std::size_t kThreadMatrix[] = {2, 8};
+
+std::string exact_bytes(const moga::Population& population) {
+  std::ostringstream os;
+  moga::save_population_exact(os, population);
+  return os.str();
+}
+
+// ---- threads in {1, 2, 8} produce identical results -----------------------
+
+TEST(DeterminismMatrix, Nsga2IsThreadCountInvariant) {
+  const auto problem = problems::make_kur();
+  moga::Nsga2Params params;
+  params.population_size = 16;
+  params.generations = 10;
+  params.seed = 5;
+  const auto serial = moga::run_nsga2(*problem, params);  // threads = 1
+  for (const std::size_t threads : kThreadMatrix) {
+    params.threads = threads;
+    const auto parallel = moga::run_nsga2(*problem, params);
+    EXPECT_EQ(exact_bytes(parallel.population), exact_bytes(serial.population))
+        << "threads = " << threads;
+    EXPECT_EQ(exact_bytes(parallel.front), exact_bytes(serial.front));
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+  }
+}
+
+TEST(DeterminismMatrix, Spea2IsThreadCountInvariant) {
+  const auto problem = problems::make_kur();
+  moga::Spea2Params params;
+  params.population_size = 16;
+  params.archive_size = 12;
+  params.generations = 10;
+  params.seed = 5;
+  const auto serial = moga::run_spea2(*problem, params);
+  for (const std::size_t threads : kThreadMatrix) {
+    params.threads = threads;
+    const auto parallel = moga::run_spea2(*problem, params);
+    EXPECT_EQ(exact_bytes(parallel.archive), exact_bytes(serial.archive))
+        << "threads = " << threads;
+    EXPECT_EQ(exact_bytes(parallel.front), exact_bytes(serial.front));
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+  }
+}
+
+TEST(DeterminismMatrix, LocalOnlyIsThreadCountInvariant) {
+  const auto problem = problems::make_sch();
+  sacga::LocalOnlyParams params;
+  params.population_size = 16;
+  params.partitions = 4;
+  params.axis_objective = 0;
+  params.axis_lo = 0.0;
+  params.axis_hi = 4.0;
+  params.generations = 10;
+  params.seed = 7;
+  const auto serial = sacga::run_local_only(*problem, params);
+  for (const std::size_t threads : kThreadMatrix) {
+    params.threads = threads;
+    const auto parallel = sacga::run_local_only(*problem, params);
+    EXPECT_EQ(exact_bytes(parallel.population), exact_bytes(serial.population))
+        << "threads = " << threads;
+    EXPECT_EQ(exact_bytes(parallel.front), exact_bytes(serial.front));
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+  }
+}
+
+TEST(DeterminismMatrix, SacgaIsThreadCountInvariant) {
+  const auto problem = problems::make_sch();
+  sacga::SacgaParams params;
+  params.population_size = 16;
+  params.partitions = 4;
+  params.axis_objective = 0;
+  params.axis_lo = 0.0;
+  params.axis_hi = 4.0;
+  params.phase1_max_generations = 6;
+  params.span = 16;
+  params.span_is_total_budget = true;
+  params.seed = 3;
+  const auto serial = sacga::run_sacga(*problem, params);
+  for (const std::size_t threads : kThreadMatrix) {
+    params.threads = threads;
+    const auto parallel = sacga::run_sacga(*problem, params);
+    EXPECT_EQ(exact_bytes(parallel.population), exact_bytes(serial.population))
+        << "threads = " << threads;
+    EXPECT_EQ(exact_bytes(parallel.front), exact_bytes(serial.front));
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+  }
+}
+
+TEST(DeterminismMatrix, MesacgaIsThreadCountInvariant) {
+  const auto problem = problems::make_sch();
+  sacga::MesacgaParams params;
+  params.population_size = 16;
+  params.partition_schedule = {4, 2, 1};
+  params.axis_objective = 0;
+  params.axis_lo = 0.0;
+  params.axis_hi = 4.0;
+  params.phase1_max_generations = 4;
+  params.span = 4;
+  params.seed = 11;
+  const auto serial = sacga::run_mesacga(*problem, params);
+  for (const std::size_t threads : kThreadMatrix) {
+    params.threads = threads;
+    const auto parallel = sacga::run_mesacga(*problem, params);
+    EXPECT_EQ(exact_bytes(parallel.population), exact_bytes(serial.population))
+        << "threads = " << threads;
+    EXPECT_EQ(exact_bytes(parallel.front), exact_bytes(serial.front));
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+  }
+}
+
+TEST(DeterminismMatrix, IslandGaIsThreadCountInvariant) {
+  const auto problem = problems::make_kur();
+  sacga::IslandParams params;
+  params.islands = 3;
+  params.island_population = 8;
+  params.generations = 9;
+  params.migration_interval = 4;
+  params.migrants = 1;
+  params.seed = 13;
+  const auto serial = sacga::run_island_ga(*problem, params);
+  for (const std::size_t threads : kThreadMatrix) {
+    params.threads = threads;
+    const auto parallel = sacga::run_island_ga(*problem, params);
+    EXPECT_EQ(exact_bytes(parallel.population), exact_bytes(serial.population))
+        << "threads = " << threads;
+    EXPECT_EQ(exact_bytes(parallel.front), exact_bytes(serial.front));
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+    EXPECT_EQ(parallel.migrations, serial.migrations);
+  }
+}
+
+TEST(DeterminismMatrix, WeightedSumIsThreadCountInvariant) {
+  const auto problem = problems::make_sch();
+  moga::WeightedSumParams params;
+  params.weight_count = 4;
+  params.population_size = 12;
+  params.generations_per_weight = 8;
+  params.seed = 17;
+  const auto serial = moga::run_weighted_sum(*problem, params);
+  for (const std::size_t threads : kThreadMatrix) {
+    params.threads = threads;
+    const auto parallel = moga::run_weighted_sum(*problem, params);
+    EXPECT_EQ(exact_bytes(parallel.front), exact_bytes(serial.front))
+        << "threads = " << threads;
+    EXPECT_EQ(exact_bytes(parallel.all_winners), exact_bytes(serial.all_winners));
+    EXPECT_EQ(parallel.evaluations, serial.evaluations);
+  }
+}
+
+// ---- a checkpoint under threads = 8 resumes bit-identically serially ------
+
+/// Runs the evolver serially end-to-end, then snapshots a run under 8
+/// evaluation threads and resumes the FIRST (earliest) snapshot with one
+/// thread. Both paths must land on the same bytes.
+template <class Params, class Run>
+void expect_cross_thread_resume(const moga::Problem& problem, Params base, Run run) {
+  const auto full = run(problem, base);  // threads = 1 throughout
+
+  Params snapshotting = base;
+  snapshotting.threads = 8;
+  snapshotting.snapshot_every = 3;
+  std::vector<std::remove_cvref_t<decltype(*base.resume)>> states;
+  snapshotting.on_snapshot = [&](const auto& s) { states.push_back(s); };
+  (void)run(problem, snapshotting);
+  ASSERT_FALSE(states.empty());
+
+  Params resumed_params = base;  // back to threads = 1
+  resumed_params.resume = &states.front();
+  const auto resumed = run(problem, resumed_params);
+  EXPECT_EQ(exact_bytes(resumed.front), exact_bytes(full.front));
+  EXPECT_EQ(resumed.evaluations, full.evaluations);
+}
+
+TEST(DeterminismMatrix, Nsga2CheckpointCrossesThreadCounts) {
+  const auto problem = problems::make_sch();
+  moga::Nsga2Params base;
+  base.population_size = 16;
+  base.generations = 10;
+  base.seed = 5;
+  expect_cross_thread_resume(*problem, base,
+                             [](const moga::Problem& p, const moga::Nsga2Params& params) {
+                               return moga::run_nsga2(p, params);
+                             });
+}
+
+TEST(DeterminismMatrix, Spea2CheckpointCrossesThreadCounts) {
+  const auto problem = problems::make_sch();
+  moga::Spea2Params base;
+  base.population_size = 16;
+  base.archive_size = 12;
+  base.generations = 10;
+  base.seed = 5;
+  expect_cross_thread_resume(*problem, base,
+                             [](const moga::Problem& p, const moga::Spea2Params& params) {
+                               return moga::run_spea2(p, params);
+                             });
+}
+
+TEST(DeterminismMatrix, SacgaCheckpointCrossesThreadCounts) {
+  const auto problem = problems::make_sch();
+  sacga::SacgaParams base;
+  base.population_size = 16;
+  base.partitions = 4;
+  base.axis_objective = 0;
+  base.axis_lo = 0.0;
+  base.axis_hi = 4.0;
+  base.phase1_max_generations = 6;
+  base.span = 16;
+  base.span_is_total_budget = true;
+  base.seed = 3;
+  expect_cross_thread_resume(*problem, base,
+                             [](const moga::Problem& p, const sacga::SacgaParams& params) {
+                               return sacga::run_sacga(p, params);
+                             });
+}
+
+TEST(DeterminismMatrix, IslandCheckpointCrossesThreadCounts) {
+  const auto problem = problems::make_sch();
+  sacga::IslandParams base;
+  base.islands = 2;
+  base.island_population = 8;
+  base.generations = 10;
+  base.migration_interval = 4;
+  base.migrants = 1;
+  base.seed = 13;
+  expect_cross_thread_resume(*problem, base,
+                             [](const moga::Problem& p, const sacga::IslandParams& params) {
+                               return sacga::run_island_ga(p, params);
+                             });
+}
+
+}  // namespace
+}  // namespace anadex::engine

@@ -138,8 +138,25 @@ TEST(Runner, ValidatesSettingsUpFront) {
   }
   {
     RunSettings s = smoke_settings(Algo::TPG);
+    s.record_history = true;
     s.history_stride = 0;
     EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.record_history = false;
+    s.history_stride = 0;  // irrelevant when no history is recorded
+    EXPECT_NO_THROW(validate_run_settings(s));
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.threads = 257;  // above the sanity cap
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.threads = 0;  // 0 = auto is valid
+    EXPECT_NO_THROW(validate_run_settings(s));
   }
   {
     RunSettings s = smoke_settings(Algo::MESACGA);

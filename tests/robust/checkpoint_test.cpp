@@ -62,8 +62,8 @@ Checkpoint base_checkpoint() {
   cp.faults.retries = 4;
   cp.faults.recovered = 2;
   cp.faults.penalized = 2;
-  cp.faults.first_failure_genes = {0.25, 0.75};
-  cp.faults.first_failure_message = "exception: simulated divergence";
+  cp.faults.failure_genes = {0.25, 0.75};
+  cp.faults.failure_message = "exception: simulated divergence";
   cp.history.push_back({25, 38.5, 7});
   cp.history.push_back({50, 30.25, 9});
   return cp;
@@ -77,8 +77,8 @@ void expect_common_eq(const Checkpoint& a, const Checkpoint& b) {
   EXPECT_EQ(a.faults.retries, b.faults.retries);
   EXPECT_EQ(a.faults.recovered, b.faults.recovered);
   EXPECT_EQ(a.faults.penalized, b.faults.penalized);
-  EXPECT_EQ(a.faults.first_failure_genes, b.faults.first_failure_genes);
-  EXPECT_EQ(a.faults.first_failure_message, b.faults.first_failure_message);
+  EXPECT_EQ(a.faults.failure_genes, b.faults.failure_genes);
+  EXPECT_EQ(a.faults.failure_message, b.faults.failure_message);
   EXPECT_EQ(a.history, b.history);
 }
 
@@ -124,6 +124,28 @@ TEST(Checkpoint, RestoredRngContinuesTheSameStream) {
     EXPECT_EQ(restored(), original());
     EXPECT_EQ(restored.normal(), original.normal());
   }
+}
+
+TEST(Checkpoint, RoundTripsSpea2State) {
+  Checkpoint cp = base_checkpoint();
+  moga::Spea2State state;
+  state.population = make_population();
+  state.archive = make_population();
+  state.archive.pop_back();  // archive and population sizes differ
+  state.rng = make_rng_state(11, 1);
+  state.next_generation = 33;
+  state.evaluations = 3400;
+  cp.spea2 = state;
+
+  const Checkpoint loaded = round_trip(cp);
+  expect_common_eq(cp, loaded);
+  ASSERT_TRUE(loaded.spea2.has_value());
+  EXPECT_EQ(loaded.state_kind(), "spea2");
+  EXPECT_EQ(loaded.spea2->rng, state.rng);
+  EXPECT_EQ(loaded.spea2->next_generation, 33u);
+  EXPECT_EQ(loaded.spea2->evaluations, 3400u);
+  expect_population_eq(loaded.spea2->population, state.population);
+  expect_population_eq(loaded.spea2->archive, state.archive);
 }
 
 TEST(Checkpoint, RoundTripsSacgaStateWithDiscardedPartitions) {

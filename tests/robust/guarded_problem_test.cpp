@@ -110,15 +110,35 @@ TEST(GuardedProblem, CountsNonFiniteAndWrongArityFaults) {
   EXPECT_EQ(report.total_faults(), 2u);
 }
 
-TEST(GuardedProblem, RecordsFirstFailureGenesAndMessage) {
+TEST(GuardedProblem, RecordsCanonicalSampleFailure) {
+  // The retained sample is the failure whose genome hashes lowest — a
+  // canonical choice independent of evaluation order (and therefore of the
+  // engine's thread count), not "whichever failed first".
   GuardPolicy policy;
   policy.max_retries = 0;
   GuardedProblem guard(flaky(), policy);
-  (void)guard.evaluated(std::vector<double>{0.3, 0.9});
-  (void)guard.evaluated(std::vector<double>{0.6, 0.1});
-  const auto& report = guard.report();
-  EXPECT_EQ(report.first_failure_genes, (std::vector<double>{0.3, 0.9}));
-  EXPECT_NE(report.first_failure_message.find("flaky boom"), std::string::npos);
+  const std::vector<double> throws_genes{0.3, 0.9};   // exception: flaky boom
+  const std::vector<double> nan_genes{0.6, 0.1};      // non-finite objective
+  (void)guard.evaluated(throws_genes);
+  (void)guard.evaluated(nan_genes);
+  const auto forward = guard.report();
+
+  const bool throws_wins = hash_genes(throws_genes, 0) < hash_genes(nan_genes, 0);
+  const auto& expected = throws_wins ? throws_genes : nan_genes;
+  EXPECT_EQ(forward.failure_genes, expected);
+  if (throws_wins) {
+    EXPECT_NE(forward.failure_message.find("flaky boom"), std::string::npos);
+  } else {
+    EXPECT_NE(forward.failure_message.find("non-finite"), std::string::npos);
+  }
+
+  // Reversed evaluation order retains the same sample.
+  GuardedProblem reversed_guard(flaky(), policy);
+  (void)reversed_guard.evaluated(nan_genes);
+  (void)reversed_guard.evaluated(throws_genes);
+  const auto reversed = reversed_guard.report();
+  EXPECT_EQ(reversed.failure_genes, forward.failure_genes);
+  EXPECT_EQ(reversed.failure_message, forward.failure_message);
 }
 
 TEST(GuardedProblem, EvaluationIsDeterministic) {

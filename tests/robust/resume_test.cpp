@@ -10,6 +10,7 @@
 
 #include "moga/nsga2.hpp"
 #include "moga/serialize.hpp"
+#include "moga/spea2.hpp"
 #include "problems/analytic.hpp"
 #include "sacga/island.hpp"
 #include "sacga/local_only.hpp"
@@ -45,6 +46,33 @@ TEST(Resume, Nsga2ResumesBitIdenticallyFromEverySnapshot) {
     resumed_params.resume = &state;
     const auto resumed = moga::run_nsga2(*problem, resumed_params);
     EXPECT_EQ(exact_bytes(resumed.population), exact_bytes(full.population));
+    EXPECT_EQ(exact_bytes(resumed.front), exact_bytes(full.front));
+    EXPECT_EQ(resumed.evaluations, full.evaluations);
+    EXPECT_EQ(resumed.generations_run, full.generations_run);
+  }
+}
+
+TEST(Resume, Spea2ResumesBitIdenticallyFromEverySnapshot) {
+  const auto problem = problems::make_sch();
+  moga::Spea2Params base;
+  base.population_size = 16;
+  base.archive_size = 12;
+  base.generations = 12;
+  base.seed = 5;
+  const auto full = moga::run_spea2(*problem, base);
+
+  moga::Spea2Params snapshotting = base;
+  snapshotting.snapshot_every = 5;
+  std::vector<moga::Spea2State> states;
+  snapshotting.on_snapshot = [&](const moga::Spea2State& s) { states.push_back(s); };
+  (void)moga::run_spea2(*problem, snapshotting);
+  ASSERT_EQ(states.size(), 2u);  // generations 5 and 10
+
+  for (const auto& state : states) {
+    moga::Spea2Params resumed_params = base;
+    resumed_params.resume = &state;
+    const auto resumed = moga::run_spea2(*problem, resumed_params);
+    EXPECT_EQ(exact_bytes(resumed.archive), exact_bytes(full.archive));
     EXPECT_EQ(exact_bytes(resumed.front), exact_bytes(full.front));
     EXPECT_EQ(resumed.evaluations, full.evaluations);
     EXPECT_EQ(resumed.generations_run, full.generations_run);
