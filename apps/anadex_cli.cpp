@@ -7,13 +7,16 @@
 //                  [--spec 1..20|chosen] [--generations N] [--population N]
 //                  [--partitions M] [--seed S] [--threads T] [--csv FILE]
 //                  [--history] [--checkpoint FILE] [--checkpoint-every N]
-//                  [--resume]
+//                  [--resume] [--trace FILE] [--trace-level off|gen|eval]
 //       Run one design-space exploration and print the Pareto surface.
 //       --threads T evaluates each generation's offspring on T worker
 //       threads (0 = one per hardware thread); results are bit-identical
 //       for every thread count. With --checkpoint, the run state is
 //       snapshotted every N generations so an interrupted exploration can
 //       continue with --resume (also across different --threads values).
+//       --trace streams run telemetry as JSONL (docs/observability.md);
+//       gen level records per-generation metrics, eval level adds batch
+//       evaluation timing. Tracing never changes results.
 //   anadex evaluate --genes g1,...,g15 [--spec ...]
 //       Datasheet of a single design vector (SI units).
 //   anadex simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]
@@ -29,6 +32,7 @@
 #include "engine/eval_engine.hpp"
 #include "expt/figures.hpp"
 #include "expt/runner.hpp"
+#include "obs/event_sink.hpp"
 #include "problems/integrator_problem.hpp"
 #include "problems/spec_suite.hpp"
 #include "sysdes/modulator_sim.hpp"
@@ -44,9 +48,10 @@ int usage() {
       "  explore  --algo A --spec S --generations N [--population N]\n"
       "           [--partitions M] [--seed S] [--threads T] [--csv FILE]\n"
       "           [--history] [--checkpoint FILE] [--checkpoint-every N]\n"
-      "           [--resume]\n"
+      "           [--resume] [--trace FILE] [--trace-level off|gen|eval]\n"
       "           (--threads: evaluation workers; 0 = hardware count;\n"
-      "            results are identical for every thread count)\n"
+      "            results are identical for every thread count;\n"
+      "            --trace: JSONL run telemetry, see docs/observability.md)\n"
       "  evaluate --genes g1,...,g15 [--spec S]\n"
       "  simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]\n"
       "  compare  [--spec S] [--generations N] [--seed S] [--threads T]\n";
@@ -108,6 +113,8 @@ int cmd_explore(const ArgParser& args) {
   settings.checkpoint_every =
       static_cast<std::size_t>(args.get_int("checkpoint-every", 50));
   settings.resume = args.get_flag("resume");
+  settings.trace_path = args.get("trace", "");
+  settings.trace_level = obs::trace_level_from_string(args.get("trace-level", "gen"));
   const std::string csv_path = args.get("csv", "");
   warn_unused(args);
   expt::validate_run_settings(settings);
@@ -137,6 +144,10 @@ int cmd_explore(const ArgParser& args) {
     ANADEX_REQUIRE(file.good(), "cannot open '" + csv_path + "' for writing");
     expt::front_series("front", outcome.front).write_csv(file);
     std::cout << "front written to " << csv_path << "\n";
+  }
+  if (!settings.trace_path.empty() && settings.trace_level != obs::TraceLevel::Off) {
+    std::cout << "trace written to " << settings.trace_path << " (level "
+              << obs::to_string(settings.trace_level) << ")\n";
   }
   return 0;
 }

@@ -1,0 +1,154 @@
+// Observability overhead: wall-clock cost of JSONL tracing relative to an
+// untraced run, measured end-to-end through expt::run (so the number
+// includes per-generation metric computation, JSON serialization and file
+// IO — everything a user pays for `--trace`). Emits BENCH_obs_overhead.json
+// and exits nonzero when gen-level tracing costs more than the budget in
+// docs/observability.md (2%; relaxed under ANADEX_BENCH_QUICK, where the
+// baseline run is too short for a stable ratio).
+//
+// Each configuration is repeated and the minimum wall time kept: the
+// minimum is the least-noise estimator for a deterministic workload.
+// Repeats are interleaved round-robin across the levels (off, gen, eval,
+// off, gen, eval, ...) after an untimed warm-up run, so slow drift —
+// cold caches, frequency scaling, a neighbour briefly stealing the core —
+// lands on every level equally instead of biasing whichever block ran
+// during the disturbance.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "expt/runner.hpp"
+#include "obs/event_sink.hpp"
+
+namespace {
+
+using namespace anadex;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kRepeats = 3;
+constexpr double kGenBudgetPct = 2.0;        // docs/observability.md contract
+constexpr double kQuickGenBudgetPct = 12.0;  // smoke runs are noise-dominated
+
+struct Row {
+  std::string level;
+  double seconds = 0.0;      // min over repeats
+  double overhead_pct = 0.0; // vs the untraced minimum
+  double front_area = 0.0;   // must match the untraced run exactly
+  std::size_t evaluations = 0;
+};
+
+expt::RunSettings with_level(const expt::RunSettings& base, obs::TraceLevel level,
+                             const std::string& trace_path) {
+  expt::RunSettings settings = base;
+  if (level != obs::TraceLevel::Off) {
+    settings.trace_path = trace_path;
+    settings.trace_level = level;
+  }
+  return settings;
+}
+
+void measure_once(const expt::RunSettings& base, obs::TraceLevel level,
+                  const std::string& trace_path, Row& row) {
+  const auto settings = with_level(base, level, trace_path);
+  const auto start = Clock::now();
+  const auto outcome = expt::run(settings);
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  row.seconds = std::min(row.seconds, elapsed.count());
+  row.front_area = outcome.front_area;
+  row.evaluations = outcome.evaluations;
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = [] {
+    const char* env = std::getenv("ANADEX_BENCH_QUICK");
+    return env != nullptr && env[0] == '1';
+  }();
+  const double budget_pct = quick ? kQuickGenBudgetPct : kGenBudgetPct;
+
+  expt::RunSettings settings = bench::chosen_settings(expt::Algo::MESACGA, 400);
+  const std::string trace_path = "obs_overhead_trace.jsonl";
+
+  std::printf("observability overhead, MESACGA on '%s' (%zu generations, "
+              "population %zu, min of %zu repeats)\n\n",
+              settings.spec.name.c_str(), settings.generations, settings.population,
+              kRepeats);
+  std::printf("  level  seconds    overhead  front_area\n");
+
+  const obs::TraceLevel levels[] = {obs::TraceLevel::Off, obs::TraceLevel::Gen,
+                                    obs::TraceLevel::Eval};
+
+  // Untimed warm-up: the first run pays cold caches and page faults that
+  // would otherwise be charged entirely to the untraced baseline.
+  (void)expt::run(with_level(settings, obs::TraceLevel::Off, trace_path));
+
+  std::vector<Row> rows(std::size(levels));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].level = std::string(obs::to_string(levels[i]));
+    rows[i].seconds = 1e100;
+  }
+  for (std::size_t r = 0; r < kRepeats; ++r) {
+    for (std::size_t i = 0; i < std::size(levels); ++i) {
+      measure_once(settings, levels[i], trace_path, rows[i]);
+    }
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) {
+      rows[i].overhead_pct = 100.0 * (rows[i].seconds / rows.front().seconds - 1.0);
+    }
+    std::printf("  %-5s  %9.4f  %+7.2f%%  %.6g\n", rows[i].level.c_str(),
+                rows[i].seconds, rows[i].overhead_pct, rows[i].front_area);
+  }
+  std::filesystem::remove(trace_path);
+
+  // Tracing must be pure observation: identical results at every level.
+  bool results_identical = true;
+  for (const Row& row : rows) {
+    results_identical = results_identical && row.front_area == rows.front().front_area &&
+                        row.evaluations == rows.front().evaluations;
+  }
+
+  const double gen_overhead = rows[1].overhead_pct;
+  const bool within_budget = gen_overhead <= budget_pct;
+
+  std::ofstream json("BENCH_obs_overhead.json");
+  json << "{\n"
+       << "  \"bench\": \"obs_overhead\",\n"
+       << "  \"algo\": \"MESACGA\",\n"
+       << "  \"generations\": " << settings.generations << ",\n"
+       << "  \"population\": " << settings.population << ",\n"
+       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"budget_pct\": " << budget_pct << ",\n"
+       << "  \"gen_overhead_pct\": " << gen_overhead << ",\n"
+       << "  \"within_budget\": " << (within_budget ? "true" : "false") << ",\n"
+       << "  \"results_identical\": " << (results_identical ? "true" : "false") << ",\n"
+       << "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"level\": \"" << row.level << "\", \"seconds\": " << row.seconds
+         << ", \"overhead_pct\": " << row.overhead_pct
+         << ", \"front_area\": " << row.front_area
+         << ", \"evaluations\": " << row.evaluations << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote BENCH_obs_overhead.json\n");
+
+  if (!results_identical) {
+    std::printf("ERROR: tracing changed the optimization result\n");
+    return 1;
+  }
+  if (!within_budget) {
+    std::printf("ERROR: gen-level tracing overhead %.2f%% exceeds the %.1f%% budget\n",
+                gen_overhead, budget_pct);
+    return 1;
+  }
+  return 0;
+}

@@ -31,6 +31,11 @@ anadex_bench(ablation_population)
 anadex_bench(eval_throughput)
 target_link_libraries(eval_throughput PRIVATE anadex::engine)
 
+# Cost of --trace relative to an untraced run (plain chrono timing; emits
+# BENCH_obs_overhead.json and enforces the documented 2% gen-level budget).
+anadex_bench(obs_overhead)
+target_link_libraries(obs_overhead PRIVATE anadex::obs)
+
 # Wall-clock micro/overhead measurements use google-benchmark.
 anadex_bench(overhead_runtime)
 target_link_libraries(overhead_runtime PRIVATE benchmark::benchmark)

@@ -1,5 +1,6 @@
 #include "engine/eval_engine.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -7,14 +8,25 @@
 
 namespace anadex::engine {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
 std::size_t EvalEngine::resolve_threads(std::size_t requested) {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
-EvalEngine::EvalEngine(const moga::Problem& problem, std::size_t threads)
-    : problem_(problem), threads_(resolve_threads(threads)) {
+EvalEngine::EvalEngine(const moga::Problem& problem, std::size_t threads,
+                       obs::EventSink* sink)
+    : problem_(problem), threads_(resolve_threads(threads)), sink_(sink) {
   if (threads_ <= 1) return;  // serial path: no pool
   workers_.reserve(threads_);
   for (std::size_t i = 0; i < threads_; ++i) {
@@ -23,13 +35,20 @@ EvalEngine::EvalEngine(const moga::Problem& problem, std::size_t threads)
 }
 
 EvalEngine::~EvalEngine() {
-  if (workers_.empty()) return;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
   }
-  work_ready_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  if (sink_ != nullptr && sink_->enabled(obs::TraceLevel::Eval) && trace_batches_ > 0) {
+    const obs::Field fields[] = {obs::u64("batches", trace_batches_),
+                                 obs::u64("items", trace_items_),
+                                 obs::u64("workers", threads_)};
+    sink_->record(obs::Event{"eval_engine", obs::TraceLevel::Eval, true, fields});
+  }
 }
 
 void EvalEngine::evaluate_batch(std::span<const Genome> genomes,
@@ -60,11 +79,19 @@ void EvalEngine::run_serial(std::span<const Item> items) const {
   // lowest-index failure, so thread count never changes which items got
   // their results written.
   std::exception_ptr first_error;
-  for (const Item& item : items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Item& item = items[i];
+    Clock::time_point item_start;
+    if (trace_timing_) item_start = Clock::now();
     try {
       problem_.evaluate(*item.genes, *item.out);
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
+    }
+    if (trace_timing_) {
+      const Clock::time_point done = Clock::now();
+      trace_start_s_[i] = seconds_between(trace_submit_, item_start);
+      trace_dur_s_[i] = seconds_between(item_start, done);
     }
   }
   if (first_error) std::rethrow_exception(first_error);
@@ -72,6 +99,8 @@ void EvalEngine::run_serial(std::span<const Item> items) const {
 
 void EvalEngine::process_item(std::size_t index) const {
   const Item& item = items_[index];
+  Clock::time_point item_start;
+  if (trace_timing_) item_start = Clock::now();
   try {
     problem_.evaluate(*item.genes, *item.out);
   } catch (...) {
@@ -81,12 +110,67 @@ void EvalEngine::process_item(std::size_t index) const {
       first_error_index_ = index;
     }
   }
+  if (trace_timing_) {
+    // Each slot is written by the single worker that claimed the item, so
+    // this is race-free without further synchronization.
+    const Clock::time_point done = Clock::now();
+    trace_start_s_[index] = seconds_between(trace_submit_, item_start);
+    trace_dur_s_[index] = seconds_between(item_start, done);
+  }
+}
+
+void EvalEngine::emit_batch_event(std::size_t size, double wall_seconds,
+                                  std::size_t workers_used) const {
+  obs::MinMeanMax latency;
+  double queue_wait = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < size; ++i) {
+    latency.add(trace_dur_s_[i]);
+    queue_wait = std::min(queue_wait, trace_start_s_[i]);
+  }
+  // Utilization: fraction of the pool's wall-clock capacity spent inside
+  // Problem::evaluate. 1.0 = perfectly busy workers.
+  const double capacity = wall_seconds * static_cast<double>(workers_used);
+  const double utilization = capacity > 0.0 ? latency.sum / capacity : 0.0;
+
+  const obs::Field fields[] = {obs::u64("batch", trace_batches_),
+                               obs::u64("size", size),
+                               obs::u64("workers", workers_used),
+                               obs::f64("wall_s", wall_seconds),
+                               obs::f64("queue_wait_s", queue_wait),
+                               obs::f64("lat_min_s", latency.min),
+                               obs::f64("lat_mean_s", latency.mean()),
+                               obs::f64("lat_max_s", latency.max),
+                               obs::f64("utilization", utilization)};
+  sink_->record(obs::Event{"batch", obs::TraceLevel::Eval, true, fields});
+  ++trace_batches_;
+  trace_items_ += size;
 }
 
 void EvalEngine::run_batch(std::span<const Item> items) const {
   if (items.empty()) return;
+
+  const bool tracing = sink_ != nullptr && sink_->enabled(obs::TraceLevel::Eval);
+  if (tracing) {
+    trace_start_s_.assign(items.size(), 0.0);
+    trace_dur_s_.assign(items.size(), 0.0);
+    trace_submit_ = Clock::now();
+  }
+  trace_timing_ = tracing;
+
   if (workers_.empty() || items.size() == 1) {
-    run_serial(items);
+    if (!tracing) {
+      run_serial(items);
+      return;
+    }
+    try {
+      run_serial(items);
+    } catch (...) {
+      trace_timing_ = false;
+      emit_batch_event(items.size(), seconds_between(trace_submit_, Clock::now()), 1);
+      throw;
+    }
+    trace_timing_ = false;
+    emit_batch_event(items.size(), seconds_between(trace_submit_, Clock::now()), 1);
     return;
   }
 
@@ -110,6 +194,11 @@ void EvalEngine::run_batch(std::span<const Item> items) const {
   const std::exception_ptr error = std::exchange(first_error_, nullptr);
   lock.unlock();
 
+  if (tracing) {
+    trace_timing_ = false;
+    emit_batch_event(items.size(), seconds_between(trace_submit_, Clock::now()),
+                     threads_);
+  }
   if (error) std::rethrow_exception(error);
 }
 

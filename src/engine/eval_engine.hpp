@@ -17,6 +17,7 @@
 // docs/engine.md.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -27,6 +28,7 @@
 
 #include "moga/individual.hpp"
 #include "moga/problem.hpp"
+#include "obs/event_sink.hpp"
 
 namespace anadex::engine {
 
@@ -55,7 +57,13 @@ class EvalEngine final : public Evaluator {
  public:
   /// `threads`: 1 = serial on the calling thread (no pool is spawned),
   /// 0 = one worker per hardware thread, N = exactly N workers.
-  explicit EvalEngine(const moga::Problem& problem, std::size_t threads = 1);
+  /// `sink` (non-owning, may be nullptr): when enabled at TraceLevel::Eval,
+  /// every batch records a timed "batch" event — size, submit-to-done wall
+  /// time, queue wait, per-item latency min/mean/max and worker utilization
+  /// — and destruction records an "eval_engine" totals event. Tracing never
+  /// changes results; with no sink the hot path pays one pointer test.
+  explicit EvalEngine(const moga::Problem& problem, std::size_t threads = 1,
+                      obs::EventSink* sink = nullptr);
   ~EvalEngine() override;
 
   EvalEngine(const EvalEngine&) = delete;
@@ -94,9 +102,14 @@ class EvalEngine final : public Evaluator {
   /// Evaluates items_[index], recording the lowest-index exception.
   void process_item(std::size_t index) const;
   void worker_loop();
+  /// Folds the per-item clocks of the finished batch into one timed
+  /// "batch" event (eval level only).
+  void emit_batch_event(std::size_t size, double wall_seconds,
+                        std::size_t workers_used) const;
 
   const moga::Problem& problem_;
   std::size_t threads_ = 1;
+  obs::EventSink* sink_ = nullptr;
 
   // Batch hand-off state. The caller publishes a batch under `mu_` and
   // waits on `batch_done_`; workers claim items via the atomic cursor and
@@ -116,6 +129,18 @@ class EvalEngine final : public Evaluator {
   mutable std::size_t first_error_index_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Batch timing (populated only when sink_ is enabled at eval level).
+  // `trace_timing_` and the per-item clock arrays follow the same
+  // publication discipline as `items_`: written under `mu_` before a batch
+  // is released, each slot then written by exactly one worker (by item
+  // index), read by the caller only after the batch barrier.
+  mutable bool trace_timing_ = false;
+  mutable std::chrono::steady_clock::time_point trace_submit_;
+  mutable std::vector<double> trace_start_s_;  ///< per-item start, s after submit
+  mutable std::vector<double> trace_dur_s_;    ///< per-item evaluate duration, s
+  mutable std::uint64_t trace_batches_ = 0;
+  mutable std::uint64_t trace_items_ = 0;
 };
 
 }  // namespace anadex::engine

@@ -11,13 +11,35 @@
 #include <cstdint>
 #include <functional>
 
+#include "moga/individual.hpp"
+#include "obs/event_sink.hpp"
+
 namespace anadex::engine {
 
+/// Computes the hypervolume of a (front) population for the per-generation
+/// trace record. Problem-specific (needs a reference box), so the expt
+/// layer supplies it; evolvers only forward.
+using TraceHypervolume = std::function<double(const moga::Population&)>;
+
+/// Observability wiring shared by every evolver, including WeightedSum
+/// (which has no resumable state and therefore no EvolverCommon base).
+/// Tracing is pure observation: it draws nothing from the RNG and mutates
+/// no algorithm state, so fronts, evaluation counts and checkpoints are
+/// byte-identical whether a sink is attached or not.
+struct ObsConfig {
+  /// Non-owning event destination; nullptr (the default) disables all
+  /// telemetry at the cost of one pointer test per instrumentation site.
+  obs::EventSink* sink = nullptr;
+
+  /// Optional hypervolume metric added to each per-generation record.
+  TraceHypervolume trace_hypervolume;
+};
+
 /// Configuration common to every evolver: the RNG seed, the evaluation
-/// thread count, and the checkpoint/resume hooks. `State` is the
-/// algorithm's resumable-state type (e.g. moga::Nsga2State).
+/// thread count, the checkpoint/resume hooks and the telemetry sink.
+/// `State` is the algorithm's resumable-state type (e.g. moga::Nsga2State).
 template <class State>
-struct EvolverCommon {
+struct EvolverCommon : ObsConfig {
   std::uint64_t seed = 1;
 
   /// Worker threads for batch genome evaluation: 1 = serial on the calling

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
@@ -11,6 +14,7 @@
 #include "moga/nsga2.hpp"
 #include "moga/scalarize.hpp"
 #include "moga/spea2.hpp"
+#include "obs/jsonl_writer.hpp"
 #include "robust/checkpoint.hpp"
 #include "sacga/island.hpp"
 #include "sacga/local_only.hpp"
@@ -107,6 +111,15 @@ void validate_run_settings(const RunSettings& s) {
     ANADEX_REQUIRE(!s.checkpoint_path.empty(),
                    "run settings: resume requires a checkpoint path");
   }
+  if (!s.trace_path.empty()) {
+    // Fail before the run starts, not after hours of optimization when the
+    // writer first tries to open the file.
+    const std::filesystem::path parent =
+        std::filesystem::path(s.trace_path).parent_path();
+    ANADEX_REQUIRE(parent.empty() || std::filesystem::is_directory(parent),
+                   "run settings: trace path parent directory does not exist: '" +
+                       parent.string() + "'");
+  }
 }
 
 std::string algo_name(Algo algo) {
@@ -161,6 +174,35 @@ double hypervolume_of(const std::vector<FrontSample>& front) {
 RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& settings) {
   validate_run_settings(settings);
 
+  // Telemetry sink for the whole run. Stays null (and costs one pointer
+  // test per instrumentation site) unless a trace file was requested.
+  std::optional<obs::JsonlTraceWriter> trace;
+  obs::EventSink* sink = nullptr;
+  if (!settings.trace_path.empty() && settings.trace_level != obs::TraceLevel::Off) {
+    trace.emplace(settings.trace_path, settings.trace_level);
+    sink = &*trace;
+  }
+  if (sink != nullptr && sink->enabled(obs::TraceLevel::Gen)) {
+    // Deliberately no thread count or timestamps here: the gen-level trace
+    // must be bit-identical across thread counts (docs/observability.md).
+    const std::string algo = algo_name(settings.algo);
+    const obs::Field fields[] = {
+        obs::str("algo", algo),
+        obs::str("spec", settings.spec.name),
+        obs::u64("population", settings.population),
+        obs::u64("generations", settings.generations),
+        obs::u64("seed", settings.seed),
+    };
+    sink->record(obs::Event{"run_start", obs::TraceLevel::Gen, false, fields});
+  }
+  if (sink != nullptr && sink->enabled(obs::TraceLevel::Eval)) {
+    const obs::Field fields[] = {
+        obs::u64("threads", settings.threads),
+        obs::u64("hardware_concurrency", std::thread::hardware_concurrency()),
+    };
+    sink->record(obs::Event{"env", obs::TraceLevel::Eval, true, fields});
+  }
+
   // Every evaluation flows through the fault guard (non-owning alias; the
   // caller's problem outlives the run). Clean evaluators pass through
   // untouched, so guarded runs are bit-identical to unguarded ones.
@@ -212,6 +254,12 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
                                             auto&& resumed_generation) {
     common.seed = settings.seed;
     common.threads = settings.threads;
+    common.sink = sink;
+    if (sink != nullptr) {
+      common.trace_hypervolume = [](const moga::Population& front) {
+        return hypervolume_of(to_front_samples(front));
+      };
+    }
     if (checkpointing) {
       common.snapshot_every = settings.checkpoint_every;
       common.on_snapshot = [&write_cp, slot](const State& state) {
@@ -230,6 +278,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
   };
 
   const auto start = Clock::now();
+  obs::ScopedTimer run_timer(sink, "run", obs::TraceLevel::Eval);
 
   moga::Population front;
   switch (settings.algo) {
@@ -340,6 +389,12 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
           2 * settings.generations / settings.weight_count, 1);
       params.seed = settings.seed;
       params.threads = settings.threads;
+      params.sink = sink;
+      if (sink != nullptr) {
+        params.trace_hypervolume = [](const moga::Population& pop) {
+          return hypervolume_of(to_front_samples(pop));
+        };
+      }
       auto result = moga::run_weighted_sum(guarded, params);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
@@ -376,6 +431,19 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
   if (!loads.empty()) {
     const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
     outcome.load_span_pf = (*hi - *lo) * 1e12;
+  }
+
+  run_timer.stop();
+  if (sink != nullptr && sink->enabled(obs::TraceLevel::Gen)) {
+    const obs::Field fields[] = {
+        obs::u64("evaluations", outcome.evaluations),
+        obs::u64("generations", outcome.generations),
+        obs::u64("front_size", outcome.front.size()),
+        obs::f64("front_area", outcome.front_area),
+        obs::f64("hv", outcome.hypervolume_norm),
+        obs::u64("faults", outcome.faults.total_faults()),
+    };
+    sink->record(obs::Event{"run_end", obs::TraceLevel::Gen, false, fields});
   }
   return outcome;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "moga/metrics.hpp"
+#include "obs/event_sink.hpp"
 #include "problems/integrator_problem.hpp"
 #include "robust/guarded_problem.hpp"
 #include "scint/spec.hpp"
@@ -60,6 +61,14 @@ struct RunSettings {
   std::string checkpoint_path;         ///< empty = no checkpointing
   std::size_t checkpoint_every = 50;   ///< generations between snapshots
   bool resume = false;                 ///< continue from checkpoint_path
+
+  // Telemetry (docs/observability.md). When trace_path is non-empty the run
+  // streams one JSON object per event to that file. Tracing is pure
+  // observation: fronts, evaluation counts and checkpoint bytes are
+  // identical with tracing on or off, and gen-level traces are bit-identical
+  // across thread counts.
+  std::string trace_path;                            ///< empty = no tracing
+  obs::TraceLevel trace_level = obs::TraceLevel::Gen;
 };
 
 /// Validates `settings` with ANADEX_REQUIRE (population even and >= 4,

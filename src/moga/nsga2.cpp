@@ -7,6 +7,7 @@
 #include "engine/eval_engine.hpp"
 #include "moga/dominance.hpp"
 #include "moga/nds.hpp"
+#include "moga/obs_trace.hpp"
 #include "moga/selection.hpp"
 
 namespace anadex::moga {
@@ -19,7 +20,7 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
   ANADEX_REQUIRE(bounds.size() == problem.num_variables(),
                  "problem bounds size must equal num_variables");
 
-  const engine::EvalEngine eval(problem, params.threads);
+  const engine::EvalEngine eval(problem, params.threads, params.sink);
   Rng rng(params.seed);
   Nsga2Result result;
 
@@ -94,6 +95,8 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
     parents = std::move(next);
 
     if (on_generation) on_generation(gen, parents);
+    trace_generation(params.sink, gen, result.evaluations, parents,
+                     params.trace_hypervolume);
     ++result.generations_run;
 
     if (params.snapshot_every > 0 && params.on_snapshot &&

@@ -1,0 +1,56 @@
+#include "moga/obs_trace.hpp"
+
+#include <algorithm>
+
+#include "moga/nsga2.hpp"
+
+namespace anadex::moga {
+
+Population trace_front(const Population& population) {
+  const bool ranked =
+      !population.empty() &&
+      std::all_of(population.begin(), population.end(),
+                  [](const Individual& ind) { return ind.rank >= 0; });
+  if (ranked) {
+    Population front;
+    for (const auto& ind : population) {
+      if (ind.rank == 0 && ind.feasible()) front.push_back(ind);
+    }
+    // Ranks are computed with constraint-domination, so rank 0 holds every
+    // feasible non-dominated member whenever any feasible member exists;
+    // an empty result genuinely means "no feasible solutions yet".
+    return front;
+  }
+  return extract_global_front(population);
+}
+
+void trace_generation(obs::EventSink* sink, std::size_t generation,
+                      std::size_t evaluations, const Population& population,
+                      const engine::TraceHypervolume& hv) {
+  if (sink == nullptr || !sink->enabled(obs::TraceLevel::Gen)) return;
+  trace_generation(sink, generation, evaluations, population, trace_front(population), hv);
+}
+
+void trace_generation(obs::EventSink* sink, std::size_t generation,
+                      std::size_t evaluations, const Population& population,
+                      const Population& front, const engine::TraceHypervolume& hv) {
+  if (sink == nullptr || !sink->enabled(obs::TraceLevel::Gen)) return;
+
+  std::size_t feasible = 0;
+  for (const auto& ind : population) {
+    if (ind.feasible()) ++feasible;
+  }
+
+  obs::Field fields[6];
+  std::size_t n = 0;
+  fields[n++] = obs::u64("gen", generation);
+  fields[n++] = obs::u64("evals", evaluations);
+  fields[n++] = obs::u64("pop", population.size());
+  fields[n++] = obs::u64("feasible", feasible);
+  fields[n++] = obs::u64("front_size", front.size());
+  if (hv) fields[n++] = obs::f64("hv", hv(front));
+  sink->record(
+      obs::Event{"gen", obs::TraceLevel::Gen, false, std::span<const obs::Field>(fields, n)});
+}
+
+}  // namespace anadex::moga

@@ -1,0 +1,39 @@
+// Per-generation telemetry shared by all seven evolvers (see
+// docs/observability.md for the record schema). Emission is driven from
+// each algorithm's generation loop; everything here is pure observation —
+// no RNG draws, no population mutation — so traced and untraced runs are
+// bit-identical.
+#pragma once
+
+#include <cstddef>
+
+#include "engine/evolver_common.hpp"
+#include "moga/individual.hpp"
+#include "obs/event_sink.hpp"
+
+namespace anadex::moga {
+
+/// The feasible non-dominated candidates of `population`, cheaply. When the
+/// population carries ranks (every evolver that runs NDS-based selection),
+/// this is the O(n) feasible rank-0 subset — a superset of the global
+/// Pareto front whose hypervolume equals the front's exactly, since
+/// dominated members contribute no volume. Unranked populations (SPEA2
+/// archive, WeightedSum pools) fall back to an exact O(n^2) extraction.
+Population trace_front(const Population& population);
+
+/// Records the per-generation "gen" event: generation index, cumulative
+/// evaluation count, feasible-member count, trace_front size and (when
+/// `hv` is provided) its hypervolume. No-op unless `sink` is enabled at
+/// TraceLevel::Gen.
+void trace_generation(obs::EventSink* sink, std::size_t generation,
+                      std::size_t evaluations, const Population& population,
+                      const engine::TraceHypervolume& hv);
+
+/// Same, with a caller-supplied front (for populations whose rank field
+/// does not identify non-dominated members, e.g. SPEA2's filled archive).
+/// Callers should gate the front computation on `sink->enabled(Gen)`.
+void trace_generation(obs::EventSink* sink, std::size_t generation,
+                      std::size_t evaluations, const Population& population,
+                      const Population& front, const engine::TraceHypervolume& hv);
+
+}  // namespace anadex::moga

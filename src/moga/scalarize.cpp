@@ -10,6 +10,7 @@
 #include "engine/eval_engine.hpp"
 #include "moga/dominance.hpp"
 #include "moga/nsga2.hpp"
+#include "moga/obs_trace.hpp"
 #include "moga/selection.hpp"
 
 namespace anadex::moga {
@@ -50,7 +51,7 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
                  "population size must be even and >= 4");
 
   const auto bounds = problem.bounds();
-  const engine::EvalEngine eval(problem, params.threads);
+  const engine::EvalEngine eval(problem, params.threads, params.sink);
   Rng master(params.seed);
   WeightedSumResult result;
 
@@ -111,6 +112,10 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
       });
       pool.resize(params.population_size);
       pop = std::move(pool);
+      // A single global generation index across the weight sweep keeps the
+      // trace's logical clock monotonic.
+      trace_generation(params.sink, wi * params.generations_per_weight + gen,
+                       result.evaluations, pop, params.trace_hypervolume);
     }
 
     // pop is sorted by the final generation's truncation: front() is the

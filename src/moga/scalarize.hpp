@@ -10,13 +10,16 @@
 
 #include <cstdint>
 
+#include "engine/evolver_common.hpp"
 #include "moga/individual.hpp"
 #include "moga/operators.hpp"
 #include "moga/problem.hpp"
 
 namespace anadex::moga {
 
-struct WeightedSumParams {
+/// WeightedSum has no resumable state, so it embeds only the telemetry
+/// wiring (engine::ObsConfig) instead of the full EvolverCommon base.
+struct WeightedSumParams : engine::ObsConfig {
   std::size_t weight_count = 16;       ///< number of weight vectors swept (>= 2)
   std::size_t population_size = 40;    ///< per scalar run (even, >= 4)
   std::size_t generations_per_weight = 50;

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "engine/eval_engine.hpp"
 #include "moga/dominance.hpp"
+#include "moga/obs_trace.hpp"
 #include "moga/selection.hpp"
 
 namespace anadex::moga {
@@ -110,7 +111,7 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
   ANADEX_REQUIRE(params.archive_size >= 2, "archive size must be >= 2");
 
   const auto bounds = problem.bounds();
-  const engine::EvalEngine eval(problem, params.threads);
+  const engine::EvalEngine eval(problem, params.threads, params.sink);
   Rng rng(params.seed);
   Spea2Result result;
 
@@ -187,6 +188,12 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
 
     ++result.generations_run;
     if (on_generation) on_generation(gen, archive);
+    if (params.sink != nullptr && params.sink->enabled(obs::TraceLevel::Gen)) {
+      // The filled archive reuses rank 0 for every member, so pass the true
+      // non-dominated front explicitly.
+      trace_generation(params.sink, gen, result.evaluations, archive,
+                       extract_global_front(archive), params.trace_hypervolume);
+    }
 
     if (params.snapshot_every > 0 && params.on_snapshot &&
         (gen + 1) % params.snapshot_every == 0) {

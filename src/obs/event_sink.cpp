@@ -1,0 +1,68 @@
+#include "obs/event_sink.hpp"
+
+#include <string>
+
+#include "common/check.hpp"
+
+namespace anadex::obs {
+
+TraceLevel trace_level_from_string(std::string_view text) {
+  if (text == "off") return TraceLevel::Off;
+  if (text == "gen") return TraceLevel::Gen;
+  if (text == "eval") return TraceLevel::Eval;
+  ANADEX_REQUIRE(false,
+                 "trace level must be one of off|gen|eval, got '" + std::string(text) + "'");
+  return TraceLevel::Off;
+}
+
+std::string_view to_string(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::Off: return "off";
+    case TraceLevel::Gen: return "gen";
+    case TraceLevel::Eval: return "eval";
+  }
+  ANADEX_ASSERT(false, "unknown trace level");
+  return {};
+}
+
+void EventSink::counter(std::string_view name, std::uint64_t value, TraceLevel level) {
+  if (!enabled(level)) return;
+  const Field fields[] = {str("name", name), u64("value", value)};
+  record(Event{"counter", level, false, fields});
+}
+
+void EventSink::gauge(std::string_view name, double value, TraceLevel level) {
+  if (!enabled(level)) return;
+  const Field fields[] = {str("name", name), f64("value", value)};
+  record(Event{"gauge", level, false, fields});
+}
+
+NullSink& null_sink() {
+  static NullSink sink;
+  return sink;
+}
+
+ScopedTimer::ScopedTimer(EventSink* sink, std::string_view name, TraceLevel level)
+    : sink_(sink), name_(name), level_(level) {
+  armed_ = sink_ != nullptr && sink_->enabled(level_);
+  if (armed_) start_ = std::chrono::steady_clock::now();
+}
+
+double ScopedTimer::seconds() const {
+  if (!armed_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+void ScopedTimer::stop() {
+  if (!armed_) return;
+  armed_ = false;
+  const Field fields[] = {str("name", name_),
+                          f64("seconds", std::chrono::duration<double>(
+                                             std::chrono::steady_clock::now() - start_)
+                                             .count())};
+  sink_->record(Event{"timer", level_, true, fields});
+}
+
+ScopedTimer::~ScopedTimer() { stop(); }
+
+}  // namespace anadex::obs

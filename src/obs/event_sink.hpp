@@ -1,0 +1,209 @@
+// Run-telemetry event model: typed fields, trace levels and the EventSink
+// interface every instrumentation site talks to.
+//
+// Design goals (docs/observability.md):
+//   * Zero overhead when disabled. Instrumentation sites hold a nullable
+//     `EventSink*` and check `sink && sink->enabled(level)` before building
+//     an event, so a run without tracing pays one pointer test per site.
+//   * Logical clocks first. Events carry generation / evaluation counters
+//     (deterministic for a fixed seed, independent of scheduling); wall time
+//     is stamped by the sink only on events marked `timed`, so gen-level
+//     traces are bit-identical across thread counts and machines.
+//   * Self-describing. Every event is a flat name + field list; the JSONL
+//     writer turns each into one standalone JSON object.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace anadex::obs {
+
+/// How much a run records. Levels are cumulative: Eval implies Gen.
+///   Off  — nothing (the default; NullSink behaves like this).
+///   Gen  — one record per generation plus run/phase markers; contains only
+///          deterministic data (logical clocks, counts, metrics).
+///   Eval — everything above plus per-batch evaluation timing (wall-clock,
+///          therefore nondeterministic).
+enum class TraceLevel : int { Off = 0, Gen = 1, Eval = 2 };
+
+/// Parses "off" / "gen" / "eval" (exact, lowercase). Throws
+/// anadex::PreconditionError on anything else.
+TraceLevel trace_level_from_string(std::string_view text);
+
+/// Inverse of trace_level_from_string.
+std::string_view to_string(TraceLevel level);
+
+/// One key/value pair of an event. Construct via the helpers below; spans
+/// and string_views are borrowed, so a Field must not outlive the call that
+/// records it.
+struct Field {
+  enum class Kind { U64, I64, F64, Bool, Str, U64Array, F64Array };
+
+  std::string_view key;
+  Kind kind = Kind::U64;
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  bool boolean = false;
+  std::string_view str;
+  std::span<const std::uint64_t> u64s;
+  std::span<const double> f64s;
+};
+
+inline Field u64(std::string_view key, std::uint64_t value) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::U64;
+  f.u64 = value;
+  return f;
+}
+
+inline Field i64(std::string_view key, std::int64_t value) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::I64;
+  f.i64 = value;
+  return f;
+}
+
+inline Field f64(std::string_view key, double value) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::F64;
+  f.f64 = value;
+  return f;
+}
+
+inline Field boolean(std::string_view key, bool value) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::Bool;
+  f.boolean = value;
+  return f;
+}
+
+inline Field str(std::string_view key, std::string_view value) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::Str;
+  f.str = value;
+  return f;
+}
+
+inline Field u64_array(std::string_view key, std::span<const std::uint64_t> values) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::U64Array;
+  f.u64s = values;
+  return f;
+}
+
+inline Field f64_array(std::string_view key, std::span<const double> values) {
+  Field f;
+  f.key = key;
+  f.kind = Field::Kind::F64Array;
+  f.f64s = values;
+  return f;
+}
+
+/// One telemetry event. `name` becomes the JSONL "ev" key; `level` is the
+/// minimum trace level at which the event is recorded; `timed` asks the
+/// sink to stamp monotonic wall seconds (only ever set on Eval-level
+/// events so Gen traces stay deterministic).
+struct Event {
+  std::string_view name;
+  TraceLevel level = TraceLevel::Gen;
+  bool timed = false;
+  std::span<const Field> fields;
+};
+
+/// Destination of telemetry events. Implementations must tolerate `record`
+/// being called with events above their configured level (they drop them),
+/// but callers should consult `enabled` first so disabled tracing costs
+/// nothing. A sink is driven from the run thread; JsonlTraceWriter is
+/// additionally internally synchronized.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// True when events at `level` will be kept. Instrumentation sites gate
+  /// on this before gathering any data.
+  virtual bool enabled(TraceLevel level) const = 0;
+
+  virtual void record(const Event& event) = 0;
+
+  /// Pushes buffered events to their destination. Also runs on destruction
+  /// of concrete sinks.
+  virtual void flush() {}
+
+  /// Convenience: records a monotonically increasing count as a
+  /// self-describing "counter" event.
+  void counter(std::string_view name, std::uint64_t value,
+               TraceLevel level = TraceLevel::Gen);
+
+  /// Convenience: records a point-in-time measurement as a "gauge" event.
+  void gauge(std::string_view name, double value, TraceLevel level = TraceLevel::Gen);
+};
+
+/// Sink that keeps nothing; `enabled` is false for every level so
+/// instrumentation short-circuits. Use `null_sink()` for a shared instance.
+class NullSink final : public EventSink {
+ public:
+  bool enabled(TraceLevel) const override { return false; }
+  void record(const Event&) override {}
+};
+
+/// Shared process-wide NullSink (stateless, safe from any thread).
+NullSink& null_sink();
+
+/// Streaming min/mean/max accumulator for batch latencies and similar
+/// gauges. Empty accumulators report 0 for every statistic.
+struct MinMeanMax {
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  void add(double value) {
+    if (count == 0) {
+      min = max = value;
+    } else {
+      if (value < min) min = value;
+      if (value > max) max = value;
+    }
+    sum += value;
+    ++count;
+  }
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// Measures a monotonic-clock span and records it as a `timed` event named
+/// `name` with a "seconds" field on destruction (or explicitly via stop()).
+/// Does nothing when the sink is null or the level is disabled.
+class ScopedTimer {
+ public:
+  ScopedTimer(EventSink* sink, std::string_view name,
+              TraceLevel level = TraceLevel::Eval);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed since construction.
+  double seconds() const;
+
+  /// Records the event now (idempotent; the destructor becomes a no-op).
+  void stop();
+
+ private:
+  EventSink* sink_ = nullptr;
+  std::string_view name_;
+  TraceLevel level_ = TraceLevel::Eval;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace anadex::obs

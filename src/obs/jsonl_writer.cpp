@@ -1,0 +1,159 @@
+#include "obs/jsonl_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace anadex::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, result.ptr);
+}
+
+void append_i64(std::string& out, std::int64_t value) {
+  char buffer[24];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, result.ptr);
+}
+
+void append_field_value(std::string& out, const Field& field) {
+  switch (field.kind) {
+    case Field::Kind::U64:
+      append_u64(out, field.u64);
+      return;
+    case Field::Kind::I64:
+      append_i64(out, field.i64);
+      return;
+    case Field::Kind::F64:
+      append_json_double(out, field.f64);
+      return;
+    case Field::Kind::Bool:
+      out += field.boolean ? "true" : "false";
+      return;
+    case Field::Kind::Str:
+      append_json_string(out, field.str);
+      return;
+    case Field::Kind::U64Array:
+      out += '[';
+      for (std::size_t i = 0; i < field.u64s.size(); ++i) {
+        if (i > 0) out += ',';
+        append_u64(out, field.u64s[i]);
+      }
+      out += ']';
+      return;
+    case Field::Kind::F64Array:
+      out += '[';
+      for (std::size_t i = 0; i < field.f64s.size(); ++i) {
+        if (i > 0) out += ',';
+        append_json_double(out, field.f64s[i]);
+      }
+      out += ']';
+      return;
+  }
+  ANADEX_ASSERT(false, "unknown field kind");
+}
+
+}  // namespace
+
+void append_json_string(std::string& out, std::string_view value) {
+  out += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no literals for these; a tagged string keeps the line parseable.
+    out += value > 0 ? "\"inf\"" : (value < 0 ? "\"-inf\"" : "\"nan\"");
+    return;
+  }
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  out.append(buffer, result.ptr);
+}
+
+JsonlTraceWriter::JsonlTraceWriter(const std::string& path, TraceLevel level)
+    : path_(path), level_(level), epoch_(std::chrono::steady_clock::now()), out_(path) {
+  ANADEX_REQUIRE(level != TraceLevel::Off, "JsonlTraceWriter needs a level above off");
+  ANADEX_REQUIRE(out_.good(), "cannot open trace file '" + path + "' for writing");
+  std::string line = "{\"ev\":\"trace_start\",\"schema\":";
+  append_json_string(line, kTraceSchema);
+  line += ",\"level\":";
+  append_json_string(line, to_string(level_));
+  line += '}';
+  write_line(line);
+}
+
+JsonlTraceWriter::~JsonlTraceWriter() {
+  std::string line = "{\"ev\":\"trace_end\",\"events\":";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    append_u64(line, events_ + 1);  // include this trailer line itself
+  }
+  line += '}';
+  write_line(line);
+  flush();
+}
+
+void JsonlTraceWriter::record(const Event& event) {
+  if (!enabled(event.level)) return;
+
+  std::string line;
+  line.reserve(64 + event.fields.size() * 24);
+  line += "{\"ev\":";
+  append_json_string(line, event.name);
+  if (event.timed) {
+    line += ",\"t\":";
+    append_json_double(
+        line, std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+                  .count());
+  }
+  for (const Field& field : event.fields) {
+    line += ',';
+    append_json_string(line, field.key);
+    line += ':';
+    append_field_value(line, field);
+  }
+  line += '}';
+  write_line(line);
+}
+
+void JsonlTraceWriter::write_line(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << '\n';
+  ++events_;
+}
+
+void JsonlTraceWriter::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.flush();
+}
+
+std::uint64_t JsonlTraceWriter::events_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+}  // namespace anadex::obs

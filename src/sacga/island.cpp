@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "engine/eval_engine.hpp"
 #include "moga/nds.hpp"
+#include "moga/obs_trace.hpp"
 #include "moga/selection.hpp"
 
 namespace anadex::sacga {
@@ -89,7 +90,7 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
                  "cannot migrate more individuals than an island holds");
 
   const auto bounds = problem.bounds();
-  const engine::EvalEngine eval(problem, params.threads);
+  const engine::EvalEngine eval(problem, params.threads, params.sink);
   Rng rng(params.seed);
   IslandResult result;
 
@@ -169,12 +170,21 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
       ++result.migrations;
     }
     ++result.generations_run;
-    if (on_generation) {
+    const bool tracing =
+        params.sink != nullptr && params.sink->enabled(obs::TraceLevel::Gen);
+    if (on_generation || tracing) {
       moga::Population combined;
       for (const auto& island : islands) {
         combined.insert(combined.end(), island.begin(), island.end());
       }
-      on_generation(gen, combined);
+      if (on_generation) on_generation(gen, combined);
+      moga::trace_generation(params.sink, gen, result.evaluations, combined,
+                             params.trace_hypervolume);
+      if (tracing && (gen + 1) % params.migration_interval == 0) {
+        const obs::Field fields[] = {obs::u64("gen", gen),
+                                     obs::u64("migrations", result.migrations)};
+        params.sink->record(obs::Event{"migration", obs::TraceLevel::Gen, false, fields});
+      }
     }
 
     if (params.snapshot_every > 0 && params.on_snapshot &&

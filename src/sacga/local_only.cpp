@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "common/check.hpp"
+#include "moga/obs_trace.hpp"
+#include "sacga/obs_trace.hpp"
 
 namespace anadex::sacga {
 
@@ -12,6 +14,7 @@ LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyPara
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
   evolver_params.threads = params.threads;
+  evolver_params.sink = params.sink;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);
@@ -29,6 +32,9 @@ LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyPara
   for (std::size_t gen = evolver.generation(); gen < params.generations; ++gen) {
     evolver.step(never);
     if (on_generation) on_generation(gen, evolver.population());
+    moga::trace_generation(params.sink, gen, evolver.evaluations(), evolver.population(),
+                           params.trace_hypervolume);
+    trace_sacga_generation(params.sink, evolver, gen, /*phase=*/0, nullptr, 0);
     if (params.snapshot_every > 0 && params.on_snapshot &&
         evolver.generation() % params.snapshot_every == 0) {
       params.on_snapshot(LocalOnlyState{evolver.snapshot()});

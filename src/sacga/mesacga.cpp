@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "common/check.hpp"
+#include "moga/obs_trace.hpp"
+#include "sacga/obs_trace.hpp"
 
 namespace anadex::sacga {
 
@@ -24,6 +26,7 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
   evolver_params.threads = params.threads;
+  evolver_params.sink = params.sink;
 
   std::optional<PartitionedEvolver> engine;
   MesacgaResult result;
@@ -60,7 +63,8 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   if (!phase1_done) {
     gen_t = run_phase1(
         evolver, params.phase1_max_generations, on_generation, 0, evolver.generation(),
-        [&maybe_snapshot](const PartitionedEvolver&, std::size_t) { maybe_snapshot(false, 0); });
+        [&maybe_snapshot](const PartitionedEvolver&, std::size_t) { maybe_snapshot(false, 0); },
+        &params);
   }
   result.phase1_generations = gen_t;
 
@@ -97,6 +101,11 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
       evolver.set_partitioner(Partitioner(params.axis_objective, params.axis_lo,
                                           params.axis_hi, params.partition_schedule[phase]));
     }
+    if (entering_fresh) {
+      trace_phase_marker(params.sink, "phase_start", phase + 1,
+                         params.partition_schedule[phase], generation,
+                         /*front_size=*/0);
+    }
     const AnnealingSchedule& schedule =
         params.continuous_annealing ? whole_run_schedule : per_phase_schedule;
 
@@ -109,6 +118,10 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
       };
       evolver.step(prob);
       if (on_generation) on_generation(generation, evolver.population());
+      moga::trace_generation(params.sink, generation, evolver.evaluations(),
+                             evolver.population(), params.trace_hypervolume);
+      trace_sacga_generation(params.sink, evolver, generation, phase + 1, &schedule,
+                             schedule_offset);
       ++generation;
 
       if (offset + 1 == span) {
@@ -117,6 +130,9 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
         snap.partitions = params.partition_schedule[phase];
         snap.generation = generation;
         snap.front = evolver.global_front();
+        trace_phase_marker(params.sink, "phase_end", phase + 1,
+                           params.partition_schedule[phase], generation,
+                           snap.front.size());
         result.phases.push_back(std::move(snap));
       }
       maybe_snapshot(true, gen_t);

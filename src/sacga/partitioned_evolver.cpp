@@ -15,7 +15,7 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
                                        Partitioner partitioner, std::uint64_t seed)
     : problem_(problem),
       params_(params),
-      engine_(problem, params.threads),
+      engine_(problem, params.threads, params.sink),
       partitioner_(std::move(partitioner)),
       bounds_(problem.bounds()),
       rng_(seed),
@@ -37,7 +37,7 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
                                        Partitioner partitioner, const EvolverSnapshot& snapshot)
     : problem_(problem),
       params_(params),
-      engine_(problem, params.threads),
+      engine_(problem, params.threads, params.sink),
       partitioner_(std::move(partitioner)),
       bounds_(problem.bounds()),
       rng_(1),
@@ -61,6 +61,21 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
     info_[i].local_rank = population_[i].rank;
     info_[i].discarded_partition = discarded_[p];
   }
+}
+
+PartitionedEvolver::PartitionStats PartitionedEvolver::partition_stats() const {
+  PartitionStats stats;
+  stats.occupancy.assign(partitioner_.count(), 0);
+  stats.feasible.assign(partitioner_.count(), 0);
+  for (std::size_t i = 0; i < population_.size(); ++i) {
+    const std::size_t p = info_[i].partition;
+    ++stats.occupancy[p];
+    if (population_[i].feasible()) ++stats.feasible[p];
+  }
+  for (const bool d : discarded_) {
+    if (d) ++stats.discarded;
+  }
+  return stats;
 }
 
 EvolverSnapshot PartitionedEvolver::snapshot() const {

@@ -44,6 +44,9 @@ struct EvolverParams {
   /// Worker threads for batch evaluation (engine::EvolverCommon semantics:
   /// 1 = serial, 0 = hardware, N = exactly N; results are invariant).
   std::size_t threads = 1;
+  /// Non-owning telemetry sink forwarded to the EvalEngine (batch timing at
+  /// eval level); nullptr disables. Tracing never alters results.
+  obs::EventSink* sink = nullptr;
 };
 
 /// Probability that the i-th (1-based) locally-superior solution of a
@@ -106,6 +109,16 @@ class PartitionedEvolver {
 
   /// Indices of partitions currently discarded.
   const std::vector<bool>& discarded() const { return discarded_; }
+
+  /// Per-partition occupancy snapshot of the current population — the
+  /// paper's partition-dynamics observable (telemetry; see
+  /// docs/observability.md). Index p counts members assigned to partition p.
+  struct PartitionStats {
+    std::vector<std::uint64_t> occupancy;
+    std::vector<std::uint64_t> feasible;
+    std::uint64_t discarded = 0;  ///< number of discarded partitions
+  };
+  PartitionStats partition_stats() const;
 
   /// Performs the final global competition on the entire population and
   /// returns the feasible non-dominated front (paper: "Global Competition

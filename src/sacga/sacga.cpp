@@ -4,18 +4,26 @@
 #include <optional>
 
 #include "common/check.hpp"
+#include "moga/obs_trace.hpp"
+#include "sacga/obs_trace.hpp"
 
 namespace anadex::sacga {
 
 std::size_t run_phase1(PartitionedEvolver& evolver, std::size_t max_generations,
                        const moga::GenerationCallback& on_generation,
                        std::size_t generation_offset, std::size_t already_used,
-                       const Phase1StepHook& on_step) {
+                       const Phase1StepHook& on_step, const engine::ObsConfig* obs) {
   const ParticipationProbability never = [](std::size_t) { return 0.0; };
   std::size_t used = already_used;
   while (used < max_generations && !evolver.all_active_partitions_feasible()) {
     evolver.step(never);
     if (on_generation) on_generation(generation_offset + used, evolver.population());
+    if (obs != nullptr) {
+      moga::trace_generation(obs->sink, generation_offset + used, evolver.evaluations(),
+                             evolver.population(), obs->trace_hypervolume);
+      trace_sacga_generation(obs->sink, evolver, generation_offset + used, /*phase=*/0,
+                             nullptr, 0);
+    }
     ++used;
     if (on_step) on_step(evolver, used);
   }
@@ -32,6 +40,7 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
   evolver_params.threads = params.threads;
+  evolver_params.sink = params.sink;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);
@@ -61,7 +70,8 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
   if (!phase1_done) {
     gen_t = run_phase1(
         evolver, params.phase1_max_generations, on_generation, 0, evolver.generation(),
-        [&maybe_snapshot](const PartitionedEvolver&, std::size_t) { maybe_snapshot(false, 0); });
+        [&maybe_snapshot](const PartitionedEvolver&, std::size_t) { maybe_snapshot(false, 0); },
+        &params);
   }
   result.phase1_generations = gen_t;
   for (bool d : evolver.discarded()) {
@@ -89,6 +99,11 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
     if (on_generation) {
       on_generation(result.phase1_generations + offset, evolver.population());
     }
+    moga::trace_generation(params.sink, result.phase1_generations + offset,
+                           evolver.evaluations(), evolver.population(),
+                           params.trace_hypervolume);
+    trace_sacga_generation(params.sink, evolver, result.phase1_generations + offset,
+                           /*phase=*/1, &schedule, offset);
     maybe_snapshot(true, gen_t);
   }
 

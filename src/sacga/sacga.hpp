@@ -76,9 +76,12 @@ using Phase1StepHook = std::function<void(const PartitionedEvolver&, std::size_t
 /// partitions. Returns the number of generations used (gen_t). When
 /// resuming a checkpointed run, `already_used` carries the phase-I
 /// generations already spent (the restored evolver's generation count).
+/// `obs` (optional) carries the telemetry sink: each phase-I generation
+/// records the "gen" + "sacga" trace events with phase = 0.
 std::size_t run_phase1(PartitionedEvolver& evolver, std::size_t max_generations,
                        const moga::GenerationCallback& on_generation,
                        std::size_t generation_offset, std::size_t already_used = 0,
-                       const Phase1StepHook& on_step = {});
+                       const Phase1StepHook& on_step = {},
+                       const engine::ObsConfig* obs = nullptr);
 
 }  // namespace anadex::sacga

@@ -1,0 +1,154 @@
+// Unit tests of the telemetry event model: trace levels, the NullSink
+// short-circuit, the counter/gauge conveniences, MinMeanMax and ScopedTimer.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "obs/event_sink.hpp"
+
+namespace anadex::obs {
+namespace {
+
+/// Sink that deep-copies every recorded event (fields are borrowed, so a
+/// test must snapshot them before the record() call returns).
+class VectorSink final : public EventSink {
+ public:
+  struct Recorded {
+    std::string name;
+    TraceLevel level = TraceLevel::Gen;
+    bool timed = false;
+    std::vector<std::string> keys;
+    std::vector<Field> fields;
+  };
+
+  explicit VectorSink(TraceLevel level = TraceLevel::Eval) : level_(level) {}
+
+  bool enabled(TraceLevel level) const override {
+    return level != TraceLevel::Off &&
+           static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  void record(const Event& event) override {
+    Recorded r;
+    r.name = std::string(event.name);
+    r.level = event.level;
+    r.timed = event.timed;
+    for (const Field& f : event.fields) {
+      r.keys.emplace_back(f.key);
+      r.fields.push_back(f);
+    }
+    events.push_back(std::move(r));
+  }
+
+  std::vector<Recorded> events;
+
+ private:
+  TraceLevel level_;
+};
+
+TEST(TraceLevel, ParsesAndPrintsAllLevels) {
+  EXPECT_EQ(trace_level_from_string("off"), TraceLevel::Off);
+  EXPECT_EQ(trace_level_from_string("gen"), TraceLevel::Gen);
+  EXPECT_EQ(trace_level_from_string("eval"), TraceLevel::Eval);
+  EXPECT_EQ(to_string(TraceLevel::Off), "off");
+  EXPECT_EQ(to_string(TraceLevel::Gen), "gen");
+  EXPECT_EQ(to_string(TraceLevel::Eval), "eval");
+  EXPECT_THROW((void)trace_level_from_string("verbose"), PreconditionError);
+  EXPECT_THROW((void)trace_level_from_string("Gen"), PreconditionError);
+  EXPECT_THROW((void)trace_level_from_string(""), PreconditionError);
+}
+
+TEST(NullSink, DisabledAtEveryLevel) {
+  NullSink& sink = null_sink();
+  EXPECT_FALSE(sink.enabled(TraceLevel::Off));
+  EXPECT_FALSE(sink.enabled(TraceLevel::Gen));
+  EXPECT_FALSE(sink.enabled(TraceLevel::Eval));
+  // record() must be a harmless no-op even when called anyway.
+  const Field fields[] = {u64("x", 1)};
+  sink.record(Event{"gen", TraceLevel::Gen, false, fields});
+  sink.flush();
+}
+
+TEST(EventSink, RecordsEventsInOrderWithFields) {
+  VectorSink sink;
+  const Field a[] = {u64("gen", 7), f64("hv", 0.5)};
+  const Field b[] = {str("algo", "MESACGA")};
+  sink.record(Event{"gen", TraceLevel::Gen, false, a});
+  sink.record(Event{"run_start", TraceLevel::Gen, false, b});
+
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].name, "gen");
+  EXPECT_EQ(sink.events[1].name, "run_start");
+  ASSERT_EQ(sink.events[0].keys.size(), 2u);
+  EXPECT_EQ(sink.events[0].keys[0], "gen");
+  EXPECT_EQ(sink.events[0].fields[0].u64, 7u);
+  EXPECT_EQ(sink.events[0].fields[1].f64, 0.5);
+  EXPECT_EQ(sink.events[1].fields[0].str, "MESACGA");
+}
+
+TEST(EventSink, CounterAndGaugeConveniences) {
+  VectorSink sink;
+  sink.counter("evals", 128);
+  sink.gauge("t_a", 42.5, TraceLevel::Eval);
+
+  ASSERT_EQ(sink.events.size(), 2u);
+  EXPECT_EQ(sink.events[0].name, "counter");
+  EXPECT_EQ(sink.events[0].level, TraceLevel::Gen);
+  EXPECT_EQ(sink.events[0].fields[1].u64, 128u);
+  EXPECT_EQ(sink.events[1].name, "gauge");
+  EXPECT_EQ(sink.events[1].level, TraceLevel::Eval);
+  EXPECT_EQ(sink.events[1].fields[1].f64, 42.5);
+}
+
+TEST(EventSink, CounterRespectsDisabledLevel) {
+  VectorSink sink(TraceLevel::Gen);
+  sink.counter("evals", 1, TraceLevel::Eval);  // above the sink's level
+  EXPECT_TRUE(sink.events.empty());
+}
+
+TEST(MinMeanMax, TracksStatistics) {
+  MinMeanMax acc;
+  EXPECT_EQ(acc.count, 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+
+  acc.add(3.0);
+  acc.add(1.0);
+  acc.add(5.0);
+  EXPECT_EQ(acc.min, 1.0);
+  EXPECT_EQ(acc.max, 5.0);
+  EXPECT_EQ(acc.count, 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+}
+
+TEST(ScopedTimer, EmitsTimedEventOnStop) {
+  VectorSink sink;
+  ScopedTimer timer(&sink, "run");
+  EXPECT_GE(timer.seconds(), 0.0);
+  timer.stop();
+  timer.stop();  // idempotent
+
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].name, "timer");
+  EXPECT_TRUE(sink.events[0].timed);
+  EXPECT_EQ(sink.events[0].fields[0].str, "run");
+  EXPECT_GE(sink.events[0].fields[1].f64, 0.0);
+}
+
+TEST(ScopedTimer, EmitsOnDestruction) {
+  VectorSink sink;
+  { ScopedTimer timer(&sink, "scope"); }
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.events[0].name, "timer");
+}
+
+TEST(ScopedTimer, NoOpWithNullSinkOrDisabledLevel) {
+  { ScopedTimer timer(nullptr, "x"); }  // must not crash
+  VectorSink gen_only(TraceLevel::Gen);
+  { ScopedTimer timer(&gen_only, "x", TraceLevel::Eval); }
+  EXPECT_TRUE(gen_only.events.empty());
+}
+
+}  // namespace
+}  // namespace anadex::obs

@@ -1,0 +1,167 @@
+// JsonlTraceWriter: framing (trace_start header / trace_end trailer), event
+// ordering, JSON escaping, double formatting, flush-on-destruction and the
+// level gate. Files go to gtest's TempDir.
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "obs/jsonl_writer.hpp"
+
+namespace anadex::obs {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string temp_path(const char* name) { return testing::TempDir() + name; }
+
+TEST(JsonlWriter, WritesHeaderEventsAndTrailerInOrder) {
+  const std::string path = temp_path("anadex_jsonl_order.jsonl");
+  {
+    JsonlTraceWriter writer(path, TraceLevel::Gen);
+    const Field a[] = {u64("gen", 0)};
+    const Field b[] = {u64("gen", 1)};
+    writer.record(Event{"gen", TraceLevel::Gen, false, a});
+    writer.record(Event{"gen", TraceLevel::Gen, false, b});
+    EXPECT_EQ(writer.events_written(), 3u);  // header + 2 events
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0],
+            R"({"ev":"trace_start","schema":"anadex-trace/v1","level":"gen"})");
+  EXPECT_EQ(lines[1], R"({"ev":"gen","gen":0})");
+  EXPECT_EQ(lines[2], R"({"ev":"gen","gen":1})");
+  EXPECT_EQ(lines[3], R"({"ev":"trace_end","events":4})");
+}
+
+TEST(JsonlWriter, FlushesCompletedTraceOnDestruction) {
+  const std::string path = temp_path("anadex_jsonl_flush.jsonl");
+  {
+    JsonlTraceWriter writer(path, TraceLevel::Gen);
+    const Field f[] = {u64("gen", 0)};
+    writer.record(Event{"gen", TraceLevel::Gen, false, f});
+    // No explicit flush: destruction must still produce a complete file.
+  }
+  const auto lines = read_lines(path);
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().find("trace_end"), std::string::npos);
+}
+
+TEST(JsonlWriter, ExplicitFlushMakesEventsVisible) {
+  const std::string path = temp_path("anadex_jsonl_explicit_flush.jsonl");
+  JsonlTraceWriter writer(path, TraceLevel::Gen);
+  const Field f[] = {u64("gen", 3)};
+  writer.record(Event{"gen", TraceLevel::Gen, false, f});
+  writer.flush();
+  const auto lines = read_lines(path);  // writer still open
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], R"({"ev":"gen","gen":3})");
+}
+
+TEST(JsonlWriter, DropsEventsAboveConfiguredLevel) {
+  const std::string path = temp_path("anadex_jsonl_level.jsonl");
+  {
+    JsonlTraceWriter writer(path, TraceLevel::Gen);
+    EXPECT_TRUE(writer.enabled(TraceLevel::Gen));
+    EXPECT_FALSE(writer.enabled(TraceLevel::Eval));
+    EXPECT_FALSE(writer.enabled(TraceLevel::Off));
+    const Field f[] = {u64("x", 1)};
+    writer.record(Event{"batch", TraceLevel::Eval, true, f});  // above level
+    writer.record(Event{"gen", TraceLevel::Gen, false, f});
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);  // header, the gen event, trailer
+  EXPECT_NE(lines[1].find("\"ev\":\"gen\""), std::string::npos);
+}
+
+TEST(JsonlWriter, StampsMonotonicTimeOnTimedEvents) {
+  const std::string path = temp_path("anadex_jsonl_timed.jsonl");
+  {
+    JsonlTraceWriter writer(path, TraceLevel::Eval);
+    const Field f[] = {u64("size", 8)};
+    writer.record(Event{"batch", TraceLevel::Eval, true, f});
+    writer.record(Event{"gen", TraceLevel::Gen, false, f});
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[1].find("\"t\":"), std::string::npos) << lines[1];
+  EXPECT_EQ(lines[2].find("\"t\":"), std::string::npos) << lines[2];
+}
+
+TEST(JsonlWriter, SerializesEveryFieldKind) {
+  const std::string path = temp_path("anadex_jsonl_kinds.jsonl");
+  const std::uint64_t counts[] = {1, 2, 3};
+  const double probs[] = {0.5, 0.25};
+  {
+    JsonlTraceWriter writer(path, TraceLevel::Gen);
+    const Field f[] = {u64("u", 42),        i64("i", -7),
+                       f64("d", 1.5),       boolean("b", true),
+                       str("s", "MESACGA"), u64_array("us", counts),
+                       f64_array("ds", probs)};
+    writer.record(Event{"kinds", TraceLevel::Gen, false, f});
+  }
+  const auto lines = read_lines(path);
+  EXPECT_EQ(lines[1],
+            R"({"ev":"kinds","u":42,"i":-7,"d":1.5,"b":true,"s":"MESACGA",)"
+            R"("us":[1,2,3],"ds":[0.5,0.25]})");
+}
+
+TEST(JsonlWriter, EscapesStrings) {
+  std::string out;
+  append_json_string(out, "plain");
+  EXPECT_EQ(out, R"("plain")");
+
+  out.clear();
+  append_json_string(out, "a\"b\\c");
+  EXPECT_EQ(out, R"("a\"b\\c")");
+
+  out.clear();
+  append_json_string(out, "tab\there\nline\rret");
+  EXPECT_EQ(out, R"("tab\there\nline\rret")");
+
+  out.clear();
+  append_json_string(out, std::string_view("nul\0byte", 8));
+  EXPECT_EQ(out, R"("nul\u0000byte")");
+}
+
+TEST(JsonlWriter, FormatsDoublesShortestRoundTrip) {
+  std::string out;
+  append_json_double(out, 0.1);
+  EXPECT_EQ(out, "0.1");
+
+  out.clear();
+  append_json_double(out, -2.5e-12);
+  EXPECT_EQ(out, "-2.5e-12");
+
+  out.clear();
+  append_json_double(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, R"("inf")");
+
+  out.clear();
+  append_json_double(out, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, R"("-inf")");
+
+  out.clear();
+  append_json_double(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, R"("nan")");
+}
+
+TEST(JsonlWriter, RejectsOffLevelAndMissingParentDirectory) {
+  EXPECT_THROW(JsonlTraceWriter(temp_path("anadex_off.jsonl"), TraceLevel::Off),
+               PreconditionError);
+  EXPECT_THROW(JsonlTraceWriter(testing::TempDir() + "no_such_dir/x.jsonl",
+                                TraceLevel::Gen),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace anadex::obs
