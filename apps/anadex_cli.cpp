@@ -5,13 +5,17 @@
 //       List the 20 graded circuit specifications.
 //   anadex explore [--algo tpg|localonly|sacga|mesacga|island|wsum|spea2]
 //                  [--spec 1..20|chosen] [--generations N] [--population N]
-//                  [--partitions M] [--seed S] [--threads T] [--csv FILE]
+//                  [--partitions M] [--seed S] [--threads T] [--eval-cache N]
+//                  [--csv FILE]
 //                  [--history] [--checkpoint FILE] [--checkpoint-every N]
 //                  [--resume] [--trace FILE] [--trace-level off|gen|eval]
 //       Run one design-space exploration and print the Pareto surface.
 //       --threads T evaluates each generation's offspring on T worker
 //       threads (0 = one per hardware thread); results are bit-identical
-//       for every thread count. With --checkpoint, the run state is
+//       for every thread count. --eval-cache N memoizes up to N distinct
+//       genotype evaluations (0 = off, the default); like --threads it is a
+//       pure execution knob — results are bit-identical on or off
+//       (docs/performance.md). With --checkpoint, the run state is
 //       snapshotted every N generations so an interrupted exploration can
 //       continue with --resume (also across different --threads values).
 //       --trace streams run telemetry as JSONL (docs/observability.md);
@@ -46,11 +50,14 @@ int usage() {
       "usage: anadex <specs|explore|evaluate|simulate|compare> [options]\n"
       "  specs                          list the 20 graded specifications\n"
       "  explore  --algo A --spec S --generations N [--population N]\n"
-      "           [--partitions M] [--seed S] [--threads T] [--csv FILE]\n"
+      "           [--partitions M] [--seed S] [--threads T] [--eval-cache N]\n"
+      "           [--csv FILE]\n"
       "           [--history] [--checkpoint FILE] [--checkpoint-every N]\n"
       "           [--resume] [--trace FILE] [--trace-level off|gen|eval]\n"
       "           (--threads: evaluation workers; 0 = hardware count;\n"
       "            results are identical for every thread count;\n"
+      "            --eval-cache: dedup-cache capacity, 0 = off; results\n"
+      "            are identical with the cache on or off;\n"
       "            --trace: JSONL run telemetry, see docs/observability.md)\n"
       "  evaluate --genes g1,...,g15 [--spec S]\n"
       "  simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]\n"
@@ -108,6 +115,7 @@ int cmd_explore(const ArgParser& args) {
   settings.partitions = static_cast<std::size_t>(args.get_int("partitions", 8));
   settings.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   settings.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  settings.eval_cache = static_cast<std::size_t>(args.get_int("eval-cache", 0));
   settings.record_history = args.get_flag("history");
   settings.checkpoint_path = args.get("checkpoint", "");
   settings.checkpoint_every =

@@ -1,15 +1,27 @@
 // EvalEngine throughput: evaluations/second of IntegratorProblem batches
 // versus worker-thread count, plus a bit-identity cross-check of every
-// parallel run against the serial reference. Emits
-// BENCH_eval_throughput.json next to the working directory for the CI
-// artifact collector.
+// parallel run against the serial reference, plus the dedup-cache section:
+// throughput with the memo cache on vs off at controlled duplicate rates.
+// Emits BENCH_eval_throughput.json next to the working directory for the
+// CI artifact collector.
 //
 // Expect near-linear speedup up to the machine's core count; on a
 // single-core runner every row collapses to ~1x, which the JSON records
-// honestly via "hardware_threads".
+// honestly via "hardware_threads". The cache section's acceptance check is
+// duplicate-rate driven, not core-count driven: at a 50% duplicate rate
+// the cached engine must deliver >= 1.3x the uncached throughput
+// (docs/performance.md).
+//
+// Flags / environment:
+//   --duplicate-rate R   run the cache section at the single rate R (0..1)
+//                        instead of the default {0, 0.2, 0.5} sweep
+//   ANADEX_BENCH_QUICK   shrink batch/repeat budgets for the CI smoke run
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,13 +35,16 @@ namespace {
 using namespace anadex;
 using Clock = std::chrono::steady_clock;
 
-constexpr std::size_t kBatchSize = 256;  // one large generation's offspring
-constexpr std::size_t kRepeats = 8;      // timed batches per thread count
+bool quick_mode() {
+  const char* v = std::getenv("ANADEX_BENCH_QUICK");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
 
-std::vector<engine::Genome> make_genomes(const moga::Problem& problem) {
+std::vector<engine::Genome> make_genomes(const moga::Problem& problem,
+                                         std::size_t count) {
   const auto bounds = problem.bounds();
   Rng rng(42);
-  std::vector<engine::Genome> genomes(kBatchSize);
+  std::vector<engine::Genome> genomes(count);
   for (auto& genes : genomes) {
     genes.resize(bounds.size());
     for (std::size_t k = 0; k < bounds.size(); ++k) {
@@ -37,6 +52,32 @@ std::vector<engine::Genome> make_genomes(const moga::Problem& problem) {
     }
   }
   return genomes;
+}
+
+/// Builds `count` batches of `batch_size` genomes, all distinct ACROSS
+/// batches, with `rate` of each batch rewritten into copies of earlier
+/// members of the SAME batch — modelling the clone/elitism duplication of
+/// a real generation while keeping successive generations fresh, so the
+/// measured speedup isolates the duplicate-rate knob rather than the
+/// repeat-the-same-batch LRU effect.
+std::vector<std::vector<engine::Genome>> duplicated_batches(const moga::Problem& problem,
+                                                            std::size_t count,
+                                                            std::size_t batch_size,
+                                                            double rate) {
+  const auto pool = make_genomes(problem, count * batch_size);
+  Rng rng(77);
+  std::vector<std::vector<engine::Genome>> batches(count);
+  for (std::size_t b = 0; b < count; ++b) {
+    auto& batch = batches[b];
+    batch.assign(pool.begin() + static_cast<std::ptrdiff_t>(b * batch_size),
+                 pool.begin() + static_cast<std::ptrdiff_t>((b + 1) * batch_size));
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+      if (rng.uniform() < rate) {
+        batch[i] = batch[rng.uniform_index(i)];  // copy an earlier member
+      }
+    }
+  }
+  return batches;
 }
 
 bool identical(const std::vector<moga::Evaluation>& a,
@@ -56,53 +97,139 @@ struct Row {
   bool bit_identical = true;
 };
 
+struct CacheRow {
+  double rate = 0.0;
+  double nocache_evals_per_sec = 0.0;
+  double cache_evals_per_sec = 0.0;
+  double speedup = 0.0;
+  std::size_t distinct = 0;
+  std::size_t cache_hits = 0;
+  bool bit_identical = true;
+};
+
+double timed_evals_per_sec(const engine::EvalEngine& eval,
+                           const std::vector<engine::Genome>& genomes,
+                           std::vector<moga::Evaluation>& out, std::size_t repeats) {
+  eval.evaluate_batch(genomes, out);  // warm-up (first touch, page-in)
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    eval.evaluate_batch(genomes, out);
+  }
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  return static_cast<double>(genomes.size() * repeats) / elapsed.count();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = quick_mode();
+  const std::size_t batch_size = quick ? 64 : 256;
+  const std::size_t repeats = quick ? 3 : 8;
+
+  std::vector<double> duplicate_rates{0.0, 0.2, 0.5};
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--duplicate-rate") == 0) {
+      duplicate_rates = {std::atof(argv[i + 1])};
+    }
+  }
+
   const problems::IntegratorProblem problem(problems::chosen_spec());
-  const auto genomes = make_genomes(problem);
+  const auto genomes = make_genomes(problem, batch_size);
 
-  std::vector<moga::Evaluation> reference(kBatchSize);
-  std::vector<moga::Evaluation> out(kBatchSize);
+  std::vector<moga::Evaluation> reference(batch_size);
+  std::vector<moga::Evaluation> out(batch_size);
 
-  std::printf("EvalEngine throughput, %zu-genome batches of '%s' (%zu repeats)\n\n",
-              kBatchSize, problem.name().c_str(), kRepeats);
+  std::printf("EvalEngine throughput, %zu-genome batches of '%s' (%zu repeats)%s\n\n",
+              batch_size, problem.name().c_str(), repeats, quick ? " [quick]" : "");
   std::printf("  threads  effective  evals/sec     speedup  bit-identical\n");
 
   std::vector<Row> rows;
   for (const std::size_t requested : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                                       std::size_t{8}, std::size_t{0}}) {
     const engine::EvalEngine eval(problem, requested);
-    eval.evaluate_batch(genomes, out);  // warm-up (first touch, page-in)
-
-    const auto start = Clock::now();
-    for (std::size_t r = 0; r < kRepeats; ++r) {
-      eval.evaluate_batch(genomes, out);
-    }
-    const std::chrono::duration<double> elapsed = Clock::now() - start;
-
     Row row;
     row.requested = requested;
     row.effective = eval.threads();
-    row.evals_per_sec = static_cast<double>(kBatchSize * kRepeats) / elapsed.count();
+    row.evals_per_sec = timed_evals_per_sec(eval, genomes, out, repeats);
     if (requested == 1) {
       reference = out;
-      rows.push_back(row);
     } else {
       row.speedup = row.evals_per_sec / rows.front().evals_per_sec;
       row.bit_identical = identical(out, reference);
-      rows.push_back(row);
     }
+    rows.push_back(row);
     std::printf("  %7zu  %9zu  %11.0f  %6.2fx  %s\n", row.requested, row.effective,
                 row.evals_per_sec, row.speedup, row.bit_identical ? "yes" : "NO");
+  }
+
+  // --- dedup cache vs duplicate rate (serial engine: isolates the cache) ---
+  std::printf(
+      "\n  dup-rate  no-cache e/s   cached e/s   speedup  distinct  hits  bit-identical\n");
+  std::vector<CacheRow> cache_rows;
+  for (const double rate : duplicate_rates) {
+    // Batch 0 is warm-up only (page-in, first-touch); batches 1..repeats
+    // are timed. Distinct-across-batches genomes keep the warm-up from
+    // pre-filling the LRU with timed work.
+    const auto batches = duplicated_batches(problem, repeats + 1, batch_size, rate);
+    CacheRow row;
+    row.rate = rate;
+    const auto run_all = [&](const engine::EvalEngine& eval,
+                             std::vector<std::vector<moga::Evaluation>>& outs) {
+      eval.evaluate_batch(batches.front(), outs.front());  // warm-up
+      const auto start = Clock::now();
+      for (std::size_t b = 1; b < batches.size(); ++b) {
+        eval.evaluate_batch(batches[b], outs[b]);
+      }
+      const std::chrono::duration<double> elapsed = Clock::now() - start;
+      return static_cast<double>(batch_size * (batches.size() - 1)) / elapsed.count();
+    };
+
+    const engine::EvalEngine plain(problem, 1);
+    std::vector<std::vector<moga::Evaluation>> plain_outs(
+        batches.size(), std::vector<moga::Evaluation>(batch_size));
+    row.nocache_evals_per_sec = run_all(plain, plain_outs);
+
+    const engine::EvalEngine cached(problem, 1, nullptr, /*cache_capacity=*/batch_size);
+    std::vector<std::vector<moga::Evaluation>> cached_outs(
+        batches.size(), std::vector<moga::Evaluation>(batch_size));
+    row.cache_evals_per_sec = run_all(cached, cached_outs);
+
+    row.speedup = row.cache_evals_per_sec / row.nocache_evals_per_sec;
+    row.distinct = cached.stats().evaluated;
+    row.cache_hits = cached.stats().cache_hits();
+    row.bit_identical = true;
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      row.bit_identical = row.bit_identical && identical(cached_outs[b], plain_outs[b]);
+    }
+    cache_rows.push_back(row);
+    std::printf("  %7.0f%%  %12.0f  %11.0f  %6.2fx  %8zu  %4zu  %s\n", rate * 100.0,
+                row.nocache_evals_per_sec, row.cache_evals_per_sec, row.speedup,
+                row.distinct, row.cache_hits, row.bit_identical ? "yes" : "NO");
+  }
+
+  // Acceptance: at the 50% duplicate rate the cache must pay for itself
+  // with at least 1.3x throughput (skipped when --duplicate-rate excluded
+  // the 50% row).
+  bool cache_ok = true;
+  double cache_speedup_at_50 = 0.0;
+  for (const CacheRow& row : cache_rows) {
+    if (row.rate == 0.5) {
+      cache_speedup_at_50 = row.speedup;
+      cache_ok = row.speedup >= 1.3;
+    }
+  }
+  if (cache_speedup_at_50 > 0.0) {
+    std::printf("\ncache speedup at 50%% duplicates: %.2fx (required >= 1.3x) -> %s\n",
+                cache_speedup_at_50, cache_ok ? "ok" : "FAIL");
   }
 
   std::ofstream json("BENCH_eval_throughput.json");
   json << "{\n"
        << "  \"bench\": \"eval_throughput\",\n"
        << "  \"problem\": \"" << problem.name() << "\",\n"
-       << "  \"batch_size\": " << kBatchSize << ",\n"
-       << "  \"repeats\": " << kRepeats << ",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"batch_size\": " << batch_size << ",\n"
+       << "  \"repeats\": " << repeats << ",\n"
        << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
        << "  \"results\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -114,14 +241,32 @@ int main() {
          << ", \"bit_identical\": " << (row.bit_identical ? "true" : "false") << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n"
+       << "  \"duplicate_rates\": [\n";
+  for (std::size_t i = 0; i < cache_rows.size(); ++i) {
+    const CacheRow& row = cache_rows[i];
+    json << "    {\"rate\": " << row.rate
+         << ", \"nocache_evals_per_sec\": " << row.nocache_evals_per_sec
+         << ", \"cache_evals_per_sec\": " << row.cache_evals_per_sec
+         << ", \"speedup\": " << row.speedup << ", \"distinct\": " << row.distinct
+         << ", \"cache_hits\": " << row.cache_hits
+         << ", \"bit_identical\": " << (row.bit_identical ? "true" : "false") << "}"
+         << (i + 1 < cache_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"cache_speedup_at_50\": " << cache_speedup_at_50 << ",\n"
+       << "  \"cache_ok\": " << (cache_ok ? "true" : "false") << "\n"
+       << "}\n";
   std::printf("\nwrote BENCH_eval_throughput.json\n");
 
   bool all_identical = true;
   for (const Row& row : rows) all_identical = all_identical && row.bit_identical;
+  for (const CacheRow& row : cache_rows) {
+    all_identical = all_identical && row.bit_identical;
+  }
   if (!all_identical) {
-    std::printf("ERROR: a parallel run diverged from the serial reference\n");
+    std::printf("ERROR: a run diverged from its reference\n");
     return 1;
   }
-  return 0;
+  return cache_ok ? 0 : 1;
 }

@@ -39,5 +39,8 @@ target_link_libraries(obs_overhead PRIVATE anadex::obs)
 # Wall-clock micro/overhead measurements use google-benchmark.
 anadex_bench(overhead_runtime)
 target_link_libraries(overhead_runtime PRIVATE benchmark::benchmark)
+
+# Evaluation/ranking kernel timings (plain chrono; emits BENCH_kernels.json
+# and enforces the sweep-vs-legacy >= 5x acceptance check at n = 512).
 anadex_bench(micro_kernels)
-target_link_libraries(micro_kernels PRIVATE benchmark::benchmark)
+target_link_libraries(micro_kernels PRIVATE anadex::engine)

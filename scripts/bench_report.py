@@ -24,7 +24,15 @@ SUMMARY_SCHEMA = "anadex-bench-summary/v1"
 # Keys every BENCH_*.json must carry, plus per-bench keys CI inspects.
 REQUIRED_COMMON = ["bench"]
 REQUIRED_BY_BENCH = {
-    "eval_throughput": ["batch_size", "repeats", "hardware_threads", "results"],
+    "eval_throughput": [
+        "batch_size",
+        "repeats",
+        "hardware_threads",
+        "results",
+        "duplicate_rates",
+        "cache_ok",
+    ],
+    "kernels": ["results", "sweep_speedup_at_512", "sweep_ok"],
     "obs_overhead": [
         "generations",
         "repeats",
@@ -41,8 +49,11 @@ REQUIRED_BY_BENCH = {
 # its JSON is well-formed.
 SELF_CHECKS = {
     "eval_throughput": lambda d: all(
-        row.get("bit_identical") is True for row in d.get("results", [])
-    ),
+        row.get("bit_identical") is True
+        for row in d.get("results", []) + d.get("duplicate_rates", [])
+    )
+    and d.get("cache_ok") is True,
+    "kernels": lambda d: d.get("sweep_ok") is True,
     "obs_overhead": lambda d: d.get("within_budget") is True
     and d.get("results_identical") is True,
 }
@@ -71,6 +82,8 @@ def headline(data: dict):
         rows = data.get("results", [])
         best = max((r.get("evals_per_sec", 0.0) for r in rows), default=None)
         return "peak_evals_per_sec", best
+    if bench == "kernels":
+        return "sweep_speedup_at_512", data.get("sweep_speedup_at_512")
     if bench == "obs_overhead":
         return "gen_overhead_pct", data.get("gen_overhead_pct")
     return None, None

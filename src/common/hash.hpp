@@ -1,0 +1,35 @@
+// Deterministic genome hashing shared by the fault-tolerance layer and the
+// evaluation memo cache.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace anadex {
+
+/// FNV-1a over the gene bit patterns, mixed with `seed`, folding one whole
+/// 8-byte word per gene: `hash = (hash ^ bits(gene)) * kFnvPrime64`. The
+/// offset basis (0xcbf29ce484222325) and prime (0x100000001b3) are the
+/// standard 64-bit FNV constants; hashing word-at-a-time instead of
+/// byte-at-a-time costs one multiply per gene rather than eight, which
+/// matters now that every batch item is hashed on the evaluation hot path.
+/// (The per-byte and per-word variants are different — equally valid —
+/// hash functions; the stream changed when this was introduced, see
+/// docs/performance.md.)
+///
+/// The guard's retry perturbation, the fault injector and the EvalEngine
+/// cache all derive determinism from this being a pure function of the
+/// genome bytes.
+inline std::uint64_t hash_genes(std::span<const double> genes, std::uint64_t seed) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL ^ seed;
+  for (double gene : genes) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &gene, sizeof bits);
+    hash ^= bits;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace anadex

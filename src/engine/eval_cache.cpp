@@ -1,0 +1,64 @@
+#include "engine/eval_cache.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace anadex::engine {
+
+EvalCache::EvalCache(std::size_t capacity) : capacity_(capacity) {
+  ANADEX_REQUIRE(capacity > 0, "EvalCache capacity must be > 0");
+}
+
+std::size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+EvalCache::Lru::iterator EvalCache::find_locked(std::span<const double> genes,
+                                                std::uint64_t hash) {
+  auto [lo, hi] = index_.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    const Entry& entry = *it->second;
+    if (entry.genes.size() == genes.size() &&
+        std::equal(entry.genes.begin(), entry.genes.end(), genes.begin())) {
+      return it->second;
+    }
+  }
+  return lru_.end();
+}
+
+bool EvalCache::lookup(std::span<const double> genes, std::uint64_t hash,
+                       moga::Evaluation& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = find_locked(genes, hash);
+  if (it == lru_.end()) return false;
+  out = it->eval;
+  lru_.splice(lru_.begin(), lru_, it);  // refresh recency; iterators stay valid
+  return true;
+}
+
+void EvalCache::insert(std::span<const double> genes, std::uint64_t hash,
+                       const moga::Evaluation& eval) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto existing = find_locked(genes, hash);
+  if (existing != lru_.end()) {
+    lru_.splice(lru_.begin(), lru_, existing);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    const auto victim = std::prev(lru_.end());
+    auto [lo, hi] = index_.equal_range(victim->hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == victim) {
+        index_.erase(it);
+        break;
+      }
+    }
+    lru_.erase(victim);
+  }
+  lru_.push_front(Entry{{genes.begin(), genes.end()}, eval, hash});
+  index_.emplace(hash, lru_.begin());
+}
+
+}  // namespace anadex::engine

@@ -1,0 +1,81 @@
+// EvalCache — a bounded genotype -> Evaluation memo for EvalEngine.
+//
+// Problems in this library are pure functions of the genome (the engine's
+// determinism contract depends on it), so a cached Evaluation is
+// bit-identical to a fresh one and memoization cannot change results —
+// only skip redundant work. Duplicate genotypes are pervasive in the
+// evolutionary loop: elitism re-submits survivors, crossover emits clones,
+// and MESACGA's phase re-seeding replays earlier designs.
+//
+// Keys are the raw gene bytes: an FNV-1a hash (robust::hash_genes) selects
+// the bucket and a full gene-vector compare confirms the hit, so hash
+// collisions can never alias two designs. Eviction is least-recently-used
+// with a fixed entry capacity. All entry points lock one mutex; the engine
+// only calls in from the batch-submitting thread, so the lock is
+// uncontended in practice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "moga/problem.hpp"
+
+namespace anadex::engine {
+
+/// Cumulative evaluation accounting for one EvalEngine. `requested` counts
+/// every submitted item; `evaluated` counts the distinct evaluations that
+/// actually ran. The difference is work the cache absorbed, split into
+/// intra-batch duplicate fan-outs and cross-batch LRU hits. With the cache
+/// disabled, requested == evaluated and both hit counters stay zero.
+struct EvalStats {
+  std::uint64_t requested = 0;   ///< items submitted to evaluate_batch
+  std::uint64_t evaluated = 0;   ///< distinct evaluations dispatched
+  std::uint64_t batch_hits = 0;  ///< duplicates resolved within one batch
+  std::uint64_t lru_hits = 0;    ///< duplicates resolved from earlier batches
+
+  std::uint64_t cache_hits() const { return batch_hits + lru_hits; }
+};
+
+/// Thread-safe bounded LRU map from gene bytes to Evaluation.
+class EvalCache {
+ public:
+  /// `capacity` is the maximum number of retained entries (> 0).
+  explicit EvalCache(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+
+  /// Looks up `genes` (pre-hashed with robust::hash_genes(genes, 0)).
+  /// On a hit, copies the stored result into `out`, refreshes the entry's
+  /// recency and returns true.
+  bool lookup(std::span<const double> genes, std::uint64_t hash,
+              moga::Evaluation& out);
+
+  /// Stores genes -> eval, evicting the least-recently-used entry when
+  /// full. Re-inserting an existing key refreshes its recency only.
+  void insert(std::span<const double> genes, std::uint64_t hash,
+              const moga::Evaluation& eval);
+
+ private:
+  struct Entry {
+    std::vector<double> genes;
+    moga::Evaluation eval;
+    std::uint64_t hash = 0;
+  };
+  using Lru = std::list<Entry>;
+
+  /// Returns the bucketed entry matching `genes` byte-for-byte, or end().
+  Lru::iterator find_locked(std::span<const double> genes, std::uint64_t hash);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  Lru lru_;  ///< front = most recently used
+  std::unordered_multimap<std::uint64_t, Lru::iterator> index_;
+};
+
+}  // namespace anadex::engine

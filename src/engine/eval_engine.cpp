@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 
 namespace anadex::engine {
 
@@ -25,8 +27,9 @@ std::size_t EvalEngine::resolve_threads(std::size_t requested) {
 }
 
 EvalEngine::EvalEngine(const moga::Problem& problem, std::size_t threads,
-                       obs::EventSink* sink)
+                       obs::EventSink* sink, std::size_t cache_capacity)
     : problem_(problem), threads_(resolve_threads(threads)), sink_(sink) {
+  if (cache_capacity > 0) cache_ = std::make_unique<EvalCache>(cache_capacity);
   if (threads_ <= 1) return;  // serial path: no pool
   workers_.reserve(threads_);
   for (std::size_t i = 0; i < threads_; ++i) {
@@ -46,7 +49,10 @@ EvalEngine::~EvalEngine() {
   if (sink_ != nullptr && sink_->enabled(obs::TraceLevel::Eval) && trace_batches_ > 0) {
     const obs::Field fields[] = {obs::u64("batches", trace_batches_),
                                  obs::u64("items", trace_items_),
-                                 obs::u64("workers", threads_)};
+                                 obs::u64("workers", threads_),
+                                 obs::u64("requested", stats_.requested),
+                                 obs::u64("distinct", stats_.evaluated),
+                                 obs::u64("cache_hits", stats_.cache_hits())};
     sink_->record(obs::Event{"eval_engine", obs::TraceLevel::Eval, true, fields});
   }
 }
@@ -59,7 +65,7 @@ void EvalEngine::evaluate_batch(std::span<const Genome> genomes,
   for (std::size_t i = 0; i < genomes.size(); ++i) {
     items[i] = Item{&genomes[i], &out[i]};
   }
-  run_batch(items);
+  submit(items);
 }
 
 void EvalEngine::evaluate_members(std::span<moga::Individual> members) const {
@@ -67,11 +73,90 @@ void EvalEngine::evaluate_members(std::span<moga::Individual> members) const {
   for (std::size_t i = 0; i < members.size(); ++i) {
     items[i] = Item{&members[i].genes, &members[i].eval};
   }
-  run_batch(items);
+  submit(items);
 }
 
 moga::Evaluation EvalEngine::evaluate(std::span<const double> genes) const {
   return problem_.evaluated(genes);
+}
+
+void EvalEngine::submit(std::span<const Item> items) const {
+  stats_.requested += items.size();
+  if (!cache_) {
+    trace_requested_ = items.size();
+    trace_cache_hits_ = 0;
+    stats_.evaluated += items.size();
+    run_batch(items);
+    return;
+  }
+
+  // Dedup on the calling thread, in ascending item order, so (a) the
+  // counters need no synchronization and (b) the distinct dispatch list
+  // preserves original index order — the pool's lowest-index-error rule
+  // then surfaces the same exception the cache-off path would, because the
+  // lowest-index faulting item is always a first occurrence.
+  constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+  struct Pending {
+    Item item;
+    std::uint64_t hash = 0;
+  };
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> reps;
+  std::vector<std::size_t> duplicate_of(items.size(), kNone);
+  std::vector<Pending> missing;
+  missing.reserve(items.size());
+  std::uint64_t lru_hits = 0;
+  std::uint64_t batch_hits = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const Genome& genes = *items[i].genes;
+    const std::uint64_t hash = hash_genes(genes, 0);
+    auto& bucket = reps[hash];
+    std::size_t rep = kNone;
+    for (std::size_t j : bucket) {
+      if (*items[j].genes == genes) {
+        rep = j;
+        break;
+      }
+    }
+    if (rep != kNone) {
+      duplicate_of[i] = rep;
+      ++batch_hits;
+      continue;
+    }
+    bucket.push_back(i);
+    if (cache_->lookup(genes, hash, *items[i].out)) {
+      ++lru_hits;
+      continue;
+    }
+    missing.push_back(Pending{items[i], hash});
+  }
+  stats_.evaluated += missing.size();
+  stats_.batch_hits += batch_hits;
+  stats_.lru_hits += lru_hits;
+  trace_requested_ = items.size();
+  trace_cache_hits_ = lru_hits;
+
+  std::exception_ptr error;
+  if (!missing.empty()) {
+    std::vector<Item> dispatch;
+    dispatch.reserve(missing.size());
+    for (const Pending& p : missing) dispatch.push_back(p.item);
+    try {
+      run_batch(dispatch);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // A faulted batch may have left some representatives unwritten, so
+    // nothing from it enters the LRU; fan-out below still mirrors the
+    // representative slots, matching what independent evaluation of the
+    // clones would have produced (they fault identically).
+    if (!error) {
+      for (const Pending& p : missing) cache_->insert(*p.item.genes, p.hash, *p.item.out);
+    }
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (duplicate_of[i] != kNone) *items[i].out = *items[duplicate_of[i]].out;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void EvalEngine::run_serial(std::span<const Item> items) const {
@@ -134,6 +219,8 @@ void EvalEngine::emit_batch_event(std::size_t size, double wall_seconds,
 
   const obs::Field fields[] = {obs::u64("batch", trace_batches_),
                                obs::u64("size", size),
+                               obs::u64("requested", trace_requested_),
+                               obs::u64("cache_hits", trace_cache_hits_),
                                obs::u64("workers", workers_used),
                                obs::f64("wall_s", wall_seconds),
                                obs::f64("queue_wait_s", queue_wait),

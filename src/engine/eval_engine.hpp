@@ -21,11 +21,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "engine/eval_cache.hpp"
 #include "moga/individual.hpp"
 #include "moga/problem.hpp"
 #include "obs/event_sink.hpp"
@@ -62,8 +64,15 @@ class EvalEngine final : public Evaluator {
   /// time, queue wait, per-item latency min/mean/max and worker utilization
   /// — and destruction records an "eval_engine" totals event. Tracing never
   /// changes results; with no sink the hot path pays one pointer test.
+  /// `cache_capacity`: 0 (default) disables memoization entirely — the
+  /// exact pre-cache code path. N > 0 enables duplicate elimination: each
+  /// distinct genome in a batch is dispatched once and the result fanned
+  /// out to its clones by item index, plus a cross-batch LRU retaining the
+  /// last N distinct evaluations. Because a Problem is a pure function of
+  /// the genome, every result is bit-identical with the cache on or off
+  /// (see docs/performance.md).
   explicit EvalEngine(const moga::Problem& problem, std::size_t threads = 1,
-                      obs::EventSink* sink = nullptr);
+                      obs::EventSink* sink = nullptr, std::size_t cache_capacity = 0);
   ~EvalEngine() override;
 
   EvalEngine(const EvalEngine&) = delete;
@@ -73,6 +82,15 @@ class EvalEngine final : public Evaluator {
 
   /// Effective worker count (after resolving 0 to the hardware).
   std::size_t threads() const { return threads_; }
+
+  /// LRU entry capacity the engine was built with (0 = memoization off).
+  std::size_t cache_capacity() const { return cache_ ? cache_->capacity() : 0; }
+
+  /// Cumulative requested/distinct/cache-hit accounting across the
+  /// engine's lifetime. `requested` always counts submitted items, so the
+  /// paper's evaluation-budget figures stay honest whether or not the
+  /// cache absorbed any of them.
+  const EvalStats& stats() const { return stats_; }
 
   void evaluate_batch(std::span<const Genome> genomes,
                       std::span<moga::Evaluation> out) const override;
@@ -97,6 +115,10 @@ class EvalEngine final : public Evaluator {
     moga::Evaluation* out = nullptr;
   };
 
+  /// The cache layer: dedups `items`, dispatches the distinct misses
+  /// through run_batch and fans results out by item index. With the cache
+  /// disabled this forwards straight to run_batch.
+  void submit(std::span<const Item> items) const;
   void run_batch(std::span<const Item> items) const;
   void run_serial(std::span<const Item> items) const;
   /// Evaluates items_[index], recording the lowest-index exception.
@@ -110,6 +132,13 @@ class EvalEngine final : public Evaluator {
   const moga::Problem& problem_;
   std::size_t threads_ = 1;
   obs::EventSink* sink_ = nullptr;
+
+  // Memoization (null when cache_capacity == 0). The cache and the stats
+  // are only touched from the batch-submitting thread — dedup happens
+  // before dispatch and fan-out after the batch barrier — so the counters
+  // need no atomics.
+  mutable std::unique_ptr<EvalCache> cache_;
+  mutable EvalStats stats_;
 
   // Batch hand-off state. The caller publishes a batch under `mu_` and
   // waits on `batch_done_`; workers claim items via the atomic cursor and
@@ -141,6 +170,8 @@ class EvalEngine final : public Evaluator {
   mutable std::vector<double> trace_dur_s_;    ///< per-item evaluate duration, s
   mutable std::uint64_t trace_batches_ = 0;
   mutable std::uint64_t trace_items_ = 0;
+  mutable std::uint64_t trace_requested_ = 0;   ///< items submitted this batch
+  mutable std::uint64_t trace_cache_hits_ = 0;  ///< LRU hits this batch
 };
 
 }  // namespace anadex::engine

@@ -48,6 +48,14 @@ struct EvolverCommon : ObsConfig {
   /// docs/engine.md).
   std::size_t threads = 1;
 
+  /// Evaluation memoization: 0 (default) = off, N = dedup duplicate
+  /// genomes within each batch and retain the last N distinct evaluations
+  /// in an LRU across generations. Evaluation is a pure function of the
+  /// genome, so fronts, checkpoints and gen-level traces are bit-identical
+  /// for every value — like `threads`, this is an execution knob, not part
+  /// of the result (see docs/performance.md).
+  std::size_t eval_cache = 0;
+
   // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
   /// Call on_snapshot every this many generations (0 disables).
   std::size_t snapshot_every = 0;

@@ -52,8 +52,12 @@ void print_outcome_summary(std::ostream& os, const std::string& label,
      << "  cluster[4,5]pF=" << std::setw(6) << std::setprecision(3)
      << outcome.clustering_4to5 << "  span=" << std::setprecision(3)
      << outcome.load_span_pf << "pF"
-     << "  evals=" << outcome.evaluations << "  " << std::setprecision(3)
-     << outcome.seconds << "s\n";
+     << "  evals=" << outcome.evaluations;
+  if (outcome.cache_hits > 0) {
+    os << " (distinct=" << outcome.distinct_evaluations << ", cached="
+       << outcome.cache_hits << ")";
+  }
+  os << "  " << std::setprecision(3) << outcome.seconds << "s\n";
 }
 
 void print_paper_vs_measured(std::ostream& os, const std::string& what,

@@ -50,9 +50,10 @@ moga::GenerationCallback make_history_recorder(const RunSettings& settings,
 
 /// One-line digest of every knob not covered by CheckpointMeta's explicit
 /// fields. Compared verbatim on resume, so a checkpoint cannot silently
-/// continue under a different configuration. `threads` is deliberately NOT
-/// part of the digest: results are thread-count invariant, so a run may be
-/// checkpointed with one thread count and resumed with another.
+/// continue under a different configuration. `threads` and `eval_cache` are
+/// deliberately NOT part of the digest: results are invariant under both
+/// (pure execution knobs), so a run may be checkpointed under one
+/// thread/cache setting and resumed under another.
 std::string config_digest(const RunSettings& s) {
   std::ostringstream os;
   os << "partitions=" << s.partitions << " islands=" << s.islands << " migration="
@@ -254,6 +255,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
                                             auto&& resumed_generation) {
     common.seed = settings.seed;
     common.threads = settings.threads;
+    common.eval_cache = settings.eval_cache;
     common.sink = sink;
     if (sink != nullptr) {
       common.trace_hypervolume = [](const moga::Population& front) {
@@ -277,6 +279,13 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
     }
   };
 
+  // Cache accounting common to every algorithm result. With the cache off
+  // distinct == requested and cache_hits == 0.
+  const auto record_eval_stats = [&outcome](const engine::EvalStats& stats) {
+    outcome.distinct_evaluations = stats.evaluated;
+    outcome.cache_hits = stats.cache_hits();
+  };
+
   const auto start = Clock::now();
   obs::ScopedTimer run_timer(sink, "run", obs::TraceLevel::Eval);
 
@@ -291,6 +300,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       auto result = moga::run_nsga2(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
+      record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
       break;
     }
@@ -307,6 +317,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       auto result = sacga::run_local_only(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
+      record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
       break;
     }
@@ -327,6 +338,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       auto result = sacga::run_sacga(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
+      record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
       break;
     }
@@ -354,6 +366,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       auto result = sacga::run_mesacga(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
+      record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
       for (const auto& phase : result.phases) {
         PhaseMetric metric;
@@ -376,6 +389,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       auto result = sacga::run_island_ga(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
+      record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
       break;
     }
@@ -389,6 +403,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
           2 * settings.generations / settings.weight_count, 1);
       params.seed = settings.seed;
       params.threads = settings.threads;
+      params.eval_cache = settings.eval_cache;
       params.sink = sink;
       if (sink != nullptr) {
         params.trace_hypervolume = [](const moga::Population& pop) {
@@ -398,6 +413,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       auto result = moga::run_weighted_sum(guarded, params);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
+      record_eval_stats(result.eval_stats);
       outcome.generations = settings.generations;
       break;
     }
@@ -411,6 +427,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       auto result = moga::run_spea2(guarded, params, callback);
       front = std::move(result.front);
       outcome.evaluations = result.evaluations;
+      record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
       break;
     }

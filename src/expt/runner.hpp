@@ -48,6 +48,12 @@ struct RunSettings {
   /// and checkpoint files are bit-identical for every value, so a run may
   /// be checkpointed under one thread count and resumed under another.
   std::size_t threads = 1;
+  /// Capacity (in genotypes) of the deduplicating evaluation cache,
+  /// 0 = disabled. Like `threads` this is a pure execution knob: fronts,
+  /// requested-evaluation counts, checkpoints and gen-level traces are
+  /// bit-identical for every capacity, so it is excluded from the
+  /// checkpoint config digest. See docs/performance.md.
+  std::size_t eval_cache = 0;
   bool record_history = false;
   std::size_t history_stride = 25;             ///< generations between history samples
 
@@ -105,6 +111,8 @@ struct RunOutcome {
   double clustering_4to5 = 0.0;    ///< fraction of front with C_load in [4, 5] pF
   double load_span_pf = 0.0;       ///< covered C_load extent, pF
   std::size_t evaluations = 0;
+  std::size_t distinct_evaluations = 0;  ///< evaluations actually dispatched to the problem
+  std::size_t cache_hits = 0;            ///< requests served by the dedup cache (batch + LRU)
   std::size_t generations = 0;
   double seconds = 0.0;            ///< wall-clock of the optimization
   std::vector<HistoryPoint> history;

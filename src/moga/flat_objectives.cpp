@@ -1,0 +1,38 @@
+#include "moga/flat_objectives.hpp"
+
+#include <cmath>
+
+namespace anadex::moga {
+
+void FlatObjectives::build(const Population& population,
+                           std::span<const std::size_t> indices) {
+  count_ = indices.size();
+  members_.assign(indices.begin(), indices.end());
+  violation_.resize(count_);
+  values_.clear();
+  arity_ = count_ > 0 ? population[indices.front()].eval.objectives.size() : 0;
+  uniform_ = count_ > 0;
+  all_finite_ = true;
+
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Individual& ind = population[indices[i]];
+    if (ind.eval.objectives.size() != arity_) uniform_ = false;
+    // total_violation() exactly as constrained_dominates computes it, but
+    // summed once per member instead of once per pairwise compare.
+    const double v = ind.total_violation();
+    violation_[i] = v;
+    all_finite_ = all_finite_ && std::isfinite(v);
+  }
+  if (!uniform_) return;
+
+  values_.reserve(count_ * arity_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const auto& objectives = population[indices[i]].eval.objectives;
+    for (double v : objectives) {
+      values_.push_back(v);
+      all_finite_ = all_finite_ && std::isfinite(v);
+    }
+  }
+}
+
+}  // namespace anadex::moga

@@ -1,0 +1,58 @@
+// FlatObjectives — a structure-of-arrays scratch view of a population
+// selection, built once per ranking/crowding step.
+//
+// The selection kernels (non-dominated sorting, crowding, 2-D
+// hypervolume) are comparison-dense: the legacy implementations chased a
+// `Population` of heap-allocated per-individual objective vectors and
+// re-summed constraint violations inside every pairwise compare. This
+// view copies each selected member's objectives into one contiguous
+// row-major buffer and its *total* violation into a parallel array, so the
+// kernels run over flat doubles — and it records whether the selection is
+// uniform (every member has the same objective arity) and finite, which is
+// what the specialized kernels require; anything else falls back to the
+// legacy reference path.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "moga/individual.hpp"
+
+namespace anadex::moga {
+
+class FlatObjectives {
+ public:
+  /// Rebuilds the view over population[indices[i]] for local i. Buffers
+  /// are reused across calls (no steady-state allocation).
+  void build(const Population& population, std::span<const std::size_t> indices);
+
+  std::size_t count() const { return count_; }
+  /// Objectives per member; meaningful only when uniform().
+  std::size_t arity() const { return arity_; }
+  /// True when every selected member carries arity() objectives.
+  bool uniform() const { return uniform_; }
+  /// True when every objective value and violation total is finite.
+  bool all_finite() const { return all_finite_; }
+
+  /// Objective k of local member i (requires uniform()).
+  double value(std::size_t i, std::size_t k) const { return values_[i * arity_ + k]; }
+  /// Total constraint violation of local member i (0 = feasible).
+  double violation(std::size_t i) const { return violation_[i]; }
+  /// Global population index of local member i.
+  std::size_t global(std::size_t i) const { return members_[i]; }
+
+  std::span<const double> values() const { return values_; }
+  std::span<const double> violations() const { return violation_; }
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t arity_ = 0;
+  bool uniform_ = false;
+  bool all_finite_ = false;
+  std::vector<double> values_;        ///< count x arity, row-major
+  std::vector<double> violation_;     ///< count
+  std::vector<std::size_t> members_;  ///< local -> global index
+};
+
+}  // namespace anadex::moga

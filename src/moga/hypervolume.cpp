@@ -11,27 +11,16 @@ namespace anadex::moga {
 namespace {
 
 /// Exact 2-D hypervolume by a sweep over points sorted by the first
-/// objective.
-double hv2d(FrontPoints points, std::span<const double> reference) {
-  // Keep only points that strictly dominate the reference region.
-  std::erase_if(points, [&](const std::vector<double>& p) {
-    return p[0] >= reference[0] || p[1] >= reference[1];
-  });
-  if (points.empty()) return 0.0;
-
-  std::sort(points.begin(), points.end(), [](const auto& a, const auto& b) {
-    if (a[0] != b[0]) return a[0] < b[0];
-    return a[1] < b[1];
-  });
-
-  double volume = 0.0;
-  double prev_y = reference[1];
+/// objective; thin adaptor flattening onto the span-based fast path so
+/// there is exactly one sweep implementation.
+double hv2d(const FrontPoints& points, std::span<const double> reference) {
+  std::vector<double> flat;
+  flat.reserve(points.size() * 2);
   for (const auto& p : points) {
-    if (p[1] >= prev_y) continue;  // dominated by an earlier (smaller-x) point
-    volume += (reference[0] - p[0]) * (prev_y - p[1]);
-    prev_y = p[1];
+    flat.push_back(p[0]);
+    flat.push_back(p[1]);
   }
-  return volume;
+  return hypervolume_2d(flat, reference);
 }
 
 /// WFG-style recursion: hv(S) = sum over points of exclusive contribution
@@ -46,7 +35,7 @@ double hv_recursive(FrontPoints points, std::vector<double> reference) {
     return false;
   });
   if (points.empty()) return 0.0;
-  if (dim == 2) return hv2d(std::move(points), reference);
+  if (dim == 2) return hv2d(points, reference);
   if (dim == 1) {
     double best = std::numeric_limits<double>::infinity();
     for (const auto& p : points) best = std::min(best, p[0]);
@@ -97,6 +86,33 @@ double hypervolume(const FrontPoints& front, std::span<const double> reference) 
     if (ok) finite.push_back(p);
   }
   return hv_recursive(std::move(finite), std::vector<double>(reference.begin(), reference.end()));
+}
+
+double hypervolume_2d(std::span<const double> points, std::span<const double> reference) {
+  ANADEX_REQUIRE(points.size() % 2 == 0 && reference.size() == 2,
+                 "hypervolume_2d needs (x, y) pairs and a 2-D reference");
+  // Keep only finite points strictly dominating the reference region.
+  std::vector<std::pair<double, double>> keep;
+  keep.reserve(points.size() / 2);
+  for (std::size_t i = 0; i + 1 < points.size(); i += 2) {
+    const double x = points[i];
+    const double y = points[i + 1];
+    if (!std::isfinite(x) || !std::isfinite(y)) continue;
+    if (x >= reference[0] || y >= reference[1]) continue;
+    keep.emplace_back(x, y);
+  }
+  if (keep.empty()) return 0.0;
+
+  std::sort(keep.begin(), keep.end());  // (x, then y) ascending
+
+  double volume = 0.0;
+  double prev_y = reference[1];
+  for (const auto& [x, y] : keep) {
+    if (y >= prev_y) continue;  // dominated by an earlier (smaller-x) point
+    volume += (reference[0] - x) * (prev_y - y);
+    prev_y = y;
+  }
+  return volume;
 }
 
 }  // namespace anadex::moga

@@ -27,4 +27,14 @@ using FrontPoints = std::vector<std::vector<double>>;
 /// dimensionality as the reference.
 double hypervolume(const FrontPoints& front, std::span<const double> reference);
 
+/// Exact 2-D hypervolume over a flat (x0, y0, x1, y1, ...) point buffer —
+/// the allocation-light fast path the generic entry point dispatches to
+/// for bi-objective fronts, exposed for flat-buffer callers and the micro
+/// benches. O(n log n): one sort by x, one sweep. Points with a
+/// non-finite coordinate or not strictly inside the reference box
+/// contribute nothing. `points.size()` must be even; `reference` holds
+/// the two nadir coordinates. Bit-identical to `hypervolume` on the same
+/// front.
+double hypervolume_2d(std::span<const double> points, std::span<const double> reference);
+
 }  // namespace anadex::moga

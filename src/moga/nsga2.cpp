@@ -20,11 +20,13 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
   ANADEX_REQUIRE(bounds.size() == problem.num_variables(),
                  "problem bounds size must equal num_variables");
 
-  const engine::EvalEngine eval(problem, params.threads, params.sink);
+  const engine::EvalEngine eval(problem, params.threads, params.sink,
+                                params.eval_cache);
   Rng rng(params.seed);
   Nsga2Result result;
 
   Population parents;
+  RankingScratch ranking;  // SoA buffers reused across generations
   std::vector<std::vector<std::size_t>> fronts;
   std::size_t start_generation = 0;
   if (params.resume != nullptr) {
@@ -45,8 +47,8 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
     result.evaluations += params.population_size;
 
     // Initial ranking so tournament preferences are defined from generation 0.
-    fronts = fast_nondominated_sort(parents);
-    for (const auto& front : fronts) assign_crowding(parents, front);
+    fronts = ranking.sort(parents);
+    for (const auto& front : fronts) ranking.crowding(parents, front);
   }
 
   const Preference prefer = [](const Individual& a, const Individual& b) {
@@ -70,8 +72,8 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
         std::span<Individual>(combined).subspan(params.population_size));
     result.evaluations += params.population_size;
 
-    fronts = fast_nondominated_sort(combined);
-    for (const auto& front : fronts) assign_crowding(combined, front);
+    fronts = ranking.sort(combined);
+    for (const auto& front : fronts) ranking.crowding(combined, front);
 
     Population next;
     next.reserve(params.population_size);
@@ -112,6 +114,7 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
 
   result.front = extract_global_front(parents);
   result.population = std::move(parents);
+  result.eval_stats = eval.stats();
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "engine/eval_cache.hpp"
 #include "engine/evolver_common.hpp"
 #include "moga/individual.hpp"
 #include "moga/operators.hpp"
@@ -41,8 +42,9 @@ using GenerationCallback = std::function<void(std::size_t, const Population&)>;
 struct Nsga2Result {
   Population population;             ///< final parent population, ranked
   Population front;                  ///< feasible rank-0 members of the final population
-  std::size_t evaluations = 0;       ///< total problem evaluations performed
+  std::size_t evaluations = 0;       ///< total problem evaluations requested
   std::size_t generations_run = 0;
+  engine::EvalStats eval_stats;      ///< requested/distinct/cache-hit accounting
 };
 
 /// Runs NSGA-II on `problem`. Deterministic for a fixed seed.

@@ -51,7 +51,8 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
                  "population size must be even and >= 4");
 
   const auto bounds = problem.bounds();
-  const engine::EvalEngine eval(problem, params.threads, params.sink);
+  const engine::EvalEngine eval(problem, params.threads, params.sink,
+                                params.eval_cache);
   Rng master(params.seed);
   WeightedSumResult result;
 
@@ -129,6 +130,7 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
   }
 
   result.front = extract_global_front(result.all_winners);
+  result.eval_stats = eval.stats();
   return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "engine/eval_cache.hpp"
 #include "engine/evolver_common.hpp"
 #include "moga/individual.hpp"
 #include "moga/operators.hpp"
@@ -28,12 +29,16 @@ struct WeightedSumParams : engine::ObsConfig {
   /// Worker threads for batch evaluation (same semantics as
   /// engine::EvolverCommon::threads; results are thread-count invariant).
   std::size_t threads = 1;
+  /// Evaluation memoization capacity (same semantics as
+  /// engine::EvolverCommon::eval_cache; 0 = off, results are invariant).
+  std::size_t eval_cache = 0;
 };
 
 struct WeightedSumResult {
   Population front;            ///< non-dominated union of the per-weight winners
   Population all_winners;      ///< best individual of every weight vector
   std::size_t evaluations = 0;
+  engine::EvalStats eval_stats;  ///< requested/distinct/cache-hit accounting
 };
 
 /// Sweeps weights (w, 1-w) over [0, 1] for a TWO-objective problem; each

@@ -111,7 +111,8 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
   ANADEX_REQUIRE(params.archive_size >= 2, "archive size must be >= 2");
 
   const auto bounds = problem.bounds();
-  const engine::EvalEngine eval(problem, params.threads, params.sink);
+  const engine::EvalEngine eval(problem, params.threads, params.sink,
+                                params.eval_cache);
   Rng rng(params.seed);
   Spea2Result result;
 
@@ -209,6 +210,7 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
 
   result.front = extract_global_front(archive);
   result.archive = std::move(archive);
+  result.eval_stats = eval.stats();
   return result;
 }
 

@@ -40,6 +40,7 @@ struct Spea2Result {
   Population front;    ///< feasible non-dominated members of the archive
   std::size_t evaluations = 0;
   std::size_t generations_run = 0;
+  engine::EvalStats eval_stats;  ///< requested/distinct/cache-hit accounting
 };
 
 /// Runs SPEA2. Infeasible individuals are handled by adding a large

@@ -72,17 +72,4 @@ std::string FaultReport::summary() const {
   return os.str();
 }
 
-std::uint64_t hash_genes(std::span<const double> genes, std::uint64_t seed) {
-  std::uint64_t hash = 0xcbf29ce484222325ULL ^ seed;
-  for (double gene : genes) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &gene, sizeof bits);
-    for (int shift = 0; shift < 64; shift += 8) {
-      hash ^= (bits >> shift) & 0xffULL;
-      hash *= 0x100000001b3ULL;
-    }
-  }
-  return hash;
-}
-
 }  // namespace anadex::robust

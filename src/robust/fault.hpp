@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
+
 namespace anadex::robust {
 
 /// What went wrong in one evaluation attempt.
@@ -68,6 +70,9 @@ struct FaultReport {
 /// retry perturbation and the fault injector derive their randomness from
 /// this, making them pure functions of the genome — the Problem contract's
 /// determinism requirement — and therefore safe across checkpoint/resume.
-std::uint64_t hash_genes(std::span<const double> genes, std::uint64_t seed);
+/// The implementation lives in common/hash.hpp so the EvalEngine's memo
+/// cache (which `robust` sits above in the link graph) shares the exact
+/// same function; this alias keeps the historical call sites compiling.
+using anadex::hash_genes;
 
 }  // namespace anadex::robust

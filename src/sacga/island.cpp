@@ -18,9 +18,9 @@ namespace {
 /// NSGA-II elitist survivor selection over one island's parent+offspring
 /// pool (all members already evaluated).
 void select_island_survivors(moga::Population& island, moga::Population&& pool,
-                             std::size_t n) {
-  auto fronts = moga::fast_nondominated_sort(pool);
-  for (const auto& front : fronts) moga::assign_crowding(pool, front);
+                             std::size_t n, moga::RankingScratch& ranking) {
+  auto fronts = ranking.sort(pool);
+  for (const auto& front : fronts) ranking.crowding(pool, front);
 
   moga::Population next;
   next.reserve(n);
@@ -90,9 +90,11 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
                  "cannot migrate more individuals than an island holds");
 
   const auto bounds = problem.bounds();
-  const engine::EvalEngine eval(problem, params.threads, params.sink);
+  const engine::EvalEngine eval(problem, params.threads, params.sink,
+                                params.eval_cache);
   Rng rng(params.seed);
   IslandResult result;
+  moga::RankingScratch ranking;  // SoA buffers shared by all islands
 
   std::vector<moga::Population> islands(params.islands);
   std::vector<Rng> island_rngs;
@@ -129,8 +131,8 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
       result.evaluations += island.size();
     }
     for (auto& island : islands) {
-      auto fronts = moga::fast_nondominated_sort(island);
-      for (const auto& front : fronts) moga::assign_crowding(island, front);
+      auto fronts = ranking.sort(island);
+      for (const auto& front : fronts) ranking.crowding(island, front);
     }
   }
 
@@ -163,7 +165,7 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
       pool.reserve(2 * n);
       for (auto& p : islands[i]) pool.push_back(std::move(p));
       for (std::size_t k = 0; k < n; ++k) pool.push_back(std::move(children[i * n + k]));
-      select_island_survivors(islands[i], std::move(pool), n);
+      select_island_survivors(islands[i], std::move(pool), n, ranking);
     }
     if ((gen + 1) % params.migration_interval == 0) {
       migrate(islands, params.migrants);
@@ -206,6 +208,7 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
                              std::make_move_iterator(island.end()));
   }
   result.front = moga::extract_global_front(result.population);
+  result.eval_stats = eval.stats();
   return result;
 }
 

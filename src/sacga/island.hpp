@@ -50,6 +50,7 @@ struct IslandResult {
   std::size_t evaluations = 0;
   std::size_t generations_run = 0;
   std::size_t migrations = 0;
+  engine::EvalStats eval_stats;  ///< requested/distinct/cache-hit accounting
 };
 
 /// Runs the island GA: each island evolves with NSGA-II ranking; every

@@ -14,6 +14,7 @@ LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyPara
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
   evolver_params.threads = params.threads;
+  evolver_params.eval_cache = params.eval_cache;
   evolver_params.sink = params.sink;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
@@ -46,6 +47,7 @@ LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyPara
   result.population = evolver.population();
   result.evaluations = evolver.evaluations();
   result.generations_run = evolver.generation();
+  result.eval_stats = evolver.engine().stats();
   return result;
 }
 

@@ -37,6 +37,7 @@ struct LocalOnlyResult {
   moga::Population front;       ///< feasible global Pareto front of the final population
   std::size_t evaluations = 0;
   std::size_t generations_run = 0;
+  engine::EvalStats eval_stats;   ///< requested/distinct/cache-hit accounting
 };
 
 /// Runs the pure local-competition GA. Deterministic for a fixed seed.

@@ -26,6 +26,7 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
   evolver_params.threads = params.threads;
+  evolver_params.eval_cache = params.eval_cache;
   evolver_params.sink = params.sink;
 
   std::optional<PartitionedEvolver> engine;
@@ -143,6 +144,7 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   result.population = evolver.population();
   result.evaluations = evolver.evaluations();
   result.generations_run = evolver.generation();
+  result.eval_stats = evolver.engine().stats();
   return result;
 }
 

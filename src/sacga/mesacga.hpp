@@ -79,6 +79,7 @@ struct MesacgaResult {
   std::size_t evaluations = 0;
   std::size_t generations_run = 0;
   std::size_t phase1_generations = 0;
+  engine::EvalStats eval_stats;   ///< requested/distinct/cache-hit accounting
 };
 
 /// Runs MESACGA. Deterministic for a fixed seed.

@@ -15,7 +15,7 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
                                        Partitioner partitioner, std::uint64_t seed)
     : problem_(problem),
       params_(params),
-      engine_(problem, params.threads, params.sink),
+      engine_(problem, params.threads, params.sink, params.eval_cache),
       partitioner_(std::move(partitioner)),
       bounds_(problem.bounds()),
       rng_(seed),
@@ -37,7 +37,7 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
                                        Partitioner partitioner, const EvolverSnapshot& snapshot)
     : problem_(problem),
       params_(params),
-      engine_(problem, params.threads, params.sink),
+      engine_(problem, params.threads, params.sink, params.eval_cache),
       partitioner_(std::move(partitioner)),
       bounds_(problem.bounds()),
       rng_(1),
@@ -107,8 +107,8 @@ void PartitionedEvolver::rank_pool(moga::Population& pool, std::vector<MemberInf
   std::vector<std::size_t> global_candidates;
   for (std::size_t p = 0; p < members.size(); ++p) {
     if (members[p].empty()) continue;
-    auto fronts = moga::fast_nondominated_sort(pool, members[p]);
-    for (const auto& front : fronts) moga::assign_crowding(pool, front);
+    auto fronts = ranking_.sort(pool, members[p]);
+    for (const auto& front : fronts) ranking_.crowding(pool, front);
     for (std::size_t idx : members[p]) info[idx].local_rank = pool[idx].rank;
 
     if (discarded_[p]) continue;  // discarded partitions never compete globally
@@ -132,7 +132,7 @@ void PartitionedEvolver::rank_pool(moga::Population& pool, std::vector<MemberInf
     std::vector<double> saved_crowding;
     saved_crowding.reserve(global_candidates.size());
     for (std::size_t idx : global_candidates) saved_crowding.push_back(pool[idx].crowding);
-    moga::fast_nondominated_sort(pool, global_candidates);
+    ranking_.sort(pool, global_candidates);
     for (std::size_t k = 0; k < global_candidates.size(); ++k) {
       pool[global_candidates[k]].crowding = saved_crowding[k];
     }

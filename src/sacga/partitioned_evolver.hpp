@@ -31,6 +31,7 @@
 #include "common/rng.hpp"
 #include "engine/eval_engine.hpp"
 #include "moga/individual.hpp"
+#include "moga/nds.hpp"
 #include "moga/operators.hpp"
 #include "moga/problem.hpp"
 #include "sacga/partition.hpp"
@@ -47,6 +48,9 @@ struct EvolverParams {
   /// Non-owning telemetry sink forwarded to the EvalEngine (batch timing at
   /// eval level); nullptr disables. Tracing never alters results.
   obs::EventSink* sink = nullptr;
+  /// Evaluation memoization capacity (engine::EvolverCommon semantics:
+  /// 0 = off, N = intra-batch dedup + N-entry LRU; results are invariant).
+  std::size_t eval_cache = 0;
 };
 
 /// Probability that the i-th (1-based) locally-superior solution of a
@@ -99,6 +103,10 @@ class PartitionedEvolver {
   std::size_t evaluations() const { return evaluations_; }
   std::size_t generation() const { return generation_; }
 
+  /// The evolver's evaluation engine (for requested/distinct/cache-hit
+  /// accounting; see engine::EvalStats).
+  const engine::EvalEngine& engine() const { return engine_; }
+
   /// True when every non-discarded partition currently holds at least one
   /// feasible individual AND at least one partition is populated.
   bool all_active_partitions_feasible() const;
@@ -144,6 +152,7 @@ class PartitionedEvolver {
   std::vector<moga::VariableBound> bounds_;
   Rng rng_;
   moga::Population population_;
+  moga::RankingScratch ranking_;  ///< SoA buffers reused across partitions/generations
   std::vector<MemberInfo> info_;  ///< parallel to population_
   std::vector<bool> discarded_;
   std::size_t evaluations_ = 0;

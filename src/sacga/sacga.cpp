@@ -40,6 +40,7 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
   evolver_params.threads = params.threads;
+  evolver_params.eval_cache = params.eval_cache;
   evolver_params.sink = params.sink;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
@@ -111,6 +112,7 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
   result.population = evolver.population();
   result.evaluations = evolver.evaluations();
   result.generations_run = evolver.generation();
+  result.eval_stats = evolver.engine().stats();
   return result;
 }
 

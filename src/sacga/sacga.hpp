@@ -60,6 +60,7 @@ struct SacgaResult {
   std::size_t generations_run = 0;   ///< gen_t + span
   std::size_t phase1_generations = 0;  ///< the paper's gen_t
   std::size_t discarded_partitions = 0;
+  engine::EvalStats eval_stats;      ///< requested/distinct/cache-hit accounting
 };
 
 /// Runs SACGA. `on_generation` (if given) sees every generation of both

@@ -1,8 +1,9 @@
 // The determinism matrix (docs/engine.md): every evolver must produce a
 // bit-identical final population, front and evaluation count for every
-// evaluation thread count, and a checkpoint taken under one thread count
-// must resume bit-identically under another — `threads` is an execution
-// knob, never part of the result.
+// evaluation thread count AND every eval-cache capacity, and a checkpoint
+// taken under one thread/cache setting must resume bit-identically under
+// another — `threads` and `eval_cache` are execution knobs, never part of
+// the result.
 #include <cstddef>
 #include <sstream>
 #include <type_traits>
@@ -173,6 +174,156 @@ TEST(DeterminismMatrix, WeightedSumIsThreadCountInvariant) {
   }
 }
 
+// ---- eval cache on/off x threads {1, 2, 8} produce identical results ------
+
+/// Runs the evolver once without the cache (serial), then with a 64-entry
+/// dedup cache under 1, 2 and 8 evaluation threads. Every cell of the
+/// matrix must produce the same bytes and the same requested-evaluation
+/// count; only the distinct-evaluation accounting may differ.
+template <class Params, class Run, class Bytes>
+void expect_cache_invariant(const moga::Problem& problem, Params base, Run run,
+                            Bytes bytes) {
+  const auto baseline = run(problem, base);  // eval_cache = 0, threads = 1
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    Params cached = base;
+    cached.threads = threads;
+    cached.eval_cache = 64;
+    const auto with_cache = run(problem, cached);
+    EXPECT_EQ(bytes(with_cache), bytes(baseline)) << "threads = " << threads;
+    EXPECT_EQ(with_cache.evaluations, baseline.evaluations);
+    EXPECT_EQ(with_cache.eval_stats.requested, baseline.eval_stats.requested);
+    // The cache never invents work: dispatched <= requested.
+    EXPECT_LE(with_cache.eval_stats.evaluated, with_cache.eval_stats.requested);
+    EXPECT_EQ(with_cache.eval_stats.evaluated + with_cache.eval_stats.cache_hits(),
+              with_cache.eval_stats.requested);
+  }
+}
+
+TEST(DeterminismMatrix, Nsga2IsCacheInvariant) {
+  const auto problem = problems::make_kur();
+  moga::Nsga2Params params;
+  params.population_size = 16;
+  params.generations = 10;
+  params.seed = 5;
+  expect_cache_invariant(*problem, params,
+                         [](const moga::Problem& p, const moga::Nsga2Params& q) {
+                           return moga::run_nsga2(p, q);
+                         },
+                         [](const moga::Nsga2Result& r) {
+                           return exact_bytes(r.population) + exact_bytes(r.front);
+                         });
+}
+
+TEST(DeterminismMatrix, Spea2IsCacheInvariant) {
+  const auto problem = problems::make_kur();
+  moga::Spea2Params params;
+  params.population_size = 16;
+  params.archive_size = 12;
+  params.generations = 10;
+  params.seed = 5;
+  expect_cache_invariant(*problem, params,
+                         [](const moga::Problem& p, const moga::Spea2Params& q) {
+                           return moga::run_spea2(p, q);
+                         },
+                         [](const moga::Spea2Result& r) {
+                           return exact_bytes(r.archive) + exact_bytes(r.front);
+                         });
+}
+
+TEST(DeterminismMatrix, LocalOnlyIsCacheInvariant) {
+  const auto problem = problems::make_sch();
+  sacga::LocalOnlyParams params;
+  params.population_size = 16;
+  params.partitions = 4;
+  params.axis_objective = 0;
+  params.axis_lo = 0.0;
+  params.axis_hi = 4.0;
+  params.generations = 10;
+  params.seed = 7;
+  expect_cache_invariant(*problem, params,
+                         [](const moga::Problem& p, const sacga::LocalOnlyParams& q) {
+                           return sacga::run_local_only(p, q);
+                         },
+                         [](const sacga::LocalOnlyResult& r) {
+                           return exact_bytes(r.population) + exact_bytes(r.front);
+                         });
+}
+
+TEST(DeterminismMatrix, SacgaIsCacheInvariant) {
+  const auto problem = problems::make_sch();
+  sacga::SacgaParams params;
+  params.population_size = 16;
+  params.partitions = 4;
+  params.axis_objective = 0;
+  params.axis_lo = 0.0;
+  params.axis_hi = 4.0;
+  params.phase1_max_generations = 6;
+  params.span = 16;
+  params.span_is_total_budget = true;
+  params.seed = 3;
+  expect_cache_invariant(*problem, params,
+                         [](const moga::Problem& p, const sacga::SacgaParams& q) {
+                           return sacga::run_sacga(p, q);
+                         },
+                         [](const sacga::SacgaResult& r) {
+                           return exact_bytes(r.population) + exact_bytes(r.front);
+                         });
+}
+
+TEST(DeterminismMatrix, MesacgaIsCacheInvariant) {
+  const auto problem = problems::make_sch();
+  sacga::MesacgaParams params;
+  params.population_size = 16;
+  params.partition_schedule = {4, 2, 1};
+  params.axis_objective = 0;
+  params.axis_lo = 0.0;
+  params.axis_hi = 4.0;
+  params.phase1_max_generations = 4;
+  params.span = 4;
+  params.seed = 11;
+  expect_cache_invariant(*problem, params,
+                         [](const moga::Problem& p, const sacga::MesacgaParams& q) {
+                           return sacga::run_mesacga(p, q);
+                         },
+                         [](const sacga::MesacgaResult& r) {
+                           return exact_bytes(r.population) + exact_bytes(r.front);
+                         });
+}
+
+TEST(DeterminismMatrix, IslandGaIsCacheInvariant) {
+  const auto problem = problems::make_kur();
+  sacga::IslandParams params;
+  params.islands = 3;
+  params.island_population = 8;
+  params.generations = 9;
+  params.migration_interval = 4;
+  params.migrants = 1;
+  params.seed = 13;
+  expect_cache_invariant(*problem, params,
+                         [](const moga::Problem& p, const sacga::IslandParams& q) {
+                           return sacga::run_island_ga(p, q);
+                         },
+                         [](const sacga::IslandResult& r) {
+                           return exact_bytes(r.population) + exact_bytes(r.front);
+                         });
+}
+
+TEST(DeterminismMatrix, WeightedSumIsCacheInvariant) {
+  const auto problem = problems::make_sch();
+  moga::WeightedSumParams params;
+  params.weight_count = 4;
+  params.population_size = 12;
+  params.generations_per_weight = 8;
+  params.seed = 17;
+  expect_cache_invariant(*problem, params,
+                         [](const moga::Problem& p, const moga::WeightedSumParams& q) {
+                           return moga::run_weighted_sum(p, q);
+                         },
+                         [](const moga::WeightedSumResult& r) {
+                           return exact_bytes(r.front) + exact_bytes(r.all_winners);
+                         });
+}
+
 // ---- a checkpoint under threads = 8 resumes bit-identically serially ------
 
 /// Runs the evolver serially end-to-end, then snapshots a run under 8
@@ -238,6 +389,61 @@ TEST(DeterminismMatrix, SacgaCheckpointCrossesThreadCounts) {
                              [](const moga::Problem& p, const sacga::SacgaParams& params) {
                                return sacga::run_sacga(p, params);
                              });
+}
+
+// ---- a checkpoint under a cache resumes bit-identically without one -------
+
+/// Snapshots a cached parallel run, then resumes its earliest snapshot with
+/// the cache off and one thread. Checkpoint bytes carry no cache state, so
+/// both paths must land on the same result.
+template <class Params, class Run>
+void expect_cross_cache_resume(const moga::Problem& problem, Params base, Run run) {
+  const auto full = run(problem, base);  // eval_cache = 0, threads = 1
+
+  Params snapshotting = base;
+  snapshotting.threads = 2;
+  snapshotting.eval_cache = 64;
+  snapshotting.snapshot_every = 3;
+  std::vector<std::remove_cvref_t<decltype(*base.resume)>> states;
+  snapshotting.on_snapshot = [&](const auto& s) { states.push_back(s); };
+  (void)run(problem, snapshotting);
+  ASSERT_FALSE(states.empty());
+
+  Params resumed_params = base;  // cache off again
+  resumed_params.resume = &states.front();
+  const auto resumed = run(problem, resumed_params);
+  EXPECT_EQ(exact_bytes(resumed.front), exact_bytes(full.front));
+  EXPECT_EQ(resumed.evaluations, full.evaluations);
+}
+
+TEST(DeterminismMatrix, Nsga2CheckpointCrossesCacheSettings) {
+  const auto problem = problems::make_sch();
+  moga::Nsga2Params base;
+  base.population_size = 16;
+  base.generations = 10;
+  base.seed = 5;
+  expect_cross_cache_resume(*problem, base,
+                            [](const moga::Problem& p, const moga::Nsga2Params& params) {
+                              return moga::run_nsga2(p, params);
+                            });
+}
+
+TEST(DeterminismMatrix, SacgaCheckpointCrossesCacheSettings) {
+  const auto problem = problems::make_sch();
+  sacga::SacgaParams base;
+  base.population_size = 16;
+  base.partitions = 4;
+  base.axis_objective = 0;
+  base.axis_lo = 0.0;
+  base.axis_hi = 4.0;
+  base.phase1_max_generations = 6;
+  base.span = 16;
+  base.span_is_total_budget = true;
+  base.seed = 3;
+  expect_cross_cache_resume(*problem, base,
+                            [](const moga::Problem& p, const sacga::SacgaParams& params) {
+                              return sacga::run_sacga(p, params);
+                            });
 }
 
 TEST(DeterminismMatrix, IslandCheckpointCrossesThreadCounts) {

@@ -1,0 +1,264 @@
+// EvalCache + EvalEngine memoization tests: LRU semantics, dedup
+// accounting, bit-identity against the uncached engine and exception
+// behavior when a batch with duplicates faults.
+#include "engine/eval_cache.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "engine/eval_engine.hpp"
+#include "problems/analytic.hpp"
+
+namespace anadex::engine {
+namespace {
+
+moga::Evaluation eval_of(double a, double b) {
+  moga::Evaluation e;
+  e.objectives = {a, b};
+  return e;
+}
+
+std::uint64_t key(std::span<const double> genes) { return hash_genes(genes, 0); }
+
+TEST(EvalCache, MissThenHit) {
+  EvalCache cache(4);
+  const std::vector<double> genes{1.0, 2.0};
+  moga::Evaluation out;
+  EXPECT_FALSE(cache.lookup(genes, key(genes), out));
+  cache.insert(genes, key(genes), eval_of(3.0, 4.0));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.lookup(genes, key(genes), out));
+  EXPECT_EQ(out.objectives, (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(EvalCache, EvictsLeastRecentlyUsed) {
+  EvalCache cache(2);
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{2.0};
+  const std::vector<double> c{3.0};
+  cache.insert(a, key(a), eval_of(1.0, 0.0));
+  cache.insert(b, key(b), eval_of(2.0, 0.0));
+  // Touch `a` so `b` becomes the LRU entry, then overflow with `c`.
+  moga::Evaluation out;
+  ASSERT_TRUE(cache.lookup(a, key(a), out));
+  cache.insert(c, key(c), eval_of(3.0, 0.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(a, key(a), out));
+  EXPECT_FALSE(cache.lookup(b, key(b), out));
+  EXPECT_TRUE(cache.lookup(c, key(c), out));
+}
+
+TEST(EvalCache, ReinsertRefreshesRecencyWithoutGrowing) {
+  EvalCache cache(2);
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{2.0};
+  const std::vector<double> c{3.0};
+  cache.insert(a, key(a), eval_of(1.0, 0.0));
+  cache.insert(b, key(b), eval_of(2.0, 0.0));
+  cache.insert(a, key(a), eval_of(1.0, 0.0));  // refresh, not duplicate
+  EXPECT_EQ(cache.size(), 2u);
+  cache.insert(c, key(c), eval_of(3.0, 0.0));  // must evict `b`, not `a`
+  moga::Evaluation out;
+  EXPECT_TRUE(cache.lookup(a, key(a), out));
+  EXPECT_FALSE(cache.lookup(b, key(b), out));
+}
+
+TEST(EvalCache, HashCollisionsAreResolvedByGeneCompare) {
+  EvalCache cache(4);
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{2.0};
+  // Deliberately file both under the same (wrong) hash: the full gene
+  // compare must still keep the entries apart.
+  cache.insert(a, 42, eval_of(1.0, 0.0));
+  cache.insert(b, 42, eval_of(2.0, 0.0));
+  moga::Evaluation out;
+  ASSERT_TRUE(cache.lookup(a, 42, out));
+  EXPECT_EQ(out.objectives[0], 1.0);
+  ASSERT_TRUE(cache.lookup(b, 42, out));
+  EXPECT_EQ(out.objectives[0], 2.0);
+}
+
+TEST(EvalCache, RejectsZeroCapacity) {
+  EXPECT_THROW(EvalCache cache(0), PreconditionError);
+}
+
+/// Counts how many times the underlying evaluate actually ran, so the
+/// tests can distinguish dispatched work from cache-served requests.
+class CountingProblem final : public moga::Problem {
+ public:
+  std::string name() const override { return "counting"; }
+  std::size_t num_variables() const override { return 1; }
+  std::size_t num_objectives() const override { return 2; }
+  std::size_t num_constraints() const override { return 0; }
+  std::vector<moga::VariableBound> bounds() const override { return {{0.0, 1.0}}; }
+  void evaluate(std::span<const double> genes, moga::Evaluation& out) const override {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    out.objectives = {genes[0], 1.0 - genes[0]};
+    out.violations.clear();
+  }
+  mutable std::atomic<std::uint64_t> calls{0};
+};
+
+TEST(EvalEngineCache, DuplicatesWithinABatchAreDispatchedOnce) {
+  const CountingProblem problem;
+  const EvalEngine eval(problem, 1, nullptr, /*cache_capacity=*/8);
+  EXPECT_EQ(eval.cache_capacity(), 8u);
+
+  const std::vector<Genome> genomes{{0.1}, {0.2}, {0.1}, {0.3}, {0.2}, {0.1}};
+  std::vector<moga::Evaluation> out(genomes.size());
+  eval.evaluate_batch(genomes, out);
+
+  EXPECT_EQ(problem.calls.load(), 3u);  // 0.1, 0.2, 0.3
+  EXPECT_EQ(eval.stats().requested, 6u);
+  EXPECT_EQ(eval.stats().evaluated, 3u);
+  EXPECT_EQ(eval.stats().batch_hits, 3u);
+  EXPECT_EQ(eval.stats().lru_hits, 0u);
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    EXPECT_EQ(out[i].objectives, (std::vector<double>{genomes[i][0], 1.0 - genomes[i][0]}))
+        << "item " << i;
+  }
+}
+
+TEST(EvalEngineCache, RepeatedBatchesHitTheLru) {
+  const CountingProblem problem;
+  const EvalEngine eval(problem, 1, nullptr, /*cache_capacity=*/8);
+
+  const std::vector<Genome> genomes{{0.1}, {0.2}, {0.3}};
+  std::vector<moga::Evaluation> out(genomes.size());
+  eval.evaluate_batch(genomes, out);
+  eval.evaluate_batch(genomes, out);
+
+  EXPECT_EQ(problem.calls.load(), 3u);  // second batch fully served by the LRU
+  EXPECT_EQ(eval.stats().requested, 6u);
+  EXPECT_EQ(eval.stats().evaluated, 3u);
+  EXPECT_EQ(eval.stats().lru_hits, 3u);
+}
+
+TEST(EvalEngineCache, TinyCapacityStillProducesCorrectResults) {
+  const CountingProblem problem;
+  const EvalEngine eval(problem, 1, nullptr, /*cache_capacity=*/1);
+
+  // More distinct genomes than capacity: the cache thrashes but every
+  // result must still be correct and intra-batch dedup still applies.
+  const std::vector<Genome> genomes{{0.1}, {0.2}, {0.3}, {0.1}, {0.2}, {0.3}};
+  std::vector<moga::Evaluation> out(genomes.size());
+  eval.evaluate_batch(genomes, out);
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    EXPECT_EQ(out[i].objectives[0], genomes[i][0]) << "item " << i;
+  }
+  EXPECT_EQ(eval.stats().batch_hits, 3u);
+}
+
+TEST(EvalEngineCache, CachedBatchesAreBitIdenticalToUncachedOnes) {
+  const auto problem = problems::make_kur();
+  const auto bounds = problem->bounds();
+  // A batch with heavy duplication, evaluated uncached, cached-serial and
+  // cached-parallel; all three must agree byte-for-byte.
+  std::vector<Genome> genomes;
+  for (std::size_t i = 0; i < 40; ++i) {
+    Genome g(bounds.size());
+    const std::size_t v = i % 7;  // many repeats
+    for (std::size_t k = 0; k < bounds.size(); ++k) {
+      const double t = static_cast<double>(v * bounds.size() + k + 1) / 64.0;
+      g[k] = bounds[k].lower + t * (bounds[k].upper - bounds[k].lower);
+    }
+    genomes.push_back(std::move(g));
+  }
+
+  const EvalEngine plain(*problem, 1);
+  std::vector<moga::Evaluation> reference(genomes.size());
+  plain.evaluate_batch(genomes, reference);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const EvalEngine cached(*problem, threads, nullptr, 16);
+    std::vector<moga::Evaluation> out(genomes.size());
+    cached.evaluate_batch(genomes, out);
+    for (std::size_t i = 0; i < genomes.size(); ++i) {
+      EXPECT_EQ(out[i].objectives, reference[i].objectives) << "item " << i;
+      EXPECT_EQ(out[i].violations, reference[i].violations) << "item " << i;
+    }
+    EXPECT_EQ(cached.stats().evaluated, 7u);
+    EXPECT_EQ(cached.stats().requested, genomes.size());
+  }
+}
+
+/// Throws for genes[0] > 0.5 with the value in the message (mirrors the
+/// EvalEngine test fixture).
+class ThrowAboveHalf final : public moga::Problem {
+ public:
+  std::string name() const override { return "throw-above-half"; }
+  std::size_t num_variables() const override { return 1; }
+  std::size_t num_objectives() const override { return 2; }
+  std::size_t num_constraints() const override { return 0; }
+  std::vector<moga::VariableBound> bounds() const override { return {{0.0, 1.0}}; }
+  void evaluate(std::span<const double> genes, moga::Evaluation& out) const override {
+    if (genes[0] > 0.5) {
+      throw std::runtime_error("boom at " + std::to_string(genes[0]));
+    }
+    out.objectives = {genes[0], 1.0 - genes[0]};
+    out.violations.clear();
+  }
+};
+
+TEST(EvalEngineCache, LowestIndexExceptionSurvivesDeduplication) {
+  const ThrowAboveHalf problem;
+  // Items 2 and 5 are duplicates of the faulting genome; item 4 is a later
+  // distinct fault. The dedup representative of {0.8} sits at index 2, the
+  // lowest faulting index, so its exception must surface — and the clean
+  // duplicates must still receive their fanned-out results.
+  std::vector<Genome> genomes{{0.25}, {0.25}, {0.8}, {0.25}, {0.9}, {0.8}};
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const EvalEngine eval(problem, threads, nullptr, 8);
+    std::vector<moga::Evaluation> out(genomes.size());
+    try {
+      eval.evaluate_batch(genomes, out);
+      FAIL() << "expected the batch to rethrow (threads = " << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("0.8"), std::string::npos)
+          << "threads = " << threads << ": got '" << e.what() << "'";
+    }
+    EXPECT_EQ(out[0].objectives, (std::vector<double>{0.25, 0.75}));
+    EXPECT_EQ(out[3].objectives, (std::vector<double>{0.25, 0.75}));
+  }
+}
+
+TEST(EvalEngineCache, FaultedBatchesAreNotRetained) {
+  // After a faulting batch nothing may enter the LRU: a later batch
+  // resubmitting the clean genome must dispatch it again (batch results
+  // are only published to the cache when the whole batch succeeded).
+  const ThrowAboveHalf problem;
+  const EvalEngine eval(problem, 1, nullptr, 8);
+
+  std::vector<Genome> faulting{{0.25}, {0.8}};
+  std::vector<moga::Evaluation> out(faulting.size());
+  EXPECT_THROW(eval.evaluate_batch(faulting, out), std::runtime_error);
+
+  std::vector<Genome> clean{{0.25}};
+  out.resize(1);
+  eval.evaluate_batch(clean, out);
+  EXPECT_EQ(eval.stats().lru_hits, 0u);
+  EXPECT_EQ(out[0].objectives, (std::vector<double>{0.25, 0.75}));
+}
+
+TEST(EvalEngineCache, StatsStayZeroedWithTheCacheOff) {
+  const CountingProblem problem;
+  const EvalEngine eval(problem, 1);  // cache_capacity = 0
+  EXPECT_EQ(eval.cache_capacity(), 0u);
+  const std::vector<Genome> genomes{{0.1}, {0.1}, {0.1}};
+  std::vector<moga::Evaluation> out(genomes.size());
+  eval.evaluate_batch(genomes, out);
+  EXPECT_EQ(problem.calls.load(), 3u);  // no dedup without the cache
+  EXPECT_EQ(eval.stats().requested, 3u);
+  EXPECT_EQ(eval.stats().evaluated, 3u);
+  EXPECT_EQ(eval.stats().cache_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace anadex::engine
