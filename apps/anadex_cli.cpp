@@ -69,7 +69,7 @@ scint::Spec spec_from_arg(const ArgParser& args) {
   const std::string which = args.get("spec", "chosen");
   if (which == "chosen") return problems::chosen_spec();
   const auto suite = problems::spec_suite();
-  const auto index = static_cast<std::size_t>(std::strtoul(which.c_str(), nullptr, 10));
+  const std::size_t index = std::strtoul(which.c_str(), nullptr, 10);
   ANADEX_REQUIRE(index >= 1 && index <= suite.size(),
                  "--spec must be 'chosen' or 1.." + std::to_string(suite.size()));
   return suite[index - 1];

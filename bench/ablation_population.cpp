@@ -4,6 +4,7 @@
 // fixed generation budget, reporting the clustering fraction, covered load
 // span and wall-clock cost; an equal-evaluation SACGA row shows the paper's
 // alternative.
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -29,7 +30,7 @@ int main() {
     for (int seed = 1; seed <= kSeeds; ++seed) {
       auto settings = bench::chosen_settings(expt::Algo::TPG, bench::kPaperBudget);
       settings.population = pop;
-      settings.seed = seed;
+      settings.seed = static_cast<std::uint64_t>(seed);
       const auto outcome = expt::run(problem, settings);
       cluster += outcome.clustering_4to5 / kSeeds;
       span += outcome.load_span_pf / kSeeds;

@@ -7,6 +7,7 @@
 //   * fixed 25% participation (a non-annealed middle ground);
 //   * MESACGA with continuous vs per-phase-restarted annealing (the two
 //     readings of §4.5 discussed in DESIGN.md).
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -36,7 +37,7 @@ int main() {
     Row row{};
     for (int seed = 1; seed <= kSeeds; ++seed) {
       auto settings = bench::chosen_settings(algo, bench::kPaperBudget);
-      settings.seed = seed;
+      settings.seed = static_cast<std::uint64_t>(seed);
       tweak(settings);
       const auto outcome = expt::run(problem, settings);
       row.mean_area += outcome.front_area / kSeeds;
@@ -74,7 +75,7 @@ int main() {
       params.phase1_max_generations =
           std::min<std::size_t>(200, std::max<std::size_t>(params.total_budget / 4, 1));
       params.continuous_annealing = false;
-      params.seed = seed;
+      params.seed = static_cast<std::uint64_t>(seed);
       const auto result = sacga::run_mesacga(problem, params);
       const auto front = expt::to_front_samples(result.front);
       row.mean_area += expt::front_area_of(front) / kSeeds;

@@ -7,6 +7,7 @@
 // single-population GA." §1 likewise cites the weighted-sum scalarization.
 // This bench pits SACGA/MESACGA against both alternatives at an equal
 // evaluation budget on the chosen specification.
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -35,7 +36,7 @@ int main() {
   for (auto& row : rows) {
     for (int seed = 1; seed <= kSeeds; ++seed) {
       auto settings = bench::chosen_settings(row.algo, bench::kPaperBudget);
-      settings.seed = seed;
+      settings.seed = static_cast<std::uint64_t>(seed);
       const auto outcome = expt::run(problem, settings);
       row.area += outcome.front_area / kSeeds;
       row.span += outcome.load_span_pf / kSeeds;

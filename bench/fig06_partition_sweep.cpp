@@ -3,6 +3,7 @@
 // The paper found m = 16 optimal for its problem instance and noted that
 // "no alternative to complete experimentation is known" — the motivation
 // for MESACGA.
+#include <cstdint>
 #include <iostream>
 #include <limits>
 
@@ -32,7 +33,7 @@ int main() {
     for (int seed = 1; seed <= kSeeds; ++seed) {
       auto settings = bench::chosen_settings(expt::Algo::SACGA, 1200);
       settings.partitions = m;
-      settings.seed = seed;
+      settings.seed = static_cast<std::uint64_t>(seed);
       const auto outcome = expt::run(problem, settings);
       area += outcome.front_area / kSeeds;
       span += outcome.load_span_pf / kSeeds;

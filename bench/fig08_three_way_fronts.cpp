@@ -2,6 +2,7 @@
 // Global competition based, ii) SACGA based, and iii) MESACGA based
 // evolution", plus the paper's §5 quality ordering
 // MESACGA >= SACGA >= TPG (for budgets above ~650 iterations).
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -36,13 +37,13 @@ int main() {
   constexpr int kSeeds = 3;
   for (int seed = 1; seed <= kSeeds; ++seed) {
     auto s = bench::chosen_settings(expt::Algo::TPG, bench::kPaperBudget);
-    s.seed = seed;
+    s.seed = static_cast<std::uint64_t>(seed);
     tpg_avg += expt::run(problem, s).front_area;
     s = bench::chosen_settings(expt::Algo::SACGA, bench::kPaperBudget);
-    s.seed = seed;
+    s.seed = static_cast<std::uint64_t>(seed);
     sacga_avg += expt::run(problem, s).front_area;
     s = bench::chosen_settings(expt::Algo::MESACGA, bench::kPaperBudget);
-    s.seed = seed;
+    s.seed = static_cast<std::uint64_t>(seed);
     mesacga_avg += expt::run(problem, s).front_area;
   }
   tpg_avg /= kSeeds;

@@ -4,6 +4,7 @@
 // (16 partitions, 1200 iterations). Paper metrics: 21.83 (MESACGA) vs
 // 22.19 (SACGA) — comparable, slight edge to MESACGA, without having had
 // to search for the optimal partition count.
+#include <cstdint>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -31,8 +32,8 @@ int main() {
   double mesacga_mean = 0.0;
   double sacga_mean = 0.0;
   for (int seed = 1; seed <= kSeeds; ++seed) {
-    mesacga_settings.seed = seed;
-    sacga_settings.seed = seed;
+    mesacga_settings.seed = static_cast<std::uint64_t>(seed);
+    sacga_settings.seed = static_cast<std::uint64_t>(seed);
     mesacga_mean += expt::run(problem, mesacga_settings).front_area / kSeeds;
     sacga_mean += expt::run(problem, sacga_settings).front_area / kSeeds;
   }

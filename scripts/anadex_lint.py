@@ -1,0 +1,381 @@
+#!/usr/bin/env python3
+"""anadex-lint — determinism & contract static analysis for the anadex tree.
+
+Every layer of this library (checkpoint/resume, the parallel EvalEngine,
+JSONL tracing, the eval cache and the SoA ranking kernels) stakes its
+correctness on two properties that ordinary compilers cannot see:
+
+  * bit-exact determinism — a run is a pure function of (problem, params,
+    seed, thread count is *not* in that tuple), so wall clocks, ambient
+    randomness and hash-order iteration must never leak into results; and
+  * canonical-order contracts — fronts ascend by population index, floats
+    round-trip through the hex/shortest writers in common/textio, public
+    headers are self-contained.
+
+This linter enforces the source-level side of those contracts.  Rules:
+
+  rule id            what it flags
+  -----------------  ----------------------------------------------------
+  raw-random         rand()/srand() — ambient C PRNG (use anadex::Rng)
+  random-device      std::random_device — nondeterministic entropy source
+  wall-clock         std::time/system_clock/gettimeofday/localtime/... —
+                     wall-clock reads outside the telemetry layer
+                     (src/obs/); the monotonic steady_clock is fine
+  det-unordered      std::unordered_{map,set,multimap,multiset} in the
+                     deterministic paths (src/engine, src/moga, src/sacga,
+                     src/expt) — hash iteration order can leak into
+                     fronts/traces; annotate with a justification
+  unordered-iter     range-for iteration over a variable declared as an
+                     unordered container in the same translation unit
+  float-printf       %f/%e/%g-style float formatting in src/ outside
+                     common/textio — printf floats do not round-trip;
+                     use textio's shortest/hex writers
+  pragma-once        public header without #pragma once before code
+  include-hygiene    relative ("../") or bare quoted includes in src/
+                     headers, and `using namespace` at header scope
+  raw-assert         raw assert()/<cassert> — use ANADEX_REQUIRE (public
+                     preconditions) or ANADEX_ASSERT (internal invariants)
+                     so failures throw typed, testable exceptions
+
+Suppression: append `// anadex-lint: allow(<rule>[, <rule>...])` to the
+offending line, or place the comment on its own line directly above.  A
+suppression should carry a justification in the surrounding comment.
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
+
+JSON mode (`--json [--output FILE]`) emits a machine-readable report with
+schema id "anadex-lint/1" for CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA = "anadex-lint/1"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = ["src", "apps", "bench", "tests"]
+CXX_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
+# Fixture files deliberately contain violations; they are linted only when
+# named explicitly (the self-test does exactly that).
+SKIPPED_DIR_PARTS = ("tests/lint/fixtures",)
+
+# Directories whose iteration order / float text reaches checkpoints,
+# fronts or traces.  Hash-order containers here need a justification.
+DETERMINISTIC_DIRS = ("src/engine", "src/moga", "src/sacga", "src/expt")
+
+ALLOW_RE = re.compile(r"anadex-lint:\s*allow\(([^)]*)\)")
+COMMENT_ONLY_RE = re.compile(r"^\s*(//|/\*|\*|\*/)")
+
+RULE_DOCS = {
+    "raw-random": "rand()/srand() banned: seed-addressed anadex::Rng only",
+    "random-device": "std::random_device banned: nondeterministic entropy",
+    "wall-clock": "wall-clock read outside src/obs/ (steady_clock is fine)",
+    "det-unordered": "unordered container in a deterministic path",
+    "unordered-iter": "range-for over an unordered container",
+    "float-printf": "%f-style float formatting outside common/textio",
+    "pragma-once": "public header must open with #pragma once",
+    "include-hygiene": "relative/bare include or using-namespace in header",
+    "raw-assert": "raw assert(): use ANADEX_REQUIRE / ANADEX_ASSERT",
+}
+
+RAW_RANDOM_RE = re.compile(r"(?<![\w.>])s?rand\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\brandom_device\b")
+WALL_CLOCK_RE = re.compile(
+    r"std::time\s*\("
+    r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|&)"
+    r"|\bsystem_clock\b"
+    r"|\bhigh_resolution_clock\b"
+    r"|\bgettimeofday\b"
+    r"|\blocaltime\b|\bgmtime\b|\bstrftime\b|\bmktime\b"
+    r"|(?<![\w:.])clock\s*\(\s*\)"
+)
+UNORDERED_TYPE_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\s*<")
+# `std::unordered_map<K, V> name` / `... name;` / `... name{...}` — good
+# enough for the single-line declarations this codebase writes.
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<[^;{}]*>\s+(\w+)\s*[;={(]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:()]*:\s*(\w+)\s*\)")
+PRINTF_CALL_RE = re.compile(r"\b(?:printf|fprintf|sprintf|snprintf)\s*\(")
+FLOAT_FMT_RE = re.compile(r'"[^"]*%[-+ #0-9.*]*(?:l|L)?[aefgAEFG][^"]*"')
+RAW_ASSERT_RE = re.compile(r"(?<![\w.:])assert\s*\(")
+ASSERT_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](?:cassert|assert\.h)[>"]')
+RELATIVE_INCLUDE_RE = re.compile(r'#\s*include\s*"(\.\.?/[^"]*)"')
+BARE_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"/]+)"')
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\s+\w")
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\b")
+PREPROC_OR_CODE_RE = re.compile(r"\S")
+
+
+def rel(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def in_dirs(relpath: str, prefixes) -> bool:
+    return any(relpath == p or relpath.startswith(p + "/") for p in prefixes)
+
+
+class Report:
+    def __init__(self):
+        self.violations = []
+        self.suppressed = []
+        self.files_scanned = 0
+
+    def add(self, allowed: set, rule: str, path: str, line_no: int, line: str, message: str):
+        entry = {
+            "rule": rule,
+            "path": path,
+            "line": line_no,
+            "message": message,
+            "snippet": line.strip()[:160],
+        }
+        if rule in allowed or "*" in allowed:
+            self.suppressed.append(entry)
+        else:
+            self.violations.append(entry)
+
+
+def allowed_rules(lines, idx: int) -> set:
+    """Rules suppressed for lines[idx]: same-line or previous-comment-line."""
+    rules = set()
+    m = ALLOW_RE.search(lines[idx])
+    if m:
+        rules.update(r.strip() for r in m.group(1).split(","))
+    if idx > 0 and COMMENT_ONLY_RE.match(lines[idx - 1]):
+        m = ALLOW_RE.search(lines[idx - 1])
+        if m:
+            rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def strip_line_comment(line: str) -> str:
+    """Drops //-comments so commented-out code is not flagged."""
+    in_string = False
+    i = 0
+    while i < len(line) - 1:
+        c = line[i]
+        if c == '"' and (i == 0 or line[i - 1] != "\\"):
+            in_string = not in_string
+        elif not in_string and c == "/" and line[i + 1] == "/":
+            return line[:i]
+        i += 1
+    return line
+
+
+def lint_file(path: Path, report: Report, pretend_prefix: str | None = None):
+    relpath = rel(path)
+    if pretend_prefix is not None:
+        # Self-test hook: lint this file as if it lived at
+        # <pretend_prefix>/<name>, so fixtures can exercise path-scoped
+        # rules without living inside src/.
+        relpath = f"{pretend_prefix.rstrip('/')}/{path.name}"
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as err:
+        print(f"anadex-lint: cannot read {relpath}: {err}", file=sys.stderr)
+        sys.exit(2)
+    lines = text.splitlines()
+    report.files_scanned += 1
+
+    is_header = path.suffix in {".hpp", ".hh", ".h"}
+    in_src = in_dirs(relpath, ("src",))
+    in_obs = in_dirs(relpath, ("src/obs",))
+    in_det = in_dirs(relpath, DETERMINISTIC_DIRS)
+    is_textio = relpath.startswith("src/common/textio")
+
+    # Names declared as unordered containers in this file plus its paired
+    # header (eval_cache.cpp iterating a member declared in eval_cache.hpp).
+    unordered_names = set()
+    scan_texts = [lines]
+    if path.suffix == ".cpp":
+        header = path.with_suffix(".hpp")
+        if header.exists():
+            scan_texts.append(header.read_text(encoding="utf-8").splitlines())
+    for body in scan_texts:
+        for raw in body:
+            for m in UNORDERED_DECL_RE.finditer(strip_line_comment(raw)):
+                unordered_names.add(m.group(1))
+
+    pragma_seen = False
+    pragma_checked = not is_header or not in_src
+    in_block_comment = False
+
+    for idx, raw in enumerate(lines):
+        line_no = idx + 1
+        allowed = allowed_rules(lines, idx)
+
+        # Cheap block-comment tracking: skip fully commented lines.
+        stripped = raw.strip()
+        if in_block_comment:
+            if "*/" in stripped:
+                in_block_comment = False
+            continue
+        if stripped.startswith("/*") and "*/" not in stripped:
+            in_block_comment = True
+            continue
+
+        code = strip_line_comment(raw)
+
+        # --- pragma-once: must appear before the first real code line.
+        if not pragma_checked:
+            if PRAGMA_ONCE_RE.match(code):
+                pragma_seen = True
+                pragma_checked = True
+            elif PREPROC_OR_CODE_RE.search(code) and not COMMENT_ONLY_RE.match(raw):
+                report.add(allowed, "pragma-once", relpath, line_no, raw,
+                           "public header must start with #pragma once "
+                           "before any code or preprocessor line")
+                pragma_checked = True
+
+        if not PREPROC_OR_CODE_RE.search(code):
+            continue
+
+        # --- raw-random / random-device: everywhere except src/obs/.
+        if not in_obs:
+            if RAW_RANDOM_RE.search(code):
+                report.add(allowed, "raw-random", relpath, line_no, raw,
+                           "rand()/srand() is ambient, unseeded state; use the "
+                           "seed-addressed anadex::Rng instead")
+            if RANDOM_DEVICE_RE.search(code):
+                report.add(allowed, "random-device", relpath, line_no, raw,
+                           "std::random_device draws nondeterministic entropy; "
+                           "runs must be pure functions of their seed")
+
+        # --- wall-clock: telemetry (src/obs/) may timestamp, nothing else.
+        if not in_obs and WALL_CLOCK_RE.search(code):
+            report.add(allowed, "wall-clock", relpath, line_no, raw,
+                       "wall-clock reads outside src/obs/ leak real time into "
+                       "deterministic paths; use steady_clock for durations")
+
+        # --- unordered containers in deterministic paths.
+        if in_det:
+            if UNORDERED_TYPE_RE.search(code) and not code.lstrip().startswith("#"):
+                report.add(allowed, "det-unordered", relpath, line_no, raw,
+                           "hash-container iteration order is unspecified and "
+                           "can leak into fronts/traces; justify with an "
+                           "anadex-lint: allow(det-unordered) annotation or "
+                           "use an ordered container")
+            m = RANGE_FOR_RE.search(code)
+            if m and m.group(1) in unordered_names:
+                report.add(allowed, "unordered-iter", relpath, line_no, raw,
+                           f"range-for over unordered container '{m.group(1)}' "
+                           "iterates in hash order; iterate a sorted index "
+                           "instead")
+
+        # --- float-printf: library code must use common/textio writers.
+        if in_src and not is_textio:
+            if PRINTF_CALL_RE.search(code) and FLOAT_FMT_RE.search(code):
+                report.add(allowed, "float-printf", relpath, line_no, raw,
+                           "%f-style float text does not round-trip; use "
+                           "common/textio's shortest/hex writers")
+
+        # --- include hygiene (headers in src/ must be relocatable).
+        if is_header and in_src:
+            m = RELATIVE_INCLUDE_RE.search(code)
+            if m:
+                report.add(allowed, "include-hygiene", relpath, line_no, raw,
+                           f'relative include "{m.group(1)}" breaks when the '
+                           "header moves; include project-root-relative paths")
+            m = BARE_INCLUDE_RE.search(code)
+            if m:
+                report.add(allowed, "include-hygiene", relpath, line_no, raw,
+                           f'bare include "{m.group(1)}" is ambiguous; use the '
+                           'project-root-relative "dir/file.hpp" form')
+            if USING_NAMESPACE_RE.match(code):
+                report.add(allowed, "include-hygiene", relpath, line_no, raw,
+                           "using-namespace at header scope pollutes every "
+                           "includer")
+
+        # --- raw-assert: typed, throwing checks only.
+        if RAW_ASSERT_RE.search(code) or ASSERT_INCLUDE_RE.search(code):
+            report.add(allowed, "raw-assert", relpath, line_no, raw,
+                       "raw assert() aborts and vanishes in NDEBUG; use "
+                       "ANADEX_REQUIRE (precondition) or ANADEX_ASSERT "
+                       "(invariant) from common/check.hpp")
+
+    if is_header and in_src and not pragma_seen and not pragma_checked:
+        # Header with no code lines at all — still needs the guard.
+        report.add(set(), "pragma-once", relpath, max(len(lines), 1),
+                   lines[-1] if lines else "", "public header lacks #pragma once")
+
+
+def collect(paths) -> list:
+    files = []
+    for arg in paths:
+        p = Path(arg)
+        if not p.is_absolute():
+            p = REPO_ROOT / p
+        if p.is_file():
+            files.append(p)  # explicit files are always linted (fixtures)
+        elif p.is_dir():
+            for f in sorted(p.rglob("*")):
+                if f.suffix not in CXX_SUFFIXES or not f.is_file():
+                    continue
+                r = rel(f)
+                if any(part in r for part in SKIPPED_DIR_PARTS):
+                    continue
+                files.append(f)
+        else:
+            print(f"anadex-lint: no such path: {arg}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="anadex_lint.py",
+        description="Determinism & contract linter for the anadex tree.")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help=f"files or directories (default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--json", action="store_true",
+                        help="emit an anadex-lint/1 JSON report on stdout")
+    parser.add_argument("--output", metavar="FILE",
+                        help="also write the JSON report to FILE")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--pretend-path", metavar="PREFIX", default=None,
+                        help="lint explicit files as if they lived under "
+                             "PREFIX (self-test hook for path-scoped rules)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, doc in RULE_DOCS.items():
+            print(f"{rule:16} {doc}")
+        return 0
+
+    report = Report()
+    for f in collect(args.paths or DEFAULT_PATHS):
+        lint_file(f, report, pretend_prefix=args.pretend_path)
+
+    payload = {
+        "schema": SCHEMA,
+        "files_scanned": report.files_scanned,
+        "violation_count": len(report.violations),
+        "suppressed_count": len(report.suppressed),
+        "violations": report.violations,
+        "suppressed": report.suppressed,
+    }
+    if args.output:
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for v in report.violations:
+            print(f"{v['path']}:{v['line']}: [{v['rule']}] {v['message']}")
+            print(f"    {v['snippet']}")
+        tail = (f"{report.files_scanned} files, {len(report.violations)} violation(s), "
+                f"{len(report.suppressed)} suppressed")
+        print(("FAIL: " if report.violations else "OK: ") + tail)
+    return 1 if report.violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,7 +64,8 @@ std::string render_scatter(const std::vector<PlotSeries>& series, const PlotOpti
 
   const int w = options.width;
   const int h = options.height;
-  std::vector<std::string> grid(h, std::string(w, ' '));
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
 
   for (const auto& s : series) {
     for (std::size_t i = 0; i < s.x.size(); ++i) {
@@ -75,7 +76,8 @@ std::string render_scatter(const std::vector<PlotSeries>& series, const PlotOpti
       int cy = static_cast<int>(std::lround(fy * (h - 1)));
       cx = std::clamp(cx, 0, w - 1);
       cy = std::clamp(cy, 0, h - 1);
-      grid[h - 1 - cy][cx] = s.glyph;  // row 0 is the top of the plot
+      // row 0 is the top of the plot; cx/cy are clamped non-negative above
+      grid[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)] = s.glyph;
     }
   }
 
@@ -84,7 +86,8 @@ std::string render_scatter(const std::vector<PlotSeries>& series, const PlotOpti
   if (!options.y_label.empty()) os << options.y_label << '\n';
   os << format_number(yr.hi) << '\n';
   for (const auto& line : grid) os << '|' << line << '\n';
-  os << '+' << std::string(w, '-') << "-> " << options.x_label << '\n';
+  os << '+' << std::string(static_cast<std::size_t>(w), '-') << "-> " << options.x_label
+     << '\n';
   os << format_number(yr.lo) << " (y min); x in [" << format_number(xr.lo) << ", "
      << format_number(xr.hi) << "]\n";
   os << "legend:";

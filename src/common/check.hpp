@@ -45,3 +45,28 @@ namespace detail {
       ::anadex::detail::throw_invariant(#expr, __FILE__, __LINE__, (message)); \
     }                                                                         \
   } while (false)
+
+// Structural invariant checking, compiled in only when the build enables
+// -DANADEX_CHECK_INVARIANTS=1 (CMake option of the same name). These guard
+// the load-bearing contracts the hot paths rely on — canonical ascending
+// front order, partition occupancy, monotone cooling, batch-slot
+// completeness, LRU coherence — whose verification is O(n) per call site
+// and therefore too expensive for release builds. Guard check-only code
+// with `if constexpr (anadex::kCheckInvariants)` so it stays type-checked
+// (and bit-rot-proof) in every build while costing nothing when disabled.
+#ifdef ANADEX_CHECK_INVARIANTS
+#define ANADEX_CHECK_INVARIANTS_ENABLED 1
+#else
+#define ANADEX_CHECK_INVARIANTS_ENABLED 0
+#endif
+
+namespace anadex {
+inline constexpr bool kCheckInvariants = ANADEX_CHECK_INVARIANTS_ENABLED != 0;
+}  // namespace anadex
+
+#define ANADEX_CHECK_INVARIANT(expr, message)       \
+  do {                                              \
+    if constexpr (::anadex::kCheckInvariants) {     \
+      ANADEX_ASSERT(expr, message);                 \
+    }                                               \
+  } while (false)

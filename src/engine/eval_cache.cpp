@@ -59,6 +59,49 @@ void EvalCache::insert(std::span<const double> genes, std::uint64_t hash,
   }
   lru_.push_front(Entry{{genes.begin(), genes.end()}, eval, hash});
   index_.emplace(hash, lru_.begin());
+  if constexpr (kCheckInvariants) {
+    ANADEX_ASSERT(coherent_locked(),
+                  "LRU list and hash index must describe the same entries");
+  }
+}
+
+bool EvalCache::coherent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coherent_locked();
+}
+
+bool EvalCache::coherent_locked() const {
+  if (lru_.size() > capacity_) return false;
+  if (index_.size() != lru_.size()) return false;
+  // Every index slot must point at a live list node filed under its own
+  // hash. Collect the pointees to prove the mapping is a bijection.
+  std::vector<const Entry*> seen;
+  seen.reserve(index_.size());
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+    auto [lo, hi] = index_.equal_range(it->hash);
+    bool indexed = false;
+    for (auto slot = lo; slot != hi; ++slot) {
+      if (slot->second == it) {
+        indexed = true;
+        break;
+      }
+    }
+    if (!indexed) return false;
+    seen.push_back(&*it);
+  }
+  // index_.size() == lru_.size() plus every node indexed under its hash
+  // leaves no room for dangling slots; finally, keys must be unique.
+  std::sort(seen.begin(), seen.end(), [](const Entry* a, const Entry* b) {
+    if (a->hash != b->hash) return a->hash < b->hash;
+    return std::lexicographical_compare(a->genes.begin(), a->genes.end(),
+                                        b->genes.begin(), b->genes.end());
+  });
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    if (seen[i - 1]->hash == seen[i]->hash && seen[i - 1]->genes == seen[i]->genes) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace anadex::engine

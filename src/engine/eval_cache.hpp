@@ -61,6 +61,13 @@ class EvalCache {
   void insert(std::span<const double> genes, std::uint64_t hash,
               const moga::Evaluation& eval);
 
+  /// True when the LRU list and hash index describe the same entry set:
+  /// equal sizes within capacity, every index slot points at a live list
+  /// node under its stored hash, and no two entries share identical gene
+  /// bytes. O(n log n); compiled unconditionally so tests can call it in
+  /// any build, with insert() self-checking under kCheckInvariants.
+  bool coherent() const;
+
  private:
   struct Entry {
     std::vector<double> genes;
@@ -72,9 +79,16 @@ class EvalCache {
   /// Returns the bucketed entry matching `genes` byte-for-byte, or end().
   Lru::iterator find_locked(std::span<const double> genes, std::uint64_t hash);
 
+  /// coherent() with mu_ already held (for the insert() self-check).
+  bool coherent_locked() const;
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   Lru lru_;  ///< front = most recently used
+  // Keyed equal_range lookups only, and at most one bucket entry can pass
+  // the full gene-vector compare, so the order entries appear within a
+  // bucket (or across buckets) never selects a different result.
+  // anadex-lint: allow(det-unordered)
   std::unordered_multimap<std::uint64_t, Lru::iterator> index_;
 };
 

@@ -100,6 +100,11 @@ void EvalEngine::submit(std::span<const Item> items) const {
     Item item;
     std::uint64_t hash = 0;
   };
+  // Hash-keyed bucket lookup only: every access goes through operator[] on
+  // a specific hash and a linear scan of that one bucket vector (filled in
+  // ascending item order), so the map itself is never range-iterated and
+  // its unspecified iteration order cannot reach results or traces.
+  // anadex-lint: allow(det-unordered)
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> reps;
   std::vector<std::size_t> duplicate_of(items.size(), kNone);
   std::vector<Pending> missing;
@@ -128,6 +133,18 @@ void EvalEngine::submit(std::span<const Item> items) const {
       continue;
     }
     missing.push_back(Pending{items[i], hash});
+  }
+  if constexpr (kCheckInvariants) {
+    // Dedup bookkeeping: every item is exactly one of intra-batch duplicate,
+    // LRU hit, or dispatched representative; and a duplicate's representative
+    // always precedes it in the batch — the property the lowest-index-error
+    // rethrow rule relies on to match the cache-off path.
+    ANADEX_ASSERT(batch_hits + lru_hits + missing.size() == items.size(),
+                  "dedup must classify every batch item exactly once");
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      ANADEX_ASSERT(duplicate_of[i] == kNone || duplicate_of[i] < i,
+                    "a duplicate's representative must precede it in the batch");
+    }
   }
   stats_.evaluated += missing.size();
   stats_.batch_hits += batch_hits;
@@ -276,6 +293,15 @@ void EvalEngine::run_batch(std::span<const Item> items) const {
   batch_done_.wait(lock, [&] {
     return active_ == 0 && completed_.load(std::memory_order_acquire) == item_count_;
   });
+  if constexpr (kCheckInvariants) {
+    // Slot completeness: the index-addressed claim counter must have handed
+    // out every slot exactly once — each item attempted, none skipped, no
+    // slot written twice (completed_ would overshoot item_count_ otherwise).
+    ANADEX_ASSERT(next_item_.load(std::memory_order_relaxed) >= item_count_,
+                  "every batch slot must have been claimed");
+    ANADEX_ASSERT(completed_.load(std::memory_order_acquire) == item_count_,
+                  "every batch slot must complete exactly once");
+  }
   items_ = nullptr;
   item_count_ = 0;
   const std::exception_ptr error = std::exchange(first_error_, nullptr);

@@ -1,0 +1,36 @@
+#include "moga/invariants.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace anadex::moga {
+
+void require_ascending_front(std::span<const std::size_t> front) {
+  ANADEX_ASSERT(!front.empty(), "canonical front must not be empty");
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    ANADEX_ASSERT(front[i - 1] < front[i],
+                  "canonical front must ascend strictly by population index");
+  }
+}
+
+void require_canonical_fronts(std::span<const std::vector<std::size_t>> fronts,
+                              std::size_t expected_total) {
+  std::size_t total = 0;
+  for (const auto& front : fronts) {
+    require_ascending_front(front);
+    total += front.size();
+  }
+  ANADEX_ASSERT(total == expected_total,
+                "fronts must cover the selection exactly once");
+  // Ascending fronts can still overlap each other; a sorted copy of all
+  // members makes duplicates adjacent.
+  std::vector<std::size_t> all;
+  all.reserve(total);
+  for (const auto& front : fronts) all.insert(all.end(), front.begin(), front.end());
+  std::sort(all.begin(), all.end());
+  ANADEX_ASSERT(std::adjacent_find(all.begin(), all.end()) == all.end(),
+                "fronts must be pairwise disjoint");
+}
+
+}  // namespace anadex::moga

@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "moga/dominance.hpp"
+#include "moga/invariants.hpp"
 
 namespace anadex::moga {
 
@@ -93,6 +94,7 @@ std::vector<std::vector<std::size_t>> legacy_nondominated_sort(
     ++rank;
   }
   ANADEX_ASSERT(assigned == n, "non-dominated sort must assign every individual");
+  if constexpr (kCheckInvariants) require_canonical_fronts(fronts, n);
   return fronts;
 }
 
@@ -143,6 +145,7 @@ std::vector<std::vector<std::size_t>> RankingScratch::finish(
   // subset selection need not arrive sorted, so sorting here is not
   // optional even though the kernels emit local positions in order.)
   for (auto& front : fronts) std::sort(front.begin(), front.end());
+  if constexpr (kCheckInvariants) require_canonical_fronts(fronts, n);
   return fronts;
 }
 
@@ -297,8 +300,11 @@ std::vector<std::vector<std::size_t>> RankingScratch::bitset_on_flat(
 
 void RankingScratch::crowding(Population& population,
                               std::span<const std::size_t> front) {
-  for (std::size_t idx : front) population[idx].crowding = 0.0;
   if (front.empty()) return;
+  // Callers hand kernel output straight back in, so a disordered front
+  // here means a kernel (or an intermediary) broke the canonical order.
+  if constexpr (kCheckInvariants) require_ascending_front(front);
+  for (std::size_t idx : front) population[idx].crowding = 0.0;
   const std::size_t n = front.size();
   if (n <= 2) {
     for (std::size_t idx : front) {

@@ -68,7 +68,7 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
     std::array<double, 2> hi{-std::numeric_limits<double>::infinity(),
                              -std::numeric_limits<double>::infinity()};
     auto track = [&](const Individual& ind) {
-      for (int k = 0; k < 2; ++k) {
+      for (std::size_t k = 0; k < 2; ++k) {
         lo[k] = std::min(lo[k], ind.eval.objectives[k]);
         hi[k] = std::max(hi[k], ind.eval.objectives[k]);
       }
@@ -82,7 +82,7 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
 
     auto spans = [&] {
       std::array<double, 2> s;
-      for (int k = 0; k < 2; ++k) s[k] = std::max(hi[k] - lo[k], 1e-30);
+      for (std::size_t k = 0; k < 2; ++k) s[k] = std::max(hi[k] - lo[k], 1e-30);
       return s;
     };
 

@@ -85,6 +85,10 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
       params.shape, params.alpha, params.t_init, params.n_desired, span * phase_count);
   const AnnealingSchedule per_phase_schedule = AnnealingSchedule::shaped(
       params.shape, params.alpha, params.t_init, params.n_desired, span);
+  if constexpr (kCheckInvariants) {
+    whole_run_schedule.require_monotone_cooling();
+    per_phase_schedule.require_monotone_cooling();
+  }
 
   // A restored evolver may be partway through some phase; its position
   // follows from the generation counter and gen_t.

@@ -97,9 +97,20 @@ void PartitionedEvolver::rank_pool(moga::Population& pool, std::vector<MemberInf
   std::vector<std::vector<std::size_t>> members(partitioner_.count());
   for (std::size_t i = 0; i < pool.size(); ++i) {
     const std::size_t p = partitioner_.index_of(pool[i]);
+    ANADEX_CHECK_INVARIANT(p < partitioner_.count(),
+                           "partition index must lie inside the partitioner's bins");
     info[i].partition = p;
     info[i].discarded_partition = discarded_[p];
     members[p].push_back(i);
+  }
+  if constexpr (kCheckInvariants) {
+    // Occupancy bound: the bins partition the pool — every member in
+    // exactly one bin, none lost, none duplicated (Phase I/II both build
+    // their local competitions from this assignment).
+    std::size_t occupancy = 0;
+    for (const auto& bin : members) occupancy += bin.size();
+    ANADEX_ASSERT(occupancy == pool.size(),
+                  "partition occupancy must sum to the pool size");
   }
 
   // 2. Local competition: per-partition constrained NDS + crowding.
@@ -186,6 +197,16 @@ void PartitionedEvolver::step(const ParticipationProbability& prob) {
   population_ = std::move(next);
   info_ = std::move(next_info);
   ++generation_;
+  if constexpr (kCheckInvariants) {
+    ANADEX_ASSERT(population_.size() == params_.population_size,
+                  "survivor selection must preserve the population size");
+    for (std::size_t i = 0; i < population_.size(); ++i) {
+      // The cached membership is what global competition and the phase-I
+      // feasibility scan trust; it must match a fresh assignment.
+      ANADEX_ASSERT(info_[i].partition == partitioner_.index_of(population_[i]),
+                    "cached partition membership must match the partitioner");
+    }
+  }
 }
 
 void PartitionedEvolver::set_partitioner(Partitioner partitioner) {

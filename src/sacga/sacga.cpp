@@ -88,6 +88,7 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
 
   const AnnealingSchedule schedule = AnnealingSchedule::shaped(
       params.shape, params.alpha, params.t_init, params.n_desired, span);
+  if constexpr (kCheckInvariants) schedule.require_monotone_cooling();
 
   // A restored evolver may already be partway through phase II.
   const std::size_t start_offset =

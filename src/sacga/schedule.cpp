@@ -80,4 +80,19 @@ double AnnealingSchedule::participation_probability(std::size_t i,
   return std::clamp(p, 0.0, 1.0);
 }
 
+void AnnealingSchedule::require_monotone_cooling() const {
+  ANADEX_ASSERT(temperature(0) == params_.t_init,
+                "annealing must start at T_init");
+  double prev = temperature(0);
+  for (std::size_t g = 1; g <= params_.span; ++g) {
+    const double t = temperature(g);
+    ANADEX_ASSERT(t > 0.0, "annealing temperature must stay positive");
+    ANADEX_ASSERT(t <= prev, "annealing temperature must cool monotonically");
+    prev = t;
+  }
+  // Past the span the temperature is clamped, never reheated.
+  ANADEX_ASSERT(temperature(params_.span + 1) == temperature(params_.span),
+                "temperature must stay clamped after the span ends");
+}
+
 }  // namespace anadex::sacga

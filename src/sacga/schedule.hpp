@@ -64,6 +64,12 @@ class AnnealingSchedule {
   /// clamped to [0, 1].
   double participation_probability(std::size_t i, std::size_t gen_offset) const;
 
+  /// Throws InvariantError unless T_A is a monotone non-increasing cooling
+  /// over the whole span with T(0) = T_init: the annealing contract MESACGA
+  /// phases rely on (local -> global competition must only ever tighten).
+  /// Compiled unconditionally; hot-path callers gate on kCheckInvariants.
+  void require_monotone_cooling() const;
+
  private:
   ScheduleParams params_;
 };

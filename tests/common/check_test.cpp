@@ -86,5 +86,50 @@ TEST(Check, SideEffectsInConditionEvaluatedOnce) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(Check, MessageContainsLineNumber) {
+  int line = 0;
+  try {
+    line = __LINE__ + 1;
+    ANADEX_ASSERT(false, "pinpoint me");
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    // The exact line rides next to the file name (file:line form), which is
+    // what makes a field-reported invariant failure actionable.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check_test.cpp:" + std::to_string(line)), std::string::npos);
+  }
+}
+
+TEST(Check, InvariantGateMatchesBuildFlag) {
+  // kCheckInvariants and the preprocessor gate must agree — the CMake
+  // option defines ANADEX_CHECK_INVARIANTS and everything keys off that.
+#ifdef ANADEX_CHECK_INVARIANTS
+  EXPECT_TRUE(kCheckInvariants);
+#else
+  EXPECT_FALSE(kCheckInvariants);
+#endif
+  EXPECT_EQ(kCheckInvariants, ANADEX_CHECK_INVARIANTS_ENABLED != 0);
+}
+
+TEST(Check, CheckInvariantThrowsOnlyWhenEnabled) {
+  if (kCheckInvariants) {
+    EXPECT_THROW(ANADEX_CHECK_INVARIANT(false, "enabled build"), InvariantError);
+  } else {
+    EXPECT_NO_THROW(ANADEX_CHECK_INVARIANT(false, "disabled build"));
+  }
+  // Passing conditions never throw in either configuration.
+  EXPECT_NO_THROW(ANADEX_CHECK_INVARIANT(true, "fine"));
+}
+
+TEST(Check, CheckInvariantConditionNotEvaluatedWhenDisabled) {
+  int calls = 0;
+  auto bump = [&calls]() {
+    ++calls;
+    return true;
+  };
+  ANADEX_CHECK_INVARIANT(bump(), "maybe evaluated");
+  EXPECT_EQ(calls, kCheckInvariants ? 1 : 0);
+}
+
 }  // namespace
 }  // namespace anadex

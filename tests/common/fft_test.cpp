@@ -55,7 +55,8 @@ TEST(Fft, PureSineLandsInItsBin) {
   const std::size_t cycles = 5;
   std::vector<std::complex<double>> data(n);
   for (std::size_t i = 0; i < n; ++i) {
-    data[i] = std::sin(2.0 * kPi * cycles * i / static_cast<double>(n));
+    const double phase = static_cast<double>(cycles * i) / static_cast<double>(n);
+    data[i] = std::sin(2.0 * kPi * phase);
   }
   fft(data);
   // Peak magnitude n/2 at bins +-cycles; near zero elsewhere.
@@ -70,8 +71,9 @@ TEST(Fft, LinearityHolds) {
   std::vector<std::complex<double>> b(n);
   std::vector<std::complex<double>> sum(n);
   for (std::size_t i = 0; i < n; ++i) {
-    a[i] = std::cos(2.0 * kPi * 3.0 * i / n);
-    b[i] = std::sin(2.0 * kPi * 7.0 * i / n);
+    const double x = static_cast<double>(i) / static_cast<double>(n);
+    a[i] = std::cos(2.0 * kPi * 3.0 * x);
+    b[i] = std::sin(2.0 * kPi * 7.0 * x);
     sum[i] = a[i] + 2.0 * b[i];
   }
   fft(a);
@@ -87,7 +89,8 @@ TEST(Fft, ParsevalEnergyConserved) {
   std::vector<std::complex<double>> data(n);
   double time_energy = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    const double v = std::sin(0.37 * i) + 0.5 * std::cos(1.1 * i);
+    const double x = static_cast<double>(i);
+    const double v = std::sin(0.37 * x) + 0.5 * std::cos(1.1 * x);
     data[i] = v;
     time_energy += v * v;
   }
@@ -108,7 +111,7 @@ TEST(PowerSpectrum, SinePeaksAtItsBin) {
   const std::size_t n = 256;
   std::vector<double> signal(n);
   for (std::size_t i = 0; i < n; ++i) {
-    signal[i] = std::sin(2.0 * kPi * 17.0 * i / static_cast<double>(n));
+    signal[i] = std::sin(2.0 * kPi * 17.0 * static_cast<double>(i) / static_cast<double>(n));
   }
   const auto spectrum = power_spectrum_hann(signal);
   std::size_t peak = 0;
@@ -122,7 +125,7 @@ TEST(Sndr, CleanSineScoresHigh) {
   const std::size_t n = 1024;
   std::vector<double> signal(n);
   for (std::size_t i = 0; i < n; ++i) {
-    signal[i] = std::sin(2.0 * kPi * 31.0 * i / static_cast<double>(n));
+    signal[i] = std::sin(2.0 * kPi * 31.0 * static_cast<double>(i) / static_cast<double>(n));
   }
   EXPECT_GT(sndr_db(signal, 31, n / 2), 100.0);
 }
@@ -132,9 +135,10 @@ TEST(Sndr, AddedNoiseLowersScore) {
   std::vector<double> clean(n);
   std::vector<double> noisy(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const double s = std::sin(2.0 * kPi * 31.0 * i / static_cast<double>(n));
+    const double x = static_cast<double>(i) / static_cast<double>(n);
+    const double s = std::sin(2.0 * kPi * 31.0 * x);
     clean[i] = s;
-    noisy[i] = s + 0.01 * std::sin(2.0 * kPi * 97.0 * i / static_cast<double>(n));
+    noisy[i] = s + 0.01 * std::sin(2.0 * kPi * 97.0 * x);
   }
   EXPECT_GT(sndr_db(clean, 31, n / 2), sndr_db(noisy, 31, n / 2));
 }
@@ -143,8 +147,8 @@ TEST(Sndr, ToneOutsideBandIgnored) {
   const std::size_t n = 1024;
   std::vector<double> signal(n);
   for (std::size_t i = 0; i < n; ++i) {
-    signal[i] = std::sin(2.0 * kPi * 31.0 * i / static_cast<double>(n)) +
-                0.5 * std::sin(2.0 * kPi * 400.0 * i / static_cast<double>(n));
+    const double x = static_cast<double>(i) / static_cast<double>(n);
+    signal[i] = std::sin(2.0 * kPi * 31.0 * x) + 0.5 * std::sin(2.0 * kPi * 400.0 * x);
   }
   // Band limited to bin 64: the big bin-400 tone must not count as noise.
   EXPECT_GT(sndr_db(signal, 31, 64), 80.0);

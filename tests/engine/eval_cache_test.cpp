@@ -247,6 +247,48 @@ TEST(EvalEngineCache, FaultedBatchesAreNotRetained) {
   EXPECT_EQ(out[0].objectives, (std::vector<double>{0.25, 0.75}));
 }
 
+TEST(EvalCache, StaysCoherentThroughFillAndEviction) {
+  // List/index coherence must hold at every point of the lifecycle: while
+  // filling, at capacity, across evictions and across recency refreshes.
+  EvalCache cache(3);
+  EXPECT_TRUE(cache.coherent());  // empty cache is trivially coherent
+  for (int i = 0; i < 8; ++i) {
+    const std::vector<double> genes{static_cast<double>(i), 0.5};
+    cache.insert(genes, key(genes), eval_of(i, -i));
+    EXPECT_TRUE(cache.coherent()) << "after insert " << i;
+    EXPECT_LE(cache.size(), cache.capacity());
+  }
+  // Refresh recency of the newest survivor, then keep evicting.
+  const std::vector<double> survivor{7.0, 0.5};
+  moga::Evaluation out;
+  EXPECT_TRUE(cache.lookup(survivor, key(survivor), out));
+  EXPECT_TRUE(cache.coherent());
+  const std::vector<double> fresh{99.0, 0.5};
+  cache.insert(fresh, key(fresh), eval_of(1, 2));
+  EXPECT_TRUE(cache.coherent());
+  // Re-inserting an existing key must refresh, not duplicate.
+  cache.insert(survivor, key(survivor), eval_of(7, -7));
+  EXPECT_TRUE(cache.coherent());
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(EvalCache, CoherentSurvivesCollidingHashes) {
+  // Deliberately file two distinct genomes under one hash: coherent() must
+  // accept the shared bucket (distinct keys) and the cache must still tell
+  // the genomes apart on lookup.
+  EvalCache cache(4);
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{2.0};
+  cache.insert(a, 42, eval_of(1, 1));
+  cache.insert(b, 42, eval_of(2, 2));
+  EXPECT_TRUE(cache.coherent());
+  moga::Evaluation out;
+  ASSERT_TRUE(cache.lookup(a, 42, out));
+  EXPECT_EQ(out.objectives, (std::vector<double>{1.0, 1.0}));
+  ASSERT_TRUE(cache.lookup(b, 42, out));
+  EXPECT_EQ(out.objectives, (std::vector<double>{2.0, 2.0}));
+}
+
 TEST(EvalEngineCache, StatsStayZeroedWithTheCacheOff) {
   const CountingProblem problem;
   const EvalEngine eval(problem, 1);  // cache_capacity = 0

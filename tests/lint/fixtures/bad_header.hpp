@@ -1,0 +1,9 @@
+// Fixture: header hygiene violations (rules pragma-once, include-hygiene).
+// Linted with --pretend-path src/moga. The first code line below lands
+// before any #pragma once, so the pragma-once rule fires there.
+#include "../common/math.hpp"  // include-hygiene (relative)
+#include "series.hpp"          // include-hygiene (bare)
+
+using namespace std;  // include-hygiene (using-namespace)
+
+inline int fixture_value() { return 1; }

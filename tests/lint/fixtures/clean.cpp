@@ -1,0 +1,16 @@
+// Fixture: a fully conforming file — the self-test asserts exit code 0.
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+double clean_code() {
+  std::map<int, int> ordered;
+  ordered[1] = 2;
+  double total = 0.0;
+  for (const auto& kv : ordered) total += kv.second;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  std::printf("iterations=%d\n", 3);
+  return total + std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,18 @@
+// Fixture: hash containers in deterministic paths (rules det-unordered,
+// unordered-iter). Linted with --pretend-path src/engine.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+std::size_t hash_order_leak() {
+  std::unordered_map<int, int> counts;  // det-unordered
+  counts[1] = 2;
+  std::size_t total = 0;
+  for (const auto& kv : counts) {  // unordered-iter
+    total += static_cast<std::size_t>(kv.second);
+  }
+  // Keyed access only; order cannot leak. anadex-lint: allow(det-unordered)
+  std::unordered_set<int> seen;
+  seen.insert(3);
+  return total + seen.size();
+}

@@ -1,0 +1,12 @@
+// Fixture: %f-style float text in library code (rule float-printf).
+// Linted with --pretend-path src/expt.
+#include <cstdio>
+
+void print_floats(double x) {
+  std::printf("hv=%.17f\n", x);  // float-printf
+  std::fprintf(stderr, "hv=%g\n", x);  // float-printf
+  // Human-facing progress line, never parsed back.
+  // anadex-lint: allow(float-printf)
+  std::printf("progress %5.1f%%\n", x);
+  std::printf("count=%d\n", 42);  // integer formatting is fine
+}

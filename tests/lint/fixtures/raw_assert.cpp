@@ -1,0 +1,10 @@
+// Fixture: raw assert usage (rule raw-assert).
+#include <cassert>  // raw-assert
+
+void check_positive(int x) {
+  assert(x > 0);  // raw-assert
+  // Transitional call site, tracked in a follow-up.
+  // anadex-lint: allow(raw-assert)
+  assert(x < 100);
+  static_assert(sizeof(int) >= 4, "static_assert is a different beast");
+}

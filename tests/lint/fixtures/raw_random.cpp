@@ -1,0 +1,18 @@
+// Fixture: ambient C PRNG calls (rules raw-random, random-device).
+#include <cstdlib>
+#include <random>
+
+int ambient_draw() {
+  std::srand(42);                       // raw-random
+  const int a = std::rand();            // raw-random
+  std::random_device entropy;           // random-device
+  // Justified in this fixture only. anadex-lint: allow(random-device)
+  std::random_device suppressed_entropy;
+  return a + static_cast<int>(entropy() + suppressed_entropy());
+}
+
+int not_a_violation(int operand) {
+  // Identifiers merely ending in "rand" must not match.
+  const int integrand = operand;
+  return integrand;
+}

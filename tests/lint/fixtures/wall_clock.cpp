@@ -1,0 +1,19 @@
+// Fixture: wall-clock reads outside src/obs/ (rule wall-clock).
+#include <chrono>
+#include <ctime>
+
+double wall_reads() {
+  const std::time_t t = std::time(nullptr);  // wall-clock
+  const auto now = std::chrono::system_clock::now();  // wall-clock
+  // anadex-lint: allow(wall-clock)
+  const auto suppressed = std::chrono::system_clock::now();
+  return static_cast<double>(t) + std::chrono::duration<double>(
+      now.time_since_epoch() + suppressed.time_since_epoch()).count();
+}
+
+double monotonic_ok() {
+  // steady_clock is monotonic and only ever used for durations: fine.
+  const auto a = std::chrono::steady_clock::now();
+  const auto b = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(b - a).count();
+}

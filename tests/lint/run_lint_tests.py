@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/anadex_lint.py.
+
+Runs the linter over the violation fixtures in tests/lint/fixtures/ and
+asserts exact rule IDs, line numbers of first occurrence, suppression
+accounting and exit codes from the --json report. Registered with ctest as
+Lint.SelfTest.
+"""
+
+import json
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+LINTER = REPO_ROOT / "scripts" / "anadex_lint.py"
+FIXTURES = REPO_ROOT / "tests" / "lint" / "fixtures"
+
+
+def run_lint(*args):
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), "--json", *args],
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    report = json.loads(proc.stdout) if proc.stdout.strip() else {}
+    return proc.returncode, report
+
+
+def rules_of(report):
+    return sorted(v["rule"] for v in report.get("violations", []))
+
+
+def suppressed_rules_of(report):
+    return sorted(v["rule"] for v in report.get("suppressed", []))
+
+
+class LintFixtureTest(unittest.TestCase):
+    def lint_fixture(self, name, pretend=None):
+        args = [str(FIXTURES / name)]
+        if pretend:
+            args += ["--pretend-path", pretend]
+        return run_lint(*args)
+
+    def test_raw_random_fixture(self):
+        code, report = self.lint_fixture("raw_random.cpp")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report),
+                         ["random-device", "raw-random", "raw-random"])
+        self.assertEqual(suppressed_rules_of(report), ["random-device"])
+
+    def test_wall_clock_fixture(self):
+        code, report = self.lint_fixture("wall_clock.cpp")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report), ["wall-clock", "wall-clock"])
+        self.assertEqual(suppressed_rules_of(report), ["wall-clock"])
+
+    def test_wall_clock_fixture_exempt_under_obs(self):
+        # The same file is clean when it lives in the telemetry layer.
+        code, report = self.lint_fixture("wall_clock.cpp", pretend="src/obs")
+        self.assertEqual(code, 0)
+        self.assertEqual(rules_of(report), [])
+
+    def test_det_unordered_fixture(self):
+        code, report = self.lint_fixture("det_unordered.cpp",
+                                         pretend="src/engine")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report),
+                         ["det-unordered", "unordered-iter"])
+        self.assertEqual(suppressed_rules_of(report), ["det-unordered"])
+
+    def test_det_unordered_only_in_deterministic_dirs(self):
+        code, report = self.lint_fixture("det_unordered.cpp",
+                                         pretend="src/circuit")
+        self.assertEqual(code, 0)
+
+    def test_float_printf_fixture(self):
+        code, report = self.lint_fixture("float_printf.cpp", pretend="src/expt")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report), ["float-printf", "float-printf"])
+        self.assertEqual(suppressed_rules_of(report), ["float-printf"])
+
+    def test_float_printf_exempt_in_textio(self):
+        code, report = self.lint_fixture("float_printf.cpp",
+                                         pretend="src/common")
+        # src/common/textio* is the exemption, src/common alone is not.
+        self.assertEqual(code, 1)
+        _, clean = run_lint(str(FIXTURES / "float_printf.cpp"),
+                            "--pretend-path", "src/common/textio")
+        # Pretend path puts the file at src/common/textio/<name>: exempt.
+        self.assertEqual(rules_of(clean), [])
+
+    def test_bad_header_fixture(self):
+        code, report = self.lint_fixture("bad_header.hpp", pretend="src/moga")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report),
+                         ["include-hygiene", "include-hygiene",
+                          "include-hygiene", "pragma-once"])
+        pragma = [v for v in report["violations"] if v["rule"] == "pragma-once"]
+        self.assertEqual(pragma[0]["line"], 4)  # first code line
+
+    def test_raw_assert_fixture(self):
+        code, report = self.lint_fixture("raw_assert.cpp")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report), ["raw-assert", "raw-assert"])
+        self.assertEqual(suppressed_rules_of(report), ["raw-assert"])
+        lines = sorted(v["line"] for v in report["violations"])
+        self.assertEqual(lines, [2, 5])  # include + call, not static_assert
+
+    def test_clean_fixture(self):
+        code, report = self.lint_fixture("clean.cpp", pretend="src/engine")
+        self.assertEqual(code, 0)
+        self.assertEqual(report["violation_count"], 0)
+
+    def test_report_schema(self):
+        code, report = self.lint_fixture("raw_assert.cpp")
+        self.assertEqual(report["schema"], "anadex-lint/1")
+        for key in ("files_scanned", "violation_count", "suppressed_count",
+                    "violations", "suppressed"):
+            self.assertIn(key, report)
+        v = report["violations"][0]
+        for key in ("rule", "path", "line", "message", "snippet"):
+            self.assertIn(key, v)
+
+    def test_fixtures_are_skipped_by_directory_walk(self):
+        # Linting tests/ must not descend into the fixture corpus.
+        code, report = run_lint("tests")
+        self.assertEqual(code, 0, report.get("violations"))
+
+    def test_full_tree_is_clean(self):
+        code, report = run_lint()
+        self.assertEqual(code, 0, json.dumps(report.get("violations"),
+                                             indent=2))
+
+    def test_usage_error_exit_code(self):
+        proc = subprocess.run(
+            [sys.executable, str(LINTER), "no/such/path"],
+            capture_output=True, text=True, cwd=REPO_ROOT)
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,128 @@
+// Failure-path coverage for the canonical-front verifiers (moga/invariants):
+// the verifiers are compiled unconditionally, so corrupted inputs can be
+// driven in any build; the hot-path call sites inside the NDS kernels are
+// additionally exercised under ANADEX_CHECK_INVARIANTS builds.
+#include "moga/invariants.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "moga/nds.hpp"
+
+namespace anadex::moga {
+namespace {
+
+Population grid_population(std::size_t n) {
+  // A diagonal trade-off plus one dominated straggler so the sort yields
+  // more than one front.
+  Population pop(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    pop[i].eval.objectives = {x, static_cast<double>(n) - x};
+  }
+  pop.back().eval.objectives = {static_cast<double>(n) + 1.0,
+                                static_cast<double>(n) + 1.0};
+  return pop;
+}
+
+TEST(FrontInvariants, AcceptsCanonicalFront) {
+  const std::vector<std::size_t> front = {0, 2, 5, 9};
+  EXPECT_NO_THROW(require_ascending_front(front));
+}
+
+TEST(FrontInvariants, RejectsEmptyFront) {
+  const std::vector<std::size_t> front;
+  EXPECT_THROW(require_ascending_front(front), InvariantError);
+}
+
+TEST(FrontInvariants, RejectsDescendingFront) {
+  const std::vector<std::size_t> front = {0, 5, 2};
+  EXPECT_THROW(require_ascending_front(front), InvariantError);
+}
+
+TEST(FrontInvariants, RejectsDuplicateWithinFront) {
+  const std::vector<std::size_t> front = {1, 3, 3, 7};
+  EXPECT_THROW(require_ascending_front(front), InvariantError);
+}
+
+TEST(FrontInvariants, AcceptsKernelOutput) {
+  auto pop = grid_population(8);
+  const auto fronts = fast_nondominated_sort(pop);
+  ASSERT_GE(fronts.size(), 2u);
+  EXPECT_NO_THROW(require_canonical_fronts(fronts, pop.size()));
+}
+
+TEST(FrontInvariants, RejectsShuffledFront) {
+  auto pop = grid_population(8);
+  auto fronts = fast_nondominated_sort(pop);
+  ASSERT_GE(fronts.front().size(), 2u);
+  std::reverse(fronts.front().begin(), fronts.front().end());
+  EXPECT_THROW(require_canonical_fronts(fronts, pop.size()), InvariantError);
+}
+
+TEST(FrontInvariants, RejectsLostMember) {
+  auto pop = grid_population(8);
+  auto fronts = fast_nondominated_sort(pop);
+  fronts.front().pop_back();
+  EXPECT_THROW(require_canonical_fronts(fronts, pop.size()), InvariantError);
+}
+
+TEST(FrontInvariants, RejectsMemberInTwoFronts) {
+  auto pop = grid_population(8);
+  auto fronts = fast_nondominated_sort(pop);
+  ASSERT_GE(fronts.size(), 2u);
+  // Keep the total count right by swapping a member for a duplicate of one
+  // already present in an earlier front.
+  fronts.back().back() = fronts.front().front();
+  std::sort(fronts.back().begin(), fronts.back().end());
+  EXPECT_THROW(require_canonical_fronts(fronts, pop.size()), InvariantError);
+}
+
+TEST(FrontInvariants, RejectsWrongTotal) {
+  auto pop = grid_population(8);
+  const auto fronts = fast_nondominated_sort(pop);
+  EXPECT_THROW(require_canonical_fronts(fronts, pop.size() + 1), InvariantError);
+}
+
+TEST(FrontInvariants, FailureNamesTheContract) {
+  const std::vector<std::size_t> front = {4, 1};
+  try {
+    require_ascending_front(front);
+    FAIL() << "should have thrown";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("ascend"), std::string::npos);
+  }
+}
+
+#if ANADEX_CHECK_INVARIANTS_ENABLED
+TEST(FrontInvariants, CrowdingRejectsShuffledFrontWhenChecksOn) {
+  // The crowding kernel trusts canonical order from sort(); feeding it a
+  // shuffled front must trip the gated entry check rather than silently
+  // producing order-dependent distances.
+  auto pop = grid_population(8);
+  RankingScratch scratch;
+  auto fronts = scratch.sort(pop);
+  ASSERT_GE(fronts.front().size(), 2u);
+  std::reverse(fronts.front().begin(), fronts.front().end());
+  EXPECT_THROW(scratch.crowding(pop, fronts.front()), InvariantError);
+}
+
+TEST(FrontInvariants, KernelsPassTheirOwnExitChecksWhenChecksOn) {
+  // Smoke: with checks compiled in, a full sort + crowding pass over every
+  // front completes without tripping any gated invariant.
+  auto pop = grid_population(32);
+  RankingScratch scratch;
+  const auto fronts = scratch.sort(pop);
+  for (const auto& front : fronts) {
+    EXPECT_NO_THROW(scratch.crowding(pop, front));
+  }
+}
+#endif  // ANADEX_CHECK_INVARIANTS_ENABLED
+
+}  // namespace
+}  // namespace anadex::moga

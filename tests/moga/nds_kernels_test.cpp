@@ -72,7 +72,7 @@ TEST(NdsKernels, SweepMatchesLegacyOnRandomBiObjectivePopulations) {
   std::mt19937 rng(20260807);
   RankingScratch scratch;
   for (int trial = 0; trial < 400; ++trial) {
-    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 40);
+    const std::size_t n = 1 + rng() % 40;
     const double infeasible = (trial % 4) * 0.25;  // 0, 25, 50, 75 %
     const Population pop = random_population(rng, n, 2, infeasible);
     expect_matches_legacy(
@@ -88,7 +88,7 @@ TEST(NdsKernels, BitsetMatchesLegacyOnRandomManyObjectivePopulations) {
   std::mt19937 rng(987654321);
   RankingScratch scratch;
   for (int trial = 0; trial < 200; ++trial) {
-    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 40);
+    const std::size_t n = 1 + rng() % 40;
     const std::size_t arity = 3 + rng() % 2;  // m = 3 or 4
     const double infeasible = (trial % 4) * 0.25;
     const Population pop = random_population(rng, n, arity, infeasible);
@@ -107,7 +107,7 @@ TEST(NdsKernels, BitsetMatchesLegacyOnBiObjectivePopulations) {
   std::mt19937 rng(424242);
   RankingScratch scratch;
   for (int trial = 0; trial < 200; ++trial) {
-    const std::size_t n = 1 + static_cast<std::size_t>(rng() % 32);
+    const std::size_t n = 1 + rng() % 32;
     const Population pop = random_population(rng, n, 2, 0.3);
     expect_matches_legacy(
         pop, all_indices(n),

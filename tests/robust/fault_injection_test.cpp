@@ -50,7 +50,9 @@ TEST(FaultInjection, CertainNanRateCorruptsOneObjective) {
   FaultInjectingProblem injected(zdt1(), config);
   const auto eval = injected.evaluated(std::vector<double>{0.5, 0.5, 0.5, 0.5});
   std::size_t nan_count = 0;
-  for (double v : eval.objectives) nan_count += std::isnan(v) ? 1 : 0;
+  for (double v : eval.objectives) {
+    if (std::isnan(v)) ++nan_count;
+  }
   EXPECT_EQ(nan_count, 1u);
   EXPECT_EQ(injected.counters().nans, 1u);
 }

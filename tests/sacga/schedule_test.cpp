@@ -203,5 +203,32 @@ INSTANTIATE_TEST_SUITE_P(Shapes, ShapedScheduleSweep,
                                            ShapeCase{3, 50}, ShapeCase{8, 150},
                                            ShapeCase{10, 1000}));
 
+TEST(AnnealingScheduleInvariants, ShapedSchedulesCoolMonotonically) {
+  // The verifier run_sacga/run_mesacga call under ANADEX_CHECK_INVARIANTS
+  // must accept every schedule the shaping solver can produce.
+  for (const double t_init : {10.0, 100.0, 1000.0}) {
+    for (const std::size_t span : {std::size_t{1}, std::size_t{50}, std::size_t{600}}) {
+      const auto s = AnnealingSchedule::shaped(ScheduleShape{}, 1.0, t_init, 5, span);
+      EXPECT_NO_THROW(s.require_monotone_cooling())
+          << "t_init = " << t_init << ", span = " << span;
+    }
+  }
+}
+
+TEST(AnnealingScheduleInvariants, RawParamsCoolMonotonically) {
+  EXPECT_NO_THROW(AnnealingSchedule(default_params()).require_monotone_cooling());
+}
+
+TEST(AnnealingScheduleInvariants, RejectsReheatingSchedule) {
+  // A negative cooling exponent makes T_A grow with the generation —
+  // competition would drift back toward local, violating the phase
+  // contract; the verifier must catch it.
+  ScheduleParams p = default_params();
+  p.k3 = -1.0;
+  const AnnealingSchedule reheating(p);
+  EXPECT_GT(reheating.temperature(p.span), reheating.temperature(0));
+  EXPECT_THROW(reheating.require_monotone_cooling(), InvariantError);
+}
+
 }  // namespace
 }  // namespace anadex::sacga
