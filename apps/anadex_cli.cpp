@@ -8,7 +8,9 @@
 //                  [--partitions M] [--seed S] [--threads T] [--eval-cache N]
 //                  [--csv FILE]
 //                  [--history] [--checkpoint FILE] [--checkpoint-every N]
-//                  [--resume] [--trace FILE] [--trace-level off|gen|eval]
+//                  [--checkpoint-keep N] [--resume [auto]]
+//                  [--eval-deadline S]
+//                  [--trace FILE] [--trace-level off|gen|eval]
 //       Run one design-space exploration and print the Pareto surface.
 //       --threads T evaluates each generation's offspring on T worker
 //       threads (0 = one per hardware thread); results are bit-identical
@@ -16,11 +18,19 @@
 //       genotype evaluations (0 = off, the default); like --threads it is a
 //       pure execution knob — results are bit-identical on or off
 //       (docs/performance.md). With --checkpoint, the run state is
-//       snapshotted every N generations so an interrupted exploration can
-//       continue with --resume (also across different --threads values).
-//       --trace streams run telemetry as JSONL (docs/observability.md);
-//       gen level records per-generation metrics, eval level adds batch
-//       evaluation timing. Tracing never changes results.
+//       snapshotted every N generations (keeping the last --checkpoint-keep
+//       rotated slots) so an interrupted exploration can continue with
+//       --resume (strict: the file must exist and verify) or --resume auto
+//       (crash recovery: scan the rotated chain for the newest slot that
+//       checksum-verifies, or start fresh) — also across different
+//       --threads values. SIGINT/SIGTERM stop the run gracefully at the
+//       next generation barrier (snapshot + exit 130); a second signal
+//       aborts immediately. --eval-deadline S arms a watchdog that cancels
+//       evaluation batches stuck longer than S seconds
+//       (docs/robustness.md). --trace streams run telemetry as JSONL
+//       (docs/observability.md); gen level records per-generation metrics,
+//       eval level adds batch evaluation timing. Tracing never changes
+//       results.
 //   anadex evaluate --genes g1,...,g15 [--spec ...]
 //       Datasheet of a single design vector (SI units).
 //   anadex simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]
@@ -39,6 +49,7 @@
 #include "obs/event_sink.hpp"
 #include "problems/integrator_problem.hpp"
 #include "problems/spec_suite.hpp"
+#include "robust/shutdown.hpp"
 #include "sysdes/modulator_sim.hpp"
 
 namespace {
@@ -53,11 +64,16 @@ int usage() {
       "           [--partitions M] [--seed S] [--threads T] [--eval-cache N]\n"
       "           [--csv FILE]\n"
       "           [--history] [--checkpoint FILE] [--checkpoint-every N]\n"
-      "           [--resume] [--trace FILE] [--trace-level off|gen|eval]\n"
+      "           [--checkpoint-keep N] [--resume [auto]] [--eval-deadline S]\n"
+      "           [--trace FILE] [--trace-level off|gen|eval]\n"
       "           (--threads: evaluation workers; 0 = hardware count;\n"
       "            results are identical for every thread count;\n"
       "            --eval-cache: dedup-cache capacity, 0 = off; results\n"
       "            are identical with the cache on or off;\n"
+      "            --resume auto: recover from the newest verifiable\n"
+      "            checkpoint slot, or start fresh; Ctrl-C snapshots and\n"
+      "            exits 130, see docs/robustness.md;\n"
+      "            --eval-deadline: per-batch watchdog deadline in seconds;\n"
       "            --trace: JSONL run telemetry, see docs/observability.md)\n"
       "  evaluate --genes g1,...,g15 [--spec S]\n"
       "  simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]\n"
@@ -120,7 +136,29 @@ int cmd_explore(const ArgParser& args) {
   settings.checkpoint_path = args.get("checkpoint", "");
   settings.checkpoint_every =
       static_cast<std::size_t>(args.get_int("checkpoint-every", 50));
-  settings.resume = args.get_flag("resume");
+  settings.checkpoint_keep =
+      static_cast<std::size_t>(args.get_int("checkpoint-keep", 1));
+  if (args.has("resume")) {
+    // Bare `--resume` is strict (the file must exist and verify);
+    // `--resume auto` recovers from the newest good rotated slot, or starts
+    // fresh when none exists — the crash-recovery mode.
+    const std::string mode = args.get("resume", "");
+    if (mode.empty() || mode == "strict") {
+      settings.resume = expt::ResumeMode::Strict;
+    } else if (mode == "auto") {
+      settings.resume = expt::ResumeMode::Auto;
+    } else {
+      ANADEX_REQUIRE(false, "--resume takes no value, 'strict' or 'auto'; got '" +
+                                mode + "'");
+    }
+  }
+  if (args.has("eval-deadline")) {
+    settings.eval_deadline_s = args.get_double("eval-deadline", 0.0);
+  }
+  // Graceful shutdown: SIGINT/SIGTERM raise the process stop token; the run
+  // snapshots at the next generation barrier and returns `interrupted`.
+  robust::install_shutdown_handlers();
+  settings.stop = &robust::shutdown_token();
   settings.trace_path = args.get("trace", "");
   settings.trace_level = obs::trace_level_from_string(args.get("trace-level", "gen"));
   const std::string csv_path = args.get("csv", "");
@@ -133,8 +171,8 @@ int cmd_explore(const ArgParser& args) {
   const auto outcome = expt::run(settings);
 
   if (outcome.resumed_from_generation > 0) {
-    std::cout << "resumed from checkpoint at generation "
-              << outcome.resumed_from_generation << "\n";
+    std::cout << "resumed from '" << outcome.resumed_from_path
+              << "' at generation " << outcome.resumed_from_generation << "\n";
   }
   expt::print_fronts(std::cout, {{expt::algo_name(settings.algo), outcome.front}});
   expt::print_outcome_summary(std::cout, expt::algo_name(settings.algo), outcome);
@@ -156,6 +194,14 @@ int cmd_explore(const ArgParser& args) {
   if (!settings.trace_path.empty() && settings.trace_level != obs::TraceLevel::Off) {
     std::cout << "trace written to " << settings.trace_path << " (level "
               << obs::to_string(settings.trace_level) << ")\n";
+  }
+  if (outcome.interrupted) {
+    std::cout << "interrupted at generation " << outcome.generations;
+    if (!settings.checkpoint_path.empty()) {
+      std::cout << " (state saved; continue with --resume auto)";
+    }
+    std::cout << "\n";
+    return 130;  // 128 + SIGINT, the conventional interrupted-exit status
   }
   return 0;
 }

@@ -16,19 +16,23 @@
 //   --duplicate-rate R   run the cache section at the single rate R (0..1)
 //                        instead of the default {0, 0.2, 0.5} sweep
 //   ANADEX_BENCH_QUICK   shrink batch/repeat budgets for the CI smoke run
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "engine/eval_engine.hpp"
 #include "problems/integrator_problem.hpp"
 #include "problems/spec_suite.hpp"
+#include "robust/guarded_problem.hpp"
 
 namespace {
 
@@ -207,6 +211,53 @@ int main(int argc, char** argv) {
                 row.distinct, row.cache_hits, row.bit_identical ? "yes" : "NO");
   }
 
+  // --- robustness-layer overhead (watchdog + retry backoff, no faults) ---
+  // The crash-safety layer must be free when nothing goes wrong: a serial
+  // engine with the eval watchdog armed (generous deadline) driving a
+  // backoff-enabled GuardedProblem must stay within 1% of the plain
+  // engine's throughput, bit-identically. Checkpoint rotation is off the
+  // evaluation hot path entirely (one rename chain per snapshot cadence),
+  // so the eval-side knobs are the whole overhead story. Best-of-N timing
+  // damps scheduler noise on shared CI runners.
+  // Trials are PAIRED — plain then robust back-to-back, acceptance on the
+  // best paired ratio — so slow multiplicative noise (frequency scaling,
+  // co-tenants) cancels instead of failing the 1% gate spuriously.
+  const std::size_t overhead_trials = quick ? 4 : 6;
+  const std::size_t overhead_repeats = repeats * 4;
+
+  const engine::EvalEngine plain_serial(problem, 1);
+  std::vector<moga::Evaluation> plain_out(batch_size);
+
+  CancelToken watchdog_token;
+  robust::GuardPolicy backoff_policy;
+  backoff_policy.backoff_spin_base = 4096;
+  robust::GuardedProblem guarded(
+      std::shared_ptr<const moga::Problem>(std::shared_ptr<void>(), &problem),
+      backoff_policy);
+  const engine::EvalEngine robust_serial(
+      guarded, 1, nullptr, 0, engine::EvalWatchdog{&watchdog_token, 3600.0});
+  std::vector<moga::Evaluation> robust_out(batch_size);
+
+  double plain_eps = 0.0;
+  double robust_eps = 0.0;
+  double robust_ratio = 0.0;
+  for (std::size_t t = 0; t < overhead_trials; ++t) {
+    const double p =
+        timed_evals_per_sec(plain_serial, genomes, plain_out, overhead_repeats);
+    const double r =
+        timed_evals_per_sec(robust_serial, genomes, robust_out, overhead_repeats);
+    plain_eps = std::max(plain_eps, p);
+    robust_eps = std::max(robust_eps, r);
+    robust_ratio = std::max(robust_ratio, r / p);
+  }
+  const bool robust_identical = identical(robust_out, plain_out);
+  const bool robust_ok = robust_ratio >= 0.99 && robust_identical &&
+                         guarded.report().total_faults() == 0;
+  std::printf("\nrobustness overhead: %.0f -> %.0f evals/sec (ratio %.3f, "
+              "required >= 0.99, faults %zu) -> %s\n",
+              plain_eps, robust_eps, robust_ratio,
+              guarded.report().total_faults(), robust_ok ? "ok" : "FAIL");
+
   // Acceptance: at the 50% duplicate rate the cache must pay for itself
   // with at least 1.3x throughput (skipped when --duplicate-rate excluded
   // the 50% row).
@@ -255,7 +306,11 @@ int main(int argc, char** argv) {
   }
   json << "  ],\n"
        << "  \"cache_speedup_at_50\": " << cache_speedup_at_50 << ",\n"
-       << "  \"cache_ok\": " << (cache_ok ? "true" : "false") << "\n"
+       << "  \"cache_ok\": " << (cache_ok ? "true" : "false") << ",\n"
+       << "  \"robust_overhead_ratio\": " << robust_ratio << ",\n"
+       << "  \"robust_bit_identical\": " << (robust_identical ? "true" : "false")
+       << ",\n"
+       << "  \"robust_ok\": " << (robust_ok ? "true" : "false") << "\n"
        << "}\n";
   std::printf("\nwrote BENCH_eval_throughput.json\n");
 
@@ -268,5 +323,5 @@ int main(int argc, char** argv) {
     std::printf("ERROR: a run diverged from its reference\n");
     return 1;
   }
-  return cache_ok ? 0 : 1;
+  return (cache_ok && robust_ok) ? 0 : 1;
 }

@@ -29,7 +29,7 @@ anadex_bench(ablation_population)
 # EvalEngine evaluations/sec vs worker-thread count (plain chrono timing;
 # emits BENCH_eval_throughput.json).
 anadex_bench(eval_throughput)
-target_link_libraries(eval_throughput PRIVATE anadex::engine)
+target_link_libraries(eval_throughput PRIVATE anadex::engine anadex::robust)
 
 # Cost of --trace relative to an untraced run (plain chrono timing; emits
 # BENCH_obs_overhead.json and enforces the documented 2% gen-level budget).

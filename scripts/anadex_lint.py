@@ -36,6 +36,11 @@ This linter enforces the source-level side of those contracts.  Rules:
   raw-assert         raw assert()/<cassert> — use ANADEX_REQUIRE (public
                      preconditions) or ANADEX_ASSERT (internal invariants)
                      so failures throw typed, testable exceptions
+  process-control    exit()/_exit()/quick_exit()/abort()/signal()/raise()
+                     in src/, apps/ or bench/ outside src/robust/shutdown*
+                     — ad-hoc process teardown skips the graceful-shutdown
+                     layer (snapshot at the generation barrier, exit 130)
+                     and can truncate a checkpoint mid-write
 
 Suppression: append `// anadex-lint: allow(<rule>[, <rule>...])` to the
 offending line, or place the comment on its own line directly above.  A
@@ -81,6 +86,7 @@ RULE_DOCS = {
     "pragma-once": "public header must open with #pragma once",
     "include-hygiene": "relative/bare include or using-namespace in header",
     "raw-assert": "raw assert(): use ANADEX_REQUIRE / ANADEX_ASSERT",
+    "process-control": "raw exit/abort/signal outside src/robust/shutdown*",
 }
 
 RAW_RANDOM_RE = re.compile(r"(?<![\w.>])s?rand\s*\(")
@@ -104,6 +110,11 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:()]*:\s*(\w+)\s*\)")
 PRINTF_CALL_RE = re.compile(r"\b(?:printf|fprintf|sprintf|snprintf)\s*\(")
 FLOAT_FMT_RE = re.compile(r'"[^"]*%[-+ #0-9.*]*(?:l|L)?[aefgAEFG][^"]*"')
 RAW_ASSERT_RE = re.compile(r"(?<![\w.:])assert\s*\(")
+# Process-teardown and signal-wiring calls. `::`-qualified forms still match
+# (the lookbehind permits ':'); member calls (`sim.exit(...)`) do not.
+PROCESS_CONTROL_RE = re.compile(
+    r"(?<![\w.>])(?:_?exit|_Exit|quick_exit|abort|signal|raise)\s*\("
+)
 ASSERT_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](?:cassert|assert\.h)[>"]')
 RELATIVE_INCLUDE_RE = re.compile(r'#\s*include\s*"(\.\.?/[^"]*)"')
 BARE_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"/]+)"')
@@ -190,6 +201,11 @@ def lint_file(path: Path, report: Report, pretend_prefix: str | None = None):
     in_obs = in_dirs(relpath, ("src/obs",))
     in_det = in_dirs(relpath, DETERMINISTIC_DIRS)
     is_textio = relpath.startswith("src/common/textio")
+    # Library/CLI/bench code must route teardown through the shutdown
+    # module; tests are exempt (they legitimately raise signals at
+    # themselves, and `signal` is a common DSP variable name there).
+    in_process_scope = (in_dirs(relpath, ("src", "apps", "bench"))
+                        and not relpath.startswith("src/robust/shutdown"))
 
     # Names declared as unordered containers in this file plus its paired
     # header (eval_cache.cpp iterating a member declared in eval_cache.hpp).
@@ -300,6 +316,14 @@ def lint_file(path: Path, report: Report, pretend_prefix: str | None = None):
                        "raw assert() aborts and vanishes in NDEBUG; use "
                        "ANADEX_REQUIRE (precondition) or ANADEX_ASSERT "
                        "(invariant) from common/check.hpp")
+
+        # --- process-control: teardown flows through the shutdown module.
+        if in_process_scope and PROCESS_CONTROL_RE.search(code):
+            report.add(allowed, "process-control", relpath, line_no, raw,
+                       "raw exit/abort/signal bypasses the graceful-shutdown "
+                       "layer (src/robust/shutdown.hpp) and can kill the "
+                       "process mid-checkpoint; request the stop token or "
+                       "return an exit code instead")
 
     if is_header and in_src and not pragma_seen and not pragma_checked:
         # Header with no code lines at all — still needs the guard.

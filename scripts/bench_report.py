@@ -31,6 +31,8 @@ REQUIRED_BY_BENCH = {
         "results",
         "duplicate_rates",
         "cache_ok",
+        "robust_overhead_ratio",
+        "robust_ok",
     ],
     "kernels": ["results", "sweep_speedup_at_512", "sweep_ok"],
     "obs_overhead": [
@@ -52,7 +54,8 @@ SELF_CHECKS = {
         row.get("bit_identical") is True
         for row in d.get("results", []) + d.get("duplicate_rates", [])
     )
-    and d.get("cache_ok") is True,
+    and d.get("cache_ok") is True
+    and d.get("robust_ok") is True,
     "kernels": lambda d: d.get("sweep_ok") is True,
     "obs_overhead": lambda d: d.get("within_budget") is True
     and d.get("results_identical") is True,

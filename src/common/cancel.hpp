@@ -1,0 +1,54 @@
+// Cooperative cancellation for long-running work.
+//
+// A CancelToken is a single atomic flag shared between a requester (a
+// signal handler, the evaluation watchdog, a service scheduler) and any
+// number of pollers (evolver generation barriers, slow evaluators). It
+// lives in common/ — below engine and robust in the link graph — so both
+// layers can share one token type without a dependency cycle.
+//
+// request() is a lock-free atomic store and therefore async-signal-safe:
+// the shutdown handler in robust/shutdown.cpp calls it directly from a
+// SIGINT/SIGTERM context. Polling costs one relaxed-ish atomic load.
+//
+// Cancellation never participates in any RNG or result computation — a
+// token only decides WHEN a run stops, and the stopped run's snapshot is a
+// regular generation-barrier snapshot, so resuming it replays the exact
+// uninterrupted byte stream (see docs/robustness.md).
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+
+namespace anadex {
+
+/// Thrown by cooperative evaluators (e.g. the chaos harness's slow-eval
+/// spin) when they observe a cancellation request mid-evaluation. The
+/// guard layer maps it to FaultKind::Timeout rather than a generic
+/// evaluator exception.
+class OperationCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One-way (until reset) cancellation flag. All members are safe to call
+/// concurrently; request() is additionally async-signal-safe.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Raises the flag. Safe from signal handlers and any thread.
+  void request() noexcept { requested_.store(true, std::memory_order_release); }
+
+  /// True once request() has been called (and until reset()).
+  bool requested() const noexcept { return requested_.load(std::memory_order_acquire); }
+
+  /// Lowers the flag again (the eval watchdog reuses one token per batch).
+  void reset() noexcept { requested_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> requested_{false};
+};
+
+}  // namespace anadex

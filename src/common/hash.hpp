@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <string_view>
 
 namespace anadex {
 
@@ -27,6 +28,22 @@ inline std::uint64_t hash_genes(std::span<const double> genes, std::uint64_t see
     std::uint64_t bits = 0;
     std::memcpy(&bits, &gene, sizeof bits);
     hash ^= bits;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Classic byte-at-a-time 64-bit FNV-1a over arbitrary bytes, mixed with
+/// `seed`. Used where the input is not a gene vector — notably the
+/// checkpoint content checksum, where corruption detection wants every
+/// byte (including record keywords and separators) to perturb the digest.
+/// Deliberately a different stream from hash_genes (which folds whole
+/// 8-byte words): the two are independent hash functions that merely share
+/// the FNV constants.
+inline std::uint64_t hash_bytes(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL ^ seed;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
     hash *= 0x100000001b3ULL;
   }
   return hash;

@@ -1,6 +1,7 @@
 #include "engine/eval_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 #include <utility>
@@ -27,9 +28,19 @@ std::size_t EvalEngine::resolve_threads(std::size_t requested) {
 }
 
 EvalEngine::EvalEngine(const moga::Problem& problem, std::size_t threads,
-                       obs::EventSink* sink, std::size_t cache_capacity)
-    : problem_(problem), threads_(resolve_threads(threads)), sink_(sink) {
+                       obs::EventSink* sink, std::size_t cache_capacity,
+                       EvalWatchdog watchdog)
+    : problem_(problem), threads_(resolve_threads(threads)), sink_(sink),
+      watchdog_(watchdog) {
   if (cache_capacity > 0) cache_ = std::make_unique<EvalCache>(cache_capacity);
+  if (watchdog_.token != nullptr) {
+    ANADEX_REQUIRE(
+        std::isfinite(watchdog_.deadline_s) && watchdog_.deadline_s > 0.0,
+        "watchdog deadline must be finite and positive");
+  }
+  if (watchdog_.enabled()) {
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  }
   if (threads_ <= 1) return;  // serial path: no pool
   workers_.reserve(threads_);
   for (std::size_t i = 0; i < threads_; ++i) {
@@ -38,6 +49,14 @@ EvalEngine::EvalEngine(const moga::Problem& problem, std::size_t threads,
 }
 
 EvalEngine::~EvalEngine() {
+  if (watchdog_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      watch_stop_ = true;
+    }
+    watch_cv_.notify_all();
+    watchdog_thread_.join();
+  }
   if (!workers_.empty()) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -250,8 +269,67 @@ void EvalEngine::emit_batch_event(std::size_t size, double wall_seconds,
   trace_items_ += size;
 }
 
+void EvalEngine::arm_watchdog() const {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  watch_deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(watchdog_.deadline_s));
+  watch_armed_ = true;
+  watch_fired_ = false;
+  watch_cv_.notify_all();
+}
+
+bool EvalEngine::disarm_watchdog() const {
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    fired = watch_fired_;
+    watch_armed_ = false;
+    watch_fired_ = false;
+  }
+  watch_cv_.notify_all();
+  if (fired) {
+    // The batch has fully drained (every in-flight item observed the raised
+    // token or finished), so clear it: the next batch must start clean.
+    watchdog_.token->reset();
+    ++watchdog_fires_;
+  }
+  return fired;
+}
+
+void EvalEngine::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(watch_mu_);
+  for (;;) {
+    watch_cv_.wait(lock, [&] { return watch_stop_ || watch_armed_; });
+    if (watch_stop_) return;
+    const bool disarmed = watch_cv_.wait_until(
+        lock, watch_deadline_, [&] { return watch_stop_ || !watch_armed_; });
+    if (watch_stop_) return;
+    if (disarmed) continue;  // batch finished inside the deadline
+    // Deadline expired with the batch still running: presume a stuck
+    // evaluation and raise the cooperative cancellation token. The batch
+    // thread observes `watch_fired_` at disarm time.
+    watchdog_.token->request();
+    watch_fired_ = true;
+    watch_armed_ = false;
+  }
+}
+
 void EvalEngine::run_batch(std::span<const Item> items) const {
   if (items.empty()) return;
+  // Arms the watchdog for the lifetime of this batch; the destructor
+  // disarms on every exit path, including a rethrown batch exception.
+  struct WatchdogScope {
+    const EvalEngine* engine;
+    explicit WatchdogScope(const EvalEngine* e) : engine(e) {
+      if (engine != nullptr) engine->arm_watchdog();
+    }
+    ~WatchdogScope() {
+      if (engine != nullptr) engine->disarm_watchdog();
+    }
+    WatchdogScope(const WatchdogScope&) = delete;
+    WatchdogScope& operator=(const WatchdogScope&) = delete;
+  };
+  const WatchdogScope watchdog_scope(watchdog_.enabled() ? this : nullptr);
 
   const bool tracing = sink_ != nullptr && sink_->enabled(obs::TraceLevel::Eval);
   if (tracing) {

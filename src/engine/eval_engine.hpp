@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "engine/eval_cache.hpp"
 #include "moga/individual.hpp"
 #include "moga/problem.hpp"
@@ -51,6 +52,30 @@ class Evaluator {
                               std::span<moga::Evaluation> out) const = 0;
 };
 
+/// Stuck-evaluation watchdog configuration for an EvalEngine. When enabled,
+/// a dedicated watchdog thread arms a wall-clock deadline around every batch
+/// and raises `token` if the batch outlives it. Cooperative evaluators (and
+/// GuardedProblem, which fail-fast-penalizes once the token is up) then
+/// drain the rest of the batch in microseconds, returning control to the
+/// generation barrier where the run can snapshot.
+///
+/// This is a pure EXECUTION knob, like `threads` and `eval_cache`: it is
+/// excluded from the checkpoint config digest, and when the deadline never
+/// fires, results are bit-identical with the watchdog on or off. When it
+/// DOES fire, which items get penalized depends on wall-clock scheduling —
+/// a fired watchdog trades determinism for liveness, and the run's fault
+/// report says so (`timeouts` counter, `fault` trace event).
+struct EvalWatchdog {
+  /// Raised (non-owning) when a batch exceeds the deadline; reset by the
+  /// engine once that batch has drained. Must outlive the engine.
+  CancelToken* token = nullptr;
+  /// Per-batch wall-clock budget. A null `token` disables the watchdog;
+  /// with a token set, the engine requires this to be finite and positive.
+  double deadline_s = 0.0;
+
+  bool enabled() const { return token != nullptr && deadline_s > 0.0; }
+};
+
 /// Batch evaluator over a moga::Problem with an owned fixed-size worker
 /// pool. The problem must be safe to evaluate from several threads
 /// concurrently (the library's problems are stateless; GuardedProblem
@@ -71,8 +96,11 @@ class EvalEngine final : public Evaluator {
   /// last N distinct evaluations. Because a Problem is a pure function of
   /// the genome, every result is bit-identical with the cache on or off
   /// (see docs/performance.md).
+  /// `watchdog`: stuck-evaluation deadline; disabled by default (no thread
+  /// is spawned and batches pay nothing).
   explicit EvalEngine(const moga::Problem& problem, std::size_t threads = 1,
-                      obs::EventSink* sink = nullptr, std::size_t cache_capacity = 0);
+                      obs::EventSink* sink = nullptr, std::size_t cache_capacity = 0,
+                      EvalWatchdog watchdog = {});
   ~EvalEngine() override;
 
   EvalEngine(const EvalEngine&) = delete;
@@ -85,6 +113,12 @@ class EvalEngine final : public Evaluator {
 
   /// LRU entry capacity the engine was built with (0 = memoization off).
   std::size_t cache_capacity() const { return cache_ ? cache_->capacity() : 0; }
+
+  /// The watchdog configuration the engine was built with.
+  const EvalWatchdog& watchdog() const { return watchdog_; }
+
+  /// Number of batches whose deadline expired (watchdog enabled only).
+  std::size_t watchdog_fires() const { return watchdog_fires_; }
 
   /// Cumulative requested/distinct/cache-hit accounting across the
   /// engine's lifetime. `requested` always counts submitted items, so the
@@ -121,6 +155,13 @@ class EvalEngine final : public Evaluator {
   void submit(std::span<const Item> items) const;
   void run_batch(std::span<const Item> items) const;
   void run_serial(std::span<const Item> items) const;
+  /// Starts the per-batch deadline clock (watchdog enabled only).
+  void arm_watchdog() const;
+  /// Stops the clock; if the deadline fired, clears the token (the batch
+  /// has drained — the next batch starts with a clean slate) and counts
+  /// the fire. Returns whether it fired.
+  bool disarm_watchdog() const;
+  void watchdog_loop();
   /// Evaluates items_[index], recording the lowest-index exception.
   void process_item(std::size_t index) const;
   void worker_loop();
@@ -158,6 +199,20 @@ class EvalEngine final : public Evaluator {
   mutable std::size_t first_error_index_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Watchdog state. The batch thread arms/disarms under `watch_mu_`; the
+  // watchdog thread waits on `watch_cv_` until armed, then until the
+  // deadline or a disarm. Firing is just token->request() — async-safe,
+  // lock-free for the workers, observed cooperatively by the evaluator.
+  EvalWatchdog watchdog_;
+  mutable std::mutex watch_mu_;
+  mutable std::condition_variable watch_cv_;
+  mutable std::chrono::steady_clock::time_point watch_deadline_;
+  mutable bool watch_armed_ = false;
+  mutable bool watch_fired_ = false;
+  bool watch_stop_ = false;
+  mutable std::size_t watchdog_fires_ = 0;
+  std::thread watchdog_thread_;
 
   // Batch timing (populated only when sink_ is enabled at eval level).
   // `trace_timing_` and the per-item clock arrays follow the same

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/cancel.hpp"
 #include "moga/individual.hpp"
 #include "obs/event_sink.hpp"
 
@@ -64,6 +65,23 @@ struct EvolverCommon : ObsConfig {
   /// must come from a run with identical params; seed is ignored in favour
   /// of the stored RNG state. Caller keeps the state alive for the run.
   const State* resume = nullptr;
+
+  // Graceful shutdown + stuck-eval watchdog (see docs/robustness.md).
+  /// Non-owning stop-request token (e.g. robust::shutdown_token()). Checked
+  /// once per generation at the barrier: when raised, the evolver snapshots
+  /// (if on_snapshot is set), marks its result `interrupted` and returns.
+  /// Stopping never consumes randomness, so a resumed run replays the
+  /// remaining generations bit-identically.
+  const CancelToken* stop = nullptr;
+
+  /// Per-batch evaluation deadline in seconds (0 = no watchdog). Requires
+  /// `eval_cancel`. A pure execution knob — excluded from config digests —
+  /// but NOTE: a deadline that actually fires penalizes whichever items were
+  /// still pending, which depends on wall-clock scheduling.
+  double eval_deadline_s = 0.0;
+  /// Token the watchdog raises and cooperative evaluators poll. Must also
+  /// be handed to the GuardedProblem wrapping the evaluator (non-owning).
+  CancelToken* eval_cancel = nullptr;
 };
 
 }  // namespace anadex::engine

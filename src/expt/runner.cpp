@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <memory>
 #include <optional>
@@ -10,6 +11,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/textio.hpp"
 #include "engine/evolver_common.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/scalarize.hpp"
@@ -64,6 +66,14 @@ std::string config_digest(const RunSettings& s) {
   }
   os << " phase1_cap=" << s.phase1_cap << " span=" << s.span << " stride="
      << s.history_stride << " history=" << (s.record_history ? 1 : 0);
+  if (s.fault_injection.has_value()) {
+    // Chaos faults change results, so a chaotic checkpoint must not resume
+    // under different rates (or under no chaos at all).
+    const auto& f = *s.fault_injection;
+    os << " chaos=" << f.seed << ',' << textio::exact(f.exception_rate) << ','
+       << textio::exact(f.nan_rate) << ',' << textio::exact(f.slow_rate) << ','
+       << f.slow_spin_iterations;
+  }
   return os.str();
 }
 
@@ -108,9 +118,29 @@ void validate_run_settings(const RunSettings& s) {
     ANADEX_REQUIRE(s.algo != Algo::WeightedSum,
                    "run settings: checkpointing is not supported for WeightedSum");
   }
-  if (s.resume) {
+  if (s.resume != ResumeMode::Off) {
     ANADEX_REQUIRE(!s.checkpoint_path.empty(),
                    "run settings: resume requires a checkpoint path");
+  }
+  ANADEX_REQUIRE(s.checkpoint_keep >= 1 && s.checkpoint_keep <= 100,
+                 "run settings: checkpoint_keep must be in [1, 100]");
+
+  // Guard-policy sanity: these are user-reachable knobs (CLI, sweep
+  // configs), so a NaN penalty or an absurd retry count must fail here, at
+  // startup, not corrupt selection hours into a run.
+  ANADEX_REQUIRE(s.guard.max_retries <= 1000,
+                 "run settings: guard max_retries must be <= 1000");
+  ANADEX_REQUIRE(std::isfinite(s.guard.perturbation) && s.guard.perturbation > 0.0,
+                 "run settings: guard perturbation must be finite and > 0");
+  ANADEX_REQUIRE(std::isfinite(s.guard.penalty_objective),
+                 "run settings: guard penalty_objective must be finite (not NaN/inf)");
+  ANADEX_REQUIRE(std::isfinite(s.guard.penalty_violation),
+                 "run settings: guard penalty_violation must be finite (not NaN/inf)");
+  ANADEX_REQUIRE(s.guard.backoff_spin_base <= (std::size_t{1} << 30),
+                 "run settings: guard backoff_spin_base must be <= 2^30");
+  if (s.eval_deadline_s.has_value()) {
+    ANADEX_REQUIRE(std::isfinite(*s.eval_deadline_s) && *s.eval_deadline_s > 0.0,
+                   "run settings: eval deadline must be finite and > 0 seconds");
   }
   if (!s.trace_path.empty()) {
     // Fail before the run starts, not after hours of optimization when the
@@ -206,12 +236,41 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
 
   // Every evaluation flows through the fault guard (non-owning alias; the
   // caller's problem outlives the run). Clean evaluators pass through
-  // untouched, so guarded runs are bit-identical to unguarded ones.
-  robust::GuardedProblem guarded(
-      std::shared_ptr<const moga::Problem>(std::shared_ptr<void>(), &problem), settings.guard);
+  // untouched, so guarded runs are bit-identical to unguarded ones. The
+  // chaos seam slots a deterministic fault injector between the two.
+  std::shared_ptr<const moga::Problem> inner(std::shared_ptr<void>(), &problem);
+  std::shared_ptr<robust::FaultInjectingProblem> injector;
+  if (settings.fault_injection.has_value()) {
+    injector = std::make_shared<robust::FaultInjectingProblem>(
+        inner, *settings.fault_injection);
+    inner = injector;
+  }
+  robust::GuardedProblem guarded(inner, settings.guard);
+
+  // Stuck-eval watchdog plumbing. The token lives here (outliving every
+  // per-algorithm EvalEngine) and is shared between the engine's deadline
+  // thread (raiser), the guard (fail-fast poller) and the injector's
+  // cooperative slow-spin path.
+  CancelToken eval_cancel_token;
+  const double eval_deadline_s = settings.eval_deadline_s.value_or(0.0);
+  if (settings.eval_deadline_s.has_value()) {
+    guarded.set_cancel_token(&eval_cancel_token);
+    if (injector != nullptr) injector->set_cancel_token(&eval_cancel_token);
+  }
 
   RunOutcome outcome;
-  const auto callback = make_history_recorder(settings, outcome.history);
+  moga::GenerationCallback callback = make_history_recorder(settings, outcome.history);
+  if (settings.on_generation) {
+    if (callback) {
+      callback = [history = std::move(callback), user = settings.on_generation](
+                     std::size_t gen, const moga::Population& population) {
+        history(gen, population);
+        user(gen, population);
+      };
+    } else {
+      callback = settings.on_generation;
+    }
+  }
 
   const bool checkpointing = !settings.checkpoint_path.empty();
   robust::CheckpointMeta meta;
@@ -224,10 +283,25 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
   // Holds the restored algorithm state alive for the whole run (the algo
   // params keep only a non-owning pointer into it).
   robust::Checkpoint resume_cp;
-  if (settings.resume) {
+  bool resumed = false;
+  if (settings.resume == ResumeMode::Strict) {
     resume_cp = robust::read_checkpoint_file(settings.checkpoint_path);
+    outcome.resumed_from_path = settings.checkpoint_path;
+    resumed = true;
+  } else if (settings.resume == ResumeMode::Auto) {
+    // Crash recovery: fall back past corrupt/truncated slots to the newest
+    // one that checksum-verifies; with no usable slot, start fresh — so the
+    // same `--resume auto` invocation works on the very first run too.
+    auto recovered = robust::recover_checkpoint(settings.checkpoint_path);
+    if (recovered.has_value()) {
+      resume_cp = std::move(recovered->checkpoint);
+      outcome.resumed_from_path = recovered->path;
+      resumed = true;
+    }
+  }
+  if (resumed) {
     ANADEX_REQUIRE(resume_cp.meta == meta,
-                   "checkpoint '" + settings.checkpoint_path +
+                   "checkpoint '" + outcome.resumed_from_path +
                        "' was written by a different run configuration");
     guarded.set_report(resume_cp.faults);
     for (const auto& s : resume_cp.history) {
@@ -236,14 +310,18 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
   }
 
   // Shared epilogue for every algorithm's on_snapshot hook: attach the run
-  // identity, cumulative faults and history, then write atomically.
+  // identity, cumulative faults and history, then write atomically (with
+  // rotation and the chaos harness's crash seam).
+  robust::CheckpointWriteOptions cp_options;
+  cp_options.keep = settings.checkpoint_keep;
+  cp_options.hook = settings.checkpoint_write_hook;
   const auto write_cp = [&](robust::Checkpoint cp) {
     cp.meta = meta;
     cp.faults = guarded.report();
     for (const auto& h : outcome.history) {
       cp.history.push_back({h.generation, h.front_area, h.front_size});
     }
-    robust::write_checkpoint_file(settings.checkpoint_path, cp);
+    robust::write_checkpoint_file(settings.checkpoint_path, cp, cp_options);
   };
 
   // Wiring shared by every checkpointable algorithm: seed + thread count,
@@ -257,6 +335,11 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
     common.threads = settings.threads;
     common.eval_cache = settings.eval_cache;
     common.sink = sink;
+    common.stop = settings.stop;
+    if (settings.eval_deadline_s.has_value()) {
+      common.eval_deadline_s = eval_deadline_s;
+      common.eval_cancel = &eval_cancel_token;
+    }
     if (sink != nullptr) {
       common.trace_hypervolume = [](const moga::Population& front) {
         return hypervolume_of(to_front_samples(front));
@@ -270,7 +353,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
         write_cp(std::move(cp));
       };
     }
-    if (settings.resume) {
+    if (resumed) {
       const std::optional<State>& stored = resume_cp.*slot;
       ANADEX_REQUIRE(stored.has_value(),
                      "checkpoint state does not match the requested algorithm");
@@ -302,6 +385,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       outcome.evaluations = result.evaluations;
       record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
+      outcome.interrupted = result.interrupted;
       break;
     }
     case Algo::LocalOnly: {
@@ -319,6 +403,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       outcome.evaluations = result.evaluations;
       record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
+      outcome.interrupted = result.interrupted;
       break;
     }
     case Algo::SACGA: {
@@ -340,6 +425,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       outcome.evaluations = result.evaluations;
       record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
+      outcome.interrupted = result.interrupted;
       break;
     }
     case Algo::MESACGA: {
@@ -368,6 +454,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       outcome.evaluations = result.evaluations;
       record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
+      outcome.interrupted = result.interrupted;
       for (const auto& phase : result.phases) {
         PhaseMetric metric;
         metric.phase = phase.phase;
@@ -391,6 +478,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       outcome.evaluations = result.evaluations;
       record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
+      outcome.interrupted = result.interrupted;
       break;
     }
     case Algo::WeightedSum: {
@@ -429,6 +517,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       outcome.evaluations = result.evaluations;
       record_eval_stats(result.eval_stats);
       outcome.generations = result.generations_run;
+      outcome.interrupted = result.interrupted;
       break;
     }
   }
@@ -452,6 +541,25 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
 
   run_timer.stop();
   if (sink != nullptr && sink->enabled(obs::TraceLevel::Gen)) {
+    // Absent in clean runs: a `fault` record summarizing every evaluation
+    // fault the guard absorbed, and a `shutdown` record when the stop token
+    // ended the run early. Both are pure observation.
+    if (outcome.faults.total_faults() > 0) {
+      const obs::Field fault_fields[] = {
+          obs::u64("exceptions", outcome.faults.exceptions),
+          obs::u64("non_finite", outcome.faults.non_finite),
+          obs::u64("wrong_arity", outcome.faults.wrong_arity),
+          obs::u64("timeouts", outcome.faults.timeouts),
+          obs::u64("retries", outcome.faults.retries),
+          obs::u64("recovered", outcome.faults.recovered),
+          obs::u64("penalized", outcome.faults.penalized),
+      };
+      sink->record(obs::Event{"fault", obs::TraceLevel::Gen, false, fault_fields});
+    }
+    if (outcome.interrupted) {
+      const obs::Field stop_fields[] = {obs::u64("generation", outcome.generations)};
+      sink->record(obs::Event{"shutdown", obs::TraceLevel::Gen, false, stop_fields});
+    }
     const obs::Field fields[] = {
         obs::u64("evaluations", outcome.evaluations),
         obs::u64("generations", outcome.generations),

@@ -4,12 +4,17 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "moga/metrics.hpp"
+#include "moga/nsga2.hpp"
 #include "obs/event_sink.hpp"
 #include "problems/integrator_problem.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/fault_injection.hpp"
 #include "robust/guarded_problem.hpp"
 #include "scint/spec.hpp"
 
@@ -22,6 +27,16 @@ namespace anadex::expt {
 enum class Algo { TPG, LocalOnly, SACGA, MESACGA, Island, WeightedSum, SPEA2 };
 
 std::string algo_name(Algo algo);
+
+/// How a run treats an existing checkpoint chain at `checkpoint_path`.
+enum class ResumeMode {
+  Off,     ///< ignore any checkpoint; start fresh
+  Strict,  ///< resume from checkpoint_path exactly; fail if missing/corrupt
+  /// Scan the rotated chain (path, path.1, ...) newest-first, resume from
+  /// the first slot that checksum-verifies, and start FRESH when no slot
+  /// exists or validates — the crash-recovery default (`--resume auto`).
+  Auto,
+};
 
 /// Uniform run configuration. Semantics of `generations`:
 ///   TPG / LocalOnly: total generations;
@@ -61,12 +76,41 @@ struct RunSettings {
   /// robust::GuardedProblem); the defaults retry twice then penalize.
   robust::GuardPolicy guard;
 
+  /// Chaos-harness seam (tests and drills only): when set, the problem is
+  /// wrapped in a robust::FaultInjectingProblem with these rates before the
+  /// fault guard, so the whole run executes under deterministic evaluator
+  /// faults. Unlike the execution knobs this DOES change results, so it
+  /// participates in the checkpoint config digest.
+  std::optional<robust::FaultInjectionConfig> fault_injection;
+
   // Checkpoint/resume (docs/robustness.md). Supported for TPG, SPEA2,
   // LocalOnly, SACGA, MESACGA and Island; WeightedSum rejects a checkpoint
   // path.
   std::string checkpoint_path;         ///< empty = no checkpointing
   std::size_t checkpoint_every = 50;   ///< generations between snapshots
-  bool resume = false;                 ///< continue from checkpoint_path
+  ResumeMode resume = ResumeMode::Off;
+  /// Rotated checkpoint slots kept on disk (1 = just checkpoint_path,
+  /// N > 1 additionally keeps .1 .. .(N-1)). A pure durability knob —
+  /// excluded from the config digest, never changes results.
+  std::size_t checkpoint_keep = 1;
+  /// Test seam forwarded to robust::write_checkpoint_file (the chaos
+  /// harness injects mid-write crashes through it). Empty in production.
+  robust::CheckpointWriteHook checkpoint_write_hook;
+
+  // Robustness under faulty or stuck evaluators (docs/robustness.md).
+  /// Graceful-stop token (non-owning; e.g. &robust::shutdown_token()).
+  /// Polled at every generation barrier: when raised, the run snapshots,
+  /// marks the outcome `interrupted` and returns normally.
+  const CancelToken* stop = nullptr;
+  /// Per-batch evaluation deadline in seconds. Unset = no watchdog. A pure
+  /// execution knob (excluded from the config digest); see
+  /// engine::EvalWatchdog for the determinism caveat when it fires.
+  std::optional<double> eval_deadline_s;
+
+  /// Extra per-generation observer, invoked after the internal history
+  /// recorder with the same (generation, population) arguments. Tests use
+  /// it to raise `stop` at an exact generation.
+  moga::GenerationCallback on_generation;
 
   // Telemetry (docs/observability.md). When trace_path is non-empty the run
   // streams one JSON object per event to that file. Tracing is pure
@@ -80,8 +124,9 @@ struct RunSettings {
 /// Validates `settings` with ANADEX_REQUIRE (population even and >= 4,
 /// partition/island counts sane, MESACGA schedule non-empty + strictly
 /// decreasing + ending in 1, thread count within [0, 256], history stride
-/// positive when history is recorded, checkpoint flags consistent). run()
-/// calls this first; exposed so CLIs can fail fast.
+/// positive when history is recorded, checkpoint flags consistent, guard
+/// policy fields finite and in range, watchdog deadline positive when set).
+/// run() calls this first; exposed so CLIs can fail fast.
 void validate_run_settings(const RunSettings& settings);
 
 /// One front design in physical units.
@@ -119,6 +164,12 @@ struct RunOutcome {
   std::vector<PhaseMetric> phases;  ///< MESACGA only
   robust::FaultReport faults;      ///< evaluation faults absorbed by the guard
   std::size_t resumed_from_generation = 0;  ///< 0 unless resumed mid-run
+  std::string resumed_from_path;   ///< checkpoint slot actually loaded (if any)
+  /// True when the stop token ended the run at a generation barrier before
+  /// the configured generation count. The front/metrics describe the
+  /// stopping point and a checkpoint of it was written (when checkpointing
+  /// is on), so the run can be finished later with ResumeMode::Auto.
+  bool interrupted = false;
 };
 
 /// Paper metric with the reproduction's standard parameters.

@@ -21,7 +21,9 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
                  "problem bounds size must equal num_variables");
 
   const engine::EvalEngine eval(problem, params.threads, params.sink,
-                                params.eval_cache);
+                                params.eval_cache,
+                                engine::EvalWatchdog{params.eval_cancel,
+                                                     params.eval_deadline_s});
   Rng rng(params.seed);
   Nsga2Result result;
 
@@ -101,14 +103,32 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
                      params.trace_hypervolume);
     ++result.generations_run;
 
-    if (params.snapshot_every > 0 && params.on_snapshot &&
-        (gen + 1) % params.snapshot_every == 0) {
+    const bool at_snapshot_barrier =
+        params.snapshot_every > 0 && (gen + 1) % params.snapshot_every == 0;
+    if (at_snapshot_barrier && params.on_snapshot) {
       Nsga2State state;
       state.parents = parents;
       state.rng = rng.state();
       state.next_generation = gen + 1;
       state.evaluations = result.evaluations;
       params.on_snapshot(state);
+    }
+
+    // Graceful-stop barrier: a raised stop token ends the run here, after a
+    // complete generation, with an off-cycle snapshot (unless the regular
+    // barrier above just wrote one) so resume continues from gen + 1.
+    if (params.stop != nullptr && params.stop->requested() &&
+        gen + 1 < params.generations) {
+      if (params.on_snapshot && !at_snapshot_barrier) {
+        Nsga2State state;
+        state.parents = parents;
+        state.rng = rng.state();
+        state.next_generation = gen + 1;
+        state.evaluations = result.evaluations;
+        params.on_snapshot(state);
+      }
+      result.interrupted = true;
+      break;
     }
   }
 

@@ -45,6 +45,10 @@ struct Nsga2Result {
   std::size_t evaluations = 0;       ///< total problem evaluations requested
   std::size_t generations_run = 0;
   engine::EvalStats eval_stats;      ///< requested/distinct/cache-hit accounting
+  /// True when the run returned early because the stop token was raised; a
+  /// snapshot of the stopping point was taken (when on_snapshot is set), so
+  /// the run can be resumed to completion.
+  bool interrupted = false;
 };
 
 /// Runs NSGA-II on `problem`. Deterministic for a fixed seed.

@@ -112,7 +112,9 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
 
   const auto bounds = problem.bounds();
   const engine::EvalEngine eval(problem, params.threads, params.sink,
-                                params.eval_cache);
+                                params.eval_cache,
+                                engine::EvalWatchdog{params.eval_cancel,
+                                                     params.eval_deadline_s});
   Rng rng(params.seed);
   Spea2Result result;
 
@@ -196,8 +198,9 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
                        extract_global_front(archive), params.trace_hypervolume);
     }
 
-    if (params.snapshot_every > 0 && params.on_snapshot &&
-        (gen + 1) % params.snapshot_every == 0) {
+    const bool at_snapshot_barrier =
+        params.snapshot_every > 0 && (gen + 1) % params.snapshot_every == 0;
+    const auto snapshot = [&] {
       Spea2State state;
       state.population = population;
       state.archive = archive;
@@ -205,6 +208,15 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
       state.next_generation = gen + 1;
       state.evaluations = result.evaluations;
       params.on_snapshot(state);
+    };
+    if (at_snapshot_barrier && params.on_snapshot) snapshot();
+
+    // Graceful-stop barrier (see nsga2.cpp): snapshot off-cycle and return.
+    if (params.stop != nullptr && params.stop->requested() &&
+        gen + 1 < params.generations) {
+      if (params.on_snapshot && !at_snapshot_barrier) snapshot();
+      result.interrupted = true;
+      break;
     }
   }
 

@@ -41,6 +41,7 @@ struct Spea2Result {
   std::size_t evaluations = 0;
   std::size_t generations_run = 0;
   engine::EvalStats eval_stats;  ///< requested/distinct/cache-hit accounting
+  bool interrupted = false;      ///< stop token ended the run early (snapshotted)
 };
 
 /// Runs SPEA2. Infeasible individuals are handled by adding a large

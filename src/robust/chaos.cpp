@@ -1,0 +1,48 @@
+#include "robust/chaos.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace anadex::robust {
+
+ChaosPlan ChaosPlan::from_seed(std::uint64_t seed, std::size_t total_generations,
+                               bool with_write_crash) {
+  ANADEX_REQUIRE(total_generations >= 4, "chaos plans need at least 4 generations");
+  Rng rng(seed ^ 0xc4a05ULL);  // domain-separate from problem/run seeds
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.faults.seed = rng();
+  plan.faults.exception_rate = 0.01 + 0.04 * rng.uniform();
+  plan.faults.nan_rate = 0.01 + 0.04 * rng.uniform();
+  plan.faults.slow_rate = 0.005 + 0.015 * rng.uniform();
+  plan.faults.slow_spin_iterations = 2000 + rng.uniform_index(8000);
+  // Kill somewhere in the middle half, so both the pre-kill and post-resume
+  // segments are non-trivial.
+  const std::size_t quarter = total_generations / 4;
+  plan.kill_generation = quarter + rng.uniform_index(2 * quarter);
+  plan.crash_at_write = with_write_crash ? 1 + rng.uniform_index(3) : 0;
+  return plan;
+}
+
+CheckpointWriteHook make_crashing_write_hook(std::size_t crash_at_write,
+                                             std::shared_ptr<std::size_t> writes_completed) {
+  ANADEX_REQUIRE(writes_completed != nullptr, "crashing write hook needs a counter");
+  // std::function copies its target, so the attempt counter lives behind a
+  // shared_ptr: every copy of the hook sees the same tally.
+  auto attempts = std::make_shared<std::size_t>(0);
+  return [crash_at_write, attempts, writes_completed](CheckpointWritePhase phase,
+                                                      const std::string& path) {
+    if (phase == CheckpointWritePhase::AfterTempWrite) {
+      ++*attempts;
+      if (crash_at_write != 0 && *attempts == crash_at_write) {
+        throw InjectedCrash("injected checkpoint-write crash after temp write: " + path);
+      }
+    } else if (phase == CheckpointWritePhase::AfterRename) {
+      ++*writes_completed;
+    }
+  };
+}
+
+}  // namespace anadex::robust

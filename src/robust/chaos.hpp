@@ -1,0 +1,55 @@
+// Deterministic chaos harness: everything a kill/resume robustness test
+// needs, derived from one 64-bit seed.
+//
+// A ChaosPlan bundles (a) fault-injection rates for a FaultInjectingProblem
+// (evaluator exceptions, NaN objectives, slow evals), (b) the generation at
+// which to request a graceful stop — simulating an operator kill — and
+// (c) the ordinal of the checkpoint write whose temp-file phase crashes,
+// exercising the durability seam in write_checkpoint_file. All three are
+// pure functions of the seed, so a chaotic run is exactly replayable: the
+// byte-identity tests in tests/robust/chaos_test.cpp kill a run mid-flight,
+// resume it with `--resume auto` semantics, and require the final front and
+// checkpoint to match an uninterrupted run bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "robust/checkpoint.hpp"
+#include "robust/fault_injection.hpp"
+
+namespace anadex::robust {
+
+/// Thrown by a chaos write hook to simulate the process dying between the
+/// checkpoint temp-file write and the rename into place.
+class InjectedCrash : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One seeded chaos scenario. See from_seed() for the derivation.
+struct ChaosPlan {
+  std::uint64_t seed = 0;        ///< the scenario seed (echoed for reports)
+  FaultInjectionConfig faults;   ///< evaluator fault rates for the scenario
+  std::size_t kill_generation = 0;  ///< request a stop once this generation completes
+  std::size_t crash_at_write = 0;   ///< 1-based checkpoint write whose temp phase
+                                    ///< crashes; 0 = no injected write crash
+
+  /// Derives a plan from `seed` for a run of `total_generations`:
+  /// modest fault rates (a few percent), a kill generation in the middle
+  /// half of the run, and — when `with_write_crash` — a crash at one of the
+  /// first few checkpoint writes.
+  static ChaosPlan from_seed(std::uint64_t seed, std::size_t total_generations,
+                             bool with_write_crash = true);
+};
+
+/// Builds a CheckpointWriteHook that throws InjectedCrash on the
+/// `crash_at_write`-th AfterTempWrite phase (1-based; 0 never crashes).
+/// The shared counter reports how many completed (AfterRename) writes the
+/// hook observed, so tests can assert the crash actually hit.
+CheckpointWriteHook make_crashing_write_hook(std::size_t crash_at_write,
+                                             std::shared_ptr<std::size_t> writes_completed);
+
+}  // namespace anadex::robust

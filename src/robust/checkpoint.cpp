@@ -1,12 +1,23 @@
 #include "robust/checkpoint.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "common/textio.hpp"
 #include "moga/serialize.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ANADEX_HAVE_FSYNC 1
+#else
+#define ANADEX_HAVE_FSYNC 0
+#endif
 
 namespace anadex::robust {
 
@@ -16,6 +27,8 @@ using textio::exact;
 using textio::LineReader;
 using textio::parse_double;
 using textio::parse_u64;
+
+constexpr const char* kHeader = "anadex-checkpoint v2";
 
 std::string one_line(const std::string& text) {
   std::string clean = text;
@@ -77,31 +90,24 @@ sacga::EvolverSnapshot read_evolver(LineReader& reader, std::istream& is) {
   return ev;
 }
 
-}  // namespace
-
-std::string Checkpoint::state_kind() const {
-  const int present = (nsga2 ? 1 : 0) + (spea2 ? 1 : 0) + (local_only ? 1 : 0) +
-                      (sacga ? 1 : 0) + (mesacga ? 1 : 0) + (island ? 1 : 0);
-  ANADEX_REQUIRE(present == 1, "checkpoint must hold exactly one algorithm state");
-  if (nsga2) return "nsga2";
-  if (spea2) return "spea2";
-  if (local_only) return "local-only";
-  if (sacga) return "sacga";
-  if (mesacga) return "mesacga";
-  return "island";
+std::string checksum_hex(std::uint64_t hash) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << hash;
+  return os.str();
 }
 
-void save_checkpoint(std::ostream& os, const Checkpoint& cp) {
+/// Serializes everything through the "end" line (the checksummed bytes).
+void save_checkpoint_body(std::ostream& os, const Checkpoint& cp) {
   const std::string kind = cp.state_kind();  // validates exactly-one-state
 
-  os << "anadex-checkpoint v1\n";
+  os << kHeader << '\n';
   os << "meta " << one_line(cp.meta.algo) << ' ' << cp.meta.seed << ' ' << cp.meta.population
      << ' ' << cp.meta.generations << '\n';
   os << "config " << one_line(cp.meta.config) << '\n';
 
   const FaultReport& f = cp.faults;
   os << "faults " << f.exceptions << ' ' << f.non_finite << ' ' << f.wrong_arity << ' '
-     << f.retries << ' ' << f.recovered << ' ' << f.penalized << '\n';
+     << f.timeouts << ' ' << f.retries << ' ' << f.recovered << ' ' << f.penalized << '\n';
   os << "fault-genes " << f.failure_genes.size();
   for (double g : f.failure_genes) os << ' ' << exact(g);
   os << '\n';
@@ -154,10 +160,12 @@ void save_checkpoint(std::ostream& os, const Checkpoint& cp) {
   os << "end\n";
 }
 
-Checkpoint load_checkpoint(std::istream& is) {
+/// Parses the checksummed body (header through "end"). Assumes the caller
+/// already verified the trailer; still re-checks structure defensively.
+Checkpoint parse_checkpoint_body(std::istream& is) {
   LineReader reader(is);
-  ANADEX_REQUIRE(reader.line("checkpoint header") == "anadex-checkpoint v1",
-                 "checkpoint: unsupported header (expected 'anadex-checkpoint v1')");
+  ANADEX_REQUIRE(reader.line("checkpoint header") == kHeader,
+                 std::string("checkpoint: unsupported header (expected '") + kHeader + "')");
 
   Checkpoint cp;
   const auto meta = reader.record("meta", 4);
@@ -167,13 +175,14 @@ Checkpoint load_checkpoint(std::istream& is) {
   cp.meta.generations = parse_u64(meta[4]);
   cp.meta.config = keyword_rest(reader, "config");
 
-  const auto faults = reader.record("faults", 6);
+  const auto faults = reader.record("faults", 7);
   cp.faults.exceptions = parse_u64(faults[1]);
   cp.faults.non_finite = parse_u64(faults[2]);
   cp.faults.wrong_arity = parse_u64(faults[3]);
-  cp.faults.retries = parse_u64(faults[4]);
-  cp.faults.recovered = parse_u64(faults[5]);
-  cp.faults.penalized = parse_u64(faults[6]);
+  cp.faults.timeouts = parse_u64(faults[4]);
+  cp.faults.retries = parse_u64(faults[5]);
+  cp.faults.recovered = parse_u64(faults[6]);
+  cp.faults.penalized = parse_u64(faults[7]);
   const auto genes = reader.record("fault-genes", 1);
   const std::size_t n_genes = parse_u64(genes[1]);
   ANADEX_REQUIRE(genes.size() >= 2 + n_genes, "checkpoint: truncated fault-genes record");
@@ -266,8 +275,119 @@ Checkpoint load_checkpoint(std::istream& is) {
   return cp;
 }
 
-void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint) {
+std::string slot_path(const std::string& base, std::size_t slot) {
+  return slot == 0 ? base : base + "." + std::to_string(slot);
+}
+
+/// fsync `path` so its bytes survive a power loss once the rename commits.
+void sync_file(const std::string& path) {
+#if ANADEX_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  ANADEX_REQUIRE(fd >= 0, "cannot reopen '" + path + "' for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  ANADEX_REQUIRE(rc == 0, "fsync failed for '" + path + "'");
+#else
+  (void)path;
+#endif
+}
+
+/// Best-effort fsync of the directory holding `path`, making the rename
+/// itself durable. Failure is tolerated: some filesystems refuse directory
+/// fds, and the data-file fsync above already bounds the damage.
+void sync_parent_dir(const std::string& path) {
+#if ANADEX_HAVE_FSYNC
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+std::string Checkpoint::state_kind() const {
+  const int present = (nsga2 ? 1 : 0) + (spea2 ? 1 : 0) + (local_only ? 1 : 0) +
+                      (sacga ? 1 : 0) + (mesacga ? 1 : 0) + (island ? 1 : 0);
+  ANADEX_REQUIRE(present == 1, "checkpoint must hold exactly one algorithm state");
+  if (nsga2) return "nsga2";
+  if (spea2) return "spea2";
+  if (local_only) return "local-only";
+  if (sacga) return "sacga";
+  if (mesacga) return "mesacga";
+  return "island";
+}
+
+void save_checkpoint(std::ostream& os, const Checkpoint& cp) {
+  std::ostringstream body;
+  save_checkpoint_body(body, cp);
+  const std::string bytes = body.str();
+  os << bytes << "checksum " << checksum_hex(hash_bytes(bytes, 0)) << '\n';
+}
+
+Checkpoint load_checkpoint(std::istream& is, const std::string& source) {
+  std::ostringstream slurp;
+  slurp << is.rdbuf();
+  const std::string content = slurp.str();
+  const auto fail = [&](const std::string& what, std::size_t offset) {
+    throw PreconditionError("checkpoint '" + source + "': " + what + " (at byte " +
+                            std::to_string(offset) + " of " + std::to_string(content.size()) +
+                            ")");
+  };
+
+  // Version gate first, so a v1 (or foreign) file gets a precise
+  // expected-vs-found diagnostic instead of a checksum complaint.
+  const std::size_t header_end = content.find('\n');
+  const std::string header =
+      content.substr(0, header_end == std::string::npos ? content.size() : header_end);
+  if (header != kHeader) {
+    fail(std::string("version mismatch: expected '") + kHeader + "', found '" +
+             one_line(header) + "'",
+         0);
+  }
+
+  // The checksummed body runs through the final "end" line; everything
+  // after it must be the checksum trailer.
+  const std::size_t end_mark = content.rfind("\nend\n");
+  if (end_mark == std::string::npos) {
+    fail("truncated: expected an 'end' record, found none", content.size());
+  }
+  const std::size_t body_size = end_mark + 1 + 4;  // include "end\n"
+  std::string trailer = content.substr(body_size);
+  while (!trailer.empty() && (trailer.back() == '\n' || trailer.back() == '\r')) {
+    trailer.pop_back();
+  }
+  if (trailer.rfind("checksum ", 0) != 0) {
+    fail("truncated: expected 'checksum <16 hex digits>' trailer, found '" +
+             one_line(trailer) + "'",
+         body_size);
+  }
+  const std::string found = trailer.substr(9);
+  const std::string expected = checksum_hex(hash_bytes({content.data(), body_size}, 0));
+  if (found != expected) {
+    fail("checksum mismatch: expected " + expected + ", found " + found, body_size);
+  }
+
+  std::istringstream body(content.substr(0, body_size));
+  try {
+    return parse_checkpoint_body(body);
+  } catch (const std::exception& e) {
+    const auto pos = body.tellg();
+    const std::size_t offset = pos < 0 ? body_size : static_cast<std::size_t>(pos);
+    fail(std::string("parse error: ") + e.what(), offset);
+  }
+  ANADEX_ASSERT(false, "unreachable: fail() always throws");
+  return {};
+}
+
+void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint,
+                           const CheckpointWriteOptions& options) {
   ANADEX_REQUIRE(!path.empty(), "checkpoint path must be non-empty");
+  ANADEX_REQUIRE(options.keep >= 1, "checkpoint rotation must keep at least one slot");
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp, std::ios::trunc);
@@ -276,14 +396,53 @@ void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint
     os.flush();
     ANADEX_REQUIRE(os.good(), "failed writing checkpoint temp file '" + tmp + "'");
   }
+  if (options.fsync) sync_file(tmp);
+  // Crash seam: a hook throwing here models dying after the temp write but
+  // before the rename — the previously-completed chain must stay intact
+  // (the stray .tmp is ignored by recover_checkpoint and overwritten by the
+  // next write).
+  if (options.hook) options.hook(CheckpointWritePhase::AfterTempWrite, tmp);
+
+  if (options.keep > 1) {
+    // Shift the chain up one slot, oldest first, dropping the last. Renames
+    // of missing slots fail silently — after a crash the chain may have
+    // holes, and rotation must still make room for the new base.
+    std::remove(slot_path(path, options.keep - 1).c_str());
+    for (std::size_t k = options.keep - 1; k >= 2; --k) {
+      (void)std::rename(slot_path(path, k - 1).c_str(), slot_path(path, k).c_str());
+    }
+    (void)std::rename(path.c_str(), slot_path(path, 1).c_str());
+  }
   ANADEX_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
                  "failed to move checkpoint into place at '" + path + "'");
+  if (options.fsync) sync_parent_dir(path);
+  if (options.hook) options.hook(CheckpointWritePhase::AfterRename, path);
 }
 
 Checkpoint read_checkpoint_file(const std::string& path) {
   std::ifstream is(path);
   ANADEX_REQUIRE(is.good(), "cannot open checkpoint file '" + path + "'");
-  return load_checkpoint(is);
+  return load_checkpoint(is, path);
+}
+
+std::optional<RecoveredCheckpoint> recover_checkpoint(const std::string& base_path,
+                                                      std::size_t max_slots) {
+  ANADEX_REQUIRE(!base_path.empty(), "checkpoint path must be non-empty");
+  ANADEX_REQUIRE(max_slots >= 1, "recovery must scan at least one slot");
+  RecoveredCheckpoint out;
+  for (std::size_t slot = 0; slot < max_slots; ++slot) {
+    const std::string path = slot_path(base_path, slot);
+    std::ifstream is(path);
+    if (!is.good()) continue;  // missing slots (mid-rotation crashes) are fine
+    try {
+      out.checkpoint = load_checkpoint(is, path);
+      out.path = path;
+      return out;
+    } catch (const std::exception& e) {
+      out.rejected.push_back(std::string(e.what()));
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace anadex::robust

@@ -1,4 +1,4 @@
-// Versioned checkpoint files for long explorations.
+// Versioned, durable checkpoint files for long explorations.
 //
 // A checkpoint captures everything needed to resume a run bit-identically:
 // the meta description of the run (algorithm, seed, sizes, a config digest
@@ -8,10 +8,10 @@
 //
 // File format (line-oriented text, doubles as bit-exact hex-floats):
 //
-//   anadex-checkpoint v1
+//   anadex-checkpoint v2
 //   meta <algo> <seed> <population> <generations>
 //   config <opaque one-line digest, compared for equality on resume>
-//   faults <exceptions> <non_finite> <wrong_arity> <retries> <recovered> <penalized>
+//   faults <exceptions> <non_finite> <wrong_arity> <timeouts> <retries> <recovered> <penalized>
 //   fault-genes <n> [g1 g2 ...]
 //   fault-message [text...]
 //   history <count>
@@ -19,12 +19,22 @@
 //   state <nsga2|spea2|local-only|sacga|mesacga|island>
 //   <state-specific records; populations as embedded "anadex-population v2">
 //   end
+//   checksum <16 hex digits>
 //
-// Writes are atomic (temp file + rename), so an interrupt mid-write leaves
-// the previous checkpoint intact. See docs/robustness.md.
+// The checksum trailer is FNV-1a (common/hash.hpp hash_bytes) over every
+// byte up to and including the "end" line, so truncation, bit flips and
+// partial writes are all detected before any state is trusted.
+//
+// Durability: write_checkpoint_file writes to a temp file, fsyncs it,
+// rotates the existing chain (path -> path.1 -> path.2 ...) and renames the
+// temp into place, so a kill at ANY instant leaves at least one valid
+// checkpoint on disk. recover_checkpoint scans the chain newest-first and
+// returns the first slot that passes the checksum and format checks — the
+// engine behind the CLI's `--resume auto`. See docs/robustness.md.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -80,20 +90,68 @@ struct Checkpoint {
   std::string state_kind() const;
 };
 
-/// Serializes `checkpoint` (which must hold exactly one state).
+/// Serializes `checkpoint` (which must hold exactly one state), including
+/// the checksum trailer.
 void save_checkpoint(std::ostream& os, const Checkpoint& checkpoint);
 
-/// Parses a checkpoint stream. Throws PreconditionError on version/format
-/// violations.
-Checkpoint load_checkpoint(std::istream& is);
+/// Parses and checksum-verifies a checkpoint stream. Throws
+/// PreconditionError with a diagnostic naming `source`, the byte offset
+/// reached and what was expected vs found on truncated, corrupted or
+/// version-mismatched input.
+Checkpoint load_checkpoint(std::istream& is, const std::string& source = "<stream>");
 
-/// Atomically writes `checkpoint` to `path` (temp file in the same
-/// directory + rename), so a crash mid-write cannot corrupt an existing
-/// checkpoint. Throws PreconditionError on IO failure.
-void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint);
+/// Where a checkpoint write stands when a CheckpointWriteHook fires.
+enum class CheckpointWritePhase {
+  AfterTempWrite,  ///< temp file written + synced; rotation/rename not yet done
+  AfterRename,     ///< new checkpoint in place at the base path
+};
 
-/// Reads a checkpoint from `path`. Throws PreconditionError if the file is
-/// missing or malformed.
+/// Test seam into write_checkpoint_file: invoked with the phase and the
+/// file involved (the temp path for AfterTempWrite, the base path for
+/// AfterRename). The chaos harness throws from AfterTempWrite to simulate
+/// a crash mid-write and prove the previous chain survives intact.
+using CheckpointWriteHook = std::function<void(CheckpointWritePhase, const std::string&)>;
+
+/// Durability knobs for write_checkpoint_file. The defaults match the
+/// strongest guarantee: fsync the data before rename, keep one checkpoint.
+struct CheckpointWriteOptions {
+  /// Total rotated slots retained: 1 = just `path` (no rotation), N > 1
+  /// additionally keeps path.1 (previous) ... path.(N-1) (oldest).
+  std::size_t keep = 1;
+  /// fsync the temp file before rename and the parent directory after (so
+  /// the rename itself is durable). Off only for tests/benches that measure
+  /// pure serialization cost.
+  bool fsync = true;
+  CheckpointWriteHook hook;  ///< test seam; empty in production
+};
+
+/// Durably writes `checkpoint` to `path`: serialize to `<path>.tmp`, fsync,
+/// rotate the existing chain (path -> path.1 -> ... -> path.(keep-1), the
+/// oldest slot is dropped), rename the temp into place and fsync the
+/// directory. A crash at any instant leaves every previously-completed slot
+/// readable. Throws PreconditionError on IO failure.
+void write_checkpoint_file(const std::string& path, const Checkpoint& checkpoint,
+                           const CheckpointWriteOptions& options = {});
+
+/// Reads and verifies the checkpoint at `path`. Throws PreconditionError if
+/// the file is missing, corrupt or version-mismatched.
 Checkpoint read_checkpoint_file(const std::string& path);
+
+/// Result of a recovery scan over a rotated checkpoint chain.
+struct RecoveredCheckpoint {
+  Checkpoint checkpoint;
+  std::string path;                   ///< the slot that validated
+  std::vector<std::string> rejected;  ///< diagnostics for newer slots skipped
+};
+
+/// Scans `base_path`, `base_path.1`, `base_path.2`, ... newest-first and
+/// returns the first slot that loads and checksum-verifies, together with
+/// the reasons every newer slot was rejected. Returns nullopt when no slot
+/// exists or validates (the `rejected` diagnostics are then lost — callers
+/// wanting them on total failure can rescan with read_checkpoint_file).
+/// This is `--resume auto`: fall back past corrupt/truncated checkpoints to
+/// the last good one.
+std::optional<RecoveredCheckpoint> recover_checkpoint(const std::string& base_path,
+                                                      std::size_t max_slots = 100);
 
 }  // namespace anadex::robust

@@ -12,6 +12,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::EvaluatorException: return "evaluator-exception";
     case FaultKind::NonFiniteValue: return "non-finite-value";
     case FaultKind::WrongArity: return "wrong-arity";
+    case FaultKind::Timeout: return "timeout";
   }
   ANADEX_ASSERT(false, "unknown fault kind");
   return "";
@@ -22,6 +23,7 @@ void FaultReport::count(FaultKind kind) {
     case FaultKind::EvaluatorException: ++exceptions; break;
     case FaultKind::NonFiniteValue: ++non_finite; break;
     case FaultKind::WrongArity: ++wrong_arity; break;
+    case FaultKind::Timeout: ++timeouts; break;
   }
 }
 
@@ -35,6 +37,7 @@ void FaultReport::merge(const FaultReport& other) {
   exceptions += other.exceptions;
   non_finite += other.non_finite;
   wrong_arity += other.wrong_arity;
+  timeouts += other.timeouts;
   retries += other.retries;
   recovered += other.recovered;
   penalized += other.penalized;
@@ -64,8 +67,9 @@ void FaultReport::merge(const FaultReport& other) {
 std::string FaultReport::summary() const {
   std::ostringstream os;
   os << total_faults() << " fault(s): " << exceptions << " exception(s), " << non_finite
-     << " non-finite, " << wrong_arity << " wrong-arity; " << retries << " retry(ies), "
-     << recovered << " recovered, " << penalized << " penalized";
+     << " non-finite, " << wrong_arity << " wrong-arity, " << timeouts << " timeout(s); "
+     << retries << " retry(ies), " << recovered << " recovered, " << penalized
+     << " penalized";
   if (!failure_message.empty()) {
     os << "; sample: " << failure_message;
   }

@@ -25,6 +25,7 @@ enum class FaultKind {
   EvaluatorException,  ///< evaluate() threw
   NonFiniteValue,      ///< an objective or violation was NaN/inf
   WrongArity,          ///< objective/violation counts disagree with the problem
+  Timeout,             ///< cancelled by the evaluation watchdog deadline
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -35,6 +36,7 @@ struct FaultReport {
   std::size_t exceptions = 0;   ///< FaultKind::EvaluatorException observations
   std::size_t non_finite = 0;   ///< FaultKind::NonFiniteValue observations
   std::size_t wrong_arity = 0;  ///< FaultKind::WrongArity observations
+  std::size_t timeouts = 0;     ///< FaultKind::Timeout observations
   std::size_t retries = 0;      ///< perturbed re-evaluations attempted
   std::size_t recovered = 0;    ///< faults healed by a retry
   std::size_t penalized = 0;    ///< evaluations replaced by penalty values
@@ -48,7 +50,9 @@ struct FaultReport {
   std::vector<double> failure_genes;
   std::string failure_message;
 
-  std::size_t total_faults() const { return exceptions + non_finite + wrong_arity; }
+  std::size_t total_faults() const {
+    return exceptions + non_finite + wrong_arity + timeouts;
+  }
   bool any() const { return total_faults() > 0; }
 
   void count(FaultKind kind);

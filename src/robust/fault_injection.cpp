@@ -36,9 +36,15 @@ void FaultInjectingProblem::evaluate(std::span<const double> genes, moga::Evalua
   if (rng.bernoulli(config_.slow_rate)) {
     ++counters_.slow;
     // Busy-spin standing in for a simulator that converges slowly. volatile
-    // keeps the loop from being optimized away.
+    // keeps the loop from being optimized away. The spin polls the
+    // cancellation token every 1024 iterations — the cooperative contract a
+    // watchdog-aware evaluator implements — and bails out with
+    // OperationCancelled when the watchdog deadline fires.
     volatile double sink = 0.0;
     for (std::size_t i = 0; i < config_.slow_spin_iterations; ++i) {
+      if ((i & 1023u) == 0 && cancel_ != nullptr && cancel_->requested()) {
+        throw OperationCancelled("injected slow evaluation cancelled");
+      }
       sink = sink + 1e-9;
     }
   }

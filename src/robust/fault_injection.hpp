@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "moga/problem.hpp"
 
 namespace anadex::robust {
@@ -61,9 +62,17 @@ class FaultInjectingProblem final : public moga::Problem {
   const FaultInjectionCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = {}; }
 
+  /// Makes the slow-eval spin cooperative: when `token` (non-owning,
+  /// nullptr detaches) is raised mid-spin, evaluate() throws
+  /// OperationCancelled — exactly what a watchdog-aware simulator binding
+  /// would do. This is how the chaos harness exercises the stuck-eval
+  /// detection path end to end.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
  private:
   std::shared_ptr<const moga::Problem> inner_;
   FaultInjectionConfig config_;
+  const CancelToken* cancel_ = nullptr;
   mutable FaultInjectionCounters counters_;
 };
 

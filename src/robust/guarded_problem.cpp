@@ -43,6 +43,10 @@ bool GuardedProblem::try_evaluate(std::span<const double> genes, moga::Evaluatio
   out.violations.clear();
   try {
     inner_->evaluate(genes, out);
+  } catch (const OperationCancelled& e) {
+    tally.count(FaultKind::Timeout);
+    tally.note_failure(genes, std::string("timeout: ") + e.what());
+    return false;
   } catch (const std::exception& e) {
     tally.count(FaultKind::EvaluatorException);
     tally.note_failure(genes, std::string("exception: ") + e.what());
@@ -86,6 +90,19 @@ void GuardedProblem::evaluate(std::span<const double> genes, moga::Evaluation& o
   // does not serialize on the guard.
   FaultReport tally;
   const bool ok = [&] {
+    // Watchdog fail-fast: once the deadline token is raised, the inner
+    // evaluator is presumed stuck — penalize immediately instead of feeding
+    // it more work, so the rest of the batch drains in microseconds and the
+    // generation barrier (where the run can snapshot and stop) is reached.
+    if (cancel_ != nullptr && cancel_->requested()) {
+      tally.count(FaultKind::Timeout);
+      tally.note_failure(genes, "timeout: evaluation cancelled by watchdog deadline");
+      ++tally.penalized;
+      out.objectives.assign(inner_->num_objectives(), policy_.penalty_objective);
+      out.violations.assign(inner_->num_constraints(), policy_.penalty_violation);
+      return false;
+    }
+
     if (try_evaluate(genes, out, tally)) return true;
 
     // Retry at slightly perturbed genomes. The perturbation stream is a
@@ -93,6 +110,22 @@ void GuardedProblem::evaluate(std::span<const double> genes, moga::Evaluation& o
     // genome — including after a checkpoint/resume — replays identically.
     std::vector<double> nudged(genes.begin(), genes.end());
     for (std::size_t attempt = 1; attempt <= policy_.max_retries; ++attempt) {
+      // A raised watchdog token also cuts the retry ladder short: retrying
+      // against a stuck evaluator only prolongs the stall.
+      if (cancel_ != nullptr && cancel_->requested()) break;
+      if (policy_.backoff_spin_base > 0) {
+        // Deterministic exponential backoff: base << (attempt-1) iterations
+        // plus a genome-derived jitter (at most one extra base unit). A
+        // busy-spin rather than a sleep keeps wall clocks out of the
+        // decision path entirely — the wait is a pure function of
+        // (genes, attempt), preserving bit-reproducibility.
+        const std::size_t expo =
+            policy_.backoff_spin_base << std::min<std::size_t>(attempt - 1, 20);
+        const std::size_t jitter =
+            hash_genes(genes, policy_.seed ^ attempt) % (policy_.backoff_spin_base + 1);
+        volatile std::size_t spin_sink = 0;
+        for (std::size_t i = 0; i < expo + jitter; ++i) spin_sink = spin_sink + 1;
+      }
       ++tally.retries;
       Rng rng(hash_genes(genes, policy_.seed + attempt));
       for (std::size_t i = 0; i < nudged.size(); ++i) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "moga/problem.hpp"
 #include "robust/fault.hpp"
 
@@ -28,6 +29,15 @@ struct GuardPolicy {
   double penalty_objective = 1e9;  ///< objective value substituted on give-up
   double penalty_violation = 1e9;  ///< violation value substituted on give-up
   std::uint64_t seed = 0x9e3779b97f4a7c15ULL;  ///< mixes into retry perturbation
+
+  /// Exponential backoff between retries, in busy-spin iterations: retry k
+  /// waits base << (k-1) iterations plus a genome-derived jitter (0 = no
+  /// backoff, the default). Deliberately NOT wall-clock based: the wait is
+  /// a pure function of (genes, attempt), so retried evaluations — and
+  /// therefore whole runs — stay bit-reproducible. Useful when the inner
+  /// evaluator is a shared resource (a licensed simulator pool) that
+  /// benefits from spacing out hammering retries.
+  std::size_t backoff_spin_base = 0;
 };
 
 /// Wraps an inner Problem, converting exceptions, non-finite values and
@@ -65,6 +75,16 @@ class GuardedProblem final : public moga::Problem {
   /// so fault totals stay cumulative across the whole logical run).
   void set_report(FaultReport report);
 
+  /// Attaches the evaluation watchdog's cancellation token (non-owning;
+  /// nullptr detaches). Once the token is raised, evaluations fail fast
+  /// with FaultKind::Timeout penalties instead of calling the (presumed
+  /// stuck) inner evaluator, and OperationCancelled thrown by cooperative
+  /// inner problems is classified as a timeout rather than a generic
+  /// exception. Set before the run starts; not thread-safe against
+  /// concurrent evaluate() calls.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
+
  private:
   /// One evaluation attempt; returns true on a clean result, false after
   /// recording the fault in `tally`.
@@ -74,6 +94,7 @@ class GuardedProblem final : public moga::Problem {
   std::shared_ptr<const moga::Problem> inner_;
   GuardPolicy policy_;
   std::vector<moga::VariableBound> bounds_;
+  const CancelToken* cancel_ = nullptr;  ///< watchdog token, non-owning
   mutable std::mutex report_mu_;
   mutable FaultReport report_;
 };

@@ -1,0 +1,58 @@
+#include "robust/shutdown.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>   // anadex-lint: allow(process-control)
+#include <unistd.h>  // anadex-lint: allow(process-control)
+#define ANADEX_HAVE_SIGACTION 1
+#else
+#define ANADEX_HAVE_SIGACTION 0
+#endif
+
+#include <atomic>
+
+namespace anadex::robust {
+
+namespace {
+
+std::atomic<bool> g_handlers_installed{false};
+
+#if ANADEX_HAVE_SIGACTION
+// Everything the handler touches is async-signal-safe: two lock-free
+// atomics and _exit(). No allocation, no locks, no iostreams.
+std::atomic<int> g_signals_seen{0};
+
+extern "C" void anadex_shutdown_handler(int signo) {
+  const int seen = g_signals_seen.fetch_add(1, std::memory_order_acq_rel);
+  if (seen == 0) {
+    shutdown_token().request();
+    return;
+  }
+  // Second signal: the cooperative path is taking too long for the
+  // operator — terminate immediately with the conventional status.
+  _exit(128 + signo);  // anadex-lint: allow(process-control)
+}
+#endif
+
+}  // namespace
+
+CancelToken& shutdown_token() {
+  static CancelToken token;
+  return token;
+}
+
+void install_shutdown_handlers() {
+  if (g_handlers_installed.exchange(true, std::memory_order_acq_rel)) return;
+#if ANADEX_HAVE_SIGACTION
+  // Touch the token once before any signal can arrive, so the handler's
+  // shutdown_token() call never races its (magic-static) initialization.
+  (void)shutdown_token().requested();
+  struct sigaction action = {};
+  action.sa_handler = &anadex_shutdown_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: let blocking syscalls see EINTR
+  (void)sigaction(SIGINT, &action, nullptr);   // anadex-lint: allow(process-control)
+  (void)sigaction(SIGTERM, &action, nullptr);  // anadex-lint: allow(process-control)
+#endif
+}
+
+}  // namespace anadex::robust

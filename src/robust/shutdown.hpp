@@ -1,0 +1,28 @@
+// Graceful-shutdown signal handling: the ONLY module in the library that
+// may install signal handlers or terminate the process (enforced by the
+// `process-control` rule in scripts/anadex_lint.py).
+//
+// Model: the first SIGINT/SIGTERM raises a process-global CancelToken — a
+// stop REQUEST, honored cooperatively by expt::run at the next generation
+// barrier (snapshot, mark the outcome interrupted, return normally so
+// destructors, trace sinks and checkpoint writers all unwind). A second
+// signal is the operator insisting: the handler _exit()s immediately with
+// the conventional 128+signo status.
+#pragma once
+
+#include "common/cancel.hpp"
+
+namespace anadex::robust {
+
+/// The process-global stop-request token raised by SIGINT/SIGTERM. Unlike a
+/// watchdog eval token this is never reset by the library: once a shutdown
+/// is requested it stays requested (tests may reset it between cases).
+CancelToken& shutdown_token();
+
+/// Installs the SIGINT/SIGTERM handlers described above. Idempotent;
+/// callable from main() only (not async-signal-safe itself). On platforms
+/// without sigaction this is a no-op and shutdown_token() simply never
+/// fires from signals.
+void install_shutdown_handlers();
+
+}  // namespace anadex::robust

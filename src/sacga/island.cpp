@@ -91,7 +91,9 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
 
   const auto bounds = problem.bounds();
   const engine::EvalEngine eval(problem, params.threads, params.sink,
-                                params.eval_cache);
+                                params.eval_cache,
+                                engine::EvalWatchdog{params.eval_cancel,
+                                                     params.eval_deadline_s});
   Rng rng(params.seed);
   IslandResult result;
   moga::RankingScratch ranking;  // SoA buffers shared by all islands
@@ -189,8 +191,9 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
       }
     }
 
-    if (params.snapshot_every > 0 && params.on_snapshot &&
-        (gen + 1) % params.snapshot_every == 0) {
+    const bool at_snapshot_barrier =
+        params.snapshot_every > 0 && (gen + 1) % params.snapshot_every == 0;
+    const auto snapshot = [&] {
       IslandState state;
       state.islands = islands;
       state.rngs.reserve(island_rngs.size());
@@ -199,6 +202,15 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
       state.evaluations = result.evaluations;
       state.migrations = result.migrations;
       params.on_snapshot(state);
+    };
+    if (at_snapshot_barrier && params.on_snapshot) snapshot();
+
+    // Graceful-stop barrier (see nsga2.cpp): snapshot off-cycle and return.
+    if (params.stop != nullptr && params.stop->requested() &&
+        gen + 1 < params.generations) {
+      if (params.on_snapshot && !at_snapshot_barrier) snapshot();
+      result.interrupted = true;
+      break;
     }
   }
 

@@ -51,6 +51,7 @@ struct IslandResult {
   std::size_t generations_run = 0;
   std::size_t migrations = 0;
   engine::EvalStats eval_stats;  ///< requested/distinct/cache-hit accounting
+  bool interrupted = false;      ///< stop token ended the run early (snapshotted)
 };
 
 /// Runs the island GA: each island evolves with NSGA-II ranking; every

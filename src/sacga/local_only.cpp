@@ -16,6 +16,8 @@ LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyPara
   evolver_params.threads = params.threads;
   evolver_params.eval_cache = params.eval_cache;
   evolver_params.sink = params.sink;
+  evolver_params.eval_deadline_s = params.eval_deadline_s;
+  evolver_params.eval_cancel = params.eval_cancel;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);
@@ -30,15 +32,27 @@ LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyPara
   PartitionedEvolver& evolver = *engine;
 
   const ParticipationProbability never = [](std::size_t) { return 0.0; };
+  bool interrupted = false;
   for (std::size_t gen = evolver.generation(); gen < params.generations; ++gen) {
     evolver.step(never);
     if (on_generation) on_generation(gen, evolver.population());
     moga::trace_generation(params.sink, gen, evolver.evaluations(), evolver.population(),
                            params.trace_hypervolume);
     trace_sacga_generation(params.sink, evolver, gen, /*phase=*/0, nullptr, 0);
-    if (params.snapshot_every > 0 && params.on_snapshot &&
-        evolver.generation() % params.snapshot_every == 0) {
+    const bool at_snapshot_barrier =
+        params.snapshot_every > 0 && evolver.generation() % params.snapshot_every == 0;
+    if (at_snapshot_barrier && params.on_snapshot) {
       params.on_snapshot(LocalOnlyState{evolver.snapshot()});
+    }
+
+    // Graceful-stop barrier (see nsga2.cpp): snapshot off-cycle and return.
+    if (params.stop != nullptr && params.stop->requested() &&
+        evolver.generation() < params.generations) {
+      if (params.on_snapshot && !at_snapshot_barrier) {
+        params.on_snapshot(LocalOnlyState{evolver.snapshot()});
+      }
+      interrupted = true;
+      break;
     }
   }
 
@@ -48,6 +62,7 @@ LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyPara
   result.evaluations = evolver.evaluations();
   result.generations_run = evolver.generation();
   result.eval_stats = evolver.engine().stats();
+  result.interrupted = interrupted;
   return result;
 }
 

@@ -38,6 +38,7 @@ struct LocalOnlyResult {
   std::size_t evaluations = 0;
   std::size_t generations_run = 0;
   engine::EvalStats eval_stats;   ///< requested/distinct/cache-hit accounting
+  bool interrupted = false;       ///< stop token ended the run early (snapshotted)
 };
 
 /// Runs the pure local-competition GA. Deterministic for a fixed seed.

@@ -28,6 +28,8 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   evolver_params.threads = params.threads;
   evolver_params.eval_cache = params.eval_cache;
   evolver_params.sink = params.sink;
+  evolver_params.eval_deadline_s = params.eval_deadline_s;
+  evolver_params.eval_cancel = params.eval_cancel;
 
   std::optional<PartitionedEvolver> engine;
   MesacgaResult result;
@@ -50,9 +52,8 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   }
   PartitionedEvolver& evolver = *engine;
 
-  const auto maybe_snapshot = [&params, &evolver, &result](bool done, std::size_t gen_t_now) {
-    if (params.snapshot_every == 0 || !params.on_snapshot) return;
-    if (evolver.generation() == 0 || evolver.generation() % params.snapshot_every != 0) return;
+  const auto force_snapshot = [&params, &evolver, &result](bool done, std::size_t gen_t_now) {
+    if (!params.on_snapshot) return;
     MesacgaState state;
     state.evolver = evolver.snapshot();
     state.phase1_done = done;
@@ -60,12 +61,24 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
     state.phases = result.phases;
     params.on_snapshot(state);
   };
+  const auto at_snapshot_barrier = [&params, &evolver] {
+    return params.snapshot_every > 0 && evolver.generation() != 0 &&
+           evolver.generation() % params.snapshot_every == 0;
+  };
+  const auto maybe_snapshot = [&](bool done, std::size_t gen_t_now) {
+    if (at_snapshot_barrier()) force_snapshot(done, gen_t_now);
+  };
 
+  bool phase1_stopped = false;
   if (!phase1_done) {
     gen_t = run_phase1(
         evolver, params.phase1_max_generations, on_generation, 0, evolver.generation(),
         [&maybe_snapshot](const PartitionedEvolver&, std::size_t) { maybe_snapshot(false, 0); },
-        &params);
+        &params, params.stop, &phase1_stopped);
+    if (phase1_stopped) {
+      if (!at_snapshot_barrier()) force_snapshot(false, 0);
+      result.interrupted = true;
+    }
   }
   result.phase1_generations = gen_t;
 
@@ -97,7 +110,8 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   const std::size_t start_offset = completed % span;
 
   std::size_t generation = evolver.generation();
-  for (std::size_t phase = start_phase; phase < phase_count; ++phase) {
+  for (std::size_t phase = start_phase; !result.interrupted && phase < phase_count;
+       ++phase) {
     // A mid-phase resume re-enters with the phase's partitioner already
     // restored; re-partitioning here would desynchronize the RNG stream.
     const bool entering_fresh = phase != start_phase || start_offset == 0;
@@ -141,6 +155,15 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
         result.phases.push_back(std::move(snap));
       }
       maybe_snapshot(true, gen_t);
+
+      // Graceful-stop barrier (see nsga2.cpp). The very last generation of
+      // the last phase completes the run; no interrupt needed there.
+      if (params.stop != nullptr && params.stop->requested() &&
+          !(phase + 1 == phase_count && offset + 1 == span)) {
+        if (!at_snapshot_barrier()) force_snapshot(true, gen_t);
+        result.interrupted = true;
+        break;
+      }
     }
   }
 

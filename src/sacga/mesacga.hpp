@@ -80,6 +80,7 @@ struct MesacgaResult {
   std::size_t generations_run = 0;
   std::size_t phase1_generations = 0;
   engine::EvalStats eval_stats;   ///< requested/distinct/cache-hit accounting
+  bool interrupted = false;       ///< stop token ended the run early (snapshotted)
 };
 
 /// Runs MESACGA. Deterministic for a fixed seed.

@@ -51,6 +51,10 @@ struct EvolverParams {
   /// Evaluation memoization capacity (engine::EvolverCommon semantics:
   /// 0 = off, N = intra-batch dedup + N-entry LRU; results are invariant).
   std::size_t eval_cache = 0;
+  /// Stuck-eval watchdog (engine::EvolverCommon semantics): per-batch
+  /// deadline in seconds (0 = off) and the token the watchdog raises.
+  double eval_deadline_s = 0.0;
+  CancelToken* eval_cancel = nullptr;
 };
 
 /// Probability that the i-th (1-based) locally-superior solution of a

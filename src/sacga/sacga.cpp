@@ -12,10 +12,18 @@ namespace anadex::sacga {
 std::size_t run_phase1(PartitionedEvolver& evolver, std::size_t max_generations,
                        const moga::GenerationCallback& on_generation,
                        std::size_t generation_offset, std::size_t already_used,
-                       const Phase1StepHook& on_step, const engine::ObsConfig* obs) {
+                       const Phase1StepHook& on_step, const engine::ObsConfig* obs,
+                       const CancelToken* stop, bool* stopped) {
   const ParticipationProbability never = [](std::size_t) { return 0.0; };
   std::size_t used = already_used;
   while (used < max_generations && !evolver.all_active_partitions_feasible()) {
+    // Graceful-stop barrier. Returning here skips the infeasible-partition
+    // discard below on purpose: the discard belongs to phase-I COMPLETION,
+    // and a resumed run must re-enter this loop in the pre-discard state.
+    if (stop != nullptr && stop->requested()) {
+      if (stopped != nullptr) *stopped = true;
+      return used;
+    }
     evolver.step(never);
     if (on_generation) on_generation(generation_offset + used, evolver.population());
     if (obs != nullptr) {
@@ -42,6 +50,8 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
   evolver_params.threads = params.threads;
   evolver_params.eval_cache = params.eval_cache;
   evolver_params.sink = params.sink;
+  evolver_params.eval_deadline_s = params.eval_deadline_s;
+  evolver_params.eval_cancel = params.eval_cancel;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);
@@ -57,56 +67,77 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
   }
   PartitionedEvolver& evolver = *engine;
 
-  const auto maybe_snapshot = [&params, &evolver](bool done, std::size_t gen_t_now) {
-    if (params.snapshot_every == 0 || !params.on_snapshot) return;
-    if (evolver.generation() == 0 || evolver.generation() % params.snapshot_every != 0) return;
+  const auto force_snapshot = [&params, &evolver](bool done, std::size_t gen_t_now) {
+    if (!params.on_snapshot) return;
     SacgaState state;
     state.evolver = evolver.snapshot();
     state.phase1_done = done;
     state.phase1_generations = gen_t_now;
     params.on_snapshot(state);
   };
+  /// True when the regular cadence would snapshot at the current generation.
+  const auto at_snapshot_barrier = [&params, &evolver] {
+    return params.snapshot_every > 0 && evolver.generation() != 0 &&
+           evolver.generation() % params.snapshot_every == 0;
+  };
+  const auto maybe_snapshot = [&](bool done, std::size_t gen_t_now) {
+    if (at_snapshot_barrier()) force_snapshot(done, gen_t_now);
+  };
 
   SacgaResult result;
+  bool phase1_stopped = false;
   if (!phase1_done) {
     gen_t = run_phase1(
         evolver, params.phase1_max_generations, on_generation, 0, evolver.generation(),
         [&maybe_snapshot](const PartitionedEvolver&, std::size_t) { maybe_snapshot(false, 0); },
-        &params);
+        &params, params.stop, &phase1_stopped);
+    if (phase1_stopped) {
+      if (!at_snapshot_barrier()) force_snapshot(false, 0);
+      result.interrupted = true;
+    }
   }
   result.phase1_generations = gen_t;
   for (bool d : evolver.discarded()) {
     if (d) ++result.discarded_partitions;
   }
 
-  std::size_t span = params.span;
-  if (params.span_is_total_budget) {
-    ANADEX_REQUIRE(params.span > params.phase1_max_generations,
-                   "total budget must exceed the phase-I cap");
-    span = std::max<std::size_t>(params.span - result.phase1_generations, 1);
-  }
-
-  const AnnealingSchedule schedule = AnnealingSchedule::shaped(
-      params.shape, params.alpha, params.t_init, params.n_desired, span);
-  if constexpr (kCheckInvariants) schedule.require_monotone_cooling();
-
-  // A restored evolver may already be partway through phase II.
-  const std::size_t start_offset =
-      evolver.generation() > gen_t ? evolver.generation() - gen_t : 0;
-  for (std::size_t offset = start_offset; offset < span; ++offset) {
-    const ParticipationProbability prob = [&schedule, offset](std::size_t i) {
-      return schedule.participation_probability(i, offset);
-    };
-    evolver.step(prob);
-    if (on_generation) {
-      on_generation(result.phase1_generations + offset, evolver.population());
+  if (!result.interrupted) {
+    std::size_t span = params.span;
+    if (params.span_is_total_budget) {
+      ANADEX_REQUIRE(params.span > params.phase1_max_generations,
+                     "total budget must exceed the phase-I cap");
+      span = std::max<std::size_t>(params.span - result.phase1_generations, 1);
     }
-    moga::trace_generation(params.sink, result.phase1_generations + offset,
-                           evolver.evaluations(), evolver.population(),
-                           params.trace_hypervolume);
-    trace_sacga_generation(params.sink, evolver, result.phase1_generations + offset,
-                           /*phase=*/1, &schedule, offset);
-    maybe_snapshot(true, gen_t);
+
+    const AnnealingSchedule schedule = AnnealingSchedule::shaped(
+        params.shape, params.alpha, params.t_init, params.n_desired, span);
+    if constexpr (kCheckInvariants) schedule.require_monotone_cooling();
+
+    // A restored evolver may already be partway through phase II.
+    const std::size_t start_offset =
+        evolver.generation() > gen_t ? evolver.generation() - gen_t : 0;
+    for (std::size_t offset = start_offset; offset < span; ++offset) {
+      const ParticipationProbability prob = [&schedule, offset](std::size_t i) {
+        return schedule.participation_probability(i, offset);
+      };
+      evolver.step(prob);
+      if (on_generation) {
+        on_generation(result.phase1_generations + offset, evolver.population());
+      }
+      moga::trace_generation(params.sink, result.phase1_generations + offset,
+                             evolver.evaluations(), evolver.population(),
+                             params.trace_hypervolume);
+      trace_sacga_generation(params.sink, evolver, result.phase1_generations + offset,
+                             /*phase=*/1, &schedule, offset);
+      maybe_snapshot(true, gen_t);
+
+      // Graceful-stop barrier (see nsga2.cpp).
+      if (params.stop != nullptr && params.stop->requested() && offset + 1 < span) {
+        if (!at_snapshot_barrier()) force_snapshot(true, gen_t);
+        result.interrupted = true;
+        break;
+      }
+    }
   }
 
   result.front = evolver.global_front();

@@ -61,6 +61,7 @@ struct SacgaResult {
   std::size_t phase1_generations = 0;  ///< the paper's gen_t
   std::size_t discarded_partitions = 0;
   engine::EvalStats eval_stats;      ///< requested/distinct/cache-hit accounting
+  bool interrupted = false;          ///< stop token ended the run early (snapshotted)
 };
 
 /// Runs SACGA. `on_generation` (if given) sees every generation of both
@@ -79,10 +80,15 @@ using Phase1StepHook = std::function<void(const PartitionedEvolver&, std::size_t
 /// generations already spent (the restored evolver's generation count).
 /// `obs` (optional) carries the telemetry sink: each phase-I generation
 /// records the "gen" + "sacga" trace events with phase = 0.
+/// `stop` (optional) is polled at the generation barrier: when raised, the
+/// function returns early — WITHOUT discarding infeasible partitions, so a
+/// resumed run re-enters phase I exactly where it left off — and sets
+/// `*stopped` (when given) to true.
 std::size_t run_phase1(PartitionedEvolver& evolver, std::size_t max_generations,
                        const moga::GenerationCallback& on_generation,
                        std::size_t generation_offset, std::size_t already_used = 0,
                        const Phase1StepHook& on_step = {},
-                       const engine::ObsConfig* obs = nullptr);
+                       const engine::ObsConfig* obs = nullptr,
+                       const CancelToken* stop = nullptr, bool* stopped = nullptr);
 
 }  // namespace anadex::sacga

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancel.hpp"
 #include "common/check.hpp"
 #include "expt/figures.hpp"
 #include "problems/spec_suite.hpp"
 
 #include <cstdio>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -191,10 +193,111 @@ TEST(Runner, ValidatesSettingsUpFront) {
   }
   {
     RunSettings s = smoke_settings(Algo::TPG);
-    s.resume = true;  // no checkpoint path
+    s.resume = ResumeMode::Strict;  // no checkpoint path
     EXPECT_THROW(validate_run_settings(s), PreconditionError);
   }
   EXPECT_NO_THROW(validate_run_settings(smoke_settings(Algo::MESACGA)));
+}
+
+TEST(Runner, ValidationRejectsDegenerateGuardAndWatchdogSettings) {
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.guard.max_retries = 1001;  // runaway retry ladder
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.guard.penalty_objective = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.guard.penalty_violation = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.guard.perturbation = 0.0;  // retries would re-evaluate identical genes
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+    s.guard.perturbation = -1e-6;
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+    s.guard.perturbation = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.guard.backoff_spin_base = std::size_t{1} << 40;  // years of spinning
+    EXPECT_THROW(validate_run_settings(s), PreconditionError);
+  }
+  for (double deadline : {0.0, -1.0, std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity()}) {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.eval_deadline_s = deadline;
+    EXPECT_THROW(validate_run_settings(s), PreconditionError) << deadline;
+  }
+  for (std::size_t keep : {std::size_t{0}, std::size_t{101}}) {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.checkpoint_keep = keep;
+    EXPECT_THROW(validate_run_settings(s), PreconditionError) << keep;
+  }
+  {
+    RunSettings s = smoke_settings(Algo::TPG);
+    s.eval_deadline_s = 30.0;
+    s.checkpoint_keep = 5;
+    EXPECT_NO_THROW(validate_run_settings(s));
+  }
+}
+
+TEST(Runner, StopTokenInterruptsAtTheBarrierAndResumeAutoFinishes) {
+  const problems::IntegratorProblem problem(easy_spec());
+  for (Algo algo : {Algo::TPG, Algo::SPEA2, Algo::LocalOnly, Algo::Island}) {
+    const auto full = run(problem, smoke_settings(algo));
+
+    CancelToken stop;
+    RunSettings interrupted = smoke_settings(algo);
+    interrupted.checkpoint_path =
+        testing::TempDir() + "anadex_stop_" + algo_name(algo) + ".cp";
+    interrupted.checkpoint_every = 16;
+    interrupted.checkpoint_keep = 2;
+    interrupted.stop = &stop;
+    interrupted.on_generation = [&stop](std::size_t gen, const moga::Population&) {
+      if (gen + 1 == 11) stop.request();  // off the snapshot cadence
+    };
+    const auto partial = run(problem, interrupted);
+    EXPECT_TRUE(partial.interrupted) << algo_name(algo);
+    EXPECT_LT(partial.generations, full.generations) << algo_name(algo);
+
+    RunSettings resuming = smoke_settings(algo);
+    resuming.checkpoint_path = interrupted.checkpoint_path;
+    resuming.checkpoint_every = 16;
+    resuming.resume = ResumeMode::Auto;
+    const auto resumed = run(problem, resuming);
+    EXPECT_FALSE(resumed.interrupted) << algo_name(algo);
+    EXPECT_FALSE(resumed.resumed_from_path.empty()) << algo_name(algo);
+    EXPECT_EQ(resumed.evaluations, full.evaluations) << algo_name(algo);
+    ASSERT_EQ(resumed.front.size(), full.front.size()) << algo_name(algo);
+    for (std::size_t i = 0; i < full.front.size(); ++i) {
+      EXPECT_EQ(resumed.front[i].power_w, full.front[i].power_w) << algo_name(algo);
+      EXPECT_EQ(resumed.front[i].cload_f, full.front[i].cload_f) << algo_name(algo);
+    }
+    for (const char* suffix : {"", ".1"}) {
+      std::remove((interrupted.checkpoint_path + suffix).c_str());
+    }
+  }
+}
+
+TEST(Runner, ResumeAutoStartsFreshWithoutACheckpoint) {
+  const problems::IntegratorProblem problem(easy_spec());
+  RunSettings s = smoke_settings(Algo::TPG);
+  s.checkpoint_path = testing::TempDir() + "anadex_auto_fresh.cp";
+  s.checkpoint_every = 16;
+  s.resume = ResumeMode::Auto;
+  std::remove(s.checkpoint_path.c_str());
+  const auto outcome = run(problem, s);  // Strict would throw here
+  EXPECT_EQ(outcome.resumed_from_generation, 0u);
+  EXPECT_TRUE(outcome.resumed_from_path.empty());
+  EXPECT_EQ(outcome.generations, smoke_settings(Algo::TPG).generations);
+  std::remove(s.checkpoint_path.c_str());
 }
 
 TEST(Runner, CheckpointResumeReproducesUninterruptedRun) {
@@ -212,7 +315,7 @@ TEST(Runner, CheckpointResumeReproducesUninterruptedRun) {
     (void)run(problem, interrupted);
 
     RunSettings resuming = interrupted;
-    resuming.resume = true;
+    resuming.resume = ResumeMode::Strict;
     const auto resumed = run(problem, resuming);
 
     EXPECT_EQ(resumed.resumed_from_generation, 16u) << algo_name(algo);
@@ -242,7 +345,7 @@ TEST(Runner, HistorySurvivesCheckpointResume) {
   (void)run(problem, interrupted);
 
   RunSettings resuming = interrupted;
-  resuming.resume = true;
+  resuming.resume = ResumeMode::Strict;
   const auto resumed = run(problem, resuming);
 
   ASSERT_EQ(resumed.history.size(), full.history.size());
@@ -262,12 +365,12 @@ TEST(Runner, ResumeRejectsMismatchedConfiguration) {
   (void)run(problem, s);
 
   RunSettings other = s;
-  other.resume = true;
+  other.resume = ResumeMode::Strict;
   other.seed = s.seed + 1;  // different run identity
   EXPECT_THROW(run(problem, other), PreconditionError);
 
   RunSettings wrong_algo = s;
-  wrong_algo.resume = true;
+  wrong_algo.resume = ResumeMode::Strict;
   wrong_algo.algo = Algo::SACGA;  // meta.algo differs
   EXPECT_THROW(run(problem, wrong_algo), PreconditionError);
 

@@ -1,0 +1,206 @@
+// End-to-end chaos matrix (docs/robustness.md): a run under deterministic
+// evaluator faults is crashed mid-checkpoint-write, auto-recovered, killed
+// again at a seeded generation via the graceful-stop token, auto-resumed,
+// and must finish with a final front AND final checkpoint file that are
+// byte-identical to an uninterrupted run — for worker thread counts 1 and 8.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.hpp"
+#include "expt/runner.hpp"
+#include "problems/spec_suite.hpp"
+#include "robust/chaos.hpp"
+
+namespace anadex::expt {
+namespace {
+
+constexpr std::uint64_t kChaosSeed = 2026;
+constexpr std::size_t kGenerations = 24;  // multiple of the snapshot cadence
+constexpr std::size_t kCheckpointEvery = 8;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void remove_chain(const std::string& base) {
+  for (const char* suffix : {"", ".1", ".2", ".tmp"}) {
+    std::remove((base + suffix).c_str());
+  }
+}
+
+RunSettings chaos_settings(Algo algo, std::size_t threads,
+                           const robust::ChaosPlan& plan) {
+  RunSettings s;
+  s.algo = algo;
+  s.spec = problems::spec_suite().front();
+  s.population = 32;
+  s.generations = kGenerations;
+  s.partitions = 4;
+  s.mesacga_schedule = {4, 2, 1};
+  s.phase1_cap = 10;
+  s.seed = 9;
+  s.threads = threads;
+  s.checkpoint_every = kCheckpointEvery;
+  s.checkpoint_keep = 3;
+  s.fault_injection = plan.faults;
+  // Deliberately NO eval deadline here: a fired watchdog trades determinism
+  // for liveness, and this matrix asserts byte-identity.
+  return s;
+}
+
+struct PipelineResult {
+  std::vector<FrontSample> front;
+  std::string checkpoint_bytes;  ///< final slot-0 checkpoint file
+  std::size_t evaluations = 0;
+  std::size_t total_faults = 0;
+};
+
+/// The uninterrupted reference: one clean run under the plan's faults.
+PipelineResult run_baseline(const problems::IntegratorProblem& problem, Algo algo,
+                            std::size_t threads, const robust::ChaosPlan& plan,
+                            const std::string& path) {
+  remove_chain(path);
+  RunSettings s = chaos_settings(algo, threads, plan);
+  s.checkpoint_path = path;
+  const auto outcome = run(problem, s);
+  PipelineResult result;
+  result.front = outcome.front;
+  result.checkpoint_bytes = slurp(path);
+  result.evaluations = outcome.evaluations;
+  result.total_faults = outcome.faults.total_faults();
+  remove_chain(path);
+  return result;
+}
+
+/// The chaotic pipeline: crash during a checkpoint write, recover with
+/// `--resume auto`, get killed at the plan's generation, resume again.
+PipelineResult run_chaotic(const problems::IntegratorProblem& problem, Algo algo,
+                           std::size_t threads, const robust::ChaosPlan& plan,
+                           const std::string& path, bool* crashed, bool* killed) {
+  remove_chain(path);
+
+  // Leg 1: die between a checkpoint's temp write and its rename.
+  auto completed = std::make_shared<std::size_t>(0);
+  RunSettings s = chaos_settings(algo, threads, plan);
+  s.checkpoint_path = path;
+  s.checkpoint_write_hook =
+      robust::make_crashing_write_hook(plan.crash_at_write, completed);
+  *crashed = false;
+  try {
+    (void)run(problem, s);
+  } catch (const robust::InjectedCrash&) {
+    *crashed = true;
+  }
+
+  // Leg 2: recover past whatever the crash left behind, then take a SIGINT
+  // stand-in at the plan's kill generation.
+  CancelToken stop;
+  RunSettings resume = chaos_settings(algo, threads, plan);
+  resume.checkpoint_path = path;
+  resume.resume = ResumeMode::Auto;
+  resume.stop = &stop;
+  resume.on_generation = [&stop, &plan](std::size_t gen, const moga::Population&) {
+    if (gen + 1 >= plan.kill_generation) stop.request();
+  };
+  const auto interrupted = run(problem, resume);
+  *killed = interrupted.interrupted;
+
+  // Leg 3: finish the job.
+  RunSettings finish = chaos_settings(algo, threads, plan);
+  finish.checkpoint_path = path;
+  finish.resume = ResumeMode::Auto;
+  const auto outcome = run(problem, finish);
+  EXPECT_FALSE(outcome.interrupted);
+
+  PipelineResult result;
+  result.front = outcome.front;
+  result.checkpoint_bytes = slurp(path);
+  result.evaluations = outcome.evaluations;
+  result.total_faults = outcome.faults.total_faults();
+  remove_chain(path);
+  return result;
+}
+
+void expect_identical(const PipelineResult& a, const PipelineResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.evaluations, b.evaluations) << label;
+  ASSERT_EQ(a.front.size(), b.front.size()) << label;
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].power_w, b.front[i].power_w) << label << " #" << i;
+    EXPECT_EQ(a.front[i].cload_f, b.front[i].cload_f) << label << " #" << i;
+  }
+  EXPECT_EQ(a.checkpoint_bytes, b.checkpoint_bytes) << label;
+}
+
+void run_matrix(Algo algo, const char* tag) {
+  const auto plan = robust::ChaosPlan::from_seed(kChaosSeed, kGenerations);
+  const problems::IntegratorProblem problem(problems::spec_suite().front());
+  const std::string base = testing::TempDir() + "anadex_chaos_" + tag;
+
+  const PipelineResult reference =
+      run_baseline(problem, algo, 1, plan, base + "_ref.cp");
+  // The plan's fault rates must actually have bitten, or this test proves
+  // nothing about recovery under faults.
+  EXPECT_GT(reference.total_faults, 0u) << tag;
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    bool crashed = false;
+    bool killed = false;
+    const PipelineResult chaotic = run_chaotic(
+        problem, algo, threads, plan, base + "_t" + std::to_string(threads) + ".cp",
+        &crashed, &killed);
+    const std::string label =
+        std::string(tag) + " threads=" + std::to_string(threads);
+    EXPECT_TRUE(killed) << label << ": stop token never interrupted the run";
+    expect_identical(reference, chaotic, label);
+
+    // Thread count is a pure execution knob: the uninterrupted runs must
+    // also agree byte-for-byte across the matrix.
+    if (threads != 1) {
+      const PipelineResult wide =
+          run_baseline(problem, algo, threads, plan, base + "_wide.cp");
+      expect_identical(reference, wide, label + " baseline");
+    }
+  }
+}
+
+TEST(ChaosRecovery, Nsga2SurvivesCrashKillAndResumeBitIdentically) {
+  run_matrix(Algo::TPG, "tpg");
+}
+
+TEST(ChaosRecovery, MesacgaSurvivesCrashKillAndResumeBitIdentically) {
+  run_matrix(Algo::MESACGA, "mesacga");
+}
+
+TEST(ChaosRecovery, InjectedWriteCrashIsActuallyExercised) {
+  // The NSGA-II leg writes exactly generations/checkpoint_every snapshots,
+  // so the plan's 1-based crash ordinal (<= 3) must always hit.
+  const auto plan = robust::ChaosPlan::from_seed(kChaosSeed, kGenerations);
+  ASSERT_GE(plan.crash_at_write, 1u);
+  ASSERT_LE(plan.crash_at_write, kGenerations / kCheckpointEvery);
+
+  const problems::IntegratorProblem problem(problems::spec_suite().front());
+  const std::string path = testing::TempDir() + "anadex_chaos_crashcheck.cp";
+  remove_chain(path);
+  auto completed = std::make_shared<std::size_t>(0);
+  RunSettings s = chaos_settings(Algo::TPG, 1, plan);
+  s.checkpoint_path = path;
+  s.checkpoint_write_hook =
+      robust::make_crashing_write_hook(plan.crash_at_write, completed);
+  EXPECT_THROW((void)run(problem, s), robust::InjectedCrash);
+  EXPECT_EQ(*completed, plan.crash_at_write - 1);
+  remove_chain(path);
+}
+
+}  // namespace
+}  // namespace anadex::expt

@@ -1,0 +1,26 @@
+// Fixture for the process-control rule: raw teardown/signal calls that
+// bypass src/robust/shutdown*. Linted with --pretend-path src/engine
+// (three violations + one suppression) and tests/common (exempt).
+#include <csignal>
+#include <cstdlib>
+
+void hard_stop(int code) {
+  std::signal(SIGTERM, SIG_DFL);
+  std::abort();
+  exit(code);
+}
+
+void justified_crash_point() {
+  // The chaos harness's injected crash must bypass destructors.
+  _exit(3);  // anadex-lint: allow(process-control)
+}
+
+struct Simulator {
+  int exit_code = 0;
+  void shutdown();
+};
+
+void fine(Simulator& sim) {
+  sim.shutdown();        // member calls are not process teardown
+  sim.exit_code = 130;   // nor is a field that merely mentions exit
+}

@@ -106,6 +106,27 @@ class LintFixtureTest(unittest.TestCase):
         lines = sorted(v["line"] for v in report["violations"])
         self.assertEqual(lines, [2, 5])  # include + call, not static_assert
 
+    def test_process_control_fixture(self):
+        code, report = self.lint_fixture("process_control.cpp",
+                                         pretend="src/engine")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report), ["process-control"] * 3)
+        self.assertEqual(suppressed_rules_of(report), ["process-control"])
+        lines = sorted(v["line"] for v in report["violations"])
+        self.assertEqual(lines, [8, 9, 10])  # signal, abort, exit
+
+    def test_process_control_exempt_in_shutdown_module(self):
+        code, report = self.lint_fixture("process_control.cpp",
+                                         pretend="src/robust/shutdown")
+        self.assertEqual(code, 0)
+        self.assertEqual(rules_of(report), [])
+
+    def test_process_control_exempt_in_tests(self):
+        # Tests raise signals at themselves and use `signal` as a DSP name.
+        code, report = self.lint_fixture("process_control.cpp",
+                                         pretend="tests/common")
+        self.assertEqual(code, 0)
+
     def test_clean_fixture(self):
         code, report = self.lint_fixture("clean.cpp", pretend="src/engine")
         self.assertEqual(code, 0)

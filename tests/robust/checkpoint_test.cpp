@@ -3,12 +3,14 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 
 namespace anadex::robust {
@@ -255,29 +257,63 @@ TEST(Checkpoint, RequiresExactlyOneState) {
   EXPECT_THROW(save_checkpoint(stream, cp), PreconditionError);  // two states
 }
 
+std::string valid_checkpoint_text() {
+  Checkpoint cp = base_checkpoint();
+  cp.nsga2 = moga::Nsga2State{};
+  cp.nsga2->parents = make_population();
+  std::stringstream stream;
+  save_checkpoint(stream, cp);
+  return stream.str();
+}
+
 TEST(Checkpoint, RejectsMalformedInput) {
   {
+    // Version gate fires before anything else, naming both versions.
     std::stringstream stream("anadex-checkpoint v99\n");
-    EXPECT_THROW(load_checkpoint(stream), PreconditionError);
+    try {
+      load_checkpoint(stream, "test.cp");
+      FAIL() << "expected PreconditionError";
+    } catch (const PreconditionError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("test.cp"), std::string::npos) << what;
+      EXPECT_NE(what.find("anadex-checkpoint v2"), std::string::npos) << what;
+      EXPECT_NE(what.find("anadex-checkpoint v99"), std::string::npos) << what;
+    }
   }
   {
-    std::stringstream stream("anadex-checkpoint v1\nmeta SACGA 1 4\n");
-    EXPECT_THROW(load_checkpoint(stream), PreconditionError);  // short meta
-  }
-  {
-    Checkpoint cp = base_checkpoint();
-    cp.nsga2 = moga::Nsga2State{};
-    std::stringstream stream;
-    save_checkpoint(stream, cp);
-    std::string text = stream.str();
+    std::string text = valid_checkpoint_text();
     text = text.substr(0, text.size() / 2);  // truncate mid-file
     std::stringstream half(text);
     EXPECT_THROW(load_checkpoint(half), PreconditionError);
   }
   {
-    std::stringstream stream(
-        "anadex-checkpoint v1\nmeta X 1 4 10\nconfig c\nfaults 0 0 0 0 0 0\n"
-        "fault-genes 0\nfault-message \nhistory 0\nstate martian\n");
+    // Flip one byte of the body: the checksum must catch it.
+    std::string text = valid_checkpoint_text();
+    text[text.size() / 3] ^= 0x08;
+    std::stringstream corrupt(text);
+    try {
+      load_checkpoint(corrupt, "flipped.cp");
+      FAIL() << "expected PreconditionError";
+    } catch (const PreconditionError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("flipped.cp"), std::string::npos) << what;
+      EXPECT_NE(what.find("checksum"), std::string::npos) << what;
+    }
+  }
+  {
+    // Unknown state kind, with the trailer recomputed so only the body
+    // parser can object.
+    std::string text = valid_checkpoint_text();
+    const auto state_at = text.find("\nstate nsga2");
+    ASSERT_NE(state_at, std::string::npos);
+    text.replace(state_at, 12, "\nstate alien");
+    const auto end_at = text.rfind("\nend\n");
+    ASSERT_NE(end_at, std::string::npos);
+    const std::string body = text.substr(0, end_at + 5);
+    std::ostringstream fixed;
+    fixed << body << "checksum " << std::hex << std::setw(16) << std::setfill('0')
+          << hash_bytes(body, 0) << "\n";
+    std::stringstream stream(fixed.str());
     EXPECT_THROW(load_checkpoint(stream), PreconditionError);
   }
 }

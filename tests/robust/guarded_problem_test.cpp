@@ -181,6 +181,57 @@ TEST(GuardedProblem, SetReportRestoresCumulativeCounters) {
   EXPECT_EQ(guard.report().penalized, 2u);
 }
 
+TEST(GuardedProblem, BackoffNeverChangesEvaluationResults) {
+  // The retry backoff is busy-spin only — a pure function of (genes,
+  // attempt index), never a wall-clock wait — so turning it on must leave
+  // every evaluation, clean or penalized, bit-identical.
+  GuardPolicy plain;
+  GuardPolicy spaced = plain;
+  spaced.backoff_spin_base = 256;
+  GuardedProblem without(flaky(), plain);
+  GuardedProblem with(flaky(), spaced);
+
+  const std::vector<std::vector<double>> genomes{
+      {0.1, 0.6},   // clean
+      {0.3, 0.2},   // throws on every retry → penalized
+      {0.6, 0.4},   // NaN objective → penalized or recovered
+  };
+  for (const auto& genes : genomes) {
+    const auto a = without.evaluated(genes);
+    const auto b = with.evaluated(genes);
+    ASSERT_EQ(a.objectives.size(), b.objectives.size());
+    for (std::size_t i = 0; i < a.objectives.size(); ++i) {
+      // EXPECT_EQ on doubles is bitwise here (no NaNs survive the guard).
+      EXPECT_EQ(a.objectives[i], b.objectives[i]);
+    }
+    EXPECT_EQ(a.violations, b.violations);
+  }
+  const auto ra = without.report();
+  const auto rb = with.report();
+  EXPECT_EQ(ra.exceptions, rb.exceptions);
+  EXPECT_EQ(ra.retries, rb.retries);
+  EXPECT_EQ(ra.recovered, rb.recovered);
+  EXPECT_EQ(ra.penalized, rb.penalized);
+}
+
+TEST(GuardedProblem, BackoffIsDeterministicAcrossInstances) {
+  GuardPolicy policy;
+  policy.backoff_spin_base = 64;
+  policy.max_retries = 3;
+  GuardedProblem first(flaky(), policy);
+  GuardedProblem second(flaky(), policy);
+  const std::vector<double> faulty{0.3, 0.9};
+  const auto a = first.evaluated(faulty);
+  const auto c = second.evaluated(faulty);
+  EXPECT_EQ(a.objectives, c.objectives);
+  EXPECT_EQ(first.report().retries, second.report().retries);
+  // Re-evaluating the same genes on the same instance doubles the tallies
+  // but yields the same evaluation — the Problem purity contract.
+  const auto b = first.evaluated(faulty);
+  EXPECT_EQ(a.objectives, b.objectives);
+  EXPECT_EQ(first.report().retries, 2 * second.report().retries);
+}
+
 TEST(HashGenes, IsStableAndSeedSensitive) {
   const std::vector<double> genes{0.25, -1.5, 3.75};
   EXPECT_EQ(hash_genes(genes, 1), hash_genes(genes, 1));

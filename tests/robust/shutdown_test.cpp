@@ -1,0 +1,39 @@
+// Graceful-shutdown wiring: the process-global stop token, handler
+// idempotence, and an actual SIGINT delivered to this test process. Each
+// gtest case runs in its own process under ctest, so raising a signal here
+// cannot leak into other tests — but within this file only ONE signal is
+// ever raised (the second would _exit by design).
+#include "robust/shutdown.hpp"
+
+#include <csignal>
+
+#include <gtest/gtest.h>
+
+namespace anadex::robust {
+namespace {
+
+TEST(Shutdown, TokenIsProcessGlobalAndResettable) {
+  CancelToken& token = shutdown_token();
+  EXPECT_EQ(&token, &shutdown_token());
+  EXPECT_FALSE(token.requested());
+  token.request();
+  EXPECT_TRUE(shutdown_token().requested());
+  token.reset();
+  EXPECT_FALSE(shutdown_token().requested());
+}
+
+TEST(Shutdown, FirstSignalRaisesTheStopToken) {
+#if defined(__unix__) || defined(__APPLE__)
+  install_shutdown_handlers();
+  install_shutdown_handlers();  // idempotent
+  ASSERT_FALSE(shutdown_token().requested());
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(shutdown_token().requested());
+  shutdown_token().reset();
+#else
+  GTEST_SKIP() << "no sigaction on this platform";
+#endif
+}
+
+}  // namespace
+}  // namespace anadex::robust
