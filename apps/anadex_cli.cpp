@@ -37,19 +37,42 @@
 //       Behavioral sigma-delta simulation with ideal integrators.
 //   anadex compare [--spec ...] [--generations N] [--seed S]
 //       All algorithms head-to-head on one specification.
+//   anadex serve --spool DIR [--threads T] [--eval-cache N] [--slice N]
+//                [--poll-ms M] [--drain] [--trace-level off|gen|eval]
+//       Multi-job exploration daemon (docs/serve.md). Watches DIR for
+//       one-line JSON job requests (*.job), admits them as expt::Jobs and
+//       round-robins generation slices over ONE shared evaluation engine
+//       (--threads workers, --eval-cache shared dedup capacity). Each
+//       job's front and checkpoints are byte-identical to a solo
+//       `anadex explore` of the same settings. Per-job results land in
+//       DIR/<id>.result.json (+ .front.csv, .trace.jsonl); service stats
+//       in DIR/serve_stats.json. SIGINT snapshots every running job at
+//       its generation barrier and exits 130; a restarted daemon resumes
+//       them. --drain exits when the spool is empty (CI one-shot mode).
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/args.hpp"
 #include "common/check.hpp"
 #include "engine/eval_engine.hpp"
 #include "expt/figures.hpp"
+#include "expt/job.hpp"
 #include "expt/runner.hpp"
 #include "obs/event_sink.hpp"
+#include "obs/jsonl_writer.hpp"
+#include "obs/stats_snapshot.hpp"
 #include "problems/integrator_problem.hpp"
 #include "problems/spec_suite.hpp"
 #include "robust/shutdown.hpp"
+#include "serve/job_request.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/spool.hpp"
 #include "sysdes/modulator_sim.hpp"
 
 namespace {
@@ -58,7 +81,7 @@ using namespace anadex;
 
 int usage() {
   std::cout <<
-      "usage: anadex <specs|explore|evaluate|simulate|compare> [options]\n"
+      "usage: anadex <specs|explore|evaluate|simulate|compare|serve> [options]\n"
       "  specs                          list the 20 graded specifications\n"
       "  explore  --algo A --spec S --generations N [--population N]\n"
       "           [--partitions M] [--seed S] [--threads T] [--eval-cache N]\n"
@@ -77,7 +100,14 @@ int usage() {
       "            --trace: JSONL run telemetry, see docs/observability.md)\n"
       "  evaluate --genes g1,...,g15 [--spec S]\n"
       "  simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]\n"
-      "  compare  [--spec S] [--generations N] [--seed S] [--threads T]\n";
+      "  compare  [--spec S] [--generations N] [--seed S] [--threads T]\n"
+      "  serve    --spool DIR [--threads T] [--eval-cache N] [--slice N]\n"
+      "           [--poll-ms M] [--drain] [--trace-level off|gen|eval]\n"
+      "           (multi-job daemon over one shared engine; drop one-line\n"
+      "            JSON requests as DIR/*.job, results appear as\n"
+      "            DIR/<id>.result.json — see docs/serve.md;\n"
+      "            --slice: generations per round-robin turn;\n"
+      "            --drain: exit once the spool is empty)\n";
   return 2;
 }
 
@@ -168,7 +198,10 @@ int cmd_explore(const ArgParser& args) {
   std::cout << "exploring spec '" << settings.spec.name << "' with "
             << expt::algo_name(settings.algo) << " (" << settings.generations
             << " generations, population " << settings.population << ")\n";
-  const auto outcome = expt::run(settings);
+  // One exploration == one Job run to completion; `anadex serve` runs the
+  // same Jobs preemptively, many at a time.
+  expt::Job job = expt::Job::from_settings(settings);
+  const auto outcome = job.run();
 
   if (outcome.resumed_from_generation > 0) {
     std::cout << "resumed from '" << outcome.resumed_from_path
@@ -276,8 +309,214 @@ int cmd_compare(const ArgParser& args) {
                     expt::Algo::SACGA, expt::Algo::MESACGA, expt::Algo::Island,
                     expt::Algo::WeightedSum}) {
     settings.algo = algo;
-    const auto outcome = expt::run(problem, settings);
+    expt::Job job(problem, settings);
+    const auto outcome = job.run();
     expt::print_outcome_summary(std::cout, expt::algo_name(algo), outcome);
+  }
+  return 0;
+}
+
+// The spool daemon (docs/serve.md). Deterministic core: admission order is
+// the lexicographic filename order of the request files, slicing is pure
+// generation counting, and every job's evaluations flow through one shared
+// hub engine with a context-partitioned dedup cache — so for a fixed set
+// of requests the per-job fronts, checkpoints and gen-level traces are
+// byte-identical to solo `anadex explore` runs of the same settings. Only
+// the polling sleep and stats timestamps touch the clock, and neither
+// feeds back into results.
+int cmd_serve(const ArgParser& args) {
+  namespace fs = std::filesystem;
+  const std::string spool_arg = args.get("spool", "");
+  ANADEX_REQUIRE(!spool_arg.empty(), "serve needs --spool DIR");
+  const fs::path spool(spool_arg);
+  fs::create_directories(spool);
+  const std::size_t threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  const std::size_t cache_capacity =
+      static_cast<std::size_t>(args.get_int("eval-cache", 1 << 16));
+  const std::size_t slice = static_cast<std::size_t>(args.get_int("slice", 25));
+  const long long poll_ms = args.get_int("poll-ms", 200);
+  const bool drain = args.get_flag("drain");
+  const auto trace_level =
+      obs::trace_level_from_string(args.get("trace-level", "gen"));
+  warn_unused(args);
+  ANADEX_REQUIRE(poll_ms >= 0, "--poll-ms must be >= 0");
+
+  // SIGINT/SIGTERM raise the shutdown token: the current slice stops at its
+  // next generation barrier, every running job snapshots, and a restarted
+  // daemon resumes them all (ResumeMode::Auto at admission).
+  robust::install_shutdown_handlers();
+  const CancelToken& stop = robust::shutdown_token();
+
+  // Service telemetry: one appended header..trailer segment per daemon
+  // lifetime (scripts/check_trace.py --segments).
+  std::optional<obs::JsonlTraceWriter> service_trace;
+  if (trace_level != obs::TraceLevel::Off) {
+    service_trace.emplace((spool / "serve_trace.jsonl").string(), trace_level,
+                          /*append=*/true);
+  }
+
+  engine::EvalEngine hub(threads, nullptr, cache_capacity);
+  serve::SchedulerConfig config;
+  config.slice_generations = slice;
+  config.hub = &hub;
+  config.stop = &stop;
+  config.sink = service_trace ? &*service_trace : nullptr;
+  serve::JobScheduler scheduler(config);
+
+  std::vector<bool> reported;      // slot -> result file written
+  std::set<std::string> admitted;  // ids, to refuse duplicates
+
+  const auto write_stats = [&] {
+    obs::StatsSnapshot snap;
+    const serve::ServiceStats& st = scheduler.stats();
+    snap.set("schema", std::string_view("anadex-serve-stats/v1"));
+    snap.set("admitted", st.admitted);
+    snap.set("rejected", st.rejected);
+    snap.set("slices", st.slices);
+    snap.set("preemptions", st.preemptions);
+    snap.set("done", st.done);
+    snap.set("failed", st.failed);
+    snap.set("cancelled", st.cancelled);
+    const std::uint64_t terminal = st.done + st.failed + st.cancelled;
+    snap.set("active", st.admitted - terminal);
+    snap.set("engine_threads", std::uint64_t{hub.threads()});
+    snap.set("engine_busy_batches", hub.busy_batches());
+    snap.set("engine_busy_seconds", hub.busy_seconds());
+    const engine::EvalStats& es = hub.stats();
+    snap.set("eval_requested", es.requested);
+    snap.set("eval_evaluated", es.evaluated);
+    snap.set("eval_cache_hits", es.cache_hits());
+    snap.set("cache_hit_rate",
+             es.requested == 0
+                 ? 0.0
+                 : static_cast<double>(es.cache_hits()) /
+                       static_cast<double>(es.requested));
+    snap.write(spool / "serve_stats.json");
+  };
+
+  // `fallback_id` is the request filename stem — the reject-report id when
+  // parsing dies before the request's own id is known. In recovery mode
+  // (claimed by a previous daemon run) already-reported requests are
+  // skipped silently so restarts stay idempotent.
+  const auto admit_claimed = [&](const fs::path& claimed,
+                                 std::string fallback_id, bool recovery) {
+    std::string id = std::move(fallback_id);
+    try {
+      serve::JobRequest parsed =
+          serve::parse_job_request(serve::read_request_line(claimed));
+      id = parsed.id;
+      if (recovery && fs::exists(serve::result_path(spool, id))) return;
+      ANADEX_REQUIRE(admitted.find(id) == admitted.end(),
+                     "job request: duplicate id \"" + id + "\"");
+      expt::RunSettings settings = std::move(parsed.settings);
+      // Service-owned execution knobs. The hub's pool and cache serve
+      // every job (per-run threads/eval_cache are inert under a shared
+      // handle, which scheduler.admit stamps in).
+      settings.threads = 1;
+      settings.eval_cache = 0;
+      settings.stop = &stop;
+      settings.trace_path = (spool / (id + ".trace.jsonl")).string();
+      settings.trace_level = trace_level;
+      if (settings.algo != expt::Algo::WeightedSum) {
+        // Preemption + daemon-restart recovery ride the checkpoint chain.
+        // WeightedSum does not checkpoint; it runs whole in one slice.
+        settings.checkpoint_path = (spool / (id + ".ckpt")).string();
+        settings.checkpoint_keep = 2;
+        settings.resume = expt::ResumeMode::Auto;
+      }
+      scheduler.admit(id, std::move(settings));
+      admitted.insert(id);
+      reported.push_back(false);
+      std::cout << (recovery ? "recovered job '" : "admitted job '") << id
+                << "'\n";
+    } catch (const std::exception& e) {
+      if (recovery && serve::valid_job_id(id) &&
+          fs::exists(serve::result_path(spool, id))) {
+        return;  // this rejection was already reported before the restart
+      }
+      scheduler.note_rejected();
+      std::cerr << "rejected request " << claimed.filename().string() << ": "
+                << e.what() << "\n";
+      if (serve::valid_job_id(id)) {
+        serve::JobResult result;
+        result.id = id;
+        result.state = "rejected";
+        result.error = e.what();
+        serve::write_result_file(spool, result);
+      }
+    }
+  };
+
+  const auto admit_new = [&] {
+    for (const fs::path& request : serve::pending_requests(spool)) {
+      if (stop.requested()) return;
+      const fs::path claimed = serve::claim_request(request);
+      admit_claimed(claimed, request.stem().string(), /*recovery=*/false);
+    }
+  };
+
+  const auto report_terminal = [&] {
+    for (std::size_t slot = 0; slot < scheduler.size(); ++slot) {
+      if (reported[slot]) continue;
+      const expt::Job& job = scheduler.job(slot);
+      const expt::JobState state = job.state();
+      if (state != expt::JobState::Done && state != expt::JobState::Failed &&
+          state != expt::JobState::Cancelled) {
+        continue;
+      }
+      serve::JobResult result;
+      result.id = scheduler.id(slot);
+      result.state = expt::job_state_name(state);
+      result.error = job.error();
+      result.has_outcome = state == expt::JobState::Done;
+      if (result.has_outcome) result.outcome = job.outcome();
+      serve::write_result_file(spool, result);
+      if (state == expt::JobState::Done) {
+        // Same writer and format as `explore --csv`, so a serve front can
+        // be diffed byte-for-byte against a solo run's.
+        std::ofstream csv(spool / (result.id + ".front.csv"));
+        ANADEX_REQUIRE(csv.good(), "serve: cannot write front csv for " + result.id);
+        expt::front_series("front", job.outcome().front).write_csv(csv);
+      }
+      reported[slot] = true;
+      std::cout << "job '" << result.id << "' " << result.state << " ("
+                << job.generations_done() << " generations, "
+                << job.slices_run() << " slices)\n";
+    }
+  };
+
+  std::cout << "serving spool " << spool.string() << " (engine threads "
+            << hub.threads() << ", shared cache " << cache_capacity
+            << ", slice " << slice << " generations"
+            << (drain ? ", drain" : "") << ")\n";
+  // Startup recovery: requests a previous daemon claimed but never
+  // reported are re-admitted first (filename order, so contexts and the
+  // schedule replay deterministically); their checkpoint chains resume
+  // them via ResumeMode::Auto.
+  for (const fs::path& taken : serve::taken_requests(spool)) {
+    // "<name>.job.taken" -> "<name>".
+    admit_claimed(taken, taken.stem().stem().string(), /*recovery=*/true);
+  }
+  for (;;) {
+    if (stop.requested()) break;
+    admit_new();
+    const bool progressed = scheduler.step();
+    report_terminal();
+    write_stats();
+    if (!progressed) {
+      if (drain || stop.requested()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+  }
+  report_terminal();
+  write_stats();
+
+  if (stop.requested()) {
+    std::cout << "shutdown: snapshotted jobs will resume on the next serve\n";
+    return 130;  // same convention as an interrupted explore
+  }
+  for (std::size_t slot = 0; slot < scheduler.size(); ++slot) {
+    if (scheduler.job(slot).state() == expt::JobState::Failed) return 1;
   }
   return 0;
 }
@@ -294,6 +533,7 @@ int main(int argc, char** argv) {
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "compare") return cmd_compare(args);
+    if (command == "serve") return cmd_serve(args);
     std::cerr << "unknown command '" << command << "'\n";
     return usage();
   } catch (const std::exception& e) {

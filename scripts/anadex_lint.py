@@ -71,7 +71,11 @@ SKIPPED_DIR_PARTS = ("tests/lint/fixtures",)
 
 # Directories whose iteration order / float text reaches checkpoints,
 # fronts or traces.  Hash-order containers here need a justification.
-DETERMINISTIC_DIRS = ("src/engine", "src/moga", "src/sacga", "src/expt")
+# src/serve is included because the scheduler's admission order, slicing
+# and result files are part of the byte-identical reproducibility contract
+# (docs/serve.md).
+DETERMINISTIC_DIRS = ("src/engine", "src/moga", "src/sacga", "src/expt",
+                      "src/serve")
 
 ALLOW_RE = re.compile(r"anadex-lint:\s*allow\(([^)]*)\)")
 COMMENT_ONLY_RE = re.compile(r"^\s*(//|/\*|\*|\*/)")

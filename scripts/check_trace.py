@@ -2,13 +2,20 @@
 """Validate an anadex JSONL trace (docs/observability.md).
 
 Usage:
-    check_trace.py TRACE.jsonl [--algo mesacga] [--level gen|eval]
+    check_trace.py TRACE.jsonl [--algo mesacga] [--level gen|eval] [--segments]
 
 Checks that every line parses as a standalone JSON object, that the file is
 framed by a trace_start header (schema anadex-trace/v1) and a trace_end
 trailer whose event count matches, that per-event required keys are
 present, and — for the SACGA family — that the paper's telemetry actually
 made it into the trace (partition occupancy, T_A, hypervolume).
+
+With --segments the file may hold SEVERAL consecutive header..trailer
+segments — one per JsonlTraceWriter lifetime. That is the shape `anadex
+serve` produces: a preempted job's trace is appended one segment per slice
+(docs/serve.md). Each segment is framed and counted independently; without
+--segments a multi-segment file is an error, preserving the strict
+single-run contract.
 
 Exits nonzero with a line-numbered message on the first structural problem.
 Only the standard library is used.
@@ -55,6 +62,10 @@ def main() -> int:
                         "annealing algorithms")
     parser.add_argument("--level", default="", choices=["", "gen", "eval"],
                         help="expected trace level recorded in the header")
+    parser.add_argument("--segments", action="store_true",
+                        help="allow multiple appended header..trailer segments "
+                             "(one per writer lifetime — e.g. one per serve "
+                             "slice); each segment is validated independently")
     args = parser.parse_args()
 
     events = []
@@ -80,25 +91,45 @@ def main() -> int:
         print("error: trace is empty", file=sys.stderr)
         return 1
 
-    first_no, first = events[0]
-    if first["ev"] != "trace_start":
-        return fail(first_no, "trace must start with a trace_start header")
-    if first["schema"] != TRACE_SCHEMA:
-        return fail(first_no, f"unknown schema '{first['schema']}'")
-    if args.level and first["level"] != args.level:
-        return fail(first_no, f"expected level '{args.level}', got '{first['level']}'")
+    # Cut the file into trace_start..trace_end segments (one per writer
+    # lifetime; appended traces hold several back to back).
+    segments = []
+    current = None
+    for lineno, event in events:
+        if event["ev"] == "trace_start":
+            if current is not None:
+                return fail(lineno, "trace_start before the previous segment's "
+                                    "trace_end")
+            current = [(lineno, event)]
+            continue
+        if current is None:
+            return fail(lineno, "event outside a trace_start..trace_end segment")
+        current.append((lineno, event))
+        if event["ev"] == "trace_end":
+            segments.append(current)
+            current = None
+    if current is not None:
+        return fail(current[-1][0], "unterminated segment: missing trace_end")
+    if len(segments) > 1 and not args.segments:
+        return fail(segments[1][0][0], f"{len(segments)} segments in one trace; "
+                                       "pass --segments for appended traces")
 
-    last_no, last = events[-1]
-    if last["ev"] != "trace_end":
-        return fail(last_no, "trace must end with a trace_end trailer")
-    if last["events"] != len(events):
-        return fail(last_no, f"trailer counts {last['events']} events, file has "
-                             f"{len(events)}")
-
-    if first["level"] == "gen":
-        for lineno, event in events:
-            if event["ev"] in EVAL_ONLY or "t" in event:
-                return fail(lineno, f"wall-clock event '{event['ev']}' in a gen trace")
+    for segment in segments:
+        first_no, first = segment[0]
+        if first["schema"] != TRACE_SCHEMA:
+            return fail(first_no, f"unknown schema '{first['schema']}'")
+        if args.level and first["level"] != args.level:
+            return fail(first_no,
+                        f"expected level '{args.level}', got '{first['level']}'")
+        last_no, last = segment[-1]
+        if last["events"] != len(segment):
+            return fail(last_no, f"trailer counts {last['events']} events, "
+                                 f"segment has {len(segment)}")
+        if first["level"] == "gen":
+            for lineno, event in segment:
+                if event["ev"] in EVAL_ONLY or "t" in event:
+                    return fail(lineno,
+                                f"wall-clock event '{event['ev']}' in a gen trace")
 
     kinds = {event["ev"] for _, event in events}
     if "gen" not in kinds:
@@ -123,7 +154,8 @@ def main() -> int:
             return 1
 
     gen_count = sum(1 for _, event in events if event["ev"] == "gen")
-    print(f"ok: {len(events)} events ({gen_count} generations), schema {TRACE_SCHEMA}")
+    print(f"ok: {len(events)} events ({gen_count} generations, "
+          f"{len(segments)} segment(s)), schema {TRACE_SCHEMA}")
     return 0
 
 

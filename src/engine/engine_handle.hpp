@@ -1,0 +1,40 @@
+// EngineHandle — an optional reference to a shared hub EvalEngine.
+//
+// Every evolver-facing parameter struct (engine::EvolverCommon,
+// sacga::EvolverParams, moga::WeightedSumParams) carries one of these.
+// Default-constructed it is EMPTY and the run builds a private EvalEngine
+// from its own `threads` / `eval_cache` knobs — the classic one-engine-
+// per-run shape, bit-identical to the pre-handle code. When the scheduler
+// (anadex serve) points it at a hub engine, the run instead leases the
+// hub's worker pool and dedup cache through an engine::EngineLease, filing
+// cache entries under `context` so jobs with different problems can never
+// alias identical genes.
+//
+// Like `threads` and `eval_cache`, the handle is a pure EXECUTION knob:
+// it is excluded from the checkpoint config digest and can never change
+// results — a shared run's populations are byte-identical to a solo run
+// of the same settings.
+#pragma once
+
+#include <cstdint>
+
+namespace anadex::engine {
+
+class EvalEngine;
+
+/// Non-owning pointer to a hub EvalEngine plus the cache-context word that
+/// partitions the hub's shared EvalCache between clients. The hub must
+/// outlive every run that holds a handle to it.
+struct EngineHandle {
+  EvalEngine* engine = nullptr;
+  /// Cache partition key (serve: the job's admission ordinal + 1, so it
+  /// never collides with the 0 used by private engines and direct hub
+  /// clients).
+  std::uint64_t context = 0;
+
+  /// True when the handle points at a hub (the run must lease it instead
+  /// of building a private engine).
+  bool shared() const { return engine != nullptr; }
+};
+
+}  // namespace anadex::engine

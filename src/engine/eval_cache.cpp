@@ -16,11 +16,12 @@ std::size_t EvalCache::size() const {
 }
 
 EvalCache::Lru::iterator EvalCache::find_locked(std::span<const double> genes,
-                                                std::uint64_t hash) {
+                                                std::uint64_t hash,
+                                                std::uint64_t context) {
   auto [lo, hi] = index_.equal_range(hash);
   for (auto it = lo; it != hi; ++it) {
     const Entry& entry = *it->second;
-    if (entry.genes.size() == genes.size() &&
+    if (entry.context == context && entry.genes.size() == genes.size() &&
         std::equal(entry.genes.begin(), entry.genes.end(), genes.begin())) {
       return it->second;
     }
@@ -29,9 +30,9 @@ EvalCache::Lru::iterator EvalCache::find_locked(std::span<const double> genes,
 }
 
 bool EvalCache::lookup(std::span<const double> genes, std::uint64_t hash,
-                       moga::Evaluation& out) {
+                       moga::Evaluation& out, std::uint64_t context) {
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = find_locked(genes, hash);
+  const auto it = find_locked(genes, hash, context);
   if (it == lru_.end()) return false;
   out = it->eval;
   lru_.splice(lru_.begin(), lru_, it);  // refresh recency; iterators stay valid
@@ -39,9 +40,9 @@ bool EvalCache::lookup(std::span<const double> genes, std::uint64_t hash,
 }
 
 void EvalCache::insert(std::span<const double> genes, std::uint64_t hash,
-                       const moga::Evaluation& eval) {
+                       const moga::Evaluation& eval, std::uint64_t context) {
   std::lock_guard<std::mutex> lock(mu_);
-  const auto existing = find_locked(genes, hash);
+  const auto existing = find_locked(genes, hash, context);
   if (existing != lru_.end()) {
     lru_.splice(lru_.begin(), lru_, existing);
     return;
@@ -57,7 +58,7 @@ void EvalCache::insert(std::span<const double> genes, std::uint64_t hash,
     }
     lru_.erase(victim);
   }
-  lru_.push_front(Entry{{genes.begin(), genes.end()}, eval, hash});
+  lru_.push_front(Entry{{genes.begin(), genes.end()}, eval, hash, context});
   index_.emplace(hash, lru_.begin());
   if constexpr (kCheckInvariants) {
     ANADEX_ASSERT(coherent_locked(),
@@ -93,11 +94,14 @@ bool EvalCache::coherent_locked() const {
   // leaves no room for dangling slots; finally, keys must be unique.
   std::sort(seen.begin(), seen.end(), [](const Entry* a, const Entry* b) {
     if (a->hash != b->hash) return a->hash < b->hash;
+    if (a->context != b->context) return a->context < b->context;
     return std::lexicographical_compare(a->genes.begin(), a->genes.end(),
                                         b->genes.begin(), b->genes.end());
   });
   for (std::size_t i = 1; i < seen.size(); ++i) {
-    if (seen[i - 1]->hash == seen[i]->hash && seen[i - 1]->genes == seen[i]->genes) {
+    if (seen[i - 1]->hash == seen[i]->hash &&
+        seen[i - 1]->context == seen[i]->context &&
+        seen[i - 1]->genes == seen[i]->genes) {
       return false;
     }
   }

@@ -7,12 +7,17 @@
 // evolutionary loop: elitism re-submits survivors, crossover emits clones,
 // and MESACGA's phase re-seeding replays earlier designs.
 //
-// Keys are the raw gene bytes: an FNV-1a hash (robust::hash_genes) selects
-// the bucket and a full gene-vector compare confirms the hit, so hash
-// collisions can never alias two designs. Eviction is least-recently-used
-// with a fixed entry capacity. All entry points lock one mutex; the engine
-// only calls in from the batch-submitting thread, so the lock is
-// uncontended in practice.
+// Keys are the raw gene bytes plus a caller-chosen `context` word: an
+// FNV-1a hash (robust::hash_genes(genes, context)) selects the bucket and
+// a full context + gene-vector compare confirms the hit, so hash
+// collisions can never alias two designs. The context partitions the cache
+// between clients that evaluate DIFFERENT problems through one shared
+// engine (anadex serve): identical genes under different problems are
+// distinct designs and must never alias. Private engines pass context 0,
+// which reproduces the pre-context behaviour bit for bit. Eviction is
+// least-recently-used with a fixed entry capacity shared across contexts.
+// All entry points lock one mutex; the engine only calls in from the
+// batch-submitting thread, so the lock is uncontended in practice.
 #pragma once
 
 #include <cstddef>
@@ -50,22 +55,23 @@ class EvalCache {
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
 
-  /// Looks up `genes` (pre-hashed with robust::hash_genes(genes, 0)).
-  /// On a hit, copies the stored result into `out`, refreshes the entry's
-  /// recency and returns true.
+  /// Looks up `genes` under `context` (pre-hashed with
+  /// robust::hash_genes(genes, context)). On a hit, copies the stored
+  /// result into `out`, refreshes the entry's recency and returns true.
   bool lookup(std::span<const double> genes, std::uint64_t hash,
-              moga::Evaluation& out);
+              moga::Evaluation& out, std::uint64_t context = 0);
 
-  /// Stores genes -> eval, evicting the least-recently-used entry when
-  /// full. Re-inserting an existing key refreshes its recency only.
+  /// Stores (context, genes) -> eval, evicting the least-recently-used
+  /// entry when full. Re-inserting an existing key refreshes its recency.
   void insert(std::span<const double> genes, std::uint64_t hash,
-              const moga::Evaluation& eval);
+              const moga::Evaluation& eval, std::uint64_t context = 0);
 
   /// True when the LRU list and hash index describe the same entry set:
   /// equal sizes within capacity, every index slot points at a live list
-  /// node under its stored hash, and no two entries share identical gene
-  /// bytes. O(n log n); compiled unconditionally so tests can call it in
-  /// any build, with insert() self-checking under kCheckInvariants.
+  /// node under its stored hash, and no two entries share identical
+  /// (context, gene bytes). O(n log n); compiled unconditionally so tests
+  /// can call it in any build, with insert() self-checking under
+  /// kCheckInvariants.
   bool coherent() const;
 
  private:
@@ -73,11 +79,14 @@ class EvalCache {
     std::vector<double> genes;
     moga::Evaluation eval;
     std::uint64_t hash = 0;
+    std::uint64_t context = 0;
   };
   using Lru = std::list<Entry>;
 
-  /// Returns the bucketed entry matching `genes` byte-for-byte, or end().
-  Lru::iterator find_locked(std::span<const double> genes, std::uint64_t hash);
+  /// Returns the bucketed entry matching `context` + `genes` byte-for-byte,
+  /// or end().
+  Lru::iterator find_locked(std::span<const double> genes, std::uint64_t hash,
+                            std::uint64_t context);
 
   /// coherent() with mu_ already held (for the insert() self-check).
   bool coherent_locked() const;

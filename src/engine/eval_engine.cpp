@@ -30,8 +30,13 @@ std::size_t EvalEngine::resolve_threads(std::size_t requested) {
 EvalEngine::EvalEngine(const moga::Problem& problem, std::size_t threads,
                        obs::EventSink* sink, std::size_t cache_capacity,
                        EvalWatchdog watchdog)
-    : problem_(problem), threads_(resolve_threads(threads)), sink_(sink),
-      watchdog_(watchdog) {
+    : EvalEngine(threads, sink, cache_capacity, watchdog) {
+  problem_ = &problem;
+}
+
+EvalEngine::EvalEngine(std::size_t threads, obs::EventSink* sink,
+                       std::size_t cache_capacity, EvalWatchdog watchdog)
+    : threads_(resolve_threads(threads)), sink_(sink), watchdog_(watchdog) {
   if (cache_capacity > 0) cache_ = std::make_unique<EvalCache>(cache_capacity);
   if (watchdog_.token != nullptr) {
     ANADEX_REQUIRE(
@@ -76,35 +81,60 @@ EvalEngine::~EvalEngine() {
   }
 }
 
+const moga::Problem& EvalEngine::problem() const {
+  ANADEX_REQUIRE(problem_ != nullptr,
+                 "EvalEngine::problem: hub engines have no bound problem");
+  return *problem_;
+}
+
 void EvalEngine::evaluate_batch(std::span<const Genome> genomes,
                                 std::span<moga::Evaluation> out) const {
   ANADEX_REQUIRE(genomes.size() == out.size(),
                  "evaluate_batch: genome and result spans must have equal size");
+  ANADEX_REQUIRE(problem_ != nullptr,
+                 "evaluate_batch: hub engines require evaluate_members_as");
   std::vector<Item> items(genomes.size());
   for (std::size_t i = 0; i < genomes.size(); ++i) {
     items[i] = Item{&genomes[i], &out[i]};
   }
-  submit(items);
+  submit(*problem_, 0, items, nullptr);
 }
 
 void EvalEngine::evaluate_members(std::span<moga::Individual> members) const {
+  ANADEX_REQUIRE(problem_ != nullptr,
+                 "evaluate_members: hub engines require evaluate_members_as");
   std::vector<Item> items(members.size());
   for (std::size_t i = 0; i < members.size(); ++i) {
     items[i] = Item{&members[i].genes, &members[i].eval};
   }
-  submit(items);
+  submit(*problem_, 0, items, nullptr);
+}
+
+void EvalEngine::evaluate_members_as(const moga::Problem& problem,
+                                     std::uint64_t context,
+                                     std::span<moga::Individual> members,
+                                     EvalStats* client) const {
+  std::vector<Item> items(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    items[i] = Item{&members[i].genes, &members[i].eval};
+  }
+  submit(problem, context, items, client);
 }
 
 moga::Evaluation EvalEngine::evaluate(std::span<const double> genes) const {
-  return problem_.evaluated(genes);
+  return problem().evaluated(genes);
 }
 
-void EvalEngine::submit(std::span<const Item> items) const {
+void EvalEngine::submit(const moga::Problem& problem, std::uint64_t context,
+                        std::span<const Item> items, EvalStats* client) const {
+  batch_problem_ = &problem;
   stats_.requested += items.size();
+  if (client != nullptr) client->requested += items.size();
   if (!cache_) {
     trace_requested_ = items.size();
     trace_cache_hits_ = 0;
     stats_.evaluated += items.size();
+    if (client != nullptr) client->evaluated += items.size();
     run_batch(items);
     return;
   }
@@ -132,7 +162,7 @@ void EvalEngine::submit(std::span<const Item> items) const {
   std::uint64_t batch_hits = 0;
   for (std::size_t i = 0; i < items.size(); ++i) {
     const Genome& genes = *items[i].genes;
-    const std::uint64_t hash = hash_genes(genes, 0);
+    const std::uint64_t hash = hash_genes(genes, context);
     auto& bucket = reps[hash];
     std::size_t rep = kNone;
     for (std::size_t j : bucket) {
@@ -147,7 +177,7 @@ void EvalEngine::submit(std::span<const Item> items) const {
       continue;
     }
     bucket.push_back(i);
-    if (cache_->lookup(genes, hash, *items[i].out)) {
+    if (cache_->lookup(genes, hash, *items[i].out, context)) {
       ++lru_hits;
       continue;
     }
@@ -168,6 +198,11 @@ void EvalEngine::submit(std::span<const Item> items) const {
   stats_.evaluated += missing.size();
   stats_.batch_hits += batch_hits;
   stats_.lru_hits += lru_hits;
+  if (client != nullptr) {
+    client->evaluated += missing.size();
+    client->batch_hits += batch_hits;
+    client->lru_hits += lru_hits;
+  }
   trace_requested_ = items.size();
   trace_cache_hits_ = lru_hits;
 
@@ -186,7 +221,9 @@ void EvalEngine::submit(std::span<const Item> items) const {
     // representative slots, matching what independent evaluation of the
     // clones would have produced (they fault identically).
     if (!error) {
-      for (const Pending& p : missing) cache_->insert(*p.item.genes, p.hash, *p.item.out);
+      for (const Pending& p : missing) {
+        cache_->insert(*p.item.genes, p.hash, *p.item.out, context);
+      }
     }
   }
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -205,7 +242,7 @@ void EvalEngine::run_serial(std::span<const Item> items) const {
     Clock::time_point item_start;
     if (trace_timing_) item_start = Clock::now();
     try {
-      problem_.evaluate(*item.genes, *item.out);
+      batch_problem_->evaluate(*item.genes, *item.out);
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
     }
@@ -223,7 +260,7 @@ void EvalEngine::process_item(std::size_t index) const {
   Clock::time_point item_start;
   if (trace_timing_) item_start = Clock::now();
   try {
-    problem_.evaluate(*item.genes, *item.out);
+    batch_problem_->evaluate(*item.genes, *item.out);
   } catch (...) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!first_error_ || index < first_error_index_) {
@@ -316,6 +353,21 @@ void EvalEngine::watchdog_loop() {
 
 void EvalEngine::run_batch(std::span<const Item> items) const {
   if (items.empty()) return;
+  // Lifetime busy-time accounting for the serve stats snapshot: counts the
+  // submitting thread's wall time inside dispatch on every exit path.
+  // Measurement only — it never feeds back into results.
+  struct BusyScope {
+    const EvalEngine* engine;
+    Clock::time_point start;
+    explicit BusyScope(const EvalEngine* e) : engine(e), start(Clock::now()) {}
+    ~BusyScope() {
+      engine->busy_seconds_ += seconds_between(start, Clock::now());
+      ++engine->busy_batches_;
+    }
+    BusyScope(const BusyScope&) = delete;
+    BusyScope& operator=(const BusyScope&) = delete;
+  };
+  const BusyScope busy_scope(this);
   // Arms the watchdog for the lifetime of this batch; the destructor
   // disarms on every exit path, including a rethrown batch exception.
   struct WatchdogScope {

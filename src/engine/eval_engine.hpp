@@ -80,6 +80,14 @@ struct EvalWatchdog {
 /// pool. The problem must be safe to evaluate from several threads
 /// concurrently (the library's problems are stateless; GuardedProblem
 /// synchronizes its fault accounting internally).
+///
+/// An engine is either BOUND (constructed over one problem — the classic
+/// per-run shape) or a HUB (constructed without a problem): a hub serves
+/// many clients through evaluate_members_as(), each naming its own problem
+/// and a cache `context` word per batch, so `anadex serve` can multiplex
+/// every job over one worker pool and one dedup cache. Batches are
+/// serialized by the submitting caller either way — the engine supports
+/// one in-flight batch at a time.
 class EvalEngine final : public Evaluator {
  public:
   /// `threads`: 1 = serial on the calling thread (no pool is spawned),
@@ -101,12 +109,24 @@ class EvalEngine final : public Evaluator {
   explicit EvalEngine(const moga::Problem& problem, std::size_t threads = 1,
                       obs::EventSink* sink = nullptr, std::size_t cache_capacity = 0,
                       EvalWatchdog watchdog = {});
+
+  /// Hub form: no bound problem. Every batch must arrive through
+  /// evaluate_members_as(), which names the problem to evaluate and the
+  /// cache context that keeps different clients' designs from aliasing.
+  /// The problem-bound entry points (evaluate_batch / evaluate_members /
+  /// evaluate / problem()) are preconditions-violations on a hub.
+  explicit EvalEngine(std::size_t threads, obs::EventSink* sink = nullptr,
+                      std::size_t cache_capacity = 0, EvalWatchdog watchdog = {});
+
   ~EvalEngine() override;
 
   EvalEngine(const EvalEngine&) = delete;
   EvalEngine& operator=(const EvalEngine&) = delete;
 
-  const moga::Problem& problem() const { return problem_; }
+  /// True when constructed without a bound problem (the shared-hub form).
+  bool is_hub() const { return problem_ == nullptr; }
+
+  const moga::Problem& problem() const;
 
   /// Effective worker count (after resolving 0 to the hardware).
   std::size_t threads() const { return threads_; }
@@ -123,8 +143,17 @@ class EvalEngine final : public Evaluator {
   /// Cumulative requested/distinct/cache-hit accounting across the
   /// engine's lifetime. `requested` always counts submitted items, so the
   /// paper's evaluation-budget figures stay honest whether or not the
-  /// cache absorbed any of them.
+  /// cache absorbed any of them. On a hub this aggregates every client.
   const EvalStats& stats() const { return stats_; }
+
+  /// Batches dispatched over the engine's lifetime (serial and pooled).
+  std::uint64_t busy_batches() const { return busy_batches_; }
+
+  /// Wall-clock seconds the engine spent inside batch dispatch, summed
+  /// over its lifetime. With the service's elapsed time this yields the
+  /// engine-utilization figure in the serve stats snapshot; it is
+  /// measurement only and never feeds back into results.
+  double busy_seconds() const { return busy_seconds_; }
 
   void evaluate_batch(std::span<const Genome> genomes,
                       std::span<moga::Evaluation> out) const override;
@@ -132,6 +161,16 @@ class EvalEngine final : public Evaluator {
   /// Batch-evaluates `members[i].genes` into `members[i].eval` — the shape
   /// every evolver's generation loop needs.
   void evaluate_members(std::span<moga::Individual> members) const;
+
+  /// The multi-client form of evaluate_members: evaluates `members` under
+  /// `problem`, filing cache entries under `context` so two clients with
+  /// different problems can never alias identical genes. When `client` is
+  /// non-null the batch's requested/evaluated/hit deltas are accumulated
+  /// into it as well as the engine totals. Works on bound engines too
+  /// (EngineLease routes both modes through here).
+  void evaluate_members_as(const moga::Problem& problem, std::uint64_t context,
+                           std::span<moga::Individual> members,
+                           EvalStats* client = nullptr) const;
 
   /// The single-item path: a checked evaluation of one genome, identical
   /// to Problem::evaluated(). One-off call sites (CLIs, archives, tests)
@@ -150,9 +189,12 @@ class EvalEngine final : public Evaluator {
   };
 
   /// The cache layer: dedups `items`, dispatches the distinct misses
-  /// through run_batch and fans results out by item index. With the cache
-  /// disabled this forwards straight to run_batch.
-  void submit(std::span<const Item> items) const;
+  /// through run_batch under `problem` and fans results out by item index.
+  /// With the cache disabled this forwards straight to run_batch. Cache
+  /// keys are salted with `context`; `client` (optional) receives the
+  /// batch's stats deltas alongside the engine totals.
+  void submit(const moga::Problem& problem, std::uint64_t context,
+              std::span<const Item> items, EvalStats* client) const;
   void run_batch(std::span<const Item> items) const;
   void run_serial(std::span<const Item> items) const;
   /// Starts the per-batch deadline clock (watchdog enabled only).
@@ -170,16 +212,19 @@ class EvalEngine final : public Evaluator {
   void emit_batch_event(std::size_t size, double wall_seconds,
                         std::size_t workers_used) const;
 
-  const moga::Problem& problem_;
+  const moga::Problem* problem_ = nullptr;  ///< null on a hub engine
   std::size_t threads_ = 1;
   obs::EventSink* sink_ = nullptr;
 
   // Memoization (null when cache_capacity == 0). The cache and the stats
   // are only touched from the batch-submitting thread — dedup happens
   // before dispatch and fan-out after the batch barrier — so the counters
-  // need no atomics.
+  // need no atomics. busy_* follow the same discipline (written only in
+  // run_batch on the submitting thread).
   mutable std::unique_ptr<EvalCache> cache_;
   mutable EvalStats stats_;
+  mutable std::uint64_t busy_batches_ = 0;
+  mutable double busy_seconds_ = 0.0;
 
   // Batch hand-off state. The caller publishes a batch under `mu_` and
   // waits on `batch_done_`; workers claim items via the atomic cursor and
@@ -189,6 +234,11 @@ class EvalEngine final : public Evaluator {
   mutable std::mutex mu_;
   mutable std::condition_variable work_ready_;
   mutable std::condition_variable batch_done_;
+  /// The problem the CURRENT batch evaluates against. Published under the
+  /// same discipline as `items_` (written before release, stable while any
+  /// worker is active); equals `problem_` on a bound engine and the
+  /// caller-supplied problem on a hub.
+  mutable const moga::Problem* batch_problem_ = nullptr;
   mutable const Item* items_ = nullptr;
   mutable std::size_t item_count_ = 0;
   mutable std::atomic<std::size_t> next_item_{0};

@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "common/cancel.hpp"
+#include "engine/engine_handle.hpp"
 #include "moga/individual.hpp"
 #include "obs/event_sink.hpp"
 
@@ -56,6 +57,14 @@ struct EvolverCommon : ObsConfig {
   /// for every value — like `threads`, this is an execution knob, not part
   /// of the result (see docs/performance.md).
   std::size_t eval_cache = 0;
+
+  /// Shared-engine lease (anadex serve). Empty (the default) = build a
+  /// private EvalEngine from `threads` / `eval_cache`; pointing it at a
+  /// hub engine makes the run evaluate through the hub's worker pool and
+  /// context-partitioned cache instead, with `threads` / `eval_cache`
+  /// ignored. Another pure execution knob: results are byte-identical
+  /// either way (see docs/serve.md).
+  EngineHandle engine;
 
   // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
   /// Call on_snapshot every this many generations (0 disables).

@@ -1,0 +1,151 @@
+// expt::Job — one exploration run as a first-class, preemptible unit of
+// work.
+//
+// A Job binds validated RunSettings to a problem and executes them in
+// SLICES: run_slice(budget) runs at most `budget` generations, then
+// preempts the run at the next generation barrier through the evolvers'
+// cooperative stop-token seam — the evolver snapshots into the v2
+// checkpoint chain and returns cleanly, and the next slice re-admits the
+// job with ResumeMode::Auto. Because stopping never consumes randomness
+// and resume replays the remaining generations bit-identically, a job cut
+// into any number of slices produces a front, evaluation count and final
+// checkpoint byte-identical to one uninterrupted run of the same settings
+// (the scheduler matrix test proves it).
+//
+// Lifecycle:
+//
+//   Pending ──run_slice──> Running ──budget/stop──> Snapshotted ─┐
+//      │                      │                          ^       │
+//      │                      ├── completes ──> Done     └─run_slice
+//      │                      └── throws ─────> Failed
+//      └──cancel──> Cancelled  (also from Snapshotted; a Running job
+//                               cancels at its next generation barrier)
+//
+// Admission is where validation happens: the constructors run
+// validate_run_settings and throw PreconditionError on bad settings, so an
+// invalid request can never occupy a scheduler slot — the serve daemon
+// reports the rejection in the job's result file instead of aborting.
+//
+// Jobs are movable (the scheduler keeps them in a vector) but not
+// copyable: a job owns its slice token and its identity on disk (the
+// checkpoint chain + trace file named in its settings).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "common/cancel.hpp"
+#include "expt/runner.hpp"
+#include "problems/integrator_problem.hpp"
+
+namespace anadex::expt {
+
+/// Where a Job is in its lifecycle. Stored values are stable (serialized
+/// into serve result files), so new states must be appended.
+enum class JobState {
+  Pending,      ///< admitted, no slice run yet
+  Running,      ///< a slice is executing right now
+  Snapshotted,  ///< preempted or stopped at a barrier; checkpoint written
+  Done,         ///< ran its full generation budget; outcome() is final
+  Failed,       ///< a slice threw; error() / rethrow via run()
+  Cancelled,    ///< cancel() observed; the job will not run again
+};
+
+std::string job_state_name(JobState state);
+
+/// A preemptible exploration run: validated settings + problem + lifecycle.
+class Job {
+ public:
+  /// Admits a job over a caller-owned problem (kept by reference; must
+  /// outlive the job). Throws PreconditionError on invalid settings.
+  Job(const problems::IntegratorProblem& problem, RunSettings settings);
+
+  /// Admits a job that owns its problem, built from settings.spec — the
+  /// form the serve daemon and the run(settings) shim use. Throws
+  /// PreconditionError on invalid settings.
+  static Job from_settings(RunSettings settings);
+
+  Job(Job&&) noexcept = default;
+  Job& operator=(Job&&) noexcept = default;
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  JobState state() const { return state_; }
+  const RunSettings& settings() const { return settings_; }
+  const problems::IntegratorProblem& problem() const { return *problem_; }
+
+  /// True when the job can be preempted mid-run and resumed later — it
+  /// checkpoints (checkpoint_path set; WeightedSum never qualifies). A
+  /// non-preemptible job ignores slice budgets and runs to completion in
+  /// its first slice.
+  bool preemptible() const { return !settings_.checkpoint_path.empty(); }
+
+  /// True when run_slice may be called: Pending, or Snapshotted with a
+  /// checkpoint on disk to resume from. The scheduler skips non-runnable
+  /// jobs (a stopped job without a checkpoint path stays Snapshotted but
+  /// can never continue).
+  bool runnable() const {
+    return state_ == JobState::Pending ||
+           (state_ == JobState::Snapshotted && resumable_);
+  }
+
+  /// Runs at most `budget` generations (0 = unlimited) and returns the
+  /// resulting state. The budget is enforced at the generation barrier via
+  /// the evolvers' stop-token seam: the slice ends with a checkpoint and
+  /// state Snapshotted, never mid-generation. Slices after the first
+  /// re-admit the checkpoint with ResumeMode::Auto and append a fresh
+  /// trace segment. Callable only in Pending or a resumable Snapshotted
+  /// state. A raised settings.stop token or a pending cancel() also ends
+  /// the slice at the next barrier.
+  JobState run_slice(std::size_t budget);
+
+  /// Runs the job to completion (one unlimited slice) and returns the
+  /// final outcome; rethrows the original exception if the slice failed.
+  /// This is exactly the historical expt::run behaviour, including the
+  /// `interrupted` outcome when settings.stop ends the run early.
+  RunOutcome run();
+
+  /// Requests cancellation: Pending/Snapshotted jobs flip to Cancelled
+  /// immediately (and permanently); a Running job observes the request at
+  /// its next generation barrier. Terminal states are unaffected.
+  void cancel();
+
+  /// Outcome of the most recent slice. For Done jobs this is the final
+  /// result; for Snapshotted jobs it describes the stopping point (front,
+  /// metrics, cumulative generations/evaluations), per the runner's
+  /// interrupted-outcome contract. Meaningless before the first slice.
+  const RunOutcome& outcome() const { return outcome_; }
+
+  /// Generations completed across all slices (cumulative through resume).
+  std::size_t generations_done() const { return outcome_.generations; }
+
+  /// Slices executed so far (including a failed one).
+  std::size_t slices_run() const { return slices_run_; }
+
+  /// Failed jobs: what() of the slice's exception. Empty otherwise.
+  const std::string& error() const { return error_; }
+
+ private:
+  // Owned in shared_ptr form so Job stays movable and the non-owning
+  // constructor can alias the caller's problem (empty deleter idiom, as
+  // runner.cpp does for the guard chain).
+  std::shared_ptr<const problems::IntegratorProblem> problem_;
+  RunSettings settings_;
+  JobState state_ = JobState::Pending;
+  // CancelToken is pinned (workers may hold a pointer), so the movable Job
+  // holds it behind a unique_ptr.
+  std::unique_ptr<CancelToken> slice_stop_;
+  RunOutcome outcome_;
+  std::size_t slices_run_ = 0;
+  bool cancel_requested_ = false;
+  /// False when a slice stopped with nothing saved (no checkpoint path):
+  /// re-running could not reproduce the interrupted run, so run_slice
+  /// refuses.
+  bool resumable_ = false;
+  std::string error_;
+  std::exception_ptr error_ptr_;
+};
+
+}  // namespace anadex::expt

@@ -13,6 +13,7 @@
 #include "common/check.hpp"
 #include "common/textio.hpp"
 #include "engine/evolver_common.hpp"
+#include "expt/job.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/scalarize.hpp"
 #include "moga/spea2.hpp"
@@ -141,6 +142,13 @@ void validate_run_settings(const RunSettings& s) {
   if (s.eval_deadline_s.has_value()) {
     ANADEX_REQUIRE(std::isfinite(*s.eval_deadline_s) && *s.eval_deadline_s > 0.0,
                    "run settings: eval deadline must be finite and > 0 seconds");
+    // A per-run deadline thread belongs to the engine that owns the worker
+    // pool; on a shared hub the deadline is the hub's to enforce. Checked
+    // here so Job admission rejects the request instead of an EngineLease
+    // precondition killing the run (or the serve daemon) later.
+    ANADEX_REQUIRE(!s.engine.shared(),
+                   "run settings: eval_deadline_s is unsupported with a shared "
+                   "engine handle (configure the deadline on the hub)");
   }
   if (!s.trace_path.empty()) {
     // Fail before the run starts, not after hours of optimization when the
@@ -202,7 +210,8 @@ double hypervolume_of(const std::vector<FrontSample>& front) {
   return moga::hypervolume(points, ref) / (kHvPowerRef * kHvAxisRef);
 }
 
-RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& settings) {
+RunOutcome detail::run_impl(const problems::IntegratorProblem& problem,
+                            const RunSettings& settings) {
   validate_run_settings(settings);
 
   // Telemetry sink for the whole run. Stays null (and costs one pointer
@@ -210,7 +219,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
   std::optional<obs::JsonlTraceWriter> trace;
   obs::EventSink* sink = nullptr;
   if (!settings.trace_path.empty() && settings.trace_level != obs::TraceLevel::Off) {
-    trace.emplace(settings.trace_path, settings.trace_level);
+    trace.emplace(settings.trace_path, settings.trace_level, settings.trace_append);
     sink = &*trace;
   }
   if (sink != nullptr && sink->enabled(obs::TraceLevel::Gen)) {
@@ -334,6 +343,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
     common.seed = settings.seed;
     common.threads = settings.threads;
     common.eval_cache = settings.eval_cache;
+    common.engine = settings.engine;
     common.sink = sink;
     common.stop = settings.stop;
     if (settings.eval_deadline_s.has_value()) {
@@ -492,6 +502,7 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
       params.seed = settings.seed;
       params.threads = settings.threads;
       params.eval_cache = settings.eval_cache;
+      params.engine = settings.engine;
       params.sink = sink;
       if (sink != nullptr) {
         params.trace_hypervolume = [](const moga::Population& pop) {
@@ -573,9 +584,14 @@ RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& se
   return outcome;
 }
 
+RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& settings) {
+  Job job(problem, settings);
+  return job.run();
+}
+
 RunOutcome run(const RunSettings& settings) {
-  const problems::IntegratorProblem problem(settings.spec);
-  return run(problem, settings);
+  Job job = Job::from_settings(settings);
+  return job.run();
 }
 
 }  // namespace anadex::expt

@@ -1,6 +1,25 @@
 // Experiment harness: uniform configuration, execution and measurement of
-// the four algorithms (TPG / LocalOnly / SACGA / MESACGA) on the integrator
-// problem, with physical-unit fronts and all the paper's quality metrics.
+// the paper's algorithms (TPG / LocalOnly / SACGA / MESACGA plus the
+// Island / WeightedSum / SPEA2 baselines) on the integrator problem, with
+// physical-unit fronts and all the paper's quality metrics.
+//
+// The unit of execution is an expt::Job (expt/job.hpp): validated
+// RunSettings + problem with a preemptible lifecycle
+// (Pending -> Running -> Snapshotted -> Done/Failed/Cancelled) built on the
+// v2 checkpoint chain — preempting a job snapshots it at a generation
+// barrier and a later slice re-admits it with ResumeMode::Auto, replaying
+// the remaining generations bit-identically. The free run() functions
+// below are thin wrappers (construct a Job, run it to completion) kept for
+// the existing call sites; new code — and the serve scheduler, which
+// time-slices many Jobs over one shared EvalEngine — should hold a Job.
+//
+// This header owns the settings/outcome vocabulary: RunSettings (one
+// struct for every algorithm; validate_run_settings rejects nonsense
+// before a run starts) and RunOutcome (front + paper metrics + execution
+// accounting). Determinism contract: for fixed settings the front,
+// evaluation counts, checkpoints and gen-level traces are byte-identical
+// across thread counts, cache capacities, shared-engine handles and
+// slice boundaries (docs/serve.md, docs/engine.md).
 #pragma once
 
 #include <cstdint>
@@ -9,6 +28,7 @@
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "engine/engine_handle.hpp"
 #include "moga/metrics.hpp"
 #include "moga/nsga2.hpp"
 #include "obs/event_sink.hpp"
@@ -69,6 +89,13 @@ struct RunSettings {
   /// bit-identical for every capacity, so it is excluded from the
   /// checkpoint config digest. See docs/performance.md.
   std::size_t eval_cache = 0;
+  /// Shared-engine lease (anadex serve): empty (default) = the run builds
+  /// private evaluation engines from `threads` / `eval_cache`; a hub handle
+  /// makes every evaluation flow through the scheduler's shared worker pool
+  /// and context-partitioned cache instead. A pure execution knob —
+  /// excluded from the config digest, results byte-identical either way.
+  /// Incompatible with `eval_deadline_s` (the deadline belongs to the hub).
+  engine::EngineHandle engine;
   bool record_history = false;
   std::size_t history_stride = 25;             ///< generations between history samples
 
@@ -119,14 +146,22 @@ struct RunSettings {
   // across thread counts.
   std::string trace_path;                            ///< empty = no tracing
   obs::TraceLevel trace_level = obs::TraceLevel::Gen;
+  /// Open the trace file in append mode, adding one self-delimiting
+  /// header..trailer segment instead of truncating. Job slicing sets this
+  /// from the second slice on, so a preempted job's trace is one segment
+  /// per slice (scripts/check_trace.py --segments). An execution knob.
+  bool trace_append = false;
 };
 
 /// Validates `settings` with ANADEX_REQUIRE (population even and >= 4,
 /// partition/island counts sane, MESACGA schedule non-empty + strictly
 /// decreasing + ending in 1, thread count within [0, 256], history stride
 /// positive when history is recorded, checkpoint flags consistent, guard
-/// policy fields finite and in range, watchdog deadline positive when set).
-/// run() calls this first; exposed so CLIs can fail fast.
+/// policy fields finite and in range, watchdog deadline positive when set,
+/// watchdog absent when a shared engine handle is set). Job admission runs
+/// this FIRST — an invalid request is rejected before it can occupy a
+/// scheduler slot or start a run; exposed so CLIs and the serve daemon can
+/// fail fast and report the rejection instead of aborting.
 void validate_run_settings(const RunSettings& settings);
 
 /// One front design in physical units.
@@ -181,10 +216,29 @@ double hypervolume_of(const std::vector<FrontSample>& front);
 /// Converts a population (internal objectives) to physical front samples.
 std::vector<FrontSample> to_front_samples(const moga::Population& front);
 
-/// Runs one experiment. Deterministic for fixed settings.
+namespace detail {
+
+/// The single-slice execution engine behind Job::run_slice: validates,
+/// wires tracing/guard/watchdog/checkpointing and dispatches one
+/// uninterrupted run of `settings` over `problem`. Everything above this —
+/// lifecycle, slicing, resume chaining — lives in expt::Job. Not a public
+/// entry point; call Job (or the run() shims) instead.
+RunOutcome run_impl(const problems::IntegratorProblem& problem,
+                    const RunSettings& settings);
+
+}  // namespace detail
+
+/// Compatibility shim for pre-Job call sites: validates `settings` into a
+/// Job over the caller's problem and runs it to completion (rethrowing the
+/// job's failure, returning an `interrupted` outcome when a stop token
+/// ended it early — exactly the historical behaviour). Deterministic for
+/// fixed settings. New code should construct an expt::Job directly; the
+/// scheduler-grade lifecycle (preemption, resume, cancellation) is only
+/// reachable there.
 RunOutcome run(const problems::IntegratorProblem& problem, const RunSettings& settings);
 
-/// Convenience: builds the problem from settings.spec and runs.
+/// Convenience form of the shim above: builds the problem from
+/// settings.spec (Job::from_settings) and runs the Job to completion.
 RunOutcome run(const RunSettings& settings);
 
 }  // namespace anadex::expt

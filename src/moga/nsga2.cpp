@@ -4,7 +4,7 @@
 #include <span>
 
 #include "common/check.hpp"
-#include "engine/eval_engine.hpp"
+#include "engine/engine_lease.hpp"
 #include "moga/dominance.hpp"
 #include "moga/nds.hpp"
 #include "moga/obs_trace.hpp"
@@ -20,10 +20,10 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
   ANADEX_REQUIRE(bounds.size() == problem.num_variables(),
                  "problem bounds size must equal num_variables");
 
-  const engine::EvalEngine eval(problem, params.threads, params.sink,
-                                params.eval_cache,
-                                engine::EvalWatchdog{params.eval_cancel,
-                                                     params.eval_deadline_s});
+  const engine::EngineLease eval(problem, params.engine, params.threads,
+                                 params.sink, params.eval_cache,
+                                 engine::EvalWatchdog{params.eval_cancel,
+                                                      params.eval_deadline_s});
   Rng rng(params.seed);
   Nsga2Result result;
 

@@ -7,7 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
-#include "engine/eval_engine.hpp"
+#include "engine/engine_lease.hpp"
 #include "moga/dominance.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/obs_trace.hpp"
@@ -51,8 +51,8 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
                  "population size must be even and >= 4");
 
   const auto bounds = problem.bounds();
-  const engine::EvalEngine eval(problem, params.threads, params.sink,
-                                params.eval_cache);
+  const engine::EngineLease eval(problem, params.engine, params.threads,
+                                 params.sink, params.eval_cache);
   Rng master(params.seed);
   WeightedSumResult result;
 

@@ -32,6 +32,9 @@ struct WeightedSumParams : engine::ObsConfig {
   /// Evaluation memoization capacity (same semantics as
   /// engine::EvolverCommon::eval_cache; 0 = off, results are invariant).
   std::size_t eval_cache = 0;
+  /// Shared-engine lease (same semantics as engine::EvolverCommon::engine;
+  /// empty = private EvalEngine, results are invariant).
+  engine::EngineHandle engine;
 };
 
 struct WeightedSumResult {

@@ -7,7 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
-#include "engine/eval_engine.hpp"
+#include "engine/engine_lease.hpp"
 #include "moga/dominance.hpp"
 #include "moga/obs_trace.hpp"
 #include "moga/selection.hpp"
@@ -111,10 +111,10 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
   ANADEX_REQUIRE(params.archive_size >= 2, "archive size must be >= 2");
 
   const auto bounds = problem.bounds();
-  const engine::EvalEngine eval(problem, params.threads, params.sink,
-                                params.eval_cache,
-                                engine::EvalWatchdog{params.eval_cancel,
-                                                     params.eval_deadline_s});
+  const engine::EngineLease eval(problem, params.engine, params.threads,
+                                 params.sink, params.eval_cache,
+                                 engine::EvalWatchdog{params.eval_cancel,
+                                                      params.eval_deadline_s});
   Rng rng(params.seed);
   Spea2Result result;
 

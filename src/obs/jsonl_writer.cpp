@@ -94,8 +94,10 @@ void append_json_double(std::string& out, double value) {
   out.append(buffer, result.ptr);
 }
 
-JsonlTraceWriter::JsonlTraceWriter(const std::string& path, TraceLevel level)
-    : path_(path), level_(level), epoch_(std::chrono::steady_clock::now()), out_(path) {
+JsonlTraceWriter::JsonlTraceWriter(const std::string& path, TraceLevel level,
+                                   bool append)
+    : path_(path), level_(level), epoch_(std::chrono::steady_clock::now()),
+      out_(path, append ? std::ios::out | std::ios::app : std::ios::out) {
   ANADEX_REQUIRE(level != TraceLevel::Off, "JsonlTraceWriter needs a level above off");
   ANADEX_REQUIRE(out_.good(), "cannot open trace file '" + path + "' for writing");
   std::string line = "{\"ev\":\"trace_start\",\"schema\":";

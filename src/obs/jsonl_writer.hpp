@@ -31,9 +31,13 @@ inline constexpr std::string_view kTraceSchema = "anadex-trace/v1";
 /// run thread.
 class JsonlTraceWriter final : public EventSink {
  public:
-  /// Opens (truncates) `path`; requires the parent directory to exist and
-  /// `level` != Off. Writes the trace_start header immediately.
-  JsonlTraceWriter(const std::string& path, TraceLevel level);
+  /// Opens `path` (truncating, or appending when `append` is set); requires
+  /// the parent directory to exist and `level` != Off. Writes the
+  /// trace_start header immediately either way, so an appended trace is a
+  /// sequence of self-delimiting header..trailer SEGMENTS — one per writer
+  /// lifetime. `anadex serve` appends one segment per job slice;
+  /// scripts/check_trace.py --segments validates the framing.
+  JsonlTraceWriter(const std::string& path, TraceLevel level, bool append = false);
   ~JsonlTraceWriter() override;
 
   JsonlTraceWriter(const JsonlTraceWriter&) = delete;

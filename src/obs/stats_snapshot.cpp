@@ -1,0 +1,82 @@
+#include "obs/stats_snapshot.hpp"
+
+#include <fstream>
+
+#include "common/check.hpp"
+#include "obs/jsonl_writer.hpp"
+
+namespace anadex::obs {
+
+StatsSnapshot::Entry& StatsSnapshot::slot(std::string_view key) {
+  for (Entry& entry : entries_) {
+    if (entry.key == key) return entry;
+  }
+  entries_.push_back(Entry{});
+  entries_.back().key.assign(key);
+  return entries_.back();
+}
+
+void StatsSnapshot::set(std::string_view key, std::uint64_t value) {
+  Entry& entry = slot(key);
+  entry.kind = Entry::Kind::U64;
+  entry.u64 = value;
+}
+
+void StatsSnapshot::set(std::string_view key, double value) {
+  Entry& entry = slot(key);
+  entry.kind = Entry::Kind::F64;
+  entry.f64 = value;
+}
+
+void StatsSnapshot::set(std::string_view key, bool value) {
+  Entry& entry = slot(key);
+  entry.kind = Entry::Kind::Bool;
+  entry.boolean = value;
+}
+
+void StatsSnapshot::set(std::string_view key, std::string_view value) {
+  Entry& entry = slot(key);
+  entry.kind = Entry::Kind::Str;
+  entry.str.assign(value);
+}
+
+std::string StatsSnapshot::to_json() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    if (i != 0) out += ',';
+    append_json_string(out, entry.key);
+    out += ':';
+    switch (entry.kind) {
+      case Entry::Kind::U64:
+        out += std::to_string(entry.u64);
+        break;
+      case Entry::Kind::F64:
+        append_json_double(out, entry.f64);
+        break;
+      case Entry::Kind::Bool:
+        out += entry.boolean ? "true" : "false";
+        break;
+      case Entry::Kind::Str:
+        append_json_string(out, entry.str);
+        break;
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+void StatsSnapshot::write(const std::filesystem::path& path) const {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+    ANADEX_REQUIRE(out.is_open(), "stats snapshot: cannot write " + tmp.string());
+    out << to_json();
+    out.flush();
+    ANADEX_REQUIRE(out.good(), "stats snapshot: short write to " + tmp.string());
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace anadex::obs

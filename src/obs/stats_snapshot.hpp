@@ -1,0 +1,51 @@
+// Point-in-time stats snapshot: a flat, insertion-ordered set of named
+// values serialized as one JSON object and published atomically
+// (temp-file + rename), so a concurrent reader always sees a complete,
+// parseable document. `anadex serve` writes its service-level stats
+// (jobs admitted/running/preempted/finished, engine utilization, cache
+// hit rates) through this after every slice; see docs/serve.md for the
+// schema it emits.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anadex::obs {
+
+/// A small ordered key/value document. Keys keep insertion order in the
+/// output (re-setting a key updates it in place), values are unsigned
+/// integers, shortest-round-trip doubles, booleans or strings.
+class StatsSnapshot {
+ public:
+  void set(std::string_view key, std::uint64_t value);
+  void set(std::string_view key, double value);
+  void set(std::string_view key, bool value);
+  void set(std::string_view key, std::string_view value);
+
+  /// The snapshot as one single-line JSON object (trailing newline
+  /// included), keys in insertion order.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path` via `<path>.tmp` + rename.
+  void write(const std::filesystem::path& path) const;
+
+ private:
+  struct Entry {
+    enum class Kind { U64, F64, Bool, Str };
+    std::string key;
+    Kind kind = Kind::U64;
+    std::uint64_t u64 = 0;
+    double f64 = 0.0;
+    bool boolean = false;
+    std::string str;
+  };
+
+  Entry& slot(std::string_view key);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace anadex::obs

@@ -6,7 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
-#include "engine/eval_engine.hpp"
+#include "engine/engine_lease.hpp"
 #include "moga/nds.hpp"
 #include "moga/obs_trace.hpp"
 #include "moga/selection.hpp"
@@ -90,10 +90,10 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
                  "cannot migrate more individuals than an island holds");
 
   const auto bounds = problem.bounds();
-  const engine::EvalEngine eval(problem, params.threads, params.sink,
-                                params.eval_cache,
-                                engine::EvalWatchdog{params.eval_cancel,
-                                                     params.eval_deadline_s});
+  const engine::EngineLease eval(problem, params.engine, params.threads,
+                                 params.sink, params.eval_cache,
+                                 engine::EvalWatchdog{params.eval_cancel,
+                                                      params.eval_deadline_s});
   Rng rng(params.seed);
   IslandResult result;
   moga::RankingScratch ranking;  // SoA buffers shared by all islands

@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "engine/eval_engine.hpp"
+#include "engine/engine_lease.hpp"
 #include "moga/individual.hpp"
 #include "moga/nds.hpp"
 #include "moga/operators.hpp"
@@ -55,6 +55,10 @@ struct EvolverParams {
   /// deadline in seconds (0 = off) and the token the watchdog raises.
   double eval_deadline_s = 0.0;
   CancelToken* eval_cancel = nullptr;
+  /// Shared-engine lease (engine::EvolverCommon semantics): empty = build
+  /// a private EvalEngine from the knobs above; a hub handle leases the
+  /// serve scheduler's worker pool instead. Results are invariant.
+  engine::EngineHandle engine;
 };
 
 /// Probability that the i-th (1-based) locally-superior solution of a
@@ -107,9 +111,10 @@ class PartitionedEvolver {
   std::size_t evaluations() const { return evaluations_; }
   std::size_t generation() const { return generation_; }
 
-  /// The evolver's evaluation engine (for requested/distinct/cache-hit
-  /// accounting; see engine::EvalStats).
-  const engine::EvalEngine& engine() const { return engine_; }
+  /// The evolver's evaluation seam (for requested/distinct/cache-hit
+  /// accounting; see engine::EvalStats). A private engine or a lease on
+  /// the serve scheduler's shared hub, per params.engine.
+  const engine::EngineLease& engine() const { return engine_; }
 
   /// True when every non-discarded partition currently holds at least one
   /// feasible individual AND at least one partition is populated.
@@ -151,7 +156,7 @@ class PartitionedEvolver {
 
   const moga::Problem& problem_;
   EvolverParams params_;
-  engine::EvalEngine engine_;
+  engine::EngineLease engine_;
   Partitioner partitioner_;
   std::vector<moga::VariableBound> bounds_;
   Rng rng_;

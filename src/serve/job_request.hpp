@@ -1,0 +1,49 @@
+// serve::JobRequest — one line of the spool protocol, strictly parsed.
+//
+// A job request is a single-line JSON object naming a job id, an algorithm
+// and a spec, plus optional algorithm knobs:
+//
+//   {"id":"night-sweep-3","algo":"mesacga","spec":"chosen",
+//    "population":64,"generations":200,"seed":7}
+//
+// Parsing is STRICT, mirroring validate_run_settings' rejection style: an
+// unknown key, a duplicate key, a missing required key (id / algo / spec),
+// a malformed value or a bad enum string raises PreconditionError with a
+// message naming the offending key — the daemon reports it in the job's
+// result file instead of running garbage (or aborting). Notably, the
+// execution knobs the SERVICE owns (threads, eval_cache, checkpoint and
+// trace paths, deadlines) are not request keys: a request describes WHAT
+// to explore, the daemon decides how. See docs/serve.md for the full
+// schema.
+//
+// The parser is deliberately minimal — single-level objects, string /
+// unsigned-integer / bool / unsigned-integer-array values — because that
+// is the whole protocol; it is not a general JSON library.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "expt/runner.hpp"
+
+namespace anadex::serve {
+
+/// A parsed, not-yet-validated job request. `settings` carries the
+/// requested algorithm knobs over defaults; the daemon fills in the
+/// service-owned execution knobs (threads, cache, paths) before admission,
+/// where validate_run_settings has the final word.
+struct JobRequest {
+  std::string id;  ///< filename-safe ([A-Za-z0-9_.-], at most 64 chars)
+  expt::RunSettings settings;
+};
+
+/// True when `id` is usable as a spool file stem: non-empty, at most 64
+/// characters, all from [A-Za-z0-9_.-], and not starting with a dot.
+bool valid_job_id(std::string_view id);
+
+/// Parses one request line. Throws anadex::PreconditionError (a
+/// std::invalid_argument) on any deviation from the schema; the message
+/// names the offending key.
+JobRequest parse_job_request(const std::string& line);
+
+}  // namespace anadex::serve

@@ -1,0 +1,126 @@
+#include "serve/spool.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "common/check.hpp"
+#include "obs/jsonl_writer.hpp"
+#include "serve/job_request.hpp"
+
+namespace anadex::serve {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> pending_requests(const fs::path& dir) {
+  ANADEX_REQUIRE(fs::is_directory(dir),
+                 "spool: not a directory: " + dir.string());
+  std::vector<fs::path> requests;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".job") continue;
+    requests.push_back(entry.path());
+  }
+  // directory_iterator order is unspecified; filename order defines the
+  // admission order, so sort.
+  std::sort(requests.begin(), requests.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  return requests;
+}
+
+fs::path claim_request(const fs::path& request) {
+  fs::path taken = request;
+  taken += ".taken";
+  fs::rename(request, taken);  // throws filesystem_error on failure
+  return taken;
+}
+
+std::vector<fs::path> taken_requests(const fs::path& dir) {
+  ANADEX_REQUIRE(fs::is_directory(dir),
+                 "spool: not a directory: " + dir.string());
+  std::vector<fs::path> requests;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kSuffix = ".job.taken";
+    if (name.size() <= kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    requests.push_back(entry.path());
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const fs::path& a, const fs::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+  return requests;
+}
+
+std::string read_request_line(const fs::path& path) {
+  std::ifstream in(path);
+  ANADEX_REQUIRE(in.is_open(), "spool: cannot open request " + path.string());
+  std::string line;
+  std::getline(in, line);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  ANADEX_REQUIRE(!line.empty(), "spool: empty request " + path.string());
+  return line;
+}
+
+fs::path result_path(const fs::path& dir, const std::string& id) {
+  return dir / (id + ".result.json");
+}
+
+void write_result_file(const fs::path& dir, const JobResult& result) {
+  ANADEX_REQUIRE(valid_job_id(result.id),
+                 "spool: result id is not filename-safe: " + result.id);
+  std::string json = "{\"id\":";
+  obs::append_json_string(json, result.id);
+  json += ",\"state\":";
+  obs::append_json_string(json, result.state);
+  if (!result.error.empty()) {
+    json += ",\"error\":";
+    obs::append_json_string(json, result.error);
+  }
+  if (result.has_outcome) {
+    const expt::RunOutcome& o = result.outcome;
+    json += ",\"generations\":" + std::to_string(o.generations);
+    json += ",\"evaluations\":" + std::to_string(o.evaluations);
+    json += ",\"distinct_evaluations\":" + std::to_string(o.distinct_evaluations);
+    json += ",\"cache_hits\":" + std::to_string(o.cache_hits);
+    json += ",\"interrupted\":";
+    json += o.interrupted ? "true" : "false";
+    json += ",\"front_area\":";
+    obs::append_json_double(json, o.front_area);
+    json += ",\"hypervolume_norm\":";
+    obs::append_json_double(json, o.hypervolume_norm);
+    json += ",\"front\":[";
+    for (std::size_t i = 0; i < o.front.size(); ++i) {
+      if (i != 0) json += ',';
+      json += '[';
+      obs::append_json_double(json, o.front[i].power_w);
+      json += ',';
+      obs::append_json_double(json, o.front[i].cload_f);
+      json += ']';
+    }
+    json += ']';
+  }
+  json += "}\n";
+
+  const fs::path final_path = result_path(dir, result.id);
+  fs::path tmp = final_path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+    ANADEX_REQUIRE(out.is_open(), "spool: cannot write " + tmp.string());
+    out << json;
+    out.flush();
+    ANADEX_REQUIRE(out.good(), "spool: short write to " + tmp.string());
+  }
+  fs::rename(tmp, final_path);  // atomic replace: readers never see a torn file
+}
+
+}  // namespace anadex::serve

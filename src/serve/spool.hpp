@@ -1,0 +1,73 @@
+// Spool-directory protocol for `anadex serve` (docs/serve.md).
+//
+// Clients submit work by dropping one-line JSON request files into the
+// spool directory:
+//
+//   <spool>/<name>.job          a job request (serve/job_request.hpp)
+//   <spool>/<name>.job.taken    the same file after the daemon claimed it
+//   <spool>/<id>.result.json    terminal report, written atomically
+//   <spool>/<id>.front.csv      the job's final front (explore --csv format)
+//   <spool>/serve_stats.json    service-level stats snapshot
+//
+// The daemon scans for `*.job` files sorted lexicographically by filename —
+// submission order is the FILENAME order, not mtime, so a fixed set of
+// request files always admits in the same order and the whole service run
+// is reproducible. Claiming is a rename to `.job.taken` (atomic within the
+// directory), which makes a crashed daemon's leftovers visible and keeps a
+// restarted scan from double-admitting.
+//
+// Result files are written via temp-file + rename so a reader never sees a
+// half-written report; `state` is a Job lifecycle name or "rejected" (the
+// request never became a job — parse or admission failure, detailed in
+// `error`).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "expt/runner.hpp"
+
+namespace anadex::serve {
+
+/// Unclaimed request files (`*.job`) directly inside `dir`, sorted
+/// lexicographically by filename. Throws PreconditionError when `dir` is
+/// not a directory.
+std::vector<std::filesystem::path> pending_requests(const std::filesystem::path& dir);
+
+/// Claims `request` by renaming it to `<request>.taken`; returns the new
+/// path. Throws std::filesystem::filesystem_error if the rename fails
+/// (e.g. another process claimed it first).
+std::filesystem::path claim_request(const std::filesystem::path& request);
+
+/// Already-claimed request files (`*.job.taken`) directly inside `dir`,
+/// sorted lexicographically by filename. A restarted daemon re-admits
+/// these when no result file exists yet: an interrupted job resumes from
+/// its checkpoint chain instead of being orphaned by its own claim.
+std::vector<std::filesystem::path> taken_requests(const std::filesystem::path& dir);
+
+/// Reads the first line of a (one-line) request file. Throws
+/// PreconditionError when the file cannot be opened or is empty.
+std::string read_request_line(const std::filesystem::path& path);
+
+/// Terminal report of one request. When the request never became a job,
+/// `state` is "rejected" and `error` holds the admission message; otherwise
+/// `state` is the job_state_name and `outcome` is meaningful iff
+/// `has_outcome` (a job cancelled before its first slice has none).
+struct JobResult {
+  std::string id;
+  std::string state;
+  std::string error;
+  bool has_outcome = false;
+  expt::RunOutcome outcome;
+};
+
+/// `<dir>/<id>.result.json`.
+std::filesystem::path result_path(const std::filesystem::path& dir, const std::string& id);
+
+/// Serializes `result` as one JSON object (front included as an array of
+/// [power_w, cload_f] pairs, shortest-round-trip floats) and atomically
+/// replaces `result_path(dir, result.id)`.
+void write_result_file(const std::filesystem::path& dir, const JobResult& result);
+
+}  // namespace anadex::serve

@@ -73,6 +73,23 @@ class LintFixtureTest(unittest.TestCase):
                                          pretend="src/circuit")
         self.assertEqual(code, 0)
 
+    def test_det_unordered_applies_to_serve(self):
+        # src/serve joined DETERMINISTIC_DIRS with the scheduler work:
+        # admission order, slicing and result files are reproducibility
+        # surfaces (docs/serve.md).
+        code, report = self.lint_fixture("det_unordered.cpp",
+                                         pretend="src/serve")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report),
+                         ["det-unordered", "unordered-iter"])
+
+    def test_wall_clock_applies_to_serve(self):
+        # The scheduler must slice by generation count, never wall clock.
+        code, report = self.lint_fixture("wall_clock.cpp",
+                                         pretend="src/serve")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report), ["wall-clock", "wall-clock"])
+
     def test_float_printf_fixture(self):
         code, report = self.lint_fixture("float_printf.cpp", pretend="src/expt")
         self.assertEqual(code, 1)

@@ -1,0 +1,62 @@
+// StatsSnapshot: ordered JSON serialization and atomic publication.
+#include "obs/stats_snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace anadex::obs {
+namespace {
+
+TEST(StatsSnapshot, SerializesInInsertionOrder) {
+  StatsSnapshot snap;
+  snap.set("schema", std::string_view("anadex-serve-stats/v1"));
+  snap.set("admitted", std::uint64_t{4});
+  snap.set("cache_hit_rate", 0.25);
+  snap.set("draining", true);
+  EXPECT_EQ(snap.to_json(),
+            "{\"schema\":\"anadex-serve-stats/v1\",\"admitted\":4,"
+            "\"cache_hit_rate\":0.25,\"draining\":true}\n");
+}
+
+TEST(StatsSnapshot, ResettingAKeyUpdatesInPlace) {
+  StatsSnapshot snap;
+  snap.set("a", std::uint64_t{1});
+  snap.set("b", std::uint64_t{2});
+  snap.set("a", std::uint64_t{9});       // same key: position kept
+  snap.set("b", 0.5);                    // type may change too
+  EXPECT_EQ(snap.to_json(), "{\"a\":9,\"b\":0.5}\n");
+}
+
+TEST(StatsSnapshot, EscapesStringsLikeTheTraceWriter) {
+  StatsSnapshot snap;
+  snap.set("msg", std::string_view("say \"hi\"\n"));
+  EXPECT_EQ(snap.to_json(), "{\"msg\":\"say \\\"hi\\\"\\n\"}\n");
+}
+
+TEST(StatsSnapshot, WritesAtomically) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path(testing::TempDir()) / "anadex_stats_snap.json";
+  fs::remove(path);
+
+  StatsSnapshot snap;
+  snap.set("value", std::uint64_t{1});
+  snap.write(path);
+  snap.set("value", std::uint64_t{2});
+  snap.write(path);  // atomic replace of an existing file
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "{\"value\":2}");
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp")) << "temp file left behind";
+}
+
+TEST(StatsSnapshot, EmptySnapshotIsAnEmptyObject) {
+  EXPECT_EQ(StatsSnapshot{}.to_json(), "{}\n");
+}
+
+}  // namespace
+}  // namespace anadex::obs

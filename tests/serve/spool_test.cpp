@@ -1,0 +1,131 @@
+// Spool-directory protocol: deterministic request ordering, claim-by-rename
+// and atomic result files.
+#include "serve/spool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace anadex::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_spool(const std::string& tag) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("anadex_spool_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void drop(const fs::path& dir, const std::string& name, const std::string& text) {
+  std::ofstream out(dir / name);
+  out << text;
+}
+
+TEST(Spool, PendingRequestsAreSortedByFilename) {
+  const fs::path dir = fresh_spool("order");
+  drop(dir, "b.job", "{}");
+  drop(dir, "a.job", "{}");
+  drop(dir, "c.job", "{}");
+  drop(dir, "ignored.txt", "{}");
+  drop(dir, "claimed.job.taken", "{}");
+  const auto requests = pending_requests(dir);
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0].filename(), "a.job");
+  EXPECT_EQ(requests[1].filename(), "b.job");
+  EXPECT_EQ(requests[2].filename(), "c.job");
+}
+
+TEST(Spool, TakenRequestsAreSortedAndExcludePendingOnes) {
+  const fs::path dir = fresh_spool("taken");
+  drop(dir, "b.job.taken", "{}");
+  drop(dir, "a.job.taken", "{}");
+  drop(dir, "fresh.job", "{}");
+  drop(dir, "a.result.json", "{}");
+  drop(dir, ".job.taken", "{}");  // no stem: not a claimed request
+  const auto taken = taken_requests(dir);
+  ASSERT_EQ(taken.size(), 2u);
+  EXPECT_EQ(taken[0].filename(), "a.job.taken");
+  EXPECT_EQ(taken[1].filename(), "b.job.taken");
+}
+
+TEST(Spool, PendingRequestsRequiresADirectory) {
+  EXPECT_THROW(pending_requests(fs::path(testing::TempDir()) / "no_such_dir"),
+               PreconditionError);
+}
+
+TEST(Spool, ClaimRenamesTheRequest) {
+  const fs::path dir = fresh_spool("claim");
+  drop(dir, "x.job", "payload");
+  const fs::path taken = claim_request(dir / "x.job");
+  EXPECT_EQ(taken.filename(), "x.job.taken");
+  EXPECT_FALSE(fs::exists(dir / "x.job"));
+  EXPECT_TRUE(fs::exists(taken));
+  EXPECT_TRUE(pending_requests(dir).empty());
+  EXPECT_EQ(read_request_line(taken), "payload");
+}
+
+TEST(Spool, ReadRequestLineStripsCrAndRejectsEmpty) {
+  const fs::path dir = fresh_spool("read");
+  drop(dir, "crlf.job", "{\"id\":\"a\"}\r\nsecond line ignored\n");
+  EXPECT_EQ(read_request_line(dir / "crlf.job"), "{\"id\":\"a\"}");
+  drop(dir, "empty.job", "");
+  EXPECT_THROW(read_request_line(dir / "empty.job"), PreconditionError);
+  EXPECT_THROW(read_request_line(dir / "missing.job"), PreconditionError);
+}
+
+TEST(Spool, ResultFileRoundTrip) {
+  const fs::path dir = fresh_spool("result");
+  JobResult result;
+  result.id = "j1";
+  result.state = "done";
+  result.has_outcome = true;
+  result.outcome.generations = 20;
+  result.outcome.evaluations = 340;
+  result.outcome.distinct_evaluations = 300;
+  result.outcome.cache_hits = 40;
+  result.outcome.front_area = 12.5;
+  result.outcome.hypervolume_norm = 0.75;
+  result.outcome.front = {{1.5e-3, 4.0e-12}, {2.5e-3, 3.0e-12}};
+  write_result_file(dir, result);
+
+  std::ifstream in(result_path(dir, "j1"));
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line,
+            "{\"id\":\"j1\",\"state\":\"done\",\"generations\":20,"
+            "\"evaluations\":340,\"distinct_evaluations\":300,"
+            "\"cache_hits\":40,\"interrupted\":false,\"front_area\":12.5,"
+            "\"hypervolume_norm\":0.75,"
+            "\"front\":[[0.0015,4e-12],[0.0025,3e-12]]}");
+  EXPECT_FALSE(fs::exists(dir / "j1.result.json.tmp")) << "temp file left behind";
+}
+
+TEST(Spool, RejectionResultCarriesErrorAndNoMetrics) {
+  const fs::path dir = fresh_spool("reject");
+  JobResult result;
+  result.id = "nope";
+  result.state = "rejected";
+  result.error = "job request: unknown key \"bogus\"";
+  write_result_file(dir, result);
+  std::ifstream in(result_path(dir, "nope"));
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line,
+            "{\"id\":\"nope\",\"state\":\"rejected\","
+            "\"error\":\"job request: unknown key \\\"bogus\\\"\"}");
+}
+
+TEST(Spool, ResultFileRequiresSafeId) {
+  JobResult result;
+  result.id = "../escape";
+  result.state = "done";
+  EXPECT_THROW(write_result_file(fresh_spool("unsafe"), result), PreconditionError);
+}
+
+}  // namespace
+}  // namespace anadex::serve
