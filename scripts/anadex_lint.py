@@ -74,8 +74,11 @@ SKIPPED_DIR_PARTS = ("tests/lint/fixtures",)
 # src/serve is included because the scheduler's admission order, slicing
 # and result files are part of the byte-identical reproducibility contract
 # (docs/serve.md).
-DETERMINISTIC_DIRS = ("src/engine", "src/moga", "src/sacga", "src/expt",
-                      "src/serve")
+# src/engine/simd is already inside src/engine, but the SoA lane kernels it
+# dispatches to live in src/device and src/circuit (batch_mosfet.hpp,
+# batch_opamp.*) — result paths that must obey the same determinism rules.
+DETERMINISTIC_DIRS = ("src/engine", "src/engine/simd", "src/moga", "src/sacga",
+                      "src/expt", "src/serve", "src/device", "src/circuit")
 
 ALLOW_RE = re.compile(r"anadex-lint:\s*allow\(([^)]*)\)")
 COMMENT_ONLY_RE = re.compile(r"^\s*(//|/\*|\*|\*/)")

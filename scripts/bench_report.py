@@ -33,6 +33,11 @@ REQUIRED_BY_BENCH = {
         "cache_ok",
         "robust_overhead_ratio",
         "robust_ok",
+        "simd_speedup",
+        "simd_lane_groups",
+        "simd_bit_identical",
+        "simd_gate_enforced",
+        "simd_ok",
     ],
     "kernels": ["results", "sweep_speedup_at_512", "sweep_ok"],
     "obs_overhead": [
@@ -55,7 +60,14 @@ SELF_CHECKS = {
         for row in d.get("results", []) + d.get("duplicate_rates", [])
     )
     and d.get("cache_ok") is True
-    and d.get("robust_ok") is True,
+    and d.get("robust_ok") is True
+    # The SIMD lane path must be bit-exact against the scalar oracle on
+    # every build and must have actually engaged (lane_groups > 0); the
+    # >= 4x speedup itself is folded into simd_ok by the binary when the
+    # run was gated (--simd-gate, the CI native-ISA bench job).
+    and d.get("simd_bit_identical") is True
+    and d.get("simd_lane_groups", 0) > 0
+    and d.get("simd_ok") is True,
     "kernels": lambda d: d.get("sweep_ok") is True,
     "obs_overhead": lambda d: d.get("within_budget") is True
     and d.get("results_identical") is True,

@@ -1,0 +1,61 @@
+// Deterministic transcendental kernels shared by the scalar circuit model
+// and the SoA batch evaluator.
+//
+// The scalar↔SIMD bit-identity contract (docs/performance.md) requires every
+// lane of the batch evaluator to execute the exact same sequence of
+// correctly-rounded IEEE-754 operations as the scalar oracle. libm calls
+// break that bargain twice over: glibc's cbrt/pow are opaque scalar routines
+// the compiler can neither vectorize nor reason about, and their results
+// vary across libm versions. The hot-path model therefore calls these
+// kernels instead — plain double arithmetic (+,-,*,/,sqrt are all exactly
+// rounded and identical whether issued as scalar or packed instructions)
+// that the autovectorizer can spread across lanes. As a side effect the
+// model's results no longer depend on the host libm at all.
+//
+// Accuracy: det_cbrt lands within ~1e-15 relative of the true cube root
+// over the normal range (exponent-trick seed, five division-free Newton
+// steps on the inverse root); pow_rt is exact for the exponents the device
+// model actually uses (n = 1 and n = 2, paper eqn 1). Neither claims
+// correct rounding — the model is a fitted approximation and only demands
+// determinism.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace anadex {
+
+/// Deterministic cube root for the non-negative arguments the mobility
+/// model produces. Branch-free and division-free: a biased-exponent seed
+/// for y ~= x^(-1/3) refined by five Newton steps (y' = y(4 - x*y^3)/3),
+/// then cbrt(x) = x*y^2. Total over all doubles — 0 maps to 0 exactly, NaN
+/// propagates, negative/inf inputs (which the model never produces) yield
+/// deterministic garbage identical in scalar and batch mode. The products
+/// inside the iteration are ordered ((x*y)*y)*y so no intermediate
+/// overflows for any normal x.
+inline double det_cbrt(double x) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(x);
+  const std::uint32_t hi = static_cast<std::uint32_t>(bits >> 32);
+  double y = std::bit_cast<double>(
+      static_cast<std::uint64_t>(0x553EF0FFu - hi / 3) << 32);
+  for (int pass = 0; pass < 5; ++pass) {
+    const double t = ((x * y) * y) * y;
+    y = y * (4.0 - t) * (1.0 / 3.0);
+  }
+  return (x * y) * y;
+}
+
+/// Runtime-exponent power with exact fast paths for the exponents the
+/// device model uses (paper eqn 1: n = 1 for NMOS, n = 2 for PMOS, so the
+/// derivative needs n - 1 = 0). Falls back to libm for exotic process
+/// descriptions — the branch is uniform across SIMD lanes because the
+/// exponent is a process parameter, never per-genome data.
+inline double pow_rt(double base, double exponent) {
+  if (exponent == 1.0) return base;
+  if (exponent == 2.0) return base * base;
+  if (exponent == 0.0) return 1.0;
+  return std::pow(base, exponent);
+}
+
+}  // namespace anadex

@@ -4,26 +4,32 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/fastmath.hpp"
 
 namespace anadex::device {
 
 namespace {
 
 /// Mobility-degradation denominator 1 + θ1·u^(1/3) + θ2·u^n, u clamped >= 0.
+/// Uses the deterministic shared-math kernels (common/fastmath.hpp) so the
+/// scalar oracle and the SoA batch evaluator execute identical arithmetic.
 double mobility_denominator(const DeviceParams& p, double vgs, double vt) {
   const double u = std::max(vgs + vt - p.vk, 0.0);
-  return 1.0 + p.theta1 * std::cbrt(u) + p.theta2 * std::pow(u, p.n_exp);
+  return 1.0 + p.theta1 * det_cbrt(u) + p.theta2 * pow_rt(u, p.n_exp);
 }
 
-/// d/dVGS of the mobility denominator.
+/// d/dVGS of the mobility denominator. u^(-2/3) is expressed through the
+/// same det_cbrt the denominator uses (1/cbrt(u)^2), keeping both paths on
+/// shared kernels.
 double mobility_denominator_derivative(const DeviceParams& p, double vgs, double vt) {
   const double u = vgs + vt - p.vk;
   if (u <= 0.0) return 0.0;
-  double d = p.theta1 / 3.0 * std::pow(u, -2.0 / 3.0);
+  const double c = det_cbrt(u);
+  double d = p.theta1 / 3.0 / (c * c);
   if (p.n_exp == 1.0) {
     d += p.theta2;
   } else {
-    d += p.theta2 * p.n_exp * std::pow(u, p.n_exp - 1.0);
+    d += p.theta2 * p.n_exp * pow_rt(u, p.n_exp - 1.0);
   }
   return d;
 }

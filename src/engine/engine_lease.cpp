@@ -6,10 +6,12 @@ namespace anadex::engine {
 
 EngineLease::EngineLease(const moga::Problem& problem, const EngineHandle& handle,
                          std::size_t threads, obs::EventSink* sink,
-                         std::size_t cache_capacity, EvalWatchdog watchdog)
+                         std::size_t cache_capacity, EvalWatchdog watchdog,
+                         BatchEval batch_eval)
     : problem_(problem), handle_(handle) {
   if (!handle_.shared()) {
     owned_.emplace(problem, threads, sink, cache_capacity, watchdog);
+    owned_->set_batch_eval(batch_eval);
     return;
   }
   // A per-run deadline thread belongs to the engine that owns the worker

@@ -37,12 +37,14 @@ namespace anadex::engine {
 class EngineLease {
  public:
   /// `handle` empty: builds a private EvalEngine(problem, threads, sink,
-  /// cache_capacity, watchdog). `handle.shared()`: leases the hub;
-  /// `threads` / `cache_capacity` are ignored (the hub's configuration
-  /// governs) and `watchdog` must be disabled.
+  /// cache_capacity, watchdog) running in `batch_eval` mode.
+  /// `handle.shared()`: leases the hub; `threads` / `cache_capacity` /
+  /// `batch_eval` are ignored (the hub's configuration governs) and
+  /// `watchdog` must be disabled.
   EngineLease(const moga::Problem& problem, const EngineHandle& handle,
               std::size_t threads, obs::EventSink* sink,
-              std::size_t cache_capacity, EvalWatchdog watchdog = {});
+              std::size_t cache_capacity, EvalWatchdog watchdog = {},
+              BatchEval batch_eval = BatchEval::Scalar);
 
   EngineLease(const EngineLease&) = delete;
   EngineLease& operator=(const EngineLease&) = delete;

@@ -233,26 +233,12 @@ void EvalEngine::submit(const moga::Problem& problem, std::uint64_t context,
 }
 
 void EvalEngine::run_serial(std::span<const Item> items) const {
-  // Same contract as the pooled path: attempt every item, then rethrow the
-  // lowest-index failure, so thread count never changes which items got
-  // their results written.
-  std::exception_ptr first_error;
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    const Item& item = items[i];
-    Clock::time_point item_start;
-    if (trace_timing_) item_start = Clock::now();
-    try {
-      batch_problem_->evaluate(*item.genes, *item.out);
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-    if (trace_timing_) {
-      const Clock::time_point done = Clock::now();
-      trace_start_s_[i] = seconds_between(trace_submit_, item_start);
-      trace_dur_s_[i] = seconds_between(item_start, done);
-    }
+  // Same contract as the pooled path: attempt every item (lane group by
+  // lane group), collect the lowest-index failure in first_error_, so
+  // thread count never changes which items got their results written.
+  for (std::size_t start = 0; start < items.size(); start += lane_width_) {
+    process_group(start, std::min(lane_width_, items.size() - start));
   }
-  if (first_error) std::rethrow_exception(first_error);
 }
 
 void EvalEngine::process_item(std::size_t index) const {
@@ -275,6 +261,49 @@ void EvalEngine::process_item(std::size_t index) const {
     trace_start_s_[index] = seconds_between(trace_submit_, item_start);
     trace_dur_s_[index] = seconds_between(item_start, done);
   }
+}
+
+void EvalEngine::process_group(std::size_t start, std::size_t count) const {
+  if (lanes_ != nullptr && count > 1) {
+    Clock::time_point group_start;
+    if (trace_timing_) group_start = Clock::now();
+    bool lanes_ok = false;
+    try {
+      std::vector<std::span<const double>> genes(count);
+      std::vector<moga::Evaluation*> outs(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        genes[i] = std::span<const double>(*items_[start + i].genes);
+        outs[i] = items_[start + i].out;
+      }
+      lanes_->evaluate_lanes(genes, outs);
+      lanes_ok = true;
+    } catch (...) {
+      // LaneEvaluator contract: a throwing group has written NO outputs.
+      // Fall through to the per-item scalar path below, which reproduces
+      // exactly what a scalar batch would have done with these items —
+      // including recording the lowest-index per-item exception.
+    }
+    if (lanes_ok) {
+      lane_groups_.fetch_add(1, std::memory_order_relaxed);
+      lane_items_.fetch_add(count, std::memory_order_relaxed);
+      if (trace_timing_) {
+        // Lane groups are timed as a unit; each item is attributed an even
+        // share so batch-level latency stats stay comparable. Measurement
+        // only — never feeds back into results.
+        const Clock::time_point done = Clock::now();
+        const double share =
+            seconds_between(group_start, done) / static_cast<double>(count);
+        const double offset = seconds_between(trace_submit_, group_start);
+        for (std::size_t i = 0; i < count; ++i) {
+          trace_start_s_[start + i] = offset;
+          trace_dur_s_[start + i] = share;
+        }
+      }
+      return;
+    }
+    lane_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < count; ++i) process_item(start + i);
 }
 
 void EvalEngine::emit_batch_event(std::size_t size, double wall_seconds,
@@ -391,20 +420,36 @@ void EvalEngine::run_batch(std::span<const Item> items) const {
   }
   trace_timing_ = tracing;
 
-  if (workers_.empty() || items.size() == 1) {
-    if (!tracing) {
-      run_serial(items);
-      return;
+  // Lane discovery, per batch (a hub's batch_problem_ changes per batch).
+  // Simd uses lanes whenever the problem supports them; Auto additionally
+  // requires at least one full lane group so tiny batches skip the setup.
+  lanes_ = nullptr;
+  lane_width_ = 1;
+  if (batch_eval_ != BatchEval::Scalar) {
+    if (const auto* lanes = dynamic_cast<const LaneEvaluator*>(batch_problem_);
+        lanes != nullptr && lanes->lanes_supported()) {
+      const std::size_t width = std::max<std::size_t>(1, lanes->preferred_lane_width());
+      if (batch_eval_ == BatchEval::Simd || items.size() >= width) {
+        lanes_ = lanes;
+        lane_width_ = width;
+      }
     }
-    try {
-      run_serial(items);
-    } catch (...) {
+  }
+
+  if (workers_.empty() || items.size() == 1) {
+    items_ = items.data();
+    item_count_ = items.size();
+    first_error_ = nullptr;
+    first_error_index_ = std::numeric_limits<std::size_t>::max();
+    run_serial(items);
+    items_ = nullptr;
+    item_count_ = 0;
+    const std::exception_ptr error = std::exchange(first_error_, nullptr);
+    if (tracing) {
       trace_timing_ = false;
       emit_batch_event(items.size(), seconds_between(trace_submit_, Clock::now()), 1);
-      throw;
     }
-    trace_timing_ = false;
-    emit_batch_event(items.size(), seconds_between(trace_submit_, Clock::now()), 1);
+    if (error) std::rethrow_exception(error);
     return;
   }
 
@@ -456,12 +501,19 @@ void EvalEngine::worker_loop() {
       ++active_;
     }
 
-    const std::size_t count = item_count_;  // stable while this batch runs
+    // Stable while this batch runs. Workers claim whole lane groups (width
+    // 1 = the classic per-item claim) so a LaneEvaluator sees contiguous,
+    // deterministic groups no matter which worker lands on them; results
+    // are still written by item index, keeping the bit-identity contract
+    // across thread counts and batch-eval modes.
+    const std::size_t count = item_count_;
+    const std::size_t width = lane_width_;
     for (;;) {
-      const std::size_t index = next_item_.fetch_add(1, std::memory_order_relaxed);
-      if (index >= count) break;
-      process_item(index);
-      completed_.fetch_add(1, std::memory_order_acq_rel);
+      const std::size_t start = next_item_.fetch_add(width, std::memory_order_relaxed);
+      if (start >= count) break;
+      const std::size_t group = std::min(width, count - start);
+      process_group(start, group);
+      completed_.fetch_add(group, std::memory_order_acq_rel);
     }
 
     {

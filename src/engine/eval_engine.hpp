@@ -17,6 +17,7 @@
 // docs/engine.md.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -29,6 +30,7 @@
 
 #include "common/cancel.hpp"
 #include "engine/eval_cache.hpp"
+#include "engine/simd/lane_evaluator.hpp"
 #include "moga/individual.hpp"
 #include "moga/problem.hpp"
 #include "obs/event_sink.hpp"
@@ -137,6 +139,25 @@ class EvalEngine final : public Evaluator {
   /// The watchdog configuration the engine was built with.
   const EvalWatchdog& watchdog() const { return watchdog_; }
 
+  /// Selects how batches are mapped onto a LaneEvaluator-capable problem.
+  /// A pure EXECUTION knob like `threads` and the cache: excluded from the
+  /// checkpoint config digest, and results are bit-identical across all
+  /// three modes (the SIMD path is the scalar model transliterated, see
+  /// docs/performance.md). Scalar (default) never uses lanes; Simd groups
+  /// every batch into lanes whenever the problem supports them; Auto uses
+  /// lanes only when a batch has at least one full lane group. Problems
+  /// without lane support always run scalar, in every mode. Call between
+  /// batches only (not concurrently with an in-flight batch).
+  void set_batch_eval(BatchEval mode) { batch_eval_ = mode; }
+  BatchEval batch_eval() const { return batch_eval_; }
+
+  /// Lane-path accounting across the engine's lifetime: groups dispatched
+  /// through LaneEvaluator::evaluate_lanes, items inside those groups, and
+  /// groups that threw and were re-run item-by-item on the scalar path.
+  std::uint64_t lane_groups() const { return lane_groups_.load(std::memory_order_relaxed); }
+  std::uint64_t lane_items() const { return lane_items_.load(std::memory_order_relaxed); }
+  std::uint64_t lane_fallbacks() const { return lane_fallbacks_.load(std::memory_order_relaxed); }
+
   /// Number of batches whose deadline expired (watchdog enabled only).
   std::size_t watchdog_fires() const { return watchdog_fires_; }
 
@@ -206,6 +227,10 @@ class EvalEngine final : public Evaluator {
   void watchdog_loop();
   /// Evaluates items_[index], recording the lowest-index exception.
   void process_item(std::size_t index) const;
+  /// Evaluates the `count` items starting at items_[start]: through the
+  /// batch's LaneEvaluator when one is active (falling back to per-item
+  /// scalar evaluation if the group throws), item-by-item otherwise.
+  void process_group(std::size_t start, std::size_t count) const;
   void worker_loop();
   /// Folds the per-item clocks of the finished batch into one timed
   /// "batch" event (eval level only).
@@ -239,6 +264,11 @@ class EvalEngine final : public Evaluator {
   /// worker is active); equals `problem_` on a bound engine and the
   /// caller-supplied problem on a hub.
   mutable const moga::Problem* batch_problem_ = nullptr;
+  /// Lane evaluator of the CURRENT batch (null = scalar), and the group
+  /// width workers claim by. Published with `items_` under the same
+  /// discipline; re-discovered per batch (hubs switch problems per batch).
+  mutable const LaneEvaluator* lanes_ = nullptr;
+  mutable std::size_t lane_width_ = 1;
   mutable const Item* items_ = nullptr;
   mutable std::size_t item_count_ = 0;
   mutable std::atomic<std::size_t> next_item_{0};
@@ -247,6 +277,10 @@ class EvalEngine final : public Evaluator {
   mutable std::uint64_t batch_seq_ = 0;   ///< bumped per published batch
   mutable std::exception_ptr first_error_;
   mutable std::size_t first_error_index_ = 0;
+  BatchEval batch_eval_ = BatchEval::Scalar;
+  mutable std::atomic<std::uint64_t> lane_groups_{0};
+  mutable std::atomic<std::uint64_t> lane_items_{0};
+  mutable std::atomic<std::uint64_t> lane_fallbacks_{0};
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 

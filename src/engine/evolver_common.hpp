@@ -13,6 +13,7 @@
 
 #include "common/cancel.hpp"
 #include "engine/engine_handle.hpp"
+#include "engine/simd/lane_evaluator.hpp"
 #include "moga/individual.hpp"
 #include "obs/event_sink.hpp"
 
@@ -65,6 +66,13 @@ struct EvolverCommon : ObsConfig {
   /// ignored. Another pure execution knob: results are byte-identical
   /// either way (see docs/serve.md).
   EngineHandle engine;
+
+  /// Batch-to-SIMD-lane mapping for LaneEvaluator-capable problems
+  /// (engine::EvalEngine::set_batch_eval semantics). Another pure execution
+  /// knob: the SIMD path is bit-identical to the scalar oracle, so fronts,
+  /// traces and checkpoints do not depend on it. Ignored when `engine` is a
+  /// shared hub (the hub's own mode governs).
+  BatchEval batch_eval = BatchEval::Scalar;
 
   // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
   /// Call on_snapshot every this many generations (0 disables).

@@ -1,0 +1,25 @@
+#include "engine/simd/lane_evaluator.hpp"
+
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace anadex::engine {
+
+const char* to_string(BatchEval mode) {
+  switch (mode) {
+    case BatchEval::Scalar: return "scalar";
+    case BatchEval::Simd: return "simd";
+    case BatchEval::Auto: return "auto";
+  }
+  return "scalar";
+}
+
+BatchEval parse_batch_eval(std::string_view text) {
+  if (text == "scalar") return BatchEval::Scalar;
+  if (text == "simd") return BatchEval::Simd;
+  if (text == "auto") return BatchEval::Auto;
+  ANADEX_REQUIRE(false, "--batch-eval must be one of: scalar, simd, auto");
+}
+
+}  // namespace anadex::engine

@@ -53,10 +53,11 @@ moga::GenerationCallback make_history_recorder(const RunSettings& settings,
 
 /// One-line digest of every knob not covered by CheckpointMeta's explicit
 /// fields. Compared verbatim on resume, so a checkpoint cannot silently
-/// continue under a different configuration. `threads` and `eval_cache` are
-/// deliberately NOT part of the digest: results are invariant under both
-/// (pure execution knobs), so a run may be checkpointed under one
-/// thread/cache setting and resumed under another.
+/// continue under a different configuration. `threads`, `eval_cache` and
+/// `batch_eval` are deliberately NOT part of the digest: results are
+/// invariant under all three (pure execution knobs — the SIMD lane path is
+/// bit-identical to the scalar oracle), so a run may be checkpointed under
+/// one thread/cache/SIMD setting and resumed under another.
 std::string config_digest(const RunSettings& s) {
   std::ostringstream os;
   os << "partitions=" << s.partitions << " islands=" << s.islands << " migration="
@@ -239,6 +240,7 @@ RunOutcome detail::run_impl(const problems::IntegratorProblem& problem,
     const obs::Field fields[] = {
         obs::u64("threads", settings.threads),
         obs::u64("hardware_concurrency", std::thread::hardware_concurrency()),
+        obs::str("batch_eval", engine::to_string(settings.batch_eval)),
     };
     sink->record(obs::Event{"env", obs::TraceLevel::Eval, true, fields});
   }
@@ -344,6 +346,7 @@ RunOutcome detail::run_impl(const problems::IntegratorProblem& problem,
     common.threads = settings.threads;
     common.eval_cache = settings.eval_cache;
     common.engine = settings.engine;
+    common.batch_eval = settings.batch_eval;
     common.sink = sink;
     common.stop = settings.stop;
     if (settings.eval_deadline_s.has_value()) {
@@ -503,6 +506,7 @@ RunOutcome detail::run_impl(const problems::IntegratorProblem& problem,
       params.threads = settings.threads;
       params.eval_cache = settings.eval_cache;
       params.engine = settings.engine;
+      params.batch_eval = settings.batch_eval;
       params.sink = sink;
       if (sink != nullptr) {
         params.trace_hypervolume = [](const moga::Population& pop) {

@@ -29,6 +29,7 @@
 
 #include "common/cancel.hpp"
 #include "engine/engine_handle.hpp"
+#include "engine/simd/lane_evaluator.hpp"
 #include "moga/metrics.hpp"
 #include "moga/nsga2.hpp"
 #include "obs/event_sink.hpp"
@@ -96,6 +97,14 @@ struct RunSettings {
   /// excluded from the config digest, results byte-identical either way.
   /// Incompatible with `eval_deadline_s` (the deadline belongs to the hub).
   engine::EngineHandle engine;
+  /// Batch-to-SIMD-lane mapping for LaneEvaluator-capable problems
+  /// (Scalar = per-item oracle path, Simd = force lane groups, Auto = lanes
+  /// when the batch fills a group). The SIMD kernels are bit-identical to
+  /// the scalar oracle, so fronts, traces and checkpoints do not depend on
+  /// the mode — a pure execution knob, excluded from the config digest like
+  /// `threads` / `eval_cache`. Ignored when `engine` is a shared hub (the
+  /// hub's own mode governs). See docs/performance.md.
+  engine::BatchEval batch_eval = engine::BatchEval::Scalar;
   bool record_history = false;
   std::size_t history_stride = 25;             ///< generations between history samples
 

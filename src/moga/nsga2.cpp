@@ -23,7 +23,8 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
   const engine::EngineLease eval(problem, params.engine, params.threads,
                                  params.sink, params.eval_cache,
                                  engine::EvalWatchdog{params.eval_cancel,
-                                                      params.eval_deadline_s});
+                                                      params.eval_deadline_s},
+                                 params.batch_eval);
   Rng rng(params.seed);
   Nsga2Result result;
 

@@ -52,7 +52,8 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
 
   const auto bounds = problem.bounds();
   const engine::EngineLease eval(problem, params.engine, params.threads,
-                                 params.sink, params.eval_cache);
+                                 params.sink, params.eval_cache,
+                                 engine::EvalWatchdog{}, params.batch_eval);
   Rng master(params.seed);
   WeightedSumResult result;
 

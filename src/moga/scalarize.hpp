@@ -35,6 +35,9 @@ struct WeightedSumParams : engine::ObsConfig {
   /// Shared-engine lease (same semantics as engine::EvolverCommon::engine;
   /// empty = private EvalEngine, results are invariant).
   engine::EngineHandle engine;
+  /// Batch-to-SIMD-lane mapping (same semantics as
+  /// engine::EvolverCommon::batch_eval; results are invariant).
+  engine::BatchEval batch_eval = engine::BatchEval::Scalar;
 };
 
 struct WeightedSumResult {

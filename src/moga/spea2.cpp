@@ -114,7 +114,8 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
   const engine::EngineLease eval(problem, params.engine, params.threads,
                                  params.sink, params.eval_cache,
                                  engine::EvalWatchdog{params.eval_cancel,
-                                                      params.eval_deadline_s});
+                                                      params.eval_deadline_s},
+                                 params.batch_eval);
   Rng rng(params.seed);
   Spea2Result result;
 

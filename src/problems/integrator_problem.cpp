@@ -1,9 +1,13 @@
 #include "problems/integrator_problem.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 
+#include "circuit/batch_opamp.hpp"
 #include "common/check.hpp"
+#include "scint/batch_integrator.hpp"
 
 namespace anadex::problems {
 
@@ -147,6 +151,110 @@ void IntegratorProblem::evaluate(std::span<const double> genes, moga::Evaluation
       violation((spec_.vov_min - vov_worst) / 0.1),                // strong inversion
       violation((spec_.robustness_min - rob) / spec_.robustness_min),
   };
+}
+
+// 16 measured fastest on AVX-512 and AVX2 hosts alike (deeper lane pool
+// amortizes the masked Newton iterations of slow-converging lanes).
+std::size_t IntegratorProblem::preferred_lane_width() const { return 16; }
+
+void IntegratorProblem::evaluate_lanes(std::span<const std::span<const double>> genes,
+                                       std::span<moga::Evaluation* const> outs) const {
+  ANADEX_REQUIRE(genes.size() == outs.size() && !genes.empty(),
+                 "evaluate_lanes needs parallel, non-empty spans");
+  std::size_t pos = 0;
+  while (pos < genes.size()) {
+    const std::size_t n = std::min<std::size_t>(genes.size() - pos, circuit::kMaxLaneWidth);
+    const auto g = genes.subspan(pos, n);
+    const auto o = outs.subspan(pos, n);
+    if (n <= 4) {
+      evaluate_lane_group<4>(g, o);
+    } else if (n <= 8) {
+      evaluate_lane_group<8>(g, o);
+    } else {
+      evaluate_lane_group<16>(g, o);
+    }
+    pos += n;
+  }
+}
+
+template <std::size_t W>
+void IntegratorProblem::evaluate_lane_group(std::span<const std::span<const double>> genes,
+                                            std::span<moga::Evaluation* const> outs) const {
+  const std::size_t n = genes.size();
+
+  // Pre-screen BEFORE any output is written (LaneEvaluator error
+  // contract): reject exactly the genomes whose scalar evaluation throws —
+  // non-positive or non-finite device geometry / bias current trips an
+  // ANADEX_REQUIRE inside the device model. The engine reacts by re-running
+  // every lane of the group through the scalar path, which reproduces the
+  // precise per-genome exception (or result) the scalar mode would produce.
+  std::array<scint::IntegratorDesign, W> designs;
+  for (std::size_t i = 0; i < n; ++i) {
+    designs[i] = decode(genes[i]);
+    const circuit::OpAmpDesign& a = designs[i].opamp;
+    const bool ok = a.m1.w > 0.0 && a.m1.l > 0.0 && a.m3.w > 0.0 && a.m3.l > 0.0 &&
+                    a.m5.w > 0.0 && a.m5.l > 0.0 && a.m6.w > 0.0 && a.m6.l > 0.0 &&
+                    a.m7.w > 0.0 && a.m7.l > 0.0 && a.ibias > 0.0;
+    ANADEX_REQUIRE(ok, "batch pre-screen: genome outside the device model's domain");
+  }
+  // Pad the group with lane 0 (already screened); padded results are
+  // computed and discarded.
+  for (std::size_t i = n; i < W; ++i) designs[i] = designs[0];
+
+  // Per-lane worst-case accumulators, mirroring evaluate()'s corner loop.
+  std::array<double, W> dr_worst, or_worst, st_worst, se_worst, area_worst;
+  std::array<double, W> sat_worst, balance_worst, vov_worst, power_tt;
+  std::array<bool, W> tt_pass;
+  for (std::size_t i = 0; i < W; ++i) {
+    dr_worst[i] = std::numeric_limits<double>::infinity();
+    or_worst[i] = std::numeric_limits<double>::infinity();
+    st_worst[i] = 0.0;
+    se_worst[i] = 0.0;
+    area_worst[i] = 0.0;
+    sat_worst[i] = std::numeric_limits<double>::infinity();
+    balance_worst[i] = 0.0;
+    vov_worst[i] = std::numeric_limits<double>::infinity();
+    power_tt[i] = 0.0;
+    tt_pass[i] = false;
+  }
+
+  std::array<scint::IntegratorPerformance, W> perfs;
+  for (std::size_t c = 0; c < corners_.size(); ++c) {
+    scint::evaluate_lanes<W>(corners_[c], std::span<const scint::IntegratorDesign, W>{designs},
+                             context_, std::span<scint::IntegratorPerformance, W>{perfs});
+    for (std::size_t i = 0; i < n; ++i) {
+      const scint::IntegratorPerformance& perf = perfs[i];
+      dr_worst[i] = std::min(dr_worst[i], perf.dynamic_range_db);
+      or_worst[i] = std::min(or_worst[i], perf.output_range);
+      st_worst[i] = std::max(st_worst[i], perf.settling_time);
+      se_worst[i] = std::max(se_worst[i], perf.settling_error);
+      area_worst[i] = std::max(area_worst[i], perf.area);
+      sat_worst[i] = std::min(sat_worst[i], perf.sat_margin_worst);
+      balance_worst[i] = std::max(balance_worst[i], perf.mirror_balance_error);
+      vov_worst[i] = std::min(vov_worst[i], perf.vov_worst);
+      if (c == 0) {
+        power_tt[i] = perf.power;
+        tt_pass[i] = spec_.satisfied_by(perf);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rob = tt_pass[i] ? design_robustness(designs[i]) : 0.0;
+    moga::Evaluation& out = *outs[i];
+    out.objectives = {power_tt[i], kLoadMax - designs[i].cload};
+    out.violations = {
+        violation((spec_.dr_min_db - dr_worst[i]) / 10.0),
+        violation((spec_.or_min - or_worst[i]) / 0.5),
+        violation((st_worst[i] - spec_.st_max) / spec_.st_max),
+        violation((se_worst[i] - spec_.se_max) / spec_.se_max),
+        violation((area_worst[i] - spec_.area_max) / spec_.area_max),
+        violation(-sat_worst[i] / 0.1),
+        violation((balance_worst[i] - spec_.balance_max) / spec_.balance_max),
+        violation((spec_.vov_min - vov_worst[i]) / 0.1),
+        violation((spec_.robustness_min - rob) / spec_.robustness_min),
+    };
+  }
 }
 
 std::unique_ptr<IntegratorProblem> make_integrator_problem(const scint::Spec& spec) {

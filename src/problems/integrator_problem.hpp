@@ -15,6 +15,7 @@
 #include <array>
 #include <memory>
 
+#include "engine/simd/lane_evaluator.hpp"
 #include "moga/problem.hpp"
 #include "scint/integrator.hpp"
 #include "scint/spec.hpp"
@@ -32,7 +33,7 @@ enum GeneIndex : std::size_t {
 /// Upper end of the explored load range (and of the reported C axis), F.
 inline constexpr double kLoadMax = 5e-12;
 
-class IntegratorProblem final : public moga::Problem {
+class IntegratorProblem final : public moga::Problem, public engine::LaneEvaluator {
  public:
   /// Builds the problem for one specification. The five corner processes
   /// and the Monte-Carlo perturbation set are precomputed; evaluation is
@@ -48,6 +49,13 @@ class IntegratorProblem final : public moga::Problem {
   std::vector<moga::VariableBound> bounds() const override;
 
   void evaluate(std::span<const double> genes, moga::Evaluation& out) const override;
+
+  // LaneEvaluator: the SoA batch path. Results are bit-identical to
+  // evaluate() per genome (golden suite tests/scint/batch_equivalence_test).
+  bool lanes_supported() const override { return true; }
+  std::size_t preferred_lane_width() const override;
+  void evaluate_lanes(std::span<const std::span<const double>> genes,
+                      std::span<moga::Evaluation* const> outs) const override;
 
   /// Decodes a gene vector into the structured design.
   static scint::IntegratorDesign decode(std::span<const double> genes);
@@ -65,6 +73,13 @@ class IntegratorProblem final : public moga::Problem {
   double design_robustness(const scint::IntegratorDesign& design) const;
 
  private:
+  /// One padded lane group (n <= W) of the batch path; W is one of
+  /// circuit::kLaneWidths. Defined in the .cpp (only called from
+  /// evaluate_lanes there).
+  template <std::size_t W>
+  void evaluate_lane_group(std::span<const std::span<const double>> genes,
+                           std::span<moga::Evaluation* const> outs) const;
+
   scint::Spec spec_;
   scint::IntegratorContext context_;
   std::array<device::Process, 5> corners_;

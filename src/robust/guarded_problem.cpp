@@ -19,6 +19,7 @@ GuardedProblem::GuardedProblem(std::shared_ptr<const moga::Problem> inner, Guard
   bounds_ = inner_->bounds();
   ANADEX_REQUIRE(bounds_.size() == inner_->num_variables(),
                  "inner problem bounds()/num_variables() disagree");
+  inner_lanes_ = dynamic_cast<const engine::LaneEvaluator*>(inner_.get());
 }
 
 std::string GuardedProblem::name() const { return inner_->name() + "+guard"; }
@@ -157,6 +158,54 @@ void GuardedProblem::evaluate(std::span<const double> genes, moga::Evaluation& o
   if (tally.total_faults() == 0 && tally.retries == 0) return;
   std::lock_guard<std::mutex> lock(report_mu_);
   report_.merge(tally);
+}
+
+bool GuardedProblem::clean_result(const moga::Evaluation& out) const {
+  if (out.objectives.size() != inner_->num_objectives() ||
+      out.violations.size() != inner_->num_constraints()) {
+    return false;
+  }
+  for (double v : out.objectives) {
+    if (!std::isfinite(v)) return false;
+  }
+  for (double v : out.violations) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+void GuardedProblem::evaluate_lanes(std::span<const std::span<const double>> genes,
+                                    std::span<moga::Evaluation* const> outs) const {
+  ANADEX_REQUIRE(genes.size() == outs.size(),
+                 "evaluate_lanes needs parallel gene/result spans");
+  // Watchdog fail-fast or no inner lane path: the guarded scalar route
+  // handles every lane (penalties, retries, fault tally — all of it).
+  const bool cancelled = cancel_ != nullptr && cancel_->requested();
+  if (inner_lanes_ == nullptr || cancelled) {
+    for (std::size_t i = 0; i < genes.size(); ++i) evaluate(genes[i], *outs[i]);
+    return;
+  }
+
+  // One SIMD pass over the group. The LaneEvaluator contract says a
+  // throwing group wrote no outputs, but the guard does not rely on it:
+  // after a throw EVERY lane is re-run scalar, overwriting whatever state
+  // the outputs were left in.
+  bool lanes_ok = true;
+  try {
+    inner_lanes_->evaluate_lanes(genes, outs);
+  } catch (...) {
+    lanes_ok = false;
+  }
+
+  // Per-lane validation with the scalar guard's predicate. Clean lanes are
+  // finished — no lock, no tally, exactly like a clean scalar evaluate().
+  // Faulty (or throw-invalidated) lanes re-run through evaluate(): the
+  // inner problem is deterministic, so the scalar pass reproduces the same
+  // fault and the retry/penalty/report sequence matches scalar mode
+  // bit-for-bit.
+  for (std::size_t i = 0; i < genes.size(); ++i) {
+    if (!lanes_ok || !clean_result(*outs[i])) evaluate(genes[i], *outs[i]);
+  }
 }
 
 }  // namespace anadex::robust

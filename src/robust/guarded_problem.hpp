@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "engine/simd/lane_evaluator.hpp"
 #include "moga/problem.hpp"
 #include "robust/fault.hpp"
 
@@ -54,7 +55,7 @@ struct GuardPolicy {
 /// are order-independent sums and the sample failure is canonicalized by
 /// genome hash (FaultReport::merge), so the report — and therefore every
 /// checkpoint file — is bit-identical for any thread count.
-class GuardedProblem final : public moga::Problem {
+class GuardedProblem final : public moga::Problem, public engine::LaneEvaluator {
  public:
   GuardedProblem(std::shared_ptr<const moga::Problem> inner, GuardPolicy policy);
 
@@ -64,6 +65,21 @@ class GuardedProblem final : public moga::Problem {
   std::size_t num_constraints() const override;
   std::vector<moga::VariableBound> bounds() const override;
   void evaluate(std::span<const double> genes, moga::Evaluation& out) const override;
+
+  // LaneEvaluator pass-through: lane groups run on the inner problem's SIMD
+  // path, then every lane is validated with the same predicate as the
+  // scalar guard; faulty lanes are re-run through the scalar evaluate() so
+  // the retry ladder, penalties and the FaultReport are byte-identical to
+  // what scalar mode would have produced (the inner evaluator is
+  // deterministic, so a faulting genome faults identically both ways).
+  bool lanes_supported() const override {
+    return inner_lanes_ != nullptr && inner_lanes_->lanes_supported();
+  }
+  std::size_t preferred_lane_width() const override {
+    return inner_lanes_ != nullptr ? inner_lanes_->preferred_lane_width() : 1;
+  }
+  void evaluate_lanes(std::span<const std::span<const double>> genes,
+                      std::span<moga::Evaluation* const> outs) const override;
 
   const moga::Problem& inner() const { return *inner_; }
   const GuardPolicy& policy() const { return policy_; }
@@ -91,7 +107,14 @@ class GuardedProblem final : public moga::Problem {
   bool try_evaluate(std::span<const double> genes, moga::Evaluation& out,
                     FaultReport& tally) const;
 
+  /// The validity predicate of try_evaluate without the fault accounting:
+  /// right arity and every value finite.
+  bool clean_result(const moga::Evaluation& out) const;
+
   std::shared_ptr<const moga::Problem> inner_;
+  /// Inner problem's lane interface when it has one (same object as
+  /// inner_, non-owning), null otherwise.
+  const engine::LaneEvaluator* inner_lanes_ = nullptr;
   GuardPolicy policy_;
   std::vector<moga::VariableBound> bounds_;
   const CancelToken* cancel_ = nullptr;  ///< watchdog token, non-owning

@@ -93,7 +93,8 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
   const engine::EngineLease eval(problem, params.engine, params.threads,
                                  params.sink, params.eval_cache,
                                  engine::EvalWatchdog{params.eval_cancel,
-                                                      params.eval_deadline_s});
+                                                      params.eval_deadline_s},
+                                 params.batch_eval);
   Rng rng(params.seed);
   IslandResult result;
   moga::RankingScratch ranking;  // SoA buffers shared by all islands

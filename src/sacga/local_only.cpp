@@ -19,6 +19,7 @@ LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyPara
   evolver_params.eval_deadline_s = params.eval_deadline_s;
   evolver_params.eval_cancel = params.eval_cancel;
   evolver_params.engine = params.engine;
+  evolver_params.batch_eval = params.batch_eval;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);

@@ -31,6 +31,7 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   evolver_params.eval_deadline_s = params.eval_deadline_s;
   evolver_params.eval_cancel = params.eval_cancel;
   evolver_params.engine = params.engine;
+  evolver_params.batch_eval = params.batch_eval;
 
   std::optional<PartitionedEvolver> engine;
   MesacgaResult result;

@@ -17,7 +17,8 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
       params_(params),
       engine_(problem, params.engine, params.threads, params.sink,
               params.eval_cache,
-              engine::EvalWatchdog{params.eval_cancel, params.eval_deadline_s}),
+              engine::EvalWatchdog{params.eval_cancel, params.eval_deadline_s},
+              params.batch_eval),
       partitioner_(std::move(partitioner)),
       bounds_(problem.bounds()),
       rng_(seed),
@@ -41,7 +42,8 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
       params_(params),
       engine_(problem, params.engine, params.threads, params.sink,
               params.eval_cache,
-              engine::EvalWatchdog{params.eval_cancel, params.eval_deadline_s}),
+              engine::EvalWatchdog{params.eval_cancel, params.eval_deadline_s},
+              params.batch_eval),
       partitioner_(std::move(partitioner)),
       bounds_(problem.bounds()),
       rng_(1),

@@ -59,6 +59,9 @@ struct EvolverParams {
   /// a private EvalEngine from the knobs above; a hub handle leases the
   /// serve scheduler's worker pool instead. Results are invariant.
   engine::EngineHandle engine;
+  /// Batch-to-SIMD-lane mapping (engine::EvolverCommon semantics: pure
+  /// execution knob, bit-identical results; ignored on a shared hub).
+  engine::BatchEval batch_eval = engine::BatchEval::Scalar;
 };
 
 /// Probability that the i-th (1-based) locally-superior solution of a

@@ -53,6 +53,7 @@ SacgaResult run_sacga(const moga::Problem& problem, const SacgaParams& params,
   evolver_params.eval_deadline_s = params.eval_deadline_s;
   evolver_params.eval_cancel = params.eval_cancel;
   evolver_params.engine = params.engine;
+  evolver_params.batch_eval = params.batch_eval;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);

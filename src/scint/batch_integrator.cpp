@@ -1,0 +1,29 @@
+#include "scint/batch_integrator.hpp"
+
+#include <array>
+
+#include "circuit/batch_opamp.hpp"
+
+namespace anadex::scint {
+
+template <std::size_t W>
+void evaluate_lanes(const device::Process& process, std::span<const IntegratorDesign, W> designs,
+                    const IntegratorContext& context, std::span<IntegratorPerformance, W> out) {
+  std::array<circuit::OpAmpDesign, W> amps;
+  std::array<circuit::OpAmpAnalysis, W> analyses;
+  for (std::size_t k = 0; k < W; ++k) amps[k] = designs[k].opamp;
+  circuit::analyze_lanes<W>(process, std::span<const circuit::OpAmpDesign, W>{amps},
+                            context.opamp, std::span<circuit::OpAmpAnalysis, W>{analyses});
+  for (std::size_t k = 0; k < W; ++k) {
+    out[k] = assemble_performance(process, designs[k], context, analyses[k]);
+  }
+}
+
+template void evaluate_lanes<4>(const device::Process&, std::span<const IntegratorDesign, 4>,
+                                const IntegratorContext&, std::span<IntegratorPerformance, 4>);
+template void evaluate_lanes<8>(const device::Process&, std::span<const IntegratorDesign, 8>,
+                                const IntegratorContext&, std::span<IntegratorPerformance, 8>);
+template void evaluate_lanes<16>(const device::Process&, std::span<const IntegratorDesign, 16>,
+                                 const IntegratorContext&, std::span<IntegratorPerformance, 16>);
+
+}  // namespace anadex::scint

@@ -1,0 +1,31 @@
+// SoA batch evaluation of the SC integrator — W designs per call on one
+// process corner. evaluate_lanes<W>() is circuit::analyze_lanes (the
+// vectorized amplifier analysis) followed by the scalar
+// assemble_performance() per lane, so each lane's IntegratorPerformance is
+// bit-identical to scint::evaluate() for that design by construction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "scint/integrator.hpp"
+
+namespace anadex::scint {
+
+/// Evaluates W integrator designs on one corner; out[k] is bit-identical
+/// to evaluate(process, designs[k], context). Instantiated for the lane
+/// widths in circuit::kLaneWidths ({4, 8, 16}).
+template <std::size_t W>
+void evaluate_lanes(const device::Process& process, std::span<const IntegratorDesign, W> designs,
+                    const IntegratorContext& context, std::span<IntegratorPerformance, W> out);
+
+extern template void evaluate_lanes<4>(const device::Process&, std::span<const IntegratorDesign, 4>,
+                                       const IntegratorContext&, std::span<IntegratorPerformance, 4>);
+extern template void evaluate_lanes<8>(const device::Process&, std::span<const IntegratorDesign, 8>,
+                                       const IntegratorContext&, std::span<IntegratorPerformance, 8>);
+extern template void evaluate_lanes<16>(const device::Process&,
+                                        std::span<const IntegratorDesign, 16>,
+                                        const IntegratorContext&,
+                                        std::span<IntegratorPerformance, 16>);
+
+}  // namespace anadex::scint

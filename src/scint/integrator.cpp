@@ -48,9 +48,16 @@ double settling_time_to_band(double omega_n, double zeta, double band) {
 
 IntegratorPerformance evaluate(const device::Process& process, const IntegratorDesign& design,
                                const IntegratorContext& context) {
+  return assemble_performance(process, design, context,
+                              circuit::analyze(process, design.opamp, context.opamp));
+}
+
+IntegratorPerformance assemble_performance(const device::Process& process,
+                                           const IntegratorDesign& design,
+                                           const IntegratorContext& context,
+                                           const circuit::OpAmpAnalysis& amp) {
   IntegratorPerformance perf;
-  perf.opamp = circuit::analyze(process, design.opamp, context.opamp);
-  const circuit::OpAmpAnalysis& amp = perf.opamp;
+  perf.opamp = amp;
 
   perf.power = amp.power;
   perf.area = amp.area;

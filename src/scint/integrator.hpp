@@ -73,4 +73,15 @@ struct IntegratorPerformance {
 IntegratorPerformance evaluate(const device::Process& process, const IntegratorDesign& design,
                                const IntegratorContext& context);
 
+/// Second half of evaluate(): derives the integrator performance figures
+/// from an already-computed amplifier analysis. evaluate() is exactly
+/// circuit::analyze() + assemble_performance(); the SoA batch evaluator
+/// (scint/batch_integrator.hpp) calls this per lane after the vectorized
+/// amplifier analysis, so the two paths share every epilogue operation and
+/// stay bit-identical by construction.
+IntegratorPerformance assemble_performance(const device::Process& process,
+                                           const IntegratorDesign& design,
+                                           const IntegratorContext& context,
+                                           const circuit::OpAmpAnalysis& amp);
+
 }  // namespace anadex::scint

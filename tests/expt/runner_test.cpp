@@ -8,6 +8,7 @@
 #include "problems/spec_suite.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -89,6 +90,92 @@ TEST(Runner, DeterministicOutcome) {
   EXPECT_EQ(a.front.size(), b.front.size());
   EXPECT_EQ(a.front_area, b.front_area);
   EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Runner, BatchEvalModesProduceIdenticalFronts) {
+  // --batch-eval is a pure execution knob: every algorithm must emit the
+  // exact same front (bit-level doubles) whether batches run through the
+  // scalar oracle, the SIMD lane kernels, or the Auto heuristic.
+  const problems::IntegratorProblem problem(easy_spec());
+  for (Algo algo : {Algo::TPG, Algo::SACGA, Algo::MESACGA, Algo::WeightedSum}) {
+    RunSettings scalar = smoke_settings(algo);
+    scalar.batch_eval = engine::BatchEval::Scalar;
+    const auto reference = run(problem, scalar);
+    for (const engine::BatchEval mode :
+         {engine::BatchEval::Simd, engine::BatchEval::Auto}) {
+      RunSettings s = smoke_settings(algo);
+      s.batch_eval = mode;
+      const auto outcome = run(problem, s);
+      EXPECT_EQ(outcome.evaluations, reference.evaluations) << algo_name(algo);
+      ASSERT_EQ(outcome.front.size(), reference.front.size()) << algo_name(algo);
+      for (std::size_t i = 0; i < reference.front.size(); ++i) {
+        EXPECT_EQ(outcome.front[i].power_w, reference.front[i].power_w)
+            << algo_name(algo) << " item " << i;
+        EXPECT_EQ(outcome.front[i].cload_f, reference.front[i].cload_f)
+            << algo_name(algo) << " item " << i;
+      }
+    }
+  }
+}
+
+TEST(Runner, CheckpointBytesIdenticalAcrossBatchEvalModes) {
+  // The knob is excluded from the config digest, so a checkpoint written
+  // under one mode must be byte-identical to one written under the other —
+  // the property that lets a run checkpoint under SIMD and resume scalar.
+  const problems::IntegratorProblem problem(easy_spec());
+  const auto checkpoint_bytes = [&](engine::BatchEval mode, const std::string& tag) {
+    RunSettings s = smoke_settings(Algo::SACGA);
+    s.batch_eval = mode;
+    s.checkpoint_path = testing::TempDir() + "anadex_mode_" + tag + ".cp";
+    s.checkpoint_every = 16;
+    (void)run(problem, s);
+    std::ifstream in(s.checkpoint_path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::remove(s.checkpoint_path.c_str());
+    return buffer.str();
+  };
+  const std::string scalar = checkpoint_bytes(engine::BatchEval::Scalar, "scalar");
+  const std::string simd = checkpoint_bytes(engine::BatchEval::Simd, "simd");
+  ASSERT_FALSE(scalar.empty());
+  EXPECT_EQ(scalar, simd);
+}
+
+TEST(Runner, CrossModeCheckpointResumeMatchesUninterruptedRun) {
+  // Interrupt a scalar-mode run mid-flight, resume it in SIMD mode: the
+  // finished front must equal an uninterrupted run of either mode.
+  const problems::IntegratorProblem problem(easy_spec());
+  const auto full = run(problem, smoke_settings(Algo::SACGA));
+
+  CancelToken stop;
+  RunSettings interrupted = smoke_settings(Algo::SACGA);
+  interrupted.batch_eval = engine::BatchEval::Scalar;
+  interrupted.checkpoint_path = testing::TempDir() + "anadex_xmode.cp";
+  interrupted.checkpoint_every = 8;
+  interrupted.checkpoint_keep = 2;
+  interrupted.stop = &stop;
+  interrupted.on_generation = [&stop](std::size_t gen, const moga::Population&) {
+    if (gen + 1 == 13) stop.request();
+  };
+  const auto partial = run(problem, interrupted);
+  EXPECT_TRUE(partial.interrupted);
+
+  RunSettings resuming = smoke_settings(Algo::SACGA);
+  resuming.batch_eval = engine::BatchEval::Simd;
+  resuming.checkpoint_path = interrupted.checkpoint_path;
+  resuming.checkpoint_every = 8;
+  resuming.resume = ResumeMode::Auto;
+  const auto resumed = run(problem, resuming);
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.evaluations, full.evaluations);
+  ASSERT_EQ(resumed.front.size(), full.front.size());
+  for (std::size_t i = 0; i < full.front.size(); ++i) {
+    EXPECT_EQ(resumed.front[i].power_w, full.front[i].power_w) << "item " << i;
+    EXPECT_EQ(resumed.front[i].cload_f, full.front[i].cload_f) << "item " << i;
+  }
+  for (const char* suffix : {"", ".1"}) {
+    std::remove((interrupted.checkpoint_path + suffix).c_str());
+  }
 }
 
 TEST(Runner, HistoryRecordedAtStride) {

@@ -1,0 +1,22 @@
+// Fixture: a conforming SoA lane kernel — fixed-width arrays, an omp simd
+// hint and a masked Newton commit, no clocks or hash containers. The
+// self-test asserts exit code 0 under --pretend-path src/device, proving
+// the deterministic rules do not false-positive on vectorization idiom.
+#include <cstddef>
+
+namespace {
+constexpr std::size_t kWidth = 8;
+}  // namespace
+
+double masked_newton_step(double* x, const double* f, const double* df) {
+  double remaining = 0.0;
+#pragma omp simd reduction(+ : remaining)
+  for (std::size_t k = 0; k < kWidth; ++k) {
+    const double step = f[k] / df[k];
+    const double next = x[k] - step;
+    const double conv = (step < 1e-12 && step > -1e-12) ? 1.0 : 0.0;
+    x[k] = conv != 0.0 ? x[k] : next;
+    remaining += 1.0 - conv;
+  }
+  return remaining;
+}

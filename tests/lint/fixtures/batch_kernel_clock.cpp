@@ -1,0 +1,23 @@
+// Fixture: wall-clock reads and hash containers inside SoA lane-kernel
+// code (rules wall-clock, det-unordered). src/device and src/circuit
+// joined DETERMINISTIC_DIRS with the SIMD batch evaluator: the lane
+// kernels are result paths, so timing-based lane selection or
+// hash-ordered lane dispatch would break scalar/SIMD bit-identity.
+// Linted with --pretend-path src/device (and src/engine/simd).
+#include <chrono>
+#include <cstddef>
+#include <unordered_map>
+
+double lane_budget_leak(const double* vgs, std::size_t width) {
+  const auto start = std::chrono::system_clock::now();  // wall-clock
+  std::unordered_map<std::size_t, double> by_lane;      // det-unordered
+  double sum = 0.0;
+  for (std::size_t k = 0; k < width; ++k) {
+    by_lane[k] = vgs[k];
+  }
+  for (const auto& kv : by_lane) {  // unordered-iter
+    sum += kv.second;
+  }
+  const auto elapsed = std::chrono::system_clock::now() - start;  // wall-clock
+  return sum + std::chrono::duration<double>(elapsed).count();
+}

@@ -69,9 +69,38 @@ class LintFixtureTest(unittest.TestCase):
         self.assertEqual(suppressed_rules_of(report), ["det-unordered"])
 
     def test_det_unordered_only_in_deterministic_dirs(self):
+        # src/sysdes (behavioral simulation, not a result path of the
+        # optimizer) stays outside DETERMINISTIC_DIRS; src/circuit joined
+        # the list with the SIMD batch kernels, see the device tests below.
         code, report = self.lint_fixture("det_unordered.cpp",
-                                         pretend="src/circuit")
+                                         pretend="src/sysdes")
         self.assertEqual(code, 0)
+
+    def test_batch_kernel_clock_fixture_in_device(self):
+        # src/device and src/circuit joined DETERMINISTIC_DIRS with the SoA
+        # batch evaluator: lane kernels are result paths, so wall-clock
+        # reads and hash-ordered dispatch are violations there.
+        code, report = self.lint_fixture("batch_kernel_clock.cpp",
+                                         pretend="src/device")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report),
+                         ["det-unordered", "unordered-iter",
+                          "wall-clock", "wall-clock"])
+
+    def test_batch_kernel_clock_fixture_in_engine_simd(self):
+        code, report = self.lint_fixture("batch_kernel_clock.cpp",
+                                         pretend="src/engine/simd")
+        self.assertEqual(code, 1)
+        self.assertIn("wall-clock", rules_of(report))
+        self.assertIn("det-unordered", rules_of(report))
+
+    def test_batch_kernel_clean_fixture(self):
+        # Vectorization idiom (omp simd pragmas, masked commits) must not
+        # trip the deterministic rules.
+        code, report = self.lint_fixture("batch_kernel_clean.cpp",
+                                         pretend="src/device")
+        self.assertEqual(code, 0)
+        self.assertEqual(report["violation_count"], 0)
 
     def test_det_unordered_applies_to_serve(self):
         # src/serve joined DETERMINISTIC_DIRS with the scheduler work:

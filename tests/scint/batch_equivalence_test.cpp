@@ -1,0 +1,179 @@
+// Golden-equivalence suite for the SoA batch evaluation path
+// (docs/performance.md): IntegratorProblem::evaluate_lanes must reproduce
+// scalar evaluate() bit for bit — same doubles, not merely close ones —
+// for every spec in the paper's suite, every compiled lane width, ragged
+// remainder groups, and hostile (NaN / out-of-range) genomes. The engine's
+// cross-mode checkpoint byte-identity rests on this property.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "moga/individual.hpp"
+#include "problems/integrator_problem.hpp"
+#include "problems/spec_suite.hpp"
+
+namespace anadex::problems {
+namespace {
+
+std::vector<std::vector<double>> random_genomes(const moga::Problem& problem,
+                                                std::size_t count, std::uint64_t seed) {
+  const auto bounds = problem.bounds();
+  Rng rng(seed);
+  std::vector<std::vector<double>> genomes(count);
+  for (auto& genes : genomes) {
+    genes.resize(bounds.size());
+    for (std::size_t k = 0; k < bounds.size(); ++k) {
+      genes[k] = rng.uniform(bounds[k].lower, bounds[k].upper);
+    }
+  }
+  return genomes;
+}
+
+// Exact comparison by bit pattern, so -0.0 vs 0.0 or differing NaN
+// payloads count as mismatches — the checkpoint files the engine writes
+// are byte-level artifacts of these doubles.
+void expect_bitwise_equal(const moga::Evaluation& lanes, const moga::Evaluation& scalar,
+                          const std::string& label) {
+  ASSERT_EQ(lanes.objectives.size(), scalar.objectives.size()) << label;
+  ASSERT_EQ(lanes.violations.size(), scalar.violations.size()) << label;
+  for (std::size_t i = 0; i < scalar.objectives.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(lanes.objectives[i]),
+              std::bit_cast<std::uint64_t>(scalar.objectives[i]))
+        << label << " objective " << i << ": " << lanes.objectives[i] << " vs "
+        << scalar.objectives[i];
+  }
+  for (std::size_t i = 0; i < scalar.violations.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(lanes.violations[i]),
+              std::bit_cast<std::uint64_t>(scalar.violations[i]))
+        << label << " violation " << i << ": " << lanes.violations[i] << " vs "
+        << scalar.violations[i];
+  }
+}
+
+/// Runs `genomes` through evaluate_lanes in groups of `group` and through
+/// scalar evaluate(), then asserts bitwise equality per genome.
+void check_equivalence(const IntegratorProblem& problem,
+                       const std::vector<std::vector<double>>& genomes,
+                       std::size_t group, const std::string& label) {
+  std::vector<moga::Evaluation> scalar(genomes.size());
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    problem.evaluate(genomes[i], scalar[i]);
+  }
+
+  std::vector<moga::Evaluation> lanes(genomes.size());
+  for (std::size_t start = 0; start < genomes.size(); start += group) {
+    const std::size_t n = std::min(group, genomes.size() - start);
+    std::vector<std::span<const double>> genes(n);
+    std::vector<moga::Evaluation*> outs(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      genes[k] = genomes[start + k];
+      outs[k] = &lanes[start + k];
+    }
+    problem.evaluate_lanes(genes, outs);
+  }
+
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    expect_bitwise_equal(lanes[i], scalar[i],
+                         label + " genome " + std::to_string(i));
+  }
+}
+
+TEST(BatchEquivalence, AllTwentySpecsBitIdentical) {
+  const auto suite = problems::spec_suite();
+  ASSERT_EQ(suite.size(), 20u);
+  for (std::size_t s = 0; s < suite.size(); ++s) {
+    const IntegratorProblem problem(suite[s]);
+    const auto genomes = random_genomes(problem, 24, 1000 + s);
+    check_equivalence(problem, genomes, problem.preferred_lane_width(),
+                      "spec " + std::to_string(s + 1));
+  }
+}
+
+TEST(BatchEquivalence, EveryCompiledLaneWidth) {
+  // Group sizes 4 / 8 / 16 route through the W=4 / W=8 / W=16 kernel
+  // instantiations respectively (integrator_problem.cpp's dispatch).
+  const IntegratorProblem problem(problems::chosen_spec());
+  const auto genomes = random_genomes(problem, 48, 7);
+  for (const std::size_t width : {std::size_t{4}, std::size_t{8}, std::size_t{16}}) {
+    check_equivalence(problem, genomes, width,
+                      "width " + std::to_string(width));
+  }
+}
+
+TEST(BatchEquivalence, RemainderLanesArePadded) {
+  // Ragged group sizes force every padding path: n < 4 pads the W=4
+  // kernel, 5..7 pad W=8, 9..15 pad W=16, and 17+ chunks then pads.
+  const IntegratorProblem problem(problems::chosen_spec());
+  const auto genomes = random_genomes(problem, 34, 11);
+  for (const std::size_t group : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                  std::size_t{5}, std::size_t{7}, std::size_t{9},
+                                  std::size_t{13}, std::size_t{15}, std::size_t{17},
+                                  std::size_t{34}}) {
+    check_equivalence(problem, genomes, group,
+                      "ragged group " + std::to_string(group));
+  }
+}
+
+TEST(BatchEquivalence, HostileGenomesMatchScalarPath) {
+  // NaN and out-of-range genes must behave in the lane kernels exactly as
+  // they behave in the scalar path: a genome that trips a device-model
+  // precondition (e.g. NaN or zero geometry fails `w > 0`) must throw from
+  // both paths, and a genome the scalar path can evaluate must come back
+  // bit-identical. (In production the fault guard catches the throws and
+  // re-runs faulty lanes scalar; this asserts the underlying parity.)
+  const IntegratorProblem problem(problems::chosen_spec());
+  auto genomes = random_genomes(problem, 16, 23);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  genomes[0][kW1] = nan;
+  genomes[3][kIbias] = nan;
+  genomes[5][kCc] = 0.0;           // degenerate Miller cap
+  genomes[7][kIbias] = -1e-6;      // infeasible negative bias
+  genomes[9][kW1] = 1e3;           // absurd out-of-bounds width
+  genomes[11][kL1] = 0.0;          // zero-length device
+
+  // Per genome: scalar outcome (value or throw), then single-lane outcome.
+  std::vector<std::vector<double>> evaluable;
+  std::size_t throwing = 0;
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    const std::string label = "hostile genome " + std::to_string(i);
+    moga::Evaluation scalar;
+    bool scalar_threw = false;
+    try {
+      problem.evaluate(genomes[i], scalar);
+    } catch (const std::exception&) {
+      scalar_threw = true;
+    }
+
+    moga::Evaluation lane;
+    bool lane_threw = false;
+    const std::span<const double> genes[] = {genomes[i]};
+    moga::Evaluation* const outs[] = {&lane};
+    try {
+      problem.evaluate_lanes(genes, outs);
+    } catch (const std::exception&) {
+      lane_threw = true;
+    }
+
+    EXPECT_EQ(lane_threw, scalar_threw) << label;
+    if (scalar_threw) {
+      ++throwing;
+    } else if (!lane_threw) {
+      expect_bitwise_equal(lane, scalar, label);
+      evaluable.push_back(genomes[i]);
+    }
+  }
+  EXPECT_GT(throwing, 0u);  // the suite must exercise the throwing path
+
+  // The evaluable remainder — still including degenerate values like a
+  // zero Miller cap and a negative bias — must survive full-width groups
+  // without one lane contaminating another.
+  ASSERT_GE(evaluable.size(), 8u);
+  check_equivalence(problem, evaluable, 8, "hostile evaluable");
+}
+
+}  // namespace
+}  // namespace anadex::problems
