@@ -34,7 +34,14 @@
 //       (docs/robustness.md). --trace streams run telemetry as JSONL
 //       (docs/observability.md); gen level records per-generation metrics,
 //       eval level adds batch evaluation timing. Tracing never changes
-//       results.
+//       results. --shards N (island algorithm) forks N worker processes
+//       (or threads with --shard-mode thread) that exchange migrants at
+//       deterministic epoch barriers through --shard-dir and merge into
+//       the SAME front and checkpoint bytes as --shards 1; crashed
+//       workers are relaunched and resume from their own checkpoint
+//       chains (docs/sharding.md).
+//   anadex shard-worker --dir DIR --shard K --shards N ... (internal)
+//       One worker of a sharded exploration; spawned by the coordinator.
 //   anadex evaluate --genes g1,...,g15 [--spec ...]
 //       Datasheet of a single design vector (SI units).
 //   anadex simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]
@@ -78,6 +85,7 @@
 #include "serve/job_request.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/spool.hpp"
+#include "shard/coordinator.hpp"
 #include "sysdes/modulator_sim.hpp"
 
 namespace {
@@ -94,6 +102,8 @@ int usage() {
       "           [--history] [--checkpoint FILE] [--checkpoint-every N]\n"
       "           [--checkpoint-keep N] [--resume [auto]] [--eval-deadline S]\n"
       "           [--trace FILE] [--trace-level off|gen|eval]\n"
+      "           [--islands N] [--migration-interval N] [--shards N]\n"
+      "           [--shard-dir DIR] [--shard-mode process|thread]\n"
       "           (--threads: evaluation workers; 0 = hardware count;\n"
       "            results are identical for every thread count;\n"
       "            --eval-cache: dedup-cache capacity, 0 = off; results\n"
@@ -105,7 +115,13 @@ int usage() {
       "            checkpoint slot, or start fresh; Ctrl-C snapshots and\n"
       "            exits 130, see docs/robustness.md;\n"
       "            --eval-deadline: per-batch watchdog deadline in seconds;\n"
-      "            --trace: JSONL run telemetry, see docs/observability.md)\n"
+      "            --trace: JSONL run telemetry, see docs/observability.md;\n"
+      "            --shards N: run the island algorithm across N worker\n"
+      "            shards (processes, or threads with --shard-mode thread)\n"
+      "            exchanging migrants through --shard-dir; the merged\n"
+      "            front and checkpoint are byte-identical to --shards 1,\n"
+      "            and crashed workers restart from their own checkpoints\n"
+      "            — see docs/sharding.md)\n"
       "  evaluate --genes g1,...,g15 [--spec S]\n"
       "  simulate [--order 1..4] [--osr X] [--amplitude A] [--samples N]\n"
       "  compare  [--spec S] [--generations N] [--seed S] [--threads T]\n"
@@ -169,6 +185,12 @@ int cmd_explore(const ArgParser& args) {
   settings.population = static_cast<std::size_t>(args.get_int("population", 100));
   settings.partitions = static_cast<std::size_t>(args.get_int("partitions", 8));
   settings.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  settings.islands = static_cast<std::size_t>(
+      args.get_int("islands", static_cast<std::int64_t>(settings.islands)));
+  settings.migration_interval = static_cast<std::size_t>(args.get_int(
+      "migration-interval", static_cast<std::int64_t>(settings.migration_interval)));
+  settings.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  settings.shard_dir = args.get("shard-dir", "");
   settings.threads = static_cast<std::size_t>(args.get_int("threads", 1));
   settings.eval_cache = static_cast<std::size_t>(args.get_int("eval-cache", 0));
   settings.batch_eval = engine::parse_batch_eval(args.get("batch-eval", "scalar"));
@@ -195,10 +217,18 @@ int cmd_explore(const ArgParser& args) {
   if (args.has("eval-deadline")) {
     settings.eval_deadline_s = args.get_double("eval-deadline", 0.0);
   }
-  // Graceful shutdown: SIGINT/SIGTERM raise the process stop token; the run
-  // snapshots at the next generation barrier and returns `interrupted`.
-  robust::install_shutdown_handlers();
-  settings.stop = &robust::shutdown_token();
+  const std::string shard_mode = args.get("shard-mode", "process");
+  ANADEX_REQUIRE(shard_mode == "process" || shard_mode == "thread",
+                 "--shard-mode takes 'process' or 'thread'; got '" + shard_mode +
+                     "'");
+  if (settings.shards <= 1) {
+    // Graceful shutdown: SIGINT/SIGTERM raise the process stop token; the
+    // run snapshots at the next generation barrier and returns
+    // `interrupted`. Sharded runs skip this: a stop token is process-local
+    // and cannot span shards (interrupt and `--resume auto` instead).
+    robust::install_shutdown_handlers();
+    settings.stop = &robust::shutdown_token();
+  }
   settings.trace_path = args.get("trace", "");
   settings.trace_level = obs::trace_level_from_string(args.get("trace-level", "gen"));
   const std::string csv_path = args.get("csv", "");
@@ -207,11 +237,24 @@ int cmd_explore(const ArgParser& args) {
 
   std::cout << "exploring spec '" << settings.spec.name << "' with "
             << expt::algo_name(settings.algo) << " (" << settings.generations
-            << " generations, population " << settings.population << ")\n";
-  // One exploration == one Job run to completion; `anadex serve` runs the
-  // same Jobs preemptively, many at a time.
-  expt::Job job = expt::Job::from_settings(settings);
-  const auto outcome = job.run();
+            << " generations, population " << settings.population;
+  if (settings.shards > 1) {
+    std::cout << ", " << settings.shards << " " << shard_mode << " shards";
+  }
+  std::cout << ")\n";
+  expt::RunOutcome outcome;
+  if (settings.shards > 1) {
+    shard::ShardOptions options;
+    options.mode = shard_mode == "thread" ? shard::LaunchMode::Threads
+                                          : shard::LaunchMode::Processes;
+    options.spec_arg = args.get("spec", "chosen");
+    outcome = shard::run_sharded(settings, options);
+  } else {
+    // One exploration == one Job run to completion; `anadex serve` runs the
+    // same Jobs preemptively, many at a time.
+    expt::Job job = expt::Job::from_settings(settings);
+    outcome = job.run();
+  }
 
   if (outcome.resumed_from_generation > 0) {
     std::cout << "resumed from '" << outcome.resumed_from_path
@@ -246,6 +289,52 @@ int cmd_explore(const ArgParser& args) {
     std::cout << "\n";
     return 130;  // 128 + SIGINT, the conventional interrupted-exit status
   }
+  return 0;
+}
+
+// Internal subcommand: one forked worker of `explore --shards N --shard-mode
+// process`. The coordinator spawns it with the exact flag set below
+// (src/shard/coordinator.cpp worker_argv); every flag feeds either the run
+// digest or an execution knob, so a relaunched worker reproduces its shard's
+// byte stream. Exit 0 only after the shard's final checkpoint is renamed
+// into place — the supervisor treats anything else as a crash and relaunches
+// within the restart budget.
+int cmd_shard_worker(const ArgParser& args) {
+  ANADEX_REQUIRE(args.has("dir") && args.has("shard") && args.has("shards"),
+                 "shard-worker needs --dir DIR --shard K --shards N");
+  expt::RunSettings settings;
+  settings.spec = spec_from_arg(args);
+  settings.algo = expt::Algo::Island;
+  settings.generations = static_cast<std::size_t>(args.get_int("generations", 800));
+  settings.population = static_cast<std::size_t>(args.get_int("population", 100));
+  settings.partitions = static_cast<std::size_t>(args.get_int("partitions", 8));
+  settings.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  settings.islands = static_cast<std::size_t>(
+      args.get_int("islands", static_cast<std::int64_t>(settings.islands)));
+  settings.migration_interval = static_cast<std::size_t>(args.get_int(
+      "migration-interval", static_cast<std::int64_t>(settings.migration_interval)));
+  settings.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  settings.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  settings.eval_cache = static_cast<std::size_t>(args.get_int("eval-cache", 0));
+  settings.batch_eval = engine::parse_batch_eval(args.get("batch-eval", "scalar"));
+  settings.checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 50));
+  settings.checkpoint_keep =
+      static_cast<std::size_t>(args.get_int("checkpoint-keep", 1));
+  if (args.has("eval-deadline")) {
+    settings.eval_deadline_s = args.get_double("eval-deadline", 0.0);
+  }
+
+  shard::WorkerContext ctx;
+  ctx.topology =
+      shard::Topology::make(settings.islands, settings.shards, settings.seed);
+  ctx.shard = static_cast<std::size_t>(args.get_int("shard", 0));
+  ctx.dir = std::filesystem::path(args.get("dir", ""));
+  ctx.settings = std::move(settings);
+  warn_unused(args);
+
+  const problems::IntegratorProblem problem(ctx.settings.spec);
+  shard::run_shard_worker(problem, ctx);
   return 0;
 }
 
@@ -547,6 +636,7 @@ int main(int argc, char** argv) {
     const std::string command = args.positionals().front();
     if (command == "specs") return cmd_specs();
     if (command == "explore") return cmd_explore(args);
+    if (command == "shard-worker") return cmd_shard_worker(args);
     if (command == "evaluate") return cmd_evaluate(args);
     if (command == "simulate") return cmd_simulate(args);
     if (command == "compare") return cmd_compare(args);

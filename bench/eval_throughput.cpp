@@ -24,25 +24,38 @@
 //                        instead of the default {0, 0.2, 0.5} sweep
 //   --simd-gate          enforce the >= 4x scalar-to-SIMD speedup (exit 1
 //                        below it); JSON records "simd_gate_enforced"
+//   --shard-gate         enforce the >= 2x 4-shard scale-out speedup (exit
+//                        1 below it); JSON records "shard_gate_enforced"
 //   ANADEX_BENCH_QUICK   shrink batch/repeat budgets for the CI smoke run
+//
+// The sharded section times a full island exploration executed by
+// shard::run_sharded at 1 worker shard vs 4 (thread mode, fsync off so the
+// ratio measures scale-out rather than disk flushes). The 4-shard run must
+// reproduce the 1-shard front and evaluation totals EXACTLY — byte
+// identity is the sharding contract (docs/sharding.md) — and under
+// --shard-gate must finish at least 2x faster.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "engine/eval_engine.hpp"
+#include "expt/runner.hpp"
 #include "problems/integrator_problem.hpp"
 #include "problems/spec_suite.hpp"
 #include "robust/guarded_problem.hpp"
+#include "shard/coordinator.hpp"
 
 namespace {
 
@@ -142,11 +155,13 @@ int main(int argc, char** argv) {
 
   std::vector<double> duplicate_rates{0.0, 0.2, 0.5};
   bool simd_gate = false;
+  bool shard_gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--duplicate-rate") == 0 && i + 1 < argc) {
       duplicate_rates = {std::atof(argv[i + 1])};
     }
     if (std::strcmp(argv[i], "--simd-gate") == 0) simd_gate = true;
+    if (std::strcmp(argv[i], "--shard-gate") == 0) shard_gate = true;
   }
 
   const problems::IntegratorProblem problem(problems::chosen_spec());
@@ -309,6 +324,70 @@ int main(int argc, char** argv) {
               plain_eps, robust_eps, robust_ratio,
               guarded.report().total_faults(), robust_ok ? "ok" : "FAIL");
 
+  // --- sharded exploration scale-out (4 worker shards vs 1) ---
+  // A real island workload through shard::run_sharded, thread mode. Both
+  // legs run the SAME settings; only the shard count differs, so the wide
+  // leg must land on the identical front and eval totals — determinism and
+  // scale-out are measured together. Trials are PAIRED (1-shard then
+  // 4-shard back-to-back, acceptance on the best paired ratio) like the
+  // SIMD and robustness sections.
+  const std::size_t shard_workers = 4;
+  const std::size_t shard_trials = quick ? 2 : 3;
+  expt::RunSettings shard_base;
+  shard_base.algo = expt::Algo::Island;
+  shard_base.spec = problems::chosen_spec();
+  shard_base.population = 64;
+  shard_base.islands = 8;
+  shard_base.migration_interval = 15;
+  shard_base.generations = quick ? 60 : 150;
+  shard_base.checkpoint_every = shard_base.generations;  // no mid-run snapshots
+  shard_base.seed = 9;
+  shard_base.threads = 1;  // per-shard eval threads; shards ARE the parallelism
+
+  const auto run_shards = [&problem, &shard_base](std::size_t shards,
+                                                  const char* dir) {
+    expt::RunSettings s = shard_base;
+    s.shards = shards;
+    s.shard_dir = dir;
+    shard::ShardOptions options;  // thread mode
+    options.fsync = false;
+    const auto start = Clock::now();
+    expt::RunOutcome outcome = shard::run_sharded(problem, s, options);
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    return std::make_pair(std::move(outcome), elapsed.count());
+  };
+  const auto same_outcome = [](const expt::RunOutcome& a, const expt::RunOutcome& b) {
+    if (a.evaluations != b.evaluations) return false;
+    if (a.front.size() != b.front.size()) return false;
+    for (std::size_t i = 0; i < a.front.size(); ++i) {
+      if (a.front[i].power_w != b.front[i].power_w) return false;
+      if (a.front[i].cload_f != b.front[i].cload_f) return false;
+    }
+    return true;
+  };
+
+  double shard_solo_seconds = 0.0;
+  double shard_seconds = 0.0;
+  double shard_speedup = 0.0;
+  bool shard_identical = true;
+  for (std::size_t t = 0; t < shard_trials; ++t) {
+    const auto [solo_outcome, solo_s] = run_shards(1, "bench_shard_spool_1");
+    const auto [wide_outcome, wide_s] = run_shards(shard_workers, "bench_shard_spool_4");
+    shard_identical = shard_identical && same_outcome(solo_outcome, wide_outcome);
+    if (t == 0 || solo_s < shard_solo_seconds) shard_solo_seconds = solo_s;
+    if (t == 0 || wide_s < shard_seconds) shard_seconds = wide_s;
+    shard_speedup = std::max(shard_speedup, solo_s / wide_s);
+  }
+  std::filesystem::remove_all("bench_shard_spool_1");
+  std::filesystem::remove_all("bench_shard_spool_4");
+  const bool shard_ok = shard_identical && (!shard_gate || shard_speedup >= 2.0);
+  std::printf("\nsharded scale-out (%zu islands, %zu generations, %zu shards): "
+              "%.3fs -> %.3fs (%.2fx, gate >= 2x %s, bit-identical %s) -> %s\n",
+              shard_base.islands, shard_base.generations, shard_workers,
+              shard_solo_seconds, shard_seconds, shard_speedup,
+              shard_gate ? "ENFORCED" : "advisory",
+              shard_identical ? "yes" : "NO", shard_ok ? "ok" : "FAIL");
+
   // Acceptance: at the 50% duplicate rate the cache must pay for itself
   // with at least 1.3x throughput (skipped when --duplicate-rate excluded
   // the 50% row).
@@ -369,11 +448,19 @@ int main(int argc, char** argv) {
        << "  \"robust_overhead_ratio\": " << robust_ratio << ",\n"
        << "  \"robust_bit_identical\": " << (robust_identical ? "true" : "false")
        << ",\n"
-       << "  \"robust_ok\": " << (robust_ok ? "true" : "false") << "\n"
+       << "  \"robust_ok\": " << (robust_ok ? "true" : "false") << ",\n"
+       << "  \"shard_workers\": " << shard_workers << ",\n"
+       << "  \"shard_solo_seconds\": " << shard_solo_seconds << ",\n"
+       << "  \"shard_seconds\": " << shard_seconds << ",\n"
+       << "  \"shard_speedup\": " << shard_speedup << ",\n"
+       << "  \"shard_bit_identical\": " << (shard_identical ? "true" : "false")
+       << ",\n"
+       << "  \"shard_gate_enforced\": " << (shard_gate ? "true" : "false") << ",\n"
+       << "  \"shard_ok\": " << (shard_ok ? "true" : "false") << "\n"
        << "}\n";
   std::printf("\nwrote BENCH_eval_throughput.json\n");
 
-  bool all_identical = simd_identical;
+  bool all_identical = simd_identical && shard_identical;
   for (const Row& row : rows) all_identical = all_identical && row.bit_identical;
   for (const CacheRow& row : cache_rows) {
     all_identical = all_identical && row.bit_identical;
@@ -382,5 +469,5 @@ int main(int argc, char** argv) {
     std::printf("ERROR: a run diverged from its reference\n");
     return 1;
   }
-  return (cache_ok && robust_ok && simd_ok) ? 0 : 1;
+  return (cache_ok && robust_ok && simd_ok && shard_ok) ? 0 : 1;
 }

@@ -26,10 +26,11 @@ anadex_bench(modulator_validation)
 anadex_bench(ablation_schedule)
 anadex_bench(ablation_population)
 
-# EvalEngine evaluations/sec vs worker-thread count (plain chrono timing;
-# emits BENCH_eval_throughput.json).
+# EvalEngine evaluations/sec vs worker-thread count, plus the sharded
+# scale-out section (plain chrono timing; emits BENCH_eval_throughput.json).
 anadex_bench(eval_throughput)
-target_link_libraries(eval_throughput PRIVATE anadex::engine anadex::robust)
+target_link_libraries(eval_throughput PRIVATE anadex::engine anadex::robust
+                                              anadex::shard)
 
 # Cost of --trace relative to an untraced run (plain chrono timing; emits
 # BENCH_obs_overhead.json and enforces the documented 2% gen-level budget).

@@ -78,7 +78,8 @@ SKIPPED_DIR_PARTS = ("tests/lint/fixtures",)
 # dispatches to live in src/device and src/circuit (batch_mosfet.hpp,
 # batch_opamp.*) — result paths that must obey the same determinism rules.
 DETERMINISTIC_DIRS = ("src/engine", "src/engine/simd", "src/moga", "src/sacga",
-                      "src/expt", "src/serve", "src/device", "src/circuit")
+                      "src/expt", "src/serve", "src/shard", "src/device",
+                      "src/circuit")
 
 ALLOW_RE = re.compile(r"anadex-lint:\s*allow\(([^)]*)\)")
 COMMENT_ONLY_RE = re.compile(r"^\s*(//|/\*|\*|\*/)")

@@ -38,6 +38,13 @@ REQUIRED_BY_BENCH = {
         "simd_bit_identical",
         "simd_gate_enforced",
         "simd_ok",
+        "shard_workers",
+        "shard_solo_seconds",
+        "shard_seconds",
+        "shard_speedup",
+        "shard_bit_identical",
+        "shard_gate_enforced",
+        "shard_ok",
     ],
     "kernels": ["results", "sweep_speedup_at_512", "sweep_ok"],
     "obs_overhead": [
@@ -67,7 +74,12 @@ SELF_CHECKS = {
     # run was gated (--simd-gate, the CI native-ISA bench job).
     and d.get("simd_bit_identical") is True
     and d.get("simd_lane_groups", 0) > 0
-    and d.get("simd_ok") is True,
+    and d.get("simd_ok") is True
+    # Sharded scale-out must reproduce the 1-shard bytes on every run; the
+    # >= 2x speedup itself is folded into shard_ok by the binary when the
+    # run was gated (--shard-gate, the CI bench job).
+    and d.get("shard_bit_identical") is True
+    and d.get("shard_ok") is True,
     "kernels": lambda d: d.get("sweep_ok") is True,
     "obs_overhead": lambda d: d.get("within_budget") is True
     and d.get("results_identical") is True,

@@ -24,6 +24,13 @@ Job::Job(const problems::IntegratorProblem& problem, RunSettings settings)
       settings_(std::move(settings)),
       slice_stop_(std::make_unique<CancelToken>()) {
   validate_run_settings(settings_);
+  // A Job is one process's run; the multi-process path has its own
+  // coordinator. Reject at admission so `--shards` can never be silently
+  // ignored by a code path that only knows how to run solo.
+  ANADEX_REQUIRE(settings_.shards <= 1,
+                 "Job: sharded runs (shards > 1) are executed by "
+                 "shard::run_sharded (anadex explore --shards), not by an "
+                 "in-process Job");
 }
 
 Job Job::from_settings(RunSettings settings) {

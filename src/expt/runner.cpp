@@ -51,14 +51,18 @@ moga::GenerationCallback make_history_recorder(const RunSettings& settings,
   };
 }
 
+}  // namespace
+
 /// One-line digest of every knob not covered by CheckpointMeta's explicit
 /// fields. Compared verbatim on resume, so a checkpoint cannot silently
-/// continue under a different configuration. `threads`, `eval_cache` and
-/// `batch_eval` are deliberately NOT part of the digest: results are
-/// invariant under all three (pure execution knobs — the SIMD lane path is
-/// bit-identical to the scalar oracle), so a run may be checkpointed under
-/// one thread/cache/SIMD setting and resumed under another.
-std::string config_digest(const RunSettings& s) {
+/// continue under a different configuration. `threads`, `eval_cache`,
+/// `batch_eval`, the engine handle and `shards`/`shard_dir` are
+/// deliberately NOT part of the digest: results are invariant under all of
+/// them (pure execution knobs — the SIMD lane path is bit-identical to the
+/// scalar oracle, the sharded merge to the solo run), so a run may be
+/// checkpointed under one setting and resumed under another — including a
+/// checkpoint written at 2 shards resumed at 4.
+std::string run_config_digest(const RunSettings& s) {
   std::ostringstream os;
   os << "partitions=" << s.partitions << " islands=" << s.islands << " migration="
      << s.migration_interval << " weights=" << s.weight_count << " schedule=";
@@ -78,8 +82,6 @@ std::string config_digest(const RunSettings& s) {
   }
   return os.str();
 }
-
-}  // namespace
 
 void validate_run_settings(const RunSettings& s) {
   ANADEX_REQUIRE(s.population >= 4 && s.population % 2 == 0,
@@ -104,6 +106,35 @@ void validate_run_settings(const RunSettings& s) {
       ANADEX_REQUIRE(sched[i] > sched[i + 1],
                      "run settings: MESACGA schedule must be strictly decreasing");
     }
+  }
+  // Sharding (docs/sharding.md). Checked before the per-algorithm blocks so
+  // a degenerate shard config gets the shard-specific message.
+  ANADEX_REQUIRE(s.shards >= 1 && s.shards <= 64,
+                 "run settings: shards must be in [1, 64]");
+  if (s.shards > 1) {
+    ANADEX_REQUIRE(s.algo == Algo::Island,
+                   "run settings: --shards > 1 requires the island algorithm "
+                   "(--algo island); only the island ring partitions across "
+                   "processes");
+    ANADEX_REQUIRE(s.shards <= s.islands,
+                   "run settings: shards must not exceed islands (every shard "
+                   "needs at least one island to run)");
+    ANADEX_REQUIRE(s.migration_interval >= 1,
+                   "run settings: migration_interval must be >= 1 when "
+                   "shards > 1 (the migrant exchange is the shard barrier)");
+    ANADEX_REQUIRE(!s.shard_dir.empty() || !s.checkpoint_path.empty(),
+                   "run settings: a sharded run needs --shard-dir or "
+                   "--checkpoint to locate the exchange spool");
+    ANADEX_REQUIRE(!s.record_history,
+                   "run settings: record_history is unsupported with "
+                   "shards > 1 (history samples the global population, which "
+                   "no single shard holds)");
+    ANADEX_REQUIRE(s.trace_path.empty(),
+                   "run settings: tracing is unsupported with shards > 1 "
+                   "(gen-level traces sample the global population)");
+    ANADEX_REQUIRE(!s.engine.shared(),
+                   "run settings: a shared engine handle cannot span shard "
+                   "processes; each shard builds its own engine");
   }
   if (s.algo == Algo::Island) {
     ANADEX_REQUIRE(s.islands >= 2, "run settings: island GA needs >= 2 islands");
@@ -211,9 +242,26 @@ double hypervolume_of(const std::vector<FrontSample>& front) {
   return moga::hypervolume(points, ref) / (kHvPowerRef * kHvAxisRef);
 }
 
+sacga::IslandParams detail::island_params_from(const RunSettings& settings) {
+  sacga::IslandParams params;
+  params.islands = settings.islands;
+  params.island_population =
+      std::max<std::size_t>((settings.population / settings.islands) & ~1ULL, 4);
+  params.generations = settings.generations;
+  params.migration_interval = settings.migration_interval;
+  return params;
+}
+
 RunOutcome detail::run_impl(const problems::IntegratorProblem& problem,
                             const RunSettings& settings) {
   validate_run_settings(settings);
+  // Sharded execution never reaches run_impl: the coordinator
+  // (shard::run_sharded) runs one worker per shard and merges. A sharded
+  // RunSettings silently executed solo would LOOK fine but ignore --shards,
+  // so refuse loudly instead.
+  ANADEX_REQUIRE(settings.shards <= 1,
+                 "run_impl: shards > 1 must be executed via shard::run_sharded "
+                 "(anadex explore --shards), not an in-process Job");
 
   // Telemetry sink for the whole run. Stays null (and costs one pointer
   // test per instrumentation site) unless a trace file was requested.
@@ -289,7 +337,7 @@ RunOutcome detail::run_impl(const problems::IntegratorProblem& problem,
   meta.seed = settings.seed;
   meta.population = settings.population;
   meta.generations = settings.generations;
-  meta.config = config_digest(settings);
+  meta.config = run_config_digest(settings);
 
   // Holds the restored algorithm state alive for the whole run (the algo
   // params keep only a non-owning pointer into it).
@@ -478,12 +526,7 @@ RunOutcome detail::run_impl(const problems::IntegratorProblem& problem,
       break;
     }
     case Algo::Island: {
-      sacga::IslandParams params;
-      params.islands = settings.islands;
-      params.island_population =
-          std::max<std::size_t>((settings.population / settings.islands) & ~1ULL, 4);
-      params.generations = settings.generations;
-      params.migration_interval = settings.migration_interval;
+      sacga::IslandParams params = detail::island_params_from(settings);
       wire_common(params, &robust::Checkpoint::island,
                   [](const sacga::IslandState& s) { return s.next_generation; });
       auto result = sacga::run_island_ga(guarded, params, callback);

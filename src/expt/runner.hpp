@@ -37,6 +37,7 @@
 #include "robust/checkpoint.hpp"
 #include "robust/fault_injection.hpp"
 #include "robust/guarded_problem.hpp"
+#include "sacga/island.hpp"
 #include "scint/spec.hpp"
 
 namespace anadex::expt {
@@ -107,6 +108,19 @@ struct RunSettings {
   engine::BatchEval batch_eval = engine::BatchEval::Scalar;
   bool record_history = false;
   std::size_t history_stride = 25;             ///< generations between history samples
+
+  /// Multi-process sharding (docs/sharding.md): how many worker shards the
+  /// island ring is split across. 1 (default) = ordinary in-process run.
+  /// Values > 1 are only meaningful for Algo::Island and are executed by
+  /// shard::run_sharded (`anadex explore --shards N`); expt::Job rejects
+  /// them at admission. Like `threads`, a pure execution knob excluded from
+  /// the config digest: fronts, evaluation counts and the final canonical
+  /// checkpoint are byte-identical for every shard count.
+  std::size_t shards = 1;
+  /// Spool directory for the shard exchange (migrant files plus per-shard
+  /// checkpoint chains). Empty = derived as "<checkpoint_path>.spool".
+  /// Excluded from the config digest (a location, not a result input).
+  std::string shard_dir;
 
   /// Fault-tolerance policy applied to every evaluation (see
   /// robust::GuardedProblem); the defaults retry twice then penalize.
@@ -225,7 +239,21 @@ double hypervolume_of(const std::vector<FrontSample>& front);
 /// Converts a population (internal objectives) to physical front samples.
 std::vector<FrontSample> to_front_samples(const moga::Population& front);
 
+/// One-line digest of every result-bearing setting, stored in checkpoint
+/// meta so a resume refuses a mismatched configuration. Pure execution
+/// knobs (threads, eval_cache, batch_eval, engine handle, shards,
+/// shard_dir, checkpoint_keep) are deliberately excluded — a run may be
+/// checkpointed under one and resumed under another. Exposed so the
+/// sharded coordinator (src/shard) writes canonical checkpoints with
+/// exactly the digest a solo run would.
+std::string run_config_digest(const RunSettings& settings);
+
 namespace detail {
+
+/// Island-GA parameters derived from RunSettings — the ONE place the
+/// population-to-island split is computed, shared by run_impl and the
+/// shard worker so both always agree on island sizing.
+sacga::IslandParams island_params_from(const RunSettings& settings);
 
 /// The single-slice execution engine behind Job::run_slice: validates,
 /// wires tracing/guard/watchdog/checkpointing and dispatches one

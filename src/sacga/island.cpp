@@ -13,11 +13,7 @@
 
 namespace anadex::sacga {
 
-namespace {
-
-/// NSGA-II elitist survivor selection over one island's parent+offspring
-/// pool (all members already evaluated).
-void select_island_survivors(moga::Population& island, moga::Population&& pool,
+void island_select_survivors(moga::Population& island, moga::Population&& pool,
                              std::size_t n, moga::RankingScratch& ranking) {
   auto fronts = ranking.sort(pool);
   for (const auto& front : fronts) ranking.crowding(pool, front);
@@ -42,39 +38,48 @@ void select_island_survivors(moga::Population& island, moga::Population&& pool,
   island = std::move(next);
 }
 
+moga::Population island_emigrants(const moga::Population& island, std::size_t migrants) {
+  std::vector<std::size_t> order(island.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return moga::crowded_less(island[a], island[b]);
+  });
+  moga::Population outgoing;
+  for (std::size_t m = 0; m < std::min(migrants, island.size()); ++m) {
+    outgoing.push_back(island[order[m]]);  // copies travel the ring
+  }
+  return outgoing;
+}
+
+void island_immigrate(moga::Population& destination, moga::Population immigrants) {
+  std::vector<std::size_t> order(destination.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return moga::crowded_less(destination[a], destination[b]);
+  });
+  // Replace from the back (worst) of the destination.
+  std::size_t victim = order.size();
+  for (auto& migrant : immigrants) {
+    if (victim == 0) break;
+    --victim;
+    destination[order[victim]] = std::move(migrant);
+  }
+}
+
+namespace {
+
 /// Ring migration: the `migrants` best of island i replace the worst of
 /// island (i+1) % count. "Best" = rank 0 with the largest crowding (front
-/// spread carriers); "worst" = highest rank, smallest crowding.
+/// spread carriers); "worst" = highest rank, smallest crowding. Every
+/// island's emigrants are selected before any island receives.
 void migrate(std::vector<moga::Population>& islands, std::size_t migrants) {
   const std::size_t count = islands.size();
-  std::vector<std::vector<moga::Individual>> outgoing(count);
-
+  std::vector<moga::Population> outgoing(count);
   for (std::size_t i = 0; i < count; ++i) {
-    auto& island = islands[i];
-    std::vector<std::size_t> order(island.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return moga::crowded_less(island[a], island[b]);
-    });
-    for (std::size_t m = 0; m < std::min(migrants, island.size()); ++m) {
-      outgoing[i].push_back(island[order[m]]);  // copies travel the ring
-    }
+    outgoing[i] = island_emigrants(islands[i], migrants);
   }
-
   for (std::size_t i = 0; i < count; ++i) {
-    auto& destination = islands[(i + 1) % count];
-    std::vector<std::size_t> order(destination.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return moga::crowded_less(destination[a], destination[b]);
-    });
-    // Replace from the back (worst) of the destination.
-    std::size_t victim = order.size();
-    for (auto& migrant : outgoing[i]) {
-      if (victim == 0) break;
-      --victim;
-      destination[order[victim]] = std::move(migrant);
-    }
+    island_immigrate(islands[(i + 1) % count], std::move(outgoing[i]));
   }
 }
 
@@ -168,7 +173,7 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
       pool.reserve(2 * n);
       for (auto& p : islands[i]) pool.push_back(std::move(p));
       for (std::size_t k = 0; k < n; ++k) pool.push_back(std::move(children[i * n + k]));
-      select_island_survivors(islands[i], std::move(pool), n, ranking);
+      island_select_survivors(islands[i], std::move(pool), n, ranking);
     }
     if ((gen + 1) % params.migration_interval == 0) {
       migrate(islands, params.migrants);

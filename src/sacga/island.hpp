@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "engine/evolver_common.hpp"
+#include "moga/nds.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/operators.hpp"
 #include "moga/problem.hpp"
@@ -60,5 +61,27 @@ struct IslandResult {
 /// in the ring. Deterministic per seed.
 IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& params,
                            const moga::GenerationCallback& on_generation = {});
+
+// --- island primitives, shared with the sharded runner (src/shard) ---
+// run_island_ga and the shard worker both build their generation step out of
+// these three helpers, so a shard-local island competes, emigrates and
+// receives byte-identically to the same island inside a solo run.
+
+/// NSGA-II elitist survivor selection over one island's parent+offspring
+/// pool (all members already evaluated). Leaves `island` ranked with
+/// crowding distances assigned.
+void island_select_survivors(moga::Population& island, moga::Population&& pool,
+                             std::size_t n, moga::RankingScratch& ranking);
+
+/// The `migrants` ring-travelling copies of `island`, best first ("best" =
+/// crowded_less order: rank 0 with the largest crowding). The island itself
+/// is untouched — migration sends copies.
+moga::Population island_emigrants(const moga::Population& island, std::size_t migrants);
+
+/// Ring-migration arrival: the immigrants (best first, as produced by
+/// island_emigrants) replace the worst members of `destination`, worst
+/// replaced first. Order-sensitive by contract — callers must integrate a
+/// full epoch's emigrant selection before any island receives.
+void island_immigrate(moga::Population& destination, moga::Population immigrants);
 
 }  // namespace anadex::sacga

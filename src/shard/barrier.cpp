@@ -1,0 +1,39 @@
+#include "shard/barrier.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/check.hpp"
+#include "shard/migrants.hpp"
+
+namespace anadex::shard {
+
+bool await_file(const std::filesystem::path& path, const PollConfig& poll) {
+  for (std::size_t attempt = 0; attempt <= poll.budget; ++attempt) {
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) return true;
+    if (attempt < poll.budget) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll.interval_ms));
+    }
+  }
+  return false;
+}
+
+void EpochBarrier::publish(std::size_t epoch, std::size_t island,
+                           const moga::Population& emigrants) const {
+  write_migrant_file(dir_, epoch, island, emigrants, fsync_);
+}
+
+moga::Population EpochBarrier::collect(std::size_t epoch,
+                                       std::size_t from_island) const {
+  const std::filesystem::path path = dir_ / migrant_file_name(epoch, from_island);
+  ANADEX_REQUIRE(await_file(path, poll_),
+                 "epoch barrier: migrant file '" + path.string() +
+                     "' never appeared — the shard owning island " +
+                     std::to_string(from_island) +
+                     " is gone (crashed past its restart budget?)");
+  return read_migrant_file(path, epoch, from_island);
+}
+
+}  // namespace anadex::shard

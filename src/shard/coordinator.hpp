@@ -1,0 +1,86 @@
+// Sharded exploration coordinator: N workers, one deterministic answer.
+//
+// run_sharded executes an island-GA RunSettings across `settings.shards`
+// workers (threads in-process, or forked `anadex shard-worker` processes),
+// supervises them — a crashed worker is relaunched and auto-resumes from
+// its own checkpoint chain — and merges the shard finals into exactly the
+// RunOutcome and canonical checkpoint bytes the solo run would produce:
+//
+//   - islands are reassembled in global index order, so the combined
+//     population (and therefore the extracted front and every derived
+//     metric) is byte-identical to run_island_ga's;
+//   - evaluation counters sum per island, so totals match;
+//   - fault reports merge with FaultReport::merge's lowest-genome-hash
+//     canonical sample, so the merged report equals the solo report
+//     independent of shard count or arrival order;
+//   - the canonical checkpoint written at `settings.checkpoint_path`
+//     carries the UNSALTED solo config digest, so `anadex explore --resume`
+//     — solo or sharded, at ANY shard count — continues from it.
+//
+// See docs/sharding.md for the full protocol and failure semantics.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "expt/runner.hpp"
+#include "problems/integrator_problem.hpp"
+#include "shard/barrier.hpp"
+#include "shard/worker.hpp"
+
+namespace anadex::shard {
+
+/// How workers are executed.
+enum class LaunchMode {
+  Threads,    ///< std::thread workers in this process (tests, benches)
+  Processes,  ///< fork + exec `<worker_binary> shard-worker ...` (the CLI)
+};
+
+struct ShardOptions {
+  LaunchMode mode = LaunchMode::Threads;
+  /// Processes mode: binary to exec for workers; empty = this executable
+  /// (/proc/self/exe). The binary must understand `anadex shard-worker`.
+  std::string worker_binary;
+  /// Processes mode: the CLI `--spec` value workers rebuild the problem
+  /// from ("chosen" or "1".."20"). Required in Processes mode; process
+  /// workers are limited to CLI-expressible settings (default guard policy,
+  /// no fault injection, no write hooks) — REQUIREd at launch.
+  std::string spec_arg;
+  PollConfig poll;
+  /// Relaunch budget per shard; exceeding it fails the run loudly.
+  std::size_t max_restarts_per_shard = 5;
+  /// Test seam (Threads only): stop every worker, with a partial
+  /// checkpoint, after this migration epoch; the merged outcome is
+  /// `interrupted` and the canonical checkpoint resumable at any shard
+  /// count. 0 = run to completion.
+  std::size_t stop_after_epoch = 0;
+  /// Test seam (Threads only): kill-one-shard chaos drill (worker.hpp).
+  std::optional<WorkerChaos> chaos;
+  /// fsync durability for partial/canonical checkpoints (migrant files are
+  /// always synced). Off only for benchmarks measuring pure scale-out.
+  bool fsync = true;
+};
+
+/// The exchange spool directory a sharded run of `settings` uses:
+/// `settings.shard_dir` when set, else "<checkpoint_path>.spool".
+std::filesystem::path resolve_shard_dir(const expt::RunSettings& settings);
+
+/// Runs `settings` sharded and returns the merged outcome. `settings` must
+/// validate, use Algo::Island, and leave on_generation / stop / history /
+/// tracing unset (enforced with ANADEX_REQUIRE). Resume semantics follow
+/// `settings.resume`: Off wipes the spool and starts fresh; Auto prefers
+/// the shards' own partial chains, falls back to the canonical checkpoint
+/// chain (re-slicing it for the current topology — a checkpoint written at
+/// 2 shards resumes at 4), and starts fresh when neither exists; Strict
+/// requires the canonical checkpoint to load.
+expt::RunOutcome run_sharded(const problems::IntegratorProblem& problem,
+                             const expt::RunSettings& settings,
+                             const ShardOptions& options);
+
+/// Convenience overload: builds the problem from settings.spec.
+expt::RunOutcome run_sharded(const expt::RunSettings& settings,
+                             const ShardOptions& options);
+
+}  // namespace anadex::shard

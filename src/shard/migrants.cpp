@@ -1,0 +1,133 @@
+#include "shard/migrants.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+#include "common/textio.hpp"
+#include "moga/serialize.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ANADEX_SHARD_HAVE_FSYNC 1
+#else
+#define ANADEX_SHARD_HAVE_FSYNC 0
+#endif
+
+namespace anadex::shard {
+
+namespace {
+
+constexpr const char* kHeader = "anadex-migrants v1";
+
+std::string checksum_hex(std::uint64_t hash) {
+  std::ostringstream os;
+  os << std::hex << std::setfill('0') << std::setw(16) << hash;
+  return os.str();
+}
+
+void sync_file(const std::string& path) {
+#if ANADEX_SHARD_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  ANADEX_REQUIRE(fd >= 0, "cannot open migrant file for fsync: '" + path + "'");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  ANADEX_REQUIRE(rc == 0, "fsync failed for migrant file '" + path + "'");
+#else
+  (void)path;
+#endif
+}
+
+void sync_parent_dir(const std::string& path) {
+#if ANADEX_SHARD_HAVE_FSYNC
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // e.g. a filesystem without directory fds; best effort
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+std::string migrant_file_name(std::size_t epoch, std::size_t from_island) {
+  return "epoch" + std::to_string(epoch) + ".from" + std::to_string(from_island) +
+         ".mig";
+}
+
+void write_migrant_file(const std::filesystem::path& dir, std::size_t epoch,
+                        std::size_t from_island, const moga::Population& migrants,
+                        bool fsync) {
+  std::ostringstream body;
+  body << kHeader << '\n';
+  body << "migrants " << epoch << ' ' << from_island << ' ' << migrants.size() << '\n';
+  moga::save_population_exact(body, migrants);
+  body << "end\n";
+  const std::string bytes = body.str();
+
+  const std::string path = (dir / migrant_file_name(epoch, from_island)).string();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    ANADEX_REQUIRE(os.good(), "cannot open migrant temp file '" + tmp + "'");
+    os << bytes << "checksum " << checksum_hex(hash_bytes(bytes, 0)) << '\n';
+    os.flush();
+    ANADEX_REQUIRE(os.good(), "failed writing migrant temp file '" + tmp + "'");
+  }
+  if (fsync) sync_file(tmp);
+  ANADEX_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "failed renaming migrant file into place: '" + path + "'");
+  if (fsync) sync_parent_dir(path);
+}
+
+moga::Population read_migrant_file(const std::filesystem::path& path,
+                                   std::size_t expect_epoch,
+                                   std::size_t expect_from_island) {
+  std::ifstream is(path);
+  ANADEX_REQUIRE(is.good(), "cannot open migrant file '" + path.string() + "'");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string content = buffer.str();
+
+  const std::size_t end_mark = content.rfind("\nend\n");
+  ANADEX_REQUIRE(end_mark != std::string::npos,
+                 "migrant file '" + path.string() + "': missing 'end' record "
+                 "(truncated write?)");
+  const std::size_t body_size = end_mark + 5;  // through "end\n"
+  const std::string trailer = content.substr(body_size);
+  ANADEX_REQUIRE(trailer.rfind("checksum ", 0) == 0,
+                 "migrant file '" + path.string() + "': missing checksum trailer");
+  const std::string expected = checksum_hex(hash_bytes({content.data(), body_size}, 0));
+  const std::string found = trailer.substr(9, 16);
+  ANADEX_REQUIRE(found == expected,
+                 "migrant file '" + path.string() + "': checksum mismatch (file "
+                 "corrupted): expected " + expected + ", found " + found);
+
+  std::istringstream body(content.substr(0, body_size));
+  textio::LineReader reader(body);
+  const std::string header = reader.line("header");
+  ANADEX_REQUIRE(header == kHeader,
+                 "migrant file '" + path.string() + "': bad header '" + header + "'");
+  const auto toks = reader.record("migrants", 3);
+  const std::size_t epoch = textio::parse_u64(toks[1]);
+  const std::size_t from_island = textio::parse_u64(toks[2]);
+  const std::size_t count = textio::parse_u64(toks[3]);
+  ANADEX_REQUIRE(epoch == expect_epoch && from_island == expect_from_island,
+                 "migrant file '" + path.string() + "': header names epoch " +
+                     std::to_string(epoch) + " island " + std::to_string(from_island) +
+                     ", expected epoch " + std::to_string(expect_epoch) + " island " +
+                     std::to_string(expect_from_island));
+  moga::Population migrants = moga::load_population_exact(body);
+  ANADEX_REQUIRE(migrants.size() == count,
+                 "migrant file '" + path.string() + "': count mismatch");
+  return migrants;
+}
+
+}  // namespace anadex::shard

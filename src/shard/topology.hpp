@@ -1,0 +1,49 @@
+// Seed-stable assignment of the island ring to worker shards.
+//
+// A sharded exploration (docs/sharding.md) splits the island GA's ring of
+// islands into contiguous arcs, one arc per worker shard. The split is a
+// pure function of (islands, shards, seed): a seed-stable rotation of the
+// ring (derived by hashing the seed, never by enumeration order or wall
+// clock) followed by a balanced contiguous partition. Because a rotation is
+// a ring automorphism, every shard's islands stay contiguous on the
+// migration ring, so each shard has exactly one incoming and one outgoing
+// remote ring edge per epoch — the minimum possible cross-process traffic.
+//
+// The topology never changes results: which process evolves an island is an
+// execution detail, and the merge (shard/coordinator.hpp) reassembles the
+// islands in global index order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace anadex::shard {
+
+/// Which shard owns which island. Value type; cheap to copy.
+struct Topology {
+  std::size_t islands = 0;
+  std::size_t shards = 0;
+  /// Ring rotation applied before the contiguous split; a seed-stable hash
+  /// so different seeds shear the island→shard map differently while the
+  /// same seed always reproduces the same assignment.
+  std::size_t rotation = 0;
+
+  /// Builds the topology. Requires 1 <= shards <= islands (every shard must
+  /// own at least one island) — enforced with ANADEX_REQUIRE.
+  static Topology make(std::size_t islands, std::size_t shards, std::uint64_t seed);
+
+  /// The shard owning `island` (island < islands).
+  std::size_t shard_of(std::size_t island) const;
+
+  /// The islands owned by `shard`, ascending by global island index.
+  std::vector<std::size_t> islands_of(std::size_t shard) const;
+
+  /// Ring neighbours: migrants of `island` travel to successor(island).
+  std::size_t successor(std::size_t island) const { return (island + 1) % islands; }
+  std::size_t predecessor(std::size_t island) const {
+    return (island + islands - 1) % islands;
+  }
+};
+
+}  // namespace anadex::shard

@@ -119,6 +119,25 @@ class LintFixtureTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertEqual(rules_of(report), ["wall-clock", "wall-clock"])
 
+    def test_det_unordered_applies_to_shard(self):
+        # src/shard joined DETERMINISTIC_DIRS with the sharded runner: the
+        # migrant exchange, merge order and canonical checkpoint are all
+        # byte-identity surfaces (docs/sharding.md).
+        code, report = self.lint_fixture("det_unordered.cpp",
+                                         pretend="src/shard")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report),
+                         ["det-unordered", "unordered-iter"])
+
+    def test_wall_clock_applies_to_shard(self):
+        # Epoch barriers poll by bounded attempt COUNT (steady sleeps are
+        # fine); a wall-clock deadline would make shard failure detection
+        # load-dependent and the drill flaky.
+        code, report = self.lint_fixture("wall_clock.cpp",
+                                         pretend="src/shard")
+        self.assertEqual(code, 1)
+        self.assertEqual(rules_of(report), ["wall-clock", "wall-clock"])
+
     def test_float_printf_fixture(self):
         code, report = self.lint_fixture("float_printf.cpp", pretend="src/expt")
         self.assertEqual(code, 1)

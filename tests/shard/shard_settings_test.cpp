@@ -1,0 +1,96 @@
+// Validation table for sharded run settings: every degenerate shape must be
+// rejected up front with an actionable message, and expt::Job must refuse
+// sharded settings outright (shards execute via shard::run_sharded only).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "expt/job.hpp"
+#include "expt/runner.hpp"
+#include "problems/spec_suite.hpp"
+#include "shard/coordinator.hpp"
+
+namespace anadex::expt {
+namespace {
+
+RunSettings sharded_settings() {
+  RunSettings s;
+  s.algo = Algo::Island;
+  s.spec = problems::spec_suite().front();
+  s.population = 32;
+  s.generations = 24;
+  s.islands = 4;
+  s.migration_interval = 6;
+  s.seed = 9;
+  s.shards = 2;
+  s.shard_dir = "shard_settings_test.spool";
+  return s;
+}
+
+TEST(ShardSettings, AcceptsAWellFormedShardedRun) {
+  EXPECT_NO_THROW(validate_run_settings(sharded_settings()));
+}
+
+TEST(ShardSettings, RejectsDegenerateShapes) {
+  struct Case {
+    const char* label;
+    void (*mutate)(RunSettings&);
+  };
+  const std::vector<Case> cases = {
+      {"zero shards", [](RunSettings& s) { s.shards = 0; }},
+      {"more shards than the 64 sanity cap", [](RunSettings& s) {
+         s.shards = 65;
+         s.islands = 128;
+       }},
+      {"more shards than islands", [](RunSettings& s) { s.shards = 5; }},
+      {"no migration barrier to shard on",
+       [](RunSettings& s) { s.migration_interval = 0; }},
+      {"sharding a non-island algorithm", [](RunSettings& s) {
+         s.algo = Algo::MESACGA;
+         s.partitions = 4;
+         s.mesacga_schedule = {4, 2, 1};
+         s.phase1_cap = 10;
+       }},
+      {"nowhere to put the exchange spool", [](RunSettings& s) {
+         s.shard_dir.clear();
+         s.checkpoint_path.clear();
+       }},
+      {"history sampling spans shards", [](RunSettings& s) { s.record_history = true; }},
+      {"tracing spans shards", [](RunSettings& s) { s.trace_path = "t.jsonl"; }},
+  };
+  for (const auto& c : cases) {
+    RunSettings s = sharded_settings();
+    c.mutate(s);
+    EXPECT_THROW(validate_run_settings(s), PreconditionError) << c.label;
+  }
+}
+
+TEST(ShardSettings, CheckpointPathAloneLocatesTheSpool) {
+  RunSettings s = sharded_settings();
+  s.shard_dir.clear();
+  s.checkpoint_path = "run.cp";
+  EXPECT_NO_THROW(validate_run_settings(s));
+  EXPECT_EQ(shard::resolve_shard_dir(s), std::filesystem::path("run.cp.spool"));
+  s.shard_dir = "elsewhere";
+  EXPECT_EQ(shard::resolve_shard_dir(s), std::filesystem::path("elsewhere"));
+}
+
+TEST(ShardSettings, JobRefusesShardedSettings) {
+  // An in-process Job cannot execute a sharded run; the CLI routes shards
+  // to shard::run_sharded and everything else must fail loudly.
+  EXPECT_THROW(Job::from_settings(sharded_settings()), PreconditionError);
+}
+
+TEST(ShardSettings, ShardKnobsStayOutOfTheConfigDigest) {
+  // shards/shard_dir are pure execution knobs: the digest must not change,
+  // or checkpoints could not move between shard counts (or to solo runs).
+  RunSettings solo = sharded_settings();
+  solo.shards = 1;
+  solo.shard_dir.clear();
+  EXPECT_EQ(run_config_digest(solo), run_config_digest(sharded_settings()));
+}
+
+}  // namespace
+}  // namespace anadex::expt
