@@ -64,6 +64,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <set>
@@ -76,6 +77,7 @@
 #include "expt/figures.hpp"
 #include "expt/job.hpp"
 #include "expt/runner.hpp"
+#include "expt/settings_registry.hpp"
 #include "obs/event_sink.hpp"
 #include "obs/jsonl_writer.hpp"
 #include "obs/stats_snapshot.hpp"
@@ -94,8 +96,11 @@ using namespace anadex;
 
 int usage() {
   std::cout <<
-      "usage: anadex <specs|explore|evaluate|simulate|compare|serve> [options]\n"
+      "usage: anadex <specs|knobs|explore|evaluate|simulate|compare|serve> [options]\n"
       "  specs                          list the 20 graded specifications\n"
+      "  knobs                          print the settings registry: which\n"
+      "                                 settings bind the resume digest and\n"
+      "                                 which are free execution knobs\n"
       "  explore  --algo A --spec S --generations N [--population N]\n"
       "           [--partitions M] [--seed S] [--threads T] [--eval-cache N]\n"
       "           [--batch-eval scalar|simd|auto] [--csv FILE]\n"
@@ -173,6 +178,23 @@ int cmd_specs() {
     std::printf("  %-2zu %-14s %6.1f  %5.2f   %6.1f   %.1e   %.2f\n", i + 1,
                 s.name.c_str(), s.dr_min_db, s.or_min, s.st_max * 1e9, s.se_max,
                 s.robustness_min);
+  }
+  return 0;
+}
+
+int cmd_knobs() {
+  // Printed from expt::kSettingsRegistry — the same table the digest
+  // serializer, the perturbation property test and `anadex-lint
+  // --digest-audit` consume — so this listing cannot drift from the code.
+  // `digest` settings bind the checkpoint resume digest; `knob` settings
+  // may change freely between a checkpoint and its resume; `meta` fields
+  // live in CheckpointMeta; `seam` entries are runtime wiring.
+  std::cout << "  field                  class   digest-tag   --flag\n";
+  for (const auto& row : expt::kSettingsRegistry) {
+    std::cout << "  " << std::left << std::setw(23) << row.field
+              << std::setw(8) << expt::setting_kind_name(row.kind)
+              << std::setw(13) << (row.digest_tag.empty() ? "-" : row.digest_tag)
+              << (row.cli_flag.empty() ? "-" : row.cli_flag) << "\n";
   }
   return 0;
 }
@@ -635,6 +657,7 @@ int main(int argc, char** argv) {
     if (args.positionals().empty()) return usage();
     const std::string command = args.positionals().front();
     if (command == "specs") return cmd_specs();
+    if (command == "knobs") return cmd_knobs();
     if (command == "explore") return cmd_explore(args);
     if (command == "shard-worker") return cmd_shard_worker(args);
     if (command == "evaluate") return cmd_evaluate(args);

@@ -22,6 +22,8 @@ inline constexpr std::uint64_t kSeed = 3;
 /// environment divides generation budgets by 8 (useful while developing).
 inline std::size_t scaled(std::size_t generations) {
   static const bool quick = [] {
+    // Quick-mode is a CI pacing switch, not a result input: it only
+    // scales iteration budgets. anadex-lint: allow(env-read)
     const char* env = std::getenv("ANADEX_BENCH_QUICK");
     return env != nullptr && env[0] == '1';
   }();

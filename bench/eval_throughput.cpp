@@ -63,6 +63,8 @@ using namespace anadex;
 using Clock = std::chrono::steady_clock;
 
 bool quick_mode() {
+  // Quick-mode is a CI pacing switch, not a result input: it only
+  // scales iteration budgets. anadex-lint: allow(env-read)
   const char* v = std::getenv("ANADEX_BENCH_QUICK");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }

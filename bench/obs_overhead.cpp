@@ -67,6 +67,8 @@ void measure_once(const expt::RunSettings& base, obs::TraceLevel level,
 
 int main() {
   const bool quick = [] {
+    // Quick-mode is a CI pacing switch, not a result input: it only
+    // scales iteration budgets. anadex-lint: allow(env-read)
     const char* env = std::getenv("ANADEX_BENCH_QUICK");
     return env != nullptr && env[0] == '1';
   }();

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Pre-commit gate: the fast, hermetic subset of CI — the anadex linter
+# (per-file rules + digest-coverage audit) and, when a configured build
+# directory with a compile database exists, the include-layer check.
+# Mirrors the CI lint job so a clean precommit run means the lint job
+# passes. Install with:
+#
+#   ln -s ../../scripts/precommit.sh .git/hooks/pre-commit
+#
+# Fix mechanical findings (pragma-once, relative includes) with:
+#
+#   python3 scripts/anadex_lint.py --fix src apps bench tests
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+python="${PYTHON:-python3}"
+
+echo "precommit: anadex-lint (tree + digest audit)"
+"$python" scripts/anadex_lint.py src apps bench tests --digest-audit
+
+# The layering pass needs include resolution through a compile database;
+# skip (loudly) when the tree has not been configured yet — CI always runs
+# it against a fresh one.
+db="build/compile_commands.json"
+if [ -f "$db" ]; then
+  echo "precommit: anadex-lint --layers ($db)"
+  "$python" scripts/anadex_lint.py \
+    --layers scripts/layers.toml --compile-commands "$db"
+else
+  echo "precommit: SKIP layering ($db not found; run cmake -B build -S .)"
+fi
+
+echo "precommit: lint self-tests"
+"$python" tests/lint/run_lint_tests.py 2>/dev/null
+
+echo "precommit: OK"

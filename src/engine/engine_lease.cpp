@@ -22,6 +22,11 @@ EngineLease::EngineLease(const moga::Problem& problem, const EngineHandle& handl
                  "shared engine (configure the deadline on the hub)");
 }
 
+EngineLease::EngineLease(const moga::Problem& problem, const EvalKnobs& knobs,
+                         obs::EventSink* sink, EvalWatchdog watchdog)
+    : EngineLease(problem, knobs.engine, knobs.threads, sink, knobs.eval_cache,
+                  watchdog, knobs.batch_eval) {}
+
 std::size_t EngineLease::threads() const {
   return owned_ ? owned_->threads() : handle_.engine->threads();
 }

@@ -27,6 +27,7 @@
 
 #include "engine/engine_handle.hpp"
 #include "engine/eval_engine.hpp"
+#include "engine/eval_knobs.hpp"
 #include "moga/individual.hpp"
 #include "moga/problem.hpp"
 #include "obs/event_sink.hpp"
@@ -45,6 +46,13 @@ class EngineLease {
               std::size_t threads, obs::EventSink* sink,
               std::size_t cache_capacity, EvalWatchdog watchdog = {},
               BatchEval batch_eval = BatchEval::Scalar);
+
+  /// Knob-bundle form: every evolver params struct and expt::RunSettings
+  /// IS-A EvalKnobs, so the lease can be built straight from it —
+  /// `EngineLease eval(problem, params, params.sink, watchdog)`. Exactly
+  /// equivalent to spelling the four knobs out above.
+  EngineLease(const moga::Problem& problem, const EvalKnobs& knobs,
+              obs::EventSink* sink, EvalWatchdog watchdog = {});
 
   EngineLease(const EngineLease&) = delete;
   EngineLease& operator=(const EngineLease&) = delete;

@@ -1,0 +1,56 @@
+// Pure execution knobs for batch genome evaluation.
+//
+// Every field here changes HOW evaluations are executed — never WHAT is
+// computed. Fronts, evaluation counts, traces and checkpoints are
+// byte-identical for every combination of these values (docs/engine.md,
+// docs/performance.md, docs/serve.md), which is why the group is excluded
+// from expt::run_config_digest as a block: the settings registry
+// (src/expt/settings_registry.hpp) classifies each member as KNOB, and
+// `anadex-lint --digest-audit` fails if a field is added here without a
+// registry entry.
+//
+// Evolver parameter structs (`EvolverCommon`, `sacga::EvolverParams`,
+// `moga::WeightedSumParams`) and `expt::RunSettings` all inherit this
+// struct, so the knobs cross layer boundaries as one assignable unit and
+// EngineLease can be constructed straight from any of them.
+#pragma once
+
+#include <cstddef>
+
+#include "engine/engine_handle.hpp"
+#include "engine/simd/lane_evaluator.hpp"
+
+namespace anadex::engine {
+
+struct EvalKnobs {
+  /// Worker threads for batch genome evaluation: 1 = serial on the calling
+  /// thread (the default), 0 = one per hardware thread, N = exactly N
+  /// workers. Results are bit-identical for every value (see
+  /// docs/engine.md).
+  std::size_t threads = 1;
+
+  /// Evaluation memoization: 0 (default) = off, N = dedup duplicate
+  /// genomes within each batch and retain the last N distinct evaluations
+  /// in an LRU across generations. Evaluation is a pure function of the
+  /// genome, so fronts, checkpoints and gen-level traces are bit-identical
+  /// for every value — like `threads`, this is an execution knob, not part
+  /// of the result (see docs/performance.md).
+  std::size_t eval_cache = 0;
+
+  /// Shared-engine lease (anadex serve). Empty (the default) = build a
+  /// private EvalEngine from `threads` / `eval_cache`; pointing it at a
+  /// hub engine makes the run evaluate through the hub's worker pool and
+  /// context-partitioned cache instead, with `threads` / `eval_cache`
+  /// ignored. Another pure execution knob: results are byte-identical
+  /// either way (see docs/serve.md).
+  EngineHandle engine;
+
+  /// Batch-to-SIMD-lane mapping for LaneEvaluator-capable problems
+  /// (engine::EvalEngine::set_batch_eval semantics). Another pure execution
+  /// knob: the SIMD path is bit-identical to the scalar oracle, so fronts,
+  /// traces and checkpoints do not depend on it. Ignored when `engine` is a
+  /// shared hub (the hub's own mode governs).
+  BatchEval batch_eval = BatchEval::Scalar;
+};
+
+}  // namespace anadex::engine

@@ -12,8 +12,7 @@
 #include <functional>
 
 #include "common/cancel.hpp"
-#include "engine/engine_handle.hpp"
-#include "engine/simd/lane_evaluator.hpp"
+#include "engine/eval_knobs.hpp"
 #include "moga/individual.hpp"
 #include "obs/event_sink.hpp"
 
@@ -38,41 +37,13 @@ struct ObsConfig {
   TraceHypervolume trace_hypervolume;
 };
 
-/// Configuration common to every evolver: the RNG seed, the evaluation
-/// thread count, the checkpoint/resume hooks and the telemetry sink.
+/// Configuration common to every evolver: the RNG seed, the pure execution
+/// knobs (the engine::EvalKnobs base: threads / eval_cache / engine /
+/// batch_eval), the checkpoint/resume hooks and the telemetry sink.
 /// `State` is the algorithm's resumable-state type (e.g. moga::Nsga2State).
 template <class State>
-struct EvolverCommon : ObsConfig {
+struct EvolverCommon : ObsConfig, EvalKnobs {
   std::uint64_t seed = 1;
-
-  /// Worker threads for batch genome evaluation: 1 = serial on the calling
-  /// thread (the default), 0 = one per hardware thread, N = exactly N
-  /// workers. Results are bit-identical for every value (see
-  /// docs/engine.md).
-  std::size_t threads = 1;
-
-  /// Evaluation memoization: 0 (default) = off, N = dedup duplicate
-  /// genomes within each batch and retain the last N distinct evaluations
-  /// in an LRU across generations. Evaluation is a pure function of the
-  /// genome, so fronts, checkpoints and gen-level traces are bit-identical
-  /// for every value — like `threads`, this is an execution knob, not part
-  /// of the result (see docs/performance.md).
-  std::size_t eval_cache = 0;
-
-  /// Shared-engine lease (anadex serve). Empty (the default) = build a
-  /// private EvalEngine from `threads` / `eval_cache`; pointing it at a
-  /// hub engine makes the run evaluate through the hub's worker pool and
-  /// context-partitioned cache instead, with `threads` / `eval_cache`
-  /// ignored. Another pure execution knob: results are byte-identical
-  /// either way (see docs/serve.md).
-  EngineHandle engine;
-
-  /// Batch-to-SIMD-lane mapping for LaneEvaluator-capable problems
-  /// (engine::EvalEngine::set_batch_eval semantics). Another pure execution
-  /// knob: the SIMD path is bit-identical to the scalar oracle, so fronts,
-  /// traces and checkpoints do not depend on it. Ignored when `engine` is a
-  /// shared hub (the hub's own mode governs).
-  BatchEval batch_eval = BatchEval::Scalar;
 
   // Checkpoint/resume (see robust/checkpoint.hpp for the file format).
   /// Call on_snapshot every this many generations (0 disables).

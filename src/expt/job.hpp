@@ -74,6 +74,13 @@ class Job {
 
   JobState state() const { return state_; }
   const RunSettings& settings() const { return settings_; }
+
+  /// The registry-generated config digest this job's checkpoints carry
+  /// (run_config_digest over the admitted settings; see
+  /// settings_registry.hpp). Stable across slices — every resume compares
+  /// it verbatim before continuing, so two jobs with equal digests and
+  /// equal CheckpointMeta are interchangeable on the same chain.
+  std::string config_digest() const { return run_config_digest(settings_); }
   const problems::IntegratorProblem& problem() const { return *problem_; }
 
   /// True when the job can be preempted mid-run and resumed later — it

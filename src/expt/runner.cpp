@@ -14,6 +14,7 @@
 #include "common/textio.hpp"
 #include "engine/evolver_common.hpp"
 #include "expt/job.hpp"
+#include "expt/settings_registry.hpp"
 #include "moga/nsga2.hpp"
 #include "moga/scalarize.hpp"
 #include "moga/spea2.hpp"
@@ -53,37 +54,117 @@ moga::GenerationCallback make_history_recorder(const RunSettings& settings,
 
 }  // namespace
 
-/// One-line digest of every knob not covered by CheckpointMeta's explicit
-/// fields. Compared verbatim on resume, so a checkpoint cannot silently
-/// continue under a different configuration. `threads`, `eval_cache`,
-/// `batch_eval`, the engine handle and `shards`/`shard_dir` are
+namespace {
+
+/// Per-type digest serializers: one `put` overload per DIGEST-row field
+/// type, each emitting " tag=value" with a canonical, locale-free value
+/// spelling (textio::exact for doubles — resume compares the digest
+/// verbatim, so the encoding must be bit-faithful and stable). Empty
+/// optionals emit nothing, preserving the historical "no chaos = no chaos
+/// key" wire format.
+class DigestWriter {
+ public:
+  void put(const char* tag, std::size_t v) { key(tag) << v; }
+  void put(const char* tag, bool v) { key(tag) << (v ? 1 : 0); }
+  void put(const char* tag, const std::vector<std::size_t>& v) {
+    auto& os = key(tag);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i > 0) os << ',';
+      os << v[i];
+    }
+  }
+  void put(const char* tag, const scint::Spec& spec) {
+    // The spec defines what "satisfies" means, so resuming under a
+    // different one would keep the old population but change selection —
+    // every limit participates. The name rides along for diagnostics.
+    key(tag) << spec.name << ',' << textio::exact(spec.dr_min_db) << ','
+             << textio::exact(spec.or_min) << ',' << textio::exact(spec.st_max)
+             << ',' << textio::exact(spec.se_max) << ','
+             << textio::exact(spec.robustness_min) << ','
+             << textio::exact(spec.area_max) << ','
+             << textio::exact(spec.balance_max) << ','
+             << textio::exact(spec.vov_min);
+  }
+  void put(const char* tag, const robust::GuardPolicy& g) {
+    // Retry/penalty policy shapes the objective values a faulty evaluation
+    // leaves in the population. backoff_spin_base is excluded: it only
+    // paces the retry loop (a pure execution knob inside the policy).
+    key(tag) << g.max_retries << ',' << textio::exact(g.perturbation) << ','
+             << textio::exact(g.penalty_objective) << ','
+             << textio::exact(g.penalty_violation) << ',' << g.seed;
+  }
+  void put(const char* tag,
+           const std::optional<robust::FaultInjectionConfig>& fi) {
+    // Chaos faults change results, so a chaotic checkpoint must not resume
+    // under different rates (or under no chaos at all).
+    if (!fi.has_value()) return;
+    key(tag) << fi->seed << ',' << textio::exact(fi->exception_rate) << ','
+             << textio::exact(fi->nan_rate) << ',' << textio::exact(fi->slow_rate)
+             << ',' << fi->slow_spin_iterations;
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostream& key(const char* tag) {
+    if (!first_) os_ << ' ';
+    first_ = false;
+    os_ << tag << '=';
+    return os_;
+  }
+
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+/// Expands every registry row into a member access, so the registry and
+/// the RunSettings struct cannot drift: a field renamed or removed without
+/// its registry row fails to compile right here. The converse direction —
+/// a field ADDED without a row — is textual, so the Python side owns it
+/// (`anadex-lint --digest-audit`). Called (as a no-op) from
+/// validate_run_settings to keep it anchored in always-built code.
+inline void settings_registry_static_check(const RunSettings& s) {
+#define ANADEX_CHECK_META(field, flag) (void)s.field;
+#define ANADEX_CHECK_DIGEST(field, tag, flag) (void)s.field;
+#define ANADEX_CHECK_KNOB(field, flag) (void)s.field;
+#define ANADEX_CHECK_SEAM(field) (void)s.field;
+  ANADEX_RUN_SETTINGS_REGISTRY(ANADEX_CHECK_META, ANADEX_CHECK_DIGEST,
+                               ANADEX_CHECK_KNOB, ANADEX_CHECK_SEAM)
+#undef ANADEX_CHECK_META
+#undef ANADEX_CHECK_DIGEST
+#undef ANADEX_CHECK_KNOB
+#undef ANADEX_CHECK_SEAM
+}
+
+}  // namespace
+
+/// Generated from the settings registry: every DIGEST row becomes one
+/// " tag=value" entry, in registry order (the wire order). Compared
+/// verbatim on resume, so a checkpoint cannot silently continue under a
+/// different configuration. KNOB rows (`threads`, `eval_cache`,
+/// `batch_eval`, the engine handle, `shards`/`shard_dir`, ...) are
 /// deliberately NOT part of the digest: results are invariant under all of
 /// them (pure execution knobs — the SIMD lane path is bit-identical to the
 /// scalar oracle, the sharded merge to the solo run), so a run may be
 /// checkpointed under one setting and resumed under another — including a
 /// checkpoint written at 2 shards resumed at 4.
 std::string run_config_digest(const RunSettings& s) {
-  std::ostringstream os;
-  os << "partitions=" << s.partitions << " islands=" << s.islands << " migration="
-     << s.migration_interval << " weights=" << s.weight_count << " schedule=";
-  for (std::size_t i = 0; i < s.mesacga_schedule.size(); ++i) {
-    if (i > 0) os << ',';
-    os << s.mesacga_schedule[i];
-  }
-  os << " phase1_cap=" << s.phase1_cap << " span=" << s.span << " stride="
-     << s.history_stride << " history=" << (s.record_history ? 1 : 0);
-  if (s.fault_injection.has_value()) {
-    // Chaos faults change results, so a chaotic checkpoint must not resume
-    // under different rates (or under no chaos at all).
-    const auto& f = *s.fault_injection;
-    os << " chaos=" << f.seed << ',' << textio::exact(f.exception_rate) << ','
-       << textio::exact(f.nan_rate) << ',' << textio::exact(f.slow_rate) << ','
-       << f.slow_spin_iterations;
-  }
-  return os.str();
+  DigestWriter w;
+#define ANADEX_DIGEST_META(field, flag)
+#define ANADEX_DIGEST_DIGEST(field, tag, flag) w.put(tag, s.field);
+#define ANADEX_DIGEST_KNOB(field, flag)
+#define ANADEX_DIGEST_SEAM(field)
+  ANADEX_RUN_SETTINGS_REGISTRY(ANADEX_DIGEST_META, ANADEX_DIGEST_DIGEST,
+                               ANADEX_DIGEST_KNOB, ANADEX_DIGEST_SEAM)
+#undef ANADEX_DIGEST_META
+#undef ANADEX_DIGEST_DIGEST
+#undef ANADEX_DIGEST_KNOB
+#undef ANADEX_DIGEST_SEAM
+  return w.str();
 }
 
 void validate_run_settings(const RunSettings& s) {
+  settings_registry_static_check(s);
   ANADEX_REQUIRE(s.population >= 4 && s.population % 2 == 0,
                  "run settings: population must be even and >= 4");
   ANADEX_REQUIRE(s.generations >= 1, "run settings: generations must be >= 1");
@@ -390,11 +471,8 @@ RunOutcome detail::run_impl(const problems::IntegratorProblem& problem,
   const auto wire_common = [&]<class State>(engine::EvolverCommon<State>& common,
                                             std::optional<State> robust::Checkpoint::*slot,
                                             auto&& resumed_generation) {
+    static_cast<engine::EvalKnobs&>(common) = settings;
     common.seed = settings.seed;
-    common.threads = settings.threads;
-    common.eval_cache = settings.eval_cache;
-    common.engine = settings.engine;
-    common.batch_eval = settings.batch_eval;
     common.sink = sink;
     common.stop = settings.stop;
     if (settings.eval_deadline_s.has_value()) {
@@ -545,11 +623,8 @@ RunOutcome detail::run_impl(const problems::IntegratorProblem& problem,
       // settings: weights * pop/2 * gens_per_weight ~= pop * generations.
       params.generations_per_weight = std::max<std::size_t>(
           2 * settings.generations / settings.weight_count, 1);
+      static_cast<engine::EvalKnobs&>(params) = settings;
       params.seed = settings.seed;
-      params.threads = settings.threads;
-      params.eval_cache = settings.eval_cache;
-      params.engine = settings.engine;
-      params.batch_eval = settings.batch_eval;
       params.sink = sink;
       if (sink != nullptr) {
         params.trace_hypervolume = [](const moga::Population& pop) {

@@ -28,8 +28,7 @@
 #include <vector>
 
 #include "common/cancel.hpp"
-#include "engine/engine_handle.hpp"
-#include "engine/simd/lane_evaluator.hpp"
+#include "engine/eval_knobs.hpp"
 #include "moga/metrics.hpp"
 #include "moga/nsga2.hpp"
 #include "obs/event_sink.hpp"
@@ -67,7 +66,15 @@ enum class ResumeMode {
 ///                    partition_schedule phases runs `span` generations; if
 ///                    span == 0 it is derived as
 ///                    (generations - phase1_cap) / #phases.
-struct RunSettings {
+/// Every field is classified (META / DIGEST / KNOB / SEAM) in the
+/// settings registry — src/expt/settings_registry.hpp is the one table
+/// that the config-digest serializer, the CLI wiring, the digest audit
+/// (`anadex-lint --digest-audit`) and the perturbation property test all
+/// consume. ADD NEW FIELDS THERE TOO, or the build's static check and the
+/// lint gate will fail. The engine::EvalKnobs base carries the four
+/// evaluation execution knobs (threads / eval_cache / engine / batch_eval,
+/// all result-invariant — see eval_knobs.hpp for their semantics here).
+struct RunSettings : engine::EvalKnobs {
   Algo algo = Algo::TPG;
   scint::Spec spec;
   std::size_t population = 100;
@@ -80,32 +87,6 @@ struct RunSettings {
   std::size_t phase1_cap = 200;
   std::size_t span = 0;                        ///< MESACGA per-phase span (0 = derive)
   std::uint64_t seed = 1;
-  /// Worker threads for batch genome evaluation: 1 = serial (default),
-  /// 0 = one per hardware thread, N = exactly N. Fronts, evaluation counts
-  /// and checkpoint files are bit-identical for every value, so a run may
-  /// be checkpointed under one thread count and resumed under another.
-  std::size_t threads = 1;
-  /// Capacity (in genotypes) of the deduplicating evaluation cache,
-  /// 0 = disabled. Like `threads` this is a pure execution knob: fronts,
-  /// requested-evaluation counts, checkpoints and gen-level traces are
-  /// bit-identical for every capacity, so it is excluded from the
-  /// checkpoint config digest. See docs/performance.md.
-  std::size_t eval_cache = 0;
-  /// Shared-engine lease (anadex serve): empty (default) = the run builds
-  /// private evaluation engines from `threads` / `eval_cache`; a hub handle
-  /// makes every evaluation flow through the scheduler's shared worker pool
-  /// and context-partitioned cache instead. A pure execution knob —
-  /// excluded from the config digest, results byte-identical either way.
-  /// Incompatible with `eval_deadline_s` (the deadline belongs to the hub).
-  engine::EngineHandle engine;
-  /// Batch-to-SIMD-lane mapping for LaneEvaluator-capable problems
-  /// (Scalar = per-item oracle path, Simd = force lane groups, Auto = lanes
-  /// when the batch fills a group). The SIMD kernels are bit-identical to
-  /// the scalar oracle, so fronts, traces and checkpoints do not depend on
-  /// the mode — a pure execution knob, excluded from the config digest like
-  /// `threads` / `eval_cache`. Ignored when `engine` is a shared hub (the
-  /// hub's own mode governs). See docs/performance.md.
-  engine::BatchEval batch_eval = engine::BatchEval::Scalar;
   bool record_history = false;
   std::size_t history_stride = 25;             ///< generations between history samples
 
@@ -240,12 +221,17 @@ double hypervolume_of(const std::vector<FrontSample>& front);
 std::vector<FrontSample> to_front_samples(const moga::Population& front);
 
 /// One-line digest of every result-bearing setting, stored in checkpoint
-/// meta so a resume refuses a mismatched configuration. Pure execution
-/// knobs (threads, eval_cache, batch_eval, engine handle, shards,
-/// shard_dir, checkpoint_keep) are deliberately excluded — a run may be
-/// checkpointed under one and resumed under another. Exposed so the
-/// sharded coordinator (src/shard) writes canonical checkpoints with
-/// exactly the digest a solo run would.
+/// meta so a resume refuses a mismatched configuration. Generated from the
+/// DIGEST rows of the settings registry (settings_registry.hpp) in
+/// registry order — spec and guard policy included, since resuming under a
+/// different spec or fault-handling policy would silently change results.
+/// Fields the registry classifies KNOB (threads, eval_cache, batch_eval,
+/// engine handle, shards, shard_dir, checkpoint_keep, ...) are
+/// deliberately excluded — a run may be checkpointed under one and resumed
+/// under another; `anadex-lint --digest-audit` enforces that every field
+/// is classified one way or the other. Exposed so the sharded coordinator
+/// (src/shard) writes canonical checkpoints with exactly the digest a solo
+/// run would.
 std::string run_config_digest(const RunSettings& settings);
 
 namespace detail {

@@ -20,11 +20,9 @@ Nsga2Result run_nsga2(const Problem& problem, const Nsga2Params& params,
   ANADEX_REQUIRE(bounds.size() == problem.num_variables(),
                  "problem bounds size must equal num_variables");
 
-  const engine::EngineLease eval(problem, params.engine, params.threads,
-                                 params.sink, params.eval_cache,
+  const engine::EngineLease eval(problem, params, params.sink,
                                  engine::EvalWatchdog{params.eval_cancel,
-                                                      params.eval_deadline_s},
-                                 params.batch_eval);
+                                                      params.eval_deadline_s});
   Rng rng(params.seed);
   Nsga2Result result;
 

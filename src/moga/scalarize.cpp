@@ -51,9 +51,8 @@ WeightedSumResult run_weighted_sum(const Problem& problem, const WeightedSumPara
                  "population size must be even and >= 4");
 
   const auto bounds = problem.bounds();
-  const engine::EngineLease eval(problem, params.engine, params.threads,
-                                 params.sink, params.eval_cache,
-                                 engine::EvalWatchdog{}, params.batch_eval);
+  const engine::EngineLease eval(problem, params, params.sink,
+                                 engine::EvalWatchdog{});
   Rng master(params.seed);
   WeightedSumResult result;
 

@@ -19,25 +19,15 @@
 namespace anadex::moga {
 
 /// WeightedSum has no resumable state, so it embeds only the telemetry
-/// wiring (engine::ObsConfig) instead of the full EvolverCommon base.
-struct WeightedSumParams : engine::ObsConfig {
+/// wiring (engine::ObsConfig) and the pure execution knobs
+/// (engine::EvalKnobs: threads / eval_cache / engine / batch_eval, all
+/// result-invariant) instead of the full EvolverCommon base.
+struct WeightedSumParams : engine::ObsConfig, engine::EvalKnobs {
   std::size_t weight_count = 16;       ///< number of weight vectors swept (>= 2)
   std::size_t population_size = 40;    ///< per scalar run (even, >= 4)
   std::size_t generations_per_weight = 50;
   VariationParams variation;
   std::uint64_t seed = 1;
-  /// Worker threads for batch evaluation (same semantics as
-  /// engine::EvolverCommon::threads; results are thread-count invariant).
-  std::size_t threads = 1;
-  /// Evaluation memoization capacity (same semantics as
-  /// engine::EvolverCommon::eval_cache; 0 = off, results are invariant).
-  std::size_t eval_cache = 0;
-  /// Shared-engine lease (same semantics as engine::EvolverCommon::engine;
-  /// empty = private EvalEngine, results are invariant).
-  engine::EngineHandle engine;
-  /// Batch-to-SIMD-lane mapping (same semantics as
-  /// engine::EvolverCommon::batch_eval; results are invariant).
-  engine::BatchEval batch_eval = engine::BatchEval::Scalar;
 };
 
 struct WeightedSumResult {

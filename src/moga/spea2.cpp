@@ -111,11 +111,9 @@ Spea2Result run_spea2(const Problem& problem, const Spea2Params& params,
   ANADEX_REQUIRE(params.archive_size >= 2, "archive size must be >= 2");
 
   const auto bounds = problem.bounds();
-  const engine::EngineLease eval(problem, params.engine, params.threads,
-                                 params.sink, params.eval_cache,
+  const engine::EngineLease eval(problem, params, params.sink,
                                  engine::EvalWatchdog{params.eval_cancel,
-                                                      params.eval_deadline_s},
-                                 params.batch_eval);
+                                                      params.eval_deadline_s});
   Rng rng(params.seed);
   Spea2Result result;
 

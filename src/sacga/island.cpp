@@ -95,11 +95,9 @@ IslandResult run_island_ga(const moga::Problem& problem, const IslandParams& par
                  "cannot migrate more individuals than an island holds");
 
   const auto bounds = problem.bounds();
-  const engine::EngineLease eval(problem, params.engine, params.threads,
-                                 params.sink, params.eval_cache,
+  const engine::EngineLease eval(problem, params, params.sink,
                                  engine::EvalWatchdog{params.eval_cancel,
-                                                      params.eval_deadline_s},
-                                 params.batch_eval);
+                                                      params.eval_deadline_s});
   Rng rng(params.seed);
   IslandResult result;
   moga::RankingScratch ranking;  // SoA buffers shared by all islands

@@ -11,15 +11,12 @@ namespace anadex::sacga {
 LocalOnlyResult run_local_only(const moga::Problem& problem, const LocalOnlyParams& params,
                                const moga::GenerationCallback& on_generation) {
   EvolverParams evolver_params;
+  static_cast<engine::EvalKnobs&>(evolver_params) = params;
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
-  evolver_params.threads = params.threads;
-  evolver_params.eval_cache = params.eval_cache;
   evolver_params.sink = params.sink;
   evolver_params.eval_deadline_s = params.eval_deadline_s;
   evolver_params.eval_cancel = params.eval_cancel;
-  evolver_params.engine = params.engine;
-  evolver_params.batch_eval = params.batch_eval;
 
   Partitioner partitioner(params.axis_objective, params.axis_lo, params.axis_hi,
                           params.partitions);

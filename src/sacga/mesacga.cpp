@@ -23,15 +23,12 @@ MesacgaResult run_mesacga(const moga::Problem& problem, const MesacgaParams& par
   ANADEX_REQUIRE(params.span >= 1, "MESACGA needs a positive per-phase span");
 
   EvolverParams evolver_params;
+  static_cast<engine::EvalKnobs&>(evolver_params) = params;
   evolver_params.population_size = params.population_size;
   evolver_params.variation = params.variation;
-  evolver_params.threads = params.threads;
-  evolver_params.eval_cache = params.eval_cache;
   evolver_params.sink = params.sink;
   evolver_params.eval_deadline_s = params.eval_deadline_s;
   evolver_params.eval_cancel = params.eval_cancel;
-  evolver_params.engine = params.engine;
-  evolver_params.batch_eval = params.batch_eval;
 
   std::optional<PartitionedEvolver> engine;
   MesacgaResult result;

@@ -15,10 +15,8 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
                                        Partitioner partitioner, std::uint64_t seed)
     : problem_(problem),
       params_(params),
-      engine_(problem, params.engine, params.threads, params.sink,
-              params.eval_cache,
-              engine::EvalWatchdog{params.eval_cancel, params.eval_deadline_s},
-              params.batch_eval),
+      engine_(problem, params, params.sink,
+              engine::EvalWatchdog{params.eval_cancel, params.eval_deadline_s}),
       partitioner_(std::move(partitioner)),
       bounds_(problem.bounds()),
       rng_(seed),
@@ -40,10 +38,8 @@ PartitionedEvolver::PartitionedEvolver(const moga::Problem& problem, const Evolv
                                        Partitioner partitioner, const EvolverSnapshot& snapshot)
     : problem_(problem),
       params_(params),
-      engine_(problem, params.engine, params.threads, params.sink,
-              params.eval_cache,
-              engine::EvalWatchdog{params.eval_cancel, params.eval_deadline_s},
-              params.batch_eval),
+      engine_(problem, params, params.sink,
+              engine::EvalWatchdog{params.eval_cancel, params.eval_deadline_s}),
       partitioner_(std::move(partitioner)),
       bounds_(problem.bounds()),
       rng_(1),

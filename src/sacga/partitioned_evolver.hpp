@@ -30,6 +30,7 @@
 
 #include "common/rng.hpp"
 #include "engine/engine_lease.hpp"
+#include "engine/eval_knobs.hpp"
 #include "moga/individual.hpp"
 #include "moga/nds.hpp"
 #include "moga/operators.hpp"
@@ -39,29 +40,20 @@
 namespace anadex::sacga {
 
 /// Engine configuration common to the SACGA family.
-struct EvolverParams {
+/// Inner-evolver configuration. The engine::EvalKnobs base carries the
+/// pure execution knobs (threads / eval_cache / engine / batch_eval,
+/// engine::EvolverCommon semantics, all result-invariant), so the SACGA
+/// front-ends copy them down from their own params in one assignment.
+struct EvolverParams : engine::EvalKnobs {
   std::size_t population_size = 100;  ///< must be even and >= 4
   moga::VariationParams variation;
-  /// Worker threads for batch evaluation (engine::EvolverCommon semantics:
-  /// 1 = serial, 0 = hardware, N = exactly N; results are invariant).
-  std::size_t threads = 1;
   /// Non-owning telemetry sink forwarded to the EvalEngine (batch timing at
   /// eval level); nullptr disables. Tracing never alters results.
   obs::EventSink* sink = nullptr;
-  /// Evaluation memoization capacity (engine::EvolverCommon semantics:
-  /// 0 = off, N = intra-batch dedup + N-entry LRU; results are invariant).
-  std::size_t eval_cache = 0;
   /// Stuck-eval watchdog (engine::EvolverCommon semantics): per-batch
   /// deadline in seconds (0 = off) and the token the watchdog raises.
   double eval_deadline_s = 0.0;
   CancelToken* eval_cancel = nullptr;
-  /// Shared-engine lease (engine::EvolverCommon semantics): empty = build
-  /// a private EvalEngine from the knobs above; a hub handle leases the
-  /// serve scheduler's worker pool instead. Results are invariant.
-  engine::EngineHandle engine;
-  /// Batch-to-SIMD-lane mapping (engine::EvolverCommon semantics: pure
-  /// execution knob, bit-identical results; ignored on a shared hub).
-  engine::BatchEval batch_eval = engine::BatchEval::Scalar;
 };
 
 /// Probability that the i-th (1-based) locally-superior solution of a

@@ -72,11 +72,10 @@ void run_shard_worker(const moga::Problem& problem, const WorkerContext& ctx) {
 
   const auto bounds = guarded.bounds();
   const engine::EngineLease eval(
-      guarded, s.engine, s.threads, nullptr, s.eval_cache,
+      guarded, s, nullptr,
       engine::EvalWatchdog{
           s.eval_deadline_s.has_value() ? &eval_cancel_token : nullptr,
-          eval_deadline_s},
-      s.batch_eval);
+          eval_deadline_s});
 
   robust::CheckpointMeta meta;
   meta.algo = expt::algo_name(s.algo);

@@ -1,0 +1,8 @@
+// Fixture: mirrored CLI that wires seed, spec and threads but never the
+// fourth flag the mirrored registry declares.
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  const char* known[] = {"seed", "spec", "threads"};
+  return known[0] != nullptr ? 0 : 1;
+}

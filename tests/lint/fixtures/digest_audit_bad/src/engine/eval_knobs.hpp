@@ -1,0 +1,11 @@
+#pragma once
+// Fixture: mirrored EvalKnobs for the digest-audit failure test.
+#include <cstddef>
+
+namespace anadex::engine {
+
+struct EvalKnobs {
+  std::size_t threads = 1;
+};
+
+}  // namespace anadex::engine

@@ -1,0 +1,11 @@
+// Fixture: a hand-rolled digest serializer that stopped expanding the
+// registry macro — drift the audit must catch.
+#include "expt/runner.hpp"
+
+namespace anadex::expt {
+
+std::string run_config_digest(const RunSettings& settings) {
+  return "seed=" + std::to_string(settings.seed);
+}
+
+}  // namespace anadex::expt

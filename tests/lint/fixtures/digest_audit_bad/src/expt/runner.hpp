@@ -1,0 +1,18 @@
+#pragma once
+// Fixture: mirrored RunSettings carrying novel_field, which the mirrored
+// registry does NOT classify — the seeded digest-coverage violation.
+#include <cstdint>
+
+#include "engine/eval_knobs.hpp"
+
+namespace anadex::expt {
+
+struct RunSettings : engine::EvalKnobs {
+  int spec = 0;
+  std::uint64_t seed = 1;
+  std::size_t novel_field = 0;
+};
+
+std::string run_config_digest(const RunSettings& settings);
+
+}  // namespace anadex::expt

@@ -1,0 +1,12 @@
+#pragma once
+// Fixture: a registry that has drifted from its RunSettings — it misses
+// the struct's novel_field, registers a ghost_flag no field backs, and
+// declares a --ghost CLI flag the mirrored CLI never wires.
+
+// clang-format off
+#define ANADEX_RUN_SETTINGS_REGISTRY(META, DIGEST, KNOB, SEAM) \
+  META(seed, "seed")                                           \
+  DIGEST(spec, "spec", "spec")                                 \
+  KNOB(threads, "threads")                                     \
+  KNOB(ghost_flag, "ghost")
+// clang-format on

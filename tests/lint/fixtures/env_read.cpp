@@ -1,0 +1,23 @@
+// Fixture: ambient environment reads (rule env-read).
+#include <cstdlib>
+
+const char* read_config() {
+  const char* a = std::getenv("ANADEX_SECRET_TUNING");  // env-read
+  const char* b = secure_getenv("ANADEX_OTHER");        // env-read
+  // Documented escape hatch, justification lives in this comment.
+  // anadex-lint: allow(env-read)
+  const char* c = std::getenv("ANADEX_ALLOWED");
+  return a ? a : (b ? b : c);
+}
+
+struct Env {
+  // Declaring a member named getenv still matches the textual rule; only
+  // member CALLS (through . -> ::) are structurally exempt.
+  // anadex-lint: allow(env-read)
+  const char* getenv(const char* k) { return k; }
+};
+
+const char* member_call() {
+  Env env;
+  return env.getenv("x");
+}

@@ -1,0 +1,10 @@
+// Fixture: mechanically fixable header — missing #pragma once and two
+// relative includes. The --fix self-test copies this file to a temp dir,
+// fixes it under --pretend-path src/moga, and asserts the result below.
+#include "../common/check.hpp"
+#include "./neighbor.hpp"
+#include <vector>
+
+namespace anadex::fixture {
+inline int fixable() { return 1; }
+}  // namespace anadex::fixture

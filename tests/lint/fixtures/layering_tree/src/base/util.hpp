@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: bottom layer, includes nothing of ours.
+#include <cstddef>
+
+inline std::size_t util() { return 0; }

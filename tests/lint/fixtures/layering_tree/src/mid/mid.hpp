@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: the mid layer. The base include is legal; the top include is
+// the seeded UPWARD edge; the orphan include hits a file no layer claims.
+#include "base/util.hpp"
+#include "top/app.hpp"
+#include "orphan/orphan.hpp"
+
+inline std::size_t mid() { return util(); }

@@ -1,0 +1,3 @@
+#pragma once
+// Fixture: a file claimed by NO layer — including it is a violation.
+inline int orphan() { return -1; }

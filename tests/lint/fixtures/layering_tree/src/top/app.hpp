@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: the top layer — may see everything below it.
+#include "base/util.hpp"
+
+inline std::size_t app() { return util(); }

@@ -1,0 +1,23 @@
+// Fixture: suppression-comment edge cases.
+#include <cstdlib>
+
+// Multi-rule suppression on the comment line above: both rules silenced.
+// anadex-lint: allow(raw-random, raw-assert)
+int multi() { return rand(); }  // also triggers nothing: raw-assert unused
+
+// Suppression on the line above a statement that SPANS lines: the match
+// lands on the line holding the pattern, so the comment must sit directly
+// above THAT line, not above the statement start.
+int spanning(int x) {
+  int r =
+      // anadex-lint: allow(raw-random)
+      rand() +
+      x;
+  return r;
+}
+
+// Same-line multi-rule form.
+int same_line() { return rand(); }  // anadex-lint: allow(raw-random, wall-clock)
+
+// An unsuppressed occurrence so the fixture still fails overall.
+int hot() { return rand(); }  // raw-random

@@ -1,0 +1,10 @@
+// Fixture: allow() naming rules the linter does not know
+// (rule unknown-suppression).
+
+// anadex-lint: allow(raw-randm)
+int typo() { return 1; }  // unknown-suppression: 'raw-randm' is a typo
+
+int mixed() { return 0; }  // anadex-lint: allow(raw-random, no-such-rule)
+
+// The wildcard is deliberate vocabulary, not a typo.
+int wildcard() { return 2; }  // anadex-lint: allow(*)
